@@ -1,0 +1,129 @@
+//! Microbenchmarks of the hot data structures: the event engine, the
+//! processor-sharing CPU model, the Invoke Mapper, the Resource
+//! Multiplexer, the warm pool, and CDF construction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use faasbatch_container::ids::{ContainerId, FunctionId, InvocationId};
+use faasbatch_container::pool::WarmPool;
+use faasbatch_core::mapper::InvokeMapper;
+use faasbatch_core::multiplexer::ResourceMultiplexer;
+use faasbatch_metrics::stats::Cdf;
+use faasbatch_simcore::cpu::CpuModel;
+use faasbatch_simcore::engine::Engine;
+use faasbatch_simcore::time::{SimDuration, SimTime};
+use faasbatch_trace::workload::Invocation;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/schedule+run 1k events", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            let mut world = 0u64;
+            for i in 0..1_000u64 {
+                engine.schedule_at(SimTime::from_micros(i * 7 % 997), |w: &mut u64, _| {
+                    *w += 1;
+                });
+            }
+            engine.run(&mut world);
+            black_box(world)
+        })
+    });
+}
+
+fn bench_cpu(c: &mut Criterion) {
+    c.bench_function("cpu/64-group contention step", |b| {
+        b.iter_batched(
+            || {
+                let mut cpu = CpuModel::new(32.0);
+                let groups: Vec<_> = (0..64).map(|_| cpu.create_group(None)).collect();
+                (cpu, groups)
+            },
+            |(mut cpu, groups)| {
+                for (i, g) in groups.iter().enumerate() {
+                    cpu.add_task(
+                        SimTime::ZERO,
+                        *g,
+                        SimDuration::from_millis(10 + i as u64),
+                    );
+                }
+                let mut now = SimTime::ZERO;
+                while let Some((t, _)) = cpu.next_completion(now) {
+                    now = t;
+                    black_box(cpu.advance_to(now));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mapper(c: &mut Criterion) {
+    c.bench_function("mapper/observe+drain 800", |b| {
+        b.iter(|| {
+            let mut mapper = InvokeMapper::new(SimDuration::from_millis(200));
+            for i in 0..800u64 {
+                mapper.observe(Invocation {
+                    id: InvocationId::new(i),
+                    function: FunctionId::new((i % 8) as u32),
+                    arrival: SimTime::from_micros(i),
+                    work: SimDuration::from_millis(1),
+                });
+            }
+            black_box(mapper.drain())
+        })
+    });
+}
+
+fn bench_multiplexer(c: &mut Criterion) {
+    c.bench_function("multiplexer/hit", |b| {
+        let mux: ResourceMultiplexer<u64> = ResourceMultiplexer::new();
+        mux.get_or_create(&"key", || 42);
+        b.iter(|| black_box(mux.get_or_create(&"key", || unreachable!())))
+    });
+    c.bench_function("multiplexer/miss+hit x100", |b| {
+        b.iter(|| {
+            let mux: ResourceMultiplexer<u64> = ResourceMultiplexer::new();
+            for i in 0..100u64 {
+                black_box(mux.get_or_create(&(i % 10), move || i));
+            }
+        })
+    });
+}
+
+fn bench_pool(c: &mut Criterion) {
+    c.bench_function("warm_pool/checkin+checkout x100", |b| {
+        b.iter(|| {
+            let mut pool = WarmPool::new(SimDuration::from_secs(600));
+            let f = FunctionId::new(0);
+            for i in 0..100 {
+                pool.check_in(SimTime::from_millis(i), f, ContainerId::new(i));
+            }
+            for _ in 0..100 {
+                black_box(pool.check_out(SimTime::from_secs(1), f));
+            }
+        })
+    });
+}
+
+fn bench_cdf(c: &mut Criterion) {
+    let samples: Vec<SimDuration> = (0..10_000u64)
+        .map(|i| SimDuration::from_micros(i * 37 % 100_000))
+        .collect();
+    c.bench_function("cdf/build 10k + quantiles", |b| {
+        b.iter(|| {
+            let cdf = Cdf::from_samples(samples.clone());
+            black_box((cdf.quantile(0.5), cdf.quantile(0.98), cdf.quantile(0.99)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_cpu,
+    bench_mapper,
+    bench_multiplexer,
+    bench_pool,
+    bench_cdf
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! End-to-end simulation benches: how fast each scheduler replays a
+//! 200-invocation bursty workload (wall-clock cost of the reproduction
+//! itself, one Criterion group per scheduler).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faasbatch_core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch_schedulers::config::SimConfig;
+use faasbatch_schedulers::harness::run_simulation;
+use faasbatch_schedulers::kraken::Kraken;
+use faasbatch_schedulers::sfs::Sfs;
+use faasbatch_schedulers::vanilla::Vanilla;
+use faasbatch_simcore::rng::DetRng;
+use faasbatch_simcore::time::SimDuration;
+use faasbatch_trace::workload::{cpu_workload, Workload, WorkloadConfig};
+use std::hint::black_box;
+
+fn workload() -> Workload {
+    cpu_workload(
+        &DetRng::new(99),
+        &WorkloadConfig {
+            total: 200,
+            span: SimDuration::from_secs(20),
+            functions: 4,
+            bursts: 3,
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("replay-200");
+    group.sample_size(20);
+    group.bench_function("vanilla", |b| {
+        b.iter(|| {
+            black_box(run_simulation(
+                Box::new(Vanilla::new()),
+                &w,
+                SimConfig::default(),
+                "cpu",
+                None,
+            ))
+        })
+    });
+    group.bench_function("sfs", |b| {
+        b.iter(|| {
+            black_box(run_simulation(
+                Box::new(Sfs::new()),
+                &w,
+                SimConfig::default(),
+                "cpu",
+                None,
+            ))
+        })
+    });
+    group.bench_function("kraken", |b| {
+        let window = SimDuration::from_millis(200);
+        b.iter(|| {
+            black_box(run_simulation(
+                Box::new(Kraken::with_defaults(window)),
+                &w,
+                SimConfig::default(),
+                "cpu",
+                Some(window),
+            ))
+        })
+    });
+    group.bench_function("faasbatch", |b| {
+        b.iter(|| {
+            black_box(run_faasbatch(
+                &w,
+                SimConfig::default(),
+                FaasBatchConfig::default(),
+                "cpu",
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

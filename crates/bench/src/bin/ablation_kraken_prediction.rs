@@ -1,0 +1,67 @@
+//! Ablation — Kraken's load prediction: lazy provisioning vs the paper's
+//! oracle ("100 %-accurate predicted workload") vs the original EWMA.
+//! Quantifies the paper's remark that "the efficiency of Kraken's batch
+//! decisions varies with function invocation patterns".
+
+use faasbatch_bench::{paper_cpu_workload, paper_io_workload, DEFAULT_WINDOW};
+use faasbatch_metrics::report::text_table;
+use faasbatch_schedulers::config::SimConfig;
+use faasbatch_schedulers::harness::run_simulation;
+use faasbatch_schedulers::kraken::{Kraken, KrakenCalibration, KrakenPrediction, OraclePattern};
+use faasbatch_schedulers::vanilla::Vanilla;
+
+fn main() {
+    println!("Ablation — Kraken prediction modes\n");
+    let mut rows = Vec::new();
+    for (label, w) in [("cpu", paper_cpu_workload()), ("io", paper_io_workload())] {
+        let cfg = SimConfig::default();
+        let vanilla = run_simulation(Box::new(Vanilla::new()), &w, cfg.clone(), label, None);
+        let calibration = KrakenCalibration::from_vanilla(&vanilla);
+        let modes: Vec<(&str, KrakenPrediction)> = vec![
+            ("lazy", KrakenPrediction::Lazy),
+            (
+                "oracle",
+                KrakenPrediction::Oracle(OraclePattern::from_workload(&w, DEFAULT_WINDOW)),
+            ),
+            ("ewma a=0.3", KrakenPrediction::Ewma { alpha: 0.3 }),
+            ("ewma a=0.8", KrakenPrediction::Ewma { alpha: 0.8 }),
+        ];
+        for (name, prediction) in modes {
+            let report = run_simulation(
+                Box::new(Kraken::new(calibration.clone(), DEFAULT_WINDOW).with_prediction(prediction)),
+                &w,
+                cfg.clone(),
+                label,
+                Some(DEFAULT_WINDOW),
+            );
+            rows.push(vec![
+                label.to_owned(),
+                name.to_owned(),
+                report.provisioned_containers.to_string(),
+                format!("{:.1}", report.cold_fraction() * 100.0),
+                format!("{}", report.end_to_end_cdf().mean()),
+                format!("{}", report.exec_queue_cdf().quantile(0.99)),
+                format!("{:.0}", report.mean_memory_bytes() / (1 << 20) as f64),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        text_table(
+            &[
+                "workload",
+                "prediction",
+                "containers",
+                "cold %",
+                "e2e mean",
+                "exec+queue p99",
+                "mem mean (MB)",
+            ],
+            &rows,
+        )
+    );
+    println!("Expected: the oracle pre-warms exactly ahead of each spike (fewer");
+    println!("cold invocations, more provisioned containers and memory); EWMA is");
+    println!("perpetually late on bursty traffic, paying containers without the");
+    println!("cold-start savings — the pattern-sensitivity the paper calls out.");
+}

@@ -1,0 +1,30 @@
+//! Fig. 10 — invocation pattern of the generated workload: 800 invocations
+//! replayed across one minute, bursty with tight temporal locality.
+
+use faasbatch_bench::paper_cpu_workload;
+use faasbatch_simcore::time::SimDuration;
+use faasbatch_trace::arrival::{bin_counts, burstiness};
+
+fn main() {
+    println!("Fig. 10 — invocation pattern of the generated workload\n");
+    let w = paper_cpu_workload();
+    let arrivals: Vec<_> = w.invocations().iter().map(|i| i.arrival).collect();
+    let per_sec = bin_counts(&arrivals, SimDuration::from_secs(1), SimDuration::from_secs(61));
+    let peak = per_sec.iter().copied().max().unwrap_or(0);
+    println!("second : invocations (bar)");
+    for (s, &c) in per_sec.iter().enumerate() {
+        if s >= 61 {
+            break;
+        }
+        let bar = "#".repeat((c * 60 / peak.max(1)).min(60));
+        println!("{s:>6} : {c:>4} {bar}");
+    }
+    println!(
+        "\ntotal={} span=60s peak={}/s burstiness={:.1}",
+        w.len(),
+        peak,
+        burstiness(&per_sec)
+    );
+    println!("Expected shape: a handful of sharp spikes over a low background,");
+    println!("as in the paper's replay of Azure day 13, 22:10-22:11.");
+}

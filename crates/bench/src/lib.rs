@@ -1,0 +1,210 @@
+//! # faasbatch-bench
+//!
+//! Figure-regeneration harnesses for the FaaSBatch reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that rebuilds its workload, runs the relevant schedulers, and
+//! prints the same rows/series the paper plots (see `DESIGN.md` §5 for the
+//! index). This library holds the shared plumbing: canonical workloads, the
+//! four-scheduler runner, CDF/table rendering, and JSON export.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use faasbatch_core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch_metrics::report::{text_table, RunReport};
+use faasbatch_metrics::stats::Cdf;
+use faasbatch_schedulers::config::SimConfig;
+use faasbatch_schedulers::harness::run_simulation;
+use faasbatch_schedulers::kraken::{Kraken, KrakenCalibration};
+use faasbatch_schedulers::sfs::Sfs;
+use faasbatch_schedulers::vanilla::Vanilla;
+use faasbatch_simcore::rng::DetRng;
+use faasbatch_simcore::time::SimDuration;
+use faasbatch_trace::workload::{cpu_workload, io_workload, Workload, WorkloadConfig};
+use std::path::Path;
+
+/// Seed used by every figure harness (the replayed "trace").
+pub const SEED: u64 = 2023;
+
+/// The paper's default dispatch window.
+pub const DEFAULT_WINDOW: SimDuration = SimDuration::from_millis(200);
+
+/// The dispatch intervals swept in Fig. 13/14.
+pub const DISPATCH_INTERVALS_MS: [u64; 4] = [10, 100, 200, 500];
+
+/// The paper's CPU workload: 800 `fib` invocations across one bursty minute.
+pub fn paper_cpu_workload() -> Workload {
+    cpu_workload(&DetRng::new(SEED), &WorkloadConfig::default())
+}
+
+/// The paper's I/O workload: the first 400 invocations of the minute.
+pub fn paper_io_workload() -> Workload {
+    io_workload(
+        &DetRng::new(SEED),
+        &WorkloadConfig {
+            total: 400,
+            span: SimDuration::from_secs(30),
+            functions: 8,
+            bursts: 4,
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+/// Runs all four schedulers on `workload` with the given dispatch window and
+/// returns reports in `[vanilla, sfs, kraken, faasbatch]` order.
+pub fn run_four(workload: &Workload, label: &str, window: SimDuration) -> [RunReport; 4] {
+    let cfg = SimConfig::default();
+    let vanilla = run_simulation(Box::new(Vanilla::new()), workload, cfg.clone(), label, None);
+    let sfs = run_simulation(Box::new(Sfs::new()), workload, cfg.clone(), label, None);
+    let calibration = KrakenCalibration::from_vanilla(&vanilla);
+    let kraken = run_simulation(
+        Box::new(Kraken::new(calibration, window)),
+        workload,
+        cfg.clone(),
+        label,
+        Some(window),
+    );
+    let faasbatch = run_faasbatch(
+        workload,
+        cfg,
+        FaasBatchConfig::with_window(window),
+        label,
+    );
+    [vanilla, sfs, kraken, faasbatch]
+}
+
+/// Renders the standard per-scheduler resource/latency summary table.
+pub fn summary_table(reports: &[RunReport]) -> String {
+    let headers = [
+        "scheduler",
+        "invocations",
+        "containers",
+        "inv/ctr",
+        "cold%",
+        "sched p50",
+        "sched p99",
+        "exec p50",
+        "exec+queue p99",
+        "e2e mean",
+        "mem mean (MB)",
+        "cpu util",
+        "daemon cpu-s",
+        "clients",
+        "MB/client-req",
+    ];
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheduler.clone(),
+                r.records.len().to_string(),
+                r.provisioned_containers.to_string(),
+                format!("{:.2}", r.invocations_per_container()),
+                format!("{:.1}", r.cold_fraction() * 100.0),
+                format!("{}", r.scheduling_cdf().quantile(0.5)),
+                format!("{}", r.scheduling_cdf().quantile(0.99)),
+                format!("{}", r.execution_cdf().quantile(0.5)),
+                format!("{}", r.exec_queue_cdf().quantile(0.99)),
+                format!("{}", r.end_to_end_cdf().mean()),
+                format!("{:.1}", r.mean_memory_bytes() / (1 << 20) as f64),
+                format!("{:.3}", r.mean_cpu_utilization()),
+                format!("{:.1}", r.core_seconds_daemon),
+                r.clients_created.to_string(),
+                format!("{:.2}", r.client_memory_per_request() / (1 << 20) as f64),
+            ]
+        })
+        .collect();
+    text_table(&headers, &rows)
+}
+
+/// Renders one latency-component CDF (Fig. 11/12 panels) as aligned columns:
+/// a fixed grid of cumulative fractions and the per-scheduler latencies at
+/// each.
+pub fn cdf_table(title: &str, series: &[(&str, Cdf)]) -> String {
+    let fractions = [0.10, 0.25, 0.50, 0.75, 0.90, 0.96, 0.99, 1.00];
+    let mut headers = vec!["fraction"];
+    for (name, _) in series {
+        headers.push(name);
+    }
+    let rows: Vec<Vec<String>> = fractions
+        .iter()
+        .map(|&q| {
+            let mut row = vec![format!("p{:02.0}", q * 100.0)];
+            for (_, cdf) in series {
+                row.push(if cdf.is_empty() {
+                    "-".to_owned()
+                } else {
+                    format!("{}", cdf.quantile(q))
+                });
+            }
+            row
+        })
+        .collect();
+    format!("{title}\n{}", text_table(&headers, &rows))
+}
+
+/// Writes reports as JSON under `results/<name>.json` (best effort — the
+/// harness prints the tables regardless).
+pub fn export_json(name: &str, reports: &[RunReport]) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    if let Ok(json) = serde_json::to_string_pretty(reports) {
+        let _ = std::fs::write(dir.join(format!("{name}.json")), json);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workloads_have_paper_sizes() {
+        assert_eq!(paper_cpu_workload().len(), 800);
+        assert_eq!(paper_io_workload().len(), 400);
+    }
+
+    #[test]
+    fn run_four_produces_four_named_reports() {
+        let w = cpu_workload(
+            &DetRng::new(1),
+            &WorkloadConfig {
+                total: 30,
+                span: SimDuration::from_secs(5),
+                functions: 2,
+                bursts: 2,
+            ..WorkloadConfig::default()
+        },
+        );
+        let reports = run_four(&w, "cpu", DEFAULT_WINDOW);
+        let names: Vec<&str> = reports.iter().map(|r| r.scheduler.as_str()).collect();
+        assert_eq!(names, vec!["vanilla", "sfs", "kraken", "faasbatch"]);
+        assert!(reports.iter().all(|r| r.records.len() == 30));
+    }
+
+    #[test]
+    fn tables_render_nonempty() {
+        let w = cpu_workload(
+            &DetRng::new(1),
+            &WorkloadConfig {
+                total: 20,
+                span: SimDuration::from_secs(5),
+                functions: 2,
+                bursts: 2,
+            ..WorkloadConfig::default()
+        },
+        );
+        let reports = run_four(&w, "cpu", DEFAULT_WINDOW);
+        let summary = summary_table(&reports);
+        assert!(summary.contains("faasbatch"));
+        let cdfs: Vec<(&str, Cdf)> = reports
+            .iter()
+            .map(|r| (r.scheduler.as_str(), r.scheduling_cdf()))
+            .collect();
+        let t = cdf_table("scheduling", &cdfs);
+        assert!(t.contains("p50"));
+    }
+}

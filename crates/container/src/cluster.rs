@@ -1,0 +1,509 @@
+//! The worker-node facade shared by every scheduler.
+//!
+//! A [`Cluster`] bundles the host resources (CPU model + memory ledger), the
+//! container table, and the warm pool behind one API, so Vanilla, Kraken,
+//! SFS, and FaaSBatch all pay identical costs for identical decisions — the
+//! comparison then measures *policy*, not modelling differences.
+//!
+//! The cluster is passive: callers supply the current [`SimTime`] and drive
+//! cold-start phases and CPU completions from their own event loop.
+
+use crate::container::{Container, ContainerState};
+use crate::ids::{ContainerId, FunctionId};
+use crate::pool::WarmPool;
+use crate::spec::{ColdStartModel, ContainerSpec};
+use faasbatch_simcore::cpu::{CpuGroupId, CpuModel, CpuTaskId};
+use faasbatch_simcore::memory::MemoryLedger;
+use faasbatch_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Outcome of asking the cluster for a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquired {
+    /// A warm container was checked out of the pool; it is already Busy and
+    /// can serve the batch immediately.
+    Warm(ContainerId),
+    /// A cold start began; the caller must run the two phases (image latency,
+    /// then CPU work) and call [`Cluster::finish_cold_start`].
+    Cold(ContainerId),
+}
+
+impl Acquired {
+    /// The container id regardless of temperature.
+    pub fn container(self) -> ContainerId {
+        match self {
+            Acquired::Warm(id) | Acquired::Cold(id) => id,
+        }
+    }
+
+    /// True for a cold start.
+    pub fn is_cold(self) -> bool {
+        matches!(self, Acquired::Cold(_))
+    }
+}
+
+/// Aggregate counters for resource-cost reporting (Fig. 13/14).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterStats {
+    /// Containers ever provisioned (== cold starts).
+    pub provisioned: u64,
+    /// Peak simultaneously live (non-terminated) containers.
+    pub peak_live: u64,
+    /// Warm-pool hits.
+    pub warm_hits: u64,
+    /// Containers reaped by keep-alive expiry.
+    pub expired: u64,
+}
+
+/// A simulated worker node: CPU + memory + containers + warm pool.
+#[derive(Debug)]
+pub struct Cluster {
+    cpu: CpuModel,
+    mem: MemoryLedger,
+    containers: BTreeMap<ContainerId, Container>,
+    pool: WarmPool,
+    cold_model: ColdStartModel,
+    platform_group: CpuGroupId,
+    next_container: u64,
+    stats: ClusterStats,
+}
+
+/// Memory-ledger category used for container base footprints.
+pub const MEM_CONTAINER: &str = "container";
+/// Memory-ledger category used by the platform itself.
+pub const MEM_PLATFORM: &str = "platform";
+
+impl Cluster {
+    /// Creates a worker with `cores` CPUs, the given cold-start model, and
+    /// keep-alive TTL.
+    pub fn new(cores: f64, cold_model: ColdStartModel, keep_alive: SimDuration) -> Self {
+        let mut cpu = CpuModel::new(cores);
+        let platform_group = cpu.create_group(None);
+        Cluster {
+            cpu,
+            mem: MemoryLedger::new(),
+            containers: BTreeMap::new(),
+            pool: WarmPool::new(keep_alive),
+            cold_model,
+            platform_group,
+            next_container: 0,
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// The CPU model (immutable).
+    pub fn cpu(&self) -> &CpuModel {
+        &self.cpu
+    }
+
+    /// The CPU model (mutable) — for completion pumping by the driver.
+    pub fn cpu_mut(&mut self) -> &mut CpuModel {
+        &mut self.cpu
+    }
+
+    /// The memory ledger (immutable).
+    pub fn mem(&self) -> &MemoryLedger {
+        &self.mem
+    }
+
+    /// The memory ledger (mutable) — for workload-specific allocations such
+    /// as storage clients.
+    pub fn mem_mut(&mut self) -> &mut MemoryLedger {
+        &mut self.mem
+    }
+
+    /// The cold-start cost model.
+    pub fn cold_model(&self) -> &ColdStartModel {
+        &self.cold_model
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// CPU group for platform-side work (scheduler overhead, daemons).
+    pub fn platform_group(&self) -> CpuGroupId {
+        self.platform_group
+    }
+
+    /// Looks up a container.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown; container ids are never reused, so this
+    /// indicates a driver bug.
+    pub fn container(&self, id: ContainerId) -> &Container {
+        self.containers.get(&id).expect("unknown container id")
+    }
+
+    /// Number of live (non-terminated) containers.
+    pub fn live_containers(&self) -> u64 {
+        self.containers
+            .values()
+            .filter(|c| c.state() != ContainerState::Terminated)
+            .count() as u64
+    }
+
+    /// Number of idle containers parked in the warm pool.
+    pub fn idle_containers(&self) -> usize {
+        self.pool.total_idle()
+    }
+
+    /// Idle warm containers available for `function`.
+    pub fn warm_count(&self, function: FunctionId) -> usize {
+        self.pool.idle_count(function)
+    }
+
+    /// Acquires a container for `spec`, preferring a warm one.
+    ///
+    /// A warm acquisition transitions the container to Busy immediately. A
+    /// cold acquisition creates the container in Provisioning and counts a
+    /// cold start; the caller runs the cold-start phases
+    /// ([`ColdStartModel::image_latency`] as an event delay, then
+    /// [`Cluster::start_cold_cpu_work`]) and finally
+    /// [`Cluster::finish_cold_start`].
+    pub fn acquire(&mut self, now: SimTime, spec: &ContainerSpec) -> Acquired {
+        if let Some(id) = self.pool.check_out(now, spec.function()) {
+            // `check_out` can silently discard TTL-stale entries; reap them
+            // properly first so accounting stays exact.
+            let c = self.containers.get_mut(&id).expect("pooled container exists");
+            c.mark_busy();
+            self.stats.warm_hits += 1;
+            return Acquired::Warm(id);
+        }
+        let id = ContainerId::new(self.next_container);
+        self.next_container += 1;
+        let group = self.cpu.create_group(spec.cpu_limit());
+        let memory = self.mem.alloc(now, MEM_CONTAINER, spec.base_memory_bytes());
+        self.containers
+            .insert(id, Container::provisioning(id, spec.clone(), group, memory, now));
+        self.stats.provisioned += 1;
+        self.stats.peak_live = self.stats.peak_live.max(self.live_containers());
+        Acquired::Cold(id)
+    }
+
+    /// Starts the CPU phase of a cold start (daemon bookkeeping + runtime
+    /// boot) inside the container's group; returns the task to watch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is not provisioning.
+    pub fn start_cold_cpu_work(&mut self, now: SimTime, id: ContainerId) -> CpuTaskId {
+        let c = self.container(id);
+        assert_eq!(c.state(), ContainerState::Provisioning, "{id}: not provisioning");
+        let group = c.cpu_group();
+        self.cpu.add_task(now, group, self.cold_model.cpu_work())
+    }
+
+    /// Completes a cold start, leaving the container Busy (it was acquired
+    /// for a pending batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is not provisioning.
+    pub fn finish_cold_start(&mut self, now: SimTime, id: ContainerId) {
+        let c = self.containers.get_mut(&id).expect("unknown container id");
+        c.mark_ready(now);
+        c.mark_busy();
+    }
+
+    /// Provisions a fresh container unconditionally (pre-warming): unlike
+    /// [`acquire`](Self::acquire) it never consults the warm pool, so the
+    /// caller controls exactly how many containers exist.
+    pub fn provision_cold(&mut self, now: SimTime, spec: &ContainerSpec) -> ContainerId {
+        let id = ContainerId::new(self.next_container);
+        self.next_container += 1;
+        let group = self.cpu.create_group(spec.cpu_limit());
+        let memory = self.mem.alloc(now, MEM_CONTAINER, spec.base_memory_bytes());
+        self.containers
+            .insert(id, Container::provisioning(id, spec.clone(), group, memory, now));
+        self.stats.provisioned += 1;
+        self.stats.peak_live = self.stats.peak_live.max(self.live_containers());
+        id
+    }
+
+    /// Completes a pre-warming cold start: the container goes straight into
+    /// the warm pool instead of serving a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is not provisioning.
+    pub fn finish_cold_start_idle(&mut self, now: SimTime, id: ContainerId) {
+        let c = self.containers.get_mut(&id).expect("unknown container id");
+        c.mark_ready(now);
+        let function = c.function();
+        self.pool.check_in(now, function, id);
+    }
+
+    /// Adds `work` core-seconds of invocation execution to a Busy container.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is not busy.
+    pub fn start_invocation_work(
+        &mut self,
+        now: SimTime,
+        id: ContainerId,
+        work: SimDuration,
+    ) -> CpuTaskId {
+        let c = self.container(id);
+        assert_eq!(c.state(), ContainerState::Busy, "{id}: not busy");
+        let group = c.cpu_group();
+        self.cpu.add_task(now, group, work)
+    }
+
+    /// Adds platform-side CPU work (scheduling decisions, daemons).
+    pub fn start_platform_work(&mut self, now: SimTime, work: SimDuration) -> CpuTaskId {
+        self.cpu.add_task(now, self.platform_group, work)
+    }
+
+    /// Returns a Busy container to the warm pool after its batch finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is not busy.
+    pub fn release(&mut self, now: SimTime, id: ContainerId, invocations_completed: u64) {
+        let c = self.containers.get_mut(&id).expect("unknown container id");
+        c.mark_released(now, invocations_completed);
+        let function = c.function();
+        self.pool.check_in(now, function, id);
+    }
+
+    /// Reaps idle containers that outlived the keep-alive TTL.
+    pub fn expire_idle(&mut self, now: SimTime) -> Vec<ContainerId> {
+        let expired = self.pool.expire(now);
+        for &id in &expired {
+            self.terminate(now, id);
+            self.stats.expired += 1;
+        }
+        expired
+    }
+
+    /// Earliest upcoming keep-alive expiry, for reaper scheduling.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.pool.next_expiry()
+    }
+
+    /// Terminates an idle container, releasing its memory and CPU group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is busy or provisioning.
+    pub fn terminate(&mut self, now: SimTime, id: ContainerId) {
+        self.pool.remove(id);
+        let c = self.containers.get_mut(&id).expect("unknown container id");
+        c.mark_terminated();
+        let group = c.cpu_group();
+        let memory = c.memory();
+        self.mem.free(now, memory);
+        self.cpu.remove_group(now, group);
+    }
+
+    /// Terminates every idle container (end-of-run teardown) and returns how
+    /// many were reaped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any container is still busy or provisioning.
+    pub fn drain(&mut self, now: SimTime) -> u64 {
+        let idle: Vec<ContainerId> = self
+            .containers
+            .values()
+            .filter(|c| c.state() == ContainerState::Idle)
+            .map(Container::id)
+            .collect();
+        let n = idle.len() as u64;
+        for id in idle {
+            self.terminate(now, id);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(4.0, ColdStartModel::default(), SimDuration::from_secs(600))
+    }
+
+    fn spec() -> ContainerSpec {
+        ContainerSpec::new(FunctionId::new(0))
+    }
+
+    /// Runs a full cold start at `now`, returning the busy container.
+    fn cold_start(c: &mut Cluster, now: SimTime) -> ContainerId {
+        let acq = c.acquire(now, &spec());
+        let Acquired::Cold(id) = acq else { panic!("expected cold") };
+        let after_image = now + c.cold_model().image_latency();
+        let task = c.start_cold_cpu_work(after_image, id);
+        let (done, t) = c.cpu().next_completion(after_image).unwrap();
+        assert_eq!(t, task);
+        c.cpu_mut().advance_to(done);
+        c.finish_cold_start(done, id);
+        id
+    }
+
+    #[test]
+    fn cold_then_warm() {
+        let mut c = cluster();
+        let id = cold_start(&mut c, SimTime::ZERO);
+        assert_eq!(c.stats().provisioned, 1);
+        let t1 = SimTime::from_secs(2);
+        c.release(t1, id, 1);
+        assert_eq!(c.idle_containers(), 1);
+        // Second acquisition within TTL is warm and reuses the container.
+        match c.acquire(t1, &spec()) {
+            Acquired::Warm(w) => assert_eq!(w, id),
+            Acquired::Cold(_) => panic!("expected warm"),
+        }
+        assert_eq!(c.stats().warm_hits, 1);
+        assert_eq!(c.stats().provisioned, 1);
+    }
+
+    #[test]
+    fn cold_start_charges_memory_immediately() {
+        let mut c = cluster();
+        let before = c.mem().current_bytes();
+        let _ = c.acquire(SimTime::ZERO, &spec());
+        assert_eq!(
+            c.mem().current_bytes() - before,
+            ContainerSpec::DEFAULT_BASE_MEMORY
+        );
+    }
+
+    #[test]
+    fn different_functions_do_not_share_warm_containers() {
+        let mut c = cluster();
+        let id = cold_start(&mut c, SimTime::ZERO);
+        c.release(SimTime::from_secs(1), id, 1);
+        let other = ContainerSpec::new(FunctionId::new(1));
+        assert!(c.acquire(SimTime::from_secs(1), &other).is_cold());
+    }
+
+    #[test]
+    fn expiry_releases_resources() {
+        let mut c = cluster();
+        let id = cold_start(&mut c, SimTime::ZERO);
+        c.release(SimTime::from_secs(1), id, 1);
+        let mem_idle = c.mem().current_bytes();
+        assert!(mem_idle > 0);
+        let expired = c.expire_idle(SimTime::from_secs(1) + SimDuration::from_secs(601));
+        assert_eq!(expired, vec![id]);
+        assert_eq!(c.mem().current_bytes(), 0);
+        assert_eq!(c.live_containers(), 0);
+        assert_eq!(c.stats().expired, 1);
+    }
+
+    #[test]
+    fn invocation_work_runs_in_container_group() {
+        let mut c = cluster();
+        let id = cold_start(&mut c, SimTime::ZERO);
+        let t = c.container(id).ready_at().unwrap();
+        let task = c.start_invocation_work(t, id, SimDuration::from_secs(1));
+        let (done, tid) = c.cpu().next_completion(t).unwrap();
+        assert_eq!(tid, task);
+        assert_eq!(done, t + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn cpu_limit_propagates_to_group() {
+        let mut c = cluster();
+        let limited = ContainerSpec::new(FunctionId::new(0)).with_cpu_limit(1.0);
+        let acq = c.acquire(SimTime::ZERO, &limited);
+        let id = acq.container();
+        let after = SimTime::ZERO + c.cold_model().image_latency();
+        c.start_cold_cpu_work(after, id);
+        let (done, _) = c.cpu().next_completion(after).unwrap();
+        c.cpu_mut().advance_to(done);
+        c.finish_cold_start(done, id);
+        // Two 1s tasks in a 1-core-capped group on a 4-core host: 2s each.
+        c.start_invocation_work(done, id, SimDuration::from_secs(1));
+        c.start_invocation_work(done, id, SimDuration::from_secs(1));
+        let (fin, _) = c.cpu().next_completion(done).unwrap();
+        assert_eq!(fin, done + SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn peak_live_tracks_high_water() {
+        let mut c = cluster();
+        let a = cold_start(&mut c, SimTime::ZERO);
+        let _b = c.acquire(SimTime::from_secs(1), &spec());
+        assert_eq!(c.stats().peak_live, 2);
+        c.release(SimTime::from_secs(2), a, 1);
+        c.expire_idle(SimTime::from_secs(2) + SimDuration::from_secs(601));
+        assert_eq!(c.stats().peak_live, 2);
+    }
+
+    #[test]
+    fn drain_reaps_only_idle() {
+        let mut c = cluster();
+        let a = cold_start(&mut c, SimTime::ZERO);
+        c.release(SimTime::from_secs(2), a, 1);
+        assert_eq!(c.drain(SimTime::from_secs(2)), 1);
+        assert_eq!(c.live_containers(), 0);
+    }
+
+    #[test]
+    fn prewarm_provisions_into_pool() {
+        let mut c = cluster();
+        // provision_cold never consults the pool.
+        let id1 = c.provision_cold(SimTime::ZERO, &spec());
+        let id2 = c.provision_cold(SimTime::ZERO, &spec());
+        assert_ne!(id1, id2);
+        assert_eq!(c.stats().provisioned, 2);
+        assert_eq!(c.idle_containers(), 0, "still provisioning");
+        // Finish them idle: both land in the warm pool.
+        let t = SimTime::from_secs(2);
+        c.cpu_mut().advance_to(t);
+        c.finish_cold_start_idle(t, id1);
+        c.finish_cold_start_idle(t, id2);
+        assert_eq!(c.warm_count(FunctionId::new(0)), 2);
+        // A subsequent acquire is warm (LIFO: most recent first).
+        match c.acquire(t, &spec()) {
+            Acquired::Warm(w) => assert_eq!(w, id2),
+            Acquired::Cold(_) => panic!("expected warm"),
+        }
+        assert_eq!(c.stats().provisioned, 2, "no extra cold start");
+    }
+
+    #[test]
+    fn prewarmed_container_serves_and_releases_normally() {
+        let mut c = cluster();
+        let id = c.provision_cold(SimTime::ZERO, &spec());
+        let boot = c.start_cold_cpu_work(SimTime::ZERO, id);
+        let (done, t) = c.cpu().next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(t, boot);
+        c.cpu_mut().advance_to(done);
+        c.finish_cold_start_idle(done, id);
+        let acq = c.acquire(done, &spec());
+        assert!(!acq.is_cold());
+        c.start_invocation_work(done, id, SimDuration::from_millis(10));
+        let (fin, _) = c.cpu().next_completion(done).unwrap();
+        c.cpu_mut().advance_to(fin);
+        c.release(fin, id, 1);
+        assert_eq!(c.idle_containers(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mark_ready from Idle")]
+    fn finishing_idle_twice_panics() {
+        let mut c = cluster();
+        let id = c.provision_cold(SimTime::ZERO, &spec());
+        c.finish_cold_start_idle(SimTime::ZERO, id);
+        c.finish_cold_start_idle(SimTime::ZERO, id);
+    }
+
+    #[test]
+    #[should_panic(expected = "not busy")]
+    fn work_on_idle_container_panics() {
+        let mut c = cluster();
+        let id = cold_start(&mut c, SimTime::ZERO);
+        let t = SimTime::from_secs(2);
+        c.release(t, id, 1);
+        c.start_invocation_work(t, id, SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,115 @@
+//! Identifiers for serverless entities.
+//!
+//! These are plain `Copy` newtypes ([C-NEWTYPE]) so the rest of the stack can
+//! pass them around freely without string hashing in hot paths. Human-readable
+//! names live in the function registry of the trace crate.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a registered serverless function (e.g. `fib`, `io-client`).
+///
+/// # Examples
+///
+/// ```
+/// use faasbatch_container::ids::FunctionId;
+///
+/// let f = FunctionId::new(3);
+/// assert_eq!(f.to_string(), "fn#3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FunctionId(u32);
+
+impl FunctionId {
+    /// Creates a function id from its registry index.
+    pub const fn new(index: u32) -> Self {
+        FunctionId(index)
+    }
+
+    /// The registry index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// Identifies a single function invocation (request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InvocationId(u64);
+
+impl InvocationId {
+    /// Creates an invocation id.
+    pub const fn new(n: u64) -> Self {
+        InvocationId(n)
+    }
+
+    /// The numeric value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for InvocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inv#{}", self.0)
+    }
+}
+
+/// Identifies a (simulated or live) container instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ContainerId(u64);
+
+impl ContainerId {
+    /// Creates a container id.
+    pub const fn new(n: u64) -> Self {
+        ContainerId(n)
+    }
+
+    /// The numeric value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctr#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_value_types() {
+        let a = FunctionId::new(1);
+        let b = a;
+        assert_eq!(a, b);
+        assert_eq!(a.index(), 1);
+        assert_eq!(InvocationId::new(9).value(), 9);
+        assert_eq!(ContainerId::new(9).value(), 9);
+    }
+
+    #[test]
+    fn ids_hash_and_order() {
+        let set: HashSet<FunctionId> = (0..4).map(FunctionId::new).collect();
+        assert_eq!(set.len(), 4);
+        assert!(InvocationId::new(1) < InvocationId::new(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(FunctionId::new(0).to_string(), "fn#0");
+        assert_eq!(InvocationId::new(7).to_string(), "inv#7");
+        assert_eq!(ContainerId::new(12).to_string(), "ctr#12");
+    }
+}

@@ -1,0 +1,214 @@
+//! Keep-alive (warm) container pool.
+//!
+//! Serverless platforms keep finished containers around for a while so that a
+//! subsequent invocation of the same function gets a *warm start*. The pool
+//! tracks idle containers per function with a time-to-live, handing the most
+//! recently used one back first (LIFO — the standard keep-alive policy, it
+//! maximises the number of containers that age out).
+
+use crate::ids::{ContainerId, FunctionId};
+use faasbatch_simcore::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-function LIFO pool of idle containers with TTL expiry.
+///
+/// # Examples
+///
+/// ```
+/// use faasbatch_container::ids::{ContainerId, FunctionId};
+/// use faasbatch_container::pool::WarmPool;
+/// use faasbatch_simcore::time::{SimDuration, SimTime};
+///
+/// let mut pool = WarmPool::new(SimDuration::from_secs(600));
+/// let f = FunctionId::new(0);
+/// pool.check_in(SimTime::ZERO, f, ContainerId::new(1));
+/// assert_eq!(pool.check_out(SimTime::from_secs(1), f), Some(ContainerId::new(1)));
+/// assert_eq!(pool.check_out(SimTime::from_secs(1), f), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WarmPool {
+    ttl: SimDuration,
+    // BTreeMap for deterministic iteration in expiry.
+    idle: BTreeMap<FunctionId, VecDeque<(SimTime, ContainerId)>>,
+}
+
+impl WarmPool {
+    /// Creates a pool whose idle containers expire after `ttl`.
+    pub fn new(ttl: SimDuration) -> Self {
+        WarmPool {
+            ttl,
+            idle: BTreeMap::new(),
+        }
+    }
+
+    /// The configured keep-alive TTL.
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+
+    /// Parks an idle container.
+    pub fn check_in(&mut self, now: SimTime, function: FunctionId, container: ContainerId) {
+        self.idle.entry(function).or_default().push_back((now, container));
+    }
+
+    /// Takes the most recently used warm container for `function`, skipping
+    /// (and discarding) any that have outlived the TTL.
+    ///
+    /// The caller is responsible for terminating discarded containers — use
+    /// [`expire`](Self::expire) beforehand if exact teardown accounting
+    /// matters; `check_out` itself never returns an expired container.
+    pub fn check_out(&mut self, now: SimTime, function: FunctionId) -> Option<ContainerId> {
+        let q = self.idle.get_mut(&function)?;
+        while let Some(&(parked_at, id)) = q.back() {
+            if now.saturating_duration_since(parked_at) > self.ttl {
+                // Everything in front is even older; they will be reaped by
+                // `expire`. This entry itself is stale: drop it from the pool
+                // but report it via expire path too — here we simply skip.
+                q.pop_back();
+                continue;
+            }
+            q.pop_back();
+            if q.is_empty() {
+                self.idle.remove(&function);
+            }
+            return Some(id);
+        }
+        self.idle.remove(&function);
+        None
+    }
+
+    /// Removes and returns every container whose idle time exceeded the TTL,
+    /// in deterministic order.
+    pub fn expire(&mut self, now: SimTime) -> Vec<ContainerId> {
+        let mut expired = Vec::new();
+        let mut empty_functions = Vec::new();
+        for (f, q) in self.idle.iter_mut() {
+            while let Some(&(parked_at, id)) = q.front() {
+                if now.saturating_duration_since(parked_at) > self.ttl {
+                    expired.push(id);
+                    q.pop_front();
+                } else {
+                    break;
+                }
+            }
+            if q.is_empty() {
+                empty_functions.push(*f);
+            }
+        }
+        for f in empty_functions {
+            self.idle.remove(&f);
+        }
+        expired
+    }
+
+    /// Removes a specific container (e.g. when force-terminating), returning
+    /// whether it was present.
+    pub fn remove(&mut self, container: ContainerId) -> bool {
+        let mut found = false;
+        self.idle.retain(|_, q| {
+            if let Some(pos) = q.iter().position(|&(_, id)| id == container) {
+                q.remove(pos);
+                found = true;
+            }
+            !q.is_empty()
+        });
+        found
+    }
+
+    /// Number of idle containers for `function`.
+    pub fn idle_count(&self, function: FunctionId) -> usize {
+        self.idle.get(&function).map_or(0, VecDeque::len)
+    }
+
+    /// Total idle containers across functions.
+    pub fn total_idle(&self) -> usize {
+        self.idle.values().map(VecDeque::len).sum()
+    }
+
+    /// Earliest instant at which some idle container will have exceeded the
+    /// TTL, for scheduling reaper events. `None` when the pool is empty.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.idle
+            .values()
+            .filter_map(|q| q.front())
+            .map(|&(parked_at, _)| parked_at + self.ttl)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FunctionId {
+        FunctionId::new(i)
+    }
+    fn c(i: u64) -> ContainerId {
+        ContainerId::new(i)
+    }
+
+    #[test]
+    fn lifo_checkout() {
+        let mut p = WarmPool::new(SimDuration::from_secs(10));
+        p.check_in(SimTime::ZERO, f(0), c(1));
+        p.check_in(SimTime::from_secs(1), f(0), c(2));
+        assert_eq!(p.check_out(SimTime::from_secs(2), f(0)), Some(c(2)));
+        assert_eq!(p.check_out(SimTime::from_secs(2), f(0)), Some(c(1)));
+        assert_eq!(p.check_out(SimTime::from_secs(2), f(0)), None);
+    }
+
+    #[test]
+    fn functions_are_isolated() {
+        let mut p = WarmPool::new(SimDuration::from_secs(10));
+        p.check_in(SimTime::ZERO, f(0), c(1));
+        assert_eq!(p.check_out(SimTime::ZERO, f(1)), None);
+        assert_eq!(p.idle_count(f(0)), 1);
+    }
+
+    #[test]
+    fn checkout_skips_expired() {
+        let mut p = WarmPool::new(SimDuration::from_secs(5));
+        p.check_in(SimTime::ZERO, f(0), c(1));
+        assert_eq!(p.check_out(SimTime::from_secs(6), f(0)), None);
+        assert_eq!(p.total_idle(), 0);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        // Exactly at TTL the container is still warm (expiry is strict `>`).
+        let mut p = WarmPool::new(SimDuration::from_secs(5));
+        p.check_in(SimTime::ZERO, f(0), c(1));
+        assert_eq!(p.check_out(SimTime::from_secs(5), f(0)), Some(c(1)));
+    }
+
+    #[test]
+    fn expire_reaps_in_order() {
+        let mut p = WarmPool::new(SimDuration::from_secs(5));
+        p.check_in(SimTime::ZERO, f(0), c(1));
+        p.check_in(SimTime::from_secs(1), f(0), c(2));
+        p.check_in(SimTime::from_secs(9), f(1), c(3));
+        let expired = p.expire(SimTime::from_secs(7));
+        assert_eq!(expired, vec![c(1), c(2)]);
+        assert_eq!(p.total_idle(), 1);
+    }
+
+    #[test]
+    fn next_expiry_tracks_oldest() {
+        let mut p = WarmPool::new(SimDuration::from_secs(5));
+        assert_eq!(p.next_expiry(), None);
+        p.check_in(SimTime::from_secs(2), f(0), c(1));
+        p.check_in(SimTime::from_secs(1), f(1), c(2));
+        assert_eq!(p.next_expiry(), Some(SimTime::from_secs(6)));
+    }
+
+    #[test]
+    fn remove_targets_one_container() {
+        let mut p = WarmPool::new(SimDuration::from_secs(50));
+        p.check_in(SimTime::ZERO, f(0), c(1));
+        p.check_in(SimTime::ZERO, f(0), c(2));
+        assert!(p.remove(c(1)));
+        assert!(!p.remove(c(1)));
+        assert_eq!(p.check_out(SimTime::ZERO, f(0)), Some(c(2)));
+        assert_eq!(p.check_out(SimTime::ZERO, f(0)), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Container specifications and cold-start cost model.
+
+use crate::ids::FunctionId;
+use faasbatch_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Mebibyte, for readable byte constants.
+pub const MIB: u64 = 1 << 20;
+
+/// Describes how a container for one function must be provisioned —
+/// the serverless analogue of `docker run` flags.
+///
+/// # Examples
+///
+/// ```
+/// use faasbatch_container::ids::FunctionId;
+/// use faasbatch_container::spec::ContainerSpec;
+///
+/// let spec = ContainerSpec::new(FunctionId::new(0)).with_cpu_limit(4.0);
+/// assert_eq!(spec.cpu_limit(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContainerSpec {
+    function: FunctionId,
+    /// `cpu_count` / `cpuset_cpus` restriction; `None` = whole host.
+    cpu_limit: Option<f64>,
+    /// Resident footprint of the runtime + imported dependencies.
+    base_memory_bytes: u64,
+}
+
+impl ContainerSpec {
+    /// Default runtime footprint of one warm container (Python runtime plus
+    /// imported SDKs), matching the ~50 MB idle footprint typical of the
+    /// paper's OpenWhisk-style Python containers.
+    pub const DEFAULT_BASE_MEMORY: u64 = 50 * MIB;
+
+    /// Creates a spec for `function` with defaults (no CPU limit, default
+    /// base memory).
+    pub fn new(function: FunctionId) -> Self {
+        ContainerSpec {
+            function,
+            cpu_limit: None,
+            base_memory_bytes: Self::DEFAULT_BASE_MEMORY,
+        }
+    }
+
+    /// Restricts the container to `cores` CPUs (Docker `cpu_count`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not positive finite.
+    pub fn with_cpu_limit(mut self, cores: f64) -> Self {
+        assert!(cores.is_finite() && cores > 0.0, "invalid cpu limit: {cores}");
+        self.cpu_limit = Some(cores);
+        self
+    }
+
+    /// Sets the base (idle) memory footprint.
+    pub fn with_base_memory(mut self, bytes: u64) -> Self {
+        self.base_memory_bytes = bytes;
+        self
+    }
+
+    /// The function this container serves.
+    pub fn function(&self) -> FunctionId {
+        self.function
+    }
+
+    /// The CPU restriction, if any.
+    pub fn cpu_limit(&self) -> Option<f64> {
+        self.cpu_limit
+    }
+
+    /// The base (idle) memory footprint in bytes.
+    pub fn base_memory_bytes(&self) -> u64 {
+        self.base_memory_bytes
+    }
+}
+
+/// Cold-start cost model.
+///
+/// A cold start has two phases, mirroring §II and §V-A2 of the paper:
+///
+/// 1. a fixed *image/runtime* phase (pulling layers, starting the runtime) —
+///    pure latency, no host CPU consumed in the model; and
+/// 2. a *CPU* phase (daemon bookkeeping, interpreter boot, imports) which
+///    really burns host CPU and therefore stretches when many containers
+///    start at once. This is what makes Vanilla/SFS scheduling latency
+///    explode under bursts (Fig. 11(a)/12(a)) and cold-start CDFs ordering
+///    (Fig. 11(b)/12(b)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColdStartModel {
+    image_latency: SimDuration,
+    cpu_work: SimDuration,
+}
+
+impl Default for ColdStartModel {
+    /// Defaults calibrated to the paper's testbed, where a cold start on an
+    /// idle host takes just over a second (Fig. 11(b)): 500 ms image/runtime
+    /// phase + 800 ms of CPU work (interpreter boot and imports).
+    fn default() -> Self {
+        ColdStartModel {
+            image_latency: SimDuration::from_millis(500),
+            cpu_work: SimDuration::from_millis(800),
+        }
+    }
+}
+
+impl ColdStartModel {
+    /// Creates a model with explicit phase costs.
+    pub fn new(image_latency: SimDuration, cpu_work: SimDuration) -> Self {
+        ColdStartModel {
+            image_latency,
+            cpu_work,
+        }
+    }
+
+    /// The fixed image/runtime phase latency.
+    pub fn image_latency(&self) -> SimDuration {
+        self.image_latency
+    }
+
+    /// Host CPU work (core-time) burned by one container start.
+    pub fn cpu_work(&self) -> SimDuration {
+        self.cpu_work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_roundtrip() {
+        let f = FunctionId::new(2);
+        let spec = ContainerSpec::new(f)
+            .with_cpu_limit(2.0)
+            .with_base_memory(64 * MIB);
+        assert_eq!(spec.function(), f);
+        assert_eq!(spec.cpu_limit(), Some(2.0));
+        assert_eq!(spec.base_memory_bytes(), 64 * MIB);
+    }
+
+    #[test]
+    fn spec_defaults() {
+        let spec = ContainerSpec::new(FunctionId::new(0));
+        assert_eq!(spec.cpu_limit(), None);
+        assert_eq!(spec.base_memory_bytes(), ContainerSpec::DEFAULT_BASE_MEMORY);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cpu limit")]
+    fn zero_cpu_limit_panics() {
+        let _ = ContainerSpec::new(FunctionId::new(0)).with_cpu_limit(0.0);
+    }
+
+    #[test]
+    fn cold_start_model_defaults_are_about_a_second() {
+        let m = ColdStartModel::default();
+        let total = m.image_latency() + m.cpu_work();
+        assert!(total >= SimDuration::from_secs(1));
+        assert!(total < SimDuration::from_secs(2));
+    }
+}

@@ -1,0 +1,649 @@
+//! A live (real-thread) FaaSBatch platform.
+//!
+//! This is the runnable counterpart of the simulated policy: a front door
+//! that accepts invocations, a dispatcher that batches them per function
+//! across a wall-clock window (Invoke Mapper), warm container reuse, group
+//! expansion on real OS threads (Inline-Parallel Producer), and a
+//! per-container [`ResourceMultiplexer`] for storage clients. The examples
+//! and the motivation benchmarks (Fig. 1/4/5) run on this.
+
+use crate::multiplexer::{MultiplexerStats, ResourceMultiplexer};
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use faasbatch_storage::client::{ClientConfig, StorageClient, StorageSdk};
+use faasbatch_storage::object_store::ObjectStore;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Errors returned by the live platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// The invoked function name is not registered.
+    UnknownFunction(String),
+    /// The platform is shutting down and cannot accept work.
+    ShuttingDown,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownFunction(name) => write!(f, "unknown function: {name}"),
+            PlatformError::ShuttingDown => write!(f, "platform is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// Per-invocation outcome reported back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvokeOutcome {
+    /// Time spent waiting for the dispatch window and a container.
+    pub queued: Duration,
+    /// Time the handler body ran.
+    pub execution: Duration,
+    /// Whether this batch had to create a fresh container.
+    pub cold: bool,
+    /// Whether the handler panicked (the platform contains the panic; the
+    /// rest of the batch and the container survive).
+    pub panicked: bool,
+}
+
+impl InvokeOutcome {
+    /// Queued + execution.
+    pub fn total(&self) -> Duration {
+        self.queued + self.execution
+    }
+}
+
+/// Aggregate view over a set of live outcomes (one burst, one benchmark
+/// run, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutcomeSummary {
+    /// Outcomes aggregated.
+    pub count: usize,
+    /// Cold invocations.
+    pub cold: usize,
+    /// Panicked invocations.
+    pub panicked: usize,
+    /// Mean queued time.
+    pub mean_queued: Duration,
+    /// Mean execution time.
+    pub mean_execution: Duration,
+    /// Worst end-to-end time.
+    pub max_total: Duration,
+}
+
+impl OutcomeSummary {
+    /// Summarises `outcomes` (all zeroes when empty).
+    pub fn from_outcomes(outcomes: &[InvokeOutcome]) -> OutcomeSummary {
+        if outcomes.is_empty() {
+            return OutcomeSummary::default();
+        }
+        let n = outcomes.len() as u32;
+        OutcomeSummary {
+            count: outcomes.len(),
+            cold: outcomes.iter().filter(|o| o.cold).count(),
+            panicked: outcomes.iter().filter(|o| o.panicked).count(),
+            mean_queued: outcomes.iter().map(|o| o.queued).sum::<Duration>() / n,
+            mean_execution: outcomes.iter().map(|o| o.execution).sum::<Duration>() / n,
+            max_total: outcomes.iter().map(InvokeOutcome::total).max().unwrap_or_default(),
+        }
+    }
+}
+
+/// Handle to a pending invocation.
+#[derive(Debug)]
+pub struct InvokeTicket {
+    rx: Receiver<InvokeOutcome>,
+}
+
+impl InvokeTicket {
+    /// Blocks until the invocation completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform was torn down before the invocation ran
+    /// (cannot happen through the public API, which drains on shutdown).
+    pub fn wait(self) -> InvokeOutcome {
+        self.rx.recv().expect("invocation dropped by platform")
+    }
+}
+
+/// The services visible to a handler inside its container.
+pub struct ContainerEnv {
+    id: u64,
+    multiplexer: ResourceMultiplexer<StorageClient>,
+    sdk: StorageSdk,
+    multiplex: bool,
+}
+
+impl fmt::Debug for ContainerEnv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ContainerEnv").field("id", &self.id).finish()
+    }
+}
+
+impl ContainerEnv {
+    /// This container's id (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Obtains a storage client for `config` — through the Resource
+    /// Multiplexer when it is enabled (one creation per distinct config per
+    /// container), or by building a fresh client every time (the baseline
+    /// behaviour the paper measures in Fig. 4/5).
+    pub fn storage_client(&self, config: &ClientConfig) -> Arc<StorageClient> {
+        if self.multiplex {
+            self.multiplexer
+                .get_or_create(config, || self.sdk.connect(config))
+        } else {
+            Arc::new(self.sdk.connect(config))
+        }
+    }
+
+    /// Hit/miss counters of this container's multiplexer.
+    pub fn multiplexer_stats(&self) -> MultiplexerStats {
+        self.multiplexer.stats()
+    }
+}
+
+/// What a handler sees for one invocation.
+pub struct InvocationEnv<'a> {
+    /// Caller-supplied payload.
+    pub payload: Bytes,
+    /// The container's shared services.
+    pub container: &'a ContainerEnv,
+}
+
+/// A registered function body.
+pub type Handler = Arc<dyn Fn(&InvocationEnv<'_>) + Send + Sync>;
+
+struct Request {
+    function: usize,
+    payload: Bytes,
+    enqueued: Instant,
+    reply: Sender<InvokeOutcome>,
+}
+
+enum Message {
+    Invoke(Request),
+    Flush(Sender<()>),
+}
+
+/// Aggregate counters of a live platform.
+#[derive(Debug, Default)]
+pub struct PlatformStats {
+    /// Containers created (cold starts).
+    pub containers_created: AtomicU64,
+    /// Batches dispatched.
+    pub batches: AtomicU64,
+    /// Invocations completed.
+    pub invocations: AtomicU64,
+    /// Storage clients actually built across all containers.
+    pub clients_created: AtomicU64,
+}
+
+/// Builder for [`FaasBatchPlatform`].
+pub struct PlatformBuilder {
+    window: Duration,
+    multiplex: bool,
+    cold_start_delay: Duration,
+    store: ObjectStore,
+    functions: Vec<(String, Handler)>,
+}
+
+impl fmt::Debug for PlatformBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlatformBuilder")
+            .field("window", &self.window)
+            .field("multiplex", &self.multiplex)
+            .field("functions", &self.functions.len())
+            .finish()
+    }
+}
+
+impl Default for PlatformBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlatformBuilder {
+    /// Starts a builder with the paper's defaults (200 ms window,
+    /// multiplexer on).
+    pub fn new() -> Self {
+        PlatformBuilder {
+            window: Duration::from_millis(200),
+            multiplex: true,
+            cold_start_delay: Duration::from_millis(25),
+            store: ObjectStore::new(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// Sets the dispatch window.
+    pub fn window(mut self, window: Duration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Enables or disables the Resource Multiplexer.
+    pub fn multiplex(mut self, on: bool) -> Self {
+        self.multiplex = on;
+        self
+    }
+
+    /// Sets the synthetic cold-start delay paid when a fresh container must
+    /// be created.
+    pub fn cold_start_delay(mut self, delay: Duration) -> Self {
+        self.cold_start_delay = delay;
+        self
+    }
+
+    /// Supplies the object store backing the containers' storage SDKs.
+    pub fn store(mut self, store: ObjectStore) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Registers a function body under `name`.
+    pub fn register(
+        mut self,
+        name: &str,
+        handler: impl Fn(&InvocationEnv<'_>) + Send + Sync + 'static,
+    ) -> Self {
+        self.functions.push((name.to_owned(), Arc::new(handler)));
+        self
+    }
+
+    /// Starts the dispatcher and returns the running platform.
+    pub fn start(self) -> FaasBatchPlatform {
+        let (tx, rx) = channel::unbounded();
+        let stats = Arc::new(PlatformStats::default());
+        let names: Vec<String> = self.functions.iter().map(|(n, _)| n.clone()).collect();
+        let dispatcher = Dispatcher {
+            rx,
+            window: self.window,
+            multiplex: self.multiplex,
+            cold_start_delay: self.cold_start_delay,
+            store: self.store,
+            handlers: self.functions.into_iter().map(|(_, h)| h).collect(),
+            warm: Arc::new(Mutex::new(HashMap::new())),
+            stats: stats.clone(),
+            next_container: 0,
+            group_threads: Vec::new(),
+        };
+        let handle = std::thread::Builder::new()
+            .name("faasbatch-dispatcher".to_owned())
+            .spawn(move || dispatcher.run())
+            .expect("spawn dispatcher");
+        FaasBatchPlatform {
+            tx: Some(tx),
+            dispatcher: Some(handle),
+            names,
+            stats,
+        }
+    }
+}
+
+struct Dispatcher {
+    rx: Receiver<Message>,
+    window: Duration,
+    multiplex: bool,
+    cold_start_delay: Duration,
+    store: ObjectStore,
+    handlers: Vec<Handler>,
+    warm: Arc<Mutex<HashMap<usize, Vec<Arc<ContainerEnv>>>>>,
+    stats: Arc<PlatformStats>,
+    next_container: u64,
+    group_threads: Vec<JoinHandle<()>>,
+}
+
+impl Dispatcher {
+    fn run(mut self) {
+        let mut open = true;
+        while open {
+            // Invoke-Mapper phase: buffer one window's worth of requests.
+            let deadline = Instant::now() + self.window;
+            let mut flushes: Vec<Sender<()>> = Vec::new();
+            let mut groups: HashMap<usize, Vec<Request>> = HashMap::new();
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match self.rx.recv_timeout(deadline - now) {
+                    Ok(Message::Invoke(req)) => groups.entry(req.function).or_default().push(req),
+                    Ok(Message::Flush(done)) => flushes.push(done),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        open = false;
+                        break;
+                    }
+                }
+            }
+            // Inline-Parallel-Producer phase: one container per group, all
+            // groups in parallel, threads inside each group.
+            let mut order: Vec<usize> = groups.keys().copied().collect();
+            order.sort_unstable();
+            for function in order {
+                let batch = groups.remove(&function).expect("group exists");
+                self.spawn_group(function, batch);
+            }
+            self.group_threads.retain(|h| !h.is_finished());
+            if !flushes.is_empty() {
+                // A flush acknowledges only after every in-flight group ran.
+                for h in self.group_threads.drain(..) {
+                    let _ = h.join();
+                }
+                for done in flushes {
+                    let _ = done.send(());
+                }
+            }
+        }
+        for h in self.group_threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn spawn_group(&mut self, function: usize, batch: Vec<Request>) {
+        let handler = self.handlers[function].clone();
+        let warm = self.warm.clone();
+        let stats = self.stats.clone();
+        let (env, cold) = self.acquire_container(function);
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        if cold {
+            self.stats.containers_created.fetch_add(1, Ordering::Relaxed);
+        }
+        let cold_delay = self.cold_start_delay;
+        let batch_size = batch.len() as u64;
+        let handle = std::thread::Builder::new()
+            .name(format!("faasbatch-ctr-{}", env.id()))
+            .spawn(move || {
+                if cold {
+                    std::thread::sleep(cold_delay);
+                }
+                let sdk_creations_before = env.sdk.total_creations() as u64;
+                std::thread::scope(|scope| {
+                    for req in batch {
+                        let env = &env;
+                        let handler = handler.clone();
+                        scope.spawn(move || {
+                            let started = Instant::now();
+                            let ctx = InvocationEnv {
+                                payload: req.payload.clone(),
+                                container: env,
+                            };
+                            // A user function crashing must not take down the
+                            // container or starve its batch siblings.
+                            let result = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| handler(&ctx)),
+                            );
+                            let outcome = InvokeOutcome {
+                                queued: started.duration_since(req.enqueued),
+                                execution: started.elapsed(),
+                                cold,
+                                panicked: result.is_err(),
+                            };
+                            let _ = req.reply.send(outcome);
+                        });
+                    }
+                });
+                let created = env.sdk.total_creations() as u64 - sdk_creations_before;
+                stats.clients_created.fetch_add(created, Ordering::Relaxed);
+                stats.invocations.fetch_add(batch_size, Ordering::Relaxed);
+                // Return the container to the warm pool.
+                warm.lock().entry(function).or_default().push(env);
+            })
+            .expect("spawn group thread");
+        self.group_threads.push(handle);
+    }
+
+    fn acquire_container(&mut self, function: usize) -> (Arc<ContainerEnv>, bool) {
+        if let Some(env) = self.warm.lock().get_mut(&function).and_then(Vec::pop) {
+            return (env, false);
+        }
+        let id = self.next_container;
+        self.next_container += 1;
+        (
+            Arc::new(ContainerEnv {
+                id,
+                multiplexer: ResourceMultiplexer::new(),
+                sdk: StorageSdk::new(self.store.clone()),
+                multiplex: self.multiplex,
+            }),
+            true,
+        )
+    }
+}
+
+/// The running live platform. Dropping it drains in-flight work and joins
+/// the dispatcher.
+#[derive(Debug)]
+pub struct FaasBatchPlatform {
+    tx: Option<Sender<Message>>,
+    dispatcher: Option<JoinHandle<()>>,
+    names: Vec<String>,
+    stats: Arc<PlatformStats>,
+}
+
+impl FaasBatchPlatform {
+    /// Submits an invocation of `function` with `payload`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownFunction`] if the name is not registered;
+    /// [`PlatformError::ShuttingDown`] if the platform is stopping.
+    pub fn invoke(&self, function: &str, payload: Bytes) -> Result<InvokeTicket, PlatformError> {
+        let idx = self
+            .names
+            .iter()
+            .position(|n| n == function)
+            .ok_or_else(|| PlatformError::UnknownFunction(function.to_owned()))?;
+        let (reply, rx) = channel::bounded(1);
+        let tx = self.tx.as_ref().ok_or(PlatformError::ShuttingDown)?;
+        tx.send(Message::Invoke(Request {
+            function: idx,
+            payload,
+            enqueued: Instant::now(),
+            reply,
+        }))
+        .map_err(|_| PlatformError::ShuttingDown)?;
+        Ok(InvokeTicket { rx })
+    }
+
+    /// Blocks until every invocation submitted so far has completed.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::ShuttingDown`] if the platform is stopping.
+    pub fn drain(&self) -> Result<(), PlatformError> {
+        let (done, rx) = channel::bounded(1);
+        let tx = self.tx.as_ref().ok_or(PlatformError::ShuttingDown)?;
+        tx.send(Message::Flush(done))
+            .map_err(|_| PlatformError::ShuttingDown)?;
+        rx.recv().map_err(|_| PlatformError::ShuttingDown)
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &PlatformStats {
+        &self.stats
+    }
+
+    /// Registered function names, in registration order.
+    pub fn functions(&self) -> &[String] {
+        &self.names
+    }
+}
+
+impl Drop for FaasBatchPlatform {
+    fn drop(&mut self) {
+        // Closing the channel lets the dispatcher drain and exit.
+        self.tx.take();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn fast_platform(multiplex: bool) -> (FaasBatchPlatform, Arc<AtomicUsize>) {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        let store = ObjectStore::new();
+        store.create_bucket("b").unwrap();
+        let platform = PlatformBuilder::new()
+            .window(Duration::from_millis(10))
+            .multiplex(multiplex)
+            .cold_start_delay(Duration::from_millis(1))
+            .store(store)
+            .register("count", move |_env| {
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .register("io", |env| {
+                let client = env.container.storage_client(&ClientConfig::for_bucket("b"));
+                client.put("k", Bytes::from_static(b"v")).unwrap();
+            })
+            .start();
+        (platform, counter)
+    }
+
+    #[test]
+    fn invoke_runs_handler_and_reports_timing() {
+        let (platform, counter) = fast_platform(true);
+        let ticket = platform.invoke("count", Bytes::new()).unwrap();
+        let outcome = ticket.wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        assert!(outcome.cold, "first invocation is cold");
+        assert!(outcome.total() >= outcome.execution);
+    }
+
+    #[test]
+    fn unknown_function_is_rejected() {
+        let (platform, _) = fast_platform(true);
+        assert_eq!(
+            platform.invoke("nope", Bytes::new()).unwrap_err(),
+            PlatformError::UnknownFunction("nope".into())
+        );
+    }
+
+    #[test]
+    fn concurrent_invocations_batch_into_one_container() {
+        let (platform, counter) = fast_platform(true);
+        let tickets: Vec<_> = (0..16)
+            .map(|_| platform.invoke("count", Bytes::new()).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        // All 16 arrived within one window: at most a couple of containers
+        // even under scheduling jitter.
+        let containers = platform.stats().containers_created.load(Ordering::Relaxed);
+        assert!(containers <= 3, "created {containers} containers");
+    }
+
+    #[test]
+    fn warm_reuse_after_first_batch() {
+        let (platform, _) = fast_platform(true);
+        platform.invoke("count", Bytes::new()).unwrap().wait();
+        let second = platform.invoke("count", Bytes::new()).unwrap().wait();
+        assert!(!second.cold, "second invocation should be warm");
+    }
+
+    #[test]
+    fn multiplexer_limits_client_creations() {
+        let (platform, _) = fast_platform(true);
+        let tickets: Vec<_> = (0..12)
+            .map(|_| platform.invoke("io", Bytes::new()).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait();
+        }
+        platform.drain().unwrap();
+        let created = platform.stats().clients_created.load(Ordering::Relaxed);
+        let containers = platform.stats().containers_created.load(Ordering::Relaxed);
+        assert!(
+            created <= containers,
+            "multiplexed: {created} clients for {containers} containers"
+        );
+    }
+
+    #[test]
+    fn without_multiplexer_every_invocation_creates() {
+        let (platform, _) = fast_platform(false);
+        let tickets: Vec<_> = (0..8)
+            .map(|_| platform.invoke("io", Bytes::new()).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait();
+        }
+        platform.drain().unwrap();
+        assert_eq!(platform.stats().clients_created.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn outcome_summary_aggregates() {
+        let mk = |q: u64, e: u64, cold: bool, panicked: bool| InvokeOutcome {
+            queued: Duration::from_millis(q),
+            execution: Duration::from_millis(e),
+            cold,
+            panicked,
+        };
+        let s = OutcomeSummary::from_outcomes(&[
+            mk(10, 20, true, false),
+            mk(30, 40, false, true),
+        ]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.cold, 1);
+        assert_eq!(s.panicked, 1);
+        assert_eq!(s.mean_queued, Duration::from_millis(20));
+        assert_eq!(s.mean_execution, Duration::from_millis(30));
+        assert_eq!(s.max_total, Duration::from_millis(70));
+        assert_eq!(OutcomeSummary::from_outcomes(&[]), OutcomeSummary::default());
+    }
+
+    #[test]
+    fn panicking_handler_is_contained() {
+        let store = ObjectStore::new();
+        store.create_bucket("b").unwrap();
+        let platform = PlatformBuilder::new()
+            .window(Duration::from_millis(10))
+            .store(store)
+            .register("boom", |env| {
+                if env.payload.is_empty() {
+                    panic!("user function crashed");
+                }
+            })
+            .start();
+        // Crash and success share one batch; both must report back.
+        let crash = platform.invoke("boom", Bytes::new()).unwrap();
+        let ok = platform.invoke("boom", Bytes::from_static(b"x")).unwrap();
+        assert!(crash.wait().panicked);
+        assert!(!ok.wait().panicked);
+        // The container survives for the next invocation.
+        let again = platform.invoke("boom", Bytes::from_static(b"y")).unwrap().wait();
+        assert!(!again.panicked);
+    }
+
+    #[test]
+    fn drop_drains_cleanly() {
+        let (platform, counter) = fast_platform(true);
+        for _ in 0..4 {
+            let _ = platform.invoke("count", Bytes::new()).unwrap();
+        }
+        drop(platform);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

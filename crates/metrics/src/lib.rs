@@ -1,0 +1,44 @@
+//! # faasbatch-metrics
+//!
+//! Measurement plumbing for the FaaSBatch reproduction.
+//!
+//! The paper evaluates two axes — *invocation latency* (decomposed into
+//! scheduling, cold-start, queuing, and execution; Fig. 11/12) and *resource
+//! cost* (memory, container counts, CPU utilization sampled once per second;
+//! Fig. 13/14). This crate provides:
+//!
+//! * [`latency`] — [`latency::LatencyBreakdown`] and per-invocation
+//!   [`latency::InvocationRecord`]s with consistency checks;
+//! * [`stats`] — [`stats::Cdf`], nearest-rank quantiles (the p98 Kraken SLO
+//!   anchor), [`stats::Summary`];
+//! * [`sampler`] — the 1 Hz [`sampler::ResourceSampler`];
+//! * [`report`] — [`report::RunReport`], the serialisable bundle each
+//!   scheduler run produces and every figure harness consumes, plus
+//!   [`report::text_table`] rendering.
+//!
+//! # Examples
+//!
+//! ```
+//! use faasbatch_metrics::stats::Cdf;
+//! use faasbatch_simcore::time::SimDuration;
+//!
+//! let cdf = Cdf::from_samples((1..=100).map(SimDuration::from_millis).collect());
+//! assert_eq!(cdf.quantile(0.98), SimDuration::from_millis(98));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod latency;
+pub mod report;
+pub mod sampler;
+pub mod stats;
+pub mod timeline;
+
+pub use analysis::{against_all, Comparison};
+pub use latency::{InvocationRecord, LatencyBreakdown};
+pub use report::{percent_reduction, text_table, RunReport};
+pub use sampler::{ResourceSample, ResourceSampler};
+pub use stats::{Cdf, Summary};
+pub use timeline::{Series, Timeline};

@@ -1,0 +1,959 @@
+//! The shared execution harness: mechanism for every scheduling policy.
+//!
+//! [`run_simulation`] replays a [`Workload`] under one [`Policy`] on a
+//! simulated worker and produces a [`RunReport`]. The harness owns all
+//! *mechanism* so that policies differ only in *decisions*:
+//!
+//! * arrivals are injected at their trace timestamps;
+//! * each [`DispatchRequest`] first pays a
+//!   decision/launch cost on the container daemon (a capped CPU group —
+//!   per-invocation provisioning therefore queues up under bursts, the
+//!   root cause of Vanilla's and SFS's scheduling-latency explosion);
+//! * cold starts run their two phases (image latency, then runtime-boot CPU
+//!   inside the container's group) before the batch executes;
+//! * I/O-function bodies request a storage client first: creations are
+//!   serialized per container with Fig. 4's contention-scaled cost, and a
+//!   per-container *resource multiplexer* (FaaSBatch only) caches instances
+//!   by hashed creation args with single-flight semantics;
+//! * every completed invocation yields an [`InvocationRecord`] whose four
+//!   latency components are contiguous by construction;
+//! * host memory, CPU, and container counts are sampled once per second.
+
+use crate::config::SimConfig;
+use crate::policy::{Completion, Ctx, DispatchRequest, ExecMode, Policy};
+use faasbatch_container::cluster::Cluster;
+use faasbatch_container::ids::{ContainerId, FunctionId};
+use faasbatch_container::spec::ContainerSpec;
+use faasbatch_metrics::latency::{InvocationRecord, LatencyBreakdown};
+use faasbatch_metrics::report::RunReport;
+use faasbatch_metrics::sampler::{ResourceSample, ResourceSampler};
+use faasbatch_simcore::cpu::{CpuGroupId, CpuTaskId};
+use faasbatch_simcore::engine::{Engine, EventId};
+use faasbatch_simcore::memory::AllocationId;
+use faasbatch_simcore::time::{SimDuration, SimTime};
+use faasbatch_trace::function::{FunctionKind, FunctionRegistry};
+use faasbatch_trace::workload::{Invocation, Workload};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+
+/// Memory-ledger category for storage clients.
+const MEM_CLIENT: &str = "client";
+
+/// Identifies one dispatched batch inside the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct BatchId(u64);
+
+/// What a running CPU task represents.
+#[derive(Debug, Clone, Copy)]
+enum WorkKind {
+    /// Daemon-side decision / launch processing for a batch.
+    Decision(BatchId),
+    /// CPU phase of a cold start.
+    ColdBoot(BatchId),
+    /// Storage-client creation for one batch member.
+    ClientCreation(BatchId, usize),
+    /// The invocation body.
+    Body(BatchId, usize),
+    /// Daemon-side launch processing for a pre-warmed container.
+    PrewarmLaunch(ContainerId),
+    /// CPU phase of a pre-warming cold start.
+    PrewarmBoot(ContainerId),
+    /// Fire-and-forget platform overhead (e.g. SFS scheduler bookkeeping).
+    Overhead,
+}
+
+#[derive(Debug)]
+struct Batch {
+    mode: ExecMode,
+    multiplex: bool,
+    group_weight: f64,
+    completion: Completion,
+    invocations: Vec<Invocation>,
+    decision_done: Option<SimTime>,
+    container: Option<ContainerId>,
+    cold: bool,
+    ready_at: Option<SimTime>,
+    exec_start: Vec<Option<SimTime>>,
+    /// Per-member own-chain finish instants (barrier accounting for
+    /// [`Completion::PerBatch`]).
+    own_finish: Vec<Option<SimTime>>,
+    serial_next: usize,
+    remaining: usize,
+}
+
+/// Per-container harness state that outlives individual batches (warm reuse
+/// keeps the multiplexer cache alive, as in the paper's Fig. 8).
+#[derive(Debug, Default)]
+struct ContainerExt {
+    /// Multiplexer cache: hashed creation args → live client allocation.
+    client_cache: HashMap<u64, AllocationId>,
+    /// Single-flight: args hash → batch members waiting on the in-flight
+    /// creation.
+    in_flight: HashMap<u64, Vec<(BatchId, usize)>>,
+    /// Creations waiting their turn (serialized per container).
+    creation_queue: VecDeque<(BatchId, usize)>,
+    /// Whether a creation is currently executing.
+    creating: bool,
+}
+
+/// The full mechanism state of one simulation run.
+pub struct SimWorld {
+    cfg: SimConfig,
+    cluster: Cluster,
+    registry: FunctionRegistry,
+    daemon_group: CpuGroupId,
+    batches: HashMap<BatchId, Batch>,
+    next_batch: u64,
+    running: HashMap<CpuTaskId, WorkKind>,
+    cpu_event: Option<EventId>,
+    ext: HashMap<ContainerId, ContainerExt>,
+    transient_clients: HashMap<(BatchId, usize), AllocationId>,
+    records: Vec<InvocationRecord>,
+    sampler: ResourceSampler,
+    total: usize,
+    completed: usize,
+    first_arrival: SimTime,
+    last_completion: SimTime,
+    client_requests: u64,
+    clients_created: u64,
+    client_bytes_allocated: u64,
+}
+
+impl std::fmt::Debug for SimWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimWorld")
+            .field("completed", &self.completed)
+            .field("total", &self.total)
+            .field("batches", &self.batches.len())
+            .finish()
+    }
+}
+
+impl SimWorld {
+    fn new(cfg: SimConfig, workload: &Workload) -> Self {
+        let mut cluster = Cluster::new(cfg.cores, cfg.cold_start.clone(), cfg.keep_alive);
+        let daemon_group = cluster.cpu_mut().create_group(Some(cfg.daemon_cores));
+        SimWorld {
+            cluster,
+            registry: workload.registry().clone(),
+            daemon_group,
+            batches: HashMap::new(),
+            next_batch: 0,
+            running: HashMap::new(),
+            cpu_event: None,
+            ext: HashMap::new(),
+            transient_clients: HashMap::new(),
+            records: Vec::with_capacity(workload.len()),
+            sampler: ResourceSampler::new(),
+            total: workload.len(),
+            completed: 0,
+            first_arrival: workload
+                .invocations()
+                .first()
+                .map_or(SimTime::ZERO, |i| i.arrival),
+            last_completion: SimTime::ZERO,
+            client_requests: 0,
+            clients_created: 0,
+            client_bytes_allocated: 0,
+            cfg,
+        }
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The workload's registry.
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// Completed invocations.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Total invocations.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Idle warm containers for `function`.
+    pub fn warm_count(&self, function: FunctionId) -> usize {
+        self.cluster.warm_count(function)
+    }
+
+    fn done(&self) -> bool {
+        self.completed == self.total
+    }
+}
+
+/// World + policy: the engine's state type.
+pub struct Sim {
+    /// Mechanism state.
+    pub world: SimWorld,
+    /// Decision state.
+    pub policy: Box<dyn Policy>,
+}
+
+fn hash_key<T: Hash>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Schedules `policy.on_timer(token)` after `delay`.
+pub(crate) fn schedule_policy_timer(engine: &mut Engine<Sim>, delay: SimDuration, token: u64) {
+    engine.schedule_in(delay, move |sim: &mut Sim, engine| {
+        {
+            let Sim { world, policy } = sim;
+            policy.on_timer(&mut Ctx { world, engine }, token);
+        }
+        pump_cpu(&mut sim.world, engine);
+    });
+}
+
+/// Adjusts one live container's CPU fair-share weight.
+pub(crate) fn set_container_weight(
+    world: &mut SimWorld,
+    now: SimTime,
+    container: ContainerId,
+    weight: f64,
+) {
+    let group = world.cluster.container(container).cpu_group();
+    world.cluster.cpu_mut().set_group_weight(now, group, weight);
+}
+
+/// Bulk weight adjustment with a single rate recomputation.
+pub(crate) fn set_container_weights(
+    world: &mut SimWorld,
+    now: SimTime,
+    updates: &[(ContainerId, f64)],
+) {
+    let group_updates: Vec<_> = updates
+        .iter()
+        .map(|&(cid, w)| (world.cluster.container(cid).cpu_group(), w))
+        .collect();
+    world.cluster.cpu_mut().set_group_weights(now, &group_updates);
+}
+
+/// Entry point for [`Ctx::dispatch`]: registers the batch and starts its
+/// daemon-side decision work.
+pub(crate) fn dispatch(world: &mut SimWorld, engine: &mut Engine<Sim>, req: DispatchRequest) {
+    assert!(!req.invocations.is_empty(), "dispatch of empty batch");
+    let function = req.invocations[0].function;
+    assert!(
+        req.invocations.iter().all(|i| i.function == function),
+        "batch mixes functions"
+    );
+    let now = engine.now();
+    let id = BatchId(world.next_batch);
+    world.next_batch += 1;
+
+    let mut spec =
+        ContainerSpec::new(function).with_base_memory(world.cfg.container_base_memory);
+    if let Some(limit) = req.cpu_limit {
+        spec = spec.with_cpu_limit(limit);
+    }
+
+    // The container binds at dispatch time, as real platforms do: a warm
+    // container is reserved immediately; otherwise a new one is committed
+    // (and later-arriving requests cannot claim it). Routing to a warm
+    // container is cheap; a launch costs real daemon CPU (`docker run`).
+    let acq = world.cluster.acquire(now, &spec);
+    let cid = acq.container();
+    world.ext.entry(cid).or_default();
+    let decision_work = if acq.is_cold() {
+        world.cfg.container_launch_work
+    } else {
+        world.cfg.warm_dispatch_work
+    };
+    if !req.extra_platform_work.is_zero() {
+        let t = world.cluster.start_platform_work(now, req.extra_platform_work);
+        world.running.insert(t, WorkKind::Overhead);
+    }
+    let n = req.invocations.len();
+    world.batches.insert(
+        id,
+        Batch {
+            mode: req.mode,
+            multiplex: req.multiplex_clients,
+            group_weight: req.group_weight,
+            completion: req.completion,
+            invocations: req.invocations,
+            decision_done: None,
+            container: Some(cid),
+            cold: acq.is_cold(),
+            ready_at: None,
+            exec_start: vec![None; n],
+            own_finish: vec![None; n],
+            serial_next: 0,
+            remaining: n,
+        },
+    );
+    let task = world
+        .cluster
+        .cpu_mut()
+        .add_task(now, world.daemon_group, decision_work);
+    world.running.insert(task, WorkKind::Decision(id));
+    // The caller (arrival/timer/cpu-tick wrapper) pumps the CPU afterwards.
+}
+
+/// Pre-warms `count` fresh containers for `function`: each pays the full
+/// launch + cold-start pipeline and lands in the warm pool when ready —
+/// Kraken's EWMA-driven provisioning uses this.
+pub(crate) fn prewarm(
+    world: &mut SimWorld,
+    engine: &mut Engine<Sim>,
+    function: FunctionId,
+    count: usize,
+) {
+    let now = engine.now();
+    for _ in 0..count {
+        let spec =
+            ContainerSpec::new(function).with_base_memory(world.cfg.container_base_memory);
+        let cid = world.cluster.provision_cold(now, &spec);
+        world.ext.entry(cid).or_default();
+        let task = world
+            .cluster
+            .cpu_mut()
+            .add_task(now, world.daemon_group, world.cfg.container_launch_work);
+        world.running.insert(task, WorkKind::PrewarmLaunch(cid));
+    }
+}
+
+/// (Re)arms the single pending CPU-completion event.
+fn pump_cpu(world: &mut SimWorld, engine: &mut Engine<Sim>) {
+    if let Some(ev) = world.cpu_event.take() {
+        engine.cancel(ev);
+    }
+    if let Some((when, _)) = world.cluster.cpu().next_completion(engine.now()) {
+        let ev = engine.schedule_at(when, cpu_tick);
+        world.cpu_event = Some(ev);
+    }
+}
+
+fn cpu_tick(sim: &mut Sim, engine: &mut Engine<Sim>) {
+    let now = engine.now();
+    sim.world.cpu_event = None;
+    let finished = sim.world.cluster.cpu_mut().advance_to(now);
+    for task in finished {
+        let kind = sim
+            .world
+            .running
+            .remove(&task)
+            .expect("completed CPU task not registered");
+        match kind {
+            WorkKind::Decision(b) => on_decision_done(sim, engine, b),
+            WorkKind::ColdBoot(b) => on_cold_boot_done(sim, engine, b),
+            WorkKind::ClientCreation(b, i) => on_creation_done(sim, engine, b, i),
+            WorkKind::Body(b, i) => on_body_done(sim, engine, b, i),
+            WorkKind::PrewarmLaunch(cid) => {
+                // Daemon processed the launch; begin the boot phases.
+                let image = sim.world.cfg.cold_start.image_latency();
+                engine.schedule_in(image, move |sim: &mut Sim, engine| {
+                    let now = engine.now();
+                    let world = &mut sim.world;
+                    let boot = world.cluster.start_cold_cpu_work(now, cid);
+                    world.running.insert(boot, WorkKind::PrewarmBoot(cid));
+                    pump_cpu(world, engine);
+                });
+            }
+            WorkKind::PrewarmBoot(cid) => {
+                sim.world.cluster.finish_cold_start_idle(now, cid);
+            }
+            WorkKind::Overhead => {}
+        }
+    }
+    pump_cpu(&mut sim.world, engine);
+}
+
+fn on_decision_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId) {
+    let now = engine.now();
+    let world = &mut sim.world;
+    let batch = world.batches.get_mut(&id).expect("unknown batch");
+    batch.decision_done = Some(now);
+    let cid = batch.container.expect("container bound at dispatch");
+    if batch.cold {
+        // The daemon has processed the launch; the container now boots
+        // (image/runtime phase, then CPU phase inside its own group).
+        let image = world.cfg.cold_start.image_latency();
+        engine.schedule_in(image, move |sim: &mut Sim, engine| {
+            let now = engine.now();
+            let world = &mut sim.world;
+            let task = world.cluster.start_cold_cpu_work(now, cid);
+            world.running.insert(task, WorkKind::ColdBoot(id));
+            pump_cpu(world, engine);
+        });
+    } else {
+        batch.ready_at = Some(now);
+        let function = batch.invocations[0].function;
+        let weight = batch.group_weight;
+        set_container_weight(world, now, cid, weight);
+        start_batch_execution(world, now, id);
+        let Sim { world, policy } = sim;
+        policy.on_batch_ready(&mut Ctx { world, engine }, cid, function);
+    }
+}
+
+fn on_cold_boot_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId) {
+    let now = engine.now();
+    let world = &mut sim.world;
+    let cid = world.batches[&id].container.expect("cold boot without container");
+    world.cluster.finish_cold_start(now, cid);
+    world.batches.get_mut(&id).expect("unknown batch").ready_at = Some(now);
+    let function = world.batches[&id].invocations[0].function;
+    let weight = world.batches[&id].group_weight;
+    set_container_weight(world, now, cid, weight);
+    start_batch_execution(world, now, id);
+    let Sim { world, policy } = sim;
+    policy.on_batch_ready(&mut Ctx { world, engine }, cid, function);
+}
+
+fn start_batch_execution(world: &mut SimWorld, now: SimTime, id: BatchId) {
+    let (mode, n) = {
+        let batch = &world.batches[&id];
+        (batch.mode, batch.invocations.len())
+    };
+    match mode {
+        ExecMode::Parallel => {
+            for idx in 0..n {
+                start_invocation_chain(world, now, id, idx);
+            }
+        }
+        ExecMode::Serial => {
+            world.batches.get_mut(&id).expect("unknown batch").serial_next = 1;
+            start_invocation_chain(world, now, id, 0);
+        }
+    }
+}
+
+/// Begins one invocation's execution inside its container: client phase
+/// (I/O functions) then body.
+fn start_invocation_chain(world: &mut SimWorld, now: SimTime, id: BatchId, idx: usize) {
+    let (function, multiplex, cid) = {
+        let batch = world.batches.get_mut(&id).expect("unknown batch");
+        batch.exec_start[idx] = Some(now);
+        (
+            batch.invocations[idx].function,
+            batch.multiplex,
+            batch.container.expect("chain without container"),
+        )
+    };
+    let kind = world.registry.profile(function).kind.clone();
+    match kind {
+        FunctionKind::Cpu { .. } => start_body(world, now, id, idx),
+        FunctionKind::Io { ref bucket, .. } => {
+            world.client_requests += 1;
+            let key = hash_key(bucket);
+            let ext = world.ext.get_mut(&cid).expect("container ext exists");
+            if multiplex {
+                if ext.client_cache.contains_key(&key) {
+                    // Multiplexer hit: reuse the cached instance for free.
+                    start_body(world, now, id, idx);
+                } else if let Some(waiters) = ext.in_flight.get_mut(&key) {
+                    // Single-flight: someone is already building this client.
+                    waiters.push((id, idx));
+                } else {
+                    ext.in_flight.insert(key, Vec::new());
+                    enqueue_creation(world, now, cid, id, idx);
+                }
+            } else {
+                enqueue_creation(world, now, cid, id, idx);
+            }
+        }
+    }
+}
+
+fn enqueue_creation(
+    world: &mut SimWorld,
+    now: SimTime,
+    cid: ContainerId,
+    id: BatchId,
+    idx: usize,
+) {
+    let ext = world.ext.get_mut(&cid).expect("container ext exists");
+    ext.creation_queue.push_back((id, idx));
+    start_next_creation(world, now, cid);
+}
+
+/// Pops the next queued creation (if none is running) and starts its CPU
+/// work; per-creation cost scales with how many creations are simultaneously
+/// wanted in this container (Fig. 4's contention curve).
+fn start_next_creation(world: &mut SimWorld, now: SimTime, cid: ContainerId) {
+    let (id, idx, concurrent) = {
+        let ext = world.ext.get_mut(&cid).expect("container ext exists");
+        if ext.creating {
+            return;
+        }
+        let Some((id, idx)) = ext.creation_queue.pop_front() else {
+            return;
+        };
+        ext.creating = true;
+        (id, idx, ext.creation_queue.len() + 1)
+    };
+    let work = world.cfg.client_cost.creation_work(concurrent);
+    let task = world.cluster.start_invocation_work(now, cid, work);
+    world.running.insert(task, WorkKind::ClientCreation(id, idx));
+}
+
+fn on_creation_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: usize) {
+    let now = engine.now();
+    let world = &mut sim.world;
+    let (cid, multiplex, bucket) = {
+        let batch = &world.batches[&id];
+        let function = batch.invocations[idx].function;
+        let bucket = match &world.registry.profile(function).kind {
+            FunctionKind::Io { bucket, .. } => bucket.clone(),
+            FunctionKind::Cpu { .. } => unreachable!("creation for CPU function"),
+        };
+        (
+            batch.container.expect("no container"),
+            batch.multiplex,
+            bucket,
+        )
+    };
+    let bytes = world.cfg.client_cost.memory_per_client;
+    let alloc = world.cluster.mem_mut().alloc(now, MEM_CLIENT, bytes);
+    world.clients_created += 1;
+    world.client_bytes_allocated += bytes;
+
+    let key = hash_key(&bucket);
+    let waiters = {
+        let ext = world.ext.get_mut(&cid).expect("container ext exists");
+        ext.creating = false;
+        if multiplex {
+            ext.client_cache.insert(key, alloc);
+            ext.in_flight.remove(&key).unwrap_or_default()
+        } else {
+            world.transient_clients.insert((id, idx), alloc);
+            Vec::new()
+        }
+    };
+    // The creator proceeds to its body, as do all single-flight waiters.
+    start_body(world, now, id, idx);
+    for (wb, wi) in waiters {
+        start_body(world, now, wb, wi);
+    }
+    // Keep the serialized creation pipeline moving.
+    start_next_creation(world, now, cid);
+}
+
+fn start_body(world: &mut SimWorld, now: SimTime, id: BatchId, idx: usize) {
+    let (cid, work) = {
+        let batch = &world.batches[&id];
+        (
+            batch.container.expect("body without container"),
+            batch.invocations[idx].work,
+        )
+    };
+    let task = world.cluster.start_invocation_work(now, cid, work);
+    world.running.insert(task, WorkKind::Body(id, idx));
+}
+
+fn on_body_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: usize) {
+    let function = sim.world.batches[&id].invocations[idx].function;
+    let kind = sim.world.registry.profile(function).kind.clone();
+    match kind {
+        FunctionKind::Io { ops, .. } => {
+            // Object operations are service latency, not host CPU.
+            let delay = sim.world.cfg.client_cost.op_latency * ops as u64;
+            if delay.is_zero() {
+                finish_invocation(sim, engine, id, idx);
+            } else {
+                engine.schedule_in(delay, move |sim: &mut Sim, engine| {
+                    finish_invocation(sim, engine, id, idx);
+                    pump_cpu(&mut sim.world, engine);
+                });
+            }
+        }
+        FunctionKind::Cpu { .. } => finish_invocation(sim, engine, id, idx),
+    }
+}
+
+/// Builds the latency record for member `idx`, completing at `completion`.
+/// Under [`Completion::PerBatch`] the barrier wait between a member's own
+/// finish and the batch end is charged to queuing, keeping the components
+/// contiguous.
+fn build_record(batch: &Batch, idx: usize, completion: SimTime) -> InvocationRecord {
+    let inv = &batch.invocations[idx];
+    let decision_done = batch.decision_done.expect("no decision time");
+    let ready = batch.ready_at.expect("no ready time");
+    let exec_start = batch.exec_start[idx].expect("no exec start");
+    let own_finish = batch.own_finish[idx].expect("no finish time");
+    InvocationRecord {
+        id: inv.id,
+        function: inv.function,
+        container: batch.container.expect("no container"),
+        arrival: inv.arrival,
+        completion,
+        cold: batch.cold,
+        latency: LatencyBreakdown {
+            scheduling: decision_done.saturating_duration_since(inv.arrival),
+            cold_start: if batch.cold {
+                ready.saturating_duration_since(decision_done)
+            } else {
+                SimDuration::ZERO
+            },
+            queuing: exec_start.saturating_duration_since(ready)
+                + completion.saturating_duration_since(own_finish),
+            execution: own_finish.saturating_duration_since(exec_start),
+        },
+    }
+}
+
+fn finish_invocation(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: usize) {
+    let now = engine.now();
+    let record = {
+        let world = &mut sim.world;
+        if let Some(alloc) = world.transient_clients.remove(&(id, idx)) {
+            // Non-multiplexed clients die with their invocation (garbage
+            // collected when the handler returns).
+            world.cluster.mem_mut().free(now, alloc);
+        }
+        let batch = world.batches.get_mut(&id).expect("unknown batch");
+        batch.own_finish[idx] = Some(now);
+        match batch.completion {
+            Completion::PerInvocation => {
+                let record = build_record(batch, idx, now);
+                world.records.push(record);
+                world.completed += 1;
+                world.last_completion = now;
+                Some(record)
+            }
+            // The response is held until the whole group returns.
+            Completion::PerBatch => None,
+        }
+    };
+    if let Some(record) = record {
+        let Sim { world, policy } = sim;
+        policy.on_invocation_done(&mut Ctx { world, engine }, &record);
+    }
+    // Serial batches: hand the container to the next queued member.
+    let (serial_next, batch_finished, cid, n) = {
+        let batch = sim.world.batches.get_mut(&id).expect("unknown batch");
+        batch.remaining -= 1;
+        let next = if batch.mode == ExecMode::Serial
+            && batch.serial_next < batch.invocations.len()
+        {
+            let i = batch.serial_next;
+            batch.serial_next += 1;
+            Some(i)
+        } else {
+            None
+        };
+        (
+            next,
+            batch.remaining == 0,
+            batch.container.expect("no container"),
+            batch.invocations.len() as u64,
+        )
+    };
+    if let Some(next_idx) = serial_next {
+        start_invocation_chain(&mut sim.world, now, id, next_idx);
+    }
+    if batch_finished {
+        // Release barrier-held responses in member order.
+        let held: Vec<InvocationRecord> = {
+            let world = &mut sim.world;
+            let batch = &world.batches[&id];
+            if batch.completion == Completion::PerBatch {
+                (0..batch.invocations.len())
+                    .map(|i| build_record(batch, i, now))
+                    .collect()
+            } else {
+                Vec::new()
+            }
+        };
+        for record in held {
+            sim.world.records.push(record);
+            sim.world.completed += 1;
+            sim.world.last_completion = now;
+            let Sim { world, policy } = sim;
+            policy.on_invocation_done(&mut Ctx { world, engine }, &record);
+        }
+        sim.world.cluster.release(now, cid, n);
+        let Sim { world, policy } = sim;
+        policy.on_batch_done(&mut Ctx { world, engine }, cid);
+    }
+}
+
+fn schedule_sampler(engine: &mut Engine<Sim>, period: SimDuration) {
+    engine.schedule_in(period, move |sim: &mut Sim, engine| {
+        let world = &mut sim.world;
+        record_sample(world, engine.now());
+        if !world.done() {
+            schedule_sampler(engine, period);
+        }
+    });
+}
+
+fn record_sample(world: &mut SimWorld, now: SimTime) {
+    world.sampler.record(ResourceSample {
+        at: now,
+        memory_bytes: world.cluster.mem().current_bytes(),
+        busy_cores: world.cluster.cpu().busy_cores(),
+        live_containers: world.cluster.live_containers(),
+    });
+}
+
+/// Replays `workload` under `policy` and returns the run's report.
+///
+/// The run is deterministic: identical `(policy, workload, cfg)` inputs
+/// produce identical reports.
+///
+/// # Panics
+///
+/// Panics if the simulation stalls (a policy dropped invocations) — every
+/// workload invocation must eventually complete.
+pub fn run_simulation(
+    policy: Box<dyn Policy>,
+    workload: &Workload,
+    cfg: SimConfig,
+    workload_label: &str,
+    dispatch_interval: Option<SimDuration>,
+) -> RunReport {
+    let mut engine: Engine<Sim> = Engine::new();
+    let world = SimWorld::new(cfg, workload);
+    let mut sim = Sim { world, policy };
+
+    // Inject arrivals.
+    for inv in workload.invocations() {
+        let inv = inv.clone();
+        engine.schedule_at(inv.arrival, move |sim: &mut Sim, engine| {
+            {
+                let Sim { world, policy } = sim;
+                policy.on_arrival(&mut Ctx { world, engine }, &inv);
+            }
+            pump_cpu(&mut sim.world, engine);
+        });
+    }
+
+    // First host sample at t = 0, then every period.
+    record_sample(&mut sim.world, SimTime::ZERO);
+    schedule_sampler(&mut engine, sim.world.cfg.sample_period);
+
+    // Policy start hook.
+    {
+        let Sim { world, policy } = &mut sim;
+        policy.on_start(&mut Ctx {
+            world,
+            engine: &mut engine,
+        });
+    }
+    pump_cpu(&mut sim.world, &mut engine);
+
+    // Safety horizon: a healthy run finishes long before this.
+    let horizon = workload.last_arrival() + SimDuration::from_secs(24 * 3600);
+    engine.set_horizon(horizon);
+    while !sim.world.done() && engine.step(&mut sim) {}
+    assert!(
+        sim.world.done(),
+        "simulation stalled: {}/{} invocations completed",
+        sim.world.completed,
+        sim.world.total
+    );
+
+    let world = sim.world;
+    let stats = world.cluster.stats();
+    let mut records = world.records;
+    records.sort_by_key(|r| r.id);
+    let makespan = world
+        .last_completion
+        .saturating_duration_since(world.first_arrival);
+    RunReport {
+        scheduler: sim.policy.name(),
+        workload: workload_label.to_owned(),
+        dispatch_interval,
+        records,
+        sampler: world.sampler,
+        provisioned_containers: stats.provisioned,
+        warm_hits: stats.warm_hits,
+        peak_live_containers: stats.peak_live,
+        core_seconds: world.cluster.cpu().core_seconds(),
+        core_seconds_daemon: world.cluster.cpu().group_core_seconds(world.daemon_group),
+        core_seconds_platform: world
+            .cluster
+            .cpu()
+            .group_core_seconds(world.cluster.platform_group()),
+        host_cores: world.cfg.cores,
+        makespan,
+        clients_created: world.clients_created,
+        client_requests: world.client_requests,
+        client_bytes_allocated: world.client_bytes_allocated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasbatch_simcore::rng::DetRng;
+    use faasbatch_trace::workload::{cpu_workload, WorkloadConfig};
+
+    fn tiny_workload() -> Workload {
+        cpu_workload(
+            &DetRng::new(3),
+            &WorkloadConfig {
+                total: 8,
+                // Spread well past the ~1.3 s cold start so pre-warmed
+                // containers have time to become warm.
+                span: SimDuration::from_secs(20),
+                functions: 1,
+                bursts: 2,
+                ..WorkloadConfig::default()
+            },
+        )
+    }
+
+    /// A policy that pre-warms before any arrival, so the whole workload is
+    /// served warm.
+    struct PrewarmEverything {
+        done: bool,
+    }
+
+    impl Policy for PrewarmEverything {
+        fn name(&self) -> String {
+            "prewarmer".to_owned()
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let f = ctx
+                .registry()
+                .iter()
+                .next()
+                .map(|(id, _)| id)
+                .expect("one function");
+            ctx.prewarm(f, 5);
+            self.done = true;
+        }
+        fn on_arrival(&mut self, ctx: &mut Ctx<'_>, invocation: &Invocation) {
+            ctx.dispatch(DispatchRequest::new(
+                vec![invocation.clone()],
+                ExecMode::Serial,
+            ));
+        }
+    }
+
+    #[test]
+    fn prewarmed_containers_serve_warm() {
+        let w = tiny_workload();
+        let report = run_simulation(
+            Box::new(PrewarmEverything { done: false }),
+            &w,
+            crate::config::SimConfig::default(),
+            "t",
+            None,
+        );
+        assert_eq!(report.records.len(), 8);
+        // Five containers pre-warmed at t = 0; arrivals after the ~1.3 s
+        // boot find them warm. Each cold-served arrival adds one container
+        // beyond the 5 pre-warms.
+        let warm_served = report.records.iter().filter(|r| !r.cold).count();
+        assert!(warm_served >= 1, "nothing was served warm");
+        assert_eq!(
+            report.provisioned_containers,
+            5 + (report.records.len() - warm_served) as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch of empty batch")]
+    fn empty_dispatch_panics() {
+        struct Bad;
+        impl Policy for Bad {
+            fn name(&self) -> String {
+                "bad".into()
+            }
+            fn on_arrival(&mut self, ctx: &mut Ctx<'_>, _inv: &Invocation) {
+                ctx.dispatch(DispatchRequest::new(Vec::new(), ExecMode::Serial));
+            }
+        }
+        let w = tiny_workload();
+        run_simulation(Box::new(Bad), &w, crate::config::SimConfig::default(), "t", None);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch mixes functions")]
+    fn mixed_function_batch_panics() {
+        struct Mixer {
+            held: Vec<Invocation>,
+        }
+        impl Policy for Mixer {
+            fn name(&self) -> String {
+                "mixer".into()
+            }
+            fn on_arrival(&mut self, ctx: &mut Ctx<'_>, inv: &Invocation) {
+                self.held.push(inv.clone());
+                if self.held.len() == 2 {
+                    ctx.dispatch(DispatchRequest::new(
+                        std::mem::take(&mut self.held),
+                        ExecMode::Parallel,
+                    ));
+                }
+            }
+        }
+        let w = cpu_workload(
+            &DetRng::new(4),
+            &WorkloadConfig {
+                total: 16,
+                span: SimDuration::from_secs(1),
+                functions: 4,
+                bursts: 1,
+                ..WorkloadConfig::default()
+            },
+        );
+        run_simulation(
+            Box::new(Mixer { held: Vec::new() }),
+            &w,
+            crate::config::SimConfig::default(),
+            "t",
+            None,
+        );
+    }
+
+    /// Buffers everything and dispatches one Serial batch with
+    /// batch-granularity responses after all arrivals.
+    struct OneSerialBatch {
+        held: Vec<Invocation>,
+    }
+
+    impl Policy for OneSerialBatch {
+        fn name(&self) -> String {
+            "one-serial-batch".into()
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_secs(30), 0);
+        }
+        fn on_arrival(&mut self, _ctx: &mut Ctx<'_>, inv: &Invocation) {
+            self.held.push(inv.clone());
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            let mut req =
+                DispatchRequest::new(std::mem::take(&mut self.held), ExecMode::Serial);
+            req.completion = crate::policy::Completion::PerBatch;
+            ctx.dispatch(req);
+        }
+    }
+
+    #[test]
+    fn per_batch_serial_holds_all_responses_to_the_end() {
+        let w = tiny_workload();
+        let report = run_simulation(
+            Box::new(OneSerialBatch { held: Vec::new() }),
+            &w,
+            crate::config::SimConfig::default(),
+            "t",
+            None,
+        );
+        assert_eq!(report.records.len(), 8);
+        let completions: std::collections::HashSet<_> =
+            report.records.iter().map(|r| r.completion).collect();
+        assert_eq!(completions.len(), 1, "all responses released at the barrier");
+        for r in &report.records {
+            assert!(r.is_consistent(), "{r:?}");
+        }
+        // Exactly one container, serially reused by the whole batch.
+        assert_eq!(report.provisioned_containers, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! # faasbatch-schedulers
+//!
+//! The shared simulation harness and the paper's three baseline schedulers.
+//!
+//! The FaaSBatch paper compares against **Vanilla** (one container per
+//! invocation), **Kraken** (SLO/slack-driven serial batching with oracle
+//! workload prediction), and **SFS** (per-invocation containers plus a
+//! user-space CPU scheduler favouring short functions). All three are
+//! reimplemented here as [`policy::Policy`] implementations over one shared
+//! [`harness`] — so identical decisions cost identical simulated resources,
+//! and the comparison isolates scheduling policy exactly as the paper's
+//! single-worker testbed does. FaaSBatch itself lives in `faasbatch-core`
+//! and plugs into the same harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use faasbatch_schedulers::config::SimConfig;
+//! use faasbatch_schedulers::harness::run_simulation;
+//! use faasbatch_schedulers::vanilla::Vanilla;
+//! use faasbatch_simcore::rng::DetRng;
+//! use faasbatch_simcore::time::SimDuration;
+//! use faasbatch_trace::workload::{cpu_workload, WorkloadConfig};
+//!
+//! let workload = cpu_workload(&DetRng::new(42), &WorkloadConfig {
+//!     total: 20,
+//!     span: SimDuration::from_secs(10),
+//!     functions: 2,
+//!     bursts: 2,
+//!     ..WorkloadConfig::default()
+//! });
+//! let report = run_simulation(
+//!     Box::new(Vanilla::new()), &workload, SimConfig::default(), "cpu", None);
+//! assert_eq!(report.records.len(), 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod harness;
+pub mod kraken;
+pub mod policy;
+pub mod sfs;
+pub mod testkit;
+pub mod vanilla;
+
+pub use config::SimConfig;
+pub use harness::{run_simulation, Sim, SimWorld};
+pub use kraken::{Kraken, KrakenCalibration, KrakenPrediction, OraclePattern};
+pub use policy::{Completion, Ctx, DispatchRequest, ExecMode, Policy};
+pub use sfs::Sfs;
+pub use vanilla::Vanilla;

@@ -1,0 +1,208 @@
+//! Invariant checks for scheduler implementations.
+//!
+//! Anyone writing a new [`Policy`](crate::policy::Policy) (see the
+//! `custom_policy` example) gets the same correctness bar the built-in
+//! schedulers are held to: run the policy, then call
+//! [`violations`] (collect) or [`assert_invariants`] (panic) on the result.
+//!
+//! Checked invariants (DESIGN.md §4):
+//!
+//! 1. exactly-once completion with dense invocation ids;
+//! 2. records reference the right function and arrival;
+//! 3. latency components tile arrival → completion exactly;
+//! 4. execution covers at least the invocation's intrinsic work;
+//! 5. the cold flag agrees with the cold-start component;
+//! 6. container accounting (peak ≤ provisioned, served ⊆ provisioned);
+//! 7. CPU conservation (core-seconds ≥ the workload's intrinsic work);
+//! 8. client accounting on I/O workloads (requests counted, creations
+//!    bounded by requests).
+
+use faasbatch_metrics::report::RunReport;
+use faasbatch_trace::workload::Workload;
+use std::collections::{HashMap, HashSet};
+
+/// Collects every invariant violation (empty = the run is sound).
+pub fn violations(workload: &Workload, report: &RunReport) -> Vec<String> {
+    let mut out = Vec::new();
+    let tag = &report.scheduler;
+
+    // 1. Exactly-once completion.
+    if report.records.len() != workload.len() {
+        out.push(format!(
+            "{tag}: {} of {} invocations completed",
+            report.records.len(),
+            workload.len()
+        ));
+    }
+    let mut seen = HashSet::new();
+    for rec in &report.records {
+        if !seen.insert(rec.id) {
+            out.push(format!("{tag}: {} completed more than once", rec.id));
+        }
+    }
+
+    // 2–5. Per-record checks.
+    let by_id: HashMap<u64, &faasbatch_trace::workload::Invocation> = workload
+        .invocations()
+        .iter()
+        .map(|i| (i.id.value(), i))
+        .collect();
+    for rec in &report.records {
+        let Some(inv) = by_id.get(&rec.id.value()) else {
+            out.push(format!("{tag}: {} not in the workload", rec.id));
+            continue;
+        };
+        if rec.function != inv.function {
+            out.push(format!("{tag}: {} served as the wrong function", rec.id));
+        }
+        if rec.arrival != inv.arrival {
+            out.push(format!("{tag}: {} has a mutated arrival", rec.id));
+        }
+        if !rec.is_consistent() {
+            out.push(format!(
+                "{tag}: {} latency components do not tile arrival→completion",
+                rec.id
+            ));
+        }
+        if rec.latency.execution < inv.work {
+            out.push(format!(
+                "{tag}: {} executed {} < intrinsic work {}",
+                rec.id, rec.latency.execution, inv.work
+            ));
+        }
+        if rec.cold == rec.latency.cold_start.is_zero() {
+            out.push(format!("{tag}: {} cold flag contradicts cold-start latency", rec.id));
+        }
+    }
+
+    // 6. Container accounting.
+    if report.peak_live_containers > report.provisioned_containers {
+        out.push(format!(
+            "{tag}: peak live {} exceeds provisioned {}",
+            report.peak_live_containers, report.provisioned_containers
+        ));
+    }
+    let served: HashSet<_> = report.records.iter().map(|r| r.container).collect();
+    if served.len() as u64 > report.provisioned_containers {
+        out.push(format!(
+            "{tag}: served from {} containers but provisioned {}",
+            served.len(),
+            report.provisioned_containers
+        ));
+    }
+
+    // 7. CPU conservation.
+    let intrinsic = workload.total_work().as_secs_f64();
+    if report.core_seconds < intrinsic * 0.99 {
+        out.push(format!(
+            "{tag}: burned {:.3} core-s < intrinsic {:.3}",
+            report.core_seconds, intrinsic
+        ));
+    }
+
+    // 8. Client accounting.
+    let io = workload
+        .invocations()
+        .iter()
+        .filter(|i| workload.registry().profile(i.function).kind.is_io())
+        .count() as u64;
+    if report.client_requests != io {
+        out.push(format!(
+            "{tag}: {} client requests for {} I/O invocations",
+            report.client_requests, io
+        ));
+    }
+    if report.clients_created > report.client_requests {
+        out.push(format!(
+            "{tag}: created {} clients for {} requests",
+            report.clients_created, report.client_requests
+        ));
+    }
+    out
+}
+
+/// Panics with every violation listed if the run is unsound.
+///
+/// # Panics
+///
+/// Panics when [`violations`] is non-empty.
+pub fn assert_invariants(workload: &Workload, report: &RunReport) {
+    let v = violations(workload, report);
+    assert!(v.is_empty(), "scheduler invariant violations:\n{}", v.join("\n"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::harness::run_simulation;
+    use crate::vanilla::Vanilla;
+    use faasbatch_simcore::rng::DetRng;
+    use faasbatch_simcore::time::SimDuration;
+    use faasbatch_trace::workload::{cpu_workload, WorkloadConfig};
+
+    fn run() -> (Workload, RunReport) {
+        let w = cpu_workload(
+            &DetRng::new(1),
+            &WorkloadConfig {
+                total: 30,
+                span: SimDuration::from_secs(5),
+                functions: 2,
+                bursts: 2,
+                ..WorkloadConfig::default()
+            },
+        );
+        let r = run_simulation(Box::new(Vanilla::new()), &w, SimConfig::default(), "t", None);
+        (w, r)
+    }
+
+    #[test]
+    fn sound_run_has_no_violations() {
+        let (w, r) = run();
+        assert!(violations(&w, &r).is_empty());
+        assert_invariants(&w, &r);
+    }
+
+    #[test]
+    fn detects_dropped_invocations() {
+        let (w, mut r) = run();
+        r.records.pop();
+        let v = violations(&w, &r);
+        assert!(v.iter().any(|m| m.contains("29 of 30")), "{v:?}");
+    }
+
+    #[test]
+    fn detects_duplicates_and_mutations() {
+        let (w, mut r) = run();
+        let dup = r.records[0];
+        r.records.push(dup);
+        r.records[1].arrival = r.records[1].arrival + SimDuration::from_millis(1);
+        let v = violations(&w, &r);
+        assert!(v.iter().any(|m| m.contains("more than once")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("mutated arrival")), "{v:?}");
+    }
+
+    #[test]
+    fn detects_component_gaps() {
+        let (w, mut r) = run();
+        r.records[0].completion = r.records[0].completion + SimDuration::from_secs(1);
+        let v = violations(&w, &r);
+        assert!(v.iter().any(|m| m.contains("tile")), "{v:?}");
+    }
+
+    #[test]
+    fn detects_cpu_undercount() {
+        let (w, mut r) = run();
+        r.core_seconds = 0.0;
+        let v = violations(&w, &r);
+        assert!(v.iter().any(|m| m.contains("core-s")), "{v:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduler invariant violations")]
+    fn assert_panics_on_violation() {
+        let (w, mut r) = run();
+        r.records.clear();
+        assert_invariants(&w, &r);
+    }
+}

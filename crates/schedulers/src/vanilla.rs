@@ -1,0 +1,137 @@
+//! The Vanilla baseline: one container per invocation.
+//!
+//! This is "the invocation model adopted by the vast majority of serverless
+//! computing frameworks: launching an isolated environment (i.e., a
+//! container) for executing each function invocation" (§IV). Warm containers
+//! are reused when one happens to be free — which is why the paper measures
+//! ≈1.5 invocations per container rather than exactly 1 — but concurrent
+//! invocations always fan out across containers.
+
+use crate::policy::{Ctx, DispatchRequest, ExecMode, Policy};
+use faasbatch_trace::workload::Invocation;
+
+/// One-container-per-invocation scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use faasbatch_schedulers::vanilla::Vanilla;
+/// use faasbatch_schedulers::policy::Policy;
+///
+/// assert_eq!(Vanilla::new().name(), "vanilla");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Vanilla {
+    _private: (),
+}
+
+impl Vanilla {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Vanilla::default()
+    }
+}
+
+impl Policy for Vanilla {
+    fn name(&self) -> String {
+        "vanilla".to_owned()
+    }
+
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>, invocation: &Invocation) {
+        // Dispatch immediately: a batch of exactly one invocation.
+        ctx.dispatch(DispatchRequest::new(
+            vec![invocation.clone()],
+            ExecMode::Serial,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::harness::run_simulation;
+    use faasbatch_simcore::rng::DetRng;
+    use faasbatch_simcore::time::SimDuration;
+    use faasbatch_trace::workload::{cpu_workload, WorkloadConfig};
+
+    #[test]
+    fn completes_small_cpu_workload() {
+        let w = cpu_workload(
+            &DetRng::new(1),
+            &WorkloadConfig {
+                total: 40,
+                span: SimDuration::from_secs(10),
+                functions: 3,
+                bursts: 2,
+            ..WorkloadConfig::default()
+        },
+        );
+        let report = run_simulation(Box::new(Vanilla::new()), &w, SimConfig::default(), "cpu", None);
+        assert_eq!(report.records.len(), 40);
+        assert!(report.inconsistencies().is_empty());
+        assert_eq!(report.scheduler, "vanilla");
+        // No batching ⇒ no queuing latency.
+        assert!(report
+            .records
+            .iter()
+            .all(|r| r.latency.queuing.is_zero()));
+    }
+
+    #[test]
+    fn provisions_many_containers_under_burst() {
+        // Everything arrives at once: no warm reuse is possible, so Vanilla
+        // must start one container per invocation.
+        let w = cpu_workload(
+            &DetRng::new(2),
+            &WorkloadConfig {
+                total: 30,
+                span: SimDuration::from_millis(10),
+                functions: 1,
+                bursts: 1,
+            ..WorkloadConfig::default()
+        },
+        );
+        let report = run_simulation(Box::new(Vanilla::new()), &w, SimConfig::default(), "cpu", None);
+        assert_eq!(report.provisioned_containers, 30);
+        assert_eq!(report.cold_fraction(), 1.0);
+    }
+
+    #[test]
+    fn reuses_warm_containers_when_spread_out() {
+        let w = cpu_workload(
+            &DetRng::new(3),
+            &WorkloadConfig {
+                total: 30,
+                span: SimDuration::from_secs(60),
+                functions: 1,
+                bursts: 1,
+            ..WorkloadConfig::default()
+        },
+        );
+        let report = run_simulation(Box::new(Vanilla::new()), &w, SimConfig::default(), "cpu", None);
+        assert!(
+            report.provisioned_containers < 30,
+            "expected warm reuse, provisioned {}",
+            report.provisioned_containers
+        );
+        assert!(report.warm_hits > 0);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let w = cpu_workload(
+            &DetRng::new(4),
+            &WorkloadConfig {
+                total: 25,
+                span: SimDuration::from_secs(5),
+                functions: 2,
+                bursts: 2,
+            ..WorkloadConfig::default()
+        },
+        );
+        let a = run_simulation(Box::new(Vanilla::new()), &w, SimConfig::default(), "cpu", None);
+        let b = run_simulation(Box::new(Vanilla::new()), &w, SimConfig::default(), "cpu", None);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,727 @@
+//! Processor-sharing multicore CPU model.
+//!
+//! The model hosts *tasks* (single-threaded pieces of work, e.g. one function
+//! invocation or one container start) grouped into *groups* (containers, or
+//! the platform itself). A task demands at most one core; a group may be
+//! capped (Docker's `cpu_count` / `cpuset_cpus`). Cores are divided between
+//! groups by max-min fairness and equally among a group's tasks, which is the
+//! standard first-order model of the Linux completely-fair scheduler at the
+//! cgroup level.
+//!
+//! The model is *passive*: callers [`advance_to`](CpuModel::advance_to) it to
+//! accrue progress and ask for [`next_completion`](CpuModel::next_completion)
+//! to know when to advance next. The simulation driver owns the event loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use faasbatch_simcore::cpu::CpuModel;
+//! use faasbatch_simcore::time::{SimDuration, SimTime};
+//!
+//! let mut cpu = CpuModel::new(2.0);
+//! let g = cpu.create_group(None);
+//! let t0 = SimTime::ZERO;
+//! cpu.add_task(t0, g, SimDuration::from_secs(1));
+//! cpu.add_task(t0, g, SimDuration::from_secs(1));
+//! // Two tasks, two cores: both finish after exactly one second.
+//! let (when, _) = cpu.next_completion(t0).unwrap();
+//! assert_eq!(when, SimTime::from_secs(1));
+//! ```
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Identifies a task inside a [`CpuModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CpuTaskId(u64);
+
+/// Identifies a scheduling group (e.g. one container) inside a [`CpuModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CpuGroupId(u64);
+
+/// Work remaining below this many core-seconds counts as complete; it absorbs
+/// floating-point residue from rate integration.
+const WORK_EPSILON: f64 = 1e-9;
+
+#[derive(Debug, Clone)]
+struct Task {
+    group: CpuGroupId,
+    /// Core-seconds of work left.
+    remaining: f64,
+    /// Current core allocation, recomputed on every membership change.
+    rate: f64,
+    /// Per-task demand cap in cores (1.0 for ordinary single-threaded work).
+    demand: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Group {
+    /// Maximum cores this group may use (`None` = host limit).
+    cap: Option<f64>,
+    /// Fair-share weight (default 1.0). Under contention a group receives
+    /// cores proportional to its weight — the hook that lets an SFS-style
+    /// scheduler prioritise short functions.
+    weight: f64,
+    members: u64,
+    /// Core-seconds this group has consumed.
+    core_seconds: f64,
+}
+
+/// Deterministic processor-sharing model of a `cores`-core host.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    cores: f64,
+    tasks: BTreeMap<CpuTaskId, Task>,
+    groups: BTreeMap<CpuGroupId, Group>,
+    last_accrual: SimTime,
+    core_seconds: f64,
+    next_task: u64,
+    next_group: u64,
+}
+
+impl CpuModel {
+    /// Creates a model of a host with `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not a positive finite number.
+    pub fn new(cores: f64) -> Self {
+        assert!(cores.is_finite() && cores > 0.0, "invalid core count: {cores}");
+        CpuModel {
+            cores,
+            tasks: BTreeMap::new(),
+            groups: BTreeMap::new(),
+            last_accrual: SimTime::ZERO,
+            core_seconds: 0.0,
+            next_task: 0,
+            next_group: 0,
+        }
+    }
+
+    /// Total cores of the modelled host.
+    pub fn cores(&self) -> f64 {
+        self.cores
+    }
+
+    /// Creates a scheduling group with an optional core cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is non-positive or not finite.
+    pub fn create_group(&mut self, cap: Option<f64>) -> CpuGroupId {
+        if let Some(c) = cap {
+            assert!(c.is_finite() && c > 0.0, "invalid group cap: {c}");
+        }
+        let id = CpuGroupId(self.next_group);
+        self.next_group += 1;
+        self.groups.insert(
+            id,
+            Group {
+                cap,
+                weight: 1.0,
+                members: 0,
+                core_seconds: 0.0,
+            },
+        );
+        id
+    }
+
+    /// Sets a group's fair-share weight (default 1.0). Higher-weighted
+    /// groups receive proportionally more cores under contention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group does not exist, `weight` is not positive finite,
+    /// or `now` precedes the last accrual.
+    pub fn set_group_weight(&mut self, now: SimTime, group: CpuGroupId, weight: f64) {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "invalid group weight: {weight}"
+        );
+        self.accrue(now);
+        self.groups
+            .get_mut(&group)
+            .expect("unknown CPU group")
+            .weight = weight;
+        self.recompute_rates();
+    }
+
+    /// A group's current fair-share weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group does not exist.
+    pub fn group_weight(&self, group: CpuGroupId) -> f64 {
+        self.groups.get(&group).expect("unknown CPU group").weight
+    }
+
+    /// Updates many group weights with a single rate recomputation —
+    /// O(groups log groups) total instead of per call. Use this for periodic
+    /// re-prioritisation sweeps (e.g. SFS aging).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`set_group_weight`]
+    /// (unknown group, non-positive weight, time moving backwards).
+    ///
+    /// [`set_group_weight`]: CpuModel::set_group_weight
+    pub fn set_group_weights(&mut self, now: SimTime, updates: &[(CpuGroupId, f64)]) {
+        if updates.is_empty() {
+            return;
+        }
+        self.accrue(now);
+        for &(group, weight) in updates {
+            assert!(
+                weight.is_finite() && weight > 0.0,
+                "invalid group weight: {weight}"
+            );
+            self.groups
+                .get_mut(&group)
+                .expect("unknown CPU group")
+                .weight = weight;
+        }
+        self.recompute_rates();
+    }
+
+    /// Removes an empty group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group does not exist or still has tasks.
+    pub fn remove_group(&mut self, now: SimTime, group: CpuGroupId) {
+        self.accrue(now);
+        let g = self.groups.get(&group).expect("unknown CPU group");
+        assert_eq!(g.members, 0, "cannot remove non-empty CPU group");
+        self.groups.remove(&group);
+    }
+
+    /// Adds a task with `work` core-seconds of computation to `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group does not exist or `now` precedes the last accrual.
+    pub fn add_task(&mut self, now: SimTime, group: CpuGroupId, work: SimDuration) -> CpuTaskId {
+        self.add_task_with_demand(now, group, work, 1.0)
+    }
+
+    /// Adds a task that can consume up to `demand` cores at once (e.g. an
+    /// internally parallel runtime activity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group does not exist, `demand` is not positive finite,
+    /// or `now` precedes the last accrual.
+    pub fn add_task_with_demand(
+        &mut self,
+        now: SimTime,
+        group: CpuGroupId,
+        work: SimDuration,
+        demand: f64,
+    ) -> CpuTaskId {
+        assert!(demand.is_finite() && demand > 0.0, "invalid demand: {demand}");
+        self.accrue(now);
+        let g = self.groups.get_mut(&group).expect("unknown CPU group");
+        g.members += 1;
+        let id = CpuTaskId(self.next_task);
+        self.next_task += 1;
+        self.tasks.insert(
+            id,
+            Task {
+                group,
+                remaining: work.as_secs_f64(),
+                rate: 0.0,
+                demand,
+            },
+        );
+        self.recompute_rates();
+        id
+    }
+
+    /// Cancels a task, discarding its remaining work.
+    ///
+    /// Returns the unfinished core-seconds, or `None` if the task is unknown
+    /// (e.g. already completed).
+    pub fn cancel_task(&mut self, now: SimTime, task: CpuTaskId) -> Option<SimDuration> {
+        self.accrue(now);
+        let t = self.tasks.remove(&task)?;
+        self.groups
+            .get_mut(&t.group)
+            .expect("task pointed at missing group")
+            .members -= 1;
+        self.recompute_rates();
+        Some(SimDuration::from_secs_f64(t.remaining.max(0.0)))
+    }
+
+    /// Advances the clock to `now`, accruing progress, and removes every task
+    /// that finished by then. Completed task ids are returned in ascending
+    /// id order (deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous accrual point.
+    pub fn advance_to(&mut self, now: SimTime) -> Vec<CpuTaskId> {
+        self.accrue(now);
+        let done: Vec<CpuTaskId> = self
+            .tasks
+            .iter()
+            .filter(|(_, t)| t.remaining <= WORK_EPSILON)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &done {
+            let t = self.tasks.remove(id).expect("completed task vanished");
+            self.groups
+                .get_mut(&t.group)
+                .expect("task pointed at missing group")
+                .members -= 1;
+        }
+        if !done.is_empty() {
+            self.recompute_rates();
+        }
+        done
+    }
+
+    /// The earliest upcoming task completion given current allocations.
+    ///
+    /// Returns the absolute completion instant (rounded *up* to the next
+    /// microsecond so the task is guaranteed done when the caller advances to
+    /// it) and the completing task. `None` when no runnable task exists.
+    pub fn next_completion(&self, now: SimTime) -> Option<(SimTime, CpuTaskId)> {
+        debug_assert!(now >= self.last_accrual);
+        let elapsed = now.saturating_duration_since(self.last_accrual).as_secs_f64();
+        let mut best: Option<(f64, CpuTaskId)> = None;
+        for (id, t) in &self.tasks {
+            if t.rate <= 0.0 {
+                continue;
+            }
+            let remaining_at_now = (t.remaining - elapsed * t.rate).max(0.0);
+            let secs = remaining_at_now / t.rate;
+            if best.is_none_or(|(b, _)| secs < b) {
+                best = Some((secs, *id));
+            }
+        }
+        best.map(|(secs, id)| {
+            let micros = (secs * 1e6).ceil() as u64;
+            (now + SimDuration::from_micros(micros), id)
+        })
+    }
+
+    /// Instantaneous busy-core count (sum of task rates).
+    pub fn busy_cores(&self) -> f64 {
+        self.tasks.values().map(|t| t.rate).sum()
+    }
+
+    /// Instantaneous utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.busy_cores() / self.cores
+    }
+
+    /// Cumulative core-seconds consumed up to the last accrual point.
+    pub fn core_seconds(&self) -> f64 {
+        self.core_seconds
+    }
+
+    /// Core-seconds consumed by one group up to the last accrual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group does not exist (it may have been removed — query
+    /// before [`remove_group`](Self::remove_group)).
+    pub fn group_core_seconds(&self, group: CpuGroupId) -> f64 {
+        self.groups
+            .get(&group)
+            .expect("unknown CPU group")
+            .core_seconds
+    }
+
+    /// Number of runnable tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of tasks in `group` (0 if the group is unknown).
+    pub fn group_task_count(&self, group: CpuGroupId) -> u64 {
+        self.groups.get(&group).map_or(0, |g| g.members)
+    }
+
+    /// Remaining work of a task, if it is still running.
+    pub fn task_remaining(&self, task: CpuTaskId) -> Option<SimDuration> {
+        self.tasks
+            .get(&task)
+            .map(|t| SimDuration::from_secs_f64(t.remaining.max(0.0)))
+    }
+
+    /// Current core allocation of a task, if it is still running.
+    pub fn task_rate(&self, task: CpuTaskId) -> Option<f64> {
+        self.tasks.get(&task).map(|t| t.rate)
+    }
+
+    fn accrue(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_accrual,
+            "CPU model cannot move backwards: {now} < {}",
+            self.last_accrual
+        );
+        let dt = now.saturating_duration_since(self.last_accrual).as_secs_f64();
+        if dt > 0.0 {
+            for t in self.tasks.values_mut() {
+                let burned = t.rate * dt;
+                let counted = burned.min(t.remaining.max(0.0));
+                self.core_seconds += counted;
+                self.groups
+                    .get_mut(&t.group)
+                    .expect("task pointed at missing group")
+                    .core_seconds += counted;
+                t.remaining -= burned;
+            }
+        }
+        self.last_accrual = now;
+    }
+
+    /// Weighted max-min fair allocation of `self.cores` across groups
+    /// (demand = min(cap, sum of member demands)), then equal split within
+    /// each group capped by per-task demand.
+    fn recompute_rates(&mut self) {
+        // Per-group demand.
+        let mut demand: BTreeMap<CpuGroupId, f64> = BTreeMap::new();
+        for t in self.tasks.values() {
+            *demand.entry(t.group).or_insert(0.0) += t.demand;
+        }
+        for (gid, d) in demand.iter_mut() {
+            if let Some(cap) = self.groups[gid].cap {
+                *d = d.min(cap);
+            }
+        }
+        // Weighted max-min (progressive filling): visiting groups in
+        // ascending demand/weight order, a group is pinned at its demand if
+        // that is below its proportional share of what remains; once one
+        // group's share falls short, all later groups (larger demand/weight)
+        // also fall short, so the remainder is split proportionally.
+        let mut alloc: BTreeMap<CpuGroupId, f64> = BTreeMap::new();
+        let mut order: Vec<(CpuGroupId, f64, f64)> = demand
+            .iter()
+            .map(|(&g, &d)| (g, d, self.groups[&g].weight))
+            .collect();
+        order.sort_by(|a, b| {
+            let ra = a.1 / a.2;
+            let rb = b.1 / b.2;
+            ra.partial_cmp(&rb).expect("finite ratios").then(a.0.cmp(&b.0))
+        });
+        let mut remaining = self.cores;
+        let mut weight_left: f64 = order.iter().map(|&(_, _, w)| w).sum();
+        let mut i = 0;
+        while i < order.len() {
+            let (g, d, w) = order[i];
+            let share = remaining * w / weight_left;
+            if d <= share + 1e-12 {
+                alloc.insert(g, d);
+                remaining -= d;
+                weight_left -= w;
+                i += 1;
+            } else {
+                // Everyone from here on is share-limited.
+                let pool = remaining.max(0.0);
+                for &(g2, _, w2) in &order[i..] {
+                    alloc.insert(g2, pool * w2 / weight_left);
+                }
+                break;
+            }
+        }
+        // Within each group: equal split capped by per-task demand, water-
+        // filled the same way over the member tasks.
+        let mut members: BTreeMap<CpuGroupId, Vec<CpuTaskId>> = BTreeMap::new();
+        for (id, t) in &self.tasks {
+            members.entry(t.group).or_default().push(*id);
+        }
+        for (gid, ids) in members {
+            let mut budget = alloc[&gid];
+            let mut tasks: Vec<(CpuTaskId, f64)> =
+                ids.iter().map(|id| (*id, self.tasks[id].demand)).collect();
+            tasks.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("demand is finite").then(a.0.cmp(&b.0)));
+            let mut left = tasks.len();
+            for (tid, d) in tasks {
+                let fair = budget / left as f64;
+                let r = d.min(fair);
+                self.tasks.get_mut(&tid).expect("member task exists").rate = r;
+                budget -= r;
+                left -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    /// Drives the model to completion, returning (task, finish time) pairs.
+    fn drain(cpu: &mut CpuModel, mut now: SimTime) -> Vec<(CpuTaskId, SimTime)> {
+        let mut finished = Vec::new();
+        while let Some((when, _)) = cpu.next_completion(now) {
+            now = when;
+            for id in cpu.advance_to(now) {
+                finished.push((id, now));
+            }
+        }
+        finished
+    }
+
+    #[test]
+    fn single_task_runs_at_full_speed() {
+        let mut cpu = CpuModel::new(4.0);
+        let g = cpu.create_group(None);
+        let t = cpu.add_task(SimTime::ZERO, g, secs(2.0));
+        let (when, id) = cpu.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(id, t);
+        assert_eq!(when, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn undersubscribed_tasks_do_not_interfere() {
+        // 4 cores, 3 tasks: everyone gets a whole core.
+        let mut cpu = CpuModel::new(4.0);
+        let g = cpu.create_group(None);
+        for _ in 0..3 {
+            cpu.add_task(SimTime::ZERO, g, secs(1.0));
+        }
+        let done = drain(&mut cpu, SimTime::ZERO);
+        assert!(done.iter().all(|&(_, t)| t == SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn oversubscription_shares_fairly() {
+        // 2 cores, 4 equal tasks: each runs at 0.5 cores, finishing in 2 s.
+        let mut cpu = CpuModel::new(2.0);
+        let g = cpu.create_group(None);
+        for _ in 0..4 {
+            cpu.add_task(SimTime::ZERO, g, secs(1.0));
+        }
+        assert!((cpu.busy_cores() - 2.0).abs() < 1e-12);
+        let done = drain(&mut cpu, SimTime::ZERO);
+        assert_eq!(done.len(), 4);
+        assert!(done.iter().all(|&(_, t)| t == SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn group_cap_limits_throughput() {
+        // Host has 8 cores but the container is capped at 1: two 1-core-second
+        // tasks take 2 seconds total.
+        let mut cpu = CpuModel::new(8.0);
+        let g = cpu.create_group(Some(1.0));
+        cpu.add_task(SimTime::ZERO, g, secs(1.0));
+        cpu.add_task(SimTime::ZERO, g, secs(1.0));
+        let done = drain(&mut cpu, SimTime::ZERO);
+        assert!(done.iter().all(|&(_, t)| t == SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn capped_group_leaves_cores_for_others() {
+        // Group A capped at 1 core with many tasks; group B uncapped.
+        // B's task must still get a full core.
+        let mut cpu = CpuModel::new(2.0);
+        let a = cpu.create_group(Some(1.0));
+        let b = cpu.create_group(None);
+        for _ in 0..10 {
+            cpu.add_task(SimTime::ZERO, a, secs(1.0));
+        }
+        let tb = cpu.add_task(SimTime::ZERO, b, secs(1.0));
+        assert!((cpu.task_rate(tb).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_min_fairness_between_groups() {
+        // 3 cores; group A has 1 task (demand 1), groups B has 4 tasks
+        // (demand 4, uncapped). A gets 1 core, B gets 2.
+        let mut cpu = CpuModel::new(3.0);
+        let a = cpu.create_group(None);
+        let b = cpu.create_group(None);
+        let ta = cpu.add_task(SimTime::ZERO, a, secs(1.0));
+        let mut bts = Vec::new();
+        for _ in 0..4 {
+            bts.push(cpu.add_task(SimTime::ZERO, b, secs(1.0)));
+        }
+        assert!((cpu.task_rate(ta).unwrap() - 1.0).abs() < 1e-12);
+        for t in bts {
+            assert!((cpu.task_rate(t).unwrap() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn late_arrival_slows_existing_task() {
+        // 1 core. Task A (2 core-seconds) runs alone for 1 s, then task B
+        // (0.5 core-seconds) arrives and they share. B finishes at t=2,
+        // A at t=2.5.
+        let mut cpu = CpuModel::new(1.0);
+        let g = cpu.create_group(None);
+        let a = cpu.add_task(SimTime::ZERO, g, secs(2.0));
+        let t1 = SimTime::from_secs(1);
+        let b = cpu.add_task(t1, g, secs(0.5));
+        let mut done = drain(&mut cpu, t1);
+        done.sort_by_key(|&(_, t)| t);
+        assert_eq!(done[0], (b, SimTime::from_secs(2)));
+        assert_eq!(done[1], (a, SimTime::from_secs_f64(2.5)));
+    }
+
+    #[test]
+    fn cancel_returns_remaining_work() {
+        let mut cpu = CpuModel::new(1.0);
+        let g = cpu.create_group(None);
+        let t = cpu.add_task(SimTime::ZERO, g, secs(2.0));
+        let left = cpu.cancel_task(SimTime::from_secs(1), t).unwrap();
+        assert!((left.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert_eq!(cpu.task_count(), 0);
+        assert!(cpu.cancel_task(SimTime::from_secs(1), t).is_none());
+    }
+
+    #[test]
+    fn core_seconds_accumulate() {
+        let mut cpu = CpuModel::new(4.0);
+        let g = cpu.create_group(None);
+        for _ in 0..2 {
+            cpu.add_task(SimTime::ZERO, g, secs(1.0));
+        }
+        drain(&mut cpu, SimTime::ZERO);
+        assert!((cpu.core_seconds() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_group_core_seconds_sum_to_total() {
+        let mut cpu = CpuModel::new(2.0);
+        let a = cpu.create_group(None);
+        let b = cpu.create_group(Some(0.5));
+        cpu.add_task(SimTime::ZERO, a, secs(1.0));
+        cpu.add_task(SimTime::ZERO, b, secs(0.25));
+        drain(&mut cpu, SimTime::ZERO);
+        let ga = cpu.group_core_seconds(a);
+        let gb = cpu.group_core_seconds(b);
+        assert!((ga - 1.0).abs() < 1e-6, "group a burned {ga}");
+        assert!((gb - 0.25).abs() < 1e-6, "group b burned {gb}");
+        assert!((ga + gb - cpu.core_seconds()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn work_conservation_under_load() {
+        // More tasks than cores: the host must be fully busy.
+        let mut cpu = CpuModel::new(4.0);
+        let g = cpu.create_group(None);
+        for _ in 0..16 {
+            cpu.add_task(SimTime::ZERO, g, secs(0.1));
+        }
+        assert!((cpu.busy_cores() - 4.0).abs() < 1e-9);
+        assert!((cpu.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_core_demand_task() {
+        // A task with demand 2 on a 4-core host alone runs at 2 cores.
+        let mut cpu = CpuModel::new(4.0);
+        let g = cpu.create_group(None);
+        let t = cpu.add_task_with_demand(SimTime::ZERO, g, secs(2.0), 2.0);
+        assert!((cpu.task_rate(t).unwrap() - 2.0).abs() < 1e-12);
+        let (when, _) = cpu.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(when, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn zero_work_task_completes_immediately() {
+        let mut cpu = CpuModel::new(1.0);
+        let g = cpu.create_group(None);
+        let t = cpu.add_task(SimTime::ZERO, g, SimDuration::ZERO);
+        let done = cpu.advance_to(SimTime::ZERO);
+        assert_eq!(done, vec![t]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove non-empty")]
+    fn removing_busy_group_panics() {
+        let mut cpu = CpuModel::new(1.0);
+        let g = cpu.create_group(None);
+        cpu.add_task(SimTime::ZERO, g, secs(1.0));
+        cpu.remove_group(SimTime::ZERO, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn accruing_backwards_panics() {
+        let mut cpu = CpuModel::new(1.0);
+        let g = cpu.create_group(None);
+        cpu.add_task(SimTime::from_secs(5), g, secs(1.0));
+        cpu.advance_to(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn weights_skew_allocation_under_contention() {
+        // 1 core, two single-task groups, weights 3:1 → rates 0.75 / 0.25.
+        let mut cpu = CpuModel::new(1.0);
+        let a = cpu.create_group(None);
+        let b = cpu.create_group(None);
+        cpu.set_group_weight(SimTime::ZERO, a, 3.0);
+        let ta = cpu.add_task(SimTime::ZERO, a, secs(1.0));
+        let tb = cpu.add_task(SimTime::ZERO, b, secs(1.0));
+        assert!((cpu.task_rate(ta).unwrap() - 0.75).abs() < 1e-9);
+        assert!((cpu.task_rate(tb).unwrap() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_are_irrelevant_without_contention() {
+        // 4 cores, two single-task groups: both get a full core regardless.
+        let mut cpu = CpuModel::new(4.0);
+        let a = cpu.create_group(None);
+        let b = cpu.create_group(None);
+        cpu.set_group_weight(SimTime::ZERO, a, 100.0);
+        let ta = cpu.add_task(SimTime::ZERO, a, secs(1.0));
+        let tb = cpu.add_task(SimTime::ZERO, b, secs(1.0));
+        assert!((cpu.task_rate(ta).unwrap() - 1.0).abs() < 1e-9);
+        assert!((cpu.task_rate(tb).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_high_priority_finishes_first() {
+        // SFS-style: short task weighted 10 finishes well before an equal-
+        // work task weighted 1 on one core.
+        let mut cpu = CpuModel::new(1.0);
+        let short = cpu.create_group(None);
+        let long = cpu.create_group(None);
+        cpu.set_group_weight(SimTime::ZERO, short, 10.0);
+        let ts = cpu.add_task(SimTime::ZERO, short, secs(0.5));
+        let tl = cpu.add_task(SimTime::ZERO, long, secs(0.5));
+        let done = drain(&mut cpu, SimTime::ZERO);
+        let find = |id| done.iter().find(|&&(d, _)| d == id).unwrap().1;
+        assert!(find(ts) < find(tl));
+        // Work conservation: the long task still finishes at exactly 1 s.
+        assert_eq!(find(tl), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn group_weight_accessor_roundtrips() {
+        let mut cpu = CpuModel::new(1.0);
+        let g = cpu.create_group(None);
+        assert_eq!(cpu.group_weight(g), 1.0);
+        cpu.set_group_weight(SimTime::ZERO, g, 2.5);
+        assert_eq!(cpu.group_weight(g), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid group weight")]
+    fn non_positive_weight_panics() {
+        let mut cpu = CpuModel::new(1.0);
+        let g = cpu.create_group(None);
+        cpu.set_group_weight(SimTime::ZERO, g, 0.0);
+    }
+
+    #[test]
+    fn next_completion_is_stable_between_accruals() {
+        // Asking for next_completion at a later `now` (without membership
+        // change) must return the same absolute instant.
+        let mut cpu = CpuModel::new(1.0);
+        let g = cpu.create_group(None);
+        cpu.add_task(SimTime::ZERO, g, secs(1.0));
+        let (a, _) = cpu.next_completion(SimTime::ZERO).unwrap();
+        let (b, _) = cpu.next_completion(SimTime::from_millis(400)).unwrap();
+        assert!(a.saturating_duration_since(b).as_micros() <= 1);
+        assert!(b.saturating_duration_since(a).as_micros() <= 1);
+    }
+}

@@ -1,0 +1,320 @@
+//! Deterministic discrete-event engine.
+//!
+//! The engine owns a priority queue of scheduled events. Each event is a
+//! boxed closure that receives mutable access to the experiment's *world*
+//! state `W` and to the engine itself (so handlers can schedule follow-up
+//! events). Ties at equal timestamps are broken by insertion order, which
+//! makes runs bit-reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use faasbatch_simcore::engine::Engine;
+//! use faasbatch_simcore::time::{SimDuration, SimTime};
+//!
+//! let mut engine: Engine<Vec<u64>> = Engine::new();
+//! let mut world = Vec::new();
+//! engine.schedule_in(SimDuration::from_millis(5), |w: &mut Vec<u64>, e| {
+//!     w.push(e.now().as_micros());
+//! });
+//! engine.run(&mut world);
+//! assert_eq!(world, vec![5_000]);
+//! ```
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type Handler<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    handler: Handler<W>,
+}
+
+// Ordering for the max-heap (wrapped in `Reverse` for min-heap behaviour):
+// earliest time first, then lowest sequence number.
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation engine over world state `W`.
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<W>>>,
+    cancelled: HashSet<u64>,
+    executed: u64,
+    horizon: Option<SimTime>,
+}
+
+impl<W> std::fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine whose clock starts at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+            horizon: None,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled-but-unpopped ones).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops the run loop once the clock would pass `t`; events at exactly
+    /// `t` still execute.
+    pub fn set_horizon(&mut self, t: SimTime) {
+        self.horizon = Some(t);
+    }
+
+    /// Schedules `handler` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time — events cannot run in the
+    /// past.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: {at} < {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            time: at,
+            seq,
+            handler: Box::new(handler),
+        }));
+        EventId(seq)
+    }
+
+    /// Schedules `handler` to run after `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        handler: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, handler)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet run (cancellation succeeded).
+    /// Cancelling an already-executed or already-cancelled event returns
+    /// `false` and is otherwise harmless.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Runs events until the queue is empty or the horizon is reached.
+    ///
+    /// Returns the number of events executed by this call.
+    pub fn run(&mut self, world: &mut W) -> u64 {
+        let before = self.executed;
+        while self.step(world) {}
+        self.executed - before
+    }
+
+    /// Executes the single next event.
+    ///
+    /// Returns `false` when there is nothing left to do (empty queue or
+    /// horizon reached).
+    pub fn step(&mut self, world: &mut W) -> bool {
+        loop {
+            let Some(Reverse(next)) = self.queue.peek() else {
+                return false;
+            };
+            if let Some(h) = self.horizon {
+                if next.time > h {
+                    return false;
+                }
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked event vanished");
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.handler)(world, self);
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e: Engine<Vec<u32>> = Engine::new();
+        let mut w = Vec::new();
+        e.schedule_at(SimTime::from_millis(30), |w: &mut Vec<u32>, _| w.push(3));
+        e.schedule_at(SimTime::from_millis(10), |w: &mut Vec<u32>, _| w.push(1));
+        e.schedule_at(SimTime::from_millis(20), |w: &mut Vec<u32>, _| w.push(2));
+        e.run(&mut w);
+        assert_eq!(w, vec![1, 2, 3]);
+        assert_eq!(e.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut e: Engine<Vec<u32>> = Engine::new();
+        let mut w = Vec::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            e.schedule_at(t, move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        e.run(&mut w);
+        assert_eq!(w, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut e: Engine<Vec<u64>> = Engine::new();
+        let mut w = Vec::new();
+        fn tick(w: &mut Vec<u64>, e: &mut Engine<Vec<u64>>) {
+            w.push(e.now().as_micros());
+            if w.len() < 4 {
+                e.schedule_in(SimDuration::from_millis(1), tick);
+            }
+        }
+        e.schedule_at(SimTime::ZERO, tick);
+        e.run(&mut w);
+        assert_eq!(w, vec![0, 1_000, 2_000, 3_000]);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut e: Engine<Vec<u32>> = Engine::new();
+        let mut w = Vec::new();
+        let id = e.schedule_at(SimTime::from_millis(1), |w: &mut Vec<u32>, _| w.push(1));
+        e.schedule_at(SimTime::from_millis(2), |w: &mut Vec<u32>, _| w.push(2));
+        assert!(e.cancel(id));
+        assert!(!e.cancel(id), "double cancel reports false");
+        e.run(&mut w);
+        assert_eq!(w, vec![2]);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_harmless() {
+        let mut e: Engine<()> = Engine::new();
+        assert!(!e.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn horizon_stops_the_run() {
+        let mut e: Engine<Vec<u32>> = Engine::new();
+        let mut w = Vec::new();
+        e.schedule_at(SimTime::from_secs(1), |w: &mut Vec<u32>, _| w.push(1));
+        e.schedule_at(SimTime::from_secs(3), |w: &mut Vec<u32>, _| w.push(3));
+        e.set_horizon(SimTime::from_secs(2));
+        let n = e.run(&mut w);
+        assert_eq!(n, 1);
+        assert_eq!(w, vec![1]);
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), |_, _| {});
+        e.run(&mut ());
+        e.schedule_at(SimTime::ZERO, |_, _| {});
+    }
+
+    #[test]
+    fn step_returns_false_when_drained() {
+        let mut e: Engine<u32> = Engine::new();
+        let mut w = 0;
+        e.schedule_at(SimTime::ZERO, |w: &mut u32, _| *w += 1);
+        assert!(e.step(&mut w));
+        assert!(!e.step(&mut w));
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn executed_counts_across_runs() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), |_, _| {});
+        e.run(&mut ());
+        e.schedule_at(SimTime::from_secs(2), |_, _| {});
+        e.run(&mut ());
+        assert_eq!(e.executed(), 2);
+    }
+
+    #[test]
+    fn world_shared_state_via_rc_works() {
+        // Handlers may capture shared handles; the engine itself stays single
+        // threaded and deterministic.
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        let mut e: Engine<()> = Engine::new();
+        let l2 = log.clone();
+        e.schedule_at(SimTime::from_millis(1), move |_, _| l2.borrow_mut().push("a"));
+        let l3 = log.clone();
+        e.schedule_at(SimTime::from_millis(2), move |_, _| l3.borrow_mut().push("b"));
+        e.run(&mut ());
+        assert_eq!(*log.borrow(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Memory accounting for simulated hosts.
+//!
+//! The ledger tracks every live allocation (container images, runtime heaps,
+//! storage clients, …) with a category label, so experiments can report both
+//! total system memory (Fig. 13(a)/14(a) of the paper) and per-category
+//! breakdowns (Fig. 14(d): per-client footprints). It also integrates
+//! byte-seconds over simulated time for time-weighted averages.
+//!
+//! # Examples
+//!
+//! ```
+//! use faasbatch_simcore::memory::MemoryLedger;
+//! use faasbatch_simcore::time::SimTime;
+//!
+//! let mut mem = MemoryLedger::new();
+//! let a = mem.alloc(SimTime::ZERO, "container", 50 << 20);
+//! assert_eq!(mem.current_bytes(), 50 << 20);
+//! mem.free(SimTime::from_secs(1), a);
+//! assert_eq!(mem.current_bytes(), 0);
+//! assert_eq!(mem.high_water_bytes(), 50 << 20);
+//! ```
+
+use crate::time::SimTime;
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifies a live allocation in a [`MemoryLedger`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AllocationId(u64);
+
+/// Tracks live allocations, a high-water mark, and time-weighted usage.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryLedger {
+    current: u64,
+    high_water: u64,
+    by_category: BTreeMap<&'static str, u64>,
+    live: HashMap<AllocationId, (&'static str, u64)>,
+    next_id: u64,
+    last_update: SimTime,
+    byte_seconds: f64,
+}
+
+impl MemoryLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an allocation of `bytes` under `category`, returning a handle
+    /// for [`free`](Self::free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes an earlier ledger operation.
+    pub fn alloc(&mut self, now: SimTime, category: &'static str, bytes: u64) -> AllocationId {
+        self.integrate(now);
+        let id = AllocationId(self.next_id);
+        self.next_id += 1;
+        self.current += bytes;
+        self.high_water = self.high_water.max(self.current);
+        *self.by_category.entry(category).or_insert(0) += bytes;
+        self.live.insert(id, (category, bytes));
+        id
+    }
+
+    /// Releases a previous allocation, returning its size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation was already freed (double free) or `now`
+    /// precedes an earlier ledger operation.
+    pub fn free(&mut self, now: SimTime, id: AllocationId) -> u64 {
+        self.integrate(now);
+        let (category, bytes) = self
+            .live
+            .remove(&id)
+            .expect("double free or unknown allocation");
+        self.current -= bytes;
+        let slot = self
+            .by_category
+            .get_mut(category)
+            .expect("category accounting out of sync");
+        *slot -= bytes;
+        bytes
+    }
+
+    /// Bytes currently allocated.
+    pub fn current_bytes(&self) -> u64 {
+        self.current
+    }
+
+    /// Maximum bytes ever simultaneously allocated.
+    pub fn high_water_bytes(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Bytes currently allocated under `category`.
+    pub fn category_bytes(&self, category: &str) -> u64 {
+        self.by_category.get(category).copied().unwrap_or(0)
+    }
+
+    /// Live allocation count.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// All categories with live bytes, in deterministic (sorted) order.
+    pub fn categories(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.by_category
+            .iter()
+            .filter(|(_, &b)| b > 0)
+            .map(|(&c, &b)| (c, b))
+    }
+
+    /// Advances the integration clock, accruing byte-seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes an earlier ledger operation.
+    pub fn advance_to(&mut self, now: SimTime) {
+        self.integrate(now);
+    }
+
+    /// Time-weighted average usage in bytes over `[start, last update]`.
+    ///
+    /// Returns 0 when no time has elapsed.
+    pub fn mean_bytes_since(&self, start: SimTime) -> f64 {
+        let span = self.last_update.saturating_duration_since(start).as_secs_f64();
+        if span == 0.0 {
+            0.0
+        } else {
+            self.byte_seconds / span
+        }
+    }
+
+    fn integrate(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_update,
+            "memory ledger cannot move backwards: {now} < {}",
+            self.last_update
+        );
+        let dt = now.saturating_duration_since(self.last_update).as_secs_f64();
+        self.byte_seconds += self.current as f64 * dt;
+        self.last_update = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    const MIB: u64 = 1 << 20;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut mem = MemoryLedger::new();
+        let a = mem.alloc(SimTime::ZERO, "container", 10 * MIB);
+        let b = mem.alloc(SimTime::ZERO, "client", 15 * MIB);
+        assert_eq!(mem.current_bytes(), 25 * MIB);
+        assert_eq!(mem.category_bytes("client"), 15 * MIB);
+        assert_eq!(mem.free(SimTime::ZERO, a), 10 * MIB);
+        assert_eq!(mem.free(SimTime::ZERO, b), 15 * MIB);
+        assert_eq!(mem.current_bytes(), 0);
+        assert_eq!(mem.live_count(), 0);
+    }
+
+    #[test]
+    fn high_water_survives_frees() {
+        let mut mem = MemoryLedger::new();
+        let a = mem.alloc(SimTime::ZERO, "x", 100);
+        mem.free(SimTime::ZERO, a);
+        mem.alloc(SimTime::ZERO, "x", 10);
+        assert_eq!(mem.high_water_bytes(), 100);
+        assert_eq!(mem.current_bytes(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut mem = MemoryLedger::new();
+        let a = mem.alloc(SimTime::ZERO, "x", 1);
+        mem.free(SimTime::ZERO, a);
+        mem.free(SimTime::ZERO, a);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut mem = MemoryLedger::new();
+        // 100 bytes for 1 s, then 300 bytes for 1 s => mean 200 over 2 s.
+        mem.alloc(SimTime::ZERO, "x", 100);
+        mem.alloc(SimTime::from_secs(1), "x", 200);
+        mem.advance_to(SimTime::from_secs(2));
+        assert!((mem.mean_bytes_since(SimTime::ZERO) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_with_zero_span_is_zero() {
+        let mem = MemoryLedger::new();
+        assert_eq!(mem.mean_bytes_since(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn categories_iterate_sorted_and_nonzero() {
+        let mut mem = MemoryLedger::new();
+        mem.alloc(SimTime::ZERO, "zeta", 1);
+        mem.alloc(SimTime::ZERO, "alpha", 2);
+        let freed = mem.alloc(SimTime::ZERO, "mid", 3);
+        mem.free(SimTime::ZERO, freed);
+        let cats: Vec<_> = mem.categories().collect();
+        assert_eq!(cats, vec![("alpha", 2), ("zeta", 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn backwards_time_panics() {
+        let mut mem = MemoryLedger::new();
+        mem.alloc(SimTime::from_secs(2), "x", 1);
+        mem.advance_to(SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,42 @@
+//! # faasbatch-storage
+//!
+//! Cloud object storage substrate for the FaaSBatch reproduction.
+//!
+//! The paper's I/O functions create AWS-S3-style SDK clients (Listing 1) —
+//! the *redundant resources* that FaaSBatch's Resource Multiplexer caches.
+//! Since no real S3 is available here, this crate supplies:
+//!
+//! * [`object_store`] — a thread-safe in-memory bucket/key → bytes store
+//!   with CRUD operations;
+//! * [`client`] — a live SDK ([`client::StorageSdk`]) whose
+//!   [`connect`](client::StorageSdk::connect) really burns CPU and allocates
+//!   a per-client footprint, serialised per container, reproducing the
+//!   contention shape of the paper's Fig. 4/5;
+//! * [`cost`] — the calibrated simulated-time costs
+//!   ([`cost::ClientCostModel`]) that the discrete-event experiments charge
+//!   for the same behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! use faasbatch_storage::client::{ClientConfig, StorageSdk};
+//! use faasbatch_storage::object_store::ObjectStore;
+//!
+//! let store = ObjectStore::new();
+//! store.create_bucket("artifacts")?;
+//! let sdk = StorageSdk::new(store);
+//! let client = sdk.connect(&ClientConfig::for_bucket("artifacts"));
+//! client.put("result", bytes::Bytes::from_static(b"ok"))?;
+//! # Ok::<(), faasbatch_storage::object_store::StoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cost;
+pub mod object_store;
+
+pub use client::{ClientConfig, CreationCost, StorageClient, StorageSdk};
+pub use cost::ClientCostModel;
+pub use object_store::{ObjectStore, StoreError};

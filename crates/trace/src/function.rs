@@ -1,0 +1,139 @@
+//! Function registry: metadata for each registered serverless function.
+
+use faasbatch_container::ids::FunctionId;
+use serde::{Deserialize, Serialize};
+
+/// What a function's body does — determines the cost model it exercises.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FunctionKind {
+    /// CPU-intensive: naive-recursive `fib(fib_n)` (the paper's CPU
+    /// benchmark). The invocation's `work` field carries the modelled
+    /// duration.
+    Cpu {
+        /// Input to `fib`.
+        fib_n: u32,
+    },
+    /// I/O: creates a cloud-storage client (Listing 1) and performs `ops`
+    /// object operations against `bucket`. Client creation is the redundant
+    /// resource the Resource Multiplexer caches.
+    Io {
+        /// Bucket the function's client addresses — also the identity of the
+        /// client-creation `args`.
+        bucket: String,
+        /// Object operations per invocation.
+        ops: u32,
+    },
+}
+
+impl FunctionKind {
+    /// True for I/O functions.
+    pub fn is_io(&self) -> bool {
+        matches!(self, FunctionKind::Io { .. })
+    }
+}
+
+/// Static description of one registered function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionProfile {
+    /// Human-readable name.
+    pub name: String,
+    /// Body classification.
+    pub kind: FunctionKind,
+}
+
+/// Registry assigning dense [`FunctionId`]s to profiles.
+///
+/// # Examples
+///
+/// ```
+/// use faasbatch_trace::function::{FunctionKind, FunctionRegistry};
+///
+/// let mut reg = FunctionRegistry::new();
+/// let f = reg.register("fib-30", FunctionKind::Cpu { fib_n: 30 });
+/// assert_eq!(reg.profile(f).name, "fib-30");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FunctionRegistry {
+    profiles: Vec<FunctionProfile>,
+}
+
+impl FunctionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a function, returning its id.
+    pub fn register(&mut self, name: &str, kind: FunctionKind) -> FunctionId {
+        let id = FunctionId::new(self.profiles.len() as u32);
+        self.profiles.push(FunctionProfile {
+            name: name.to_owned(),
+            kind,
+        });
+        id
+    }
+
+    /// Looks up a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this registry.
+    pub fn profile(&self, id: FunctionId) -> &FunctionProfile {
+        &self.profiles[id.index() as usize]
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Iterates `(id, profile)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (FunctionId, &FunctionProfile)> {
+        self.profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (FunctionId::new(i as u32), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = FunctionRegistry::new();
+        let a = reg.register("fib", FunctionKind::Cpu { fib_n: 30 });
+        let b = reg.register(
+            "io",
+            FunctionKind::Io { bucket: "b".into(), ops: 2 },
+        );
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.profile(a).name, "fib");
+        assert!(reg.profile(b).kind.is_io());
+        assert!(!reg.profile(a).kind.is_io());
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut reg = FunctionRegistry::new();
+        let ids: Vec<_> = (0..3)
+            .map(|i| reg.register(&format!("f{i}"), FunctionKind::Cpu { fib_n: 20 + i }))
+            .collect();
+        let seen: Vec<_> = reg.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, seen);
+    }
+
+    #[test]
+    fn empty_registry() {
+        let reg = FunctionRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.len(), 0);
+    }
+}

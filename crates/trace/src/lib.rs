@@ -1,0 +1,47 @@
+//! # faasbatch-trace
+//!
+//! Workload modelling for the FaaSBatch reproduction.
+//!
+//! The paper's evaluation is trace-driven: CPU-intensive `fib(N)` functions
+//! whose durations follow the Azure Functions distribution (Fig. 9), a
+//! bursty one-minute arrival replay (Fig. 10), day-long hot-function
+//! patterns (Fig. 2), and the Azure Blob inter-access-time CDF (Fig. 3).
+//! The raw Azure datasets are not redistributable, so this crate provides:
+//!
+//! * [`duration`] — the Fig. 9 bucketed duration distribution and sampler;
+//! * [`fib`] — the `fib` kernel plus its N ↔ duration calibration
+//!   (SFS Table I style);
+//! * [`arrival`] — bursty / Poisson / constant arrival generators and the
+//!   Fig. 2 day-pattern synthesiser;
+//! * [`blob`] — the Fig. 3 blob IaT model;
+//! * [`function`] + [`workload`] — the [`workload::Workload`] type every
+//!   scheduler replays, with [`workload::cpu_workload`] and
+//!   [`workload::io_workload`] builders;
+//! * [`azure`] — CSV parsers for the real Azure datasets, should you have
+//!   them, including the paper's minute-replay methodology.
+//!
+//! # Examples
+//!
+//! ```
+//! use faasbatch_simcore::rng::DetRng;
+//! use faasbatch_trace::workload::{cpu_workload, WorkloadConfig};
+//!
+//! let workload = cpu_workload(&DetRng::new(42), &WorkloadConfig::default());
+//! assert_eq!(workload.len(), 800); // the paper's one-minute replay
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod azure;
+pub mod blob;
+pub mod duration;
+pub mod fib;
+pub mod function;
+pub mod workload;
+
+pub use blob::BlobIatModel;
+pub use duration::DurationDistribution;
+pub use function::{FunctionKind, FunctionProfile, FunctionRegistry};
+pub use workload::{cpu_workload, io_workload, Invocation, Workload, WorkloadConfig};

@@ -1,0 +1,125 @@
+//! Writing your own scheduler: the `Policy` trait makes the harness a
+//! test-bed for new serverless scheduling ideas, with containers, cold
+//! starts, CPU contention, and metrics already handled.
+//!
+//! This example implements **Debouncer**, a toy alternative to FaaSBatch's
+//! fixed window: instead of dispatching every `W` milliseconds, it dispatches
+//! a function's pending group as soon as that function has been quiet for a
+//! short gap (or a maximum hold time expires) — then compares it against
+//! FaaSBatch and Vanilla on the same workload.
+//!
+//! Run with: `cargo run --release --example custom_policy`
+
+use faasbatch::container::ids::FunctionId;
+use faasbatch::core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch::metrics::report::text_table;
+use faasbatch::schedulers::config::SimConfig;
+use faasbatch::schedulers::harness::run_simulation;
+use faasbatch::schedulers::policy::{Ctx, DispatchRequest, ExecMode, Policy};
+use faasbatch::schedulers::vanilla::Vanilla;
+use faasbatch::simcore::rng::DetRng;
+use faasbatch::simcore::time::{SimDuration, SimTime};
+use faasbatch::trace::workload::{cpu_workload, Invocation, WorkloadConfig};
+use std::collections::BTreeMap;
+
+/// Dispatch a function's pending group once it has been quiet for
+/// `quiet_gap`, or after `max_hold` at the latest.
+struct Debouncer {
+    quiet_gap: SimDuration,
+    max_hold: SimDuration,
+    pending: BTreeMap<FunctionId, (SimTime, SimTime, Vec<Invocation>)>, // (first, last, group)
+    ticking: bool,
+}
+
+impl Debouncer {
+    const TICK: u64 = 0;
+
+    fn new() -> Self {
+        Debouncer {
+            quiet_gap: SimDuration::from_millis(40),
+            max_hold: SimDuration::from_millis(400),
+            pending: BTreeMap::new(),
+            ticking: false,
+        }
+    }
+
+    fn flush_ready(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let ready: Vec<FunctionId> = self
+            .pending
+            .iter()
+            .filter(|(_, (first, last, _))| {
+                now.saturating_duration_since(*last) >= self.quiet_gap
+                    || now.saturating_duration_since(*first) >= self.max_hold
+            })
+            .map(|(&f, _)| f)
+            .collect();
+        for f in ready {
+            let (_, _, group) = self.pending.remove(&f).expect("just listed");
+            let mut req = DispatchRequest::new(group, ExecMode::Parallel);
+            req.multiplex_clients = true;
+            ctx.dispatch(req);
+        }
+    }
+}
+
+impl Policy for Debouncer {
+    fn name(&self) -> String {
+        "debouncer".to_owned()
+    }
+
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>, invocation: &Invocation) {
+        let now = ctx.now();
+        let entry = self
+            .pending
+            .entry(invocation.function)
+            .or_insert_with(|| (now, now, Vec::new()));
+        entry.1 = now;
+        entry.2.push(invocation.clone());
+        if !self.ticking {
+            self.ticking = true;
+            ctx.set_timer(self.quiet_gap, Self::TICK);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        self.flush_ready(ctx);
+        if self.pending.is_empty() && ctx.all_done() {
+            self.ticking = false;
+        } else {
+            ctx.set_timer(self.quiet_gap, Self::TICK);
+        }
+    }
+}
+
+fn main() {
+    let w = cpu_workload(&DetRng::new(2023), &WorkloadConfig::default());
+    let cfg = SimConfig::default();
+    let vanilla = run_simulation(Box::new(Vanilla::new()), &w, cfg.clone(), "cpu", None);
+    let debouncer = run_simulation(Box::new(Debouncer::new()), &w, cfg.clone(), "cpu", None);
+    let faasbatch = run_faasbatch(&w, cfg, FaasBatchConfig::default(), "cpu");
+    // Any new policy gets the built-in correctness bar for free.
+    faasbatch::schedulers::testkit::assert_invariants(&w, &debouncer);
+
+    let rows: Vec<Vec<String>> = [&vanilla, &debouncer, &faasbatch]
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheduler.clone(),
+                format!("{}", r.scheduling_cdf().mean()),
+                format!("{}", r.end_to_end_cdf().mean()),
+                r.provisioned_containers.to_string(),
+                format!("{:.0} MB", r.mean_memory_bytes() / (1 << 20) as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["scheduler", "sched mean", "e2e mean", "containers", "mem mean"],
+            &rows,
+        )
+    );
+    println!("\nDebouncer trades a little batching efficiency for lower scheduling");
+    println!("delay on sparse functions — ~60 lines of policy code on the harness.");
+}

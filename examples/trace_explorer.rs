@@ -1,0 +1,73 @@
+//! Workload explorer: generate the Azure-style traces the evaluation uses
+//! and inspect their statistics — duration buckets, arrival burstiness,
+//! per-function popularity, and blob inter-access times.
+//!
+//! Run with: `cargo run --example trace_explorer`
+
+use faasbatch::metrics::report::text_table;
+use faasbatch::simcore::rng::DetRng;
+use faasbatch::simcore::time::SimDuration;
+use faasbatch::trace::arrival::{bin_counts, burstiness};
+use faasbatch::trace::blob::BlobIatModel;
+use faasbatch::trace::duration::DurationDistribution;
+use faasbatch::trace::workload::{cpu_workload, WorkloadConfig};
+
+fn main() {
+    let rng = DetRng::new(42);
+    let w = cpu_workload(&rng, &WorkloadConfig::default());
+
+    println!("== workload: {} invocations, {} functions ==\n", w.len(), w.registry().len());
+
+    // Popularity skew.
+    let mut counts = vec![0usize; w.registry().len()];
+    for inv in w.invocations() {
+        counts[inv.function.index() as usize] += 1;
+    }
+    let rows: Vec<Vec<String>> = w
+        .registry()
+        .iter()
+        .map(|(id, p)| {
+            vec![
+                p.name.clone(),
+                counts[id.index() as usize].to_string(),
+                format!("{:.1}%", 100.0 * counts[id.index() as usize] as f64 / w.len() as f64),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["function", "invocations", "share"], &rows));
+
+    // Duration buckets vs Fig. 9.
+    let dist = DurationDistribution::azure_fig9();
+    let works: Vec<SimDuration> = w.invocations().iter().map(|i| i.work).collect();
+    let hist = dist.histogram(&works);
+    let rows: Vec<Vec<String>> = dist
+        .buckets()
+        .iter()
+        .zip(&hist)
+        .map(|(b, h)| {
+            vec![
+                format!("[{:.0}, {:.0}) ms", b.lo_ms, b.hi_ms),
+                format!("{:.1}%", b.probability * 100.0),
+                format!("{:.1}%", h * 100.0),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["duration bucket", "Fig. 9", "this trace"], &rows));
+
+    // Burstiness.
+    let arrivals: Vec<_> = w.invocations().iter().map(|i| i.arrival).collect();
+    let per_sec = bin_counts(&arrivals, SimDuration::from_secs(1), SimDuration::from_secs(61));
+    println!(
+        "arrivals: peak {}/s, burstiness {:.1} (peak/mean)\n",
+        per_sec.iter().max().unwrap(),
+        burstiness(&per_sec)
+    );
+
+    // Blob IaT model.
+    let blob = BlobIatModel::azure_fig3();
+    println!(
+        "blob inter-access CDF: {:.0}% < 100ms, {:.0}% < 1s (Fig. 3 landmarks)",
+        blob.cdf(SimDuration::from_millis(100)) * 100.0,
+        blob.cdf(SimDuration::from_secs(1)) * 100.0,
+    );
+}

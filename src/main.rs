@@ -1,0 +1,323 @@
+//! `faasbatch` — command-line front end for the reproduction.
+//!
+//! ```text
+//! faasbatch compare  [--workload cpu|io] [--seed N] [--window-ms N]
+//!                    [--total N] [--span-s N] [--functions N] [--no-multiplex]
+//! faasbatch workload [--workload cpu|io] [--seed N] [--total N] [--span-s N]
+//! faasbatch figures
+//! faasbatch help
+//! ```
+
+use faasbatch::core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch::metrics::report::{text_table, RunReport};
+use faasbatch::schedulers::config::SimConfig;
+use faasbatch::schedulers::harness::run_simulation;
+use faasbatch::schedulers::kraken::{Kraken, KrakenCalibration};
+use faasbatch::schedulers::sfs::Sfs;
+use faasbatch::schedulers::vanilla::Vanilla;
+use faasbatch::simcore::rng::DetRng;
+use faasbatch::simcore::time::SimDuration;
+use faasbatch::trace::arrival::{bin_counts, burstiness};
+use faasbatch::trace::workload::{cpu_workload, io_workload, Workload, WorkloadConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "faasbatch — FaaSBatch (ICDCS'23) reproduction CLI
+
+USAGE:
+    faasbatch compare  [--workload cpu|io] [--seed N] [--window-ms N]
+                       [--total N] [--span-s N] [--functions N]
+                       [--no-multiplex] [--import FILE]
+    faasbatch workload [--workload cpu|io] [--seed N] [--total N] [--span-s N]
+                       [--heterogeneity H] [--export FILE]
+    faasbatch figures
+    faasbatch help
+
+COMMANDS:
+    compare    replay one workload under Vanilla, SFS, Kraken, and FaaSBatch
+    workload   generate a workload and print its statistics
+    figures    list the per-figure regeneration binaries
+
+Workloads exported with `workload --export` replay bit-identically via
+`compare --import`. Defaults: cpu workload, seed 2023, 200 ms window,
+paper-sized totals.";
+
+/// Parsed `--key value` options (flags map to \"true\").
+#[derive(Debug, Default)]
+struct Options {
+    values: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parses options; returns an error message on malformed input.
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let flags = ["--no-multiplex"];
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = &args[i];
+            if !key.starts_with("--") {
+                return Err(format!("unexpected argument: {key}"));
+            }
+            if flags.contains(&key.as_str()) {
+                values.insert(key.clone(), "true".to_owned());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("missing value for {key}"))?;
+                values.insert(key.clone(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Options { values })
+    }
+
+    fn str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_owned())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid number for {key}: {v}")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+fn build_workload(opts: &Options) -> Result<(String, Workload), String> {
+    let kind = opts.str("--workload", "cpu");
+    let seed: u64 = opts.num("--seed", 2023)?;
+    let rng = DetRng::new(seed);
+    let (default_total, default_span) = match kind.as_str() {
+        "cpu" => (800usize, 60u64),
+        "io" => (400, 30),
+        other => return Err(format!("unknown workload kind: {other} (use cpu|io)")),
+    };
+    let cfg = WorkloadConfig {
+        total: opts.num("--total", default_total)?,
+        span: SimDuration::from_secs(opts.num("--span-s", default_span)?),
+        functions: opts.num("--functions", 8)?,
+        bursts: opts.num("--bursts", if kind == "cpu" { 6 } else { 4 })?,
+        heterogeneity: opts.num("--heterogeneity", 0.0)?,
+    };
+    let w = match kind.as_str() {
+        "cpu" => cpu_workload(&rng, &cfg),
+        _ => io_workload(&rng, &cfg),
+    };
+    Ok((kind, w))
+}
+
+fn load_or_build(opts: &Options) -> Result<(String, Workload), String> {
+    match opts.values.get("--import") {
+        None => build_workload(opts),
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let w: Workload =
+                serde_json::from_str(&json).map_err(|e| format!("invalid workload JSON: {e}"))?;
+            Ok(("imported".to_owned(), w))
+        }
+    }
+}
+
+fn cmd_compare(opts: &Options) -> Result<(), String> {
+    let (label, w) = load_or_build(opts)?;
+    let window = SimDuration::from_millis(opts.num("--window-ms", 200)?);
+    let cfg = SimConfig::default();
+    println!(
+        "replaying {} invocations ({label}) with a {window} window…\n",
+        w.len()
+    );
+    let vanilla = run_simulation(Box::new(Vanilla::new()), &w, cfg.clone(), &label, None);
+    let sfs = run_simulation(Box::new(Sfs::new()), &w, cfg.clone(), &label, None);
+    let kraken = run_simulation(
+        Box::new(Kraken::new(KrakenCalibration::from_vanilla(&vanilla), window)),
+        &w,
+        cfg.clone(),
+        &label,
+        Some(window),
+    );
+    let fb_cfg = FaasBatchConfig {
+        window,
+        multiplex: !opts.flag("--no-multiplex"),
+        ..FaasBatchConfig::default()
+    };
+    let faasbatch = run_faasbatch(&w, cfg, fb_cfg, &label);
+
+    let rows: Vec<Vec<String>> = [&vanilla, &sfs, &kraken, &faasbatch]
+        .iter()
+        .map(|r: &&RunReport| {
+            vec![
+                r.scheduler.clone(),
+                format!("{}", r.end_to_end_cdf().mean()),
+                format!("{}", r.end_to_end_cdf().quantile(0.99)),
+                r.provisioned_containers.to_string(),
+                format!("{:.0} MB", r.mean_memory_bytes() / (1 << 20) as f64),
+                format!("{:.1}%", r.mean_cpu_utilization() * 100.0),
+                format!("{:.1}", r.core_seconds_daemon),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["scheduler", "e2e mean", "e2e p99", "containers", "mem mean", "cpu util", "daemon cpu-s"],
+            &rows,
+        )
+    );
+    Ok(())
+}
+
+fn cmd_workload(opts: &Options) -> Result<(), String> {
+    let (label, w) = build_workload(opts)?;
+    if let Some(path) = opts.values.get("--export") {
+        let json = serde_json::to_string(&w).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("exported workload to {path}");
+    }
+    println!(
+        "{label} workload: {} invocations, {} functions, span {}",
+        w.len(),
+        w.registry().len(),
+        w.last_arrival()
+    );
+    let arrivals: Vec<_> = w.invocations().iter().map(|i| i.arrival).collect();
+    let span = (w.last_arrival() + SimDuration::from_secs(1))
+        .saturating_duration_since(faasbatch::simcore::time::SimTime::ZERO);
+    let per_sec = bin_counts(&arrivals, SimDuration::from_secs(1), span);
+    println!(
+        "arrivals: peak {}/s, burstiness {:.1}",
+        per_sec.iter().max().copied().unwrap_or(0),
+        burstiness(&per_sec)
+    );
+    println!("total intrinsic work: {:.1} core-seconds", w.total_work().as_secs_f64());
+    let mut counts: Vec<(String, usize)> = w
+        .registry()
+        .iter()
+        .map(|(id, p)| {
+            (
+                p.name.clone(),
+                w.invocations().iter().filter(|i| i.function == id).count(),
+            )
+        })
+        .collect();
+    counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    let rows: Vec<Vec<String>> = counts
+        .into_iter()
+        .map(|(name, c)| {
+            vec![
+                name,
+                c.to_string(),
+                format!("{:.1}%", 100.0 * c as f64 / w.len() as f64),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&["function", "invocations", "share"], &rows));
+    Ok(())
+}
+
+fn cmd_figures() {
+    println!("Figure harnesses (run with `cargo run --release -p faasbatch-bench --bin <name>`):\n");
+    for (name, what) in [
+        ("headline_summary", "abstract/§V reduction table"),
+        ("fig01_sharing_vs_monopoly", "Fig. 1 — sharing vs monopoly"),
+        ("fig02_invocation_patterns", "Fig. 2 — hot-function day patterns"),
+        ("fig03_blob_iat_cdf", "Fig. 3 — blob inter-access-time CDF"),
+        ("fig04_client_creation_latency", "Fig. 4 — client creation time"),
+        ("fig05_client_creation_memory", "Fig. 5 — client creation memory"),
+        ("fig09_duration_distribution", "Fig. 9 — duration distribution"),
+        ("fig10_workload_pattern", "Fig. 10 — arrival pattern"),
+        ("fig11_cpu_latency", "Fig. 11 — CPU latency CDFs"),
+        ("fig12_io_latency", "Fig. 12 — I/O latency CDFs"),
+        ("fig13_cpu_resources", "Fig. 13 — CPU-workload resources"),
+        ("fig14_io_resources", "Fig. 14 — I/O-workload resources"),
+        ("ablation_multiplexer", "multiplexer on/off"),
+        ("ablation_group_cap", "inline-parallelism degree"),
+        ("ablation_window_sweep", "extended window sweep"),
+        ("ablation_keepalive", "keep-alive TTL sensitivity"),
+        ("ablation_early_return", "batch vs early-return responses"),
+        ("ablation_kraken_prediction", "Kraken lazy/oracle/EWMA"),
+    ] {
+        println!("  {name:<30} {what}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+    };
+    let result = match command {
+        "compare" => Options::parse(rest).and_then(|o| cmd_compare(&o)),
+        "workload" => Options::parse(rest).and_then(|o| cmd_workload(&o)),
+        "figures" => {
+            cmd_figures();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Options, String> {
+        Options::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_key_values_and_flags() {
+        let o = opts(&["--seed", "7", "--no-multiplex", "--workload", "io"]).unwrap();
+        assert_eq!(o.num::<u64>("--seed", 0).unwrap(), 7);
+        assert!(o.flag("--no-multiplex"));
+        assert_eq!(o.str("--workload", "cpu"), "io");
+        assert_eq!(o.num::<u64>("--total", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(opts(&["positional"]).is_err());
+        assert!(opts(&["--seed"]).is_err());
+        let o = opts(&["--seed", "abc"]).unwrap();
+        assert!(o.num::<u64>("--seed", 0).is_err());
+    }
+
+    #[test]
+    fn builds_both_workload_kinds() {
+        let o = opts(&["--workload", "io", "--total", "30", "--span-s", "5"]).unwrap();
+        let (label, w) = build_workload(&o).unwrap();
+        assert_eq!(label, "io");
+        assert_eq!(w.len(), 30);
+        let o = opts(&["--total", "25"]).unwrap();
+        let (label, w) = build_workload(&o).unwrap();
+        assert_eq!(label, "cpu");
+        assert_eq!(w.len(), 25);
+    }
+
+    #[test]
+    fn unknown_workload_kind_is_an_error() {
+        let o = opts(&["--workload", "gpu"]).unwrap();
+        assert!(build_workload(&o).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Determinism guarantees: a run is a pure function of (seed, config).
+//! Bit-identical reports make every figure in EXPERIMENTS.md reproducible.
+
+use faasbatch::core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch::metrics::report::RunReport;
+use faasbatch::schedulers::config::SimConfig;
+use faasbatch::schedulers::harness::run_simulation;
+use faasbatch::schedulers::kraken::{Kraken, KrakenCalibration};
+use faasbatch::schedulers::sfs::Sfs;
+use faasbatch::schedulers::vanilla::Vanilla;
+use faasbatch::simcore::rng::DetRng;
+use faasbatch::simcore::time::SimDuration;
+use faasbatch::trace::workload::{cpu_workload, io_workload, Workload, WorkloadConfig};
+
+fn wl(seed: u64) -> Workload {
+    cpu_workload(
+        &DetRng::new(seed),
+        &WorkloadConfig {
+            total: 120,
+            span: SimDuration::from_secs(10),
+            functions: 4,
+            bursts: 3,
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+fn run_scheduler(name: &str, w: &Workload) -> RunReport {
+    let cfg = SimConfig::default();
+    let window = SimDuration::from_millis(200);
+    match name {
+        "vanilla" => run_simulation(Box::new(Vanilla::new()), w, cfg, "cpu", None),
+        "sfs" => run_simulation(Box::new(Sfs::new()), w, cfg, "cpu", None),
+        "kraken" => {
+            let vanilla = run_simulation(Box::new(Vanilla::new()), w, cfg.clone(), "cpu", None);
+            run_simulation(
+                Box::new(Kraken::new(KrakenCalibration::from_vanilla(&vanilla), window)),
+                w,
+                cfg,
+                "cpu",
+                Some(window),
+            )
+        }
+        "faasbatch" => run_faasbatch(w, cfg, FaasBatchConfig::default(), "cpu"),
+        other => panic!("unknown scheduler {other}"),
+    }
+}
+
+#[test]
+fn workload_generation_is_deterministic() {
+    assert_eq!(wl(1), wl(1));
+    assert_ne!(wl(1), wl(2), "different seeds must differ");
+    let io_a = io_workload(&DetRng::new(9), &WorkloadConfig::default());
+    let io_b = io_workload(&DetRng::new(9), &WorkloadConfig::default());
+    assert_eq!(io_a, io_b);
+}
+
+#[test]
+fn every_scheduler_is_bit_reproducible() {
+    let w = wl(77);
+    for name in ["vanilla", "sfs", "kraken", "faasbatch"] {
+        let a = run_scheduler(name, &w);
+        let b = run_scheduler(name, &w);
+        assert_eq!(a, b, "{name} run not reproducible");
+    }
+}
+
+#[test]
+fn reports_roundtrip_through_json() {
+    let w = wl(3);
+    let report = run_scheduler("faasbatch", &w);
+    let json = serde_json::to_string(&report).expect("serializes");
+    let back: RunReport = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(report, back);
+}
+
+#[test]
+fn different_seeds_give_different_results() {
+    let a = run_scheduler("vanilla", &wl(1));
+    let b = run_scheduler("vanilla", &wl(2));
+    assert_ne!(a.records, b.records);
+}

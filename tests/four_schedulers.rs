@@ -1,0 +1,236 @@
+//! End-to-end comparison of the four schedulers on Azure-style workloads —
+//! the integration-level reproduction of the paper's §V qualitative claims.
+
+use faasbatch::core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch::metrics::report::RunReport;
+use faasbatch::schedulers::config::SimConfig;
+use faasbatch::schedulers::harness::run_simulation;
+use faasbatch::schedulers::kraken::{Kraken, KrakenCalibration};
+use faasbatch::schedulers::sfs::Sfs;
+use faasbatch::schedulers::vanilla::Vanilla;
+use faasbatch::simcore::rng::DetRng;
+use faasbatch::simcore::time::SimDuration;
+use faasbatch::trace::workload::{cpu_workload, io_workload, Workload, WorkloadConfig};
+
+const WINDOW: SimDuration = SimDuration::from_millis(200);
+
+fn cpu_wl() -> Workload {
+    // The paper's CPU replay: 800 invocations across one bursty minute
+    // (Fig. 10). This is the high-concurrency regime FaaSBatch targets.
+    cpu_workload(&DetRng::new(2023), &WorkloadConfig::default())
+}
+
+fn io_wl() -> Workload {
+    // The paper's I/O replay: the first 400 invocations of the minute.
+    io_workload(
+        &DetRng::new(2023),
+        &WorkloadConfig {
+            total: 400,
+            span: SimDuration::from_secs(30),
+            functions: 8,
+            bursts: 4,
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+struct AllRuns {
+    vanilla: RunReport,
+    sfs: RunReport,
+    kraken: RunReport,
+    faasbatch: RunReport,
+}
+
+fn run_all(w: &Workload, label: &str) -> AllRuns {
+    let cfg = SimConfig::default();
+    let vanilla = run_simulation(Box::new(Vanilla::new()), w, cfg.clone(), label, None);
+    let sfs = run_simulation(Box::new(Sfs::new()), w, cfg.clone(), label, None);
+    let cal = KrakenCalibration::from_vanilla(&vanilla);
+    let kraken = run_simulation(
+        Box::new(Kraken::new(cal, WINDOW)),
+        w,
+        cfg.clone(),
+        label,
+        Some(WINDOW),
+    );
+    let faasbatch = run_faasbatch(w, cfg, FaasBatchConfig::default(), label);
+    AllRuns {
+        vanilla,
+        sfs,
+        kraken,
+        faasbatch,
+    }
+}
+
+fn assert_complete(r: &RunReport, n: usize) {
+    assert_eq!(r.records.len(), n, "{}: dropped invocations", r.scheduler);
+    assert!(
+        r.inconsistencies().is_empty(),
+        "{}: inconsistent records {:?}",
+        r.scheduler,
+        r.inconsistencies()
+    );
+    // Exactly-once: ids are dense.
+    let mut ids: Vec<u64> = r.records.iter().map(|rec| rec.id.value()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "{}: duplicated completions", r.scheduler);
+}
+
+#[test]
+fn every_scheduler_completes_the_cpu_workload_exactly_once() {
+    let w = cpu_wl();
+    let runs = run_all(&w, "cpu");
+    for r in [&runs.vanilla, &runs.sfs, &runs.kraken, &runs.faasbatch] {
+        assert_complete(r, w.len());
+        // The public invariant kit must agree.
+        faasbatch::schedulers::testkit::assert_invariants(&w, r);
+    }
+}
+
+#[test]
+fn container_counts_order_matches_fig13b() {
+    let w = cpu_wl();
+    let runs = run_all(&w, "cpu");
+    // FaaSBatch provisions the fewest; Kraken batches but still needs more;
+    // Vanilla and SFS are container-per-invocation (modulo warm reuse).
+    assert!(
+        runs.faasbatch.provisioned_containers < runs.kraken.provisioned_containers,
+        "faasbatch {} !< kraken {}",
+        runs.faasbatch.provisioned_containers,
+        runs.kraken.provisioned_containers
+    );
+    assert!(
+        runs.kraken.provisioned_containers < runs.vanilla.provisioned_containers,
+        "kraken {} !< vanilla {}",
+        runs.kraken.provisioned_containers,
+        runs.vanilla.provisioned_containers
+    );
+    assert!(
+        runs.kraken.provisioned_containers < runs.sfs.provisioned_containers,
+        "kraken {} !< sfs {}",
+        runs.kraken.provisioned_containers,
+        runs.sfs.provisioned_containers
+    );
+    // FaaSBatch serves many invocations per container (paper: ≈24 on I/O).
+    assert!(
+        runs.faasbatch.invocations_per_container() > 4.0,
+        "only {:.2} invocations/container",
+        runs.faasbatch.invocations_per_container()
+    );
+}
+
+#[test]
+fn queuing_latency_is_kraken_specific() {
+    let w = cpu_wl();
+    let runs = run_all(&w, "cpu");
+    let queued = |r: &RunReport| {
+        r.records
+            .iter()
+            .filter(|rec| !rec.latency.queuing.is_zero())
+            .count()
+    };
+    assert_eq!(queued(&runs.vanilla), 0, "vanilla must not queue");
+    assert_eq!(queued(&runs.sfs), 0, "sfs must not queue");
+    assert_eq!(queued(&runs.faasbatch), 0, "faasbatch expands in parallel");
+    assert!(queued(&runs.kraken) > 0, "kraken batching must queue someone");
+}
+
+#[test]
+fn faasbatch_dominates_scheduling_and_cold_start_tails() {
+    let w = cpu_wl();
+    let runs = run_all(&w, "cpu");
+    let p99_sched = |r: &RunReport| r.scheduling_cdf().quantile(0.99);
+    assert!(
+        p99_sched(&runs.faasbatch) < p99_sched(&runs.vanilla),
+        "faasbatch sched p99 {} !< vanilla {}",
+        p99_sched(&runs.faasbatch),
+        p99_sched(&runs.vanilla)
+    );
+    assert!(
+        p99_sched(&runs.faasbatch) < p99_sched(&runs.sfs),
+        "faasbatch sched p99 {} !< sfs {}",
+        p99_sched(&runs.faasbatch),
+        p99_sched(&runs.sfs)
+    );
+    // Cold starts: FaaSBatch's cold fraction is far below Vanilla's.
+    assert!(
+        runs.faasbatch.cold_fraction() < runs.vanilla.cold_fraction() / 2.0,
+        "cold fractions: faasbatch {:.2} vs vanilla {:.2}",
+        runs.faasbatch.cold_fraction(),
+        runs.vanilla.cold_fraction()
+    );
+}
+
+#[test]
+fn io_results_match_fig12_and_fig14() {
+    let w = io_wl();
+    let runs = run_all(&w, "io");
+    for r in [&runs.vanilla, &runs.sfs, &runs.kraken, &runs.faasbatch] {
+        assert_complete(r, w.len());
+    }
+    // Fig. 12(c): FaaSBatch execution latency is confined (multiplexer kills
+    // repeated client creation); baselines spread out.
+    let fb_p95 = runs.faasbatch.execution_cdf().quantile(0.95);
+    let van_p95 = runs.vanilla.execution_cdf().quantile(0.95);
+    assert!(
+        fb_p95.as_millis_f64() * 2.0 < van_p95.as_millis_f64(),
+        "faasbatch exec p95 {fb_p95} !≪ vanilla {van_p95}"
+    );
+    // Fig. 14(d): per-request client memory ≈ one client per request for the
+    // baselines, a small fraction under FaaSBatch.
+    let per_req_mb = |r: &RunReport| r.client_memory_per_request() / (1 << 20) as f64;
+    assert!((per_req_mb(&runs.vanilla) - 15.0).abs() < 0.5);
+    assert!((per_req_mb(&runs.sfs) - 15.0).abs() < 0.5);
+    assert!((per_req_mb(&runs.kraken) - 15.0).abs() < 0.5);
+    assert!(
+        per_req_mb(&runs.faasbatch) < 3.0,
+        "faasbatch per-request client memory {} MB",
+        per_req_mb(&runs.faasbatch)
+    );
+    // Every baseline creates one client per request; FaaSBatch only on cache
+    // misses.
+    for r in [&runs.vanilla, &runs.sfs, &runs.kraken] {
+        assert_eq!(r.clients_created, w.len() as u64, "{}", r.scheduler);
+    }
+    assert!(runs.faasbatch.clients_created < w.len() as u64 / 4);
+}
+
+#[test]
+fn resource_costs_order_matches_fig13_fig14() {
+    let w = io_wl();
+    let runs = run_all(&w, "io");
+    // Memory: FaaSBatch lowest (fewest containers + multiplexed clients).
+    assert!(
+        runs.faasbatch.mean_memory_bytes() < runs.vanilla.mean_memory_bytes(),
+        "faasbatch mem {} !< vanilla {}",
+        runs.faasbatch.mean_memory_bytes(),
+        runs.vanilla.mean_memory_bytes()
+    );
+    assert!(runs.faasbatch.mean_memory_bytes() < runs.sfs.mean_memory_bytes());
+    // The paper itself calls Kraken's memory optimization "comparable to
+    // FaaSBatch" (§V-B1); with our looser calibrated SLOs Kraken batches
+    // even more aggressively, so assert comparability rather than strict
+    // dominance.
+    assert!(
+        runs.faasbatch.mean_memory_bytes() < runs.kraken.mean_memory_bytes() * 1.2,
+        "faasbatch memory {} not comparable to kraken {}",
+        runs.faasbatch.mean_memory_bytes(),
+        runs.kraken.mean_memory_bytes()
+    );
+    // CPU: FaaSBatch burns the fewest core-seconds (no per-invocation
+    // container launches, no repeated client creation).
+    assert!(runs.faasbatch.core_seconds < runs.vanilla.core_seconds);
+    assert!(runs.faasbatch.core_seconds < runs.sfs.core_seconds);
+    assert!(runs.faasbatch.core_seconds < runs.kraken.core_seconds);
+}
+
+#[test]
+fn faasbatch_end_to_end_latency_beats_baselines_on_io() {
+    let w = io_wl();
+    let runs = run_all(&w, "io");
+    let mean = |r: &RunReport| r.end_to_end_cdf().mean();
+    assert!(mean(&runs.faasbatch) < mean(&runs.vanilla));
+    assert!(mean(&runs.faasbatch) < mean(&runs.sfs));
+    assert!(mean(&runs.faasbatch) < mean(&runs.kraken));
+}

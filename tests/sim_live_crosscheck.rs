@@ -1,0 +1,107 @@
+//! Cross-validation: the simulated FaaSBatch policy and the live platform
+//! implement the same batching logic, so on an equivalent scripted burst
+//! they must make equivalent *decisions* (container counts, client
+//! creations). Wall-clock timing is NOT compared — only decision outcomes,
+//! which are robust to scheduling jitter.
+
+use bytes::Bytes;
+use faasbatch::container::ids::{FunctionId, InvocationId};
+use faasbatch::core::platform::PlatformBuilder;
+use faasbatch::core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch::schedulers::config::SimConfig;
+use faasbatch::simcore::time::{SimDuration, SimTime};
+use faasbatch::storage::client::ClientConfig;
+use faasbatch::storage::object_store::ObjectStore;
+use faasbatch::trace::function::{FunctionKind, FunctionRegistry};
+use faasbatch::trace::workload::{Invocation, Workload};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+const BURST: usize = 24;
+const FUNCTIONS: usize = 3;
+
+/// Simulated version: BURST invocations of FUNCTIONS functions, all inside
+/// one dispatch window.
+fn simulated_counts() -> (u64, u64) {
+    let mut reg = FunctionRegistry::new();
+    let ids: Vec<FunctionId> = (0..FUNCTIONS)
+        .map(|i| {
+            reg.register(
+                &format!("io-{i}"),
+                FunctionKind::Io {
+                    bucket: format!("bucket-{i}"),
+                    ops: 1,
+                },
+            )
+        })
+        .collect();
+    let invs: Vec<Invocation> = (0..BURST as u64)
+        .map(|n| Invocation {
+            id: InvocationId::new(n),
+            function: ids[(n as usize) % FUNCTIONS],
+            arrival: SimTime::from_millis(1),
+            work: SimDuration::from_millis(3),
+        })
+        .collect();
+    let w = Workload::new(reg, invs);
+    let report = run_faasbatch(&w, SimConfig::default(), FaasBatchConfig::default(), "xcheck");
+    (report.provisioned_containers, report.clients_created)
+}
+
+/// Live version: the same burst through the real platform.
+fn live_counts() -> (u64, u64) {
+    let store = ObjectStore::new();
+    for i in 0..FUNCTIONS {
+        store.create_bucket(&format!("bucket-{i}")).unwrap();
+    }
+    let mut builder = PlatformBuilder::new()
+        .window(Duration::from_millis(60))
+        .cold_start_delay(Duration::from_millis(1))
+        .store(store);
+    for i in 0..FUNCTIONS {
+        builder = builder.register(&format!("io-{i}"), move |env| {
+            let client = env
+                .container
+                .storage_client(&ClientConfig::for_bucket(&format!("bucket-{i}")));
+            client.put("k", Bytes::from_static(b"v")).unwrap();
+        });
+    }
+    let platform = builder.start();
+    let tickets: Vec<_> = (0..BURST)
+        .map(|n| {
+            platform
+                .invoke(&format!("io-{}", n % FUNCTIONS), Bytes::new())
+                .expect("registered")
+        })
+        .collect();
+    for t in tickets {
+        t.wait();
+    }
+    platform.drain().unwrap();
+    (
+        platform.stats().containers_created.load(Ordering::Relaxed),
+        platform.stats().clients_created.load(Ordering::Relaxed),
+    )
+}
+
+#[test]
+fn one_window_burst_makes_equivalent_decisions() {
+    let (sim_containers, sim_clients) = simulated_counts();
+    // The simulated run is deterministic: one container and one client per
+    // function.
+    assert_eq!(sim_containers, FUNCTIONS as u64);
+    assert_eq!(sim_clients, FUNCTIONS as u64);
+
+    let (live_containers, live_clients) = live_counts();
+    // The live run races real threads against the window; allow stragglers
+    // to have opened one extra batch per function, but the multiplexer must
+    // still cap clients at one per container.
+    assert!(
+        live_containers >= FUNCTIONS as u64 && live_containers <= 2 * FUNCTIONS as u64,
+        "live containers: {live_containers}"
+    );
+    assert!(
+        live_clients <= live_containers,
+        "live clients {live_clients} exceed containers {live_containers}"
+    );
+}
