@@ -40,11 +40,7 @@ fn bench_cpu(c: &mut Criterion) {
             },
             |(mut cpu, groups)| {
                 for (i, g) in groups.iter().enumerate() {
-                    cpu.add_task(
-                        SimTime::ZERO,
-                        *g,
-                        SimDuration::from_millis(10 + i as u64),
-                    );
+                    cpu.add_task(SimTime::ZERO, *g, SimDuration::from_millis(10 + i as u64));
                 }
                 let mut now = SimTime::ZERO;
                 while let Some((t, _)) = cpu.next_completion(now) {

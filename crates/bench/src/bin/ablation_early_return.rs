@@ -24,7 +24,12 @@ fn main() {
             );
             rows.push(vec![
                 label.to_owned(),
-                if batch_responses { "per-batch (paper)" } else { "early return" }.to_owned(),
+                if batch_responses {
+                    "per-batch (paper)"
+                } else {
+                    "early return"
+                }
+                .to_owned(),
                 format!("{}", report.end_to_end_cdf().quantile(0.5)),
                 format!("{}", report.end_to_end_cdf().mean()),
                 format!("{}", report.end_to_end_cdf().quantile(0.99)),

@@ -48,7 +48,14 @@ fn main() {
     println!(
         "{}",
         text_table(
-            &["ttl", "scheduler", "containers", "cold %", "e2e mean", "mem mean (MB)"],
+            &[
+                "ttl",
+                "scheduler",
+                "containers",
+                "cold %",
+                "e2e mean",
+                "mem mean (MB)"
+            ],
             &rows,
         )
     );

@@ -28,7 +28,9 @@ fn main() {
         ];
         for (name, prediction) in modes {
             let report = run_simulation(
-                Box::new(Kraken::new(calibration.clone(), DEFAULT_WINDOW).with_prediction(prediction)),
+                Box::new(
+                    Kraken::new(calibration.clone(), DEFAULT_WINDOW).with_prediction(prediction),
+                ),
                 &w,
                 cfg.clone(),
                 label,

@@ -3,7 +3,9 @@
 //! merges the two replays and checks that FaaSBatch's advantages survive
 //! interference between the classes.
 
-use faasbatch_bench::{paper_cpu_workload, paper_io_workload, run_four, summary_table, DEFAULT_WINDOW};
+use faasbatch_bench::{
+    paper_cpu_workload, paper_io_workload, run_four, summary_table, DEFAULT_WINDOW,
+};
 
 fn main() {
     let mixed = paper_cpu_workload().merge(paper_io_workload());

@@ -35,7 +35,10 @@ fn main() {
                 format!("{}", report.execution_cdf().quantile(0.99)),
                 format!("{}", report.end_to_end_cdf().mean()),
                 report.clients_created.to_string(),
-                format!("{:.2}", report.client_memory_per_request() / (1 << 20) as f64),
+                format!(
+                    "{:.2}",
+                    report.client_memory_per_request() / (1 << 20) as f64
+                ),
                 format!("{:.0}", report.mean_memory_bytes() / (1 << 20) as f64),
             ]);
         }

@@ -35,7 +35,14 @@ fn main() {
         println!(
             "{}",
             text_table(
-                &["window", "containers", "sched mean", "e2e mean", "e2e p99", "mem mean (MB)"],
+                &[
+                    "window",
+                    "containers",
+                    "sched mean",
+                    "e2e mean",
+                    "e2e p99",
+                    "mem mean (MB)"
+                ],
                 &rows,
             )
         );

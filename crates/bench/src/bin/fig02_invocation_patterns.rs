@@ -54,7 +54,12 @@ fn try_real_trace() -> bool {
             println!(
                 "{}",
                 text_table(
-                    &["function", "daily total", "minute burstiness", "hourly counts (h0..h23)"],
+                    &[
+                        "function",
+                        "daily total",
+                        "minute burstiness",
+                        "hourly counts (h0..h23)"
+                    ],
                     &rows,
                 )
             );
@@ -95,7 +100,12 @@ fn main() {
     println!(
         "{}",
         text_table(
-            &["function", "daily total", "minute burstiness", "hourly counts (h0..h23)"],
+            &[
+                "function",
+                "daily total",
+                "minute burstiness",
+                "hourly counts (h0..h23)"
+            ],
             &rows,
         )
     );

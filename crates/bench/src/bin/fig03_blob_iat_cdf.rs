@@ -38,7 +38,9 @@ fn main() {
     let mut all = Vec::new();
     for day in 1..=DAYS {
         let mut rng = root.fork(&format!("day-{day}"));
-        let samples: Vec<SimDuration> = (0..SAMPLES_PER_DAY).map(|_| model.sample(&mut rng)).collect();
+        let samples: Vec<SimDuration> = (0..SAMPLES_PER_DAY)
+            .map(|_| model.sample(&mut rng))
+            .collect();
         all.extend_from_slice(&samples);
         let cdf = empirical_cdf(samples);
         let mut row = vec![format!("day {day:2}")];

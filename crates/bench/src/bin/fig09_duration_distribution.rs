@@ -34,7 +34,12 @@ fn main() {
     println!(
         "{}",
         text_table(
-            &["duration (ms)", "paper", "generated", "representative input"],
+            &[
+                "duration (ms)",
+                "paper",
+                "generated",
+                "representative input"
+            ],
             &rows,
         )
     );

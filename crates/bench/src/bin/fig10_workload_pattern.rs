@@ -9,7 +9,11 @@ fn main() {
     println!("Fig. 10 — invocation pattern of the generated workload\n");
     let w = paper_cpu_workload();
     let arrivals: Vec<_> = w.invocations().iter().map(|i| i.arrival).collect();
-    let per_sec = bin_counts(&arrivals, SimDuration::from_secs(1), SimDuration::from_secs(61));
+    let per_sec = bin_counts(
+        &arrivals,
+        SimDuration::from_secs(1),
+        SimDuration::from_secs(61),
+    );
     let peak = per_sec.iter().copied().max().unwrap_or(0);
     println!("second : invocations (bar)");
     for (s, &c) in per_sec.iter().enumerate() {

@@ -17,7 +17,10 @@ fn main() {
     let reports = run_four(&w, "cpu", DEFAULT_WINDOW);
 
     let series = |f: &dyn Fn(&faasbatch_metrics::report::RunReport) -> Cdf| -> Vec<(&str, Cdf)> {
-        reports.iter().map(|r| (r.scheduler.as_str(), f(r))).collect()
+        reports
+            .iter()
+            .map(|r| (r.scheduler.as_str(), f(r)))
+            .collect()
     };
     println!(
         "{}",

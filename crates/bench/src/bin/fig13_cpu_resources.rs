@@ -39,15 +39,28 @@ fn main() {
         );
         cpu_rows.push(
             std::iter::once(interval)
-                .chain(reports.iter().map(|r| format!("{:.3}", r.mean_cpu_utilization())))
+                .chain(
+                    reports
+                        .iter()
+                        .map(|r| format!("{:.3}", r.mean_cpu_utilization())),
+                )
                 .collect(),
         );
         all.extend(reports);
     }
     let headers = ["interval", "vanilla", "sfs", "kraken", "faasbatch"];
-    println!("(a) mean system memory (GB)\n{}", text_table(&headers, &mem_rows));
-    println!("(b) provisioned containers\n{}", text_table(&headers, &ctr_rows));
-    println!("(c) mean CPU utilization\n{}", text_table(&headers, &cpu_rows));
+    println!(
+        "(a) mean system memory (GB)\n{}",
+        text_table(&headers, &mem_rows)
+    );
+    println!(
+        "(b) provisioned containers\n{}",
+        text_table(&headers, &ctr_rows)
+    );
+    println!(
+        "(c) mean CPU utilization\n{}",
+        text_table(&headers, &cpu_rows)
+    );
     println!("Expected shape: FaaSBatch lowest on every panel; Kraken close on");
     println!("containers (within ~12%); FaaSBatch improves as the interval grows.");
     export_json("fig13_cpu_resources", &all);

@@ -37,24 +37,37 @@ fn main() {
         );
         cpu_rows.push(
             std::iter::once(interval.clone())
-                .chain(reports.iter().map(|r| format!("{:.3}", r.mean_cpu_utilization())))
+                .chain(
+                    reports
+                        .iter()
+                        .map(|r| format!("{:.3}", r.mean_cpu_utilization())),
+                )
                 .collect(),
         );
         client_rows.push(
             std::iter::once(interval)
                 .chain(
-                    reports
-                        .iter()
-                        .map(|r| format!("{:.2}", r.client_memory_per_request() / (1 << 20) as f64)),
+                    reports.iter().map(|r| {
+                        format!("{:.2}", r.client_memory_per_request() / (1 << 20) as f64)
+                    }),
                 )
                 .collect(),
         );
         all.extend(reports);
     }
     let headers = ["interval", "vanilla", "sfs", "kraken", "faasbatch"];
-    println!("(a) mean system memory (GB)\n{}", text_table(&headers, &mem_rows));
-    println!("(b) provisioned containers\n{}", text_table(&headers, &ctr_rows));
-    println!("(c) mean CPU utilization\n{}", text_table(&headers, &cpu_rows));
+    println!(
+        "(a) mean system memory (GB)\n{}",
+        text_table(&headers, &mem_rows)
+    );
+    println!(
+        "(b) provisioned containers\n{}",
+        text_table(&headers, &ctr_rows)
+    );
+    println!(
+        "(c) mean CPU utilization\n{}",
+        text_table(&headers, &cpu_rows)
+    );
     println!(
         "(d) memory per client-creation request (MB)\n{}",
         text_table(&headers, &client_rows)

@@ -40,16 +40,19 @@ fn reductions(reports: &[RunReport]) -> String {
         })
         .collect();
     text_table(
-        &["baseline", "latency cut", "memory cut", "cpu cut", "containers cut"],
+        &[
+            "baseline",
+            "latency cut",
+            "memory cut",
+            "cpu cut",
+            "containers cut",
+        ],
         &rows,
     )
 }
 
 fn main() {
-    for (label, workload) in [
-        ("cpu", paper_cpu_workload()),
-        ("io", paper_io_workload()),
-    ] {
+    for (label, workload) in [("cpu", paper_cpu_workload()), ("io", paper_io_workload())] {
         let reports = run_four(&workload, label, DEFAULT_WINDOW);
         println!("=== {label} workload ({} invocations) ===", workload.len());
         println!("{}", summary_table(&reports));

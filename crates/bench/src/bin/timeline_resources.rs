@@ -14,7 +14,11 @@ fn main() {
         w.len()
     );
     let reports = run_four(&w, "io", DEFAULT_WINDOW);
-    for series in [Series::MemoryBytes, Series::LiveContainers, Series::BusyCores] {
+    for series in [
+        Series::MemoryBytes,
+        Series::LiveContainers,
+        Series::BusyCores,
+    ] {
         let name = match series {
             Series::MemoryBytes => "memory",
             Series::LiveContainers => "containers",
@@ -24,7 +28,12 @@ fn main() {
         let mut timelines = Vec::new();
         for r in &reports {
             let t = Timeline::from_sampler(&r.scheduler, &r.sampler, series);
-            println!("  {:<10} max {:>12.0}  {}", r.scheduler, t.max(), t.sparkline());
+            println!(
+                "  {:<10} max {:>12.0}  {}",
+                r.scheduler,
+                t.max(),
+                t.sparkline()
+            );
             timelines.push(t);
         }
         println!();

@@ -66,12 +66,7 @@ pub fn run_four(workload: &Workload, label: &str, window: SimDuration) -> [RunRe
         label,
         Some(window),
     );
-    let faasbatch = run_faasbatch(
-        workload,
-        cfg,
-        FaasBatchConfig::with_window(window),
-        label,
-    );
+    let faasbatch = run_faasbatch(workload, cfg, FaasBatchConfig::with_window(window), label);
     [vanilla, sfs, kraken, faasbatch]
 }
 
@@ -176,8 +171,8 @@ mod tests {
                 span: SimDuration::from_secs(5),
                 functions: 2,
                 bursts: 2,
-            ..WorkloadConfig::default()
-        },
+                ..WorkloadConfig::default()
+            },
         );
         let reports = run_four(&w, "cpu", DEFAULT_WINDOW);
         let names: Vec<&str> = reports.iter().map(|r| r.scheduler.as_str()).collect();
@@ -194,8 +189,8 @@ mod tests {
                 span: SimDuration::from_secs(5),
                 functions: 2,
                 bursts: 2,
-            ..WorkloadConfig::default()
-        },
+                ..WorkloadConfig::default()
+            },
         );
         let reports = run_four(&w, "cpu", DEFAULT_WINDOW);
         let summary = summary_table(&reports);

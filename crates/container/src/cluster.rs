@@ -168,7 +168,10 @@ impl Cluster {
         if let Some(id) = self.pool.check_out(now, spec.function()) {
             // `check_out` can silently discard TTL-stale entries; reap them
             // properly first so accounting stays exact.
-            let c = self.containers.get_mut(&id).expect("pooled container exists");
+            let c = self
+                .containers
+                .get_mut(&id)
+                .expect("pooled container exists");
             c.mark_busy();
             self.stats.warm_hits += 1;
             return Acquired::Warm(id);
@@ -177,8 +180,10 @@ impl Cluster {
         self.next_container += 1;
         let group = self.cpu.create_group(spec.cpu_limit());
         let memory = self.mem.alloc(now, MEM_CONTAINER, spec.base_memory_bytes());
-        self.containers
-            .insert(id, Container::provisioning(id, spec.clone(), group, memory, now));
+        self.containers.insert(
+            id,
+            Container::provisioning(id, spec.clone(), group, memory, now),
+        );
         self.stats.provisioned += 1;
         self.stats.peak_live = self.stats.peak_live.max(self.live_containers());
         Acquired::Cold(id)
@@ -192,7 +197,11 @@ impl Cluster {
     /// Panics if the container is not provisioning.
     pub fn start_cold_cpu_work(&mut self, now: SimTime, id: ContainerId) -> CpuTaskId {
         let c = self.container(id);
-        assert_eq!(c.state(), ContainerState::Provisioning, "{id}: not provisioning");
+        assert_eq!(
+            c.state(),
+            ContainerState::Provisioning,
+            "{id}: not provisioning"
+        );
         let group = c.cpu_group();
         self.cpu.add_task(now, group, self.cold_model.cpu_work())
     }
@@ -217,8 +226,10 @@ impl Cluster {
         self.next_container += 1;
         let group = self.cpu.create_group(spec.cpu_limit());
         let memory = self.mem.alloc(now, MEM_CONTAINER, spec.base_memory_bytes());
-        self.containers
-            .insert(id, Container::provisioning(id, spec.clone(), group, memory, now));
+        self.containers.insert(
+            id,
+            Container::provisioning(id, spec.clone(), group, memory, now),
+        );
         self.stats.provisioned += 1;
         self.stats.peak_live = self.stats.peak_live.max(self.live_containers());
         id
@@ -337,7 +348,9 @@ mod tests {
     /// Runs a full cold start at `now`, returning the busy container.
     fn cold_start(c: &mut Cluster, now: SimTime) -> ContainerId {
         let acq = c.acquire(now, &spec());
-        let Acquired::Cold(id) = acq else { panic!("expected cold") };
+        let Acquired::Cold(id) = acq else {
+            panic!("expected cold")
+        };
         let after_image = now + c.cold_model().image_latency();
         let task = c.start_cold_cpu_work(after_image, id);
         let (done, t) = c.cpu().next_completion(after_image).unwrap();

@@ -169,7 +169,8 @@ pub fn run_expanded(mode: ExpandMode, jobs: Vec<Job>) -> BatchTiming {
                         // One isolated "container" per job.
                         let container = LiveContainer::new();
                         let t = container.run_batch(vec![job]);
-                        tx.send((i, t.jobs[0])).expect("timing channel closed early");
+                        tx.send((i, t.jobs[0]))
+                            .expect("timing channel closed early");
                     });
                 }
             });

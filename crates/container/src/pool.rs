@@ -48,7 +48,10 @@ impl WarmPool {
 
     /// Parks an idle container.
     pub fn check_in(&mut self, now: SimTime, function: FunctionId, container: ContainerId) {
-        self.idle.entry(function).or_default().push_back((now, container));
+        self.idle
+            .entry(function)
+            .or_default()
+            .push_back((now, container));
     }
 
     /// Takes the most recently used warm container for `function`, skipping

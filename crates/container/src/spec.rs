@@ -50,7 +50,10 @@ impl ContainerSpec {
     ///
     /// Panics if `cores` is not positive finite.
     pub fn with_cpu_limit(mut self, cores: f64) -> Self {
-        assert!(cores.is_finite() && cores > 0.0, "invalid cpu limit: {cores}");
+        assert!(
+            cores.is_finite() && cores > 0.0,
+            "invalid cpu limit: {cores}"
+        );
         self.cpu_limit = Some(cores);
         self
     }

@@ -43,6 +43,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code propagates errors or uses `expect` with context; bare
+// `unwrap()` stays confined to tests.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod mapper;
 pub mod multiplexer;

@@ -207,7 +207,10 @@ mod tests {
         }
         let groups = m.drain();
         assert_eq!(groups.len(), 3);
-        assert_eq!(groups.iter().map(FunctionGroup::len).collect::<Vec<_>>(), vec![4, 4, 2]);
+        assert_eq!(
+            groups.iter().map(FunctionGroup::len).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
         // Order preserved across the split.
         let ids: Vec<u64> = groups
             .iter()

@@ -92,7 +92,11 @@ impl OutcomeSummary {
             panicked: outcomes.iter().filter(|o| o.panicked).count(),
             mean_queued: outcomes.iter().map(|o| o.queued).sum::<Duration>() / n,
             mean_execution: outcomes.iter().map(|o| o.execution).sum::<Duration>() / n,
-            max_total: outcomes.iter().map(InvokeOutcome::total).max().unwrap_or_default(),
+            max_total: outcomes
+                .iter()
+                .map(InvokeOutcome::total)
+                .max()
+                .unwrap_or_default(),
         }
     }
 }
@@ -125,7 +129,9 @@ pub struct ContainerEnv {
 
 impl fmt::Debug for ContainerEnv {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ContainerEnv").field("id", &self.id).finish()
+        f.debug_struct("ContainerEnv")
+            .field("id", &self.id)
+            .finish()
     }
 }
 
@@ -360,7 +366,9 @@ impl Dispatcher {
         let (env, cold) = self.acquire_container(function);
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         if cold {
-            self.stats.containers_created.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .containers_created
+                .fetch_add(1, Ordering::Relaxed);
         }
         let cold_delay = self.cold_start_delay;
         let batch_size = batch.len() as u64;
@@ -383,9 +391,10 @@ impl Dispatcher {
                             };
                             // A user function crashing must not take down the
                             // container or starve its batch siblings.
-                            let result = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(|| handler(&ctx)),
-                            );
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    handler(&ctx)
+                                }));
                             let outcome = InvokeOutcome {
                                 queued: started.duration_since(req.enqueued),
                                 execution: started.elapsed(),
@@ -601,17 +610,17 @@ mod tests {
             cold,
             panicked,
         };
-        let s = OutcomeSummary::from_outcomes(&[
-            mk(10, 20, true, false),
-            mk(30, 40, false, true),
-        ]);
+        let s = OutcomeSummary::from_outcomes(&[mk(10, 20, true, false), mk(30, 40, false, true)]);
         assert_eq!(s.count, 2);
         assert_eq!(s.cold, 1);
         assert_eq!(s.panicked, 1);
         assert_eq!(s.mean_queued, Duration::from_millis(20));
         assert_eq!(s.mean_execution, Duration::from_millis(30));
         assert_eq!(s.max_total, Duration::from_millis(70));
-        assert_eq!(OutcomeSummary::from_outcomes(&[]), OutcomeSummary::default());
+        assert_eq!(
+            OutcomeSummary::from_outcomes(&[]),
+            OutcomeSummary::default()
+        );
     }
 
     #[test]
@@ -633,7 +642,10 @@ mod tests {
         assert!(crash.wait().panicked);
         assert!(!ok.wait().panicked);
         // The container survives for the next invocation.
-        let again = platform.invoke("boom", Bytes::from_static(b"y")).unwrap().wait();
+        let again = platform
+            .invoke("boom", Bytes::from_static(b"y"))
+            .unwrap()
+            .wait();
         assert!(!again.panicked);
     }
 

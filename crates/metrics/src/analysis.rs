@@ -52,10 +52,7 @@ impl Comparison {
                 baseline.provisioned_containers as f64,
                 subject.provisioned_containers as f64,
             ),
-            cold_fraction_pct: percent_reduction(
-                baseline.cold_fraction(),
-                subject.cold_fraction(),
-            ),
+            cold_fraction_pct: percent_reduction(baseline.cold_fraction(), subject.cold_fraction()),
         }
     }
 
@@ -81,7 +78,10 @@ impl Comparison {
 ///
 /// Panics if fewer than two reports are supplied.
 pub fn against_all(reports: &[RunReport]) -> Vec<Comparison> {
-    assert!(reports.len() >= 2, "need a subject and at least one baseline");
+    assert!(
+        reports.len() >= 2,
+        "need a subject and at least one baseline"
+    );
     let (subject, baselines) = reports.split_last().expect("non-empty");
     baselines
         .iter()

@@ -214,7 +214,12 @@ mod tests {
             scheduler: "test".into(),
             workload: "cpu".into(),
             dispatch_interval: Some(SimDuration::from_millis(200)),
-            records: vec![mk(0, 10, true), mk(1, 20, false), mk(2, 30, false), mk(3, 40, true)],
+            records: vec![
+                mk(0, 10, true),
+                mk(1, 20, false),
+                mk(2, 30, false),
+                mk(3, 40, true),
+            ],
             sampler: ResourceSampler::new(),
             provisioned_containers: 2,
             warm_hits: 2,
@@ -233,7 +238,10 @@ mod tests {
     #[test]
     fn cdfs_and_summary() {
         let r = report();
-        assert_eq!(r.execution_cdf().quantile(0.5), SimDuration::from_millis(20));
+        assert_eq!(
+            r.execution_cdf().quantile(0.5),
+            SimDuration::from_millis(20)
+        );
         assert_eq!(r.end_to_end_cdf().max(), SimDuration::from_millis(40));
         let s = r.latency_summary().unwrap();
         assert_eq!(s.count, 4);

@@ -64,13 +64,20 @@ impl ResourceSampler {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|s| s.memory_bytes as f64).sum::<f64>()
+        self.samples
+            .iter()
+            .map(|s| s.memory_bytes as f64)
+            .sum::<f64>()
             / self.samples.len() as f64
     }
 
     /// Peak allocated memory across samples (bytes).
     pub fn peak_memory_bytes(&self) -> u64 {
-        self.samples.iter().map(|s| s.memory_bytes).max().unwrap_or(0)
+        self.samples
+            .iter()
+            .map(|s| s.memory_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean busy-core count.
@@ -93,7 +100,11 @@ impl ResourceSampler {
 
     /// Peak live containers across samples.
     pub fn peak_containers(&self) -> u64 {
-        self.samples.iter().map(|s| s.live_containers).max().unwrap_or(0)
+        self.samples
+            .iter()
+            .map(|s| s.live_containers)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean live containers across samples.
@@ -101,7 +112,10 @@ impl ResourceSampler {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|s| s.live_containers as f64).sum::<f64>()
+        self.samples
+            .iter()
+            .map(|s| s.live_containers as f64)
+            .sum::<f64>()
             / self.samples.len() as f64
     }
 }

@@ -169,7 +169,11 @@ pub fn mean_f64(values: &[f64]) -> f64 {
 
 /// Maximum of plain f64 values (0 when empty, NaNs ignored).
 pub fn max_f64(values: &[f64]) -> f64 {
-    values.iter().copied().filter(|v| !v.is_nan()).fold(0.0, f64::max)
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]

@@ -236,7 +236,10 @@ pub(crate) fn set_container_weights(
         .iter()
         .map(|&(cid, w)| (world.cluster.container(cid).cpu_group(), w))
         .collect();
-    world.cluster.cpu_mut().set_group_weights(now, &group_updates);
+    world
+        .cluster
+        .cpu_mut()
+        .set_group_weights(now, &group_updates);
 }
 
 /// Entry point for [`Ctx::dispatch`]: registers the batch and starts its
@@ -252,8 +255,7 @@ pub(crate) fn dispatch(world: &mut SimWorld, engine: &mut Engine<Sim>, req: Disp
     let id = BatchId(world.next_batch);
     world.next_batch += 1;
 
-    let mut spec =
-        ContainerSpec::new(function).with_base_memory(world.cfg.container_base_memory);
+    let mut spec = ContainerSpec::new(function).with_base_memory(world.cfg.container_base_memory);
     if let Some(limit) = req.cpu_limit {
         spec = spec.with_cpu_limit(limit);
     }
@@ -271,7 +273,9 @@ pub(crate) fn dispatch(world: &mut SimWorld, engine: &mut Engine<Sim>, req: Disp
         world.cfg.warm_dispatch_work
     };
     if !req.extra_platform_work.is_zero() {
-        let t = world.cluster.start_platform_work(now, req.extra_platform_work);
+        let t = world
+            .cluster
+            .start_platform_work(now, req.extra_platform_work);
         world.running.insert(t, WorkKind::Overhead);
     }
     let n = req.invocations.len();
@@ -312,14 +316,14 @@ pub(crate) fn prewarm(
 ) {
     let now = engine.now();
     for _ in 0..count {
-        let spec =
-            ContainerSpec::new(function).with_base_memory(world.cfg.container_base_memory);
+        let spec = ContainerSpec::new(function).with_base_memory(world.cfg.container_base_memory);
         let cid = world.cluster.provision_cold(now, &spec);
         world.ext.entry(cid).or_default();
-        let task = world
-            .cluster
-            .cpu_mut()
-            .add_task(now, world.daemon_group, world.cfg.container_launch_work);
+        let task = world.cluster.cpu_mut().add_task(
+            now,
+            world.daemon_group,
+            world.cfg.container_launch_work,
+        );
         world.running.insert(task, WorkKind::PrewarmLaunch(cid));
     }
 }
@@ -401,7 +405,9 @@ fn on_decision_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId) {
 fn on_cold_boot_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId) {
     let now = engine.now();
     let world = &mut sim.world;
-    let cid = world.batches[&id].container.expect("cold boot without container");
+    let cid = world.batches[&id]
+        .container
+        .expect("cold boot without container");
     world.cluster.finish_cold_start(now, cid);
     world.batches.get_mut(&id).expect("unknown batch").ready_at = Some(now);
     let function = world.batches[&id].invocations[0].function;
@@ -424,7 +430,11 @@ fn start_batch_execution(world: &mut SimWorld, now: SimTime, id: BatchId) {
             }
         }
         ExecMode::Serial => {
-            world.batches.get_mut(&id).expect("unknown batch").serial_next = 1;
+            world
+                .batches
+                .get_mut(&id)
+                .expect("unknown batch")
+                .serial_next = 1;
             start_invocation_chain(world, now, id, 0);
         }
     }
@@ -467,13 +477,7 @@ fn start_invocation_chain(world: &mut SimWorld, now: SimTime, id: BatchId, idx: 
     }
 }
 
-fn enqueue_creation(
-    world: &mut SimWorld,
-    now: SimTime,
-    cid: ContainerId,
-    id: BatchId,
-    idx: usize,
-) {
+fn enqueue_creation(world: &mut SimWorld, now: SimTime, cid: ContainerId, id: BatchId, idx: usize) {
     let ext = world.ext.get_mut(&cid).expect("container ext exists");
     ext.creation_queue.push_back((id, idx));
     start_next_creation(world, now, cid);
@@ -496,7 +500,9 @@ fn start_next_creation(world: &mut SimWorld, now: SimTime, cid: ContainerId) {
     };
     let work = world.cfg.client_cost.creation_work(concurrent);
     let task = world.cluster.start_invocation_work(now, cid, work);
-    world.running.insert(task, WorkKind::ClientCreation(id, idx));
+    world
+        .running
+        .insert(task, WorkKind::ClientCreation(id, idx));
 }
 
 fn on_creation_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: usize) {
@@ -635,8 +641,7 @@ fn finish_invocation(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: 
     let (serial_next, batch_finished, cid, n) = {
         let batch = sim.world.batches.get_mut(&id).expect("unknown batch");
         batch.remaining -= 1;
-        let next = if batch.mode == ExecMode::Serial
-            && batch.serial_next < batch.invocations.len()
+        let next = if batch.mode == ExecMode::Serial && batch.serial_next < batch.invocations.len()
         {
             let i = batch.serial_next;
             batch.serial_next += 1;
@@ -870,7 +875,13 @@ mod tests {
             }
         }
         let w = tiny_workload();
-        run_simulation(Box::new(Bad), &w, crate::config::SimConfig::default(), "t", None);
+        run_simulation(
+            Box::new(Bad),
+            &w,
+            crate::config::SimConfig::default(),
+            "t",
+            None,
+        );
     }
 
     #[test]
@@ -929,8 +940,7 @@ mod tests {
             self.held.push(inv.clone());
         }
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
-            let mut req =
-                DispatchRequest::new(std::mem::take(&mut self.held), ExecMode::Serial);
+            let mut req = DispatchRequest::new(std::mem::take(&mut self.held), ExecMode::Serial);
             req.completion = crate::policy::Completion::PerBatch;
             ctx.dispatch(req);
         }
@@ -949,7 +959,11 @@ mod tests {
         assert_eq!(report.records.len(), 8);
         let completions: std::collections::HashSet<_> =
             report.records.iter().map(|r| r.completion).collect();
-        assert_eq!(completions.len(), 1, "all responses released at the barrier");
+        assert_eq!(
+            completions.len(),
+            1,
+            "all responses released at the barrier"
+        );
         for r in &report.records {
             assert!(r.is_consistent(), "{r:?}");
         }

@@ -217,7 +217,11 @@ impl Kraken {
     /// Maximum batch size meeting a function's SLO if dispatched promptly.
     fn batch_cap(&self, function: FunctionId) -> usize {
         let slo = self.calibration.slo_for(function).as_millis_f64();
-        let d = self.calibration.exec_estimate(function).as_millis_f64().max(1.0);
+        let d = self
+            .calibration
+            .exec_estimate(function)
+            .as_millis_f64()
+            .max(1.0);
         ((slo / d).floor() as usize).clamp(1, 64)
     }
 
@@ -378,13 +382,19 @@ mod tests {
                 span: SimDuration::from_secs(20),
                 functions: 3,
                 bursts: 3,
-            ..WorkloadConfig::default()
-        },
+                ..WorkloadConfig::default()
+            },
         )
     }
 
     fn calibrated(w: &faasbatch_trace::workload::Workload) -> KrakenCalibration {
-        let vanilla = run_simulation(Box::new(Vanilla::new()), w, SimConfig::default(), "cpu", None);
+        let vanilla = run_simulation(
+            Box::new(Vanilla::new()),
+            w,
+            SimConfig::default(),
+            "cpu",
+            None,
+        );
         KrakenCalibration::from_vanilla(&vanilla)
     }
 
@@ -428,8 +438,8 @@ mod tests {
                 span: SimDuration::from_millis(50),
                 functions: 1,
                 bursts: 1,
-            ..WorkloadConfig::default()
-        },
+                ..WorkloadConfig::default()
+            },
         );
         let cal = calibrated(&w);
         let report = run_simulation(
@@ -520,8 +530,9 @@ mod tests {
         );
         let oracle = run_simulation(
             Box::new(
-                Kraken::new(cal, window)
-                    .with_prediction(KrakenPrediction::Oracle(OraclePattern::from_workload(&w, window))),
+                Kraken::new(cal, window).with_prediction(KrakenPrediction::Oracle(
+                    OraclePattern::from_workload(&w, window),
+                )),
             ),
             &w,
             SimConfig::default(),
@@ -544,7 +555,9 @@ mod tests {
         let cal = calibrated(&w);
         let window = SimDuration::from_millis(200);
         let report = run_simulation(
-            Box::new(Kraken::new(cal, window).with_prediction(KrakenPrediction::Ewma { alpha: 0.5 })),
+            Box::new(
+                Kraken::new(cal, window).with_prediction(KrakenPrediction::Ewma { alpha: 0.5 }),
+            ),
             &w,
             SimConfig::default(),
             "cpu",
@@ -565,7 +578,10 @@ mod tests {
     fn defaults_used_for_unknown_functions() {
         let kraken = Kraken::with_defaults(SimDuration::from_millis(200));
         let f = FunctionId::new(99);
-        assert_eq!(kraken.calibration.slo_for(f), SimDuration::from_millis(1_000));
+        assert_eq!(
+            kraken.calibration.slo_for(f),
+            SimDuration::from_millis(1_000)
+        );
         assert_eq!(
             kraken.calibration.exec_estimate(f),
             SimDuration::from_millis(100)

@@ -195,7 +195,12 @@ pub trait Policy {
 
     /// Called when a dispatched batch begins executing in `container`
     /// (after any cold start).
-    fn on_batch_ready(&mut self, _ctx: &mut Ctx<'_>, _container: ContainerId, _function: FunctionId) {
+    fn on_batch_ready(
+        &mut self,
+        _ctx: &mut Ctx<'_>,
+        _container: ContainerId,
+        _function: FunctionId,
+    ) {
     }
 
     /// Called when a dispatched batch has fully completed and its container

@@ -112,7 +112,10 @@ impl Policy for Sfs {
             .running
             .iter()
             .map(|(&cid, &started)| {
-                (cid, self.weight_for_age(now.saturating_duration_since(started)))
+                (
+                    cid,
+                    self.weight_for_age(now.saturating_duration_since(started)),
+                )
             })
             .collect();
         ctx.set_container_weights(&updates);
@@ -158,8 +161,8 @@ mod tests {
                 span: SimDuration::from_secs(10),
                 functions: 4,
                 bursts: 2,
-            ..WorkloadConfig::default()
-        },
+                ..WorkloadConfig::default()
+            },
         );
         let report = run_simulation(Box::new(Sfs::new()), &w, SimConfig::default(), "cpu", None);
         assert_eq!(report.records.len(), 40);
@@ -272,8 +275,8 @@ mod tests {
                 span: SimDuration::from_secs(2),
                 functions: 1,
                 bursts: 1,
-            ..WorkloadConfig::default()
-        },
+                ..WorkloadConfig::default()
+            },
         );
         let report = run_simulation(Box::new(Sfs::new()), &w, SimConfig::default(), "cpu", None);
         assert_eq!(report.records.len(), 10);

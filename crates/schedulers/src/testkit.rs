@@ -71,7 +71,10 @@ pub fn violations(workload: &Workload, report: &RunReport) -> Vec<String> {
             ));
         }
         if rec.cold == rec.latency.cold_start.is_zero() {
-            out.push(format!("{tag}: {} cold flag contradicts cold-start latency", rec.id));
+            out.push(format!(
+                "{tag}: {} cold flag contradicts cold-start latency",
+                rec.id
+            ));
         }
     }
 
@@ -128,7 +131,11 @@ pub fn violations(workload: &Workload, report: &RunReport) -> Vec<String> {
 /// Panics when [`violations`] is non-empty.
 pub fn assert_invariants(workload: &Workload, report: &RunReport) {
     let v = violations(workload, report);
-    assert!(v.is_empty(), "scheduler invariant violations:\n{}", v.join("\n"));
+    assert!(
+        v.is_empty(),
+        "scheduler invariant violations:\n{}",
+        v.join("\n")
+    );
 }
 
 #[cfg(test)]
@@ -152,7 +159,13 @@ mod tests {
                 ..WorkloadConfig::default()
             },
         );
-        let r = run_simulation(Box::new(Vanilla::new()), &w, SimConfig::default(), "t", None);
+        let r = run_simulation(
+            Box::new(Vanilla::new()),
+            &w,
+            SimConfig::default(),
+            "t",
+            None,
+        );
         (w, r)
     }
 
@@ -176,7 +189,7 @@ mod tests {
         let (w, mut r) = run();
         let dup = r.records[0];
         r.records.push(dup);
-        r.records[1].arrival = r.records[1].arrival + SimDuration::from_millis(1);
+        r.records[1].arrival += SimDuration::from_millis(1);
         let v = violations(&w, &r);
         assert!(v.iter().any(|m| m.contains("more than once")), "{v:?}");
         assert!(v.iter().any(|m| m.contains("mutated arrival")), "{v:?}");
@@ -185,7 +198,7 @@ mod tests {
     #[test]
     fn detects_component_gaps() {
         let (w, mut r) = run();
-        r.records[0].completion = r.records[0].completion + SimDuration::from_secs(1);
+        r.records[0].completion += SimDuration::from_secs(1);
         let v = violations(&w, &r);
         assert!(v.iter().any(|m| m.contains("tile")), "{v:?}");
     }

@@ -64,18 +64,21 @@ mod tests {
                 span: SimDuration::from_secs(10),
                 functions: 3,
                 bursts: 2,
-            ..WorkloadConfig::default()
-        },
+                ..WorkloadConfig::default()
+            },
         );
-        let report = run_simulation(Box::new(Vanilla::new()), &w, SimConfig::default(), "cpu", None);
+        let report = run_simulation(
+            Box::new(Vanilla::new()),
+            &w,
+            SimConfig::default(),
+            "cpu",
+            None,
+        );
         assert_eq!(report.records.len(), 40);
         assert!(report.inconsistencies().is_empty());
         assert_eq!(report.scheduler, "vanilla");
         // No batching ⇒ no queuing latency.
-        assert!(report
-            .records
-            .iter()
-            .all(|r| r.latency.queuing.is_zero()));
+        assert!(report.records.iter().all(|r| r.latency.queuing.is_zero()));
     }
 
     #[test]
@@ -89,10 +92,16 @@ mod tests {
                 span: SimDuration::from_millis(10),
                 functions: 1,
                 bursts: 1,
-            ..WorkloadConfig::default()
-        },
+                ..WorkloadConfig::default()
+            },
         );
-        let report = run_simulation(Box::new(Vanilla::new()), &w, SimConfig::default(), "cpu", None);
+        let report = run_simulation(
+            Box::new(Vanilla::new()),
+            &w,
+            SimConfig::default(),
+            "cpu",
+            None,
+        );
         assert_eq!(report.provisioned_containers, 30);
         assert_eq!(report.cold_fraction(), 1.0);
     }
@@ -106,10 +115,16 @@ mod tests {
                 span: SimDuration::from_secs(60),
                 functions: 1,
                 bursts: 1,
-            ..WorkloadConfig::default()
-        },
+                ..WorkloadConfig::default()
+            },
         );
-        let report = run_simulation(Box::new(Vanilla::new()), &w, SimConfig::default(), "cpu", None);
+        let report = run_simulation(
+            Box::new(Vanilla::new()),
+            &w,
+            SimConfig::default(),
+            "cpu",
+            None,
+        );
         assert!(
             report.provisioned_containers < 30,
             "expected warm reuse, provisioned {}",
@@ -127,11 +142,23 @@ mod tests {
                 span: SimDuration::from_secs(5),
                 functions: 2,
                 bursts: 2,
-            ..WorkloadConfig::default()
-        },
+                ..WorkloadConfig::default()
+            },
         );
-        let a = run_simulation(Box::new(Vanilla::new()), &w, SimConfig::default(), "cpu", None);
-        let b = run_simulation(Box::new(Vanilla::new()), &w, SimConfig::default(), "cpu", None);
+        let a = run_simulation(
+            Box::new(Vanilla::new()),
+            &w,
+            SimConfig::default(),
+            "cpu",
+            None,
+        );
+        let b = run_simulation(
+            Box::new(Vanilla::new()),
+            &w,
+            SimConfig::default(),
+            "cpu",
+            None,
+        );
         assert_eq!(a, b);
     }
 }

@@ -86,7 +86,10 @@ impl CpuModel {
     ///
     /// Panics if `cores` is not a positive finite number.
     pub fn new(cores: f64) -> Self {
-        assert!(cores.is_finite() && cores > 0.0, "invalid core count: {cores}");
+        assert!(
+            cores.is_finite() && cores > 0.0,
+            "invalid core count: {cores}"
+        );
         CpuModel {
             cores,
             tasks: BTreeMap::new(),
@@ -218,7 +221,10 @@ impl CpuModel {
         work: SimDuration,
         demand: f64,
     ) -> CpuTaskId {
-        assert!(demand.is_finite() && demand > 0.0, "invalid demand: {demand}");
+        assert!(
+            demand.is_finite() && demand > 0.0,
+            "invalid demand: {demand}"
+        );
         self.accrue(now);
         let g = self.groups.get_mut(&group).expect("unknown CPU group");
         g.members += 1;
@@ -287,7 +293,9 @@ impl CpuModel {
     /// it) and the completing task. `None` when no runnable task exists.
     pub fn next_completion(&self, now: SimTime) -> Option<(SimTime, CpuTaskId)> {
         debug_assert!(now >= self.last_accrual);
-        let elapsed = now.saturating_duration_since(self.last_accrual).as_secs_f64();
+        let elapsed = now
+            .saturating_duration_since(self.last_accrual)
+            .as_secs_f64();
         let mut best: Option<(f64, CpuTaskId)> = None;
         for (id, t) in &self.tasks {
             if t.rate <= 0.0 {
@@ -361,7 +369,9 @@ impl CpuModel {
             "CPU model cannot move backwards: {now} < {}",
             self.last_accrual
         );
-        let dt = now.saturating_duration_since(self.last_accrual).as_secs_f64();
+        let dt = now
+            .saturating_duration_since(self.last_accrual)
+            .as_secs_f64();
         if dt > 0.0 {
             for t in self.tasks.values_mut() {
                 let burned = t.rate * dt;
@@ -404,7 +414,9 @@ impl CpuModel {
         order.sort_by(|a, b| {
             let ra = a.1 / a.2;
             let rb = b.1 / b.2;
-            ra.partial_cmp(&rb).expect("finite ratios").then(a.0.cmp(&b.0))
+            ra.partial_cmp(&rb)
+                .expect("finite ratios")
+                .then(a.0.cmp(&b.0))
         });
         let mut remaining = self.cores;
         let mut weight_left: f64 = order.iter().map(|&(_, _, w)| w).sum();
@@ -436,7 +448,11 @@ impl CpuModel {
             let mut budget = alloc[&gid];
             let mut tasks: Vec<(CpuTaskId, f64)> =
                 ids.iter().map(|id| (*id, self.tasks[id].demand)).collect();
-            tasks.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("demand is finite").then(a.0.cmp(&b.0)));
+            tasks.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("demand is finite")
+                    .then(a.0.cmp(&b.0))
+            });
             let mut left = tasks.len();
             for (tid, d) in tasks {
                 let fair = budget / left as f64;

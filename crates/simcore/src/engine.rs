@@ -311,9 +311,13 @@ mod tests {
         let log: Rc<RefCell<Vec<&'static str>>> = Rc::default();
         let mut e: Engine<()> = Engine::new();
         let l2 = log.clone();
-        e.schedule_at(SimTime::from_millis(1), move |_, _| l2.borrow_mut().push("a"));
+        e.schedule_at(SimTime::from_millis(1), move |_, _| {
+            l2.borrow_mut().push("a")
+        });
         let l3 = log.clone();
-        e.schedule_at(SimTime::from_millis(2), move |_, _| l3.borrow_mut().push("b"));
+        e.schedule_at(SimTime::from_millis(2), move |_, _| {
+            l3.borrow_mut().push("b")
+        });
         e.run(&mut ());
         assert_eq!(*log.borrow(), vec!["a", "b"]);
     }

@@ -124,7 +124,10 @@ impl MemoryLedger {
     ///
     /// Returns 0 when no time has elapsed.
     pub fn mean_bytes_since(&self, start: SimTime) -> f64 {
-        let span = self.last_update.saturating_duration_since(start).as_secs_f64();
+        let span = self
+            .last_update
+            .saturating_duration_since(start)
+            .as_secs_f64();
         if span == 0.0 {
             0.0
         } else {
@@ -138,7 +141,9 @@ impl MemoryLedger {
             "memory ledger cannot move backwards: {now} < {}",
             self.last_update
         );
-        let dt = now.saturating_duration_since(self.last_update).as_secs_f64();
+        let dt = now
+            .saturating_duration_since(self.last_update)
+            .as_secs_f64();
         self.byte_seconds += self.current as f64 * dt;
         self.last_update = now;
     }

@@ -21,7 +21,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::ZERO + SimDuration::from_millis(250);
 /// assert_eq!(t.as_micros(), 250_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, measured in microseconds.
@@ -34,7 +36,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_secs_f64(0.2);
 /// assert_eq!(d.as_millis(), 200);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -150,7 +154,10 @@ impl SimDuration {
     ///
     /// Panics if `millis` is negative or not finite.
     pub fn from_millis_f64(millis: f64) -> Self {
-        assert!(millis.is_finite() && millis >= 0.0, "invalid duration: {millis}");
+        assert!(
+            millis.is_finite() && millis >= 0.0,
+            "invalid duration: {millis}"
+        );
         SimDuration((millis * 1e3).round() as u64)
     }
 
@@ -201,7 +208,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid factor: {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor: {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -333,7 +343,10 @@ mod tests {
         let early = SimTime::from_secs(1);
         let late = SimTime::from_secs(2);
         assert_eq!(early.saturating_duration_since(late), SimDuration::ZERO);
-        assert_eq!(late.saturating_duration_since(early), SimDuration::from_secs(1));
+        assert_eq!(
+            late.saturating_duration_since(early),
+            SimDuration::from_secs(1)
+        );
     }
 
     #[test]
@@ -375,6 +388,9 @@ mod tests {
     fn ordering_is_numeric() {
         assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
         assert!(SimDuration::from_millis(1) < SimDuration::from_secs(1));
-        assert_eq!(SimTime::ZERO.max(SimTime::from_secs(1)), SimTime::from_secs(1));
+        assert_eq!(
+            SimTime::ZERO.max(SimTime::from_secs(1)),
+            SimTime::from_secs(1)
+        );
     }
 }

@@ -80,7 +80,8 @@ impl CreationCost {
     /// Work for one creation when `concurrent` creations are in flight.
     pub fn work_at_concurrency(&self, concurrent: usize) -> Duration {
         let k = concurrent.max(1) as f64;
-        self.base_cpu.mul_f64(1.0 + self.contention_alpha * (k - 1.0))
+        self.base_cpu
+            .mul_f64(1.0 + self.contention_alpha * (k - 1.0))
     }
 }
 

@@ -45,7 +45,8 @@ impl ClientCostModel {
     /// the same container.
     pub fn creation_work(&self, concurrent: usize) -> SimDuration {
         let k = concurrent.max(1) as f64;
-        self.base_work.mul_f64(1.0 + self.contention_alpha * (k - 1.0))
+        self.base_work
+            .mul_f64(1.0 + self.contention_alpha * (k - 1.0))
     }
 
     /// Total serialized time for a burst of `k` simultaneous creations in

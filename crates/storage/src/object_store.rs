@@ -218,7 +218,13 @@ mod tests {
         assert_eq!(s.get("b", "k").unwrap(), Bytes::from_static(b"v1"));
         assert_eq!(s.put("b", "k", Bytes::from_static(b"v2")).unwrap(), 2);
         let meta = s.head("b", "k").unwrap();
-        assert_eq!(meta, ObjectMeta { size: 2, version: 2 });
+        assert_eq!(
+            meta,
+            ObjectMeta {
+                size: 2,
+                version: 2
+            }
+        );
         assert!(s.delete("b", "k").unwrap());
         assert!(!s.delete("b", "k").unwrap());
         assert!(matches!(
@@ -234,14 +240,23 @@ mod tests {
             s.put("nope", "k", Bytes::new()),
             Err(StoreError::BucketNotFound("nope".into()))
         );
-        assert!(matches!(s.get("nope", "k"), Err(StoreError::BucketNotFound(_))));
-        assert!(matches!(s.list("nope", ""), Err(StoreError::BucketNotFound(_))));
+        assert!(matches!(
+            s.get("nope", "k"),
+            Err(StoreError::BucketNotFound(_))
+        ));
+        assert!(matches!(
+            s.list("nope", ""),
+            Err(StoreError::BucketNotFound(_))
+        ));
     }
 
     #[test]
     fn duplicate_bucket_rejected() {
         let s = store_with_bucket();
-        assert_eq!(s.create_bucket("b"), Err(StoreError::BucketExists("b".into())));
+        assert_eq!(
+            s.create_bucket("b"),
+            Err(StoreError::BucketExists("b".into()))
+        );
     }
 
     #[test]

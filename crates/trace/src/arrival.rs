@@ -91,7 +91,10 @@ impl Default for BurstyConfig {
 pub fn bursty(rng: &mut DetRng, cfg: &BurstyConfig) -> Vec<SimTime> {
     assert!(!cfg.span.is_zero(), "span must be positive");
     assert!(cfg.burst_width < cfg.span, "burst wider than span");
-    assert!((0.0..=1.0).contains(&cfg.burst_mass), "burst_mass out of range");
+    assert!(
+        (0.0..=1.0).contains(&cfg.burst_mass),
+        "burst_mass out of range"
+    );
     let in_bursts = (cfg.total as f64 * cfg.burst_mass).round() as usize;
     let background = cfg.total - in_bursts;
     let mut out = Vec::with_capacity(cfg.total);
@@ -136,7 +139,9 @@ pub fn day_pattern(rng: &mut DetRng, daily_total: usize, peak_hours: &[u32]) -> 
     for i in 0..peak_total {
         let hour = peak_hours[i % peak_hours.len()] as u64 % 24;
         let start = hour * 3600 * 1_000_000;
-        out.push(SimTime::from_micros(start + rng.uniform_u64(0, 3600 * 1_000_000)));
+        out.push(SimTime::from_micros(
+            start + rng.uniform_u64(0, 3600 * 1_000_000),
+        ));
     }
     out.sort_unstable();
     out
@@ -250,7 +255,10 @@ mod tests {
     #[test]
     fn bin_counts_sum_to_len() {
         let mut rng = DetRng::new(4);
-        let cfg = BurstyConfig { total: 100, ..BurstyConfig::default() };
+        let cfg = BurstyConfig {
+            total: 100,
+            ..BurstyConfig::default()
+        };
         let span_with_slack = cfg.span + cfg.burst_width;
         let a = bursty(&mut rng, &cfg);
         let counts = bin_counts(&a, SimDuration::from_secs(1), span_with_slack);

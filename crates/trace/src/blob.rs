@@ -39,9 +39,21 @@ impl BlobIatModel {
     pub fn azure_fig3() -> Self {
         BlobIatModel {
             bands: vec![
-                IatBand { lo_ms: 1.0, hi_ms: 100.0, probability: 0.80 },
-                IatBand { lo_ms: 100.0, hi_ms: 1_000.0, probability: 0.10 },
-                IatBand { lo_ms: 1_000.0, hi_ms: 60_000.0, probability: 0.10 },
+                IatBand {
+                    lo_ms: 1.0,
+                    hi_ms: 100.0,
+                    probability: 0.80,
+                },
+                IatBand {
+                    lo_ms: 100.0,
+                    hi_ms: 1_000.0,
+                    probability: 0.10,
+                },
+                IatBand {
+                    lo_ms: 1_000.0,
+                    hi_ms: 60_000.0,
+                    probability: 0.10,
+                },
             ],
         }
     }

@@ -48,12 +48,36 @@ impl DurationDistribution {
     pub fn azure_fig9() -> Self {
         DurationDistribution {
             buckets: vec![
-                DurationBucket { lo_ms: 1.0, hi_ms: 50.0, probability: 0.5513 },
-                DurationBucket { lo_ms: 50.0, hi_ms: 100.0, probability: 0.0696 },
-                DurationBucket { lo_ms: 100.0, hi_ms: 200.0, probability: 0.0561 },
-                DurationBucket { lo_ms: 200.0, hi_ms: 400.0, probability: 0.1108 },
-                DurationBucket { lo_ms: 400.0, hi_ms: 1550.0, probability: 0.1109 },
-                DurationBucket { lo_ms: 1550.0, hi_ms: Self::TAIL_CAP_MS, probability: 0.1014 },
+                DurationBucket {
+                    lo_ms: 1.0,
+                    hi_ms: 50.0,
+                    probability: 0.5513,
+                },
+                DurationBucket {
+                    lo_ms: 50.0,
+                    hi_ms: 100.0,
+                    probability: 0.0696,
+                },
+                DurationBucket {
+                    lo_ms: 100.0,
+                    hi_ms: 200.0,
+                    probability: 0.0561,
+                },
+                DurationBucket {
+                    lo_ms: 200.0,
+                    hi_ms: 400.0,
+                    probability: 0.1108,
+                },
+                DurationBucket {
+                    lo_ms: 400.0,
+                    hi_ms: 1550.0,
+                    probability: 0.1109,
+                },
+                DurationBucket {
+                    lo_ms: 1550.0,
+                    hi_ms: Self::TAIL_CAP_MS,
+                    probability: 0.1014,
+                },
             ],
         }
     }

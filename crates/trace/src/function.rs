@@ -111,7 +111,10 @@ mod tests {
         let a = reg.register("fib", FunctionKind::Cpu { fib_n: 30 });
         let b = reg.register(
             "io",
-            FunctionKind::Io { bucket: "b".into(), ops: 2 },
+            FunctionKind::Io {
+                bucket: "b".into(),
+                ops: 2,
+            },
         );
         assert_ne!(a, b);
         assert_eq!(reg.len(), 2);

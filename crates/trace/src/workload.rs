@@ -294,7 +294,10 @@ mod tests {
         let w = cpu_workload(&DetRng::new(1), &WorkloadConfig::default());
         assert_eq!(w.len(), 800);
         assert_eq!(w.registry().len(), 8);
-        assert!(w.invocations().windows(2).all(|p| p[0].arrival <= p[1].arrival));
+        assert!(w
+            .invocations()
+            .windows(2)
+            .all(|p| p[0].arrival <= p[1].arrival));
         // Ids are dense and in arrival order.
         for (i, inv) in w.invocations().iter().enumerate() {
             assert_eq!(inv.id.value(), i as u64);
@@ -305,7 +308,10 @@ mod tests {
     fn cpu_durations_follow_fig9_roughly() {
         let w = cpu_workload(
             &DetRng::new(2),
-            &WorkloadConfig { total: 20_000, ..WorkloadConfig::default() },
+            &WorkloadConfig {
+                total: 20_000,
+                ..WorkloadConfig::default()
+            },
         );
         let dist = DurationDistribution::azure_fig9();
         let samples: Vec<SimDuration> = w.invocations().iter().map(|i| i.work).collect();
@@ -318,7 +324,10 @@ mod tests {
     fn popularity_is_skewed() {
         let w = cpu_workload(
             &DetRng::new(3),
-            &WorkloadConfig { total: 4_000, ..WorkloadConfig::default() },
+            &WorkloadConfig {
+                total: 4_000,
+                ..WorkloadConfig::default()
+            },
         );
         let mut counts = vec![0usize; w.registry().len()];
         for inv in w.invocations() {
@@ -333,7 +342,10 @@ mod tests {
 
     #[test]
     fn io_workload_registers_io_functions() {
-        let cfg = WorkloadConfig { total: 400, ..WorkloadConfig::default() };
+        let cfg = WorkloadConfig {
+            total: 400,
+            ..WorkloadConfig::default()
+        };
         let w = io_workload(&DetRng::new(4), &cfg);
         assert_eq!(w.len(), 400);
         assert!(w.registry().iter().all(|(_, p)| p.kind.is_io()));
@@ -389,7 +401,10 @@ mod tests {
     fn truncate_keeps_prefix() {
         let w = cpu_workload(&DetRng::new(5), &WorkloadConfig::default()).truncate(100);
         assert_eq!(w.len(), 100);
-        assert!(w.invocations().windows(2).all(|p| p[0].arrival <= p[1].arrival));
+        assert!(w
+            .invocations()
+            .windows(2)
+            .all(|p| p[0].arrival <= p[1].arrival));
     }
 
     #[test]

@@ -27,7 +27,9 @@ fn load_workload() -> Workload {
     if args.len() >= 3 {
         let invocations = File::open(&args[1]).expect("invocations CSV exists");
         let durations = File::open(&args[2]).expect("durations CSV exists");
-        let minute: usize = args.get(3).map_or(1330, |m| m.parse().expect("numeric minute"));
+        let minute: usize = args
+            .get(3)
+            .map_or(1330, |m| m.parse().expect("numeric minute"));
         let days = parse_invocations_csv(invocations).expect("valid invocations CSV");
         let rows = parse_durations_csv(durations).expect("valid durations CSV");
         println!(
@@ -50,7 +52,13 @@ fn main() {
         workload.registry().len()
     );
     let cfg = SimConfig::default();
-    let vanilla = run_simulation(Box::new(Vanilla::new()), &workload, cfg.clone(), "azure", None);
+    let vanilla = run_simulation(
+        Box::new(Vanilla::new()),
+        &workload,
+        cfg.clone(),
+        "azure",
+        None,
+    );
     let faasbatch = run_faasbatch(&workload, cfg, FaasBatchConfig::default(), "azure");
     let rows: Vec<Vec<String>> = [&vanilla, &faasbatch]
         .iter()
@@ -66,6 +74,9 @@ fn main() {
         .collect();
     println!(
         "{}",
-        text_table(&["scheduler", "e2e mean", "e2e p99", "containers", "mem mean"], &rows)
+        text_table(
+            &["scheduler", "e2e mean", "e2e p99", "containers", "mem mean"],
+            &rows
+        )
     );
 }

@@ -116,7 +116,13 @@ fn main() {
     println!(
         "{}",
         text_table(
-            &["scheduler", "sched mean", "e2e mean", "containers", "mem mean"],
+            &[
+                "scheduler",
+                "sched mean",
+                "e2e mean",
+                "containers",
+                "mem mean"
+            ],
             &rows,
         )
     );

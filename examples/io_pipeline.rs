@@ -21,9 +21,13 @@ fn build(multiplex: bool, store: ObjectStore) -> FaasBatchPlatform {
         .store(store)
         .register("etl", |env| {
             // Listing 1: create the client (expensive!), then do the work.
-            let client = env.container.storage_client(&ClientConfig::for_bucket("artifacts"));
+            let client = env
+                .container
+                .storage_client(&ClientConfig::for_bucket("artifacts"));
             let key = format!("record/{}", env.payload.len());
-            client.put(&key, env.payload.clone()).expect("bucket exists");
+            client
+                .put(&key, env.payload.clone())
+                .expect("bucket exists");
             let _ = client.get(&key).expect("just written");
         })
         .start()

@@ -39,13 +39,22 @@ fn main() {
 
     println!("\n== burst of 32 concurrent invocations ==");
     let tickets: Vec<_> = (0..32)
-        .map(|_| platform.invoke("fib-28", Bytes::from_static(&[26])).expect("registered"))
+        .map(|_| {
+            platform
+                .invoke("fib-28", Bytes::from_static(&[26]))
+                .expect("registered")
+        })
         .collect();
     let outcomes: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
     let cold = outcomes.iter().filter(|o| o.cold).count();
     let mean_exec: Duration =
         outcomes.iter().map(|o| o.execution).sum::<Duration>() / outcomes.len() as u32;
-    println!("{} invocations, {} cold, mean execution {:?}", outcomes.len(), cold, mean_exec);
+    println!(
+        "{} invocations, {} cold, mean execution {:?}",
+        outcomes.len(),
+        cold,
+        mean_exec
+    );
     println!(
         "containers created so far: {}",
         platform

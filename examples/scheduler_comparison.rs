@@ -32,7 +32,10 @@ fn main() {
     let vanilla = run_simulation(Box::new(Vanilla::new()), &workload, cfg.clone(), "io", None);
     let sfs = run_simulation(Box::new(Sfs::new()), &workload, cfg.clone(), "io", None);
     let kraken = run_simulation(
-        Box::new(Kraken::new(KrakenCalibration::from_vanilla(&vanilla), window)),
+        Box::new(Kraken::new(
+            KrakenCalibration::from_vanilla(&vanilla),
+            window,
+        )),
         &workload,
         cfg.clone(),
         "io",
@@ -57,7 +60,14 @@ fn main() {
     println!(
         "{}",
         text_table(
-            &["scheduler", "e2e mean", "e2e p99", "containers", "mem mean", "cpu util"],
+            &[
+                "scheduler",
+                "e2e mean",
+                "e2e p99",
+                "containers",
+                "mem mean",
+                "cpu util"
+            ],
             &rows,
         )
     );

@@ -16,7 +16,11 @@ fn main() {
     let rng = DetRng::new(42);
     let w = cpu_workload(&rng, &WorkloadConfig::default());
 
-    println!("== workload: {} invocations, {} functions ==\n", w.len(), w.registry().len());
+    println!(
+        "== workload: {} invocations, {} functions ==\n",
+        w.len(),
+        w.registry().len()
+    );
 
     // Popularity skew.
     let mut counts = vec![0usize; w.registry().len()];
@@ -30,11 +34,17 @@ fn main() {
             vec![
                 p.name.clone(),
                 counts[id.index() as usize].to_string(),
-                format!("{:.1}%", 100.0 * counts[id.index() as usize] as f64 / w.len() as f64),
+                format!(
+                    "{:.1}%",
+                    100.0 * counts[id.index() as usize] as f64 / w.len() as f64
+                ),
             ]
         })
         .collect();
-    println!("{}", text_table(&["function", "invocations", "share"], &rows));
+    println!(
+        "{}",
+        text_table(&["function", "invocations", "share"], &rows)
+    );
 
     // Duration buckets vs Fig. 9.
     let dist = DurationDistribution::azure_fig9();
@@ -52,11 +62,18 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", text_table(&["duration bucket", "Fig. 9", "this trace"], &rows));
+    println!(
+        "{}",
+        text_table(&["duration bucket", "Fig. 9", "this trace"], &rows)
+    );
 
     // Burstiness.
     let arrivals: Vec<_> = w.invocations().iter().map(|i| i.arrival).collect();
-    let per_sec = bin_counts(&arrivals, SimDuration::from_secs(1), SimDuration::from_secs(61));
+    let per_sec = bin_counts(
+        &arrivals,
+        SimDuration::from_secs(1),
+        SimDuration::from_secs(61),
+    );
     println!(
         "arrivals: peak {}/s, burstiness {:.1} (peak/mean)\n",
         per_sec.iter().max().unwrap(),

@@ -18,6 +18,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`core`] | Invoke Mapper, Resource Multiplexer, FaaSBatch policy, live platform |
+//! | [`fleet`] | multi-worker fleet simulation: pluggable routing, faults, aggregate reports |
 //! | [`schedulers`] | shared simulation harness + Vanilla / Kraken / SFS baselines |
 //! | [`container`] | container lifecycle, warm pool, cold-start model, live executor |
 //! | [`storage`] | in-memory object store + costly-client SDK (the multiplexed resource) |
@@ -55,6 +56,7 @@
 
 pub use faasbatch_container as container;
 pub use faasbatch_core as core;
+pub use faasbatch_fleet as fleet;
 pub use faasbatch_metrics as metrics;
 pub use faasbatch_schedulers as schedulers;
 pub use faasbatch_simcore as simcore;

@@ -4,11 +4,16 @@
 //! faasbatch compare  [--workload cpu|io] [--seed N] [--window-ms N]
 //!                    [--total N] [--span-s N] [--functions N] [--no-multiplex]
 //! faasbatch workload [--workload cpu|io] [--seed N] [--total N] [--span-s N]
+//! faasbatch fleet    [--workers N] [--policy NAME] [--scheduler faasbatch|vanilla]
+//!                    [--crash W@MS,...] [--drain W@MS,...]
 //! faasbatch figures
 //! faasbatch help
 //! ```
 
 use faasbatch::core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch::fleet::config::{FaultKind, FleetConfig, WorkerFault, WorkerScheduler};
+use faasbatch::fleet::routing::RoutingKind;
+use faasbatch::fleet::sim::run_fleet;
 use faasbatch::metrics::report::{text_table, RunReport};
 use faasbatch::schedulers::config::SimConfig;
 use faasbatch::schedulers::harness::run_simulation;
@@ -30,12 +35,19 @@ USAGE:
                        [--no-multiplex] [--import FILE]
     faasbatch workload [--workload cpu|io] [--seed N] [--total N] [--span-s N]
                        [--heterogeneity H] [--export FILE]
+    faasbatch fleet    [--workers N] [--policy round-robin|least-loaded|
+                       warm-affinity|pull-based] [--scheduler faasbatch|vanilla]
+                       [--workload cpu|io] [--seed N] [--total N] [--span-s N]
+                       [--window-ms N] [--max-retries N] [--redispatch-ms N]
+                       [--crash W@MS[,W@MS…]] [--drain W@MS[,W@MS…]]
     faasbatch figures
     faasbatch help
 
 COMMANDS:
     compare    replay one workload under Vanilla, SFS, Kraken, and FaaSBatch
     workload   generate a workload and print its statistics
+    fleet      replay one workload across a multi-worker fleet with a
+               pluggable routing policy and optional worker faults
     figures    list the per-figure regeneration binaries
 
 Workloads exported with `workload --export` replay bit-identically via
@@ -74,13 +86,18 @@ impl Options {
     }
 
     fn str(&self, key: &str, default: &str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_owned())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
     }
 
     fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.values.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid number for {key}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid number for {key}: {v}")),
         }
     }
 
@@ -116,8 +133,8 @@ fn load_or_build(opts: &Options) -> Result<(String, Workload), String> {
     match opts.values.get("--import") {
         None => build_workload(opts),
         Some(path) => {
-            let json = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let w: Workload =
                 serde_json::from_str(&json).map_err(|e| format!("invalid workload JSON: {e}"))?;
             Ok(("imported".to_owned(), w))
@@ -136,7 +153,10 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
     let vanilla = run_simulation(Box::new(Vanilla::new()), &w, cfg.clone(), &label, None);
     let sfs = run_simulation(Box::new(Sfs::new()), &w, cfg.clone(), &label, None);
     let kraken = run_simulation(
-        Box::new(Kraken::new(KrakenCalibration::from_vanilla(&vanilla), window)),
+        Box::new(Kraken::new(
+            KrakenCalibration::from_vanilla(&vanilla),
+            window,
+        )),
         &w,
         cfg.clone(),
         &label,
@@ -166,7 +186,15 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
     println!(
         "{}",
         text_table(
-            &["scheduler", "e2e mean", "e2e p99", "containers", "mem mean", "cpu util", "daemon cpu-s"],
+            &[
+                "scheduler",
+                "e2e mean",
+                "e2e p99",
+                "containers",
+                "mem mean",
+                "cpu util",
+                "daemon cpu-s"
+            ],
             &rows,
         )
     );
@@ -195,7 +223,10 @@ fn cmd_workload(opts: &Options) -> Result<(), String> {
         per_sec.iter().max().copied().unwrap_or(0),
         burstiness(&per_sec)
     );
-    println!("total intrinsic work: {:.1} core-seconds", w.total_work().as_secs_f64());
+    println!(
+        "total intrinsic work: {:.1} core-seconds",
+        w.total_work().as_secs_f64()
+    );
     let mut counts: Vec<(String, usize)> = w
         .registry()
         .iter()
@@ -217,20 +248,156 @@ fn cmd_workload(opts: &Options) -> Result<(), String> {
             ]
         })
         .collect();
-    println!("{}", text_table(&["function", "invocations", "share"], &rows));
+    println!(
+        "{}",
+        text_table(&["function", "invocations", "share"], &rows)
+    );
+    Ok(())
+}
+
+/// Parses a `W@MS[,W@MS…]` fault list (worker index @ millisecond instant).
+fn parse_faults(spec: &str, kind: FaultKind) -> Result<Vec<WorkerFault>, String> {
+    spec.split(',')
+        .map(|part| {
+            let (w, ms) = part
+                .split_once('@')
+                .ok_or_else(|| format!("invalid fault `{part}` (expected W@MS)"))?;
+            Ok(WorkerFault {
+                worker: w
+                    .parse()
+                    .map_err(|_| format!("invalid worker index in `{part}`"))?,
+                at: faasbatch::simcore::time::SimTime::from_millis(
+                    ms.parse()
+                        .map_err(|_| format!("invalid millisecond instant in `{part}`"))?,
+                ),
+                kind,
+            })
+        })
+        .collect()
+}
+
+fn cmd_fleet(opts: &Options) -> Result<(), String> {
+    let (label, w) = load_or_build(opts)?;
+    let policy_name = opts.str("--policy", "least-loaded");
+    let kind = RoutingKind::parse(&policy_name)
+        .ok_or_else(|| format!("unknown routing policy: {policy_name}"))?;
+    let window = SimDuration::from_millis(opts.num("--window-ms", 200)?);
+    let scheduler = match opts.str("--scheduler", "faasbatch").as_str() {
+        "faasbatch" => WorkerScheduler::FaasBatch(FaasBatchConfig::with_window(window)),
+        "vanilla" => WorkerScheduler::Vanilla,
+        other => {
+            return Err(format!(
+                "unknown scheduler: {other} (use faasbatch|vanilla)"
+            ))
+        }
+    };
+    let mut faults = Vec::new();
+    if let Some(spec) = opts.values.get("--crash") {
+        faults.extend(parse_faults(spec, FaultKind::Crash)?);
+    }
+    if let Some(spec) = opts.values.get("--drain") {
+        faults.extend(parse_faults(spec, FaultKind::Drain)?);
+    }
+    let cfg = FleetConfig {
+        workers: opts.num("--workers", 4)?,
+        window,
+        scheduler,
+        faults,
+        max_retries: opts.num("--max-retries", 3)?,
+        redispatch_delay: SimDuration::from_millis(opts.num("--redispatch-ms", 50)?),
+        ..FleetConfig::default()
+    };
+    if cfg.workers == 0 {
+        return Err("--workers must be at least 1".to_owned());
+    }
+    if let Some(f) = cfg.faults.iter().find(|f| f.worker >= cfg.workers) {
+        return Err(format!(
+            "fault references worker {} but the fleet has {}",
+            f.worker, cfg.workers
+        ));
+    }
+
+    println!(
+        "replaying {} invocations ({label}) over {} workers, {} routing…\n",
+        w.len(),
+        cfg.workers,
+        kind.name()
+    );
+    let report = run_fleet(&w, &cfg, kind.build(), &label);
+
+    let rows: Vec<Vec<String>> = report
+        .workers
+        .iter()
+        .map(|wr| {
+            vec![
+                wr.worker.to_string(),
+                wr.fault.map_or("-".to_owned(), |f| {
+                    format!("{:?}@{}", f.kind, f.at).to_lowercase()
+                }),
+                wr.completed.to_string(),
+                wr.lost.to_string(),
+                wr.report.provisioned_containers.to_string(),
+                wr.report.warm_hits.to_string(),
+                format!("{:.2}", wr.report.sampler.mean_busy_cores()),
+                format!("{:.0} MB", wr.report.mean_memory_bytes() / (1 << 20) as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &[
+                "worker",
+                "fault",
+                "completed",
+                "lost",
+                "containers",
+                "warm hits",
+                "busy cores",
+                "mem mean"
+            ],
+            &rows,
+        )
+    );
+    let e2e = report.end_to_end_cdf();
+    println!(
+        "fleet: e2e mean {} | e2e p99 {} | warm-hit rate {:.1}% | imbalance CoV {:.3}",
+        e2e.mean(),
+        e2e.quantile(0.99),
+        report.warm_hit_rate() * 100.0,
+        report.load_imbalance()
+    );
+    println!(
+        "       retries {} | retry delay {} | makespan {}",
+        report.retries, report.retry_delay_total, report.makespan
+    );
     Ok(())
 }
 
 fn cmd_figures() {
-    println!("Figure harnesses (run with `cargo run --release -p faasbatch-bench --bin <name>`):\n");
+    println!(
+        "Figure harnesses (run with `cargo run --release -p faasbatch-bench --bin <name>`):\n"
+    );
     for (name, what) in [
         ("headline_summary", "abstract/§V reduction table"),
         ("fig01_sharing_vs_monopoly", "Fig. 1 — sharing vs monopoly"),
-        ("fig02_invocation_patterns", "Fig. 2 — hot-function day patterns"),
+        (
+            "fig02_invocation_patterns",
+            "Fig. 2 — hot-function day patterns",
+        ),
         ("fig03_blob_iat_cdf", "Fig. 3 — blob inter-access-time CDF"),
-        ("fig04_client_creation_latency", "Fig. 4 — client creation time"),
-        ("fig05_client_creation_memory", "Fig. 5 — client creation memory"),
-        ("fig09_duration_distribution", "Fig. 9 — duration distribution"),
+        (
+            "fig04_client_creation_latency",
+            "Fig. 4 — client creation time",
+        ),
+        (
+            "fig05_client_creation_memory",
+            "Fig. 5 — client creation memory",
+        ),
+        (
+            "fig09_duration_distribution",
+            "Fig. 9 — duration distribution",
+        ),
         ("fig10_workload_pattern", "Fig. 10 — arrival pattern"),
         ("fig11_cpu_latency", "Fig. 11 — CPU latency CDFs"),
         ("fig12_io_latency", "Fig. 12 — I/O latency CDFs"),
@@ -242,6 +409,10 @@ fn cmd_figures() {
         ("ablation_keepalive", "keep-alive TTL sensitivity"),
         ("ablation_early_return", "batch vs early-return responses"),
         ("ablation_kraken_prediction", "Kraken lazy/oracle/EWMA"),
+        (
+            "fleet_scaling",
+            "multi-worker fleet: workers × routing policies",
+        ),
     ] {
         println!("  {name:<30} {what}");
     }
@@ -259,6 +430,7 @@ fn main() -> ExitCode {
     let result = match command {
         "compare" => Options::parse(rest).and_then(|o| cmd_compare(&o)),
         "workload" => Options::parse(rest).and_then(|o| cmd_workload(&o)),
+        "fleet" => Options::parse(rest).and_then(|o| cmd_fleet(&o)),
         "figures" => {
             cmd_figures();
             Ok(())

@@ -34,7 +34,10 @@ fn run_scheduler(name: &str, w: &Workload) -> RunReport {
         "kraken" => {
             let vanilla = run_simulation(Box::new(Vanilla::new()), w, cfg.clone(), "cpu", None);
             run_simulation(
-                Box::new(Kraken::new(KrakenCalibration::from_vanilla(&vanilla), window)),
+                Box::new(Kraken::new(
+                    KrakenCalibration::from_vanilla(&vanilla),
+                    window,
+                )),
                 w,
                 cfg,
                 "cpu",

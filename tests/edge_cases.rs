@@ -2,7 +2,7 @@
 //! metrics on boundary inputs, fib correctness as a recurrence, workload
 //! merge properties, and engine cancel/re-arm patterns under churn.
 
-use faasbatch::container::ids::{FunctionId, InvocationId};
+use faasbatch::container::ids::InvocationId;
 use faasbatch::core::policy::{run_faasbatch, FaasBatchConfig};
 use faasbatch::schedulers::config::SimConfig;
 use faasbatch::simcore::engine::Engine;
@@ -67,7 +67,10 @@ fn merge_with_empty_workload_is_identity_on_invocations() {
     let merged2 = Workload::new(FunctionRegistry::new(), Vec::new()).merge(w.clone());
     assert_eq!(merged2.len(), 1);
     assert_eq!(
-        merged2.registry().profile(merged2.invocations()[0].function).name,
+        merged2
+            .registry()
+            .profile(merged2.invocations()[0].function)
+            .name,
         "f"
     );
 }
@@ -120,7 +123,11 @@ fn report_metrics_on_empty_and_single_records() {
     assert_eq!(cdf.quantile(0.0), cdf.quantile(1.0));
     assert_eq!(report.cold_fraction(), 1.0);
     assert_eq!(report.invocations_per_container(), 1.0);
-    assert_eq!(report.client_memory_per_request(), 0.0, "cpu run has no clients");
+    assert_eq!(
+        report.client_memory_per_request(),
+        0.0,
+        "cpu run has no clients"
+    );
 }
 
 #[test]

@@ -1,0 +1,104 @@
+//! Fleet-level properties: conservation (every invocation completes exactly
+//! once under every routing policy × worker count, with and without crash
+//! injection) and determinism (same seed + config ⇒ bit-identical report).
+
+use faasbatch::fleet::config::{FaultKind, FleetConfig, WorkerFault};
+use faasbatch::fleet::routing::RoutingKind;
+use faasbatch::fleet::sim::run_fleet;
+use faasbatch::simcore::rng::DetRng;
+use faasbatch::simcore::time::{SimDuration, SimTime};
+use faasbatch::trace::workload::{cpu_workload, Workload, WorkloadConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn wl(seed: u64) -> Workload {
+    cpu_workload(
+        &DetRng::new(seed),
+        &WorkloadConfig {
+            total: 100,
+            span: SimDuration::from_secs(8),
+            functions: 4,
+            bursts: 2,
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+/// A crash on worker 0 mid-replay; only injected when survivors exist.
+fn cfg(workers: usize, crash: bool) -> FleetConfig {
+    let mut cfg = FleetConfig {
+        workers,
+        max_retries: 5,
+        ..FleetConfig::default()
+    };
+    if crash && workers >= 2 {
+        cfg.faults.push(WorkerFault {
+            worker: 0,
+            at: SimTime::from_secs(2),
+            kind: FaultKind::Crash,
+        });
+    }
+    cfg
+}
+
+proptest! {
+    #[test]
+    fn every_invocation_completes_exactly_once(
+        seed in 0u64..1000,
+        workers in 1usize..=4,
+        policy in 0usize..4,
+        crash in 0usize..2,
+    ) {
+        let w = wl(seed);
+        let cfg = cfg(workers, crash == 1);
+        let report = run_fleet(&w, &cfg, RoutingKind::ALL[policy].build(), "cpu");
+        prop_assert_eq!(report.records.len(), w.len());
+        for (i, r) in report.records.iter().enumerate() {
+            prop_assert_eq!(r.record.id.value(), i as u64);
+            prop_assert!(r.record.is_consistent());
+        }
+        let completed: usize = report.workers.iter().map(|wr| wr.completed).sum();
+        prop_assert_eq!(completed, w.len());
+        prop_assert!(report.inconsistencies().is_empty());
+    }
+
+    #[test]
+    fn same_seed_and_config_is_bit_identical(
+        seed in 0u64..500,
+        workers in 1usize..=3,
+        policy in 0usize..4,
+        crash in 0usize..2,
+    ) {
+        let w = wl(seed);
+        let cfg = cfg(workers, crash == 1);
+        let a = run_fleet(&w, &cfg, RoutingKind::ALL[policy].build(), "cpu");
+        let b = run_fleet(&w, &cfg, RoutingKind::ALL[policy].build(), "cpu");
+        prop_assert_eq!(
+            serde_json::to_string(&a).expect("report serializes"),
+            serde_json::to_string(&b).expect("report serializes")
+        );
+    }
+
+    #[test]
+    fn function_groups_route_as_units(
+        seed in 0u64..500,
+        workers in 1usize..=4,
+        policy in 0usize..4,
+    ) {
+        let w = wl(seed);
+        let cfg = cfg(workers, false);
+        let report = run_fleet(&w, &cfg, RoutingKind::ALL[policy].build(), "cpu");
+        let mut owner: HashMap<(u32, u64), usize> = HashMap::new();
+        for r in &report.records {
+            let key = (
+                r.record.function.index(),
+                r.record.arrival.as_micros() / cfg.window.as_micros(),
+            );
+            let first = *owner.entry(key).or_insert(r.worker);
+            prop_assert_eq!(
+                first, r.worker,
+                "group {:?} split across workers {} and {}", key, first, r.worker
+            );
+        }
+    }
+}

@@ -30,8 +30,8 @@ fn workloads() -> Vec<(String, Workload)> {
                     span: SimDuration::from_secs(span_s),
                     functions,
                     bursts,
-            ..WorkloadConfig::default()
-        },
+                    ..WorkloadConfig::default()
+                },
             ),
         ));
     }
@@ -44,8 +44,8 @@ fn workloads() -> Vec<(String, Workload)> {
                 span: SimDuration::from_secs(10),
                 functions: 4,
                 bursts: 2,
-            ..WorkloadConfig::default()
-        },
+                ..WorkloadConfig::default()
+            },
         ),
     ));
     out
@@ -129,7 +129,10 @@ fn check_invariants(w: &Workload, r: &RunReport) {
         .filter(|i| w.registry().profile(i.function).kind.is_io())
         .count() as u64;
     assert_eq!(r.client_requests, io, "{tag}: client request count");
-    assert!(r.clients_created <= r.client_requests, "{tag}: client overcount");
+    assert!(
+        r.clients_created <= r.client_requests,
+        "{tag}: client overcount"
+    );
 }
 
 #[test]
@@ -178,6 +181,10 @@ fn zero_and_one_invocation_workloads() {
     for r in all_reports(&w1, "tiny") {
         assert_eq!(r.records.len(), 1, "{}", r.scheduler);
         assert_eq!(r.provisioned_containers, 1, "{}", r.scheduler);
-        assert!(r.records[0].cold, "{}: first ever invocation must be cold", r.scheduler);
+        assert!(
+            r.records[0].cold,
+            "{}: first ever invocation must be cold",
+            r.scheduler
+        );
     }
 }

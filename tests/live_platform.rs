@@ -18,9 +18,13 @@ fn io_platform(multiplex: bool, store: ObjectStore) -> FaasBatchPlatform {
         .cold_start_delay(Duration::from_millis(2))
         .store(store)
         .register("writer", |env| {
-            let client = env.container.storage_client(&ClientConfig::for_bucket("data"));
+            let client = env
+                .container
+                .storage_client(&ClientConfig::for_bucket("data"));
             let key = String::from_utf8_lossy(&env.payload).into_owned();
-            client.put(&key, env.payload.clone()).expect("bucket exists");
+            client
+                .put(&key, env.payload.clone())
+                .expect("bucket exists");
         })
         .register("fib", |env| {
             let n = env.payload.first().copied().unwrap_or(20) as u32;
@@ -86,7 +90,11 @@ fn mixed_functions_get_separate_containers() {
     let platform = io_platform(true, store);
     let mut tickets = Vec::new();
     for i in 0..10 {
-        tickets.push(platform.invoke("writer", Bytes::from(format!("w{i}"))).unwrap());
+        tickets.push(
+            platform
+                .invoke("writer", Bytes::from(format!("w{i}")))
+                .unwrap(),
+        );
         tickets.push(platform.invoke("fib", Bytes::from_static(&[20])).unwrap());
     }
     for t in tickets {
@@ -94,7 +102,10 @@ fn mixed_functions_get_separate_containers() {
     }
     platform.drain().unwrap();
     let containers = platform.stats().containers_created.load(Ordering::Relaxed);
-    assert!(containers >= 2, "two functions need at least two containers");
+    assert!(
+        containers >= 2,
+        "two functions need at least two containers"
+    );
     assert_eq!(platform.stats().invocations.load(Ordering::Relaxed), 20);
 }
 

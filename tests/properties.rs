@@ -5,13 +5,13 @@ use faasbatch::container::pool::WarmPool;
 use faasbatch::core::mapper::InvokeMapper;
 use faasbatch::core::multiplexer::ResourceMultiplexer;
 use faasbatch::metrics::stats::Cdf;
+use faasbatch::schedulers::kraken::{Kraken, KrakenCalibration};
 use faasbatch::simcore::cpu::CpuModel;
 use faasbatch::simcore::engine::Engine;
 use faasbatch::simcore::memory::MemoryLedger;
 use faasbatch::simcore::time::{SimDuration, SimTime};
 use faasbatch::trace::duration::DurationDistribution;
 use faasbatch::trace::workload::Invocation;
-use faasbatch::schedulers::kraken::{Kraken, KrakenCalibration};
 use proptest::prelude::*;
 
 proptest! {

@@ -44,7 +44,12 @@ fn simulated_counts() -> (u64, u64) {
         })
         .collect();
     let w = Workload::new(reg, invs);
-    let report = run_faasbatch(&w, SimConfig::default(), FaasBatchConfig::default(), "xcheck");
+    let report = run_faasbatch(
+        &w,
+        SimConfig::default(),
+        FaasBatchConfig::default(),
+        "xcheck",
+    );
     (report.provisioned_containers, report.clients_created)
 }
 

@@ -32,7 +32,12 @@ fn run_all(w: &Workload, cfg: SimConfig) -> Vec<RunReport> {
 
 fn check(w: &Workload, reports: &[RunReport]) {
     for r in reports {
-        assert_eq!(r.records.len(), w.len(), "{}: lost invocations", r.scheduler);
+        assert_eq!(
+            r.records.len(),
+            w.len(),
+            "{}: lost invocations",
+            r.scheduler
+        );
         assert!(
             r.inconsistencies().is_empty(),
             "{}: {:?}",
@@ -118,7 +123,11 @@ fn heavy_tail_mixture() {
             .iter()
             .find(|rec| rec.function == giant)
             .expect("giant completed");
-        assert!(g.latency.execution >= SimDuration::from_secs(60), "{}", r.scheduler);
+        assert!(
+            g.latency.execution >= SimDuration::from_secs(60),
+            "{}",
+            r.scheduler
+        );
     }
 }
 

@@ -1,0 +1,227 @@
+//! Offline shim of the `criterion` API surface this workspace uses (see
+//! `vendor/README.md`): `Criterion`, `Bencher::iter` / `iter_batched`,
+//! benchmark groups, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing is a plain wall-clock median over a small adaptive sample — no
+//! statistics engine, plots, or baselines. Under `cargo test` (which runs
+//! `harness = false` bench targets with `--test`) each routine executes
+//! once as a smoke test, so benches stay fast in CI.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Hint per-sample input size for [`Bencher::iter_batched`]; the shim only
+/// uses it to pick how many routine calls share one timing sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per sample.
+    SmallInput,
+    /// Medium inputs: a few per sample.
+    MediumInput,
+    /// Large inputs: one per sample.
+    LargeInput,
+}
+
+/// Benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments; `--test` (passed by
+    /// `cargo test` to `harness = false` bench binaries) switches every
+    /// routine to a single smoke-test execution.
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test" || a == "--list");
+        Criterion {
+            test_mode,
+            ..Criterion::default()
+        }
+    }
+
+    /// Mirrors criterion's builder hook; the shim has no CLI options beyond
+    /// `--test`, so this is a pass-through.
+    pub fn configure_from_args(self) -> Self {
+        let test_mode = self.test_mode || std::env::args().any(|a| a == "--test");
+        Criterion { test_mode, ..self }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            per_iter: None,
+        };
+        f(&mut bencher);
+        match bencher.per_iter {
+            Some(d) => println!("bench: {name} ... {} ns/iter", d.as_nanos()),
+            None => println!("bench: {name} ... ok (test mode)"),
+        }
+        self
+    }
+
+    /// Opens a named group; benchmarks inside report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, adapting the iteration count so each sample runs
+    /// long enough for the clock to resolve it.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm up and find an iteration count that takes >= ~1ms.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            if start.elapsed() >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+        samples.sort_unstable();
+        self.per_iter = Some(samples[samples.len() / 2]);
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup cost.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let mut samples: Vec<Duration> = (0..self.sample_size.max(4))
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        self.per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_timing() {
+        let mut c = Criterion {
+            test_mode: false,
+            sample_size: 3,
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 2,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("x", |b| {
+            b.iter_batched(|| 2, |v| v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,429 @@
+//! Offline shim of the `serde` API surface this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! minimal reimplementations of its external dependencies (see
+//! `vendor/README.md`). Real serde is a visitor-based framework; this shim
+//! instead converts through a concrete [`Value`] tree, which is all the
+//! workspace needs (`#[derive(Serialize, Deserialize)]` + `serde_json`
+//! round-trips). The derive macros live in the sibling `serde_derive` shim
+//! and target exactly these traits.
+//!
+//! Wire-format notes (internally consistent, not serde-compatible in every
+//! corner): newtype structs are transparent, enums are externally tagged,
+//! and maps serialize as sequences of `[key, value]` pairs so non-string
+//! keys round-trip.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree — the interchange point between
+/// [`Serialize`], [`Deserialize`], and `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up an object field, failing with a descriptive error.
+    pub fn get_field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::new(format!("missing field `{name}`"))),
+            other => Err(DeError::new(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Human-readable kind for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::F64(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = match *value {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 => f as u64,
+                    ref other => {
+                        return Err(DeError::new(format!(
+                            "expected unsigned integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::U64(v as u64)
+                } else {
+                    Value::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = match *value {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n)
+                        .map_err(|_| DeError::new(format!("integer {n} out of range")))?,
+                    Value::F64(f) if f.fract() == 0.0 => f as i64,
+                    ref other => {
+                        return Err(DeError::new(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::new(format!("expected number, got {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    Value::Seq(
+        entries
+            .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+            .collect(),
+    )
+}
+
+fn map_entries_from_value<K: Deserialize, V: Deserialize>(
+    value: &Value,
+) -> Result<Vec<(K, V)>, DeError> {
+    let Value::Seq(items) = value else {
+        return Err(DeError::new(format!(
+            "expected map (as pair array), got {}",
+            value.kind()
+        )));
+    };
+    items
+        .iter()
+        .map(|item| match item {
+            Value::Seq(pair) if pair.len() == 2 => {
+                Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+            }
+            other => Err(DeError::new(format!(
+                "expected [key, value] pair, got {}",
+                other.kind()
+            ))),
+        })
+        .collect()
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(map_entries_from_value(value)?.into_iter().collect())
+    }
+}
+
+impl<K, V, S> Serialize for HashMap<K, V, S>
+where
+    K: Serialize + Ord + std::hash::Hash + Eq,
+    V: Serialize,
+    S: std::hash::BuildHasher,
+{
+    fn to_value(&self) -> Value {
+        // Sort for a deterministic encoding regardless of hash order.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        map_to_value(entries.into_iter())
+    }
+}
+
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(map_entries_from_value(value)?.into_iter().collect())
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Value::U64(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let secs = u64::from_value(value.get_field("secs")?)?;
+        let nanos = u32::from_value(value.get_field("nanos")?)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let m: BTreeMap<u32, String> = [(1, "a".to_string()), (2, "b".to_string())].into();
+        assert_eq!(BTreeMap::from_value(&m.to_value()).unwrap(), m);
+        let o: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let v = Value::Map(vec![("a".into(), Value::U64(1))]);
+        let err = v.get_field("b").unwrap_err();
+        assert!(err.to_string().contains('b'));
+    }
+}

@@ -1,0 +1,394 @@
+//! Offline shim of serde's derive macros, targeting the `Value`-based traits
+//! in the vendored `serde` shim (see `vendor/README.md`).
+//!
+//! Implemented with only the compiler-provided `proc_macro` crate (no
+//! syn/quote, which are unavailable offline): the input item is parsed with a
+//! small token-tree walker, and the impl is generated as a string and
+//! re-parsed. Supports the shapes this workspace derives on — named structs,
+//! tuple structs (newtypes are transparent), unit structs, and enums with
+//! unit / struct / tuple variants. Generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn is_ident(tt: &TokenTree, word: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == word)
+}
+
+/// Consumes leading `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut pos: usize) -> usize {
+    loop {
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the `[...]` group.
+                pos += 2;
+            }
+            Some(tt) if is_ident(tt, "pub") => {
+                pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1;
+                    }
+                }
+            }
+            _ => return pos,
+        }
+    }
+}
+
+/// Counts top-level comma-separated entries, treating `<...>` as nesting so
+/// commas inside generic arguments don't split fields.
+fn count_top_level_entries(tokens: &[TokenTree]) -> usize {
+    let mut angle_depth = 0i32;
+    let mut entries = 0usize;
+    let mut in_entry = false;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                in_entry = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                in_entry = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if in_entry {
+                    entries += 1;
+                }
+                in_entry = false;
+            }
+            _ => in_entry = true,
+        }
+    }
+    if in_entry {
+        entries += 1;
+    }
+    entries
+}
+
+/// Extracts field names from the tokens of a braced field list.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_attrs_and_vis(tokens, pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            break;
+        };
+        fields.push(name.to_string());
+        pos += 1;
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(pos) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_attrs_and_vis(tokens, pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            break;
+        };
+        let name = name.to_string();
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                VariantKind::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                VariantKind::Tuple(count_top_level_entries(&inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip an optional `= discriminant` and the trailing comma.
+        while let Some(tt) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = tt {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = skip_attrs_and_vis(&tokens, 0);
+    let is_enum = match tokens.get(pos) {
+        Some(tt) if is_ident(tt, "struct") => false,
+        Some(tt) if is_ident(tt, "enum") => true,
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    pos += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+        panic!("serde_derive shim: expected item name");
+    };
+    let name = name.to_string();
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (`{name}`)");
+        }
+    }
+    // Find the body group (brace for named/enum, paren for tuple) or `;`.
+    for tt in &tokens[pos..] {
+        match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let body = if is_enum {
+                    Body::Enum(parse_variants(&inner))
+                } else {
+                    Body::NamedStruct(parse_named_fields(&inner))
+                };
+                return Item { name, body };
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                return Item {
+                    name,
+                    body: Body::TupleStruct(count_top_level_entries(&inner)),
+                };
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                return Item {
+                    name,
+                    body: Body::UnitStruct,
+                };
+            }
+            _ => {}
+        }
+    }
+    Item {
+        name,
+        body: Body::UnitStruct,
+    }
+}
+
+/// Derives `serde::Serialize` (shim) for non-generic structs and enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binders} }} => ::serde::Value::Map(::std::vec![(\"{vn}\".to_string(), ::serde::Value::Map(::std::vec![{}]))]),\n",
+                            entries.join(", ")
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let parts: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", parts.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    );
+    out.parse()
+        .expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (shim) for non-generic structs and enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(value.get_field(\"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Body::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                 ::core::result::Result::Ok({name}({})),\n\
+                 __other => ::core::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"expected {n}-element array for `{name}`, got {{}}\", __other.kind()))),\n}}",
+                inits.join(", ")
+            )
+        }
+        Body::UnitStruct => format!(
+            "match value {{\n\
+             ::serde::Value::Null => ::core::result::Result::Ok({name}),\n\
+             __other => ::core::result::Result::Err(::serde::DeError::new(\
+             ::std::format!(\"expected null for `{name}`, got {{}}\", __other.kind()))),\n}}"
+        ),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(__inner.get_field(\"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{\n\
+                             ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                             ::core::result::Result::Ok({name}::{vn}({})),\n\
+                             __other => ::core::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"expected {n}-element array for `{name}::{vn}`, got {{}}\", __other.kind()))),\n}},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n}},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n}}\n}},\n\
+                 __other => ::core::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"expected variant of `{name}`, got {{}}\", __other.kind()))),\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    );
+    out.parse()
+        .expect("serde_derive shim: generated Deserialize impl failed to parse")
+}
