@@ -1,0 +1,112 @@
+//! Cost of the observability spine: replay the same 200-invocation CPU
+//! workload with (a) the default no-op sink, (b) a full in-memory event
+//! capture, and (c) a bounded ring capture, for the cheapest and the most
+//! event-dense scheduler.
+//!
+//! The no-op rows are the contract: `run_simulation` must stay within a few
+//! percent of its pre-spine wall clock, because every journal drain behind
+//! it early-outs when nothing subscribed needs translation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faasbatch_core::policy::{run_faasbatch, run_faasbatch_traced, FaasBatchConfig};
+use faasbatch_metrics::events::{NoopSink, RingSink, VecSink};
+use faasbatch_schedulers::config::SimConfig;
+use faasbatch_schedulers::harness::{run_simulation, run_simulation_traced};
+use faasbatch_schedulers::vanilla::Vanilla;
+use faasbatch_simcore::rng::DetRng;
+use faasbatch_simcore::time::SimDuration;
+use faasbatch_trace::workload::{cpu_workload, Workload, WorkloadConfig};
+use std::hint::black_box;
+
+fn workload() -> Workload {
+    cpu_workload(
+        &DetRng::new(99),
+        &WorkloadConfig {
+            total: 200,
+            span: SimDuration::from_secs(20),
+            functions: 4,
+            bursts: 3,
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("trace-overhead");
+    group.sample_size(20);
+
+    group.bench_function("vanilla/noop", |b| {
+        b.iter(|| {
+            black_box(run_simulation(
+                Box::new(Vanilla::new()),
+                &w,
+                SimConfig::default(),
+                "cpu",
+                None,
+            ))
+        })
+    });
+    group.bench_function("vanilla/noop-explicit", |b| {
+        b.iter(|| {
+            black_box(run_simulation_traced(
+                Box::new(Vanilla::new()),
+                &w,
+                SimConfig::default(),
+                "cpu",
+                None,
+                Box::new(NoopSink),
+            ))
+        })
+    });
+    group.bench_function("vanilla/vec", |b| {
+        b.iter(|| {
+            black_box(run_simulation_traced(
+                Box::new(Vanilla::new()),
+                &w,
+                SimConfig::default(),
+                "cpu",
+                None,
+                Box::new(VecSink::new()),
+            ))
+        })
+    });
+    group.bench_function("vanilla/ring-256", |b| {
+        b.iter(|| {
+            black_box(run_simulation_traced(
+                Box::new(Vanilla::new()),
+                &w,
+                SimConfig::default(),
+                "cpu",
+                None,
+                Box::new(RingSink::new(256)),
+            ))
+        })
+    });
+
+    group.bench_function("faasbatch/noop", |b| {
+        b.iter(|| {
+            black_box(run_faasbatch(
+                &w,
+                SimConfig::default(),
+                FaasBatchConfig::default(),
+                "cpu",
+            ))
+        })
+    });
+    group.bench_function("faasbatch/vec", |b| {
+        b.iter(|| {
+            black_box(run_faasbatch_traced(
+                &w,
+                SimConfig::default(),
+                FaasBatchConfig::default(),
+                "cpu",
+                Box::new(VecSink::new()),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! Quick-mode wall-clock baseline for CI regression gating.
+//!
+//! Replays the standard 200-invocation CPU workload under every scheduler a
+//! handful of times and records the best wall clock per scheduler, plus a
+//! pure-CPU calibration loop measured the same way. CI machines differ in
+//! raw speed, so the gate compares the *ratio* of scheduler time to
+//! calibration time — a dimensionless "how many spin-loops does one replay
+//! cost" figure that survives moving between hosts.
+//!
+//! ```text
+//! bench_baseline              # re-measure and rewrite results/baseline_quick.json
+//! bench_baseline --check      # re-measure and fail if any ratio regressed >10%
+//! bench_baseline --check --tolerance 25
+//! ```
+
+use faasbatch_core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch_schedulers::config::SimConfig;
+use faasbatch_schedulers::harness::run_simulation;
+use faasbatch_schedulers::kraken::Kraken;
+use faasbatch_schedulers::sfs::Sfs;
+use faasbatch_schedulers::vanilla::Vanilla;
+use faasbatch_simcore::rng::DetRng;
+use faasbatch_simcore::time::SimDuration;
+use faasbatch_trace::workload::{cpu_workload, Workload, WorkloadConfig};
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const BASELINE_PATH: &str = "results/baseline_quick.json";
+const REPS: u32 = 7;
+
+/// One measured scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Row {
+    scheduler: String,
+    /// Best-of-`REPS` wall clock on the recording machine, for context only.
+    ns: u64,
+    /// `ns / calibration_ns` — the machine-independent gate value.
+    ratio: f64,
+}
+
+/// The committed baseline file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Baseline {
+    /// Wall clock of the calibration spin loop on the recording machine.
+    calibration_ns: u64,
+    rows: Vec<Row>,
+}
+
+fn workload() -> Workload {
+    cpu_workload(
+        &DetRng::new(99),
+        &WorkloadConfig {
+            total: 200,
+            span: SimDuration::from_secs(20),
+            functions: 4,
+            bursts: 3,
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+/// Best-of-`REPS` wall clock of `f`, in nanoseconds.
+fn measure<T>(mut f: impl FnMut() -> T) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// A fixed integer spin loop: the unit everything else is priced in.
+fn calibration_loop() -> u64 {
+    let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut acc: u64 = 0;
+    for _ in 0..20_000_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc = acc.wrapping_add(x);
+    }
+    acc
+}
+
+fn measure_all() -> Baseline {
+    let w = workload();
+    let calibration_ns = measure(calibration_loop);
+    let window = SimDuration::from_millis(200);
+    let scenarios: Vec<(&str, u64)> = vec![
+        (
+            "vanilla",
+            measure(|| {
+                run_simulation(
+                    Box::new(Vanilla::new()),
+                    &w,
+                    SimConfig::default(),
+                    "cpu",
+                    None,
+                )
+            }),
+        ),
+        (
+            "sfs",
+            measure(|| run_simulation(Box::new(Sfs::new()), &w, SimConfig::default(), "cpu", None)),
+        ),
+        (
+            "kraken",
+            measure(|| {
+                run_simulation(
+                    Box::new(Kraken::with_defaults(window)),
+                    &w,
+                    SimConfig::default(),
+                    "cpu",
+                    Some(window),
+                )
+            }),
+        ),
+        (
+            "faasbatch",
+            measure(|| run_faasbatch(&w, SimConfig::default(), FaasBatchConfig::default(), "cpu")),
+        ),
+    ];
+    Baseline {
+        calibration_ns,
+        rows: scenarios
+            .into_iter()
+            .map(|(name, ns)| Row {
+                scheduler: name.to_owned(),
+                ns,
+                ratio: ns as f64 / calibration_ns as f64,
+            })
+            .collect(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let tolerance: f64 = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--tolerance takes a percentage"))
+        .unwrap_or(10.0);
+
+    let current = measure_all();
+    println!(
+        "calibration loop: {:.2} ms",
+        current.calibration_ns as f64 / 1e6
+    );
+    for row in &current.rows {
+        println!(
+            "  {:<10} {:>9.3} ms  ratio {:.4}",
+            row.scheduler,
+            row.ns as f64 / 1e6,
+            row.ratio
+        );
+    }
+
+    if !check {
+        let json = serde_json::to_string_pretty(&current).expect("baseline serializes");
+        std::fs::create_dir_all("results").expect("results dir is writable");
+        std::fs::write(BASELINE_PATH, json + "\n").expect("baseline file is writable");
+        println!("\nwrote {BASELINE_PATH}");
+        return ExitCode::SUCCESS;
+    }
+
+    let recorded = std::fs::read_to_string(BASELINE_PATH)
+        .unwrap_or_else(|e| panic!("cannot read {BASELINE_PATH}: {e} (run without --check first)"));
+    let recorded: Baseline = serde_json::from_str(&recorded).expect("baseline parses");
+    println!("\nchecking against {BASELINE_PATH} (tolerance {tolerance}%)");
+    let mut failed = false;
+    for want in &recorded.rows {
+        let Some(got) = current.rows.iter().find(|r| r.scheduler == want.scheduler) else {
+            println!("  {:<10} MISSING from current run", want.scheduler);
+            failed = true;
+            continue;
+        };
+        let delta = (got.ratio / want.ratio - 1.0) * 100.0;
+        let verdict = if delta > tolerance { "REGRESSED" } else { "ok" };
+        println!(
+            "  {:<10} ratio {:.4} vs {:.4}  ({:+.1}%)  {verdict}",
+            want.scheduler, got.ratio, want.ratio, delta
+        );
+        failed |= delta > tolerance;
+    }
+    if failed {
+        eprintln!("\nwall-clock regression beyond {tolerance}% — investigate before merging");
+        ExitCode::FAILURE
+    } else {
+        println!("\nall schedulers within {tolerance}% of the recorded baseline");
+        ExitCode::SUCCESS
+    }
+}

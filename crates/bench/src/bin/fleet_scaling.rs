@@ -65,7 +65,8 @@ fn main() {
                     scheduler: scheduler.clone(),
                     ..FleetConfig::default()
                 };
-                let report = run_fleet(&w, &cfg, kind.build(), "cpu");
+                let report = run_fleet(&w, &cfg, kind.build(), "cpu")
+                    .expect("benchmark scenarios have no crash faults");
                 let e2e = report.end_to_end_cdf();
                 rows.push(Row {
                     scheduler: report.scheduler.clone(),

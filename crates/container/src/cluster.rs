@@ -56,6 +56,24 @@ pub struct ClusterStats {
     pub expired: u64,
 }
 
+/// One journalled container state transition, for trace emission.
+///
+/// The cluster sits below the metrics crate in the dependency graph, so it
+/// cannot emit trace events itself; it journals every lifecycle transition
+/// and the scheduler harness drains the journal (via
+/// [`Cluster::take_transitions`]) into `ContainerStateChange` trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerTransition {
+    /// When the transition happened.
+    pub at: SimTime,
+    /// Container affected.
+    pub container: ContainerId,
+    /// Previous state (`None` when the container is first provisioned).
+    pub from: Option<ContainerState>,
+    /// New state.
+    pub to: ContainerState,
+}
+
 /// A simulated worker node: CPU + memory + containers + warm pool.
 #[derive(Debug)]
 pub struct Cluster {
@@ -67,6 +85,7 @@ pub struct Cluster {
     platform_group: CpuGroupId,
     next_container: u64,
     stats: ClusterStats,
+    transitions: Vec<ContainerTransition>,
 }
 
 /// Memory-ledger category used for container base footprints.
@@ -89,7 +108,34 @@ impl Cluster {
             platform_group,
             next_container: 0,
             stats: ClusterStats::default(),
+            transitions: Vec::new(),
         }
+    }
+
+    fn log_transition(
+        &mut self,
+        at: SimTime,
+        container: ContainerId,
+        from: Option<ContainerState>,
+        to: ContainerState,
+    ) {
+        self.transitions.push(ContainerTransition {
+            at,
+            container,
+            from,
+            to,
+        });
+    }
+
+    /// Whether any journalled transitions await
+    /// [`take_transitions`](Self::take_transitions).
+    pub fn transitions_pending(&self) -> bool {
+        !self.transitions.is_empty()
+    }
+
+    /// Drains the transition journal, oldest first.
+    pub fn take_transitions(&mut self) -> Vec<ContainerTransition> {
+        std::mem::take(&mut self.transitions)
     }
 
     /// The CPU model (immutable).
@@ -174,6 +220,7 @@ impl Cluster {
                 .expect("pooled container exists");
             c.mark_busy();
             self.stats.warm_hits += 1;
+            self.log_transition(now, id, Some(ContainerState::Idle), ContainerState::Busy);
             return Acquired::Warm(id);
         }
         let id = ContainerId::new(self.next_container);
@@ -186,6 +233,7 @@ impl Cluster {
         );
         self.stats.provisioned += 1;
         self.stats.peak_live = self.stats.peak_live.max(self.live_containers());
+        self.log_transition(now, id, None, ContainerState::Provisioning);
         Acquired::Cold(id)
     }
 
@@ -216,6 +264,13 @@ impl Cluster {
         let c = self.containers.get_mut(&id).expect("unknown container id");
         c.mark_ready(now);
         c.mark_busy();
+        self.log_transition(
+            now,
+            id,
+            Some(ContainerState::Provisioning),
+            ContainerState::Idle,
+        );
+        self.log_transition(now, id, Some(ContainerState::Idle), ContainerState::Busy);
     }
 
     /// Provisions a fresh container unconditionally (pre-warming): unlike
@@ -232,6 +287,7 @@ impl Cluster {
         );
         self.stats.provisioned += 1;
         self.stats.peak_live = self.stats.peak_live.max(self.live_containers());
+        self.log_transition(now, id, None, ContainerState::Provisioning);
         id
     }
 
@@ -246,6 +302,12 @@ impl Cluster {
         c.mark_ready(now);
         let function = c.function();
         self.pool.check_in(now, function, id);
+        self.log_transition(
+            now,
+            id,
+            Some(ContainerState::Provisioning),
+            ContainerState::Idle,
+        );
     }
 
     /// Adds `work` core-seconds of invocation execution to a Busy container.
@@ -280,6 +342,7 @@ impl Cluster {
         c.mark_released(now, invocations_completed);
         let function = c.function();
         self.pool.check_in(now, function, id);
+        self.log_transition(now, id, Some(ContainerState::Busy), ContainerState::Idle);
     }
 
     /// Reaps idle containers that outlived the keep-alive TTL.
@@ -310,6 +373,12 @@ impl Cluster {
         let memory = c.memory();
         self.mem.free(now, memory);
         self.cpu.remove_group(now, group);
+        self.log_transition(
+            now,
+            id,
+            Some(ContainerState::Idle),
+            ContainerState::Terminated,
+        );
     }
 
     /// Terminates every idle container (end-of-run teardown) and returns how
@@ -499,6 +568,31 @@ mod tests {
         c.cpu_mut().advance_to(fin);
         c.release(fin, id, 1);
         assert_eq!(c.idle_containers(), 1);
+    }
+
+    #[test]
+    fn transition_journal_covers_full_lifecycle() {
+        let mut c = cluster();
+        let id = cold_start(&mut c, SimTime::ZERO);
+        let t1 = SimTime::from_secs(2);
+        c.release(t1, id, 1);
+        c.terminate(t1, id);
+        let states: Vec<(Option<ContainerState>, ContainerState)> = c
+            .take_transitions()
+            .into_iter()
+            .map(|t| (t.from, t.to))
+            .collect();
+        assert_eq!(
+            states,
+            vec![
+                (None, ContainerState::Provisioning),
+                (Some(ContainerState::Provisioning), ContainerState::Idle),
+                (Some(ContainerState::Idle), ContainerState::Busy),
+                (Some(ContainerState::Busy), ContainerState::Idle),
+                (Some(ContainerState::Idle), ContainerState::Terminated),
+            ]
+        );
+        assert!(!c.transitions_pending());
     }
 
     #[test]

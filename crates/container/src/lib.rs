@@ -43,7 +43,7 @@ pub mod live;
 pub mod pool;
 pub mod spec;
 
-pub use cluster::{Acquired, Cluster, ClusterStats};
+pub use cluster::{Acquired, Cluster, ClusterStats, ContainerTransition};
 pub use container::{Container, ContainerState};
 pub use ids::{ContainerId, FunctionId, InvocationId};
 pub use pool::WarmPool;

@@ -53,6 +53,6 @@ pub mod platform;
 pub mod policy;
 
 pub use mapper::{FunctionGroup, InvokeMapper};
-pub use multiplexer::{MultiplexerStats, ResourceMultiplexer};
+pub use multiplexer::{mux_trace_events, MultiplexerStats, MuxEvent, ResourceMultiplexer};
 pub use platform::{FaasBatchPlatform, InvokeOutcome, OutcomeSummary, PlatformBuilder};
-pub use policy::{run_faasbatch, FaasBatchConfig, FaasBatchPolicy};
+pub use policy::{run_faasbatch, run_faasbatch_traced, FaasBatchConfig, FaasBatchPolicy};

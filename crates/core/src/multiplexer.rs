@@ -14,12 +14,55 @@
 //! collisions that occur with extremely low probability" — collisions at
 //! container scope are negligible).
 
+use faasbatch_container::ids::ContainerId;
+use faasbatch_metrics::events::{EventKind, SimEvent};
+use faasbatch_simcore::time::SimTime;
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+
+/// One journalled multiplexer operation, in the order the cache observed it.
+///
+/// The multiplexer is wall-clock-free and container-agnostic, so it journals
+/// raw operations; [`mux_trace_events`] stamps them with a container and a
+/// timestamp to join the simulation's [`SimEvent`] stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MuxEvent {
+    /// Request served from cache (or by waiting on an in-flight build).
+    Hit {
+        /// Hashed creation arguments.
+        key: u64,
+    },
+    /// Request that actually built the resource.
+    Miss {
+        /// Hashed creation arguments.
+        key: u64,
+    },
+    /// A built resource was evicted by the LRU bound.
+    Evicted {
+        /// Hashed creation arguments of the victim.
+        key: u64,
+    },
+}
+
+/// Converts a journalled multiplexer history into trace events attributed to
+/// `container` at `at`. Evictions have no trace-stream counterpart (the
+/// simulation's per-container caches are unbounded, like the paper's) and
+/// are skipped.
+pub fn mux_trace_events(container: ContainerId, at: SimTime, events: &[MuxEvent]) -> Vec<SimEvent> {
+    events
+        .iter()
+        .filter_map(|e| match *e {
+            MuxEvent::Hit { key } => Some(EventKind::ClientCacheHit { container, key }),
+            MuxEvent::Miss { key } => Some(EventKind::ClientCacheMiss { container, key }),
+            MuxEvent::Evicted { .. } => None,
+        })
+        .map(|kind| SimEvent::new(at, kind))
+        .collect()
+}
 
 /// Hit/miss counters of one multiplexer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -71,6 +114,7 @@ pub struct ResourceMultiplexer<R> {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    events: Mutex<Vec<MuxEvent>>,
 }
 
 #[derive(Debug)]
@@ -121,6 +165,7 @@ impl<R> ResourceMultiplexer<R> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
         }
     }
 
@@ -148,6 +193,7 @@ impl<R> ResourceMultiplexer<R> {
         // Fast path: already built.
         if let Some(existing) = cell.get() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.events.lock().push(MuxEvent::Hit { key });
             return existing.clone();
         }
         let mut built_here = false;
@@ -159,10 +205,12 @@ impl<R> ResourceMultiplexer<R> {
             .clone();
         if built_here {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.events.lock().push(MuxEvent::Miss { key });
             self.enforce_capacity(key);
         } else {
             // We raced an in-flight build and got its result — a hit.
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.events.lock().push(MuxEvent::Hit { key });
         }
         resource
     }
@@ -193,6 +241,7 @@ impl<R> ResourceMultiplexer<R> {
                 Some(k) => {
                     inner.cells.remove(&k);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.events.lock().push(MuxEvent::Evicted { key: k });
                 }
                 None => return,
             }
@@ -237,6 +286,20 @@ impl<R> ResourceMultiplexer<R> {
     /// Number of LRU evictions performed (bounded caches only).
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Drains the operation journal, oldest first. Ordering between threads
+    /// follows the cache's own observation order; totals always agree with
+    /// [`stats`](Self::stats) and [`evictions`](Self::evictions) once all
+    /// requests have returned.
+    pub fn take_events(&self) -> Vec<MuxEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// The hashed key this multiplexer uses for `args` — lets callers
+    /// correlate journal entries with the arguments that produced them.
+    pub fn key_of<K: Hash>(args: &K) -> u64 {
+        Self::hash_args(args)
     }
 
     /// Drops every cached resource (container teardown).
@@ -366,6 +429,99 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _: ResourceMultiplexer<u32> = ResourceMultiplexer::with_capacity(0);
+    }
+
+    #[test]
+    fn lru_eviction_order_is_journalled() {
+        type Mux = ResourceMultiplexer<u32>;
+        let mux: Mux = ResourceMultiplexer::with_capacity(2);
+        mux.get_or_create(&"a", || 1);
+        mux.get_or_create(&"b", || 2);
+        // Touch "a", then overflow twice: victims must be exactly "b" (the
+        // LRU at the first overflow) then "a" (LRU at the second).
+        mux.get_or_create(&"a", || unreachable!());
+        mux.get_or_create(&"c", || 3);
+        mux.get_or_create(&"d", || 4);
+        let evicted: Vec<u64> = mux
+            .take_events()
+            .into_iter()
+            .filter_map(|e| match e {
+                MuxEvent::Evicted { key } => Some(key),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(evicted, vec![Mux::key_of(&"b"), Mux::key_of(&"a")]);
+        assert_eq!(mux.evictions(), 2);
+    }
+
+    #[test]
+    fn race_stats_agree_with_event_stream() {
+        use faasbatch_metrics::events::{CounterSink, TraceSink};
+        use faasbatch_simcore::time::SimTime;
+
+        let mux: Arc<ResourceMultiplexer<u64>> = Arc::new(ResourceMultiplexer::new());
+        // 4 distinct keys × 8 racing threads each: one build per key, the
+        // rest hits (either from cache or by waiting on the in-flight build).
+        std::thread::scope(|scope| {
+            for key in 0..4u64 {
+                for _ in 0..8 {
+                    let mux = mux.clone();
+                    scope.spawn(move || {
+                        let v = mux.get_or_create(&key, move || {
+                            std::thread::sleep(Duration::from_millis(5));
+                            key * 10
+                        });
+                        assert_eq!(*v, key * 10);
+                    });
+                }
+            }
+        });
+        let stats = mux.stats();
+        assert_eq!(stats.misses, 4, "single-flight: one build per key");
+        assert_eq!(stats.hits, 28);
+
+        // The journal must tell the same story, and survive conversion into
+        // the typed trace stream.
+        let journal = mux.take_events();
+        let journal_hits = journal
+            .iter()
+            .filter(|e| matches!(e, MuxEvent::Hit { .. }))
+            .count() as u64;
+        let journal_misses = journal
+            .iter()
+            .filter(|e| matches!(e, MuxEvent::Miss { .. }))
+            .count() as u64;
+        assert_eq!(journal_hits, stats.hits);
+        assert_eq!(journal_misses, stats.misses);
+
+        let sim_events = mux_trace_events(
+            faasbatch_container::ids::ContainerId::new(7),
+            SimTime::ZERO,
+            &journal,
+        );
+        let mut counter = CounterSink::new();
+        for e in &sim_events {
+            counter.record(e);
+        }
+        assert_eq!(counter.count("ClientCacheHit"), stats.hits);
+        assert_eq!(counter.count("ClientCacheMiss"), stats.misses);
+        assert_eq!(counter.total(), stats.requests());
+    }
+
+    #[test]
+    fn eviction_has_no_trace_counterpart() {
+        use faasbatch_simcore::time::SimTime;
+        let events = [
+            MuxEvent::Miss { key: 1 },
+            MuxEvent::Evicted { key: 1 },
+            MuxEvent::Hit { key: 2 },
+        ];
+        let sim = mux_trace_events(
+            faasbatch_container::ids::ContainerId::new(0),
+            SimTime::ZERO,
+            &events,
+        );
+        assert_eq!(sim.len(), 2);
     }
 
     #[test]

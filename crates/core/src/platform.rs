@@ -7,9 +7,12 @@
 //! per-container [`ResourceMultiplexer`] for storage clients. The examples
 //! and the motivation benchmarks (Fig. 1/4/5) run on this.
 
-use crate::multiplexer::{MultiplexerStats, ResourceMultiplexer};
+use crate::multiplexer::{mux_trace_events, MultiplexerStats, ResourceMultiplexer};
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use faasbatch_container::ids::ContainerId;
+use faasbatch_metrics::events::SimEvent;
+use faasbatch_simcore::time::SimTime;
 use faasbatch_storage::client::{ClientConfig, StorageClient, StorageSdk};
 use faasbatch_storage::object_store::ObjectStore;
 use parking_lot::Mutex;
@@ -157,6 +160,15 @@ impl ContainerEnv {
     /// Hit/miss counters of this container's multiplexer.
     pub fn multiplexer_stats(&self) -> MultiplexerStats {
         self.multiplexer.stats()
+    }
+
+    /// Drains this container's multiplexer journal as typed trace events
+    /// stamped at `at` — live containers run on the wall clock, so the
+    /// caller chooses the simulated timestamp under which the history joins
+    /// a [`SimEvent`] stream (DESIGN.md §11).
+    pub fn take_mux_trace(&self, at: SimTime) -> Vec<SimEvent> {
+        let events = self.multiplexer.take_events();
+        mux_trace_events(ContainerId::new(self.id), at, &events)
     }
 }
 
@@ -569,6 +581,30 @@ mod tests {
         platform.invoke("count", Bytes::new()).unwrap().wait();
         let second = platform.invoke("count", Bytes::new()).unwrap().wait();
         assert!(!second.cold, "second invocation should be warm");
+    }
+
+    #[test]
+    fn container_env_exports_mux_trace() {
+        use faasbatch_metrics::events::EventKind;
+        let store = ObjectStore::new();
+        store.create_bucket("b").unwrap();
+        let env = ContainerEnv {
+            id: 3,
+            multiplexer: ResourceMultiplexer::new(),
+            sdk: StorageSdk::new(store),
+            multiplex: true,
+        };
+        let cfg = ClientConfig::for_bucket("b");
+        env.storage_client(&cfg);
+        env.storage_client(&cfg);
+        let trace = env.take_mux_trace(SimTime::from_secs(1));
+        assert_eq!(trace.len(), 2);
+        assert!(
+            matches!(trace[0].kind, EventKind::ClientCacheMiss { container, .. }
+            if container == ContainerId::new(3))
+        );
+        assert!(matches!(trace[1].kind, EventKind::ClientCacheHit { .. }));
+        assert!(env.take_mux_trace(SimTime::from_secs(2)).is_empty());
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! dispatch-interval sweeps (Fig. 13/14) and the ablation study.
 
 use crate::mapper::InvokeMapper;
+use faasbatch_metrics::events::TraceSink;
 use faasbatch_metrics::report::RunReport;
 use faasbatch_schedulers::config::SimConfig;
-use faasbatch_schedulers::harness::run_simulation;
+use faasbatch_schedulers::harness::{run_simulation, run_simulation_traced};
 use faasbatch_schedulers::policy::{Completion, Ctx, DispatchRequest, ExecMode, Policy};
 use faasbatch_simcore::time::SimDuration;
 use faasbatch_trace::workload::{Invocation, Workload};
@@ -161,6 +162,27 @@ pub fn run_faasbatch(
         sim,
         label,
         Some(window),
+    )
+}
+
+/// [`run_faasbatch`] with an observable event stream: every event the run
+/// derives its report from also flows through `sink`, which is returned for
+/// downcasting (DESIGN.md §11).
+pub fn run_faasbatch_traced(
+    workload: &Workload,
+    sim: SimConfig,
+    cfg: FaasBatchConfig,
+    label: &str,
+    sink: Box<dyn TraceSink>,
+) -> (RunReport, Box<dyn TraceSink>) {
+    let window = cfg.window;
+    run_simulation_traced(
+        Box::new(FaasBatchPolicy::new(cfg)),
+        workload,
+        sim,
+        label,
+        Some(window),
+        sink,
     )
 }
 

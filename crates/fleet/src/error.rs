@@ -1,0 +1,61 @@
+//! Typed failures of the fleet replay.
+
+use std::fmt;
+
+/// Why a fleet replay could not produce a report.
+///
+/// Configuration mistakes (zero workers, faults on unknown workers) are
+/// programming errors and still panic via
+/// [`FleetConfig::validate`](crate::config::FleetConfig::validate); this
+/// type covers *runtime* outcomes of the simulated scenario itself, which
+/// callers may legitimately want to observe — e.g. a fault schedule that
+/// crashes every holder of an invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// An invocation was stranded by a crash after its last permitted
+    /// re-dispatch: the scenario cannot complete the workload exactly-once.
+    RetryBudgetExhausted {
+        /// Fleet-level id of the stranded invocation.
+        invocation: u64,
+        /// The crashed worker holding it when the budget ran out.
+        worker: usize,
+        /// The configured per-invocation retry budget.
+        max_retries: u32,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::RetryBudgetExhausted {
+                invocation,
+                worker,
+                max_retries,
+            } => write!(
+                f,
+                "inv#{invocation} exceeded the fleet retry budget ({max_retries}) \
+                 after worker {worker} crashed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_budget_and_the_worker() {
+        let e = FleetError::RetryBudgetExhausted {
+            invocation: 17,
+            worker: 2,
+            max_retries: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("inv#17"));
+        assert!(msg.contains("retry budget (1)"));
+        assert!(msg.contains("worker 2"));
+    }
+}

@@ -21,12 +21,18 @@
 //! 3. **Faults** ([`config::WorkerFault`]) — workers can crash (in-flight
 //!    invocations re-dispatched to survivors under a bounded retry budget,
 //!    the delay charged to scheduling latency) or drain (finish held work,
-//!    accept nothing new).
+//!    accept nothing new). A fault schedule that strands an invocation past
+//!    its budget surfaces as a typed [`error::FleetError`] instead of a
+//!    completed report.
 //!
 //! The entry point is [`sim::run_fleet`]; results land in a
 //! [`report::FleetReport`] with per-worker [`RunReport`]s plus fleet
 //! aggregates (load-imbalance CoV, warm-hit rate, retry accounting). Same
 //! seed and configuration ⇒ bit-identical report.
+//! [`sim::run_fleet_traced`] additionally narrates the fleet layer as a
+//! typed [`SimEvent`](faasbatch_metrics::events::SimEvent) stream
+//! (arrivals, group formation, crashes, re-dispatches, completions) through
+//! any [`TraceSink`](faasbatch_metrics::events::TraceSink).
 //!
 //! # Examples
 //!
@@ -46,7 +52,8 @@
 //!     ..WorkloadConfig::default()
 //! });
 //! let cfg = FleetConfig { workers: 2, ..FleetConfig::default() };
-//! let report = run_fleet(&workload, &cfg, RoutingKind::LeastLoaded.build(), "cpu");
+//! let report = run_fleet(&workload, &cfg, RoutingKind::LeastLoaded.build(), "cpu")
+//!     .expect("no fault schedule, so the run cannot fail");
 //! assert_eq!(report.records.len(), 60);
 //! ```
 //!
@@ -57,11 +64,13 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod config;
+pub mod error;
 pub mod report;
 pub mod routing;
 pub mod sim;
 
 pub use config::{FaultKind, FleetConfig, WorkerFault, WorkerScheduler};
+pub use error::FleetError;
 pub use report::{FleetRecord, FleetReport, WorkerReport};
 pub use routing::{RoutingKind, RoutingPolicy};
-pub use sim::run_fleet;
+pub use sim::{run_fleet, run_fleet_traced};

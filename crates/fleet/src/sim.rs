@@ -2,7 +2,7 @@
 //!
 //! The router walks the workload in arrival order, forms function groups
 //! (same function, same dispatch window), and places each group on one
-//! worker via the [`RoutingPolicy`](crate::routing::RoutingPolicy). Each
+//! worker via the [`RoutingPolicy`]. Each
 //! worker then replays its sub-trace through the unchanged single-worker
 //! harness (`run_simulation` / `run_faasbatch`), so per-worker behaviour is
 //! identical to the paper's single-node evaluation.
@@ -16,10 +16,12 @@
 //! single-worker records.
 
 use crate::config::{FleetConfig, WorkerScheduler};
+use crate::error::FleetError;
 use crate::report::{FleetRecord, FleetReport, WorkerReport};
 use crate::routing::{RouterCtx, RoutingPolicy, WorkerLoad};
 use faasbatch_container::ids::{FunctionId, InvocationId};
 use faasbatch_core::policy::run_faasbatch;
+use faasbatch_metrics::events::{EventKind, SimEvent, TraceSink};
 use faasbatch_metrics::report::RunReport;
 use faasbatch_metrics::sampler::ResourceSampler;
 use faasbatch_schedulers::harness::run_simulation;
@@ -50,19 +52,85 @@ type GroupKey = (u32, u64, u32);
 /// Deterministic: the same workload, configuration, and policy produce a
 /// bit-identical [`FleetReport`].
 ///
+/// # Errors
+///
+/// [`FleetError::RetryBudgetExhausted`] when a crash strands an invocation
+/// that has no re-dispatch budget left — the scenario cannot complete the
+/// workload exactly-once.
+///
 /// # Panics
 ///
-/// Panics if the configuration is invalid ([`FleetConfig::validate`]), if at
-/// some point no worker is alive to accept an arrival, or if an invocation
-/// exceeds the re-dispatch retry budget.
+/// Panics if the configuration is invalid ([`FleetConfig::validate`]) or if
+/// at some point no worker is alive to accept an arrival.
 pub fn run_fleet(
+    workload: &Workload,
+    cfg: &FleetConfig,
+    policy: Box<dyn RoutingPolicy>,
+    label: &str,
+) -> Result<FleetReport, FleetError> {
+    run_fleet_impl(workload, cfg, policy, label, None).map(|(report, _)| report)
+}
+
+/// [`run_fleet`] with an observable fleet-level event stream.
+///
+/// The stream narrates the *fleet* layer — one `Arrival` per workload
+/// invocation at its original arrival, `GroupFormed` per routed group,
+/// `WorkerCrash` / `Redispatch` for the fault path, and one
+/// `InvocationComplete` (with no batch identity) per merged record — sorted
+/// by time and fed through `sink`, which is returned for downcasting.
+/// Per-worker mechanism detail lives in the single-worker streams; this
+/// layer is what the fleet adds on top.
+///
+/// # Errors
+///
+/// Same as [`run_fleet`]; on error the sink is dropped with whatever prefix
+/// it had seen (nothing — events are flushed only on success, so a failed
+/// scenario never emits a partial stream).
+pub fn run_fleet_traced(
+    workload: &Workload,
+    cfg: &FleetConfig,
+    policy: Box<dyn RoutingPolicy>,
+    label: &str,
+    mut sink: Box<dyn TraceSink>,
+) -> Result<(FleetReport, Box<dyn TraceSink>), FleetError> {
+    let (report, events) = run_fleet_impl(workload, cfg, policy, label, Some(Vec::new()))?;
+    let mut events = events.unwrap_or_default();
+    // Collection order is per-phase; present one time-ordered stream (the
+    // sort is stable, so causal order within a timestamp is preserved).
+    events.sort_by_key(|e| e.at);
+    for event in &events {
+        sink.record(event);
+    }
+    Ok((report, sink))
+}
+
+/// Appends `event` when the run is being traced.
+fn trace(events: &mut Option<Vec<SimEvent>>, at: SimTime, kind: EventKind) {
+    if let Some(buf) = events.as_mut() {
+        buf.push(SimEvent::new(at, kind));
+    }
+}
+
+fn run_fleet_impl(
     workload: &Workload,
     cfg: &FleetConfig,
     mut policy: Box<dyn RoutingPolicy>,
     label: &str,
-) -> FleetReport {
+    mut events: Option<Vec<SimEvent>>,
+) -> Result<(FleetReport, Option<Vec<SimEvent>>), FleetError> {
     cfg.validate();
     let n = cfg.workers;
+
+    for inv in workload.invocations() {
+        trace(
+            &mut events,
+            inv.arrival,
+            EventKind::Arrival {
+                invocation: inv.id,
+                function: inv.function,
+            },
+        );
+    }
 
     let mut pending: Vec<Pending> = workload
         .invocations()
@@ -101,31 +169,51 @@ pub fn run_fleet(
             &mut load,
             &mut assigned,
             &mut runs,
+            &mut events,
         );
         let Some(&(crash_time, w)) = crashes.get(next_crash) else {
             break;
         };
         next_crash += 1;
+        trace(
+            &mut events,
+            crash_time,
+            EventKind::WorkerCrash { worker: w as u64 },
+        );
         if runs[w].is_none() {
             runs[w] = Some(replay_worker(workload, cfg, label, &assigned[w]));
         }
         let (report, metas) = runs[w].as_ref().expect("replay just computed");
+        let mut retries: Vec<Pending> = Vec::new();
         for (rec, meta) in report.records.iter().zip(metas) {
             if rec.completion <= crash_time {
                 continue;
             }
             // In flight at the crash: lost here, re-dispatched elsewhere.
-            assert!(
-                meta.retries < cfg.max_retries,
-                "inv#{} exceeded the fleet retry budget ({}) after worker {w} crashed",
-                meta.fleet_id,
-                cfg.max_retries
-            );
+            if meta.retries >= cfg.max_retries {
+                return Err(FleetError::RetryBudgetExhausted {
+                    invocation: meta.fleet_id,
+                    worker: w,
+                    max_retries: cfg.max_retries,
+                });
+            }
             let mut retry = meta.clone();
             retry.retries += 1;
             retry.effective_arrival = crash_time + cfg.redispatch_delay;
             retry_delay_total += retry.effective_arrival - meta.effective_arrival;
             total_retries += 1;
+            retries.push(retry);
+        }
+        for retry in retries {
+            trace(
+                &mut events,
+                retry.effective_arrival,
+                EventKind::Redispatch {
+                    invocation: InvocationId::new(retry.fleet_id),
+                    from_worker: w as u64,
+                    retries: retry.retries,
+                },
+            );
             lost[w].insert(retry.fleet_id);
             pending.push(retry);
         }
@@ -151,6 +239,15 @@ pub fn run_fleet(
             record.id = InvocationId::new(meta.fleet_id);
             record.arrival = meta.original_arrival;
             record.latency.scheduling += gap;
+            trace(
+                &mut events,
+                record.completion,
+                EventKind::InvocationComplete {
+                    invocation: record.id,
+                    batch: None,
+                    member: None,
+                },
+            );
             records.push(FleetRecord {
                 record,
                 worker: w,
@@ -204,16 +301,19 @@ pub fn run_fleet(
         })
         .collect();
 
-    FleetReport {
-        policy: policy.name(),
-        scheduler: cfg.scheduler.name().to_owned(),
-        workload: label.to_owned(),
-        workers,
-        records,
-        retries: total_retries,
-        retry_delay_total,
-        makespan,
-    }
+    Ok((
+        FleetReport {
+            policy: policy.name(),
+            scheduler: cfg.scheduler.name().to_owned(),
+            workload: label.to_owned(),
+            workers,
+            records,
+            retries: total_retries,
+            retry_delay_total,
+            makespan,
+        },
+        events,
+    ))
 }
 
 /// Routes everything in `pending` (drained), sticky per function group.
@@ -224,6 +324,7 @@ fn route_round(
     load: &mut [WorkerLoad],
     assigned: &mut [Vec<Pending>],
     runs: &mut [Option<(RunReport, Vec<Pending>)>],
+    events: &mut Option<Vec<SimEvent>>,
 ) {
     if pending.is_empty() {
         return;
@@ -270,6 +371,15 @@ fn route_round(
             alive[w],
             "routing policy `{}` picked dead worker {w}",
             policy.name()
+        );
+        trace(
+            events,
+            now,
+            EventKind::GroupFormed {
+                function: FunctionId::new(key.0),
+                size: members.len() as u64,
+                worker: w as u64,
+            },
         );
         for m in &members {
             load[w].note(now, m.work);
@@ -406,11 +516,20 @@ mod tests {
         assert_eq!(completed, workload.len());
     }
 
+    fn run_ok(
+        w: &Workload,
+        cfg: &FleetConfig,
+        policy: Box<dyn RoutingPolicy>,
+        label: &str,
+    ) -> FleetReport {
+        run_fleet(w, cfg, policy, label).expect("fleet run succeeds")
+    }
+
     #[test]
     fn single_worker_fleet_matches_direct_run() {
         let w = small_workload(1);
         let cfg = fleet_cfg(1);
-        let fleet = run_fleet(&w, &cfg, RoutingKind::RoundRobin.build(), "cpu");
+        let fleet = run_ok(&w, &cfg, RoutingKind::RoundRobin.build(), "cpu");
         let WorkerScheduler::FaasBatch(fb) = &cfg.scheduler else {
             panic!("default scheduler is faasbatch");
         };
@@ -428,7 +547,7 @@ mod tests {
         let w = small_workload(2);
         for kind in RoutingKind::ALL {
             for workers in [1, 2, 4] {
-                let report = run_fleet(&w, &fleet_cfg(workers), kind.build(), "cpu");
+                let report = run_ok(&w, &fleet_cfg(workers), kind.build(), "cpu");
                 assert_conserved(&w, &report);
                 assert_eq!(report.policy, kind.name());
                 assert_eq!(report.retries, 0);
@@ -441,7 +560,7 @@ mod tests {
         let w = small_workload(3);
         let cfg = fleet_cfg(4);
         for kind in RoutingKind::ALL {
-            let report = run_fleet(&w, &cfg, kind.build(), "cpu");
+            let report = run_ok(&w, &cfg, kind.build(), "cpu");
             let mut owner: HashMap<(u32, u64), usize> = HashMap::new();
             for r in &report.records {
                 let key = (
@@ -463,7 +582,7 @@ mod tests {
     #[test]
     fn warm_affinity_pins_functions_to_workers() {
         let w = small_workload(4);
-        let report = run_fleet(&w, &fleet_cfg(4), RoutingKind::WarmAffinity.build(), "cpu");
+        let report = run_ok(&w, &fleet_cfg(4), RoutingKind::WarmAffinity.build(), "cpu");
         let mut owner: HashMap<u32, usize> = HashMap::new();
         for r in &report.records {
             let w0 = *owner.entry(r.record.function.index()).or_insert(r.worker);
@@ -484,7 +603,7 @@ mod tests {
             }],
             ..FleetConfig::default()
         };
-        let report = run_fleet(&w, &cfg, RoutingKind::RoundRobin.build(), "cpu");
+        let report = run_ok(&w, &cfg, RoutingKind::RoundRobin.build(), "cpu");
         assert_conserved(&w, &report);
         assert_eq!(report.retries, 0);
         assert_eq!(report.workers[0].lost, 0);
@@ -513,7 +632,7 @@ mod tests {
             }],
             ..FleetConfig::default()
         };
-        let report = run_fleet(&w, &cfg, RoutingKind::RoundRobin.build(), "cpu");
+        let report = run_ok(&w, &cfg, RoutingKind::RoundRobin.build(), "cpu");
         assert_conserved(&w, &report);
         assert!(report.retries > 0, "the crash must strand someone");
         assert_eq!(report.workers[1].lost as u64, report.retries);
@@ -546,8 +665,8 @@ mod tests {
             }],
             ..FleetConfig::default()
         };
-        let a = run_fleet(&w, &cfg, RoutingKind::LeastLoaded.build(), "cpu");
-        let b = run_fleet(&w, &cfg, RoutingKind::LeastLoaded.build(), "cpu");
+        let a = run_ok(&w, &cfg, RoutingKind::LeastLoaded.build(), "cpu");
+        let b = run_ok(&w, &cfg, RoutingKind::LeastLoaded.build(), "cpu");
         assert_eq!(a, b);
     }
 
@@ -559,14 +678,53 @@ mod tests {
             scheduler: WorkerScheduler::Vanilla,
             ..FleetConfig::default()
         };
-        let report = run_fleet(&w, &cfg, RoutingKind::PullBased.build(), "cpu");
+        let report = run_ok(&w, &cfg, RoutingKind::PullBased.build(), "cpu");
         assert_conserved(&w, &report);
         assert_eq!(report.scheduler, "vanilla");
     }
 
     #[test]
-    #[should_panic(expected = "retry budget")]
-    fn exhausted_retry_budget_panics() {
+    fn traced_fleet_matches_untraced_and_narrates_faults() {
+        use faasbatch_metrics::events::VecSink;
+        let w = small_workload(6);
+        let cfg = FleetConfig {
+            workers: 3,
+            faults: vec![WorkerFault {
+                worker: 1,
+                at: SimTime::from_secs(3),
+                kind: FaultKind::Crash,
+            }],
+            ..FleetConfig::default()
+        };
+        let untraced = run_ok(&w, &cfg, RoutingKind::RoundRobin.build(), "cpu");
+        let (traced, sink) = run_fleet_traced(
+            &w,
+            &cfg,
+            RoutingKind::RoundRobin.build(),
+            "cpu",
+            Box::new(VecSink::new()),
+        )
+        .expect("traced fleet run succeeds");
+        assert_eq!(untraced, traced, "tracing must not change the report");
+        let events = sink
+            .as_any()
+            .downcast_ref::<VecSink>()
+            .expect("vec sink")
+            .events();
+        assert!(
+            events.windows(2).all(|p| p[0].at <= p[1].at),
+            "time-ordered"
+        );
+        let count = |name: &str| events.iter().filter(|e| e.kind.name() == name).count();
+        assert_eq!(count("Arrival"), w.len());
+        assert_eq!(count("InvocationComplete"), w.len());
+        assert_eq!(count("WorkerCrash"), 1);
+        assert_eq!(count("Redispatch") as u64, traced.retries);
+        assert!(count("GroupFormed") > 0);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_a_typed_error() {
         // One hot function bursting inside half a second, batched in 200 ms
         // windows: both workers hold one of its groups. Worker 0 crashes at
         // 600 ms while the last window is still executing; the stranded
@@ -600,6 +758,15 @@ mod tests {
             ],
             ..FleetConfig::default()
         };
-        let _ = run_fleet(&w, &cfg, RoutingKind::RoundRobin.build(), "cpu");
+        let err = run_fleet(&w, &cfg, RoutingKind::RoundRobin.build(), "cpu")
+            .expect_err("budget must run out");
+        let FleetError::RetryBudgetExhausted {
+            worker,
+            max_retries,
+            ..
+        } = &err;
+        assert_eq!(*worker, 1, "the second crash strands the retries");
+        assert_eq!(*max_retries, 1);
+        assert!(err.to_string().contains("retry budget"), "{err}");
     }
 }

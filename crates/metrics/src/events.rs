@@ -1,0 +1,1545 @@
+//! The event-sourced observability spine.
+//!
+//! Every simulation layer — engine hooks, container cluster, scheduler
+//! harness, multiplexer, and fleet — emits typed, timestamped [`SimEvent`]s
+//! into a pluggable [`TraceSink`]. All run-level outputs (invocation
+//! records, resource samples, client counters) are *derived* from this
+//! stream by [`RecordReducer`]; there are no parallel hand-maintained
+//! counters. Sinks range from the zero-cost [`NoopSink`] to the
+//! [`AuditorSink`], which checks conservation, container state-machine
+//! legality, memory-ledger non-negativity, and latency-component tiling
+//! online as the stream flows.
+//!
+//! See DESIGN.md §11 for the taxonomy and the emission contract.
+
+use crate::latency::{InvocationRecord, LatencyBreakdown};
+use crate::sampler::{ResourceSample, ResourceSampler};
+use faasbatch_container::container::ContainerState;
+use faasbatch_container::ids::{ContainerId, FunctionId, InvocationId};
+use faasbatch_simcore::time::{SimDuration, SimTime};
+use serde::Serialize;
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::io::Write;
+
+/// What a simulated CPU task was doing.
+///
+/// This is the serializable mirror of the scheduler harness's internal work
+/// kinds; fleet- and platform-level emitters use the same vocabulary so one
+/// exporter serves every layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum TaskKind {
+    /// Daemon-side dispatch/launch processing for a batch.
+    Decision {
+        /// Batch the decision serves.
+        batch: u64,
+    },
+    /// CPU phase of a cold start serving a batch.
+    ColdBoot {
+        /// Batch waiting on the boot.
+        batch: u64,
+    },
+    /// Storage-client creation on behalf of one batch member.
+    ClientCreation {
+        /// Batch the member belongs to.
+        batch: u64,
+        /// Member index within the batch.
+        member: u32,
+    },
+    /// An invocation body (the function's own work).
+    Body {
+        /// Batch the member belongs to.
+        batch: u64,
+        /// Member index within the batch.
+        member: u32,
+    },
+    /// Daemon-side launch processing for a pre-warmed container.
+    PrewarmLaunch {
+        /// Container being pre-warmed.
+        container: ContainerId,
+    },
+    /// CPU phase of a pre-warming cold start.
+    PrewarmBoot {
+        /// Container being pre-warmed.
+        container: ContainerId,
+    },
+    /// Fire-and-forget platform overhead charged to the daemon group.
+    Overhead,
+}
+
+/// The payload of one trace event.
+///
+/// Externally tagged on serialization, so a JSONL line reads
+/// `{"at":…,"kind":{"Arrival":{…}}}`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum EventKind {
+    /// An invocation entered the system.
+    Arrival {
+        /// The invocation.
+        invocation: InvocationId,
+        /// Function it targets.
+        function: FunctionId,
+    },
+    /// The fleet router bound a same-key group of invocations to a worker.
+    GroupFormed {
+        /// Function shared by every member.
+        function: FunctionId,
+        /// Number of invocations in the group.
+        size: u64,
+        /// Worker the group was routed to.
+        worker: u64,
+    },
+    /// A scheduler bound a batch of invocations to a container.
+    DispatchDecision {
+        /// Dense batch id within the run.
+        batch: u64,
+        /// Function served by the batch.
+        function: FunctionId,
+        /// Container chosen for the batch.
+        container: ContainerId,
+        /// Whether the container must cold-start first.
+        cold: bool,
+        /// Whether responses are held to a per-batch barrier.
+        barrier: bool,
+        /// Members in batch order (member index = position here).
+        members: Vec<InvocationId>,
+    },
+    /// A container began its cold-start sequence (image pull + boot).
+    ColdStartBegin {
+        /// Container starting up.
+        container: ContainerId,
+        /// Batch waiting on it, if any (`None` for pre-warming).
+        batch: Option<u64>,
+    },
+    /// A container finished cold-starting and is usable.
+    ColdStartEnd {
+        /// Container now ready.
+        container: ContainerId,
+        /// Batch that was waiting, if any.
+        batch: Option<u64>,
+    },
+    /// A container moved between lifecycle states.
+    ContainerStateChange {
+        /// Container affected.
+        container: ContainerId,
+        /// Previous state (`None` when the container is first provisioned).
+        from: Option<ContainerState>,
+        /// New state.
+        to: ContainerState,
+    },
+    /// A CPU task was admitted to the processor-sharing model.
+    TaskStart {
+        /// What the task computes.
+        task: TaskKind,
+    },
+    /// A CPU task was preempted.
+    ///
+    /// The current CPU model is processor-sharing, which slows tasks down
+    /// instead of descheduling them, so this is never emitted today; it is
+    /// reserved for a future quantum-based model.
+    TaskPreempt {
+        /// What the task computes.
+        task: TaskKind,
+    },
+    /// A CPU task retired all of its work.
+    TaskFinish {
+        /// What the task computed.
+        task: TaskKind,
+    },
+    /// One batch member began executing (its per-invocation chain started).
+    ExecBegin {
+        /// Batch the member belongs to.
+        batch: u64,
+        /// Member index within the batch.
+        member: u32,
+    },
+    /// One batch member finished its own work (before any barrier wait).
+    ExecEnd {
+        /// Batch the member belongs to.
+        batch: u64,
+        /// Member index within the batch.
+        member: u32,
+    },
+    /// A storage-client request was served from the multiplexer cache.
+    ClientCacheHit {
+        /// Container whose cache was consulted.
+        container: ContainerId,
+        /// Hash key of the requested client.
+        key: u64,
+    },
+    /// A storage-client request missed the cache (a creation must run or
+    /// is already in flight).
+    ClientCacheMiss {
+        /// Container whose cache was consulted.
+        container: ContainerId,
+        /// Hash key of the requested client.
+        key: u64,
+    },
+    /// A storage-client creation started executing.
+    ClientCreateBegin {
+        /// Container the client is created in.
+        container: ContainerId,
+        /// Batch of the requesting member.
+        batch: u64,
+        /// Member index of the requester.
+        member: u32,
+    },
+    /// A storage-client creation finished and the client is usable.
+    ClientCreateEnd {
+        /// Container the client now lives in.
+        container: ContainerId,
+        /// Batch of the requesting member.
+        batch: u64,
+        /// Member index of the requester.
+        member: u32,
+        /// Bytes the client pins in memory.
+        bytes: u64,
+    },
+    /// Memory was allocated in the host ledger.
+    MemAlloc {
+        /// Ledger category (`"container"`, `"client"`, `"platform"`, …).
+        category: &'static str,
+        /// Bytes allocated.
+        bytes: u64,
+        /// Ledger total after the allocation.
+        total: u64,
+    },
+    /// Memory was returned to the host ledger.
+    MemFree {
+        /// Ledger category the bytes belonged to.
+        category: &'static str,
+        /// Bytes freed.
+        bytes: u64,
+        /// Ledger total after the free.
+        total: u64,
+    },
+    /// A fleet worker crashed and lost its in-flight work.
+    WorkerCrash {
+        /// Worker that crashed.
+        worker: u64,
+    },
+    /// An invocation lost in a crash was queued for another worker.
+    Redispatch {
+        /// The invocation being retried.
+        invocation: InvocationId,
+        /// Worker whose crash triggered the retry.
+        from_worker: u64,
+        /// Retry count after this re-dispatch.
+        retries: u32,
+    },
+    /// A periodic host resource sample.
+    HostSample {
+        /// Resident ledger bytes.
+        memory_bytes: u64,
+        /// Busy cores (processor-sharing load).
+        busy_cores: f64,
+        /// Containers alive (not terminated).
+        live_containers: u64,
+    },
+    /// An invocation's response was released to the caller.
+    InvocationComplete {
+        /// The invocation.
+        invocation: InvocationId,
+        /// Batch it ran in (`None` in fleet-level streams).
+        batch: Option<u64>,
+        /// Member index within the batch (`None` in fleet-level streams).
+        member: Option<u32>,
+    },
+}
+
+impl EventKind {
+    /// Stable name of the variant, used by counters and exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Arrival { .. } => "Arrival",
+            EventKind::GroupFormed { .. } => "GroupFormed",
+            EventKind::DispatchDecision { .. } => "DispatchDecision",
+            EventKind::ColdStartBegin { .. } => "ColdStartBegin",
+            EventKind::ColdStartEnd { .. } => "ColdStartEnd",
+            EventKind::ContainerStateChange { .. } => "ContainerStateChange",
+            EventKind::TaskStart { .. } => "TaskStart",
+            EventKind::TaskPreempt { .. } => "TaskPreempt",
+            EventKind::TaskFinish { .. } => "TaskFinish",
+            EventKind::ExecBegin { .. } => "ExecBegin",
+            EventKind::ExecEnd { .. } => "ExecEnd",
+            EventKind::ClientCacheHit { .. } => "ClientCacheHit",
+            EventKind::ClientCacheMiss { .. } => "ClientCacheMiss",
+            EventKind::ClientCreateBegin { .. } => "ClientCreateBegin",
+            EventKind::ClientCreateEnd { .. } => "ClientCreateEnd",
+            EventKind::MemAlloc { .. } => "MemAlloc",
+            EventKind::MemFree { .. } => "MemFree",
+            EventKind::WorkerCrash { .. } => "WorkerCrash",
+            EventKind::Redispatch { .. } => "Redispatch",
+            EventKind::HostSample { .. } => "HostSample",
+            EventKind::InvocationComplete { .. } => "InvocationComplete",
+        }
+    }
+}
+
+/// One typed, timestamped trace event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SimEvent {
+    /// Simulated time the event occurred.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl SimEvent {
+    /// Convenience constructor.
+    pub fn new(at: SimTime, kind: EventKind) -> Self {
+        SimEvent { at, kind }
+    }
+}
+
+/// Where trace events go.
+///
+/// Implementations must be cheap enough to sit on the simulation hot path;
+/// [`NoopSink`] in particular must cost nothing beyond the virtual call.
+pub trait TraceSink {
+    /// Observes one event. Events arrive in non-decreasing time order.
+    fn record(&mut self, event: &SimEvent);
+
+    /// Downcast support: recover the concrete sink after a traced run
+    /// returns it as `Box<dyn TraceSink>`.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Discards every event. The default sink for untraced runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    #[inline]
+    fn record(&mut self, _event: &SimEvent) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Keeps the most recent `capacity` events in a ring buffer.
+///
+/// Useful for post-mortem debugging of long runs where the full stream
+/// would not fit in memory.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    events: VecDeque<SimEvent>,
+    /// Events dropped off the front of the ring.
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SimEvent> {
+        self.events.iter()
+    }
+
+    /// How many events fell off the front of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: &SimEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event.clone());
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Collects every event in order. The workhorse for tests and exporters.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    events: Vec<SimEvent>,
+}
+
+impl VecSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// The collected events, oldest first.
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, yielding the collected events.
+    pub fn into_events(self) -> Vec<SimEvent> {
+        self.events
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, event: &SimEvent) {
+        self.events.push(event.clone());
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Streams events as JSON Lines to any writer.
+pub struct JsonlSink {
+    out: Box<dyn Write>,
+    lines: u64,
+    io_errors: u64,
+}
+
+impl JsonlSink {
+    /// Wraps a writer; one JSON object per line, flushed on drop.
+    pub fn new(out: Box<dyn Write>) -> Self {
+        JsonlSink {
+            out,
+            lines: 0,
+            io_errors: 0,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Write failures observed (events are dropped, not retried).
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("lines", &self.lines)
+            .field("io_errors", &self.io_errors)
+            .finish()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, event: &SimEvent) {
+        let Ok(line) = serde_json::to_string(event) else {
+            self.io_errors += 1;
+            return;
+        };
+        match writeln!(self.out, "{line}") {
+            Ok(()) => self.lines += 1,
+            Err(_) => self.io_errors += 1,
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Tallies events by kind name. Cheap, order-independent summary.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSink {
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl CounterSink {
+    /// An empty tally.
+    pub fn new() -> Self {
+        CounterSink::default()
+    }
+
+    /// Count for one kind name (0 when never seen).
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counts, sorted by kind name.
+    pub fn counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counts
+    }
+
+    /// Total events observed.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
+impl TraceSink for CounterSink {
+    fn record(&mut self, event: &SimEvent) {
+        *self.counts.entry(event.kind.name()).or_insert(0) += 1;
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Fans every event out to several sinks in order.
+#[derive(Default)]
+pub struct MultiSink {
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl MultiSink {
+    /// Builds a fan-out over `sinks`.
+    pub fn new(sinks: Vec<Box<dyn TraceSink>>) -> Self {
+        MultiSink { sinks }
+    }
+
+    /// Consumes the fan-out, yielding the inner sinks.
+    pub fn into_sinks(self) -> Vec<Box<dyn TraceSink>> {
+        self.sinks
+    }
+}
+
+impl std::fmt::Debug for MultiSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl TraceSink for MultiSink {
+    fn record(&mut self, event: &SimEvent) {
+        for sink in &mut self.sinks {
+            sink.record(event);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Everything a run derives from its event stream.
+///
+/// Produced by [`RecordReducer::finish`]; the harness folds this into its
+/// `RunReport`.
+#[derive(Debug)]
+pub struct ReducedRun {
+    /// Per-invocation records in completion order (callers sort by id).
+    pub records: Vec<InvocationRecord>,
+    /// Host resource samples.
+    pub sampler: ResourceSampler,
+    /// Earliest arrival seen (`SimTime::ZERO` when the run was empty).
+    pub first_arrival: SimTime,
+    /// Latest completion seen (`SimTime::ZERO` when nothing completed).
+    pub last_completion: SimTime,
+    /// Storage-client requests issued (cache hits + misses).
+    pub client_requests: u64,
+    /// Storage clients actually created.
+    pub clients_created: u64,
+    /// Bytes pinned by created clients.
+    pub client_bytes_allocated: u64,
+}
+
+/// Per-batch state the reducer tracks between dispatch and completion.
+#[derive(Debug)]
+struct BatchState {
+    container: ContainerId,
+    cold: bool,
+    members: Vec<InvocationId>,
+    decision_done: Option<SimTime>,
+    ready: Option<SimTime>,
+    exec_start: Vec<Option<SimTime>>,
+    own_finish: Vec<Option<SimTime>>,
+    completed: usize,
+}
+
+/// Folds the event stream into invocation records and run counters.
+///
+/// This is the *single* source of truth for latency attribution: the
+/// scheduler harness no longer keeps parallel counters. The decomposition
+/// it reproduces (per member of a batch):
+///
+/// * `scheduling` — arrival → dispatch-decision work retired
+/// * `cold_start` — decision retired → container ready (cold batches only)
+/// * `queuing`    — ready → member starts, plus member's own finish →
+///   response release (per-batch barrier wait)
+/// * `execution`  — member starts → member's own finish
+#[derive(Debug, Default)]
+pub struct RecordReducer {
+    arrivals: HashMap<InvocationId, (SimTime, FunctionId)>,
+    batches: HashMap<u64, BatchState>,
+    records: Vec<InvocationRecord>,
+    sampler: ResourceSampler,
+    first_arrival: Option<SimTime>,
+    last_completion: SimTime,
+    client_requests: u64,
+    clients_created: u64,
+    client_bytes_allocated: u64,
+}
+
+impl RecordReducer {
+    /// A reducer with no state.
+    pub fn new() -> Self {
+        RecordReducer::default()
+    }
+
+    /// Invocations completed so far.
+    pub fn completed(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Records produced so far, in completion order.
+    pub fn records(&self) -> &[InvocationRecord] {
+        &self.records
+    }
+
+    /// Folds one event. Returns the invocation record when the event
+    /// completes an invocation (so callers can fire policy callbacks
+    /// without re-deriving it).
+    pub fn on_event(&mut self, event: &SimEvent) -> Option<InvocationRecord> {
+        let at = event.at;
+        match &event.kind {
+            EventKind::Arrival {
+                invocation,
+                function,
+            } => {
+                self.arrivals.insert(*invocation, (at, *function));
+                self.first_arrival = Some(match self.first_arrival {
+                    Some(t) => t.min(at),
+                    None => at,
+                });
+            }
+            EventKind::DispatchDecision {
+                batch,
+                container,
+                cold,
+                members,
+                ..
+            } => {
+                let n = members.len();
+                self.batches.insert(
+                    *batch,
+                    BatchState {
+                        container: *container,
+                        cold: *cold,
+                        members: members.clone(),
+                        decision_done: None,
+                        ready: None,
+                        exec_start: vec![None; n],
+                        own_finish: vec![None; n],
+                        completed: 0,
+                    },
+                );
+            }
+            EventKind::TaskFinish {
+                task: TaskKind::Decision { batch },
+            } => {
+                if let Some(b) = self.batches.get_mut(batch) {
+                    b.decision_done = Some(at);
+                    if !b.cold {
+                        b.ready = Some(at);
+                    }
+                }
+            }
+            EventKind::ColdStartEnd {
+                batch: Some(batch), ..
+            } => {
+                if let Some(b) = self.batches.get_mut(batch) {
+                    b.ready = Some(at);
+                }
+            }
+            EventKind::ExecBegin { batch, member } => {
+                if let Some(b) = self.batches.get_mut(batch) {
+                    b.exec_start[*member as usize] = Some(at);
+                }
+            }
+            EventKind::ExecEnd { batch, member } => {
+                if let Some(b) = self.batches.get_mut(batch) {
+                    b.own_finish[*member as usize] = Some(at);
+                }
+            }
+            EventKind::ClientCacheHit { .. } | EventKind::ClientCacheMiss { .. } => {
+                self.client_requests += 1;
+            }
+            EventKind::ClientCreateEnd { bytes, .. } => {
+                self.clients_created += 1;
+                self.client_bytes_allocated += bytes;
+            }
+            EventKind::HostSample {
+                memory_bytes,
+                busy_cores,
+                live_containers,
+            } => {
+                self.sampler.record(ResourceSample {
+                    at,
+                    memory_bytes: *memory_bytes,
+                    busy_cores: *busy_cores,
+                    live_containers: *live_containers,
+                });
+            }
+            EventKind::InvocationComplete {
+                invocation,
+                batch: Some(batch),
+                member: Some(member),
+            } => {
+                let record = self.complete_member(at, *invocation, *batch, *member);
+                self.last_completion = self.last_completion.max(at);
+                self.records.push(record);
+                return Some(record);
+            }
+            EventKind::InvocationComplete {
+                batch: None,
+                member: None,
+                ..
+            } => {
+                // Fleet-level completion: records come from worker merges.
+                self.last_completion = self.last_completion.max(at);
+            }
+            _ => {}
+        }
+        None
+    }
+
+    /// Builds the record for one completing batch member.
+    fn complete_member(
+        &mut self,
+        completion: SimTime,
+        invocation: InvocationId,
+        batch: u64,
+        member: u32,
+    ) -> InvocationRecord {
+        let idx = member as usize;
+        let b = self
+            .batches
+            .get_mut(&batch)
+            .unwrap_or_else(|| panic!("completion for undeclared batch #{batch}"));
+        let (arrival, function) = self.arrivals[&invocation];
+        let decision_done = b.decision_done.expect("completion before decision");
+        let ready = b.ready.expect("completion before container ready");
+        let exec_start = b.exec_start[idx].expect("completion before exec start");
+        let own_finish = b.own_finish[idx].expect("completion before own finish");
+        let scheduling = decision_done.saturating_duration_since(arrival);
+        let cold_start = if b.cold {
+            ready.saturating_duration_since(decision_done)
+        } else {
+            SimDuration::ZERO
+        };
+        let queuing = exec_start.saturating_duration_since(ready)
+            + completion.saturating_duration_since(own_finish);
+        let execution = own_finish.saturating_duration_since(exec_start);
+        let record = InvocationRecord {
+            id: invocation,
+            function,
+            container: b.container,
+            arrival,
+            completion,
+            cold: b.cold,
+            latency: LatencyBreakdown {
+                scheduling,
+                cold_start,
+                queuing,
+                execution,
+            },
+        };
+        b.completed += 1;
+        if b.completed == b.members.len() {
+            self.batches.remove(&batch);
+        }
+        record
+    }
+
+    /// Finishes the fold, yielding everything derived from the stream.
+    pub fn finish(self) -> ReducedRun {
+        ReducedRun {
+            records: self.records,
+            sampler: self.sampler,
+            first_arrival: self.first_arrival.unwrap_or(SimTime::ZERO),
+            last_completion: self.last_completion,
+            client_requests: self.client_requests,
+            clients_created: self.clients_created,
+            client_bytes_allocated: self.client_bytes_allocated,
+        }
+    }
+}
+
+/// Upper bound on retained violation messages before truncation.
+const MAX_VIOLATIONS: usize = 64;
+
+/// Online invariant auditor.
+///
+/// Checks, as the stream flows:
+///
+/// * **time order** — event timestamps never decrease;
+/// * **conservation** — every completion matches exactly one arrival, and
+///   (at [`AuditorSink::finish`]) every arrival completed;
+/// * **container legality** — state changes follow
+///   `∅ → Provisioning → Idle ⇄ Busy`, with `Idle → Terminated` the only
+///   exit, and each event's `from` matches the tracked state;
+/// * **memory ledger** — per-category and global totals never go negative,
+///   frees match live allocations, and the event's `total` agrees with the
+///   running sum;
+/// * **latency tiling** — every derived record's components tile its
+///   end-to-end span ([`InvocationRecord::is_consistent`]);
+/// * **task pairing** — `TaskFinish`/`ColdStartEnd` match an open
+///   `TaskStart`/`ColdStartBegin`.
+#[derive(Debug, Default)]
+pub struct AuditorSink {
+    violations: Vec<String>,
+    truncated: u64,
+    last_at: Option<SimTime>,
+    /// arrival time → completion count per invocation.
+    seen: HashMap<InvocationId, u32>,
+    containers: HashMap<ContainerId, ContainerState>,
+    mem_by_category: HashMap<&'static str, i128>,
+    mem_total: i128,
+    open_tasks: HashMap<TaskKind, u32>,
+    open_cold_starts: HashMap<ContainerId, u32>,
+    reducer: RecordReducer,
+    finished: bool,
+}
+
+impl AuditorSink {
+    /// A fresh auditor.
+    pub fn new() -> Self {
+        AuditorSink::default()
+    }
+
+    fn violate(&mut self, at: SimTime, message: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(format!("[{at}] {message}"));
+        } else {
+            self.truncated += 1;
+        }
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Runs end-of-stream checks (unfinished arrivals, unbalanced tasks)
+    /// once, then returns all violations.
+    pub fn finish(&mut self) -> &[String] {
+        if !self.finished {
+            self.finished = true;
+            let mut unfinished: Vec<InvocationId> = self
+                .seen
+                .iter()
+                .filter(|(_, n)| **n == 0)
+                .map(|(id, _)| *id)
+                .collect();
+            unfinished.sort();
+            for id in unfinished {
+                self.violate(SimTime::ZERO, format!("{id} arrived but never completed"));
+            }
+            let mut open: Vec<String> = self
+                .open_tasks
+                .iter()
+                .filter(|(_, n)| **n > 0)
+                .map(|(task, n)| format!("task {task:?} left open {n} time(s)"))
+                .collect();
+            open.sort();
+            for msg in open {
+                self.violate(SimTime::ZERO, msg);
+            }
+            let mut cold: Vec<ContainerId> = self
+                .open_cold_starts
+                .iter()
+                .filter(|(_, n)| **n > 0)
+                .map(|(c, _)| *c)
+                .collect();
+            cold.sort();
+            for c in cold {
+                self.violate(SimTime::ZERO, format!("{c} cold start never ended"));
+            }
+            if self.truncated > 0 {
+                let n = self.truncated;
+                self.violations
+                    .push(format!("… {n} further violations truncated"));
+            }
+        }
+        &self.violations
+    }
+
+    fn check_container(&mut self, at: SimTime, event: &EventKind) {
+        let EventKind::ContainerStateChange {
+            container,
+            from,
+            to,
+        } = event
+        else {
+            return;
+        };
+        let tracked = self.containers.get(container).copied();
+        if tracked != *from {
+            self.violate(
+                at,
+                format!(
+                    "{container} claims transition from {from:?} but tracked state is {tracked:?}"
+                ),
+            );
+        }
+        let legal = matches!(
+            (tracked, to),
+            (None, ContainerState::Provisioning)
+                | (Some(ContainerState::Provisioning), ContainerState::Idle)
+                | (Some(ContainerState::Idle), ContainerState::Busy)
+                | (Some(ContainerState::Busy), ContainerState::Idle)
+                | (Some(ContainerState::Idle), ContainerState::Terminated)
+        );
+        if !legal {
+            self.violate(
+                at,
+                format!("{container} illegal transition {tracked:?} → {to:?}"),
+            );
+        }
+        self.containers.insert(*container, *to);
+    }
+
+    fn check_memory(&mut self, at: SimTime, event: &EventKind) {
+        match event {
+            EventKind::MemAlloc {
+                category,
+                bytes,
+                total,
+            } => {
+                *self.mem_by_category.entry(category).or_insert(0) += i128::from(*bytes);
+                self.mem_total += i128::from(*bytes);
+                if self.mem_total != i128::from(*total) {
+                    let tracked = self.mem_total;
+                    self.violate(
+                        at,
+                        format!("ledger total {total} disagrees with audited sum {tracked}"),
+                    );
+                }
+            }
+            EventKind::MemFree {
+                category,
+                bytes,
+                total,
+            } => {
+                let cat = self.mem_by_category.entry(category).or_insert(0);
+                *cat -= i128::from(*bytes);
+                if *cat < 0 {
+                    let v = *cat;
+                    self.violate(at, format!("category `{category}` went negative ({v})"));
+                }
+                self.mem_total -= i128::from(*bytes);
+                if self.mem_total < 0 {
+                    let v = self.mem_total;
+                    self.violate(at, format!("ledger total went negative ({v})"));
+                }
+                if self.mem_total != i128::from(*total) {
+                    let tracked = self.mem_total;
+                    self.violate(
+                        at,
+                        format!("ledger total {total} disagrees with audited sum {tracked}"),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl TraceSink for AuditorSink {
+    fn record(&mut self, event: &SimEvent) {
+        let at = event.at;
+        if let Some(last) = self.last_at {
+            if at < last {
+                self.violate(
+                    at,
+                    format!("time went backwards (previous event at {last})"),
+                );
+            }
+        }
+        self.last_at = Some(at);
+
+        match &event.kind {
+            EventKind::Arrival { invocation, .. } if self.seen.insert(*invocation, 0).is_some() => {
+                self.violate(at, format!("{invocation} arrived twice"));
+            }
+            EventKind::InvocationComplete { invocation, .. } => {
+                match self.seen.get_mut(invocation) {
+                    Some(n) => {
+                        *n += 1;
+                        if *n > 1 {
+                            let n = *n;
+                            self.violate(at, format!("{invocation} completed {n} times"));
+                        }
+                    }
+                    None => self.violate(at, format!("{invocation} completed without arriving")),
+                }
+            }
+            EventKind::TaskStart { task } => {
+                *self.open_tasks.entry(*task).or_insert(0) += 1;
+            }
+            EventKind::TaskPreempt { task } | EventKind::TaskFinish { task } => {
+                let open = self.open_tasks.entry(*task).or_insert(0);
+                if *open == 0 {
+                    self.violate(at, format!("task {task:?} finished without starting"));
+                } else {
+                    *open -= 1;
+                }
+            }
+            EventKind::ColdStartBegin { container, .. } => {
+                *self.open_cold_starts.entry(*container).or_insert(0) += 1;
+            }
+            EventKind::ColdStartEnd { container, .. } => {
+                let open = self.open_cold_starts.entry(*container).or_insert(0);
+                if *open == 0 {
+                    self.violate(
+                        at,
+                        format!("{container} cold start ended without beginning"),
+                    );
+                } else {
+                    *open -= 1;
+                }
+            }
+            _ => {}
+        }
+        self.check_container(at, &event.kind);
+        self.check_memory(at, &event.kind);
+
+        if let Some(record) = self.reducer.on_event(event) {
+            if !record.is_consistent() {
+                let id = record.id;
+                self.violate(at, format!("{id} latency components do not tile its span"));
+            }
+            if record.completion < record.arrival {
+                let id = record.id;
+                self.violate(at, format!("{id} completed before it arrived"));
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Renders an event stream in Chrome `about:tracing` / Perfetto JSON.
+///
+/// CPU tasks and cold starts become complete (`"X"`) duration slices by
+/// pairing their begin/end events; everything else becomes an instant
+/// (`"i"`) event. Timestamps are microseconds, which is exactly
+/// [`SimTime::as_micros`], so the trace plays back at simulated time.
+pub fn chrome_trace(events: &[SimEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut open_tasks: HashMap<TaskKind, SimTime> = HashMap::new();
+    let mut open_cold: HashMap<ContainerId, SimTime> = HashMap::new();
+    let mut push = |line: String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+    for event in events {
+        let ts = event.at.as_micros();
+        match &event.kind {
+            EventKind::TaskStart { task } => {
+                open_tasks.insert(*task, event.at);
+            }
+            EventKind::TaskFinish { task } | EventKind::TaskPreempt { task } => {
+                if let Some(begin) = open_tasks.remove(task) {
+                    let dur = ts - begin.as_micros();
+                    let (name, args) = task_name_args(task);
+                    push(
+                        format!(
+                            "{{\"name\":\"{name}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{},\"dur\":{dur},\"pid\":0,\"tid\":{},\"args\":{{{args}}}}}",
+                            begin.as_micros(),
+                            task_tid(task),
+                        ),
+                        &mut first,
+                    );
+                }
+            }
+            EventKind::ColdStartBegin { container, .. } => {
+                open_cold.insert(*container, event.at);
+            }
+            EventKind::ColdStartEnd { container, .. } => {
+                if let Some(begin) = open_cold.remove(container) {
+                    let dur = ts - begin.as_micros();
+                    push(
+                        format!(
+                            "{{\"name\":\"ColdStart\",\"cat\":\"container\",\"ph\":\"X\",\"ts\":{},\"dur\":{dur},\"pid\":0,\"tid\":{},\"args\":{{\"container\":{}}}}}",
+                            begin.as_micros(),
+                            container.value(),
+                            container.value(),
+                        ),
+                        &mut first,
+                    );
+                }
+            }
+            EventKind::HostSample {
+                memory_bytes,
+                busy_cores,
+                live_containers,
+            } => {
+                push(
+                    format!(
+                        "{{\"name\":\"host\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\"args\":{{\"memory_bytes\":{memory_bytes},\"busy_cores\":{busy_cores},\"live_containers\":{live_containers}}}}}"
+                    ),
+                    &mut first,
+                );
+            }
+            other => {
+                let name = other.name();
+                let mut args = String::new();
+                instant_args(other, &mut args);
+                push(
+                    format!(
+                        "{{\"name\":\"{name}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{ts},\"pid\":0,\"tid\":0,\"args\":{{{args}}}}}"
+                    ),
+                    &mut first,
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Chrome trace thread id for a task: containers get their own lane,
+/// daemon-side work shares lane 0.
+fn task_tid(task: &TaskKind) -> u64 {
+    match task {
+        TaskKind::PrewarmLaunch { container } | TaskKind::PrewarmBoot { container } => {
+            container.value()
+        }
+        _ => 0,
+    }
+}
+
+/// Name and `args` body for a task slice.
+fn task_name_args(task: &TaskKind) -> (&'static str, String) {
+    match task {
+        TaskKind::Decision { batch } => ("Decision", format!("\"batch\":{batch}")),
+        TaskKind::ColdBoot { batch } => ("ColdBoot", format!("\"batch\":{batch}")),
+        TaskKind::ClientCreation { batch, member } => (
+            "ClientCreation",
+            format!("\"batch\":{batch},\"member\":{member}"),
+        ),
+        TaskKind::Body { batch, member } => {
+            ("Body", format!("\"batch\":{batch},\"member\":{member}"))
+        }
+        TaskKind::PrewarmLaunch { container } => (
+            "PrewarmLaunch",
+            format!("\"container\":{}", container.value()),
+        ),
+        TaskKind::PrewarmBoot { container } => (
+            "PrewarmBoot",
+            format!("\"container\":{}", container.value()),
+        ),
+        TaskKind::Overhead => ("Overhead", String::new()),
+    }
+}
+
+/// Key numeric fields for an instant event's `args` body.
+fn instant_args(kind: &EventKind, out: &mut String) {
+    match kind {
+        EventKind::Arrival {
+            invocation,
+            function,
+        } => {
+            let _ = write!(
+                out,
+                "\"invocation\":{},\"function\":{}",
+                invocation.value(),
+                function.index()
+            );
+        }
+        EventKind::DispatchDecision {
+            batch,
+            container,
+            cold,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                "\"batch\":{batch},\"container\":{},\"cold\":{cold}",
+                container.value()
+            );
+        }
+        EventKind::InvocationComplete { invocation, .. } => {
+            let _ = write!(out, "\"invocation\":{}", invocation.value());
+        }
+        EventKind::ContainerStateChange { container, to, .. } => {
+            let _ = write!(out, "\"container\":{},\"to\":\"{to:?}\"", container.value());
+        }
+        EventKind::WorkerCrash { worker } => {
+            let _ = write!(out, "\"worker\":{worker}");
+        }
+        EventKind::Redispatch {
+            invocation,
+            from_worker,
+            retries,
+        } => {
+            let _ = write!(
+                out,
+                "\"invocation\":{},\"from_worker\":{from_worker},\"retries\":{retries}",
+                invocation.value()
+            );
+        }
+        EventKind::GroupFormed {
+            function,
+            size,
+            worker,
+        } => {
+            let _ = write!(
+                out,
+                "\"function\":{},\"size\":{size},\"worker\":{worker}",
+                function.index()
+            );
+        }
+        EventKind::MemAlloc { bytes, total, .. } | EventKind::MemFree { bytes, total, .. } => {
+            let _ = write!(out, "\"bytes\":{bytes},\"total\":{total}");
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(us: u64, kind: EventKind) -> SimEvent {
+        SimEvent::new(SimTime::from_micros(us), kind)
+    }
+
+    fn arrival(us: u64, inv: u64) -> SimEvent {
+        ev(
+            us,
+            EventKind::Arrival {
+                invocation: InvocationId::new(inv),
+                function: FunctionId::new(0),
+            },
+        )
+    }
+
+    /// A minimal warm single-member batch: arrive, dispatch, decide,
+    /// execute, complete. Returns the full stream.
+    fn tiny_run() -> Vec<SimEvent> {
+        vec![
+            arrival(0, 7),
+            ev(
+                0,
+                EventKind::DispatchDecision {
+                    batch: 0,
+                    function: FunctionId::new(0),
+                    container: ContainerId::new(1),
+                    cold: false,
+                    barrier: false,
+                    members: vec![InvocationId::new(7)],
+                },
+            ),
+            ev(
+                0,
+                EventKind::TaskStart {
+                    task: TaskKind::Decision { batch: 0 },
+                },
+            ),
+            ev(
+                100,
+                EventKind::TaskFinish {
+                    task: TaskKind::Decision { batch: 0 },
+                },
+            ),
+            ev(
+                150,
+                EventKind::ExecBegin {
+                    batch: 0,
+                    member: 0,
+                },
+            ),
+            ev(
+                900,
+                EventKind::ExecEnd {
+                    batch: 0,
+                    member: 0,
+                },
+            ),
+            ev(
+                900,
+                EventKind::InvocationComplete {
+                    invocation: InvocationId::new(7),
+                    batch: Some(0),
+                    member: Some(0),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn reducer_reproduces_latency_decomposition() {
+        let mut reducer = RecordReducer::new();
+        let mut record = None;
+        for event in tiny_run() {
+            if let Some(r) = reducer.on_event(&event) {
+                record = Some(r);
+            }
+        }
+        let r = record.expect("record produced");
+        assert_eq!(r.id, InvocationId::new(7));
+        assert_eq!(r.latency.scheduling, SimDuration::from_micros(100));
+        assert_eq!(r.latency.cold_start, SimDuration::ZERO);
+        assert_eq!(r.latency.queuing, SimDuration::from_micros(50));
+        assert_eq!(r.latency.execution, SimDuration::from_micros(750));
+        assert!(r.is_consistent());
+        let reduced = reducer.finish();
+        assert_eq!(reduced.records.len(), 1);
+        assert_eq!(reduced.first_arrival, SimTime::ZERO);
+        assert_eq!(reduced.last_completion, SimTime::from_micros(900));
+    }
+
+    #[test]
+    fn cold_start_component_spans_decision_to_ready() {
+        let mut reducer = RecordReducer::new();
+        let stream = vec![
+            arrival(0, 1),
+            ev(
+                0,
+                EventKind::DispatchDecision {
+                    batch: 0,
+                    function: FunctionId::new(0),
+                    container: ContainerId::new(1),
+                    cold: true,
+                    barrier: false,
+                    members: vec![InvocationId::new(1)],
+                },
+            ),
+            ev(
+                50,
+                EventKind::TaskFinish {
+                    task: TaskKind::Decision { batch: 0 },
+                },
+            ),
+            ev(
+                450,
+                EventKind::ColdStartEnd {
+                    container: ContainerId::new(1),
+                    batch: Some(0),
+                },
+            ),
+            ev(
+                450,
+                EventKind::ExecBegin {
+                    batch: 0,
+                    member: 0,
+                },
+            ),
+            ev(
+                650,
+                EventKind::ExecEnd {
+                    batch: 0,
+                    member: 0,
+                },
+            ),
+            ev(
+                650,
+                EventKind::InvocationComplete {
+                    invocation: InvocationId::new(1),
+                    batch: Some(0),
+                    member: Some(0),
+                },
+            ),
+        ];
+        let mut record = None;
+        for event in &stream {
+            if let Some(r) = reducer.on_event(event) {
+                record = Some(r);
+            }
+        }
+        let r = record.unwrap();
+        assert!(r.cold);
+        assert_eq!(r.latency.cold_start, SimDuration::from_micros(400));
+        assert_eq!(r.latency.queuing, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent() {
+        let mut ring = RingSink::new(2);
+        for i in 0..5 {
+            ring.record(&arrival(i, i));
+        }
+        assert_eq!(ring.dropped(), 3);
+        let kept: Vec<u64> = ring.events().map(|e| e.at.as_micros()).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn counter_sink_tallies_by_name() {
+        let mut counter = CounterSink::new();
+        for event in tiny_run() {
+            counter.record(&event);
+        }
+        assert_eq!(counter.count("Arrival"), 1);
+        assert_eq!(counter.count("InvocationComplete"), 1);
+        assert_eq!(counter.count("WorkerCrash"), 0);
+        assert_eq!(counter.total(), 7);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let buffer: Vec<u8> = Vec::new();
+        let mut sink = JsonlSink::new(Box::new(buffer));
+        for event in tiny_run() {
+            sink.record(&event);
+        }
+        assert_eq!(sink.lines(), 7);
+        assert_eq!(sink.io_errors(), 0);
+    }
+
+    #[test]
+    fn auditor_passes_a_clean_stream() {
+        let mut auditor = AuditorSink::new();
+        for event in tiny_run() {
+            auditor.record(&event);
+        }
+        assert_eq!(auditor.finish(), &[] as &[String]);
+    }
+
+    #[test]
+    fn auditor_flags_missing_completion() {
+        let mut auditor = AuditorSink::new();
+        auditor.record(&arrival(0, 3));
+        let violations = auditor.finish();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("never completed"));
+    }
+
+    #[test]
+    fn auditor_flags_double_completion_and_time_reversal() {
+        let mut auditor = AuditorSink::new();
+        for event in tiny_run() {
+            auditor.record(&event);
+        }
+        auditor.record(&ev(
+            800, // < 900: time reversal
+            EventKind::InvocationComplete {
+                invocation: InvocationId::new(7),
+                batch: None,
+                member: None,
+            },
+        ));
+        let violations = auditor.finish();
+        assert!(violations.iter().any(|v| v.contains("time went backwards")));
+        assert!(violations.iter().any(|v| v.contains("completed 2 times")));
+    }
+
+    #[test]
+    fn auditor_flags_illegal_container_transition() {
+        let mut auditor = AuditorSink::new();
+        auditor.record(&ev(
+            0,
+            EventKind::ContainerStateChange {
+                container: ContainerId::new(1),
+                from: None,
+                to: ContainerState::Busy,
+            },
+        ));
+        assert!(auditor.violations()[0].contains("illegal transition"));
+    }
+
+    #[test]
+    fn auditor_flags_negative_memory() {
+        let mut auditor = AuditorSink::new();
+        auditor.record(&ev(
+            0,
+            EventKind::MemFree {
+                category: "client",
+                bytes: 64,
+                total: 0,
+            },
+        ));
+        assert!(auditor
+            .violations()
+            .iter()
+            .any(|v| v.contains("went negative")));
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        let mut multi =
+            MultiSink::new(vec![Box::new(CounterSink::new()), Box::new(VecSink::new())]);
+        for event in tiny_run() {
+            multi.record(&event);
+        }
+        let sinks = multi.into_sinks();
+        let counter = sinks[0]
+            .as_any()
+            .downcast_ref::<CounterSink>()
+            .expect("counter");
+        let vec = sinks[1].as_any().downcast_ref::<VecSink>().expect("vec");
+        assert_eq!(counter.total(), 7);
+        assert_eq!(vec.events().len(), 7);
+    }
+
+    #[test]
+    fn chrome_trace_pairs_task_slices() {
+        let stream = vec![
+            ev(
+                10,
+                EventKind::TaskStart {
+                    task: TaskKind::Body {
+                        batch: 0,
+                        member: 0,
+                    },
+                },
+            ),
+            ev(
+                60,
+                EventKind::TaskFinish {
+                    task: TaskKind::Body {
+                        batch: 0,
+                        member: 0,
+                    },
+                },
+            ),
+            arrival(70, 1),
+        ];
+        let json = chrome_trace(&stream);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":50"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn events_serialize_deterministically() {
+        let a = serde_json::to_string(&tiny_run()).unwrap();
+        let b = serde_json::to_string(&tiny_run()).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"Arrival\""));
+    }
+}

@@ -14,7 +14,12 @@
 //! * [`sampler`] — the 1 Hz [`sampler::ResourceSampler`];
 //! * [`report`] — [`report::RunReport`], the serialisable bundle each
 //!   scheduler run produces and every figure harness consumes, plus
-//!   [`report::text_table`] rendering.
+//!   [`report::text_table`] rendering;
+//! * [`events`] — the typed [`events::SimEvent`] trace stream every
+//!   simulation layer emits into, the pluggable [`events::TraceSink`]s
+//!   (no-op, ring, JSONL, counters, invariant auditor), and the
+//!   [`events::RecordReducer`] that derives records and samples from the
+//!   stream (DESIGN.md §11).
 //!
 //! # Examples
 //!
@@ -30,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod events;
 pub mod latency;
 pub mod report;
 pub mod sampler;
@@ -37,6 +43,10 @@ pub mod stats;
 pub mod timeline;
 
 pub use analysis::{against_all, Comparison};
+pub use events::{
+    chrome_trace, AuditorSink, CounterSink, EventKind, JsonlSink, MultiSink, NoopSink,
+    RecordReducer, ReducedRun, RingSink, SimEvent, TaskKind, TraceSink, VecSink,
+};
 pub use latency::{InvocationRecord, LatencyBreakdown};
 pub use report::{percent_reduction, text_table, RunReport};
 pub use sampler::{ResourceSample, ResourceSampler};

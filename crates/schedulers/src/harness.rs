@@ -14,22 +14,30 @@
 //! * I/O-function bodies request a storage client first: creations are
 //!   serialized per container with Fig. 4's contention-scaled cost, and a
 //!   per-container *resource multiplexer* (FaaSBatch only) caches instances
-//!   by hashed creation args with single-flight semantics;
-//! * every completed invocation yields an [`InvocationRecord`] whose four
-//!   latency components are contiguous by construction;
-//! * host memory, CPU, and container counts are sampled once per second.
+//!   by hashed creation args with single-flight semantics.
+//!
+//! Every step of that mechanism is *emitted* as a typed
+//! [`SimEvent`] into a pluggable
+//! [`TraceSink`]: the harness keeps no parallel counters. Invocation
+//! records, host samples, and client statistics are all derived from the
+//! stream by a [`RecordReducer`] folding alongside the sink, so what a
+//! report claims and what a trace shows cannot drift apart
+//! (DESIGN.md §11). [`run_simulation_traced`] exposes the stream;
+//! [`run_simulation`] wires in the zero-cost no-op sink.
 
 use crate::config::SimConfig;
 use crate::policy::{Completion, Ctx, DispatchRequest, ExecMode, Policy};
 use faasbatch_container::cluster::Cluster;
 use faasbatch_container::ids::{ContainerId, FunctionId};
 use faasbatch_container::spec::ContainerSpec;
-use faasbatch_metrics::latency::{InvocationRecord, LatencyBreakdown};
+use faasbatch_metrics::events::{
+    EventKind, NoopSink, RecordReducer, SimEvent, TaskKind, TraceSink,
+};
+use faasbatch_metrics::latency::InvocationRecord;
 use faasbatch_metrics::report::RunReport;
-use faasbatch_metrics::sampler::{ResourceSample, ResourceSampler};
 use faasbatch_simcore::cpu::{CpuGroupId, CpuTaskId};
 use faasbatch_simcore::engine::{Engine, EventId};
-use faasbatch_simcore::memory::AllocationId;
+use faasbatch_simcore::memory::{AllocationId, MemOpKind};
 use faasbatch_simcore::time::{SimDuration, SimTime};
 use faasbatch_trace::function::{FunctionKind, FunctionRegistry};
 use faasbatch_trace::workload::{Invocation, Workload};
@@ -63,6 +71,28 @@ enum WorkKind {
     Overhead,
 }
 
+/// The serializable trace mirror of a [`WorkKind`].
+fn task_kind(kind: WorkKind) -> TaskKind {
+    match kind {
+        WorkKind::Decision(b) => TaskKind::Decision { batch: b.0 },
+        WorkKind::ColdBoot(b) => TaskKind::ColdBoot { batch: b.0 },
+        WorkKind::ClientCreation(b, i) => TaskKind::ClientCreation {
+            batch: b.0,
+            member: i as u32,
+        },
+        WorkKind::Body(b, i) => TaskKind::Body {
+            batch: b.0,
+            member: i as u32,
+        },
+        WorkKind::PrewarmLaunch(c) => TaskKind::PrewarmLaunch { container: c },
+        WorkKind::PrewarmBoot(c) => TaskKind::PrewarmBoot { container: c },
+        WorkKind::Overhead => TaskKind::Overhead,
+    }
+}
+
+/// Routing/identity state for one dispatched batch. All *timing* lives in
+/// the event stream (the [`RecordReducer`] owns it); the harness only keeps
+/// what it needs to drive execution forward.
 #[derive(Debug)]
 struct Batch {
     mode: ExecMode,
@@ -70,14 +100,8 @@ struct Batch {
     group_weight: f64,
     completion: Completion,
     invocations: Vec<Invocation>,
-    decision_done: Option<SimTime>,
     container: Option<ContainerId>,
     cold: bool,
-    ready_at: Option<SimTime>,
-    exec_start: Vec<Option<SimTime>>,
-    /// Per-member own-chain finish instants (barrier accounting for
-    /// [`Completion::PerBatch`]).
-    own_finish: Vec<Option<SimTime>>,
     serial_next: usize,
     remaining: usize,
 }
@@ -109,21 +133,17 @@ pub struct SimWorld {
     cpu_event: Option<EventId>,
     ext: HashMap<ContainerId, ContainerExt>,
     transient_clients: HashMap<(BatchId, usize), AllocationId>,
-    records: Vec<InvocationRecord>,
-    sampler: ResourceSampler,
+    /// Folds the event stream into records, samples, and counters.
+    reducer: RecordReducer,
+    /// Observer for the same stream the reducer folds.
+    trace: Box<dyn TraceSink>,
     total: usize,
-    completed: usize,
-    first_arrival: SimTime,
-    last_completion: SimTime,
-    client_requests: u64,
-    clients_created: u64,
-    client_bytes_allocated: u64,
 }
 
 impl std::fmt::Debug for SimWorld {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimWorld")
-            .field("completed", &self.completed)
+            .field("completed", &self.reducer.completed())
             .field("total", &self.total)
             .field("batches", &self.batches.len())
             .finish()
@@ -131,7 +151,7 @@ impl std::fmt::Debug for SimWorld {
 }
 
 impl SimWorld {
-    fn new(cfg: SimConfig, workload: &Workload) -> Self {
+    fn new(cfg: SimConfig, workload: &Workload, trace: Box<dyn TraceSink>) -> Self {
         let mut cluster = Cluster::new(cfg.cores, cfg.cold_start.clone(), cfg.keep_alive);
         let daemon_group = cluster.cpu_mut().create_group(Some(cfg.daemon_cores));
         SimWorld {
@@ -144,18 +164,9 @@ impl SimWorld {
             cpu_event: None,
             ext: HashMap::new(),
             transient_clients: HashMap::new(),
-            records: Vec::with_capacity(workload.len()),
-            sampler: ResourceSampler::new(),
+            reducer: RecordReducer::new(),
+            trace,
             total: workload.len(),
-            completed: 0,
-            first_arrival: workload
-                .invocations()
-                .first()
-                .map_or(SimTime::ZERO, |i| i.arrival),
-            last_completion: SimTime::ZERO,
-            client_requests: 0,
-            clients_created: 0,
-            client_bytes_allocated: 0,
             cfg,
         }
     }
@@ -170,9 +181,9 @@ impl SimWorld {
         &self.registry
     }
 
-    /// Completed invocations.
+    /// Completed invocations (derived from the event stream).
     pub fn completed(&self) -> usize {
-        self.completed
+        self.reducer.completed()
     }
 
     /// Total invocations.
@@ -186,7 +197,7 @@ impl SimWorld {
     }
 
     fn done(&self) -> bool {
-        self.completed == self.total
+        self.reducer.completed() == self.total
     }
 }
 
@@ -202,6 +213,67 @@ fn hash_key<T: Hash>(value: &T) -> u64 {
     let mut h = DefaultHasher::new();
     value.hash(&mut h);
     h.finish()
+}
+
+/// Translates journalled lower-layer operations (memory ledger, container
+/// lifecycle) into trace events. The two journals are merged by timestamp
+/// (memory first on ties, matching causal order inside `Cluster::acquire`)
+/// so the stream stays in non-decreasing time order.
+fn drain_journals(world: &mut SimWorld) {
+    if !world.cluster.transitions_pending() && !world.cluster.mem().journal_pending() {
+        return;
+    }
+    let transitions = world.cluster.take_transitions();
+    let mem_ops = world.cluster.mem_mut().take_journal();
+    let mut trs = transitions.into_iter().peekable();
+    let mut ops = mem_ops.into_iter().peekable();
+    loop {
+        let take_mem = match (ops.peek(), trs.peek()) {
+            (Some(op), Some(tr)) => op.at <= tr.at,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let event = if take_mem {
+            let op = ops.next().expect("peeked");
+            let kind = match op.kind {
+                MemOpKind::Alloc => EventKind::MemAlloc {
+                    category: op.category,
+                    bytes: op.bytes,
+                    total: op.total_after,
+                },
+                MemOpKind::Free => EventKind::MemFree {
+                    category: op.category,
+                    bytes: op.bytes,
+                    total: op.total_after,
+                },
+            };
+            SimEvent::new(op.at, kind)
+        } else {
+            let tr = trs.next().expect("peeked");
+            SimEvent::new(
+                tr.at,
+                EventKind::ContainerStateChange {
+                    container: tr.container,
+                    from: tr.from,
+                    to: tr.to,
+                },
+            )
+        };
+        world.reducer.on_event(&event);
+        world.trace.record(&event);
+    }
+}
+
+/// Emits one semantic event at `at`, after flushing any journalled
+/// lower-layer operations so the stream stays causally ordered. Returns the
+/// completed invocation's record when the event completes one.
+fn emit(world: &mut SimWorld, at: SimTime, kind: EventKind) -> Option<InvocationRecord> {
+    drain_journals(world);
+    let event = SimEvent::new(at, kind);
+    let record = world.reducer.on_event(&event);
+    world.trace.record(&event);
+    record
 }
 
 /// Schedules `policy.on_timer(token)` after `delay`.
@@ -272,11 +344,30 @@ pub(crate) fn dispatch(world: &mut SimWorld, engine: &mut Engine<Sim>, req: Disp
     } else {
         world.cfg.warm_dispatch_work
     };
+    emit(
+        world,
+        now,
+        EventKind::DispatchDecision {
+            batch: id.0,
+            function,
+            container: cid,
+            cold: acq.is_cold(),
+            barrier: req.completion == Completion::PerBatch,
+            members: req.invocations.iter().map(|i| i.id).collect(),
+        },
+    );
     if !req.extra_platform_work.is_zero() {
         let t = world
             .cluster
             .start_platform_work(now, req.extra_platform_work);
         world.running.insert(t, WorkKind::Overhead);
+        emit(
+            world,
+            now,
+            EventKind::TaskStart {
+                task: TaskKind::Overhead,
+            },
+        );
     }
     let n = req.invocations.len();
     world.batches.insert(
@@ -287,12 +378,8 @@ pub(crate) fn dispatch(world: &mut SimWorld, engine: &mut Engine<Sim>, req: Disp
             group_weight: req.group_weight,
             completion: req.completion,
             invocations: req.invocations,
-            decision_done: None,
             container: Some(cid),
             cold: acq.is_cold(),
-            ready_at: None,
-            exec_start: vec![None; n],
-            own_finish: vec![None; n],
             serial_next: 0,
             remaining: n,
         },
@@ -302,6 +389,13 @@ pub(crate) fn dispatch(world: &mut SimWorld, engine: &mut Engine<Sim>, req: Disp
         .cpu_mut()
         .add_task(now, world.daemon_group, decision_work);
     world.running.insert(task, WorkKind::Decision(id));
+    emit(
+        world,
+        now,
+        EventKind::TaskStart {
+            task: TaskKind::Decision { batch: id.0 },
+        },
+    );
     // The caller (arrival/timer/cpu-tick wrapper) pumps the CPU afterwards.
 }
 
@@ -325,6 +419,13 @@ pub(crate) fn prewarm(
             world.cfg.container_launch_work,
         );
         world.running.insert(task, WorkKind::PrewarmLaunch(cid));
+        emit(
+            world,
+            now,
+            EventKind::TaskStart {
+                task: TaskKind::PrewarmLaunch { container: cid },
+            },
+        );
     }
 }
 
@@ -349,6 +450,13 @@ fn cpu_tick(sim: &mut Sim, engine: &mut Engine<Sim>) {
             .running
             .remove(&task)
             .expect("completed CPU task not registered");
+        emit(
+            &mut sim.world,
+            now,
+            EventKind::TaskFinish {
+                task: task_kind(kind),
+            },
+        );
         match kind {
             WorkKind::Decision(b) => on_decision_done(sim, engine, b),
             WorkKind::ColdBoot(b) => on_cold_boot_done(sim, engine, b),
@@ -356,17 +464,40 @@ fn cpu_tick(sim: &mut Sim, engine: &mut Engine<Sim>) {
             WorkKind::Body(b, i) => on_body_done(sim, engine, b, i),
             WorkKind::PrewarmLaunch(cid) => {
                 // Daemon processed the launch; begin the boot phases.
+                emit(
+                    &mut sim.world,
+                    now,
+                    EventKind::ColdStartBegin {
+                        container: cid,
+                        batch: None,
+                    },
+                );
                 let image = sim.world.cfg.cold_start.image_latency();
                 engine.schedule_in(image, move |sim: &mut Sim, engine| {
                     let now = engine.now();
                     let world = &mut sim.world;
                     let boot = world.cluster.start_cold_cpu_work(now, cid);
                     world.running.insert(boot, WorkKind::PrewarmBoot(cid));
+                    emit(
+                        world,
+                        now,
+                        EventKind::TaskStart {
+                            task: TaskKind::PrewarmBoot { container: cid },
+                        },
+                    );
                     pump_cpu(world, engine);
                 });
             }
             WorkKind::PrewarmBoot(cid) => {
                 sim.world.cluster.finish_cold_start_idle(now, cid);
+                emit(
+                    &mut sim.world,
+                    now,
+                    EventKind::ColdStartEnd {
+                        container: cid,
+                        batch: None,
+                    },
+                );
             }
             WorkKind::Overhead => {}
         }
@@ -377,22 +508,35 @@ fn cpu_tick(sim: &mut Sim, engine: &mut Engine<Sim>) {
 fn on_decision_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId) {
     let now = engine.now();
     let world = &mut sim.world;
-    let batch = world.batches.get_mut(&id).expect("unknown batch");
-    batch.decision_done = Some(now);
+    let batch = world.batches.get(&id).expect("unknown batch");
     let cid = batch.container.expect("container bound at dispatch");
     if batch.cold {
         // The daemon has processed the launch; the container now boots
         // (image/runtime phase, then CPU phase inside its own group).
+        emit(
+            world,
+            now,
+            EventKind::ColdStartBegin {
+                container: cid,
+                batch: Some(id.0),
+            },
+        );
         let image = world.cfg.cold_start.image_latency();
         engine.schedule_in(image, move |sim: &mut Sim, engine| {
             let now = engine.now();
             let world = &mut sim.world;
             let task = world.cluster.start_cold_cpu_work(now, cid);
             world.running.insert(task, WorkKind::ColdBoot(id));
+            emit(
+                world,
+                now,
+                EventKind::TaskStart {
+                    task: TaskKind::ColdBoot { batch: id.0 },
+                },
+            );
             pump_cpu(world, engine);
         });
     } else {
-        batch.ready_at = Some(now);
         let function = batch.invocations[0].function;
         let weight = batch.group_weight;
         set_container_weight(world, now, cid, weight);
@@ -409,7 +553,14 @@ fn on_cold_boot_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId) {
         .container
         .expect("cold boot without container");
     world.cluster.finish_cold_start(now, cid);
-    world.batches.get_mut(&id).expect("unknown batch").ready_at = Some(now);
+    emit(
+        world,
+        now,
+        EventKind::ColdStartEnd {
+            container: cid,
+            batch: Some(id.0),
+        },
+    );
     let function = world.batches[&id].invocations[0].function;
     let weight = world.batches[&id].group_weight;
     set_container_weight(world, now, cid, weight);
@@ -440,38 +591,89 @@ fn start_batch_execution(world: &mut SimWorld, now: SimTime, id: BatchId) {
     }
 }
 
+/// How an I/O member's client request was routed by the multiplexer.
+enum ClientRoute {
+    /// Cache hit: proceed straight to the body.
+    Hit,
+    /// Single-flight wait: parked until the in-flight creation lands.
+    Wait,
+    /// This member must create the client.
+    Create,
+}
+
 /// Begins one invocation's execution inside its container: client phase
 /// (I/O functions) then body.
 fn start_invocation_chain(world: &mut SimWorld, now: SimTime, id: BatchId, idx: usize) {
     let (function, multiplex, cid) = {
-        let batch = world.batches.get_mut(&id).expect("unknown batch");
-        batch.exec_start[idx] = Some(now);
+        let batch = &world.batches[&id];
         (
             batch.invocations[idx].function,
             batch.multiplex,
             batch.container.expect("chain without container"),
         )
     };
+    emit(
+        world,
+        now,
+        EventKind::ExecBegin {
+            batch: id.0,
+            member: idx as u32,
+        },
+    );
     let kind = world.registry.profile(function).kind.clone();
     match kind {
         FunctionKind::Cpu { .. } => start_body(world, now, id, idx),
         FunctionKind::Io { ref bucket, .. } => {
-            world.client_requests += 1;
             let key = hash_key(bucket);
-            let ext = world.ext.get_mut(&cid).expect("container ext exists");
-            if multiplex {
+            let route = if multiplex {
+                let ext = world.ext.get_mut(&cid).expect("container ext exists");
                 if ext.client_cache.contains_key(&key) {
-                    // Multiplexer hit: reuse the cached instance for free.
-                    start_body(world, now, id, idx);
+                    ClientRoute::Hit
                 } else if let Some(waiters) = ext.in_flight.get_mut(&key) {
                     // Single-flight: someone is already building this client.
                     waiters.push((id, idx));
+                    ClientRoute::Wait
                 } else {
                     ext.in_flight.insert(key, Vec::new());
-                    enqueue_creation(world, now, cid, id, idx);
+                    ClientRoute::Create
                 }
             } else {
-                enqueue_creation(world, now, cid, id, idx);
+                ClientRoute::Create
+            };
+            match route {
+                ClientRoute::Hit => {
+                    // Multiplexer hit: reuse the cached instance for free.
+                    emit(
+                        world,
+                        now,
+                        EventKind::ClientCacheHit {
+                            container: cid,
+                            key,
+                        },
+                    );
+                    start_body(world, now, id, idx);
+                }
+                ClientRoute::Wait => {
+                    emit(
+                        world,
+                        now,
+                        EventKind::ClientCacheMiss {
+                            container: cid,
+                            key,
+                        },
+                    );
+                }
+                ClientRoute::Create => {
+                    emit(
+                        world,
+                        now,
+                        EventKind::ClientCacheMiss {
+                            container: cid,
+                            key,
+                        },
+                    );
+                    enqueue_creation(world, now, cid, id, idx);
+                }
             }
         }
     }
@@ -503,6 +705,25 @@ fn start_next_creation(world: &mut SimWorld, now: SimTime, cid: ContainerId) {
     world
         .running
         .insert(task, WorkKind::ClientCreation(id, idx));
+    emit(
+        world,
+        now,
+        EventKind::ClientCreateBegin {
+            container: cid,
+            batch: id.0,
+            member: idx as u32,
+        },
+    );
+    emit(
+        world,
+        now,
+        EventKind::TaskStart {
+            task: TaskKind::ClientCreation {
+                batch: id.0,
+                member: idx as u32,
+            },
+        },
+    );
 }
 
 fn on_creation_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: usize) {
@@ -523,8 +744,16 @@ fn on_creation_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: u
     };
     let bytes = world.cfg.client_cost.memory_per_client;
     let alloc = world.cluster.mem_mut().alloc(now, MEM_CLIENT, bytes);
-    world.clients_created += 1;
-    world.client_bytes_allocated += bytes;
+    emit(
+        world,
+        now,
+        EventKind::ClientCreateEnd {
+            container: cid,
+            batch: id.0,
+            member: idx as u32,
+            bytes,
+        },
+    );
 
     let key = hash_key(&bucket);
     let waiters = {
@@ -557,6 +786,16 @@ fn start_body(world: &mut SimWorld, now: SimTime, id: BatchId, idx: usize) {
     };
     let task = world.cluster.start_invocation_work(now, cid, work);
     world.running.insert(task, WorkKind::Body(id, idx));
+    emit(
+        world,
+        now,
+        EventKind::TaskStart {
+            task: TaskKind::Body {
+                batch: id.0,
+                member: idx as u32,
+            },
+        },
+    );
 }
 
 fn on_body_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: usize) {
@@ -579,37 +818,12 @@ fn on_body_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: usize
     }
 }
 
-/// Builds the latency record for member `idx`, completing at `completion`.
-/// Under [`Completion::PerBatch`] the barrier wait between a member's own
-/// finish and the batch end is charged to queuing, keeping the components
-/// contiguous.
-fn build_record(batch: &Batch, idx: usize, completion: SimTime) -> InvocationRecord {
-    let inv = &batch.invocations[idx];
-    let decision_done = batch.decision_done.expect("no decision time");
-    let ready = batch.ready_at.expect("no ready time");
-    let exec_start = batch.exec_start[idx].expect("no exec start");
-    let own_finish = batch.own_finish[idx].expect("no finish time");
-    InvocationRecord {
-        id: inv.id,
-        function: inv.function,
-        container: batch.container.expect("no container"),
-        arrival: inv.arrival,
-        completion,
-        cold: batch.cold,
-        latency: LatencyBreakdown {
-            scheduling: decision_done.saturating_duration_since(inv.arrival),
-            cold_start: if batch.cold {
-                ready.saturating_duration_since(decision_done)
-            } else {
-                SimDuration::ZERO
-            },
-            queuing: exec_start.saturating_duration_since(ready)
-                + completion.saturating_duration_since(own_finish),
-            execution: own_finish.saturating_duration_since(exec_start),
-        },
-    }
-}
-
+/// Completes member `idx`'s own chain and, depending on the batch's
+/// [`Completion`] mode, releases its response now or at the batch barrier.
+/// The record itself is built by the [`RecordReducer`] from the emitted
+/// `ExecEnd`/`InvocationComplete` events — under [`Completion::PerBatch`]
+/// the barrier wait between a member's own finish and the batch end lands
+/// in queuing, keeping the components contiguous.
 fn finish_invocation(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: usize) {
     let now = engine.now();
     let record = {
@@ -619,15 +833,30 @@ fn finish_invocation(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: 
             // collected when the handler returns).
             world.cluster.mem_mut().free(now, alloc);
         }
-        let batch = world.batches.get_mut(&id).expect("unknown batch");
-        batch.own_finish[idx] = Some(now);
+        emit(
+            world,
+            now,
+            EventKind::ExecEnd {
+                batch: id.0,
+                member: idx as u32,
+            },
+        );
+        let batch = world.batches.get(&id).expect("unknown batch");
         match batch.completion {
             Completion::PerInvocation => {
-                let record = build_record(batch, idx, now);
-                world.records.push(record);
-                world.completed += 1;
-                world.last_completion = now;
-                Some(record)
+                let invocation = batch.invocations[idx].id;
+                Some(
+                    emit(
+                        world,
+                        now,
+                        EventKind::InvocationComplete {
+                            invocation,
+                            batch: Some(id.0),
+                            member: Some(idx as u32),
+                        },
+                    )
+                    .expect("completion event yields a record"),
+                )
             }
             // The response is held until the whole group returns.
             Completion::PerBatch => None,
@@ -661,21 +890,25 @@ fn finish_invocation(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: 
     }
     if batch_finished {
         // Release barrier-held responses in member order.
-        let held: Vec<InvocationRecord> = {
-            let world = &mut sim.world;
-            let batch = &world.batches[&id];
+        let barrier_members: Vec<faasbatch_container::ids::InvocationId> = {
+            let batch = &sim.world.batches[&id];
             if batch.completion == Completion::PerBatch {
-                (0..batch.invocations.len())
-                    .map(|i| build_record(batch, i, now))
-                    .collect()
+                batch.invocations.iter().map(|i| i.id).collect()
             } else {
                 Vec::new()
             }
         };
-        for record in held {
-            sim.world.records.push(record);
-            sim.world.completed += 1;
-            sim.world.last_completion = now;
+        for (i, invocation) in barrier_members.into_iter().enumerate() {
+            let record = emit(
+                &mut sim.world,
+                now,
+                EventKind::InvocationComplete {
+                    invocation,
+                    batch: Some(id.0),
+                    member: Some(i as u32),
+                },
+            )
+            .expect("completion event yields a record");
             let Sim { world, policy } = sim;
             policy.on_invocation_done(&mut Ctx { world, engine }, &record);
         }
@@ -696,18 +929,20 @@ fn schedule_sampler(engine: &mut Engine<Sim>, period: SimDuration) {
 }
 
 fn record_sample(world: &mut SimWorld, now: SimTime) {
-    world.sampler.record(ResourceSample {
-        at: now,
+    let kind = EventKind::HostSample {
         memory_bytes: world.cluster.mem().current_bytes(),
         busy_cores: world.cluster.cpu().busy_cores(),
         live_containers: world.cluster.live_containers(),
-    });
+    };
+    emit(world, now, kind);
 }
 
 /// Replays `workload` under `policy` and returns the run's report.
 ///
 /// The run is deterministic: identical `(policy, workload, cfg)` inputs
-/// produce identical reports.
+/// produce identical reports. Every report quantity is derived from the
+/// trace stream; this entry point discards the stream via the zero-cost
+/// no-op sink — use [`run_simulation_traced`] to observe it.
 ///
 /// # Panics
 ///
@@ -720,14 +955,46 @@ pub fn run_simulation(
     workload_label: &str,
     dispatch_interval: Option<SimDuration>,
 ) -> RunReport {
+    run_simulation_traced(
+        policy,
+        workload,
+        cfg,
+        workload_label,
+        dispatch_interval,
+        Box::new(NoopSink),
+    )
+    .0
+}
+
+/// [`run_simulation`] with an observable event stream: every event the run
+/// derives its report from also flows through `sink`, which is returned for
+/// downcasting (e.g. back to a
+/// [`VecSink`](faasbatch_metrics::events::VecSink) or
+/// [`AuditorSink`](faasbatch_metrics::events::AuditorSink)).
+pub fn run_simulation_traced(
+    policy: Box<dyn Policy>,
+    workload: &Workload,
+    cfg: SimConfig,
+    workload_label: &str,
+    dispatch_interval: Option<SimDuration>,
+    sink: Box<dyn TraceSink>,
+) -> (RunReport, Box<dyn TraceSink>) {
     let mut engine: Engine<Sim> = Engine::new();
-    let world = SimWorld::new(cfg, workload);
+    let world = SimWorld::new(cfg, workload, sink);
     let mut sim = Sim { world, policy };
 
     // Inject arrivals.
     for inv in workload.invocations() {
         let inv = inv.clone();
         engine.schedule_at(inv.arrival, move |sim: &mut Sim, engine| {
+            emit(
+                &mut sim.world,
+                engine.now(),
+                EventKind::Arrival {
+                    invocation: inv.id,
+                    function: inv.function,
+                },
+            );
             {
                 let Sim { world, policy } = sim;
                 policy.on_arrival(&mut Ctx { world, engine }, &inv);
@@ -757,23 +1024,26 @@ pub fn run_simulation(
     assert!(
         sim.world.done(),
         "simulation stalled: {}/{} invocations completed",
-        sim.world.completed,
+        sim.world.completed(),
         sim.world.total
     );
+    // Flush trailing journalled operations (e.g. the final release).
+    drain_journals(&mut sim.world);
 
     let world = sim.world;
     let stats = world.cluster.stats();
-    let mut records = world.records;
+    let reduced = world.reducer.finish();
+    let mut records = reduced.records;
     records.sort_by_key(|r| r.id);
-    let makespan = world
+    let makespan = reduced
         .last_completion
-        .saturating_duration_since(world.first_arrival);
-    RunReport {
+        .saturating_duration_since(reduced.first_arrival);
+    let report = RunReport {
         scheduler: sim.policy.name(),
         workload: workload_label.to_owned(),
         dispatch_interval,
         records,
-        sampler: world.sampler,
+        sampler: reduced.sampler,
         provisioned_containers: stats.provisioned,
         warm_hits: stats.warm_hits,
         peak_live_containers: stats.peak_live,
@@ -785,15 +1055,17 @@ pub fn run_simulation(
             .group_core_seconds(world.cluster.platform_group()),
         host_cores: world.cfg.cores,
         makespan,
-        clients_created: world.clients_created,
-        client_requests: world.client_requests,
-        client_bytes_allocated: world.client_bytes_allocated,
-    }
+        clients_created: reduced.clients_created,
+        client_requests: reduced.client_requests,
+        client_bytes_allocated: reduced.client_bytes_allocated,
+    };
+    (report, world.trace)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faasbatch_metrics::events::{AuditorSink, VecSink};
     use faasbatch_simcore::rng::DetRng;
     use faasbatch_trace::workload::{cpu_workload, WorkloadConfig};
 
@@ -860,6 +1132,60 @@ mod tests {
             report.provisioned_containers,
             5 + (report.records.len() - warm_served) as u64
         );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_audits_clean() {
+        let w = tiny_workload();
+        let untraced = run_simulation(
+            Box::new(PrewarmEverything { done: false }),
+            &w,
+            crate::config::SimConfig::default(),
+            "t",
+            None,
+        );
+        let (traced, sink) = run_simulation_traced(
+            Box::new(PrewarmEverything { done: false }),
+            &w,
+            crate::config::SimConfig::default(),
+            "t",
+            None,
+            Box::new(AuditorSink::new()),
+        );
+        assert_eq!(untraced, traced, "sink choice must not affect the report");
+        let mut sink = sink;
+        let auditor = sink
+            .as_any_mut()
+            .downcast_mut::<AuditorSink>()
+            .expect("auditor comes back");
+        assert_eq!(auditor.finish(), &[] as &[String]);
+    }
+
+    #[test]
+    fn event_stream_is_deterministic_and_time_ordered() {
+        let run = || {
+            let w = tiny_workload();
+            let (_, sink) = run_simulation_traced(
+                Box::new(PrewarmEverything { done: false }),
+                &w,
+                crate::config::SimConfig::default(),
+                "t",
+                None,
+                Box::new(VecSink::new()),
+            );
+            sink.as_any()
+                .downcast_ref::<VecSink>()
+                .expect("vec sink")
+                .events()
+                .to_vec()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed+config must give a bit-identical stream");
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "time-ordered");
+        assert!(a
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ColdStartEnd { .. })));
     }
 
     #[test]

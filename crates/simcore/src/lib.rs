@@ -42,6 +42,6 @@ pub mod time;
 
 pub use cpu::{CpuGroupId, CpuModel, CpuTaskId};
 pub use engine::{Engine, EventId};
-pub use memory::{AllocationId, MemoryLedger};
+pub use memory::{AllocationId, MemOp, MemOpKind, MemoryLedger};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

@@ -27,6 +27,36 @@ use std::collections::{BTreeMap, HashMap};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AllocationId(u64);
 
+/// Whether a journalled ledger operation allocated or freed bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOpKind {
+    /// Bytes were allocated.
+    Alloc,
+    /// Bytes were freed.
+    Free,
+}
+
+/// One journalled ledger operation, for trace emission.
+///
+/// The ledger sits below the metrics crate in the dependency graph, so it
+/// cannot emit trace events itself; instead it appends every operation to a
+/// journal that the scheduler harness drains (via
+/// [`MemoryLedger::take_journal`]) and translates into `MemAlloc`/`MemFree`
+/// trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// When the operation happened.
+    pub at: SimTime,
+    /// Allocation or free.
+    pub kind: MemOpKind,
+    /// Category label of the bytes.
+    pub category: &'static str,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Ledger-wide live bytes after the operation.
+    pub total_after: u64,
+}
+
 /// Tracks live allocations, a high-water mark, and time-weighted usage.
 #[derive(Debug, Clone, Default)]
 pub struct MemoryLedger {
@@ -37,6 +67,7 @@ pub struct MemoryLedger {
     next_id: u64,
     last_update: SimTime,
     byte_seconds: f64,
+    journal: Vec<MemOp>,
 }
 
 impl MemoryLedger {
@@ -59,6 +90,13 @@ impl MemoryLedger {
         self.high_water = self.high_water.max(self.current);
         *self.by_category.entry(category).or_insert(0) += bytes;
         self.live.insert(id, (category, bytes));
+        self.journal.push(MemOp {
+            at: now,
+            kind: MemOpKind::Alloc,
+            category,
+            bytes,
+            total_after: self.current,
+        });
         id
     }
 
@@ -80,7 +118,24 @@ impl MemoryLedger {
             .get_mut(category)
             .expect("category accounting out of sync");
         *slot -= bytes;
+        self.journal.push(MemOp {
+            at: now,
+            kind: MemOpKind::Free,
+            category,
+            bytes,
+            total_after: self.current,
+        });
         bytes
+    }
+
+    /// Whether any journalled operations await [`take_journal`](Self::take_journal).
+    pub fn journal_pending(&self) -> bool {
+        !self.journal.is_empty()
+    }
+
+    /// Drains the operation journal, oldest first.
+    pub fn take_journal(&mut self) -> Vec<MemOp> {
+        std::mem::take(&mut self.journal)
     }
 
     /// Bytes currently allocated.
@@ -213,6 +268,45 @@ mod tests {
         mem.free(SimTime::ZERO, freed);
         let cats: Vec<_> = mem.categories().collect();
         assert_eq!(cats, vec![("alpha", 2), ("zeta", 1)]);
+    }
+
+    #[test]
+    fn journal_records_every_operation_in_order() {
+        let mut mem = MemoryLedger::new();
+        assert!(!mem.journal_pending());
+        let a = mem.alloc(SimTime::ZERO, "container", 10);
+        mem.alloc(SimTime::from_secs(1), "client", 5);
+        mem.free(SimTime::from_secs(2), a);
+        assert!(mem.journal_pending());
+        let ops = mem.take_journal();
+        assert_eq!(
+            ops,
+            vec![
+                MemOp {
+                    at: SimTime::ZERO,
+                    kind: MemOpKind::Alloc,
+                    category: "container",
+                    bytes: 10,
+                    total_after: 10,
+                },
+                MemOp {
+                    at: SimTime::from_secs(1),
+                    kind: MemOpKind::Alloc,
+                    category: "client",
+                    bytes: 5,
+                    total_after: 15,
+                },
+                MemOp {
+                    at: SimTime::from_secs(2),
+                    kind: MemOpKind::Free,
+                    category: "container",
+                    bytes: 10,
+                    total_after: 5,
+                },
+            ]
+        );
+        assert!(!mem.journal_pending());
+        assert!(mem.take_journal().is_empty());
     }
 
     #[test]

@@ -6,17 +6,20 @@
 //! faasbatch workload [--workload cpu|io] [--seed N] [--total N] [--span-s N]
 //! faasbatch fleet    [--workers N] [--policy NAME] [--scheduler faasbatch|vanilla]
 //!                    [--crash W@MS,...] [--drain W@MS,...]
+//! faasbatch trace    [--scheduler NAME] [--workload cpu|io] [--seed N]
+//!                    [--out FILE] [--chrome FILE]
 //! faasbatch figures
 //! faasbatch help
 //! ```
 
-use faasbatch::core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch::core::policy::{run_faasbatch, run_faasbatch_traced, FaasBatchConfig};
 use faasbatch::fleet::config::{FaultKind, FleetConfig, WorkerFault, WorkerScheduler};
 use faasbatch::fleet::routing::RoutingKind;
 use faasbatch::fleet::sim::run_fleet;
+use faasbatch::metrics::events::{chrome_trace, AuditorSink, TraceSink, VecSink};
 use faasbatch::metrics::report::{text_table, RunReport};
 use faasbatch::schedulers::config::SimConfig;
-use faasbatch::schedulers::harness::run_simulation;
+use faasbatch::schedulers::harness::{run_simulation, run_simulation_traced};
 use faasbatch::schedulers::kraken::{Kraken, KrakenCalibration};
 use faasbatch::schedulers::sfs::Sfs;
 use faasbatch::schedulers::vanilla::Vanilla;
@@ -40,6 +43,10 @@ USAGE:
                        [--workload cpu|io] [--seed N] [--total N] [--span-s N]
                        [--window-ms N] [--max-retries N] [--redispatch-ms N]
                        [--crash W@MS[,W@MS…]] [--drain W@MS[,W@MS…]]
+    faasbatch trace    [--scheduler vanilla|sfs|kraken|faasbatch]
+                       [--workload cpu|io] [--seed N] [--total N] [--span-s N]
+                       [--window-ms N] [--no-multiplex] [--import FILE]
+                       [--out FILE] [--chrome FILE]
     faasbatch figures
     faasbatch help
 
@@ -48,6 +55,9 @@ COMMANDS:
     workload   generate a workload and print its statistics
     fleet      replay one workload across a multi-worker fleet with a
                pluggable routing policy and optional worker faults
+    trace      replay one workload under one scheduler, audit the event
+               stream, and export it as JSONL (and optionally as a Chrome
+               about:tracing timeline via --chrome)
     figures    list the per-figure regeneration binaries
 
 Workloads exported with `workload --export` replay bit-identically via
@@ -323,7 +333,8 @@ fn cmd_fleet(opts: &Options) -> Result<(), String> {
         cfg.workers,
         kind.name()
     );
-    let report = run_fleet(&w, &cfg, kind.build(), &label);
+    let report = run_fleet(&w, &cfg, kind.build(), &label)
+        .map_err(|e| format!("fleet replay failed: {e}"))?;
 
     let rows: Vec<Vec<String>> = report
         .workers
@@ -372,6 +383,97 @@ fn cmd_fleet(opts: &Options) -> Result<(), String> {
         report.retries, report.retry_delay_total, report.makespan
     );
     Ok(())
+}
+
+fn cmd_trace(opts: &Options) -> Result<(), String> {
+    let (label, w) = load_or_build(opts)?;
+    let scheduler = opts.str("--scheduler", "faasbatch");
+    let window = SimDuration::from_millis(opts.num("--window-ms", 200)?);
+    let cfg = SimConfig::default();
+    let sink: Box<dyn TraceSink> = Box::new(VecSink::new());
+    println!(
+        "tracing {} invocations ({label}) under {scheduler}…",
+        w.len()
+    );
+    let (report, sink) = match scheduler.as_str() {
+        "vanilla" => run_simulation_traced(Box::new(Vanilla::new()), &w, cfg, &label, None, sink),
+        "sfs" => run_simulation_traced(Box::new(Sfs::new()), &w, cfg, &label, None, sink),
+        "kraken" => {
+            let vanilla = run_simulation(Box::new(Vanilla::new()), &w, cfg.clone(), &label, None);
+            run_simulation_traced(
+                Box::new(Kraken::new(
+                    KrakenCalibration::from_vanilla(&vanilla),
+                    window,
+                )),
+                &w,
+                cfg,
+                &label,
+                Some(window),
+                sink,
+            )
+        }
+        "faasbatch" => {
+            let fb = FaasBatchConfig {
+                window,
+                multiplex: !opts.flag("--no-multiplex"),
+                ..FaasBatchConfig::default()
+            };
+            run_faasbatch_traced(&w, cfg, fb, &label, sink)
+        }
+        other => {
+            return Err(format!(
+                "unknown scheduler: {other} (use vanilla|sfs|kraken|faasbatch)"
+            ))
+        }
+    };
+    let events = sink
+        .as_any()
+        .downcast_ref::<VecSink>()
+        .expect("the vec sink comes back from the run")
+        .events();
+
+    // Replay the stream through the online auditor; a violation here means
+    // the run broke a simulation invariant.
+    let mut auditor = AuditorSink::new();
+    for event in events {
+        auditor.record(event);
+    }
+    let violations = auditor.finish().to_vec();
+
+    let out = opts.str("--out", &format!("results/trace_{scheduler}.jsonl"));
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    let mut jsonl = String::new();
+    for event in events {
+        let line = serde_json::to_string(event).map_err(|e| e.to_string())?;
+        jsonl.push_str(&line);
+        jsonl.push('\n');
+    }
+    std::fs::write(&out, jsonl).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {} events ({} invocation records) to {out}",
+        events.len(),
+        report.records.len()
+    );
+    if let Some(chrome_path) = opts.values.get("--chrome") {
+        std::fs::write(chrome_path, chrome_trace(events))
+            .map_err(|e| format!("cannot write {chrome_path}: {e}"))?;
+        println!("wrote Chrome about:tracing timeline to {chrome_path}");
+    }
+    if violations.is_empty() {
+        println!("auditor: stream is clean (0 violations)");
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("auditor violation: {v}");
+        }
+        Err(format!(
+            "the event stream violated {} invariant(s)",
+            violations.len()
+        ))
+    }
 }
 
 fn cmd_figures() {
@@ -431,6 +533,7 @@ fn main() -> ExitCode {
         "compare" => Options::parse(rest).and_then(|o| cmd_compare(&o)),
         "workload" => Options::parse(rest).and_then(|o| cmd_workload(&o)),
         "fleet" => Options::parse(rest).and_then(|o| cmd_fleet(&o)),
+        "trace" => Options::parse(rest).and_then(|o| cmd_trace(&o)),
         "figures" => {
             cmd_figures();
             Ok(())

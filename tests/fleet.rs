@@ -51,7 +51,8 @@ proptest! {
     ) {
         let w = wl(seed);
         let cfg = cfg(workers, crash == 1);
-        let report = run_fleet(&w, &cfg, RoutingKind::ALL[policy].build(), "cpu");
+        let report = run_fleet(&w, &cfg, RoutingKind::ALL[policy].build(), "cpu")
+            .expect("no crash faults, so the run cannot fail");
         prop_assert_eq!(report.records.len(), w.len());
         for (i, r) in report.records.iter().enumerate() {
             prop_assert_eq!(r.record.id.value(), i as u64);
@@ -71,8 +72,8 @@ proptest! {
     ) {
         let w = wl(seed);
         let cfg = cfg(workers, crash == 1);
-        let a = run_fleet(&w, &cfg, RoutingKind::ALL[policy].build(), "cpu");
-        let b = run_fleet(&w, &cfg, RoutingKind::ALL[policy].build(), "cpu");
+        let a = run_fleet(&w, &cfg, RoutingKind::ALL[policy].build(), "cpu").expect("run a");
+        let b = run_fleet(&w, &cfg, RoutingKind::ALL[policy].build(), "cpu").expect("run b");
         prop_assert_eq!(
             serde_json::to_string(&a).expect("report serializes"),
             serde_json::to_string(&b).expect("report serializes")
@@ -87,7 +88,8 @@ proptest! {
     ) {
         let w = wl(seed);
         let cfg = cfg(workers, false);
-        let report = run_fleet(&w, &cfg, RoutingKind::ALL[policy].build(), "cpu");
+        let report = run_fleet(&w, &cfg, RoutingKind::ALL[policy].build(), "cpu")
+            .expect("no crash faults, so the run cannot fail");
         let mut owner: HashMap<(u32, u64), usize> = HashMap::new();
         for r in &report.records {
             let key = (

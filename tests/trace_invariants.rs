@@ -1,0 +1,194 @@
+//! Event-stream properties: the online auditor finds zero violations across
+//! every scheduler (and the fleet under crash injection), tracing never
+//! perturbs the simulation itself, and the serialized event log is
+//! bit-identical run to run.
+
+use faasbatch::core::policy::{run_faasbatch_traced, FaasBatchConfig};
+use faasbatch::fleet::config::{FaultKind, FleetConfig, WorkerFault};
+use faasbatch::fleet::routing::RoutingKind;
+use faasbatch::fleet::sim::run_fleet_traced;
+use faasbatch::metrics::events::{AuditorSink, SimEvent, TraceSink, VecSink};
+use faasbatch::metrics::report::RunReport;
+use faasbatch::schedulers::config::SimConfig;
+use faasbatch::schedulers::harness::run_simulation_traced;
+use faasbatch::schedulers::kraken::Kraken;
+use faasbatch::schedulers::sfs::Sfs;
+use faasbatch::schedulers::vanilla::Vanilla;
+use faasbatch::simcore::rng::DetRng;
+use faasbatch::simcore::time::{SimDuration, SimTime};
+use faasbatch::trace::workload::{cpu_workload, io_workload, Workload, WorkloadConfig};
+use proptest::prelude::*;
+
+const SCHEDULERS: [&str; 4] = ["vanilla", "sfs", "kraken", "faasbatch"];
+
+fn wl(seed: u64, io: bool) -> Workload {
+    let cfg = WorkloadConfig {
+        total: 40,
+        span: SimDuration::from_secs(4),
+        functions: 3,
+        bursts: 2,
+        ..WorkloadConfig::default()
+    };
+    let rng = DetRng::new(seed);
+    if io {
+        io_workload(&rng, &cfg)
+    } else {
+        cpu_workload(&rng, &cfg)
+    }
+}
+
+/// Runs `scheduler` over `w` with both an auditor and a vec capture, and
+/// returns (report, captured events, violations).
+fn traced(scheduler: &str, w: &Workload) -> (RunReport, Vec<SimEvent>, Vec<String>) {
+    let window = SimDuration::from_millis(200);
+    let cfg = SimConfig::default();
+    let run = |sink: Box<dyn TraceSink>| match scheduler {
+        "vanilla" => {
+            run_simulation_traced(Box::new(Vanilla::new()), w, cfg.clone(), "t", None, sink)
+        }
+        "sfs" => run_simulation_traced(Box::new(Sfs::new()), w, cfg.clone(), "t", None, sink),
+        "kraken" => run_simulation_traced(
+            Box::new(Kraken::with_defaults(window)),
+            w,
+            cfg.clone(),
+            "t",
+            Some(window),
+            sink,
+        ),
+        "faasbatch" => run_faasbatch_traced(w, cfg.clone(), FaasBatchConfig::default(), "t", sink),
+        other => panic!("unknown scheduler {other}"),
+    };
+    let (report, sink) = run(Box::new(VecSink::new()));
+    let events = sink
+        .as_any()
+        .downcast_ref::<VecSink>()
+        .expect("vec sink round-trips")
+        .events()
+        .to_vec();
+    let mut auditor = AuditorSink::new();
+    for e in &events {
+        auditor.record(e);
+    }
+    let violations = auditor.finish().to_vec();
+    (report, events, violations)
+}
+
+fn serialize(events: &[SimEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("events serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    /// The auditor never fires on any scheduler, workload shape, or seed.
+    #[test]
+    fn auditor_is_clean_for_every_scheduler(
+        seed in 0u64..500,
+        io in 0usize..2,
+        scheduler in 0usize..4,
+    ) {
+        let w = wl(seed, io == 1);
+        let (report, events, violations) = traced(SCHEDULERS[scheduler], &w);
+        prop_assert!(
+            violations.is_empty(),
+            "{} violated: {:?}",
+            SCHEDULERS[scheduler],
+            violations
+        );
+        prop_assert_eq!(report.records.len(), w.len());
+        prop_assert!(!events.is_empty());
+    }
+
+    /// Same seed + config ⇒ the serialized event log is bit-identical.
+    #[test]
+    fn serialized_event_log_is_deterministic(
+        seed in 0u64..500,
+        scheduler in 0usize..4,
+    ) {
+        let w = wl(seed, false);
+        let (report_a, events_a, _) = traced(SCHEDULERS[scheduler], &w);
+        let (report_b, events_b, _) = traced(SCHEDULERS[scheduler], &w);
+        prop_assert_eq!(report_a, report_b);
+        prop_assert_eq!(serialize(&events_a), serialize(&events_b));
+    }
+
+    /// The fleet narration audits clean too, including crash + re-dispatch.
+    #[test]
+    fn fleet_stream_is_clean_under_crashes(
+        seed in 0u64..200,
+        workers in 2usize..=4,
+        policy in 0usize..4,
+    ) {
+        let w = wl(seed, false);
+        let mut cfg = FleetConfig {
+            workers,
+            max_retries: 5,
+            ..FleetConfig::default()
+        };
+        cfg.faults.push(WorkerFault {
+            worker: 0,
+            at: SimTime::from_secs(1),
+            kind: FaultKind::Crash,
+        });
+        let (report, sink) = run_fleet_traced(
+            &w,
+            &cfg,
+            RoutingKind::ALL[policy].build(),
+            "t",
+            Box::new(VecSink::new()),
+        )
+        .expect("survivors absorb the crash within the retry budget");
+        let events = sink
+            .as_any()
+            .downcast_ref::<VecSink>()
+            .expect("vec sink round-trips")
+            .events()
+            .to_vec();
+        prop_assert_eq!(report.records.len(), w.len());
+        // The fleet stream carries arrivals and completions but no container
+        // or task detail, so only the conservation/monotonicity checks bite.
+        let mut auditor = AuditorSink::new();
+        for e in &events {
+            auditor.record(e);
+        }
+        let violations = auditor.finish().to_vec();
+        prop_assert!(violations.is_empty(), "fleet violated: {:?}", violations);
+        prop_assert!(events.windows(2).all(|p| p[0].at <= p[1].at));
+    }
+}
+
+/// Tracing is an observer: the traced run's report equals the untraced one.
+/// (Exhaustive over schedulers at one seed; the proptest above covers seeds.)
+#[test]
+fn tracing_never_perturbs_the_report() {
+    use faasbatch::core::policy::run_faasbatch;
+    use faasbatch::schedulers::harness::run_simulation;
+    let w = wl(7, false);
+    let window = SimDuration::from_millis(200);
+    for scheduler in SCHEDULERS {
+        let (traced_report, _, _) = traced(scheduler, &w);
+        let plain = match scheduler {
+            "vanilla" => run_simulation(
+                Box::new(Vanilla::new()),
+                &w,
+                SimConfig::default(),
+                "t",
+                None,
+            ),
+            "sfs" => run_simulation(Box::new(Sfs::new()), &w, SimConfig::default(), "t", None),
+            "kraken" => run_simulation(
+                Box::new(Kraken::with_defaults(window)),
+                &w,
+                SimConfig::default(),
+                "t",
+                Some(window),
+            ),
+            "faasbatch" => run_faasbatch(&w, SimConfig::default(), FaasBatchConfig::default(), "t"),
+            other => panic!("unknown scheduler {other}"),
+        };
+        assert_eq!(traced_report, plain, "{scheduler} diverged under tracing");
+    }
+}
