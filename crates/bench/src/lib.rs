@@ -11,17 +11,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use faasbatch_core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch_core::policy::{run_faasbatch, run_faasbatch_traced, FaasBatchConfig};
+use faasbatch_metrics::autoscaler::{AutoscalerConfig, AutoscalerSink, AutoscalerStats};
+use faasbatch_metrics::events::TraceSink;
 use faasbatch_metrics::report::{text_table, RunReport};
 use faasbatch_metrics::stats::Cdf;
 use faasbatch_schedulers::config::SimConfig;
-use faasbatch_schedulers::harness::run_simulation;
+use faasbatch_schedulers::harness::{run_simulation, run_simulation_traced};
 use faasbatch_schedulers::kraken::{Kraken, KrakenCalibration};
 use faasbatch_schedulers::sfs::Sfs;
 use faasbatch_schedulers::vanilla::Vanilla;
 use faasbatch_simcore::rng::DetRng;
 use faasbatch_simcore::time::SimDuration;
 use faasbatch_trace::workload::{cpu_workload, io_workload, Workload, WorkloadConfig};
+use serde::{Serialize, Value};
 use std::path::Path;
 
 /// Seed used by every figure harness (the replayed "trace").
@@ -55,7 +58,17 @@ pub fn paper_io_workload() -> Workload {
 /// Runs all four schedulers on `workload` with the given dispatch window and
 /// returns reports in `[vanilla, sfs, kraken, faasbatch]` order.
 pub fn run_four(workload: &Workload, label: &str, window: SimDuration) -> [RunReport; 4] {
-    let cfg = SimConfig::default();
+    run_four_cfg(workload, label, window, &SimConfig::default())
+}
+
+/// [`run_four`] with an explicit simulation config (the ablation harnesses
+/// vary keep-alive, so they cannot use the default).
+pub fn run_four_cfg(
+    workload: &Workload,
+    label: &str,
+    window: SimDuration,
+    cfg: &SimConfig,
+) -> [RunReport; 4] {
     let vanilla = run_simulation(Box::new(Vanilla::new()), workload, cfg.clone(), label, None);
     let sfs = run_simulation(Box::new(Sfs::new()), workload, cfg.clone(), label, None);
     let calibration = KrakenCalibration::from_vanilla(&vanilla);
@@ -66,8 +79,188 @@ pub fn run_four(workload: &Workload, label: &str, window: SimDuration) -> [RunRe
         label,
         Some(window),
     );
-    let faasbatch = run_faasbatch(workload, cfg, FaasBatchConfig::with_window(window), label);
+    let faasbatch = run_faasbatch(
+        workload,
+        cfg.clone(),
+        FaasBatchConfig::with_window(window),
+        label,
+    );
     [vanilla, sfs, kraken, faasbatch]
+}
+
+/// Recovers an [`AutoscalerSink`]'s counters from a returned boxed sink.
+fn autoscaler_stats(sink: Box<dyn TraceSink>) -> AutoscalerStats {
+    sink.as_any()
+        .downcast_ref::<AutoscalerSink>()
+        .expect("autoscaled run returns its controller sink")
+        .stats()
+}
+
+/// Runs all four schedulers with a trace-driven autoscaling controller
+/// attached (one fresh [`AutoscalerSink`] per run) and returns the reports
+/// plus each controller's action counters, in `[vanilla, sfs, kraken,
+/// faasbatch]` order.
+pub fn run_four_autoscaled(
+    workload: &Workload,
+    label: &str,
+    window: SimDuration,
+    cfg: &SimConfig,
+    ac: &AutoscalerConfig,
+) -> ([RunReport; 4], [AutoscalerStats; 4]) {
+    let sink = || -> Box<dyn TraceSink> { Box::new(AutoscalerSink::new(ac.clone())) };
+    let (vanilla, s0) = run_simulation_traced(
+        Box::new(Vanilla::new()),
+        workload,
+        cfg.clone(),
+        label,
+        None,
+        sink(),
+    );
+    let (sfs, s1) = run_simulation_traced(
+        Box::new(Sfs::new()),
+        workload,
+        cfg.clone(),
+        label,
+        None,
+        sink(),
+    );
+    let calibration = KrakenCalibration::from_vanilla(&vanilla);
+    let (kraken, s2) = run_simulation_traced(
+        Box::new(Kraken::new(calibration, window)),
+        workload,
+        cfg.clone(),
+        label,
+        Some(window),
+        sink(),
+    );
+    let (faasbatch, s3) = run_faasbatch_traced(
+        workload,
+        cfg.clone(),
+        FaasBatchConfig::with_window(window),
+        label,
+        sink(),
+    );
+    (
+        [vanilla, sfs, kraken, faasbatch],
+        [
+            autoscaler_stats(s0),
+            autoscaler_stats(s1),
+            autoscaler_stats(s2),
+            autoscaler_stats(s3),
+        ],
+    )
+}
+
+/// The static simulation config and controller used by the
+/// `ablation_autoscaler` harness, the `faasbatch autoscale` CLI mode, and
+/// the determinism tests. A deliberately short static keep-alive (2 s)
+/// makes the cold-start cost of static configuration visible; the
+/// controller may extend per-function keep-alive up to 60 s while a
+/// function is live and pre-warm up to 4 containers per function.
+pub fn autoscaler_ablation_setup() -> (SimConfig, AutoscalerConfig) {
+    let keep_alive = SimDuration::from_secs(2);
+    let sim = SimConfig {
+        keep_alive,
+        ..SimConfig::default()
+    };
+    let ac = AutoscalerConfig {
+        prewarm_cap: 4,
+        keepalive_floor: keep_alive,
+        keepalive_ceiling: SimDuration::from_secs(60),
+        base_keep_alive: keep_alive,
+        ..AutoscalerConfig::default()
+    };
+    (sim, ac)
+}
+
+/// Builds an object [`Value`] with the given (deterministic) key order.
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+/// One scheduler's row of the autoscaler ablation: static vs controller.
+fn ablation_row(static_run: &RunReport, auto_run: &RunReport, stats: &AutoscalerStats) -> Value {
+    fn mode(r: &RunReport) -> Value {
+        obj(vec![
+            (
+                "cold_pct",
+                Value::F64((r.cold_fraction() * 1000.0).round() / 10.0),
+            ),
+            ("containers", Value::U64(r.provisioned_containers)),
+            ("warm_hits", Value::U64(r.warm_hits)),
+            (
+                "e2e_p50_us",
+                Value::U64(r.end_to_end_cdf().quantile(0.5).as_micros()),
+            ),
+            (
+                "e2e_p99_us",
+                Value::U64(r.end_to_end_cdf().quantile(0.99).as_micros()),
+            ),
+        ])
+    }
+    obj(vec![
+        ("static", mode(static_run)),
+        ("autoscaled", mode(auto_run)),
+        (
+            "controller",
+            obj(vec![
+                ("prewarm_actions", Value::U64(stats.prewarm_actions)),
+                (
+                    "prewarmed_containers",
+                    Value::U64(stats.prewarmed_containers),
+                ),
+                ("keepalive_actions", Value::U64(stats.keepalive_actions)),
+                (
+                    "max_outstanding_prewarm",
+                    Value::U64(stats.max_outstanding_prewarm as u64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// The controller-on vs static-config ablation over all four schedulers.
+///
+/// Returns the JSON summary the `ablation_autoscaler` bin commits to
+/// `results/ablation_autoscaler.json`: per scheduler, cold-start rate and
+/// end-to-end p50/p99 under the static config and under the controller,
+/// plus the controller's action counters. Deterministic for fixed inputs —
+/// every map is built in a fixed key order.
+pub fn autoscaler_ablation(
+    workload: &Workload,
+    label: &str,
+    window: SimDuration,
+    cfg: &SimConfig,
+    ac: &AutoscalerConfig,
+) -> Value {
+    let static_runs = run_four_cfg(workload, label, window, cfg);
+    let (auto_runs, stats) = run_four_autoscaled(workload, label, window, cfg, ac);
+    let schedulers = Value::Map(
+        (0..4)
+            .map(|i| {
+                (
+                    static_runs[i].scheduler.clone(),
+                    ablation_row(&static_runs[i], &auto_runs[i], &stats[i]),
+                )
+            })
+            .collect(),
+    );
+    obj(vec![
+        ("workload", Value::Str(label.to_owned())),
+        ("invocations", Value::U64(workload.len() as u64)),
+        ("window_us", Value::U64(window.as_micros())),
+        (
+            "static_keep_alive_us",
+            Value::U64(cfg.keep_alive.as_micros()),
+        ),
+        ("autoscaler", ac.to_value()),
+        ("schedulers", schedulers),
+    ])
 }
 
 /// Renders the standard per-scheduler resource/latency summary table.

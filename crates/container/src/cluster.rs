@@ -202,6 +202,18 @@ impl Cluster {
         self.pool.idle_count(function)
     }
 
+    /// The keep-alive TTL currently in force for `function`.
+    pub fn keep_alive_for(&self, function: FunctionId) -> SimDuration {
+        self.pool.ttl_for(function)
+    }
+
+    /// Overrides the keep-alive TTL for one function — the autoscaler's
+    /// extend/shrink hook. Applies to containers already idle in the warm
+    /// pool as well as future check-ins.
+    pub fn set_keep_alive(&mut self, function: FunctionId, ttl: SimDuration) {
+        self.pool.set_ttl(function, ttl);
+    }
+
     /// Acquires a container for `spec`, preferring a warm one.
     ///
     /// A warm acquisition transitions the container to Busy immediately. A
@@ -527,6 +539,23 @@ mod tests {
         c.release(SimTime::from_secs(2), a, 1);
         assert_eq!(c.drain(SimTime::from_secs(2)), 1);
         assert_eq!(c.live_containers(), 0);
+    }
+
+    #[test]
+    fn keep_alive_override_changes_warm_window() {
+        let mut c = cluster();
+        let id = cold_start(&mut c, SimTime::ZERO);
+        let t1 = SimTime::from_secs(2);
+        c.release(t1, id, 1);
+        // Shrink the function's keep-alive to 1 s: the parked container is
+        // stale 3 s later and the acquire goes cold.
+        c.set_keep_alive(FunctionId::new(0), SimDuration::from_secs(1));
+        assert_eq!(
+            c.keep_alive_for(FunctionId::new(0)),
+            SimDuration::from_secs(1)
+        );
+        assert!(c.acquire(SimTime::from_secs(5), &spec()).is_cold());
+        assert_eq!(c.stats().warm_hits, 0);
     }
 
     #[test]

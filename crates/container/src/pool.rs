@@ -28,6 +28,9 @@ use std::collections::{BTreeMap, VecDeque};
 #[derive(Debug, Clone)]
 pub struct WarmPool {
     ttl: SimDuration,
+    /// Per-function keep-alive overrides set by an autoscaling controller;
+    /// functions without an entry use the base `ttl`.
+    overrides: BTreeMap<FunctionId, SimDuration>,
     // BTreeMap for deterministic iteration in expiry.
     idle: BTreeMap<FunctionId, VecDeque<(SimTime, ContainerId)>>,
 }
@@ -37,13 +40,31 @@ impl WarmPool {
     pub fn new(ttl: SimDuration) -> Self {
         WarmPool {
             ttl,
+            overrides: BTreeMap::new(),
             idle: BTreeMap::new(),
         }
     }
 
-    /// The configured keep-alive TTL.
+    /// The base keep-alive TTL (functions may carry overrides, see
+    /// [`ttl_for`](Self::ttl_for)).
     pub fn ttl(&self) -> SimDuration {
         self.ttl
+    }
+
+    /// The keep-alive TTL in force for `function`.
+    pub fn ttl_for(&self, function: FunctionId) -> SimDuration {
+        self.overrides.get(&function).copied().unwrap_or(self.ttl)
+    }
+
+    /// Overrides the keep-alive TTL for one function (autoscaler hook). The
+    /// new TTL applies to containers already parked as well as future
+    /// check-ins; it is evaluated lazily at check-out / expiry time.
+    pub fn set_ttl(&mut self, function: FunctionId, ttl: SimDuration) {
+        if ttl == self.ttl {
+            self.overrides.remove(&function);
+        } else {
+            self.overrides.insert(function, ttl);
+        }
     }
 
     /// Parks an idle container.
@@ -61,9 +82,10 @@ impl WarmPool {
     /// [`expire`](Self::expire) beforehand if exact teardown accounting
     /// matters; `check_out` itself never returns an expired container.
     pub fn check_out(&mut self, now: SimTime, function: FunctionId) -> Option<ContainerId> {
+        let ttl = self.ttl_for(function);
         let q = self.idle.get_mut(&function)?;
         while let Some(&(parked_at, id)) = q.back() {
-            if now.saturating_duration_since(parked_at) > self.ttl {
+            if now.saturating_duration_since(parked_at) > ttl {
                 // Everything in front is even older; they will be reaped by
                 // `expire`. This entry itself is stale: drop it from the pool
                 // but report it via expire path too — here we simply skip.
@@ -86,8 +108,9 @@ impl WarmPool {
         let mut expired = Vec::new();
         let mut empty_functions = Vec::new();
         for (f, q) in self.idle.iter_mut() {
+            let ttl = self.overrides.get(f).copied().unwrap_or(self.ttl);
             while let Some(&(parked_at, id)) = q.front() {
-                if now.saturating_duration_since(parked_at) > self.ttl {
+                if now.saturating_duration_since(parked_at) > ttl {
                     expired.push(id);
                     q.pop_front();
                 } else {
@@ -132,9 +155,11 @@ impl WarmPool {
     /// TTL, for scheduling reaper events. `None` when the pool is empty.
     pub fn next_expiry(&self) -> Option<SimTime> {
         self.idle
-            .values()
-            .filter_map(|q| q.front())
-            .map(|&(parked_at, _)| parked_at + self.ttl)
+            .iter()
+            .filter_map(|(f, q)| {
+                let ttl = self.overrides.get(f).copied().unwrap_or(self.ttl);
+                q.front().map(|&(parked_at, _)| parked_at + ttl)
+            })
             .min()
     }
 }
@@ -202,6 +227,34 @@ mod tests {
         p.check_in(SimTime::from_secs(2), f(0), c(1));
         p.check_in(SimTime::from_secs(1), f(1), c(2));
         assert_eq!(p.next_expiry(), Some(SimTime::from_secs(6)));
+    }
+
+    #[test]
+    fn per_function_ttl_override_governs_checkout_and_expiry() {
+        let mut p = WarmPool::new(SimDuration::from_secs(10));
+        p.set_ttl(f(0), SimDuration::from_secs(2));
+        assert_eq!(p.ttl_for(f(0)), SimDuration::from_secs(2));
+        assert_eq!(p.ttl_for(f(1)), SimDuration::from_secs(10));
+        p.check_in(SimTime::ZERO, f(0), c(1));
+        p.check_in(SimTime::ZERO, f(1), c(2));
+        // Shrunk TTL applies to the already-parked container.
+        assert_eq!(p.next_expiry(), Some(SimTime::from_secs(2)));
+        assert_eq!(p.check_out(SimTime::from_secs(3), f(0)), None);
+        assert_eq!(p.check_out(SimTime::from_secs(3), f(1)), Some(c(2)));
+        // Extending keeps a container warm past the base TTL.
+        p.set_ttl(f(1), SimDuration::from_secs(100));
+        p.check_in(SimTime::from_secs(3), f(1), c(3));
+        let expired = p.expire(SimTime::from_secs(20));
+        assert!(expired.is_empty());
+        assert_eq!(p.check_out(SimTime::from_secs(50), f(1)), Some(c(3)));
+    }
+
+    #[test]
+    fn resetting_ttl_to_base_clears_the_override() {
+        let mut p = WarmPool::new(SimDuration::from_secs(10));
+        p.set_ttl(f(0), SimDuration::from_secs(2));
+        p.set_ttl(f(0), SimDuration::from_secs(10));
+        assert_eq!(p.ttl_for(f(0)), SimDuration::from_secs(10));
     }
 
     #[test]

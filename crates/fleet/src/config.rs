@@ -2,6 +2,7 @@
 //! router's dispatch window, and the fault schedule.
 
 use faasbatch_core::policy::FaasBatchConfig;
+use faasbatch_metrics::autoscaler::AutoscalerConfig;
 use faasbatch_schedulers::config::SimConfig;
 use faasbatch_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -77,6 +78,11 @@ pub struct FleetConfig {
     /// Delay between a crash and the re-dispatch of its lost invocations
     /// (failure detection + re-routing cost, charged to scheduling latency).
     pub redispatch_delay: SimDuration,
+    /// When set, every worker runs its own trace-driven autoscaling
+    /// controller with this configuration (DESIGN.md §12). `None` replays
+    /// with the static prewarm/keep-alive config only.
+    #[serde(default)]
+    pub autoscaler: Option<AutoscalerConfig>,
 }
 
 impl Default for FleetConfig {
@@ -89,6 +95,7 @@ impl Default for FleetConfig {
             faults: Vec::new(),
             max_retries: 3,
             redispatch_delay: SimDuration::from_millis(50),
+            autoscaler: None,
         }
     }
 }
@@ -107,6 +114,11 @@ impl FleetConfig {
                 f.worker,
                 self.workers
             );
+        }
+        if let Some(ac) = &self.autoscaler {
+            if let Err(e) = ac.validate() {
+                panic!("invalid autoscaler config: {e}");
+            }
         }
     }
 

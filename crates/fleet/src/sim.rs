@@ -20,11 +20,12 @@ use crate::error::FleetError;
 use crate::report::{FleetRecord, FleetReport, WorkerReport};
 use crate::routing::{RouterCtx, RoutingPolicy, WorkerLoad};
 use faasbatch_container::ids::{FunctionId, InvocationId};
-use faasbatch_core::policy::run_faasbatch;
+use faasbatch_core::policy::{run_faasbatch, run_faasbatch_traced};
+use faasbatch_metrics::autoscaler::AutoscalerSink;
 use faasbatch_metrics::events::{EventKind, SimEvent, TraceSink};
 use faasbatch_metrics::report::RunReport;
 use faasbatch_metrics::sampler::ResourceSampler;
-use faasbatch_schedulers::harness::run_simulation;
+use faasbatch_schedulers::harness::{run_simulation, run_simulation_traced};
 use faasbatch_schedulers::vanilla::Vanilla;
 use faasbatch_simcore::time::{SimDuration, SimTime};
 use faasbatch_trace::workload::{Invocation, Workload};
@@ -416,11 +417,37 @@ fn replay_worker(
         })
         .collect();
     let sub = Workload::new(workload.registry().clone(), invocations);
-    let report = match &cfg.scheduler {
-        WorkerScheduler::Vanilla => {
+    // With a controller configured, every worker runs its own fresh
+    // `AutoscalerSink` — the fleet-level stream is synthesized post-hoc, so
+    // per-worker control loops are the only honest placement.
+    let report = match (&cfg.scheduler, &cfg.autoscaler) {
+        (WorkerScheduler::Vanilla, None) => {
             run_simulation(Box::new(Vanilla::new()), &sub, cfg.sim.clone(), label, None)
         }
-        WorkerScheduler::FaasBatch(fb) => run_faasbatch(&sub, cfg.sim.clone(), fb.clone(), label),
+        (WorkerScheduler::Vanilla, Some(ac)) => {
+            run_simulation_traced(
+                Box::new(Vanilla::new()),
+                &sub,
+                cfg.sim.clone(),
+                label,
+                None,
+                Box::new(AutoscalerSink::new(ac.clone())),
+            )
+            .0
+        }
+        (WorkerScheduler::FaasBatch(fb), None) => {
+            run_faasbatch(&sub, cfg.sim.clone(), fb.clone(), label)
+        }
+        (WorkerScheduler::FaasBatch(fb), Some(ac)) => {
+            run_faasbatch_traced(
+                &sub,
+                cfg.sim.clone(),
+                fb.clone(),
+                label,
+                Box::new(AutoscalerSink::new(ac.clone())),
+            )
+            .0
+        }
     };
     (report, metas)
 }
@@ -721,6 +748,26 @@ mod tests {
         assert_eq!(count("WorkerCrash"), 1);
         assert_eq!(count("Redispatch") as u64, traced.retries);
         assert!(count("GroupFormed") > 0);
+    }
+
+    #[test]
+    fn autoscaled_fleet_conserves_and_is_deterministic() {
+        use faasbatch_metrics::autoscaler::AutoscalerConfig;
+        let w = small_workload(10);
+        let cfg = FleetConfig {
+            workers: 3,
+            autoscaler: Some(AutoscalerConfig::default()),
+            faults: vec![WorkerFault {
+                worker: 0,
+                at: SimTime::from_secs(2),
+                kind: FaultKind::Crash,
+            }],
+            ..FleetConfig::default()
+        };
+        let a = run_ok(&w, &cfg, RoutingKind::RoundRobin.build(), "cpu");
+        let b = run_ok(&w, &cfg, RoutingKind::RoundRobin.build(), "cpu");
+        assert_conserved(&w, &a);
+        assert_eq!(a, b, "controller must not break determinism");
     }
 
     #[test]

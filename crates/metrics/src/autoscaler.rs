@@ -1,0 +1,511 @@
+//! Trace-driven autoscaling controller.
+//!
+//! [`AutoscalerSink`] is a [`TraceSink`] that watches the event spine and
+//! maintains per-function online estimates of cold-start rate, queue
+//! pressure (backlog), and dispatch-window occupancy. At every sampler tick
+//! the harness calls [`TraceSink::poll_actions`]; the controller turns its
+//! estimates into typed [`ScaleAction`]s — pre-warm `N` containers, extend
+//! or shrink a function's keep-alive — which the harness applies at that
+//! safe point between engine steps.
+//!
+//! The controller is *observational*: it never mutates simulation state
+//! itself, and a configuration whose actions are all no-ops (prewarm cap 0,
+//! keep-alive floor = ceiling = the static TTL) leaves the run bit-identical
+//! to an untraced one. See DESIGN.md §12 for the estimator math.
+
+use crate::events::{EventKind, SimEvent, TraceSink};
+use faasbatch_container::ids::FunctionId;
+use faasbatch_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// One control decision emitted by an autoscaling controller.
+///
+/// The harness applies actions between engine steps and narrates each as a
+/// [`EventKind::ScalePrewarm`] / [`EventKind::ScaleKeepAlive`] event so the
+/// auditor can hold controllers to account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ScaleAction {
+    /// Launch `count` pre-warmed containers for `function` now.
+    Prewarm {
+        /// Function to warm up.
+        function: FunctionId,
+        /// How many containers to launch (> 0).
+        count: usize,
+    },
+    /// Set `function`'s keep-alive TTL to `keep_alive` from now on.
+    SetKeepAlive {
+        /// Function whose warm pool is retargeted.
+        function: FunctionId,
+        /// New idle TTL (> 0).
+        keep_alive: SimDuration,
+    },
+}
+
+/// Tuning knobs for [`AutoscalerSink`].
+///
+/// The defaults pair with [`AutoscalerConfig::noop`]'s counterpart: `noop()`
+/// produces a controller that provably never acts, while `default()` is an
+/// active controller suitable for the ablation study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoscalerConfig {
+    /// Maximum pre-warm requests that may be outstanding (requested but not
+    /// yet consumed by a warm dispatch) per function. `0` disables
+    /// pre-warming entirely.
+    pub prewarm_cap: usize,
+    /// Keep-alive is never set below this (> 0).
+    pub keepalive_floor: SimDuration,
+    /// Keep-alive is never set above this (≥ floor).
+    pub keepalive_ceiling: SimDuration,
+    /// The static keep-alive the run was configured with; the controller
+    /// only emits a [`ScaleAction::SetKeepAlive`] when its target differs
+    /// from the value last set (initially this one).
+    pub base_keep_alive: SimDuration,
+    /// Cold-start rate (EWMA of the per-batch cold fraction, in `[0, 1]`)
+    /// above which the controller pre-warms.
+    pub cold_rate_high: f64,
+    /// EWMA smoothing factor in `(0, 1]` for the cold-rate and occupancy
+    /// estimates; higher reacts faster.
+    pub alpha: f64,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            prewarm_cap: 4,
+            keepalive_floor: SimDuration::from_secs(2),
+            keepalive_ceiling: SimDuration::from_secs(60),
+            base_keep_alive: SimDuration::from_secs(600),
+            cold_rate_high: 0.2,
+            alpha: 0.3,
+        }
+    }
+}
+
+impl AutoscalerConfig {
+    /// A controller that provably never emits an action: pre-warming is
+    /// disabled and the keep-alive band is pinned to `keep_alive`. Used by
+    /// the controller-never-perturbs property tests.
+    pub fn noop(keep_alive: SimDuration) -> Self {
+        AutoscalerConfig {
+            prewarm_cap: 0,
+            keepalive_floor: keep_alive,
+            keepalive_ceiling: keep_alive,
+            base_keep_alive: keep_alive,
+            ..AutoscalerConfig::default()
+        }
+    }
+
+    /// Checks the configuration invariants, returning a description of the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.keepalive_floor.is_zero() {
+            return Err("keepalive_floor must be positive".into());
+        }
+        if self.keepalive_ceiling < self.keepalive_floor {
+            return Err("keepalive_ceiling must be >= keepalive_floor".into());
+        }
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err("alpha must be in (0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.cold_rate_high) {
+            return Err("cold_rate_high must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-function estimator state.
+#[derive(Debug, Clone)]
+struct FnState {
+    /// Invocations that entered the system.
+    arrived: u64,
+    /// Invocations bound to a container by a dispatch decision.
+    dispatched: u64,
+    /// Arrivals since the last `poll_actions` call.
+    arrivals_since_poll: u64,
+    /// EWMA of the per-batch cold indicator (1.0 = cold, 0.0 = warm).
+    cold_rate: f64,
+    /// EWMA of batch size (window occupancy) at dispatch.
+    occupancy: f64,
+    /// Pre-warm requests issued but not yet consumed by a warm dispatch.
+    outstanding_prewarm: usize,
+    /// The keep-alive value last set (starts at `base_keep_alive`).
+    keep_alive_set: SimDuration,
+}
+
+impl FnState {
+    fn new(base_keep_alive: SimDuration) -> Self {
+        FnState {
+            arrived: 0,
+            dispatched: 0,
+            arrivals_since_poll: 0,
+            cold_rate: 0.0,
+            occupancy: 0.0,
+            outstanding_prewarm: 0,
+            keep_alive_set: base_keep_alive,
+        }
+    }
+
+    fn backlog(&self) -> u64 {
+        self.arrived.saturating_sub(self.dispatched)
+    }
+}
+
+/// Summary counters exposed after a run for reports and the ablation JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct AutoscalerStats {
+    /// `Prewarm` actions emitted.
+    pub prewarm_actions: u64,
+    /// Containers requested across all `Prewarm` actions.
+    pub prewarmed_containers: u64,
+    /// `SetKeepAlive` actions emitted.
+    pub keepalive_actions: u64,
+    /// High-water mark of outstanding pre-warm requests on any function.
+    pub max_outstanding_prewarm: usize,
+}
+
+/// The trace-driven autoscaling controller (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use faasbatch_metrics::autoscaler::{AutoscalerConfig, AutoscalerSink};
+/// use faasbatch_metrics::events::TraceSink;
+/// use faasbatch_simcore::time::{SimDuration, SimTime};
+///
+/// // A no-op band never produces actions, whatever it observes.
+/// let mut sink = AutoscalerSink::new(AutoscalerConfig::noop(SimDuration::from_secs(600)));
+/// assert!(sink.poll_actions(SimTime::from_secs(1)).is_empty());
+/// ```
+#[derive(Debug)]
+pub struct AutoscalerSink {
+    config: AutoscalerConfig,
+    functions: BTreeMap<FunctionId, FnState>,
+    actions: Vec<(SimTime, ScaleAction)>,
+    stats: AutoscalerStats,
+}
+
+impl AutoscalerSink {
+    /// Builds a controller. Panics on an invalid configuration (validate
+    /// with [`AutoscalerConfig::validate`] first when the config is
+    /// user-supplied).
+    pub fn new(config: AutoscalerConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid autoscaler config: {e}");
+        }
+        AutoscalerSink {
+            config,
+            functions: BTreeMap::new(),
+            actions: Vec::new(),
+            stats: AutoscalerStats::default(),
+        }
+    }
+
+    /// The configuration the controller runs with.
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.config
+    }
+
+    /// Every action emitted so far, with the poll time it was emitted at.
+    pub fn actions(&self) -> &[(SimTime, ScaleAction)] {
+        &self.actions
+    }
+
+    /// Summary counters for reports.
+    pub fn stats(&self) -> AutoscalerStats {
+        self.stats
+    }
+
+    /// Current backlog estimate (arrived − dispatched) for `function`.
+    pub fn backlog(&self, function: FunctionId) -> u64 {
+        self.functions.get(&function).map_or(0, FnState::backlog)
+    }
+
+    /// Current cold-rate EWMA for `function` (0 when never dispatched).
+    pub fn cold_rate(&self, function: FunctionId) -> f64 {
+        self.functions.get(&function).map_or(0.0, |s| s.cold_rate)
+    }
+
+    /// The keep-alive the controller last set for `function` (the base
+    /// value when it never acted).
+    pub fn keep_alive_set(&self, function: FunctionId) -> SimDuration {
+        self.functions
+            .get(&function)
+            .map_or(self.config.base_keep_alive, |s| s.keep_alive_set)
+    }
+
+    fn state(&mut self, function: FunctionId) -> &mut FnState {
+        let base = self.config.base_keep_alive;
+        self.functions
+            .entry(function)
+            .or_insert_with(|| FnState::new(base))
+    }
+}
+
+impl TraceSink for AutoscalerSink {
+    fn record(&mut self, event: &SimEvent) {
+        let alpha = self.config.alpha;
+        match &event.kind {
+            EventKind::Arrival { function, .. } => {
+                let st = self.state(*function);
+                st.arrived += 1;
+                st.arrivals_since_poll += 1;
+            }
+            EventKind::DispatchDecision {
+                function,
+                cold,
+                members,
+                ..
+            } => {
+                let n = members.len();
+                let st = self.state(*function);
+                st.dispatched += n as u64;
+                let cold_sample = if *cold { 1.0 } else { 0.0 };
+                st.cold_rate = alpha * cold_sample + (1.0 - alpha) * st.cold_rate;
+                st.occupancy = alpha * n as f64 + (1.0 - alpha) * st.occupancy;
+                if !*cold {
+                    // A warm hit consumed one parked container; credit it
+                    // against our outstanding pre-warm budget.
+                    st.outstanding_prewarm = st.outstanding_prewarm.saturating_sub(1);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn poll_actions(&mut self, now: SimTime) -> Vec<ScaleAction> {
+        let cfg = self.config.clone();
+        let mut out = Vec::new();
+        for (&function, st) in self.functions.iter_mut() {
+            let busy = st.arrivals_since_poll > 0 || st.backlog() > 0;
+
+            // Pre-warm when cold starts are biting and traffic is live:
+            // target enough outstanding warmth to cover the backlog (at
+            // least one container), bounded by the per-function cap.
+            if cfg.prewarm_cap > 0 && busy && st.cold_rate > cfg.cold_rate_high {
+                let occupancy_need = st.occupancy.ceil() as u64;
+                let want = st
+                    .backlog()
+                    .max(occupancy_need)
+                    .max(1)
+                    .min(cfg.prewarm_cap as u64) as usize;
+                let deficit = want.saturating_sub(st.outstanding_prewarm);
+                if deficit > 0 {
+                    st.outstanding_prewarm += deficit;
+                    self.stats.max_outstanding_prewarm = self
+                        .stats
+                        .max_outstanding_prewarm
+                        .max(st.outstanding_prewarm);
+                    self.stats.prewarm_actions += 1;
+                    self.stats.prewarmed_containers += deficit as u64;
+                    let action = ScaleAction::Prewarm {
+                        function,
+                        count: deficit,
+                    };
+                    self.actions.push((now, action));
+                    out.push(action);
+                }
+            }
+
+            // Keep-alive: hold the ceiling while the function is live so
+            // warm containers survive gaps between bursts, relax to the
+            // floor when it goes quiet. Only emit on change.
+            let target = if busy {
+                cfg.keepalive_ceiling
+            } else {
+                cfg.keepalive_floor
+            };
+            if target != st.keep_alive_set {
+                st.keep_alive_set = target;
+                self.stats.keepalive_actions += 1;
+                let action = ScaleAction::SetKeepAlive {
+                    function,
+                    keep_alive: target,
+                };
+                self.actions.push((now, action));
+                out.push(action);
+            }
+
+            st.arrivals_since_poll = 0;
+        }
+        out
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasbatch_container::ids::{ContainerId, InvocationId};
+
+    fn f(i: u32) -> FunctionId {
+        FunctionId::new(i)
+    }
+
+    fn arrival(at: u64, func: u32, inv: u64) -> SimEvent {
+        SimEvent::new(
+            SimTime::from_millis(at),
+            EventKind::Arrival {
+                invocation: InvocationId::new(inv),
+                function: f(func),
+            },
+        )
+    }
+
+    fn dispatch(at: u64, func: u32, cold: bool, members: &[u64]) -> SimEvent {
+        SimEvent::new(
+            SimTime::from_millis(at),
+            EventKind::DispatchDecision {
+                batch: 0,
+                function: f(func),
+                container: ContainerId::new(1),
+                cold,
+                barrier: false,
+                members: members.iter().copied().map(InvocationId::new).collect(),
+            },
+        )
+    }
+
+    #[test]
+    fn noop_band_never_acts() {
+        let mut s = AutoscalerSink::new(AutoscalerConfig::noop(SimDuration::from_secs(600)));
+        for i in 0..20 {
+            s.record(&arrival(i, 0, i));
+            s.record(&dispatch(i, 0, true, &[i]));
+        }
+        assert!(s.poll_actions(SimTime::from_secs(1)).is_empty());
+        assert!(s.actions().is_empty());
+        assert_eq!(s.stats(), AutoscalerStats::default());
+    }
+
+    #[test]
+    fn cold_bursts_trigger_prewarm_up_to_cap() {
+        let cfg = AutoscalerConfig {
+            prewarm_cap: 3,
+            base_keep_alive: SimDuration::from_secs(600),
+            keepalive_ceiling: SimDuration::from_secs(600),
+            keepalive_floor: SimDuration::from_secs(600),
+            ..AutoscalerConfig::default()
+        };
+        let mut s = AutoscalerSink::new(cfg);
+        // Ten cold singleton dispatches with a large backlog behind them.
+        for i in 0..30 {
+            s.record(&arrival(i, 0, i));
+        }
+        for i in 0..10 {
+            s.record(&dispatch(100 + i, 0, true, &[i]));
+        }
+        let actions = s.poll_actions(SimTime::from_secs(1));
+        assert_eq!(
+            actions,
+            vec![ScaleAction::Prewarm {
+                function: f(0),
+                count: 3
+            }]
+        );
+        // Cap already saturated: polling again adds nothing.
+        assert!(s.poll_actions(SimTime::from_secs(2)).is_empty());
+        assert_eq!(s.stats().max_outstanding_prewarm, 3);
+        // A warm dispatch frees one slot of budget.
+        s.record(&arrival(200, 0, 40));
+        s.record(&dispatch(201, 0, false, &[40]));
+        let actions = s.poll_actions(SimTime::from_secs(3));
+        assert_eq!(
+            actions,
+            vec![ScaleAction::Prewarm {
+                function: f(0),
+                count: 1
+            }]
+        );
+        assert_eq!(s.stats().max_outstanding_prewarm, 3);
+    }
+
+    #[test]
+    fn keepalive_follows_traffic_between_floor_and_ceiling() {
+        let cfg = AutoscalerConfig {
+            prewarm_cap: 0,
+            keepalive_floor: SimDuration::from_secs(2),
+            keepalive_ceiling: SimDuration::from_secs(60),
+            base_keep_alive: SimDuration::from_secs(10),
+            ..AutoscalerConfig::default()
+        };
+        let mut s = AutoscalerSink::new(cfg);
+        s.record(&arrival(0, 0, 0));
+        // Live traffic ⇒ extend to the ceiling.
+        assert_eq!(
+            s.poll_actions(SimTime::from_secs(1)),
+            vec![ScaleAction::SetKeepAlive {
+                function: f(0),
+                keep_alive: SimDuration::from_secs(60)
+            }]
+        );
+        assert_eq!(s.keep_alive_set(f(0)), SimDuration::from_secs(60));
+        // Still a backlog (arrived but never dispatched) ⇒ stay up, and the
+        // value is unchanged so nothing is emitted.
+        assert!(s.poll_actions(SimTime::from_secs(2)).is_empty());
+        // Drain the backlog; the function goes quiet ⇒ shrink to the floor.
+        s.record(&dispatch(2500, 0, true, &[0]));
+        assert_eq!(
+            s.poll_actions(SimTime::from_secs(3)),
+            vec![ScaleAction::SetKeepAlive {
+                function: f(0),
+                keep_alive: SimDuration::from_secs(2)
+            }]
+        );
+        assert_eq!(s.stats().keepalive_actions, 2);
+    }
+
+    #[test]
+    fn backlog_tracks_arrived_minus_dispatched() {
+        let mut s = AutoscalerSink::new(AutoscalerConfig::default());
+        for i in 0..5 {
+            s.record(&arrival(i, 1, i));
+        }
+        assert_eq!(s.backlog(f(1)), 5);
+        s.record(&dispatch(10, 1, true, &[0, 1, 2]));
+        assert_eq!(s.backlog(f(1)), 2);
+        assert!(s.cold_rate(f(1)) > 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let c = AutoscalerConfig {
+            keepalive_floor: SimDuration::ZERO,
+            ..AutoscalerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = AutoscalerConfig {
+            keepalive_ceiling: SimDuration::from_millis(1),
+            ..AutoscalerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = AutoscalerConfig {
+            alpha: 0.0,
+            ..AutoscalerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = AutoscalerConfig {
+            cold_rate_high: 1.5,
+            ..AutoscalerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        assert!(AutoscalerConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn config_roundtrips_through_serde() {
+        let c = AutoscalerConfig::default();
+        let json = serde_json::to_string(&c).expect("serialize");
+        let back: AutoscalerConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(c, back);
+    }
+}

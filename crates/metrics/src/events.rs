@@ -12,6 +12,7 @@
 //!
 //! See DESIGN.md §11 for the taxonomy and the emission contract.
 
+use crate::autoscaler::ScaleAction;
 use crate::latency::{InvocationRecord, LatencyBreakdown};
 use crate::sampler::{ResourceSample, ResourceSampler};
 use faasbatch_container::container::ContainerState;
@@ -246,6 +247,23 @@ pub enum EventKind {
         /// Member index within the batch (`None` in fleet-level streams).
         member: Option<u32>,
     },
+    /// An autoscaling controller requested `count` pre-warmed containers for
+    /// `function`. The harness applies the action immediately, so the event
+    /// is followed (at the same instant) by `count` `PrewarmLaunch` task
+    /// starts — the auditor enforces the pairing.
+    ScalePrewarm {
+        /// Function being pre-warmed.
+        function: FunctionId,
+        /// Containers requested.
+        count: u64,
+    },
+    /// An autoscaling controller changed one function's keep-alive TTL.
+    ScaleKeepAlive {
+        /// Function whose warm-pool TTL changed.
+        function: FunctionId,
+        /// The new keep-alive TTL.
+        keep_alive: SimDuration,
+    },
 }
 
 impl EventKind {
@@ -273,6 +291,8 @@ impl EventKind {
             EventKind::Redispatch { .. } => "Redispatch",
             EventKind::HostSample { .. } => "HostSample",
             EventKind::InvocationComplete { .. } => "InvocationComplete",
+            EventKind::ScalePrewarm { .. } => "ScalePrewarm",
+            EventKind::ScaleKeepAlive { .. } => "ScaleKeepAlive",
         }
     }
 }
@@ -300,6 +320,16 @@ impl SimEvent {
 pub trait TraceSink {
     /// Observes one event. Events arrive in non-decreasing time order.
     fn record(&mut self, event: &SimEvent);
+
+    /// Asks the sink for pending [`ScaleAction`]s. The simulation harness
+    /// calls this at safe points between engine steps (the sampler tick) and
+    /// applies whatever comes back; passive sinks return nothing (the
+    /// default), while controllers such as
+    /// [`AutoscalerSink`](crate::autoscaler::AutoscalerSink) turn their
+    /// online estimates into actions here.
+    fn poll_actions(&mut self, _now: SimTime) -> Vec<ScaleAction> {
+        Vec::new()
+    }
 
     /// Downcast support: recover the concrete sink after a traced run
     /// returns it as `Box<dyn TraceSink>`.
@@ -520,6 +550,13 @@ impl MultiSink {
     pub fn into_sinks(self) -> Vec<Box<dyn TraceSink>> {
         self.sinks
     }
+
+    /// Borrows the inner sinks, in construction order — lets callers
+    /// downcast individual children after a traced run hands the fan-out
+    /// back as `Box<dyn TraceSink>`.
+    pub fn sinks(&self) -> &[Box<dyn TraceSink>] {
+        &self.sinks
+    }
 }
 
 impl std::fmt::Debug for MultiSink {
@@ -535,6 +572,13 @@ impl TraceSink for MultiSink {
         for sink in &mut self.sinks {
             sink.record(event);
         }
+    }
+    fn poll_actions(&mut self, now: SimTime) -> Vec<ScaleAction> {
+        let mut actions = Vec::new();
+        for sink in &mut self.sinks {
+            actions.extend(sink.poll_actions(now));
+        }
+        actions
     }
     fn as_any(&self) -> &dyn Any {
         self
@@ -820,6 +864,8 @@ pub struct AuditorSink {
     mem_total: i128,
     open_tasks: HashMap<TaskKind, u32>,
     open_cold_starts: HashMap<ContainerId, u32>,
+    /// Scale-prewarm requests not yet matched by a `PrewarmLaunch` start.
+    pending_scale_prewarms: u64,
     reducer: RecordReducer,
     finished: bool,
 }
@@ -877,6 +923,13 @@ impl AuditorSink {
             cold.sort();
             for c in cold {
                 self.violate(SimTime::ZERO, format!("{c} cold start never ended"));
+            }
+            if self.pending_scale_prewarms > 0 {
+                let n = self.pending_scale_prewarms;
+                self.violate(
+                    SimTime::ZERO,
+                    format!("{n} scale-prewarm request(s) never launched a container"),
+                );
             }
             if self.truncated > 0 {
                 let n = self.truncated;
@@ -999,6 +1052,21 @@ impl TraceSink for AuditorSink {
             }
             EventKind::TaskStart { task } => {
                 *self.open_tasks.entry(*task).or_insert(0) += 1;
+                // A pre-warm launch consumes one outstanding scale-prewarm
+                // request (policy-initiated pre-warms simply don't consume).
+                if matches!(task, TaskKind::PrewarmLaunch { .. }) && self.pending_scale_prewarms > 0
+                {
+                    self.pending_scale_prewarms -= 1;
+                }
+            }
+            EventKind::ScalePrewarm { count, .. } => {
+                if *count == 0 {
+                    self.violate(at, "scale-prewarm requested zero containers".to_owned());
+                }
+                self.pending_scale_prewarms += count;
+            }
+            EventKind::ScaleKeepAlive { keep_alive, .. } if keep_alive.is_zero() => {
+                self.violate(at, "scale action set a zero keep-alive TTL".to_owned());
             }
             EventKind::TaskPreempt { task } | EventKind::TaskFinish { task } => {
                 let open = self.open_tasks.entry(*task).or_insert(0);
@@ -1224,6 +1292,20 @@ fn instant_args(kind: &EventKind, out: &mut String) {
         }
         EventKind::MemAlloc { bytes, total, .. } | EventKind::MemFree { bytes, total, .. } => {
             let _ = write!(out, "\"bytes\":{bytes},\"total\":{total}");
+        }
+        EventKind::ScalePrewarm { function, count } => {
+            let _ = write!(out, "\"function\":{},\"count\":{count}", function.index());
+        }
+        EventKind::ScaleKeepAlive {
+            function,
+            keep_alive,
+        } => {
+            let _ = write!(
+                out,
+                "\"function\":{},\"keep_alive_us\":{}",
+                function.index(),
+                keep_alive.as_micros()
+            );
         }
         _ => {}
     }
@@ -1486,6 +1568,80 @@ mod tests {
             .violations()
             .iter()
             .any(|v| v.contains("went negative")));
+    }
+
+    #[test]
+    fn auditor_matches_scale_prewarms_to_launches() {
+        let mut auditor = AuditorSink::new();
+        auditor.record(&ev(
+            0,
+            EventKind::ScalePrewarm {
+                function: FunctionId::new(0),
+                count: 2,
+            },
+        ));
+        for c in [1, 2] {
+            auditor.record(&ev(
+                0,
+                EventKind::TaskStart {
+                    task: TaskKind::PrewarmLaunch {
+                        container: ContainerId::new(c),
+                    },
+                },
+            ));
+        }
+        for c in [1, 2] {
+            auditor.record(&ev(
+                5,
+                EventKind::TaskFinish {
+                    task: TaskKind::PrewarmLaunch {
+                        container: ContainerId::new(c),
+                    },
+                },
+            ));
+        }
+        assert_eq!(auditor.finish(), &[] as &[String]);
+    }
+
+    #[test]
+    fn auditor_flags_unmatched_scale_prewarm() {
+        let mut auditor = AuditorSink::new();
+        auditor.record(&ev(
+            0,
+            EventKind::ScalePrewarm {
+                function: FunctionId::new(0),
+                count: 3,
+            },
+        ));
+        let violations = auditor.finish();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("never launched a container")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn auditor_flags_degenerate_scale_actions() {
+        let mut auditor = AuditorSink::new();
+        auditor.record(&ev(
+            0,
+            EventKind::ScalePrewarm {
+                function: FunctionId::new(0),
+                count: 0,
+            },
+        ));
+        auditor.record(&ev(
+            1,
+            EventKind::ScaleKeepAlive {
+                function: FunctionId::new(0),
+                keep_alive: SimDuration::ZERO,
+            },
+        ));
+        let violations = auditor.finish();
+        assert!(violations.iter().any(|v| v.contains("zero containers")));
+        assert!(violations.iter().any(|v| v.contains("zero keep-alive")));
     }
 
     #[test]

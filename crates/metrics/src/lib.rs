@@ -19,7 +19,11 @@
 //!   simulation layer emits into, the pluggable [`events::TraceSink`]s
 //!   (no-op, ring, JSONL, counters, invariant auditor), and the
 //!   [`events::RecordReducer`] that derives records and samples from the
-//!   stream (DESIGN.md §11).
+//!   stream (DESIGN.md §11);
+//! * [`autoscaler`] — the trace-driven [`autoscaler::AutoscalerSink`]
+//!   controller that folds the stream into per-function cold-start-rate /
+//!   backlog / occupancy estimates and emits [`autoscaler::ScaleAction`]s
+//!   the harness applies between engine steps (DESIGN.md §12).
 //!
 //! # Examples
 //!
@@ -35,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod autoscaler;
 pub mod events;
 pub mod latency;
 pub mod report;
@@ -43,6 +48,7 @@ pub mod stats;
 pub mod timeline;
 
 pub use analysis::{against_all, Comparison};
+pub use autoscaler::{AutoscalerConfig, AutoscalerSink, AutoscalerStats, ScaleAction};
 pub use events::{
     chrome_trace, AuditorSink, CounterSink, EventKind, JsonlSink, MultiSink, NoopSink,
     RecordReducer, ReducedRun, RingSink, SimEvent, TaskKind, TraceSink, VecSink,

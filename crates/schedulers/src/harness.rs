@@ -30,6 +30,7 @@ use crate::policy::{Completion, Ctx, DispatchRequest, ExecMode, Policy};
 use faasbatch_container::cluster::Cluster;
 use faasbatch_container::ids::{ContainerId, FunctionId};
 use faasbatch_container::spec::ContainerSpec;
+use faasbatch_metrics::autoscaler::ScaleAction;
 use faasbatch_metrics::events::{
     EventKind, NoopSink, RecordReducer, SimEvent, TaskKind, TraceSink,
 };
@@ -131,6 +132,10 @@ pub struct SimWorld {
     next_batch: u64,
     running: HashMap<CpuTaskId, WorkKind>,
     cpu_event: Option<EventId>,
+    /// Pre-warm pipelines (launch → image pull → boot) still in flight.
+    /// Non-zero keeps the run stepping after the last invocation completes
+    /// so every speculative cold start closes before the stream ends.
+    open_prewarms: usize,
     ext: HashMap<ContainerId, ContainerExt>,
     transient_clients: HashMap<(BatchId, usize), AllocationId>,
     /// Folds the event stream into records, samples, and counters.
@@ -162,6 +167,7 @@ impl SimWorld {
             next_batch: 0,
             running: HashMap::new(),
             cpu_event: None,
+            open_prewarms: 0,
             ext: HashMap::new(),
             transient_clients: HashMap::new(),
             reducer: RecordReducer::new(),
@@ -419,6 +425,7 @@ pub(crate) fn prewarm(
             world.cfg.container_launch_work,
         );
         world.running.insert(task, WorkKind::PrewarmLaunch(cid));
+        world.open_prewarms += 1;
         emit(
             world,
             now,
@@ -489,6 +496,7 @@ fn cpu_tick(sim: &mut Sim, engine: &mut Engine<Sim>) {
                 });
             }
             WorkKind::PrewarmBoot(cid) => {
+                sim.world.open_prewarms -= 1;
                 sim.world.cluster.finish_cold_start_idle(now, cid);
                 emit(
                     &mut sim.world,
@@ -921,11 +929,61 @@ fn finish_invocation(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: 
 fn schedule_sampler(engine: &mut Engine<Sim>, period: SimDuration) {
     engine.schedule_in(period, move |sim: &mut Sim, engine| {
         let world = &mut sim.world;
-        record_sample(world, engine.now());
-        if !world.done() {
-            schedule_sampler(engine, period);
+        if world.done() {
+            // The workload is complete; this tick only fires while the
+            // harness drains in-flight pre-warm boots. Don't sample or act.
+            return;
         }
+        record_sample(world, engine.now());
+        apply_scale_actions(world, engine);
+        schedule_sampler(engine, period);
     });
+}
+
+/// Polls the trace sink for autoscaler actions and applies them. The sampler
+/// tick is the designated safe point: no CPU task or policy callback is
+/// mid-flight, so pre-warm launches and keep-alive changes slot in exactly
+/// like policy-initiated ones. Passive sinks return nothing and the function
+/// is a strict no-op — it must not touch the engine in that case, because
+/// re-arming the CPU event would reorder same-instant callbacks and perturb
+/// the run.
+fn apply_scale_actions(world: &mut SimWorld, engine: &mut Engine<Sim>) {
+    let now = engine.now();
+    let actions = world.trace.poll_actions(now);
+    if actions.is_empty() {
+        return;
+    }
+    for action in actions {
+        match action {
+            ScaleAction::Prewarm { function, count } if count > 0 => {
+                emit(
+                    world,
+                    now,
+                    EventKind::ScalePrewarm {
+                        function,
+                        count: count as u64,
+                    },
+                );
+                prewarm(world, engine, function, count);
+            }
+            ScaleAction::Prewarm { .. } => {}
+            ScaleAction::SetKeepAlive {
+                function,
+                keep_alive,
+            } => {
+                emit(
+                    world,
+                    now,
+                    EventKind::ScaleKeepAlive {
+                        function,
+                        keep_alive,
+                    },
+                );
+                world.cluster.set_keep_alive(function, keep_alive);
+            }
+        }
+    }
+    pump_cpu(world, engine);
 }
 
 fn record_sample(world: &mut SimWorld, now: SimTime) {
@@ -1027,6 +1085,12 @@ pub fn run_simulation_traced(
         sim.world.completed(),
         sim.world.total
     );
+    // A speculative pre-warm (controller- or Kraken-initiated) can still be
+    // booting when the final invocation completes. Keep stepping until those
+    // pipelines land so the stream pairs every launch with its cold-start
+    // end; runs with nothing in flight take zero extra steps, leaving their
+    // reports bit-identical to the pre-drain behaviour.
+    while sim.world.open_prewarms > 0 && engine.step(&mut sim) {}
     // Flush trailing journalled operations (e.g. the final release).
     drain_journals(&mut sim.world);
 

@@ -16,7 +16,8 @@ use faasbatch::core::policy::{run_faasbatch, run_faasbatch_traced, FaasBatchConf
 use faasbatch::fleet::config::{FaultKind, FleetConfig, WorkerFault, WorkerScheduler};
 use faasbatch::fleet::routing::RoutingKind;
 use faasbatch::fleet::sim::run_fleet;
-use faasbatch::metrics::events::{chrome_trace, AuditorSink, TraceSink, VecSink};
+use faasbatch::metrics::autoscaler::{AutoscalerConfig, AutoscalerSink};
+use faasbatch::metrics::events::{chrome_trace, AuditorSink, MultiSink, TraceSink, VecSink};
 use faasbatch::metrics::report::{text_table, RunReport};
 use faasbatch::schedulers::config::SimConfig;
 use faasbatch::schedulers::harness::{run_simulation, run_simulation_traced};
@@ -47,6 +48,11 @@ USAGE:
                        [--workload cpu|io] [--seed N] [--total N] [--span-s N]
                        [--window-ms N] [--no-multiplex] [--import FILE]
                        [--out FILE] [--chrome FILE]
+    faasbatch autoscale [--scheduler vanilla|sfs|kraken|faasbatch]
+                       [--workload cpu|io] [--seed N] [--total N] [--span-s N]
+                       [--window-ms N] [--keepalive-s N] [--prewarm-cap N]
+                       [--keepalive-floor-s N] [--keepalive-ceiling-s N]
+                       [--import FILE]
     faasbatch figures
     faasbatch help
 
@@ -58,6 +64,9 @@ COMMANDS:
     trace      replay one workload under one scheduler, audit the event
                stream, and export it as JSONL (and optionally as a Chrome
                about:tracing timeline via --chrome)
+    autoscale  replay one workload under one scheduler twice — static config
+               vs the trace-driven autoscaling controller — audit the
+               controller's actions, and print the comparison
     figures    list the per-figure regeneration binaries
 
 Workloads exported with `workload --export` replay bit-identically via
@@ -476,6 +485,168 @@ fn cmd_trace(opts: &Options) -> Result<(), String> {
     }
 }
 
+/// Runs `scheduler` over `w`, traced through `sink` when one is given.
+fn run_one_scheduler(
+    scheduler: &str,
+    w: &Workload,
+    cfg: SimConfig,
+    label: &str,
+    window: SimDuration,
+    sink: Option<Box<dyn TraceSink>>,
+) -> Result<(RunReport, Option<Box<dyn TraceSink>>), String> {
+    let kraken = |cfg: SimConfig| {
+        let vanilla = run_simulation(Box::new(Vanilla::new()), w, cfg.clone(), label, None);
+        Kraken::new(KrakenCalibration::from_vanilla(&vanilla), window)
+    };
+    Ok(match (scheduler, sink) {
+        ("vanilla", None) => (
+            run_simulation(Box::new(Vanilla::new()), w, cfg, label, None),
+            None,
+        ),
+        ("vanilla", Some(s)) => {
+            let (r, s) = run_simulation_traced(Box::new(Vanilla::new()), w, cfg, label, None, s);
+            (r, Some(s))
+        }
+        ("sfs", None) => (
+            run_simulation(Box::new(Sfs::new()), w, cfg, label, None),
+            None,
+        ),
+        ("sfs", Some(s)) => {
+            let (r, s) = run_simulation_traced(Box::new(Sfs::new()), w, cfg, label, None, s);
+            (r, Some(s))
+        }
+        ("kraken", None) => {
+            let k = kraken(cfg.clone());
+            (
+                run_simulation(Box::new(k), w, cfg, label, Some(window)),
+                None,
+            )
+        }
+        ("kraken", Some(s)) => {
+            let k = kraken(cfg.clone());
+            let (r, s) = run_simulation_traced(Box::new(k), w, cfg, label, Some(window), s);
+            (r, Some(s))
+        }
+        ("faasbatch", None) => (
+            run_faasbatch(w, cfg, FaasBatchConfig::with_window(window), label),
+            None,
+        ),
+        ("faasbatch", Some(s)) => {
+            let (r, s) =
+                run_faasbatch_traced(w, cfg, FaasBatchConfig::with_window(window), label, s);
+            (r, Some(s))
+        }
+        (other, _) => {
+            return Err(format!(
+                "unknown scheduler: {other} (use vanilla|sfs|kraken|faasbatch)"
+            ))
+        }
+    })
+}
+
+fn cmd_autoscale(opts: &Options) -> Result<(), String> {
+    let (label, w) = load_or_build(opts)?;
+    let scheduler = opts.str("--scheduler", "faasbatch");
+    let window = SimDuration::from_millis(opts.num("--window-ms", 200)?);
+    let keep_alive = SimDuration::from_secs(opts.num("--keepalive-s", 2)?);
+    let cfg = SimConfig {
+        keep_alive,
+        ..SimConfig::default()
+    };
+    let ac = AutoscalerConfig {
+        prewarm_cap: opts.num("--prewarm-cap", 4)?,
+        keepalive_floor: SimDuration::from_secs(opts.num("--keepalive-floor-s", 2)?),
+        keepalive_ceiling: SimDuration::from_secs(opts.num("--keepalive-ceiling-s", 60)?),
+        base_keep_alive: keep_alive,
+        ..AutoscalerConfig::default()
+    };
+    ac.validate()
+        .map_err(|e| format!("invalid autoscaler config: {e}"))?;
+
+    println!(
+        "replaying {} invocations ({label}) under {scheduler}, static {keep_alive} \
+         keep-alive vs controller…\n",
+        w.len()
+    );
+    let (static_report, _) = run_one_scheduler(&scheduler, &w, cfg.clone(), &label, window, None)?;
+    let sink: Box<dyn TraceSink> = Box::new(MultiSink::new(vec![
+        Box::new(AutoscalerSink::new(ac)),
+        Box::new(VecSink::new()),
+    ]));
+    let (auto_report, sink) = run_one_scheduler(&scheduler, &w, cfg, &label, window, Some(sink))?;
+    let sink = sink.expect("traced run returns its sink");
+    let multi = sink
+        .as_any()
+        .downcast_ref::<MultiSink>()
+        .expect("the multi sink comes back from the run");
+    let controller = multi.sinks()[0]
+        .as_any()
+        .downcast_ref::<AutoscalerSink>()
+        .expect("controller sink");
+    let events = multi.sinks()[1]
+        .as_any()
+        .downcast_ref::<VecSink>()
+        .expect("vec sink")
+        .events();
+
+    let rows: Vec<Vec<String>> = [("static", &static_report), ("autoscaled", &auto_report)]
+        .iter()
+        .map(|(mode, r)| {
+            vec![
+                (*mode).to_owned(),
+                format!("{:.1}%", r.cold_fraction() * 100.0),
+                r.provisioned_containers.to_string(),
+                r.warm_hits.to_string(),
+                format!("{}", r.end_to_end_cdf().quantile(0.5)),
+                format!("{}", r.end_to_end_cdf().quantile(0.99)),
+                format!("{:.0} MB", r.mean_memory_bytes() / (1 << 20) as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &[
+                "mode",
+                "cold%",
+                "containers",
+                "warm hits",
+                "e2e p50",
+                "e2e p99",
+                "mem mean"
+            ],
+            &rows,
+        )
+    );
+    let stats = controller.stats();
+    println!(
+        "controller: {} prewarm action(s) launching {} container(s), \
+         {} keep-alive change(s), max outstanding prewarm {}",
+        stats.prewarm_actions,
+        stats.prewarmed_containers,
+        stats.keepalive_actions,
+        stats.max_outstanding_prewarm
+    );
+
+    let mut auditor = AuditorSink::new();
+    for event in events {
+        auditor.record(event);
+    }
+    let violations = auditor.finish().to_vec();
+    if violations.is_empty() {
+        println!("auditor: stream is clean (0 violations)");
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("auditor violation: {v}");
+        }
+        Err(format!(
+            "the event stream violated {} invariant(s)",
+            violations.len()
+        ))
+    }
+}
+
 fn cmd_figures() {
     println!(
         "Figure harnesses (run with `cargo run --release -p faasbatch-bench --bin <name>`):\n"
@@ -534,6 +705,7 @@ fn main() -> ExitCode {
         "workload" => Options::parse(rest).and_then(|o| cmd_workload(&o)),
         "fleet" => Options::parse(rest).and_then(|o| cmd_fleet(&o)),
         "trace" => Options::parse(rest).and_then(|o| cmd_trace(&o)),
+        "autoscale" => Options::parse(rest).and_then(|o| cmd_autoscale(&o)),
         "figures" => {
             cmd_figures();
             Ok(())

@@ -1,10 +1,12 @@
 //! Determinism guarantees: a run is a pure function of (seed, config).
 //! Bit-identical reports make every figure in EXPERIMENTS.md reproducible.
 
-use faasbatch::core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch::core::policy::{run_faasbatch, run_faasbatch_traced, FaasBatchConfig};
+use faasbatch::metrics::autoscaler::{AutoscalerConfig, AutoscalerSink};
+use faasbatch::metrics::events::{MultiSink, SimEvent, TraceSink, VecSink};
 use faasbatch::metrics::report::RunReport;
 use faasbatch::schedulers::config::SimConfig;
-use faasbatch::schedulers::harness::run_simulation;
+use faasbatch::schedulers::harness::{run_simulation, run_simulation_traced};
 use faasbatch::schedulers::kraken::{Kraken, KrakenCalibration};
 use faasbatch::schedulers::sfs::Sfs;
 use faasbatch::schedulers::vanilla::Vanilla;
@@ -82,4 +84,98 @@ fn different_seeds_give_different_results() {
     let a = run_scheduler("vanilla", &wl(1));
     let b = run_scheduler("vanilla", &wl(2));
     assert_ne!(a.records, b.records);
+}
+
+/// Runs `name` with the autoscaling controller attached and returns the
+/// report plus the serialized JSONL event log.
+fn run_scheduler_autoscaled(
+    name: &str,
+    w: &Workload,
+    ac: &AutoscalerConfig,
+) -> (RunReport, String) {
+    let cfg = SimConfig {
+        keep_alive: SimDuration::from_secs(2),
+        ..SimConfig::default()
+    };
+    let window = SimDuration::from_millis(200);
+    let sink: Box<dyn TraceSink> = Box::new(MultiSink::new(vec![
+        Box::new(AutoscalerSink::new(ac.clone())),
+        Box::new(VecSink::new()),
+    ]));
+    let (report, sink) = match name {
+        "vanilla" => run_simulation_traced(Box::new(Vanilla::new()), w, cfg, "cpu", None, sink),
+        "sfs" => run_simulation_traced(Box::new(Sfs::new()), w, cfg, "cpu", None, sink),
+        "kraken" => {
+            let vanilla = run_simulation(Box::new(Vanilla::new()), w, cfg.clone(), "cpu", None);
+            run_simulation_traced(
+                Box::new(Kraken::new(
+                    KrakenCalibration::from_vanilla(&vanilla),
+                    window,
+                )),
+                w,
+                cfg,
+                "cpu",
+                Some(window),
+                sink,
+            )
+        }
+        "faasbatch" => run_faasbatch_traced(w, cfg, FaasBatchConfig::default(), "cpu", sink),
+        other => panic!("unknown scheduler {other}"),
+    };
+    let events: &[SimEvent] = sink
+        .as_any()
+        .downcast_ref::<MultiSink>()
+        .expect("multi sink round-trips")
+        .sinks()[1]
+        .as_any()
+        .downcast_ref::<VecSink>()
+        .expect("vec sink")
+        .events();
+    let mut jsonl = String::new();
+    for e in events {
+        jsonl.push_str(&serde_json::to_string(e).expect("events serialize"));
+        jsonl.push('\n');
+    }
+    (report, jsonl)
+}
+
+/// Same seed + controller config ⇒ bit-identical reports *and* bit-identical
+/// serialized JSONL event logs, scale actions included.
+#[test]
+fn controller_runs_are_bit_reproducible() {
+    let w = wl(41);
+    let ac = AutoscalerConfig {
+        prewarm_cap: 3,
+        keepalive_floor: SimDuration::from_secs(2),
+        keepalive_ceiling: SimDuration::from_secs(30),
+        base_keep_alive: SimDuration::from_secs(2),
+        ..AutoscalerConfig::default()
+    };
+    for name in ["vanilla", "sfs", "kraken", "faasbatch"] {
+        let (report_a, jsonl_a) = run_scheduler_autoscaled(name, &w, &ac);
+        let (report_b, jsonl_b) = run_scheduler_autoscaled(name, &w, &ac);
+        assert_eq!(report_a, report_b, "{name} report not reproducible");
+        assert_eq!(jsonl_a, jsonl_b, "{name} event log not reproducible");
+        assert!(
+            jsonl_a.contains("ScaleKeepAlive") || jsonl_a.contains("ScalePrewarm"),
+            "{name} log carries no scale actions — the comparison is vacuous"
+        );
+    }
+}
+
+/// The whole ablation artifact — static and controller legs across all four
+/// schedulers — serializes identically run to run.
+#[test]
+fn ablation_summary_is_deterministic() {
+    use faasbatch_bench::{autoscaler_ablation, autoscaler_ablation_setup};
+    let w = wl(13);
+    let (cfg, ac) = autoscaler_ablation_setup();
+    let window = SimDuration::from_millis(200);
+    let a = autoscaler_ablation(&w, "cpu", window, &cfg, &ac);
+    let b = autoscaler_ablation(&w, "cpu", window, &cfg, &ac);
+    assert_eq!(
+        serde_json::to_string_pretty(&a).expect("summary serializes"),
+        serde_json::to_string_pretty(&b).expect("summary serializes"),
+        "ablation summary not reproducible"
+    );
 }

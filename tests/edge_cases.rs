@@ -159,6 +159,164 @@ fn very_long_idle_gap_between_arrivals() {
     assert_eq!(report.provisioned_containers, 2);
 }
 
+/// A controller attached to an empty workload: the run ends at t = 0 with
+/// no actions, no containers, and no panics.
+#[test]
+fn controller_on_zero_invocation_workload() {
+    use faasbatch::metrics::autoscaler::{AutoscalerConfig, AutoscalerSink};
+    use faasbatch::metrics::events::TraceSink;
+    use faasbatch::schedulers::harness::run_simulation_traced;
+    use faasbatch::schedulers::vanilla::Vanilla;
+    let w = Workload::new(FunctionRegistry::new(), Vec::new());
+    let sink: Box<dyn TraceSink> = Box::new(AutoscalerSink::new(AutoscalerConfig::default()));
+    let (report, sink) = run_simulation_traced(
+        Box::new(Vanilla::new()),
+        &w,
+        SimConfig::default(),
+        "empty",
+        None,
+        sink,
+    );
+    assert!(report.records.is_empty());
+    assert_eq!(report.provisioned_containers, 0);
+    assert_eq!(report.makespan, SimDuration::ZERO);
+    let controller = sink
+        .as_any()
+        .downcast_ref::<AutoscalerSink>()
+        .expect("controller sink");
+    assert!(
+        controller.actions().is_empty(),
+        "an empty run must produce no scale actions"
+    );
+}
+
+/// One function bursting far past the host's core capacity, with the
+/// controller active: every invocation still completes exactly once, the
+/// audited stream stays clean, and the pre-warm burst respects its cap.
+#[test]
+fn controller_survives_burst_beyond_core_capacity() {
+    use faasbatch::metrics::autoscaler::{AutoscalerConfig, AutoscalerSink, ScaleAction};
+    use faasbatch::metrics::events::{AuditorSink, MultiSink, TraceSink, VecSink};
+    use faasbatch::schedulers::harness::run_simulation_traced;
+    use faasbatch::schedulers::vanilla::Vanilla;
+    let mut reg = FunctionRegistry::new();
+    let f = reg.register("hot", FunctionKind::Cpu { fib_n: 20 });
+    let cfg = SimConfig {
+        keep_alive: SimDuration::from_secs(2),
+        ..SimConfig::default()
+    };
+    // Far more simultaneous invocations than the host has cores.
+    let invs: Vec<Invocation> = (0..8 * cfg.cores as u64)
+        .map(|k| Invocation {
+            id: InvocationId::new(k),
+            function: f,
+            arrival: SimTime::ZERO,
+            work: SimDuration::from_millis(20),
+        })
+        .collect();
+    let w = Workload::new(reg, invs);
+    let ac = AutoscalerConfig {
+        prewarm_cap: 4,
+        keepalive_floor: SimDuration::from_secs(2),
+        keepalive_ceiling: SimDuration::from_secs(30),
+        base_keep_alive: SimDuration::from_secs(2),
+        ..AutoscalerConfig::default()
+    };
+    let sink: Box<dyn TraceSink> = Box::new(MultiSink::new(vec![
+        Box::new(AutoscalerSink::new(ac.clone())),
+        Box::new(VecSink::new()),
+    ]));
+    let (report, sink) =
+        run_simulation_traced(Box::new(Vanilla::new()), &w, cfg, "burst", None, sink);
+    assert_eq!(report.records.len(), w.len());
+    assert!(report.inconsistencies().is_empty());
+    let multi = sink
+        .as_any()
+        .downcast_ref::<MultiSink>()
+        .expect("multi sink round-trips");
+    for (_, action) in multi.sinks()[0]
+        .as_any()
+        .downcast_ref::<AutoscalerSink>()
+        .expect("controller sink")
+        .actions()
+    {
+        if let ScaleAction::Prewarm { count, .. } = action {
+            assert!(*count <= ac.prewarm_cap, "burst blew the pre-warm cap");
+        }
+    }
+    let mut auditor = AuditorSink::new();
+    for e in multi.sinks()[1]
+        .as_any()
+        .downcast_ref::<VecSink>()
+        .expect("vec sink")
+        .events()
+    {
+        auditor.record(e);
+    }
+    let violations = auditor.finish();
+    assert!(violations.is_empty(), "burst run violated: {violations:?}");
+}
+
+/// Per-worker controllers ride through a worker crash: survivors absorb the
+/// re-dispatched invocations and the fleet completes exactly once. With the
+/// retry budget at zero, the same crash surfaces as a typed
+/// [`FleetError::RetryBudgetExhausted`] — never a panic.
+#[test]
+fn controller_during_fleet_crash_and_redispatch() {
+    use faasbatch::fleet::config::{FaultKind, FleetConfig, WorkerFault};
+    use faasbatch::fleet::error::FleetError;
+    use faasbatch::fleet::routing::RoutingKind;
+    use faasbatch::fleet::sim::run_fleet;
+    use faasbatch::metrics::autoscaler::AutoscalerConfig;
+    use faasbatch::simcore::rng::DetRng;
+    use faasbatch::trace::workload::{cpu_workload, WorkloadConfig};
+    let w = cpu_workload(
+        &DetRng::new(21),
+        &WorkloadConfig {
+            total: 60,
+            span: SimDuration::from_secs(6),
+            functions: 3,
+            bursts: 2,
+            ..WorkloadConfig::default()
+        },
+    );
+    let ac = AutoscalerConfig {
+        prewarm_cap: 3,
+        keepalive_floor: SimDuration::from_secs(2),
+        keepalive_ceiling: SimDuration::from_secs(30),
+        base_keep_alive: SimDuration::from_secs(2),
+        ..AutoscalerConfig::default()
+    };
+    let crash = WorkerFault {
+        worker: 0,
+        at: SimTime::from_secs(1),
+        kind: FaultKind::Crash,
+    };
+    let mut cfg = FleetConfig {
+        workers: 3,
+        max_retries: 5,
+        autoscaler: Some(ac.clone()),
+        ..FleetConfig::default()
+    };
+    cfg.faults.push(crash);
+    let report = run_fleet(&w, &cfg, RoutingKind::ALL[0].build(), "crash")
+        .expect("survivors absorb the crash within the retry budget");
+    assert_eq!(report.records.len(), w.len());
+
+    // Same scenario with no retry budget: a typed error, not a panic.
+    let mut strict = FleetConfig {
+        workers: 3,
+        max_retries: 0,
+        autoscaler: Some(ac),
+        ..FleetConfig::default()
+    };
+    strict.faults.push(crash);
+    match run_fleet(&w, &strict, RoutingKind::ALL[0].build(), "crash") {
+        Err(FleetError::RetryBudgetExhausted { max_retries: 0, .. }) => {}
+        other => panic!("expected RetryBudgetExhausted, got {other:?}"),
+    }
+}
+
 #[test]
 fn zero_window_is_rejected() {
     let result = std::panic::catch_unwind(|| {

@@ -7,7 +7,8 @@ use faasbatch::core::policy::{run_faasbatch_traced, FaasBatchConfig};
 use faasbatch::fleet::config::{FaultKind, FleetConfig, WorkerFault};
 use faasbatch::fleet::routing::RoutingKind;
 use faasbatch::fleet::sim::run_fleet_traced;
-use faasbatch::metrics::events::{AuditorSink, SimEvent, TraceSink, VecSink};
+use faasbatch::metrics::autoscaler::{AutoscalerConfig, AutoscalerSink};
+use faasbatch::metrics::events::{AuditorSink, MultiSink, SimEvent, TraceSink, VecSink};
 use faasbatch::metrics::report::RunReport;
 use faasbatch::schedulers::config::SimConfig;
 use faasbatch::schedulers::harness::run_simulation_traced;
@@ -73,6 +74,62 @@ fn traced(scheduler: &str, w: &Workload) -> (RunReport, Vec<SimEvent>, Vec<Strin
     (report, events, violations)
 }
 
+/// Like [`traced`], but with the autoscaling controller enabled: a short
+/// static keep-alive, pre-warming on, and the keep-alive band open. Returns
+/// (report, events, violations) where the violations come from replaying the
+/// captured stream — now containing `ScalePrewarm` / `ScaleKeepAlive`
+/// events — through the auditor.
+fn traced_autoscaled(scheduler: &str, w: &Workload) -> (RunReport, Vec<SimEvent>, Vec<String>) {
+    let window = SimDuration::from_millis(200);
+    let cfg = SimConfig {
+        keep_alive: SimDuration::from_secs(2),
+        ..SimConfig::default()
+    };
+    let ac = AutoscalerConfig {
+        prewarm_cap: 3,
+        keepalive_floor: SimDuration::from_secs(2),
+        keepalive_ceiling: SimDuration::from_secs(30),
+        base_keep_alive: SimDuration::from_secs(2),
+        ..AutoscalerConfig::default()
+    };
+    let sink: Box<dyn TraceSink> = Box::new(MultiSink::new(vec![
+        Box::new(AutoscalerSink::new(ac)),
+        Box::new(VecSink::new()),
+    ]));
+    let (report, sink) = match scheduler {
+        "vanilla" => {
+            run_simulation_traced(Box::new(Vanilla::new()), w, cfg.clone(), "t", None, sink)
+        }
+        "sfs" => run_simulation_traced(Box::new(Sfs::new()), w, cfg.clone(), "t", None, sink),
+        "kraken" => run_simulation_traced(
+            Box::new(Kraken::with_defaults(window)),
+            w,
+            cfg.clone(),
+            "t",
+            Some(window),
+            sink,
+        ),
+        "faasbatch" => run_faasbatch_traced(w, cfg, FaasBatchConfig::default(), "t", sink),
+        other => panic!("unknown scheduler {other}"),
+    };
+    let events = sink
+        .as_any()
+        .downcast_ref::<MultiSink>()
+        .expect("multi sink round-trips")
+        .sinks()[1]
+        .as_any()
+        .downcast_ref::<VecSink>()
+        .expect("vec sink")
+        .events()
+        .to_vec();
+    let mut auditor = AuditorSink::new();
+    for e in &events {
+        auditor.record(e);
+    }
+    let violations = auditor.finish().to_vec();
+    (report, events, violations)
+}
+
 fn serialize(events: &[SimEvent]) -> String {
     let mut out = String::new();
     for e in events {
@@ -113,6 +170,28 @@ proptest! {
         let (report_b, events_b, _) = traced(SCHEDULERS[scheduler], &w);
         prop_assert_eq!(report_a, report_b);
         prop_assert_eq!(serialize(&events_a), serialize(&events_b));
+    }
+
+    /// With the autoscaling controller enabled the auditor still never
+    /// fires: every `ScalePrewarm` is matched by container launches, no
+    /// degenerate scale actions are emitted, and the base invariants
+    /// (conservation, state machine, ledger) all hold.
+    #[test]
+    fn auditor_is_clean_with_controller_enabled(
+        seed in 0u64..300,
+        io in 0usize..2,
+        scheduler in 0usize..4,
+    ) {
+        let w = wl(seed, io == 1);
+        let (report, events, violations) = traced_autoscaled(SCHEDULERS[scheduler], &w);
+        prop_assert!(
+            violations.is_empty(),
+            "{} violated under the controller: {:?}",
+            SCHEDULERS[scheduler],
+            violations
+        );
+        prop_assert_eq!(report.records.len(), w.len());
+        prop_assert!(!events.is_empty());
     }
 
     /// The fleet narration audits clean too, including crash + re-dispatch.
@@ -158,6 +237,34 @@ proptest! {
         prop_assert!(violations.is_empty(), "fleet violated: {:?}", violations);
         prop_assert!(events.windows(2).all(|p| p[0].at <= p[1].at));
     }
+}
+
+/// The acceptance sweep: across all four schedulers × three seeds, the
+/// controller genuinely acts (the stream carries scale events) and the
+/// auditor — which pairs every `ScalePrewarm` with container launches —
+/// reports zero violations.
+#[test]
+fn controller_sweep_acts_and_audits_clean() {
+    let mut scale_events = 0usize;
+    for seed in [1u64, 2, 3] {
+        for scheduler in SCHEDULERS {
+            let w = wl(seed, false);
+            let (report, events, violations) = traced_autoscaled(scheduler, &w);
+            assert!(
+                violations.is_empty(),
+                "{scheduler} seed {seed} violated: {violations:?}"
+            );
+            assert_eq!(report.records.len(), w.len());
+            scale_events += events
+                .iter()
+                .filter(|e| matches!(e.kind.name(), "ScalePrewarm" | "ScaleKeepAlive"))
+                .count();
+        }
+    }
+    assert!(
+        scale_events > 0,
+        "the sweep never exercised a scale action — the auditor check is vacuous"
+    );
 }
 
 /// Tracing is an observer: the traced run's report equals the untraced one.
