@@ -1,0 +1,104 @@
+//! Headline comparison *with phase breakdowns*: where the time goes under
+//! each scheduler, and which phases FaaSBatch's win comes from.
+//!
+//! Regenerates the paper's headline Vanilla/SFS/Kraken/FaaSBatch comparison
+//! on both canonical workloads, attributes every invocation's latency to
+//! the nine phases of DESIGN.md §13, prints per-scheduler breakdowns plus
+//! the Vanilla-vs-FaaSBatch trace diff, and commits the text report to
+//! `results/headline_attribution.txt` and a compact per-scheduler
+//! mean-phase JSON to `results/headline_attribution.json`.
+
+use faasbatch_bench::{paper_cpu_workload, paper_io_workload, run_four_traced, DEFAULT_WINDOW};
+use faasbatch_metrics::analysis::{diff_reports, AttributionEngine, AttributionReport, Phase};
+use faasbatch_metrics::events::SimEvent;
+use serde::Value;
+use std::fmt::Write as _;
+
+fn attribute(events: &[SimEvent]) -> AttributionReport {
+    let mut engine = AttributionEngine::new();
+    engine.consume(events);
+    let report = engine.finish();
+    assert!(
+        report.all_exact(),
+        "attribution phases must sum exactly to end-to-end latency"
+    );
+    report
+}
+
+/// Mean phase durations as a deterministic JSON object (µs per phase).
+fn mean_phases_json(report: &AttributionReport) -> Value {
+    let mean = report.mean_phases();
+    Value::Map(
+        Phase::ALL
+            .iter()
+            .map(|&p| (p.name().to_owned(), Value::U64(mean.get(p).as_micros())))
+            .collect(),
+    )
+}
+
+fn main() {
+    let mut text = String::new();
+    let mut json: Vec<(String, Value)> = Vec::new();
+
+    for (label, workload) in [("cpu", paper_cpu_workload()), ("io", paper_io_workload())] {
+        let (reports, streams) = run_four_traced(&workload, label, DEFAULT_WINDOW);
+        let attributed: Vec<AttributionReport> = streams.iter().map(|s| attribute(s)).collect();
+
+        let _ = writeln!(
+            text,
+            "=== {label} workload ({} invocations) ===\n",
+            workload.len()
+        );
+        let mut schedulers: Vec<(String, Value)> = Vec::new();
+        for (report, attribution) in reports.iter().zip(&attributed) {
+            let _ = writeln!(text, "--- {} ---", report.scheduler);
+            let _ = write!(text, "{}", attribution.render());
+            let _ = writeln!(text);
+            schedulers.push((report.scheduler.clone(), mean_phases_json(attribution)));
+        }
+
+        // The headline claim, attributed: vanilla (A) vs faasbatch (B).
+        let diff = diff_reports(&attributed[0], &attributed[3]);
+        let _ = write!(
+            text,
+            "{}",
+            diff.render(
+                &format!("vanilla/{label}"),
+                &format!("faasbatch/{label}"),
+                10
+            )
+        );
+        let _ = writeln!(text);
+        assert!(
+            diff.attributed_fraction() >= 0.9,
+            "phase deltas must explain >= 90% of the latency movement"
+        );
+
+        json.push((
+            label.to_owned(),
+            Value::Map(vec![
+                (
+                    "mean_phases_us_per_scheduler".to_owned(),
+                    Value::Map(schedulers),
+                ),
+                (
+                    "vanilla_vs_faasbatch_mean_delta_us".to_owned(),
+                    Value::I64(diff.mean_delta_micros),
+                ),
+                (
+                    "attributed_fraction".to_owned(),
+                    Value::F64(diff.attributed_fraction()),
+                ),
+            ]),
+        ));
+    }
+
+    print!("{text}");
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write("results/headline_attribution.txt", &text);
+        if let Ok(pretty) = serde_json::to_string_pretty(&Value::Map(json)) {
+            let _ = std::fs::write("results/headline_attribution.json", pretty);
+        }
+        println!("wrote results/headline_attribution.txt and results/headline_attribution.json");
+    }
+}

@@ -13,7 +13,7 @@
 
 use faasbatch_core::policy::{run_faasbatch, run_faasbatch_traced, FaasBatchConfig};
 use faasbatch_metrics::autoscaler::{AutoscalerConfig, AutoscalerSink, AutoscalerStats};
-use faasbatch_metrics::events::TraceSink;
+use faasbatch_metrics::events::{TraceSink, VecSink};
 use faasbatch_metrics::report::{text_table, RunReport};
 use faasbatch_metrics::stats::Cdf;
 use faasbatch_schedulers::config::SimConfig;
@@ -86,6 +86,71 @@ pub fn run_four_cfg(
         label,
     );
     [vanilla, sfs, kraken, faasbatch]
+}
+
+/// Recovers a [`VecSink`]'s collected events from a returned boxed sink.
+fn collected_events(sink: Box<dyn TraceSink>) -> Vec<faasbatch_metrics::events::SimEvent> {
+    sink.as_any()
+        .downcast_ref::<VecSink>()
+        .expect("traced run returns its vec sink")
+        .events()
+        .to_vec()
+}
+
+/// Runs all four schedulers with a [`VecSink`] attached and returns each
+/// run's report plus its full event stream, in `[vanilla, sfs, kraken,
+/// faasbatch]` order — the input to the attribution engine.
+pub fn run_four_traced(
+    workload: &Workload,
+    label: &str,
+    window: SimDuration,
+) -> (
+    [RunReport; 4],
+    [Vec<faasbatch_metrics::events::SimEvent>; 4],
+) {
+    let cfg = SimConfig::default();
+    let sink = || -> Box<dyn TraceSink> { Box::new(VecSink::new()) };
+    let (vanilla, s0) = run_simulation_traced(
+        Box::new(Vanilla::new()),
+        workload,
+        cfg.clone(),
+        label,
+        None,
+        sink(),
+    );
+    let (sfs, s1) = run_simulation_traced(
+        Box::new(Sfs::new()),
+        workload,
+        cfg.clone(),
+        label,
+        None,
+        sink(),
+    );
+    let calibration = KrakenCalibration::from_vanilla(&vanilla);
+    let (kraken, s2) = run_simulation_traced(
+        Box::new(Kraken::new(calibration, window)),
+        workload,
+        cfg.clone(),
+        label,
+        Some(window),
+        sink(),
+    );
+    let (faasbatch, s3) = run_faasbatch_traced(
+        workload,
+        cfg,
+        FaasBatchConfig::with_window(window),
+        label,
+        sink(),
+    );
+    (
+        [vanilla, sfs, kraken, faasbatch],
+        [
+            collected_events(s0),
+            collected_events(s1),
+            collected_events(s2),
+            collected_events(s3),
+        ],
+    )
 }
 
 /// Recovers an [`AutoscalerSink`]'s counters from a returned boxed sink.

@@ -380,6 +380,10 @@ fn route_round(
                 function: FunctionId::new(key.0),
                 size: members.len() as u64,
                 worker: w as u64,
+                members: members
+                    .iter()
+                    .map(|m| InvocationId::new(m.fleet_id))
+                    .collect(),
             },
         );
         for m in &members {

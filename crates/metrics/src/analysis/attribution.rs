@@ -1,0 +1,935 @@
+//! Per-invocation latency attribution from the event stream.
+//!
+//! [`AttributionEngine`] folds a [`SimEvent`] stream into one
+//! [`InvocationAttribution`] per completed invocation: a nine-phase
+//! [`PhaseBreakdown`] whose components *sum exactly* to the recorded
+//! end-to-end latency. Exactness is by construction — each phase is the gap
+//! between two consecutive timestamps on the invocation's event chain, so
+//! the sum telescopes to completion − arrival with no residual
+//! (DESIGN.md §13 lists the chain and the phase ↔ event-pair mapping).
+//!
+//! Two stream shapes are understood:
+//!
+//! * **single-worker** streams (from `run_simulation_traced` /
+//!   `run_faasbatch_traced`) carry the full mechanism chain — window wait,
+//!   dispatch work, cold start, in-container queue, multiplexer wait, body
+//!   execution with CPU-contention stretch, and the batch-barrier wait;
+//! * **fleet-level** streams (from `run_fleet_traced`) are coarser — retry
+//!   delay, routing/window wait, and the on-worker remainder — because the
+//!   fleet layer narrates routing, not per-worker mechanism.
+//!
+//! The engine is lenient where the auditor is strict: a truncated log
+//! yields attributions for every invocation whose chain is complete and
+//! counts the rest, so offline analysis of a partial trace still works.
+
+use crate::events::{EventKind, SimEvent, TaskKind, TraceSink};
+use crate::stats::Cdf;
+use faasbatch_container::ids::{ContainerId, FunctionId, InvocationId};
+use faasbatch_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// A named slice of one invocation's end-to-end latency.
+///
+/// Phases are listed in pipeline order; [`PhaseBreakdown`] holds one
+/// duration per phase and [`PhaseBreakdown::total`] is exactly the
+/// invocation's end-to-end latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Fleet re-dispatch delay after worker crashes (arrival → last retry).
+    RetryDelay,
+    /// Arrival → the scheduler bound the invocation to a container
+    /// (batching-window residence; fleet streams: routing-group formation).
+    WindowWait,
+    /// Daemon-side dispatch/launch processing for the batch.
+    Dispatch,
+    /// Container cold start the batch waited on (zero when served warm).
+    ColdStart,
+    /// Container ready → this member's chain started (in-container queue;
+    /// serial batch members accrue it while predecessors run).
+    Queue,
+    /// Chain start → body start: multiplexer wait (client creation or
+    /// single-flight wait on another member's creation).
+    MuxWait,
+    /// The body's intrinsic work plus any post-body I/O operation latency.
+    Execution,
+    /// Body-span stretch beyond the intrinsic work — processor-sharing
+    /// slowdown under CPU contention.
+    CpuContention,
+    /// Own finish → response release (per-batch barrier wait).
+    Barrier,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 9] = [
+        Phase::RetryDelay,
+        Phase::WindowWait,
+        Phase::Dispatch,
+        Phase::ColdStart,
+        Phase::Queue,
+        Phase::MuxWait,
+        Phase::Execution,
+        Phase::CpuContention,
+        Phase::Barrier,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::RetryDelay => "retry-delay",
+            Phase::WindowWait => "window-wait",
+            Phase::Dispatch => "dispatch",
+            Phase::ColdStart => "cold-start",
+            Phase::Queue => "queue",
+            Phase::MuxWait => "mux-wait",
+            Phase::Execution => "execution",
+            Phase::CpuContention => "cpu-contention",
+            Phase::Barrier => "barrier",
+        }
+    }
+
+    /// The resource a critical phase points at — what to scale or fix when
+    /// this phase dominates.
+    pub fn resource(self) -> &'static str {
+        match self {
+            Phase::RetryDelay => "fleet",
+            Phase::WindowWait => "scheduler",
+            Phase::Dispatch => "daemon",
+            Phase::ColdStart => "container",
+            Phase::Queue | Phase::CpuContention => "cpu",
+            Phase::MuxWait => "multiplexer",
+            Phase::Execution => "function",
+            Phase::Barrier => "batch",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One duration per [`Phase`]; sums exactly to end-to-end latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// [`Phase::RetryDelay`].
+    pub retry_delay: SimDuration,
+    /// [`Phase::WindowWait`].
+    pub window_wait: SimDuration,
+    /// [`Phase::Dispatch`].
+    pub dispatch: SimDuration,
+    /// [`Phase::ColdStart`].
+    pub cold_start: SimDuration,
+    /// [`Phase::Queue`].
+    pub queue: SimDuration,
+    /// [`Phase::MuxWait`].
+    pub mux_wait: SimDuration,
+    /// [`Phase::Execution`].
+    pub execution: SimDuration,
+    /// [`Phase::CpuContention`].
+    pub cpu_contention: SimDuration,
+    /// [`Phase::Barrier`].
+    pub barrier: SimDuration,
+}
+
+impl PhaseBreakdown {
+    /// The duration attributed to one phase.
+    pub fn get(&self, phase: Phase) -> SimDuration {
+        match phase {
+            Phase::RetryDelay => self.retry_delay,
+            Phase::WindowWait => self.window_wait,
+            Phase::Dispatch => self.dispatch,
+            Phase::ColdStart => self.cold_start,
+            Phase::Queue => self.queue,
+            Phase::MuxWait => self.mux_wait,
+            Phase::Execution => self.execution,
+            Phase::CpuContention => self.cpu_contention,
+            Phase::Barrier => self.barrier,
+        }
+    }
+
+    /// Mutable access by phase.
+    pub fn get_mut(&mut self, phase: Phase) -> &mut SimDuration {
+        match phase {
+            Phase::RetryDelay => &mut self.retry_delay,
+            Phase::WindowWait => &mut self.window_wait,
+            Phase::Dispatch => &mut self.dispatch,
+            Phase::ColdStart => &mut self.cold_start,
+            Phase::Queue => &mut self.queue,
+            Phase::MuxWait => &mut self.mux_wait,
+            Phase::Execution => &mut self.execution,
+            Phase::CpuContention => &mut self.cpu_contention,
+            Phase::Barrier => &mut self.barrier,
+        }
+    }
+
+    /// Sum of every phase — the attributed end-to-end latency.
+    pub fn total(&self) -> SimDuration {
+        Phase::ALL.iter().map(|&p| self.get(p)).sum()
+    }
+
+    /// The longest phase (ties break toward the earlier pipeline phase).
+    pub fn critical(&self) -> Phase {
+        let mut best = Phase::ALL[0];
+        for &p in &Phase::ALL[1..] {
+            if self.get(p) > self.get(best) {
+                best = p;
+            }
+        }
+        best
+    }
+}
+
+/// One invocation's attributed latency.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvocationAttribution {
+    /// The invocation.
+    pub id: InvocationId,
+    /// Its function.
+    pub function: FunctionId,
+    /// Container that served it (`None` in fleet-level streams, which do
+    /// not narrate container binding).
+    pub container: Option<ContainerId>,
+    /// Batch it ran in (`None` in fleet-level streams).
+    pub batch: Option<u64>,
+    /// Whether it waited on a cold start (always `false` in fleet streams).
+    pub cold: bool,
+    /// Crash-driven re-dispatches it survived.
+    pub retries: u32,
+    /// Arrival at the platform.
+    pub arrival: SimTime,
+    /// Response release.
+    pub completion: SimTime,
+    /// The phase decomposition.
+    pub phases: PhaseBreakdown,
+}
+
+impl InvocationAttribution {
+    /// End-to-end latency (completion − arrival).
+    pub fn end_to_end(&self) -> SimDuration {
+        self.completion.saturating_duration_since(self.arrival)
+    }
+
+    /// True when the phases sum *exactly* (to the microsecond) to the
+    /// end-to-end latency — the attribution invariant.
+    pub fn is_exact(&self) -> bool {
+        self.phases.total() == self.end_to_end()
+    }
+
+    /// The bottleneck: longest phase and the resource it points at.
+    pub fn critical_path(&self) -> (Phase, &'static str) {
+        let phase = self.phases.critical();
+        (phase, phase.resource())
+    }
+}
+
+/// Per-function aggregate of attributed invocations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FunctionPhaseSummary {
+    /// The function.
+    pub function: FunctionId,
+    /// Invocations attributed.
+    pub count: usize,
+    /// How many waited on a cold start.
+    pub cold: usize,
+    /// Mean end-to-end latency.
+    pub mean_end_to_end: SimDuration,
+    /// Per-phase mean durations.
+    pub mean: PhaseBreakdown,
+    /// The phase that is critical for the most invocations.
+    pub critical: Phase,
+}
+
+/// Everything the engine derives from one stream.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct AttributionReport {
+    /// Attributions in invocation-id order.
+    pub invocations: Vec<InvocationAttribution>,
+    /// Completions whose event chain was incomplete (truncated log).
+    pub skipped: u64,
+    /// Arrivals that never completed (truncated log or lost work).
+    pub unfinished: u64,
+}
+
+impl AttributionReport {
+    /// True when every attribution satisfies the sum-to-total invariant.
+    pub fn all_exact(&self) -> bool {
+        self.invocations.iter().all(InvocationAttribution::is_exact)
+    }
+
+    /// Looks up one invocation's attribution.
+    pub fn get(&self, id: InvocationId) -> Option<&InvocationAttribution> {
+        self.invocations
+            .binary_search_by_key(&id, |a| a.id)
+            .ok()
+            .map(|i| &self.invocations[i])
+    }
+
+    /// Mean duration of each phase across all invocations.
+    pub fn mean_phases(&self) -> PhaseBreakdown {
+        let n = self.invocations.len() as u64;
+        let mut mean = PhaseBreakdown::default();
+        if n == 0 {
+            return mean;
+        }
+        for &phase in &Phase::ALL {
+            let total: SimDuration = self.invocations.iter().map(|a| a.phases.get(phase)).sum();
+            *mean.get_mut(phase) = total / n;
+        }
+        mean
+    }
+
+    /// Distribution of one phase across all invocations (the per-phase
+    /// histogram backing Fig.-11-style plots).
+    pub fn phase_cdf(&self, phase: Phase) -> Cdf {
+        Cdf::from_samples(
+            self.invocations
+                .iter()
+                .map(|a| a.phases.get(phase))
+                .collect(),
+        )
+    }
+
+    /// End-to-end latency distribution.
+    pub fn end_to_end_cdf(&self) -> Cdf {
+        Cdf::from_samples(
+            self.invocations
+                .iter()
+                .map(InvocationAttribution::end_to_end)
+                .collect(),
+        )
+    }
+
+    /// Per-function summaries, ordered by function id.
+    pub fn function_summaries(&self) -> Vec<FunctionPhaseSummary> {
+        let mut by_function: BTreeMap<FunctionId, Vec<&InvocationAttribution>> = BTreeMap::new();
+        for a in &self.invocations {
+            by_function.entry(a.function).or_default().push(a);
+        }
+        by_function
+            .into_iter()
+            .map(|(function, attrs)| {
+                let n = attrs.len() as u64;
+                let mut mean = PhaseBreakdown::default();
+                for &phase in &Phase::ALL {
+                    let total: SimDuration = attrs.iter().map(|a| a.phases.get(phase)).sum();
+                    *mean.get_mut(phase) = total / n;
+                }
+                let e2e: SimDuration = attrs.iter().map(|a| a.end_to_end()).sum();
+                let mut census: BTreeMap<Phase, usize> = BTreeMap::new();
+                for a in &attrs {
+                    *census.entry(a.phases.critical()).or_insert(0) += 1;
+                }
+                let critical = census
+                    .into_iter()
+                    .max_by_key(|&(_, n)| n)
+                    .map(|(p, _)| p)
+                    .unwrap_or(Phase::Execution);
+                FunctionPhaseSummary {
+                    function,
+                    count: attrs.len(),
+                    cold: attrs.iter().filter(|a| a.cold).count(),
+                    mean_end_to_end: e2e / n,
+                    mean,
+                    critical,
+                }
+            })
+            .collect()
+    }
+
+    /// How often each phase is the per-invocation bottleneck, most common
+    /// first.
+    pub fn critical_census(&self) -> Vec<(Phase, usize)> {
+        let mut census: BTreeMap<Phase, usize> = BTreeMap::new();
+        for a in &self.invocations {
+            *census.entry(a.phases.critical()).or_insert(0) += 1;
+        }
+        let mut out: Vec<(Phase, usize)> = census.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Human-readable attribution summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let n = self.invocations.len();
+        let _ = writeln!(
+            out,
+            "attributed {n} invocation(s) ({} skipped, {} unfinished)",
+            self.skipped, self.unfinished
+        );
+        if n == 0 {
+            return out;
+        }
+        let e2e = self.end_to_end_cdf();
+        let _ = writeln!(
+            out,
+            "end-to-end: mean {} | p50 {} | p99 {}",
+            e2e.mean(),
+            e2e.quantile(0.5),
+            e2e.quantile(0.99)
+        );
+        let mean = self.mean_phases();
+        let total = mean.total().as_micros().max(1);
+        let _ = writeln!(out, "mean phase breakdown:");
+        for &phase in &Phase::ALL {
+            let d = mean.get(phase);
+            if d.is_zero() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<15} {:>12} ({:>5.1}%)",
+                phase.name(),
+                d.to_string(),
+                100.0 * d.as_micros() as f64 / total as f64
+            );
+        }
+        let _ = writeln!(out, "critical-path census (bottleneck → resource):");
+        for (phase, count) in self.critical_census() {
+            let _ = writeln!(
+                out,
+                "  {:<15} {:>6} invocation(s) → {}",
+                phase.name(),
+                count,
+                phase.resource()
+            );
+        }
+        out
+    }
+}
+
+/// Per-batch chain state between dispatch and completion.
+#[derive(Debug)]
+struct BatchChain {
+    container: ContainerId,
+    cold: bool,
+    members: Vec<InvocationId>,
+    dispatched_at: SimTime,
+    decision_done: Option<SimTime>,
+    ready: Option<SimTime>,
+    exec_start: Vec<Option<SimTime>>,
+    body_start: Vec<Option<SimTime>>,
+    body_finish: Vec<Option<SimTime>>,
+    own_finish: Vec<Option<SimTime>>,
+    work: Vec<Option<SimDuration>>,
+    completed: usize,
+}
+
+/// Streaming fold from events to [`AttributionReport`].
+///
+/// Implements [`TraceSink`], so it can ride a live run, or be fed an
+/// offline stream with [`AttributionEngine::consume`].
+#[derive(Debug, Default)]
+pub struct AttributionEngine {
+    arrivals: HashMap<InvocationId, (SimTime, FunctionId)>,
+    batches: HashMap<u64, BatchChain>,
+    /// Fleet layer: latest group-formation instant per member.
+    group_at: HashMap<InvocationId, SimTime>,
+    /// Fleet layer: latest re-dispatch instant and retry count per member.
+    redispatch: HashMap<InvocationId, (SimTime, u32)>,
+    attributions: Vec<InvocationAttribution>,
+    skipped: u64,
+}
+
+impl AttributionEngine {
+    /// A fresh engine.
+    pub fn new() -> Self {
+        AttributionEngine::default()
+    }
+
+    /// Folds a whole pre-collected stream.
+    pub fn consume(&mut self, events: &[SimEvent]) {
+        for event in events {
+            self.record(event);
+        }
+    }
+
+    /// Finishes the fold: sorts attributions by invocation id and counts
+    /// arrivals that never completed.
+    pub fn finish(mut self) -> AttributionReport {
+        let completed: std::collections::HashSet<InvocationId> =
+            self.attributions.iter().map(|a| a.id).collect();
+        let unfinished = self
+            .arrivals
+            .keys()
+            .filter(|id| !completed.contains(id))
+            .count() as u64;
+        self.attributions.sort_by_key(|a| a.id);
+        AttributionReport {
+            invocations: self.attributions,
+            skipped: self.skipped,
+            unfinished,
+        }
+    }
+
+    /// Builds the attribution for a detailed (single-worker) completion.
+    /// `None` when the chain is incomplete (truncated log).
+    fn complete_member(
+        &mut self,
+        completion: SimTime,
+        invocation: InvocationId,
+        batch: u64,
+        member: u32,
+    ) -> Option<InvocationAttribution> {
+        let idx = member as usize;
+        let (arrival, function) = *self.arrivals.get(&invocation)?;
+        let b = self.batches.get_mut(&batch)?;
+        if idx >= b.members.len() {
+            return None;
+        }
+        let dispatched = b.dispatched_at;
+        let decided = b.decision_done?;
+        let ready = b.ready?;
+        let exec = b.exec_start[idx]?;
+        let body = b.body_start[idx].unwrap_or(exec);
+        let body_fin = b.body_finish[idx].unwrap_or(body);
+        let own_finish = b.own_finish[idx]?;
+        let work = b.work[idx].unwrap_or(SimDuration::ZERO);
+
+        // Consecutive timestamps on the chain: arrival ≤ dispatched ≤
+        // decided ≤ ready ≤ exec ≤ body ≤ own_finish ≤ completion. Each
+        // phase is one gap, so the sum telescopes exactly.
+        let window_wait = dispatched.saturating_duration_since(arrival);
+        let dispatch = decided.saturating_duration_since(dispatched);
+        let cold_start = ready.saturating_duration_since(decided);
+        let queue = exec.saturating_duration_since(ready);
+        let mux_wait = body.saturating_duration_since(exec);
+        // The body span stretches beyond the intrinsic work under
+        // processor sharing; the stretch is CPU contention, the rest
+        // (work + any post-body op latency) is execution.
+        let stretch = body_fin
+            .saturating_duration_since(body)
+            .saturating_sub(work);
+        let execution = own_finish
+            .saturating_duration_since(body)
+            .saturating_sub(stretch);
+        let barrier = completion.saturating_duration_since(own_finish);
+
+        let attribution = InvocationAttribution {
+            id: invocation,
+            function,
+            container: Some(b.container),
+            batch: Some(batch),
+            cold: b.cold,
+            retries: 0,
+            arrival,
+            completion,
+            phases: PhaseBreakdown {
+                retry_delay: SimDuration::ZERO,
+                window_wait,
+                dispatch,
+                cold_start,
+                queue,
+                mux_wait,
+                execution,
+                cpu_contention: stretch,
+                barrier,
+            },
+        };
+        b.completed += 1;
+        if b.completed == b.members.len() {
+            self.batches.remove(&batch);
+        }
+        Some(attribution)
+    }
+
+    /// Builds the coarse attribution for a fleet-level completion.
+    fn complete_fleet(
+        &mut self,
+        completion: SimTime,
+        invocation: InvocationId,
+    ) -> Option<InvocationAttribution> {
+        let (arrival, function) = *self.arrivals.get(&invocation)?;
+        let (redispatched, retries) = self
+            .redispatch
+            .get(&invocation)
+            .copied()
+            .unwrap_or((arrival, 0));
+        // Chain: arrival ≤ last re-dispatch ≤ routed (last group formed,
+        // clamped — a retried member can join a group whose first member
+        // arrived earlier) ≤ completion.
+        let redispatched = redispatched.max(arrival).min(completion);
+        let routed = self
+            .group_at
+            .get(&invocation)
+            .copied()
+            .unwrap_or(redispatched)
+            .max(redispatched)
+            .min(completion);
+        Some(InvocationAttribution {
+            id: invocation,
+            function,
+            container: None,
+            batch: None,
+            cold: false,
+            retries,
+            arrival,
+            completion,
+            phases: PhaseBreakdown {
+                retry_delay: redispatched.saturating_duration_since(arrival),
+                window_wait: routed.saturating_duration_since(redispatched),
+                execution: completion.saturating_duration_since(routed),
+                ..PhaseBreakdown::default()
+            },
+        })
+    }
+}
+
+impl TraceSink for AttributionEngine {
+    fn record(&mut self, event: &SimEvent) {
+        let at = event.at;
+        match &event.kind {
+            EventKind::Arrival {
+                invocation,
+                function,
+            } => {
+                self.arrivals.insert(*invocation, (at, *function));
+            }
+            EventKind::GroupFormed { members, .. } => {
+                for m in members {
+                    let slot = self.group_at.entry(*m).or_insert(at);
+                    *slot = (*slot).max(at);
+                }
+            }
+            EventKind::Redispatch {
+                invocation,
+                retries,
+                ..
+            } => {
+                let slot = self.redispatch.entry(*invocation).or_insert((at, 0));
+                slot.0 = slot.0.max(at);
+                slot.1 = slot.1.max(*retries);
+            }
+            EventKind::DispatchDecision {
+                batch,
+                container,
+                cold,
+                members,
+                ..
+            } => {
+                let n = members.len();
+                self.batches.insert(
+                    *batch,
+                    BatchChain {
+                        container: *container,
+                        cold: *cold,
+                        members: members.clone(),
+                        dispatched_at: at,
+                        decision_done: None,
+                        ready: None,
+                        exec_start: vec![None; n],
+                        body_start: vec![None; n],
+                        body_finish: vec![None; n],
+                        own_finish: vec![None; n],
+                        work: vec![None; n],
+                        completed: 0,
+                    },
+                );
+            }
+            EventKind::TaskFinish {
+                task: TaskKind::Decision { batch },
+            } => {
+                if let Some(b) = self.batches.get_mut(batch) {
+                    b.decision_done = Some(at);
+                    if !b.cold {
+                        b.ready = Some(at);
+                    }
+                }
+            }
+            EventKind::ColdStartEnd {
+                batch: Some(batch), ..
+            } => {
+                if let Some(b) = self.batches.get_mut(batch) {
+                    b.ready = Some(at);
+                }
+            }
+            EventKind::ExecBegin {
+                batch,
+                member,
+                work,
+            } => {
+                if let Some(b) = self.batches.get_mut(batch) {
+                    if let Some(slot) = b.exec_start.get_mut(*member as usize) {
+                        *slot = Some(at);
+                        b.work[*member as usize] = Some(*work);
+                    }
+                }
+            }
+            EventKind::TaskStart {
+                task: TaskKind::Body { batch, member },
+            } => {
+                if let Some(b) = self.batches.get_mut(batch) {
+                    if let Some(slot) = b.body_start.get_mut(*member as usize) {
+                        *slot = Some(at);
+                    }
+                }
+            }
+            EventKind::TaskFinish {
+                task: TaskKind::Body { batch, member },
+            } => {
+                if let Some(b) = self.batches.get_mut(batch) {
+                    if let Some(slot) = b.body_finish.get_mut(*member as usize) {
+                        *slot = Some(at);
+                    }
+                }
+            }
+            EventKind::ExecEnd { batch, member } => {
+                if let Some(b) = self.batches.get_mut(batch) {
+                    if let Some(slot) = b.own_finish.get_mut(*member as usize) {
+                        *slot = Some(at);
+                    }
+                }
+            }
+            EventKind::InvocationComplete {
+                invocation,
+                batch: Some(batch),
+                member: Some(member),
+            } => match self.complete_member(at, *invocation, *batch, *member) {
+                Some(a) => self.attributions.push(a),
+                None => self.skipped += 1,
+            },
+            EventKind::InvocationComplete {
+                invocation,
+                batch: None,
+                member: None,
+            } => match self.complete_fleet(at, *invocation) {
+                Some(a) => self.attributions.push(a),
+                None => self.skipped += 1,
+            },
+            _ => {}
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(us: u64, kind: EventKind) -> SimEvent {
+        SimEvent::new(SimTime::from_micros(us), kind)
+    }
+
+    /// Warm single-member batch with a 100 µs decision, 50 µs queue, body
+    /// stretched 250 µs past its 500 µs work, and a 100 µs barrier.
+    fn detailed_stream() -> Vec<SimEvent> {
+        vec![
+            ev(
+                0,
+                EventKind::Arrival {
+                    invocation: InvocationId::new(7),
+                    function: FunctionId::new(2),
+                },
+            ),
+            ev(
+                40,
+                EventKind::DispatchDecision {
+                    batch: 0,
+                    function: FunctionId::new(2),
+                    container: ContainerId::new(1),
+                    cold: false,
+                    barrier: true,
+                    members: vec![InvocationId::new(7)],
+                },
+            ),
+            ev(
+                40,
+                EventKind::TaskStart {
+                    task: TaskKind::Decision { batch: 0 },
+                },
+            ),
+            ev(
+                140,
+                EventKind::TaskFinish {
+                    task: TaskKind::Decision { batch: 0 },
+                },
+            ),
+            ev(
+                190,
+                EventKind::ExecBegin {
+                    batch: 0,
+                    member: 0,
+                    work: SimDuration::from_micros(500),
+                },
+            ),
+            ev(
+                210,
+                EventKind::TaskStart {
+                    task: TaskKind::Body {
+                        batch: 0,
+                        member: 0,
+                    },
+                },
+            ),
+            ev(
+                960,
+                EventKind::TaskFinish {
+                    task: TaskKind::Body {
+                        batch: 0,
+                        member: 0,
+                    },
+                },
+            ),
+            ev(
+                960,
+                EventKind::ExecEnd {
+                    batch: 0,
+                    member: 0,
+                },
+            ),
+            ev(
+                1060,
+                EventKind::InvocationComplete {
+                    invocation: InvocationId::new(7),
+                    batch: Some(0),
+                    member: Some(0),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn detailed_phases_sum_exactly_and_split_contention() {
+        let mut engine = AttributionEngine::new();
+        engine.consume(&detailed_stream());
+        let report = engine.finish();
+        assert_eq!(report.invocations.len(), 1);
+        assert_eq!(report.skipped, 0);
+        let a = &report.invocations[0];
+        assert!(a.is_exact());
+        assert_eq!(a.phases.window_wait, SimDuration::from_micros(40));
+        assert_eq!(a.phases.dispatch, SimDuration::from_micros(100));
+        assert_eq!(a.phases.cold_start, SimDuration::ZERO);
+        assert_eq!(a.phases.queue, SimDuration::from_micros(50));
+        assert_eq!(a.phases.mux_wait, SimDuration::from_micros(20));
+        // Body span 750 µs over 500 µs of work: 250 µs of contention.
+        assert_eq!(a.phases.execution, SimDuration::from_micros(500));
+        assert_eq!(a.phases.cpu_contention, SimDuration::from_micros(250));
+        assert_eq!(a.phases.barrier, SimDuration::from_micros(100));
+        assert_eq!(a.end_to_end(), SimDuration::from_micros(1060));
+    }
+
+    #[test]
+    fn critical_path_names_the_bottleneck() {
+        let mut engine = AttributionEngine::new();
+        engine.consume(&detailed_stream());
+        let report = engine.finish();
+        let (phase, resource) = report.invocations[0].critical_path();
+        assert_eq!(phase, Phase::Execution);
+        assert_eq!(resource, "function");
+        assert_eq!(report.critical_census()[0].0, Phase::Execution);
+    }
+
+    #[test]
+    fn fleet_stream_attributes_retry_delay() {
+        let inv = InvocationId::new(3);
+        let stream = vec![
+            ev(
+                0,
+                EventKind::Arrival {
+                    invocation: inv,
+                    function: FunctionId::new(0),
+                },
+            ),
+            ev(
+                100,
+                EventKind::GroupFormed {
+                    function: FunctionId::new(0),
+                    size: 1,
+                    worker: 0,
+                    members: vec![inv],
+                },
+            ),
+            ev(500, EventKind::WorkerCrash { worker: 0 }),
+            ev(
+                550,
+                EventKind::Redispatch {
+                    invocation: inv,
+                    from_worker: 0,
+                    retries: 1,
+                },
+            ),
+            ev(
+                550,
+                EventKind::GroupFormed {
+                    function: FunctionId::new(0),
+                    size: 1,
+                    worker: 1,
+                    members: vec![inv],
+                },
+            ),
+            ev(
+                900,
+                EventKind::InvocationComplete {
+                    invocation: inv,
+                    batch: None,
+                    member: None,
+                },
+            ),
+        ];
+        let mut engine = AttributionEngine::new();
+        engine.consume(&stream);
+        let report = engine.finish();
+        let a = &report.invocations[0];
+        assert!(a.is_exact());
+        assert_eq!(a.retries, 1);
+        assert_eq!(a.phases.retry_delay, SimDuration::from_micros(550));
+        assert_eq!(a.phases.window_wait, SimDuration::ZERO);
+        assert_eq!(a.phases.execution, SimDuration::from_micros(350));
+    }
+
+    #[test]
+    fn truncated_chain_is_skipped_not_fatal() {
+        // Completion without a dispatch decision: count, don't panic.
+        let stream = vec![
+            ev(
+                0,
+                EventKind::Arrival {
+                    invocation: InvocationId::new(1),
+                    function: FunctionId::new(0),
+                },
+            ),
+            ev(
+                10,
+                EventKind::InvocationComplete {
+                    invocation: InvocationId::new(1),
+                    batch: Some(0),
+                    member: Some(0),
+                },
+            ),
+            ev(
+                20,
+                EventKind::Arrival {
+                    invocation: InvocationId::new(2),
+                    function: FunctionId::new(0),
+                },
+            ),
+        ];
+        let mut engine = AttributionEngine::new();
+        engine.consume(&stream);
+        let report = engine.finish();
+        assert!(report.invocations.is_empty());
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.unfinished, 2);
+    }
+
+    #[test]
+    fn render_mentions_phases_and_census() {
+        let mut engine = AttributionEngine::new();
+        engine.consume(&detailed_stream());
+        let text = engine.finish().render();
+        assert!(text.contains("attributed 1 invocation(s)"));
+        assert!(text.contains("execution"));
+        assert!(text.contains("critical-path census"));
+    }
+}

@@ -1,5 +1,5 @@
-//! Cross-run analysis: the paper-style "X reduces Y by Z %" comparisons,
-//! computed programmatically from [`RunReport`]s.
+//! The paper-style "X reduces Y by Z %" comparisons, computed
+//! programmatically from [`RunReport`]s.
 
 use crate::report::{percent_reduction, RunReport};
 use serde::{Deserialize, Serialize};

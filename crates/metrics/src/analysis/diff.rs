@@ -1,0 +1,498 @@
+//! Trace diffing: explain *why* run B is faster or slower than run A.
+//!
+//! [`diff_reports`] aligns two [`AttributionReport`]s by invocation id and
+//! attributes every matched invocation's latency delta to the nine phases.
+//! Because each side's phases sum exactly to its end-to-end latency, the
+//! phase deltas sum exactly to the latency delta — the diff attributes
+//! 100 % of the movement to named mechanisms, never to an unexplained
+//! residual. [`TraceDiff::render`] prints the ranked report behind
+//! `faasbatch trace-diff`; the struct serializes for the `--json` output.
+
+use super::attribution::{AttributionReport, InvocationAttribution, Phase, PhaseBreakdown};
+use faasbatch_container::ids::{FunctionId, InvocationId};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Signed per-phase latency movement in microseconds (B − A; negative =
+/// B improved).
+///
+/// Mirrors [`PhaseBreakdown`] field-for-field so deltas can be summed and
+/// rendered with the same phase vocabulary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PhaseDelta {
+    /// [`Phase::RetryDelay`] movement.
+    pub retry_delay: i64,
+    /// [`Phase::WindowWait`] movement.
+    pub window_wait: i64,
+    /// [`Phase::Dispatch`] movement.
+    pub dispatch: i64,
+    /// [`Phase::ColdStart`] movement.
+    pub cold_start: i64,
+    /// [`Phase::Queue`] movement.
+    pub queue: i64,
+    /// [`Phase::MuxWait`] movement.
+    pub mux_wait: i64,
+    /// [`Phase::Execution`] movement.
+    pub execution: i64,
+    /// [`Phase::CpuContention`] movement.
+    pub cpu_contention: i64,
+    /// [`Phase::Barrier`] movement.
+    pub barrier: i64,
+}
+
+impl PhaseDelta {
+    /// B − A, phase by phase.
+    pub fn between(a: &PhaseBreakdown, b: &PhaseBreakdown) -> PhaseDelta {
+        let mut delta = PhaseDelta::default();
+        for &phase in &Phase::ALL {
+            *delta.get_mut(phase) =
+                b.get(phase).as_micros() as i64 - a.get(phase).as_micros() as i64;
+        }
+        delta
+    }
+
+    /// Movement of one phase (µs, signed).
+    pub fn get(&self, phase: Phase) -> i64 {
+        match phase {
+            Phase::RetryDelay => self.retry_delay,
+            Phase::WindowWait => self.window_wait,
+            Phase::Dispatch => self.dispatch,
+            Phase::ColdStart => self.cold_start,
+            Phase::Queue => self.queue,
+            Phase::MuxWait => self.mux_wait,
+            Phase::Execution => self.execution,
+            Phase::CpuContention => self.cpu_contention,
+            Phase::Barrier => self.barrier,
+        }
+    }
+
+    /// Mutable access by phase.
+    pub fn get_mut(&mut self, phase: Phase) -> &mut i64 {
+        match phase {
+            Phase::RetryDelay => &mut self.retry_delay,
+            Phase::WindowWait => &mut self.window_wait,
+            Phase::Dispatch => &mut self.dispatch,
+            Phase::ColdStart => &mut self.cold_start,
+            Phase::Queue => &mut self.queue,
+            Phase::MuxWait => &mut self.mux_wait,
+            Phase::Execution => &mut self.execution,
+            Phase::CpuContention => &mut self.cpu_contention,
+            Phase::Barrier => &mut self.barrier,
+        }
+    }
+
+    /// Sum of all phase movements — exactly the end-to-end delta.
+    pub fn total(&self) -> i64 {
+        Phase::ALL.iter().map(|&p| self.get(p)).sum()
+    }
+
+    /// Accumulates another delta (for per-function / overall totals).
+    pub fn accumulate(&mut self, other: &PhaseDelta) {
+        for &phase in &Phase::ALL {
+            *self.get_mut(phase) += other.get(phase);
+        }
+    }
+
+    /// The phase with the largest absolute movement.
+    pub fn dominant(&self) -> Phase {
+        let mut best = Phase::ALL[0];
+        for &p in &Phase::ALL[1..] {
+            if self.get(p).abs() > self.get(best).abs() {
+                best = p;
+            }
+        }
+        best
+    }
+
+    /// True when no phase moved.
+    pub fn is_zero(&self) -> bool {
+        Phase::ALL.iter().all(|&p| self.get(p) == 0)
+    }
+}
+
+/// One matched invocation's latency movement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct InvocationDelta {
+    /// The invocation (same id on both sides).
+    pub id: InvocationId,
+    /// Its function.
+    pub function: FunctionId,
+    /// End-to-end movement in µs (B − A; negative = improved).
+    pub delta_micros: i64,
+    /// Where the movement came from.
+    pub phases: PhaseDelta,
+}
+
+impl InvocationDelta {
+    fn between(a: &InvocationAttribution, b: &InvocationAttribution) -> InvocationDelta {
+        InvocationDelta {
+            id: a.id,
+            function: a.function,
+            delta_micros: b.end_to_end().as_micros() as i64 - a.end_to_end().as_micros() as i64,
+            phases: PhaseDelta::between(&a.phases, &b.phases),
+        }
+    }
+}
+
+/// Per-function aggregate movement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FunctionDelta {
+    /// The function.
+    pub function: FunctionId,
+    /// Matched invocations.
+    pub count: usize,
+    /// Mean end-to-end movement (µs, signed).
+    pub mean_delta_micros: i64,
+    /// Mean per-phase movement (µs, signed).
+    pub mean_phases: PhaseDelta,
+}
+
+/// Shift of one latency quantile between the runs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QuantileShift {
+    /// Label ("p50", "p99", "mean", …).
+    pub label: String,
+    /// Run A's value in µs.
+    pub a_micros: u64,
+    /// Run B's value in µs.
+    pub b_micros: u64,
+}
+
+impl QuantileShift {
+    /// Signed movement (µs).
+    pub fn delta(&self) -> i64 {
+        self.b_micros as i64 - self.a_micros as i64
+    }
+}
+
+/// The full A-vs-B explanation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceDiff {
+    /// Invocations present in both runs, in id order.
+    pub matched: Vec<InvocationDelta>,
+    /// Ids only run A completed.
+    pub only_a: Vec<InvocationId>,
+    /// Ids only run B completed.
+    pub only_b: Vec<InvocationId>,
+    /// Mean end-to-end movement across matched invocations (µs, signed).
+    pub mean_delta_micros: i64,
+    /// Mean per-phase movement (µs, signed); sums to `mean_delta_micros`
+    /// up to integer-division rounding.
+    pub mean_phases: PhaseDelta,
+    /// Per-function movement, ordered by function id.
+    pub per_function: Vec<FunctionDelta>,
+    /// Latency quantile shifts (mean, p50, p90, p99).
+    pub quantiles: Vec<QuantileShift>,
+}
+
+impl TraceDiff {
+    /// True when nothing moved and no invocation is unmatched — a log
+    /// diffed against itself reports this.
+    pub fn is_zero(&self) -> bool {
+        self.only_a.is_empty()
+            && self.only_b.is_empty()
+            && self
+                .matched
+                .iter()
+                .all(|m| m.delta_micros == 0 && m.phases.is_zero())
+    }
+
+    /// The matched invocations with the largest absolute movement,
+    /// biggest first.
+    pub fn top_movers(&self, k: usize) -> Vec<&InvocationDelta> {
+        let mut movers: Vec<&InvocationDelta> = self.matched.iter().collect();
+        movers.sort_by_key(|m| std::cmp::Reverse(m.delta_micros.abs()));
+        movers.truncate(k);
+        movers
+    }
+
+    /// Fraction of the total absolute movement explained by the named
+    /// phases (always 1.0 when every attribution is exact — kept as an
+    /// explicit check because ISSUE acceptance demands ≥ 0.9).
+    pub fn attributed_fraction(&self) -> f64 {
+        let total: i64 = self.matched.iter().map(|m| m.delta_micros.abs()).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let explained: i64 = self
+            .matched
+            .iter()
+            .map(|m| m.delta_micros.abs() - (m.delta_micros - m.phases.total()).abs())
+            .sum();
+        explained as f64 / total as f64
+    }
+
+    /// The ranked human-readable report behind `faasbatch trace-diff`.
+    pub fn render(&self, a_name: &str, b_name: &str, top_k: usize) -> String {
+        let ms = |us: i64| us as f64 / 1_000.0;
+        let mut out = String::new();
+        let _ = writeln!(out, "trace-diff: {a_name} (A) vs {b_name} (B)");
+        let _ = writeln!(
+            out,
+            "matched {} invocation(s); only-A {}, only-B {}",
+            self.matched.len(),
+            self.only_a.len(),
+            self.only_b.len()
+        );
+        if self.matched.is_empty() {
+            let _ = writeln!(out, "no overlapping invocations — nothing to attribute");
+            return out;
+        }
+        let verdict = match self.mean_delta_micros {
+            d if d < 0 => "B is faster",
+            0 => "no mean movement",
+            _ => "B is slower",
+        };
+        let _ = writeln!(
+            out,
+            "mean end-to-end delta: {:+.3} ms ({verdict}); {:.1}% attributed to phases",
+            ms(self.mean_delta_micros),
+            100.0 * self.attributed_fraction()
+        );
+
+        let _ = writeln!(out, "\nquantile shifts (A → B):");
+        for q in &self.quantiles {
+            let _ = writeln!(
+                out,
+                "  {:<5} {:>10.3} ms → {:>10.3} ms  ({:+.3} ms)",
+                q.label,
+                q.a_micros as f64 / 1_000.0,
+                q.b_micros as f64 / 1_000.0,
+                ms(q.delta())
+            );
+        }
+
+        let _ = writeln!(out, "\nmean phase deltas (negative = B improved):");
+        let mut ranked: Vec<Phase> = Phase::ALL.to_vec();
+        ranked.sort_by_key(|&p| std::cmp::Reverse(self.mean_phases.get(p).abs()));
+        for phase in ranked {
+            let d = self.mean_phases.get(phase);
+            if d == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<15} {:+12.3} ms  → {}",
+                phase.name(),
+                ms(d),
+                phase.resource()
+            );
+        }
+
+        let _ = writeln!(out, "\nper-function mean deltas:");
+        for f in &self.per_function {
+            let _ = writeln!(
+                out,
+                "  {}  n={:<5} {:+10.3} ms  dominant: {}",
+                f.function,
+                f.count,
+                ms(f.mean_delta_micros),
+                f.mean_phases.dominant().name()
+            );
+        }
+
+        let _ = writeln!(out, "\ntop {} mover(s):", top_k.min(self.matched.len()));
+        for m in self.top_movers(top_k) {
+            let dom = m.phases.dominant();
+            let _ = writeln!(
+                out,
+                "  {}  {}  {:+10.3} ms  mostly {} ({:+.3} ms)",
+                m.id,
+                m.function,
+                ms(m.delta_micros),
+                dom.name(),
+                ms(m.phases.get(dom))
+            );
+        }
+        out
+    }
+}
+
+/// Aligns two attributed runs by invocation id and attributes every
+/// latency delta to phases. A is the baseline; deltas are B − A.
+pub fn diff_reports(a: &AttributionReport, b: &AttributionReport) -> TraceDiff {
+    let index_b: BTreeMap<InvocationId, &InvocationAttribution> =
+        b.invocations.iter().map(|x| (x.id, x)).collect();
+    let ids_a: std::collections::HashSet<InvocationId> =
+        a.invocations.iter().map(|x| x.id).collect();
+
+    let mut matched = Vec::new();
+    let mut only_a = Vec::new();
+    for x in &a.invocations {
+        match index_b.get(&x.id) {
+            Some(y) => matched.push(InvocationDelta::between(x, y)),
+            None => only_a.push(x.id),
+        }
+    }
+    let only_b: Vec<InvocationId> = b
+        .invocations
+        .iter()
+        .map(|x| x.id)
+        .filter(|id| !ids_a.contains(id))
+        .collect();
+
+    let n = matched.len() as i64;
+    let mut mean_phases = PhaseDelta::default();
+    let mut mean_delta_micros = 0;
+    if n > 0 {
+        let mut total = PhaseDelta::default();
+        for m in &matched {
+            total.accumulate(&m.phases);
+        }
+        for &phase in &Phase::ALL {
+            *mean_phases.get_mut(phase) = total.get(phase) / n;
+        }
+        mean_delta_micros = matched.iter().map(|m| m.delta_micros).sum::<i64>() / n;
+    }
+
+    let mut by_function: BTreeMap<FunctionId, Vec<&InvocationDelta>> = BTreeMap::new();
+    for m in &matched {
+        by_function.entry(m.function).or_default().push(m);
+    }
+    let per_function = by_function
+        .into_iter()
+        .map(|(function, ms)| {
+            let n = ms.len() as i64;
+            let mut total = PhaseDelta::default();
+            for m in &ms {
+                total.accumulate(&m.phases);
+            }
+            let mut mean = PhaseDelta::default();
+            for &phase in &Phase::ALL {
+                *mean.get_mut(phase) = total.get(phase) / n;
+            }
+            FunctionDelta {
+                function,
+                count: ms.len(),
+                mean_delta_micros: ms.iter().map(|m| m.delta_micros).sum::<i64>() / n,
+                mean_phases: mean,
+            }
+        })
+        .collect();
+
+    let quantiles = if matched.is_empty() {
+        Vec::new()
+    } else {
+        let cdf_a = a.end_to_end_cdf();
+        let cdf_b = b.end_to_end_cdf();
+        let mut qs = vec![QuantileShift {
+            label: "mean".into(),
+            a_micros: cdf_a.mean().as_micros(),
+            b_micros: cdf_b.mean().as_micros(),
+        }];
+        for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+            qs.push(QuantileShift {
+                label: label.into(),
+                a_micros: cdf_a.quantile(q).as_micros(),
+                b_micros: cdf_b.quantile(q).as_micros(),
+            });
+        }
+        qs
+    };
+
+    TraceDiff {
+        matched,
+        only_a,
+        only_b,
+        mean_delta_micros,
+        mean_phases,
+        per_function,
+        quantiles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasbatch_simcore::time::{SimDuration, SimTime};
+
+    fn attribution(id: u64, function: u32, cold_us: u64, exec_us: u64) -> InvocationAttribution {
+        InvocationAttribution {
+            id: InvocationId::new(id),
+            function: FunctionId::new(function),
+            container: None,
+            batch: None,
+            cold: cold_us > 0,
+            retries: 0,
+            arrival: SimTime::ZERO,
+            completion: SimTime::ZERO + SimDuration::from_micros(cold_us + exec_us),
+            phases: PhaseBreakdown {
+                cold_start: SimDuration::from_micros(cold_us),
+                execution: SimDuration::from_micros(exec_us),
+                ..PhaseBreakdown::default()
+            },
+        }
+    }
+
+    fn report(attrs: Vec<InvocationAttribution>) -> AttributionReport {
+        AttributionReport {
+            invocations: attrs,
+            skipped: 0,
+            unfinished: 0,
+        }
+    }
+
+    #[test]
+    fn self_diff_is_zero() {
+        let a = report(vec![
+            attribution(1, 0, 5_000, 1_000),
+            attribution(2, 1, 0, 900),
+        ]);
+        let d = diff_reports(&a, &a);
+        assert!(d.is_zero());
+        assert_eq!(d.mean_delta_micros, 0);
+        assert!((d.attributed_fraction() - 1.0).abs() < 1e-12);
+        let text = d.render("a", "a", 5);
+        assert!(text.contains("matched 2 invocation(s)"));
+    }
+
+    #[test]
+    fn cold_start_removal_is_attributed_to_cold_start() {
+        // A pays a 5 ms cold start run B avoids.
+        let a = report(vec![attribution(1, 0, 5_000, 1_000)]);
+        let b = report(vec![attribution(1, 0, 0, 1_000)]);
+        let d = diff_reports(&a, &b);
+        assert_eq!(d.mean_delta_micros, -5_000);
+        assert_eq!(d.mean_phases.cold_start, -5_000);
+        assert_eq!(d.mean_phases.execution, 0);
+        assert_eq!(d.matched[0].phases.dominant(), Phase::ColdStart);
+        assert_eq!(d.matched[0].phases.total(), d.matched[0].delta_micros);
+        assert!((d.attributed_fraction() - 1.0).abs() < 1e-12);
+        assert!(d.render("vanilla", "faasbatch", 3).contains("B is faster"));
+    }
+
+    #[test]
+    fn unmatched_invocations_are_listed_not_attributed() {
+        let a = report(vec![
+            attribution(1, 0, 0, 1_000),
+            attribution(2, 0, 0, 1_000),
+        ]);
+        let b = report(vec![attribution(2, 0, 0, 1_500), attribution(3, 0, 0, 700)]);
+        let d = diff_reports(&a, &b);
+        assert_eq!(d.matched.len(), 1);
+        assert_eq!(d.only_a, vec![InvocationId::new(1)]);
+        assert_eq!(d.only_b, vec![InvocationId::new(3)]);
+        assert_eq!(d.matched[0].delta_micros, 500);
+        assert!(!d.is_zero());
+    }
+
+    #[test]
+    fn top_movers_rank_by_absolute_delta() {
+        let a = report(vec![
+            attribution(1, 0, 0, 1_000),
+            attribution(2, 0, 0, 1_000),
+            attribution(3, 1, 0, 1_000),
+        ]);
+        let b = report(vec![
+            attribution(1, 0, 0, 1_100),
+            attribution(2, 0, 0, 4_000),
+            attribution(3, 1, 0, 400),
+        ]);
+        let d = diff_reports(&a, &b);
+        let movers = d.top_movers(2);
+        assert_eq!(movers[0].id, InvocationId::new(2));
+        assert_eq!(movers[1].id, InvocationId::new(3));
+        assert_eq!(d.per_function.len(), 2);
+    }
+}

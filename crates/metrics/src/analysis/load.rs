@@ -1,0 +1,149 @@
+//! Typed-error loading of JSONL trace files for offline analysis.
+//!
+//! `faasbatch trace` writes one [`SimEvent`] per line; [`load_events`]
+//! reads such a file back, turning I/O failures, malformed lines (with the
+//! 1-based line number), and empty files into a [`TraceLoadError`] instead
+//! of a panic — a truncated or corrupted log is an expected input for an
+//! offline tool, not a programming error.
+
+use crate::events::SimEvent;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why a trace file could not be loaded.
+#[derive(Debug)]
+pub enum TraceLoadError {
+    /// The file could not be read at all.
+    Io {
+        /// The path we tried.
+        path: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// One line was not a valid [`SimEvent`].
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What the parser rejected.
+        message: String,
+    },
+    /// The file held no events at all (truncated at birth, or not a
+    /// trace log).
+    Empty,
+}
+
+impl fmt::Display for TraceLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceLoadError::Io { path, error } => {
+                write!(f, "cannot read trace {}: {error}", path.display())
+            }
+            TraceLoadError::Malformed { line, message } => {
+                write!(f, "malformed trace event at line {line}: {message}")
+            }
+            TraceLoadError::Empty => write!(f, "trace holds no events"),
+        }
+    }
+}
+
+impl std::error::Error for TraceLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceLoadError::Io { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Parses JSONL text into events. Blank lines are skipped; the first
+/// malformed line aborts with its line number; zero events is an error.
+pub fn parse_events(text: &str) -> Result<Vec<SimEvent>, TraceLoadError> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let event: SimEvent =
+            serde_json::from_str(line).map_err(|e| TraceLoadError::Malformed {
+                line: idx + 1,
+                message: e.to_string(),
+            })?;
+        events.push(event);
+    }
+    if events.is_empty() {
+        return Err(TraceLoadError::Empty);
+    }
+    Ok(events)
+}
+
+/// Reads a JSONL trace file written by `faasbatch trace`.
+pub fn load_events(path: &Path) -> Result<Vec<SimEvent>, TraceLoadError> {
+    let text = std::fs::read_to_string(path).map_err(|error| TraceLoadError::Io {
+        path: path.to_path_buf(),
+        error,
+    })?;
+    parse_events(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+    use faasbatch_container::ids::{FunctionId, InvocationId};
+    use faasbatch_simcore::time::SimTime;
+
+    fn line(us: u64, inv: u64) -> String {
+        serde_json::to_string(&SimEvent::new(
+            SimTime::from_micros(us),
+            EventKind::Arrival {
+                invocation: InvocationId::new(inv),
+                function: FunctionId::new(0),
+            },
+        ))
+        .expect("serialize")
+    }
+
+    #[test]
+    fn round_trips_jsonl_with_blank_lines() {
+        let text = format!("{}\n\n{}\n", line(10, 1), line(20, 2));
+        let events = parse_events(&text).expect("parse");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].at, SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn malformed_line_is_a_typed_error_with_line_number() {
+        let text = format!("{}\n{{\"at\":garbage\n", line(10, 1));
+        match parse_events(&text) {
+            Err(TraceLoadError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_json_line_is_rejected() {
+        let full = line(10, 1);
+        let truncated = &full[..full.len() / 2];
+        match parse_events(truncated) {
+            Err(TraceLoadError::Malformed { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_a_typed_error() {
+        assert!(matches!(parse_events(""), Err(TraceLoadError::Empty)));
+        assert!(matches!(parse_events("\n  \n"), Err(TraceLoadError::Empty)));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        match load_events(Path::new("/nonexistent/trace.jsonl")) {
+            Err(TraceLoadError::Io { path, .. }) => {
+                assert!(path.ends_with("trace.jsonl"));
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+}

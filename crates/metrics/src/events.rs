@@ -18,7 +18,7 @@ use crate::sampler::{ResourceSample, ResourceSampler};
 use faasbatch_container::container::ContainerState;
 use faasbatch_container::ids::{ContainerId, FunctionId, InvocationId};
 use faasbatch_simcore::time::{SimDuration, SimTime};
-use serde::Serialize;
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
@@ -29,7 +29,7 @@ use std::io::Write;
 /// This is the serializable mirror of the scheduler harness's internal work
 /// kinds; fleet- and platform-level emitters use the same vocabulary so one
 /// exporter serves every layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TaskKind {
     /// Daemon-side dispatch/launch processing for a batch.
     Decision {
@@ -90,6 +90,8 @@ pub enum EventKind {
         size: u64,
         /// Worker the group was routed to.
         worker: u64,
+        /// Fleet-level ids of the grouped invocations (`size` entries).
+        members: Vec<InvocationId>,
     },
     /// A scheduler bound a batch of invocations to a container.
     DispatchDecision {
@@ -154,6 +156,10 @@ pub enum EventKind {
         batch: u64,
         /// Member index within the batch.
         member: u32,
+        /// The member's intrinsic work (uncontended body duration) — lets
+        /// trace analysis split the observed body span into execution vs
+        /// CPU-contention stretch.
+        work: SimDuration,
     },
     /// One batch member finished its own work (before any barrier wait).
     ExecEnd {
@@ -297,8 +303,163 @@ impl EventKind {
     }
 }
 
+/// Memory-ledger categories a trace may legally name. Deserialization
+/// interns onto these so `MemAlloc`/`MemFree` can keep their zero-cost
+/// `&'static str` category on the emission hot path.
+const KNOWN_CATEGORIES: [&str; 3] = ["container", "client", "platform"];
+
+/// Maps a serialized category string back onto its static name.
+fn intern_category(value: &Value) -> Result<&'static str, DeError> {
+    let Value::Str(s) = value else {
+        return Err(DeError::new(format!(
+            "expected memory-category string, got {}",
+            value.kind()
+        )));
+    };
+    KNOWN_CATEGORIES
+        .into_iter()
+        .find(|known| known == s)
+        .ok_or_else(|| DeError::new(format!("unknown memory category `{s}`")))
+}
+
+/// Hand-written because the `category: &'static str` fields fall outside the
+/// derive shim (there is no `Deserialize` for `&'static str`); every other
+/// field defers to the same per-type impls the derive would call, and the
+/// encoding mirrors the derived `Serialize` exactly (externally tagged,
+/// named fields as an object). Guarded by a full-variant round-trip test.
+impl Deserialize for EventKind {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        fn field<T: Deserialize>(inner: &Value, name: &str) -> Result<T, DeError> {
+            T::from_value(inner.get_field(name)?)
+        }
+        let Value::Map(entries) = value else {
+            return Err(DeError::new(format!(
+                "expected externally tagged `EventKind` object, got {}",
+                value.kind()
+            )));
+        };
+        let [(tag, inner)] = entries.as_slice() else {
+            let n = entries.len();
+            return Err(DeError::new(format!(
+                "expected single-variant `EventKind` object, got {n} entries"
+            )));
+        };
+        Ok(match tag.as_str() {
+            "Arrival" => EventKind::Arrival {
+                invocation: field(inner, "invocation")?,
+                function: field(inner, "function")?,
+            },
+            "GroupFormed" => EventKind::GroupFormed {
+                function: field(inner, "function")?,
+                size: field(inner, "size")?,
+                worker: field(inner, "worker")?,
+                members: field(inner, "members")?,
+            },
+            "DispatchDecision" => EventKind::DispatchDecision {
+                batch: field(inner, "batch")?,
+                function: field(inner, "function")?,
+                container: field(inner, "container")?,
+                cold: field(inner, "cold")?,
+                barrier: field(inner, "barrier")?,
+                members: field(inner, "members")?,
+            },
+            "ColdStartBegin" => EventKind::ColdStartBegin {
+                container: field(inner, "container")?,
+                batch: field(inner, "batch")?,
+            },
+            "ColdStartEnd" => EventKind::ColdStartEnd {
+                container: field(inner, "container")?,
+                batch: field(inner, "batch")?,
+            },
+            "ContainerStateChange" => EventKind::ContainerStateChange {
+                container: field(inner, "container")?,
+                from: field(inner, "from")?,
+                to: field(inner, "to")?,
+            },
+            "TaskStart" => EventKind::TaskStart {
+                task: field(inner, "task")?,
+            },
+            "TaskPreempt" => EventKind::TaskPreempt {
+                task: field(inner, "task")?,
+            },
+            "TaskFinish" => EventKind::TaskFinish {
+                task: field(inner, "task")?,
+            },
+            "ExecBegin" => EventKind::ExecBegin {
+                batch: field(inner, "batch")?,
+                member: field(inner, "member")?,
+                work: field(inner, "work")?,
+            },
+            "ExecEnd" => EventKind::ExecEnd {
+                batch: field(inner, "batch")?,
+                member: field(inner, "member")?,
+            },
+            "ClientCacheHit" => EventKind::ClientCacheHit {
+                container: field(inner, "container")?,
+                key: field(inner, "key")?,
+            },
+            "ClientCacheMiss" => EventKind::ClientCacheMiss {
+                container: field(inner, "container")?,
+                key: field(inner, "key")?,
+            },
+            "ClientCreateBegin" => EventKind::ClientCreateBegin {
+                container: field(inner, "container")?,
+                batch: field(inner, "batch")?,
+                member: field(inner, "member")?,
+            },
+            "ClientCreateEnd" => EventKind::ClientCreateEnd {
+                container: field(inner, "container")?,
+                batch: field(inner, "batch")?,
+                member: field(inner, "member")?,
+                bytes: field(inner, "bytes")?,
+            },
+            "MemAlloc" => EventKind::MemAlloc {
+                category: intern_category(inner.get_field("category")?)?,
+                bytes: field(inner, "bytes")?,
+                total: field(inner, "total")?,
+            },
+            "MemFree" => EventKind::MemFree {
+                category: intern_category(inner.get_field("category")?)?,
+                bytes: field(inner, "bytes")?,
+                total: field(inner, "total")?,
+            },
+            "WorkerCrash" => EventKind::WorkerCrash {
+                worker: field(inner, "worker")?,
+            },
+            "Redispatch" => EventKind::Redispatch {
+                invocation: field(inner, "invocation")?,
+                from_worker: field(inner, "from_worker")?,
+                retries: field(inner, "retries")?,
+            },
+            "HostSample" => EventKind::HostSample {
+                memory_bytes: field(inner, "memory_bytes")?,
+                busy_cores: field(inner, "busy_cores")?,
+                live_containers: field(inner, "live_containers")?,
+            },
+            "InvocationComplete" => EventKind::InvocationComplete {
+                invocation: field(inner, "invocation")?,
+                batch: field(inner, "batch")?,
+                member: field(inner, "member")?,
+            },
+            "ScalePrewarm" => EventKind::ScalePrewarm {
+                function: field(inner, "function")?,
+                count: field(inner, "count")?,
+            },
+            "ScaleKeepAlive" => EventKind::ScaleKeepAlive {
+                function: field(inner, "function")?,
+                keep_alive: field(inner, "keep_alive")?,
+            },
+            other => {
+                return Err(DeError::new(format!(
+                    "unknown variant `{other}` of `EventKind`"
+                )))
+            }
+        })
+    }
+}
+
 /// One typed, timestamped trace event.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimEvent {
     /// Simulated time the event occurred.
     pub at: SimTime,
@@ -718,7 +879,7 @@ impl RecordReducer {
                     b.ready = Some(at);
                 }
             }
-            EventKind::ExecBegin { batch, member } => {
+            EventKind::ExecBegin { batch, member, .. } => {
                 if let Some(b) = self.batches.get_mut(batch) {
                     b.exec_start[*member as usize] = Some(at);
                 }
@@ -1120,11 +1281,21 @@ impl TraceSink for AuditorSink {
 /// pairing their begin/end events; everything else becomes an instant
 /// (`"i"`) event. Timestamps are microseconds, which is exactly
 /// [`SimTime::as_micros`], so the trace plays back at simulated time.
+///
+/// Two higher-level overlays live on pid 1: every invocation gets an
+/// arrival→completion slice (its own lane), and each fleet `GroupFormed`
+/// becomes a marker slice on the router lane with flow arrows (`ph` `s`/`f`)
+/// to every member's invocation slice, so group expansion renders as arrows
+/// in `about:tracing`.
 pub fn chrome_trace(events: &[SimEvent]) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     let mut first = true;
     let mut open_tasks: HashMap<TaskKind, SimTime> = HashMap::new();
     let mut open_cold: HashMap<ContainerId, SimTime> = HashMap::new();
+    let mut arrivals: HashMap<InvocationId, SimTime> = HashMap::new();
+    // member → every (flow id, formation time) of a group it was routed in.
+    let mut member_groups: HashMap<InvocationId, Vec<(u64, SimTime)>> = HashMap::new();
+    let mut group_seq = 0u64;
     let mut push = |line: String, first: &mut bool| {
         if !*first {
             out.push_str(",\n");
@@ -1135,6 +1306,80 @@ pub fn chrome_trace(events: &[SimEvent]) -> String {
     for event in events {
         let ts = event.at.as_micros();
         match &event.kind {
+            EventKind::Arrival { invocation, .. } => {
+                arrivals.insert(*invocation, event.at);
+                let mut args = String::new();
+                instant_args(&event.kind, &mut args);
+                push(
+                    format!(
+                        "{{\"name\":\"Arrival\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{ts},\"pid\":0,\"tid\":0,\"args\":{{{args}}}}}"
+                    ),
+                    &mut first,
+                );
+            }
+            EventKind::GroupFormed {
+                function,
+                size,
+                worker,
+                members,
+            } => {
+                let id = group_seq;
+                group_seq += 1;
+                for m in members {
+                    member_groups.entry(*m).or_default().push((id, event.at));
+                }
+                // Marker slice on the router lane (pid 1, tid 0) anchoring
+                // the outgoing flow arrow.
+                push(
+                    format!(
+                        "{{\"name\":\"GroupFormed\",\"cat\":\"fleet\",\"ph\":\"X\",\"ts\":{ts},\"dur\":1,\"pid\":1,\"tid\":0,\"args\":{{\"function\":{},\"size\":{size},\"worker\":{worker}}}}}",
+                        function.index()
+                    ),
+                    &mut first,
+                );
+                push(
+                    format!(
+                        "{{\"name\":\"group\",\"cat\":\"fleet\",\"ph\":\"s\",\"id\":{id},\"ts\":{ts},\"pid\":1,\"tid\":0}}"
+                    ),
+                    &mut first,
+                );
+            }
+            EventKind::InvocationComplete { invocation, .. } => {
+                if let Some(arrival) = arrivals.get(invocation) {
+                    // Invocation lane on pid 1; tid 0 is the router lane,
+                    // so invocation lanes start at 1.
+                    let tid = invocation.value() + 1;
+                    let begin = arrival.as_micros();
+                    push(
+                        format!(
+                            "{{\"name\":\"Invocation\",\"cat\":\"invocation\",\"ph\":\"X\",\"ts\":{begin},\"dur\":{},\"pid\":1,\"tid\":{tid},\"args\":{{\"invocation\":{}}}}}",
+                            ts - begin,
+                            invocation.value(),
+                        ),
+                        &mut first,
+                    );
+                    for (id, formed) in member_groups.remove(invocation).unwrap_or_default() {
+                        // Bind the arrow inside the invocation slice: the
+                        // group formed at or before this completion, so the
+                        // clamp keeps the flow terminus enclosed.
+                        let bind = formed.max(*arrival).as_micros().min(ts);
+                        push(
+                            format!(
+                                "{{\"name\":\"group\",\"cat\":\"fleet\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"ts\":{bind},\"pid\":1,\"tid\":{tid}}}"
+                            ),
+                            &mut first,
+                        );
+                    }
+                }
+                let mut args = String::new();
+                instant_args(&event.kind, &mut args);
+                push(
+                    format!(
+                        "{{\"name\":\"InvocationComplete\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{ts},\"pid\":0,\"tid\":0,\"args\":{{{args}}}}}"
+                    ),
+                    &mut first,
+                );
+            }
             EventKind::TaskStart { task } => {
                 open_tasks.insert(*task, event.at);
             }
@@ -1283,6 +1528,7 @@ fn instant_args(kind: &EventKind, out: &mut String) {
             function,
             size,
             worker,
+            ..
         } => {
             let _ = write!(
                 out,
@@ -1362,6 +1608,7 @@ mod tests {
                 EventKind::ExecBegin {
                     batch: 0,
                     member: 0,
+                    work: SimDuration::from_micros(750),
                 },
             ),
             ev(
@@ -1438,6 +1685,7 @@ mod tests {
                 EventKind::ExecBegin {
                     batch: 0,
                     member: 0,
+                    work: SimDuration::from_micros(200),
                 },
             ),
             ev(
@@ -1697,5 +1945,186 @@ mod tests {
         let b = serde_json::to_string(&tiny_run()).unwrap();
         assert_eq!(a, b);
         assert!(a.contains("\"Arrival\""));
+    }
+
+    /// One event per `EventKind` variant, every field non-default.
+    fn every_variant() -> Vec<SimEvent> {
+        let f = FunctionId::new(3);
+        let c = ContainerId::new(9);
+        let i = InvocationId::new(41);
+        let kinds = vec![
+            EventKind::Arrival {
+                invocation: i,
+                function: f,
+            },
+            EventKind::GroupFormed {
+                function: f,
+                size: 2,
+                worker: 1,
+                members: vec![i, InvocationId::new(42)],
+            },
+            EventKind::DispatchDecision {
+                batch: 5,
+                function: f,
+                container: c,
+                cold: true,
+                barrier: true,
+                members: vec![i],
+            },
+            EventKind::ColdStartBegin {
+                container: c,
+                batch: Some(5),
+            },
+            EventKind::ColdStartEnd {
+                container: c,
+                batch: None,
+            },
+            EventKind::ContainerStateChange {
+                container: c,
+                from: Some(ContainerState::Provisioning),
+                to: ContainerState::Idle,
+            },
+            EventKind::TaskStart {
+                task: TaskKind::Decision { batch: 5 },
+            },
+            EventKind::TaskPreempt {
+                task: TaskKind::ColdBoot { batch: 5 },
+            },
+            EventKind::TaskFinish {
+                task: TaskKind::ClientCreation {
+                    batch: 5,
+                    member: 1,
+                },
+            },
+            EventKind::TaskFinish {
+                task: TaskKind::Body {
+                    batch: 5,
+                    member: 1,
+                },
+            },
+            EventKind::TaskFinish {
+                task: TaskKind::PrewarmLaunch { container: c },
+            },
+            EventKind::TaskFinish {
+                task: TaskKind::PrewarmBoot { container: c },
+            },
+            EventKind::TaskFinish {
+                task: TaskKind::Overhead,
+            },
+            EventKind::ExecBegin {
+                batch: 5,
+                member: 1,
+                work: SimDuration::from_micros(123),
+            },
+            EventKind::ExecEnd {
+                batch: 5,
+                member: 1,
+            },
+            EventKind::ClientCacheHit {
+                container: c,
+                key: 77,
+            },
+            EventKind::ClientCacheMiss {
+                container: c,
+                key: 77,
+            },
+            EventKind::ClientCreateBegin {
+                container: c,
+                batch: 5,
+                member: 1,
+            },
+            EventKind::ClientCreateEnd {
+                container: c,
+                batch: 5,
+                member: 1,
+                bytes: 4096,
+            },
+            EventKind::MemAlloc {
+                category: "client",
+                bytes: 4096,
+                total: 8192,
+            },
+            EventKind::MemFree {
+                category: "container",
+                bytes: 4096,
+                total: 4096,
+            },
+            EventKind::WorkerCrash { worker: 2 },
+            EventKind::Redispatch {
+                invocation: i,
+                from_worker: 2,
+                retries: 1,
+            },
+            EventKind::HostSample {
+                memory_bytes: 1 << 20,
+                busy_cores: 3.5,
+                live_containers: 4,
+            },
+            EventKind::InvocationComplete {
+                invocation: i,
+                batch: Some(5),
+                member: Some(1),
+            },
+            EventKind::ScalePrewarm {
+                function: f,
+                count: 2,
+            },
+            EventKind::ScaleKeepAlive {
+                function: f,
+                keep_alive: SimDuration::from_secs(30),
+            },
+        ];
+        kinds
+            .into_iter()
+            .enumerate()
+            .map(|(n, kind)| ev(n as u64, kind))
+            .collect()
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_json() {
+        for event in every_variant() {
+            let json = serde_json::to_string(&event).unwrap();
+            let back: SimEvent = serde_json::from_str(&json).unwrap_or_else(|e| {
+                panic!("event {json} failed to parse: {e}");
+            });
+            assert_eq!(back, event, "round trip changed {json}");
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_unknown_variant_and_category() {
+        let bad_variant = r#"{"at":0,"kind":{"Nonsense":{"x":1}}}"#;
+        assert!(serde_json::from_str::<SimEvent>(bad_variant).is_err());
+        let bad_category =
+            r#"{"at":0,"kind":{"MemAlloc":{"category":"heap","bytes":1,"total":1}}}"#;
+        assert!(serde_json::from_str::<SimEvent>(bad_category).is_err());
+    }
+
+    #[test]
+    fn chrome_trace_links_groups_to_invocation_slices() {
+        let group = ev(
+            5,
+            EventKind::GroupFormed {
+                function: FunctionId::new(0),
+                size: 1,
+                worker: 0,
+                members: vec![InvocationId::new(7)],
+            },
+        );
+        let complete = ev(
+            900,
+            EventKind::InvocationComplete {
+                invocation: InvocationId::new(7),
+                batch: None,
+                member: None,
+            },
+        );
+        let json = chrome_trace(&[arrival(0, 7), group, complete]);
+        assert!(json.contains("\"ph\":\"s\""), "flow start missing: {json}");
+        assert!(json.contains("\"ph\":\"f\""), "flow finish missing: {json}");
+        assert!(json.contains("\"name\":\"Invocation\""));
+        // The flow terminus binds inside the invocation slice's span.
+        assert!(json.contains("\"bp\":\"e\""));
     }
 }

@@ -23,7 +23,11 @@
 //! * [`autoscaler`] — the trace-driven [`autoscaler::AutoscalerSink`]
 //!   controller that folds the stream into per-function cold-start-rate /
 //!   backlog / occupancy estimates and emits [`autoscaler::ScaleAction`]s
-//!   the harness applies between engine steps (DESIGN.md §12).
+//!   the harness applies between engine steps (DESIGN.md §12);
+//! * [`analysis`] — trace analysis over the event stream: per-invocation
+//!   latency attribution whose phases provably sum to end-to-end latency,
+//!   critical-path extraction, trace diffing (`faasbatch trace-diff`), and
+//!   typed-error JSONL loading (DESIGN.md §13).
 //!
 //! # Examples
 //!
@@ -47,7 +51,11 @@ pub mod sampler;
 pub mod stats;
 pub mod timeline;
 
-pub use analysis::{against_all, Comparison};
+pub use analysis::{
+    against_all, diff_reports, load_events, parse_events, AttributionEngine, AttributionReport,
+    Comparison, FunctionPhaseSummary, InvocationAttribution, InvocationDelta, Phase,
+    PhaseBreakdown, PhaseDelta, QuantileShift, TraceDiff, TraceLoadError,
+};
 pub use autoscaler::{AutoscalerConfig, AutoscalerSink, AutoscalerStats, ScaleAction};
 pub use events::{
     chrome_trace, AuditorSink, CounterSink, EventKind, JsonlSink, MultiSink, NoopSink,

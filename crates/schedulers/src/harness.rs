@@ -612,12 +612,13 @@ enum ClientRoute {
 /// Begins one invocation's execution inside its container: client phase
 /// (I/O functions) then body.
 fn start_invocation_chain(world: &mut SimWorld, now: SimTime, id: BatchId, idx: usize) {
-    let (function, multiplex, cid) = {
+    let (function, multiplex, cid, work) = {
         let batch = &world.batches[&id];
         (
             batch.invocations[idx].function,
             batch.multiplex,
             batch.container.expect("chain without container"),
+            batch.invocations[idx].work,
         )
     };
     emit(
@@ -626,6 +627,7 @@ fn start_invocation_chain(world: &mut SimWorld, now: SimTime, id: BatchId, idx: 
         EventKind::ExecBegin {
             batch: id.0,
             member: idx as u32,
+            work,
         },
     );
     let kind = world.registry.profile(function).kind.clone();

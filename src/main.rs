@@ -7,7 +7,8 @@
 //! faasbatch fleet    [--workers N] [--policy NAME] [--scheduler faasbatch|vanilla]
 //!                    [--crash W@MS,...] [--drain W@MS,...]
 //! faasbatch trace    [--scheduler NAME] [--workload cpu|io] [--seed N]
-//!                    [--out FILE] [--chrome FILE]
+//!                    [--out FILE] [--chrome FILE] [--analyze FILE]
+//! faasbatch trace-diff A.jsonl B.jsonl [--top K] [--json FILE]
 //! faasbatch figures
 //! faasbatch help
 //! ```
@@ -16,6 +17,9 @@ use faasbatch::core::policy::{run_faasbatch, run_faasbatch_traced, FaasBatchConf
 use faasbatch::fleet::config::{FaultKind, FleetConfig, WorkerFault, WorkerScheduler};
 use faasbatch::fleet::routing::RoutingKind;
 use faasbatch::fleet::sim::run_fleet;
+use faasbatch::metrics::analysis::{
+    diff_reports, load_events, AttributionEngine, AttributionReport,
+};
 use faasbatch::metrics::autoscaler::{AutoscalerConfig, AutoscalerSink};
 use faasbatch::metrics::events::{chrome_trace, AuditorSink, MultiSink, TraceSink, VecSink};
 use faasbatch::metrics::report::{text_table, RunReport};
@@ -47,7 +51,8 @@ USAGE:
     faasbatch trace    [--scheduler vanilla|sfs|kraken|faasbatch]
                        [--workload cpu|io] [--seed N] [--total N] [--span-s N]
                        [--window-ms N] [--no-multiplex] [--import FILE]
-                       [--out FILE] [--chrome FILE]
+                       [--out FILE] [--chrome FILE] [--analyze FILE]
+    faasbatch trace-diff A.jsonl B.jsonl [--top K] [--json FILE]
     faasbatch autoscale [--scheduler vanilla|sfs|kraken|faasbatch]
                        [--workload cpu|io] [--seed N] [--total N] [--span-s N]
                        [--window-ms N] [--keepalive-s N] [--prewarm-cap N]
@@ -62,8 +67,13 @@ COMMANDS:
     fleet      replay one workload across a multi-worker fleet with a
                pluggable routing policy and optional worker faults
     trace      replay one workload under one scheduler, audit the event
-               stream, and export it as JSONL (and optionally as a Chrome
-               about:tracing timeline via --chrome)
+               stream, print the latency attribution summary, and export the
+               stream as JSONL (and optionally as a Chrome about:tracing
+               timeline via --chrome); --analyze FILE instead attributes an
+               existing JSONL log offline
+    trace-diff explain why run B is faster or slower than run A: align two
+               JSONL event logs by invocation id and attribute the latency
+               delta to named phases (cold start, queue, contention, …)
     autoscale  replay one workload under one scheduler twice — static config
                vs the trace-driven autoscaling controller — audit the
                controller's actions, and print the comparison
@@ -72,6 +82,35 @@ COMMANDS:
 Workloads exported with `workload --export` replay bit-identically via
 `compare --import`. Defaults: cpu workload, seed 2023, 200 ms window,
 paper-sized totals.";
+
+/// Options that take no value (presence alone means \"true\").
+const BOOLEAN_FLAGS: [&str; 1] = ["--no-multiplex"];
+
+/// Splits an argument list into positional arguments and `--key [value]`
+/// option tokens, preserving order within each group. Subcommands that take
+/// positionals (`trace-diff A B`) run this first and feed the option tokens
+/// to [`Options::parse`].
+fn split_positionals(args: &[String]) -> (Vec<String>, Vec<String>) {
+    let mut positionals = Vec::new();
+    let mut options = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg.starts_with("--") {
+            options.push(arg.clone());
+            if !BOOLEAN_FLAGS.contains(&arg.as_str()) {
+                if let Some(value) = args.get(i + 1) {
+                    options.push(value.clone());
+                    i += 1;
+                }
+            }
+        } else {
+            positionals.push(arg.clone());
+        }
+        i += 1;
+    }
+    (positionals, options)
+}
 
 /// Parsed `--key value` options (flags map to \"true\").
 #[derive(Debug, Default)]
@@ -82,7 +121,7 @@ struct Options {
 impl Options {
     /// Parses options; returns an error message on malformed input.
     fn parse(args: &[String]) -> Result<Options, String> {
-        let flags = ["--no-multiplex"];
+        let flags = BOOLEAN_FLAGS;
         let mut values = HashMap::new();
         let mut i = 0;
         while i < args.len() {
@@ -394,7 +433,31 @@ fn cmd_fleet(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Folds an event stream into its attribution report.
+fn attribute_events(events: &[faasbatch::metrics::events::SimEvent]) -> AttributionReport {
+    let mut engine = AttributionEngine::new();
+    engine.consume(events);
+    engine.finish()
+}
+
+/// `faasbatch trace --analyze FILE`: offline attribution of an existing
+/// JSONL event log. Malformed or truncated input surfaces as a typed
+/// [`faasbatch::metrics::analysis::TraceLoadError`], never a panic.
+fn analyze_trace(path: &str) -> Result<(), String> {
+    let events = load_events(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    println!("analyzing {} events from {path}…", events.len());
+    let report = attribute_events(&events);
+    print!("{}", report.render());
+    if !report.all_exact() {
+        return Err("attribution phases do not sum to end-to-end latency".to_owned());
+    }
+    Ok(())
+}
+
 fn cmd_trace(opts: &Options) -> Result<(), String> {
+    if let Some(path) = opts.values.get("--analyze") {
+        return analyze_trace(path);
+    }
     let (label, w) = load_or_build(opts)?;
     let scheduler = opts.str("--scheduler", "faasbatch");
     let window = SimDuration::from_millis(opts.num("--window-ms", 200)?);
@@ -404,37 +467,10 @@ fn cmd_trace(opts: &Options) -> Result<(), String> {
         "tracing {} invocations ({label}) under {scheduler}…",
         w.len()
     );
-    let (report, sink) = match scheduler.as_str() {
-        "vanilla" => run_simulation_traced(Box::new(Vanilla::new()), &w, cfg, &label, None, sink),
-        "sfs" => run_simulation_traced(Box::new(Sfs::new()), &w, cfg, &label, None, sink),
-        "kraken" => {
-            let vanilla = run_simulation(Box::new(Vanilla::new()), &w, cfg.clone(), &label, None);
-            run_simulation_traced(
-                Box::new(Kraken::new(
-                    KrakenCalibration::from_vanilla(&vanilla),
-                    window,
-                )),
-                &w,
-                cfg,
-                &label,
-                Some(window),
-                sink,
-            )
-        }
-        "faasbatch" => {
-            let fb = FaasBatchConfig {
-                window,
-                multiplex: !opts.flag("--no-multiplex"),
-                ..FaasBatchConfig::default()
-            };
-            run_faasbatch_traced(&w, cfg, fb, &label, sink)
-        }
-        other => {
-            return Err(format!(
-                "unknown scheduler: {other} (use vanilla|sfs|kraken|faasbatch)"
-            ))
-        }
-    };
+    let multiplex = !opts.flag("--no-multiplex");
+    let (report, sink) =
+        run_one_scheduler(&scheduler, &w, cfg, &label, window, multiplex, Some(sink))?;
+    let sink = sink.expect("traced run returns its sink");
     let events = sink
         .as_any()
         .downcast_ref::<VecSink>()
@@ -471,6 +507,13 @@ fn cmd_trace(opts: &Options) -> Result<(), String> {
             .map_err(|e| format!("cannot write {chrome_path}: {e}"))?;
         println!("wrote Chrome about:tracing timeline to {chrome_path}");
     }
+
+    let attribution = attribute_events(events);
+    print!("{}", attribution.render());
+    if !attribution.all_exact() {
+        return Err("attribution phases do not sum to end-to-end latency".to_owned());
+    }
+
     if violations.is_empty() {
         println!("auditor: stream is clean (0 violations)");
         Ok(())
@@ -485,6 +528,41 @@ fn cmd_trace(opts: &Options) -> Result<(), String> {
     }
 }
 
+/// `faasbatch trace-diff A.jsonl B.jsonl`: attribute both logs and explain
+/// the latency delta phase by phase.
+fn cmd_trace_diff(positionals: &[String], opts: &Options) -> Result<(), String> {
+    let [a_path, b_path] = positionals else {
+        return Err(format!(
+            "trace-diff takes exactly two trace files, got {}",
+            positionals.len()
+        ));
+    };
+    let top_k: usize = opts.num("--top", 10)?;
+    let attribute = |path: &String| -> Result<AttributionReport, String> {
+        let events = load_events(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+        let report = attribute_events(&events);
+        if report.invocations.is_empty() {
+            return Err(format!("{path} holds no completed invocations"));
+        }
+        if !report.all_exact() {
+            return Err(format!(
+                "{path}: attribution phases do not sum to end-to-end latency"
+            ));
+        }
+        Ok(report)
+    };
+    let a = attribute(a_path)?;
+    let b = attribute(b_path)?;
+    let diff = diff_reports(&a, &b);
+    print!("{}", diff.render(a_path, b_path, top_k));
+    if let Some(json_path) = opts.values.get("--json") {
+        let json = serde_json::to_string_pretty(&diff).map_err(|e| e.to_string())?;
+        std::fs::write(json_path, json).map_err(|e| format!("cannot write {json_path}: {e}"))?;
+        println!("\nwrote machine-readable diff to {json_path}");
+    }
+    Ok(())
+}
+
 /// Runs `scheduler` over `w`, traced through `sink` when one is given.
 fn run_one_scheduler(
     scheduler: &str,
@@ -492,6 +570,7 @@ fn run_one_scheduler(
     cfg: SimConfig,
     label: &str,
     window: SimDuration,
+    multiplex: bool,
     sink: Option<Box<dyn TraceSink>>,
 ) -> Result<(RunReport, Option<Box<dyn TraceSink>>), String> {
     let kraken = |cfg: SimConfig| {
@@ -527,13 +606,21 @@ fn run_one_scheduler(
             let (r, s) = run_simulation_traced(Box::new(k), w, cfg, label, Some(window), s);
             (r, Some(s))
         }
-        ("faasbatch", None) => (
-            run_faasbatch(w, cfg, FaasBatchConfig::with_window(window), label),
-            None,
-        ),
+        ("faasbatch", None) => {
+            let fb = FaasBatchConfig {
+                window,
+                multiplex,
+                ..FaasBatchConfig::default()
+            };
+            (run_faasbatch(w, cfg, fb, label), None)
+        }
         ("faasbatch", Some(s)) => {
-            let (r, s) =
-                run_faasbatch_traced(w, cfg, FaasBatchConfig::with_window(window), label, s);
+            let fb = FaasBatchConfig {
+                window,
+                multiplex,
+                ..FaasBatchConfig::default()
+            };
+            let (r, s) = run_faasbatch_traced(w, cfg, fb, label, s);
             (r, Some(s))
         }
         (other, _) => {
@@ -568,12 +655,14 @@ fn cmd_autoscale(opts: &Options) -> Result<(), String> {
          keep-alive vs controller…\n",
         w.len()
     );
-    let (static_report, _) = run_one_scheduler(&scheduler, &w, cfg.clone(), &label, window, None)?;
+    let (static_report, _) =
+        run_one_scheduler(&scheduler, &w, cfg.clone(), &label, window, true, None)?;
     let sink: Box<dyn TraceSink> = Box::new(MultiSink::new(vec![
         Box::new(AutoscalerSink::new(ac)),
         Box::new(VecSink::new()),
     ]));
-    let (auto_report, sink) = run_one_scheduler(&scheduler, &w, cfg, &label, window, Some(sink))?;
+    let (auto_report, sink) =
+        run_one_scheduler(&scheduler, &w, cfg, &label, window, true, Some(sink))?;
     let sink = sink.expect("traced run returns its sink");
     let multi = sink
         .as_any()
@@ -705,6 +794,10 @@ fn main() -> ExitCode {
         "workload" => Options::parse(rest).and_then(|o| cmd_workload(&o)),
         "fleet" => Options::parse(rest).and_then(|o| cmd_fleet(&o)),
         "trace" => Options::parse(rest).and_then(|o| cmd_trace(&o)),
+        "trace-diff" => {
+            let (positionals, options) = split_positionals(rest);
+            Options::parse(&options).and_then(|o| cmd_trace_diff(&positionals, &o))
+        }
         "autoscale" => Options::parse(rest).and_then(|o| cmd_autoscale(&o)),
         "figures" => {
             cmd_figures();
@@ -766,5 +859,25 @@ mod tests {
     fn unknown_workload_kind_is_an_error() {
         let o = opts(&["--workload", "gpu"]).unwrap();
         assert!(build_workload(&o).is_err());
+    }
+
+    #[test]
+    fn split_positionals_separates_paths_from_options() {
+        let args: Vec<String> = ["a.jsonl", "--top", "5", "b.jsonl", "--no-multiplex"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (positionals, options) = split_positionals(&args);
+        assert_eq!(positionals, vec!["a.jsonl", "b.jsonl"]);
+        assert_eq!(options, vec!["--top", "5", "--no-multiplex"]);
+        let o = Options::parse(&options).unwrap();
+        assert_eq!(o.num::<usize>("--top", 10).unwrap(), 5);
+    }
+
+    #[test]
+    fn trace_diff_requires_two_paths() {
+        let err = cmd_trace_diff(&["only-one.jsonl".to_owned()], &Options::default())
+            .expect_err("one path must be rejected");
+        assert!(err.contains("exactly two"));
     }
 }
