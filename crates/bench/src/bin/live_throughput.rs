@@ -1,0 +1,186 @@
+//! Live-executor throughput sweep — the scaling story behind the
+//! work-stealing executor: how many *concurrent in-flight* invocations one
+//! process sustains, executor vs thread-per-job.
+//!
+//! Each tier launches N invocations at once; every invocation waits 2 ms
+//! (an async timer-wheel sleep on the executor, a blocking `thread::sleep`
+//! on its own OS thread for the baseline) and completes. The executor runs
+//! every tier on a fixed 8-worker pool — 10,000 in-flight invocations never
+//! mean more than 8 + timer threads — while the baseline pays one OS thread
+//! per invocation, which is exactly the cost the live platform used to pay
+//! per batch member.
+//!
+//! Writes the sweep to `results/live_throughput.json`. `--quick` runs the
+//! two small tiers only (CI smoke).
+
+use faasbatch_bench::SEED;
+use faasbatch_exec::{Executor, ExecutorConfig, GroupJob};
+use faasbatch_metrics::report::text_table;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TIERS: [usize; 4] = [100, 1_000, 5_000, 10_000];
+const QUICK_TIERS: [usize; 2] = [100, 1_000];
+const WORKERS: usize = 8;
+const JOB_DELAY: Duration = Duration::from_millis(2);
+
+/// One sweep point, as exported to JSON.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Row {
+    backend: String,
+    in_flight: usize,
+    /// Highest number of simultaneously in-flight invocations observed
+    /// (executor metric; for the baseline every job is its own live
+    /// thread, so it equals the tier by construction).
+    peak_in_flight: u64,
+    /// OS threads carrying the tier (pool + timer vs one per job).
+    threads: usize,
+    wall_ms: f64,
+    throughput_per_s: f64,
+}
+
+/// All N invocations as one executor task group of async sleeps: the pool
+/// multiplexes them, the timer wheel parks them, no job owns a thread.
+fn run_executor_tier(n: usize) -> Row {
+    let executor = Executor::new(ExecutorConfig {
+        workers: WORKERS,
+        seed: SEED,
+        ..ExecutorConfig::default()
+    });
+    let jobs: Vec<GroupJob> = (0..n)
+        .map(|_| {
+            let exec = Arc::clone(&executor);
+            GroupJob::future(async move {
+                exec.sleep(JOB_DELAY).await;
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    let handle = executor.submit_group(jobs, None);
+    let report = handle.wait();
+    let wall = started.elapsed();
+    assert_eq!(report.jobs.len(), n);
+    assert!(report.failed() == 0, "sleep jobs cannot fail");
+    let metrics = executor.metrics();
+    executor.shutdown();
+    Row {
+        backend: "executor".to_owned(),
+        in_flight: n,
+        peak_in_flight: metrics.peak_in_flight as u64,
+        threads: WORKERS + 1, // pool + the timer-driver thread
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput_per_s: n as f64 / wall.as_secs_f64(),
+    }
+}
+
+/// The baseline the live platform used before the executor: one OS thread
+/// per in-flight invocation. Small stacks keep 10k threads honest without
+/// gigabytes of stack reservation.
+fn run_thread_per_job_tier(n: usize) -> Row {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            std::thread::Builder::new()
+                .stack_size(64 * 1024)
+                .spawn(|| std::thread::sleep(JOB_DELAY))
+                .expect("spawn job thread")
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("sleep threads do not panic");
+    }
+    let wall = started.elapsed();
+    Row {
+        backend: "thread-per-job".to_owned(),
+        in_flight: n,
+        peak_in_flight: n as u64,
+        threads: n,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput_per_s: n as f64 / wall.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let tiers: &[usize] = if quick { &QUICK_TIERS } else { &TIERS };
+    println!(
+        "live throughput sweep — in-flight tiers {tiers:?}, {WORKERS}-worker executor \
+         vs thread-per-job, {JOB_DELAY:?} per job\n"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in tiers {
+        rows.push(run_executor_tier(n));
+        rows.push(run_thread_per_job_tier(n));
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.backend.clone(),
+                r.in_flight.to_string(),
+                r.peak_in_flight.to_string(),
+                r.threads.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.0}", r.throughput_per_s),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &[
+                "backend",
+                "in-flight",
+                "peak in-flight",
+                "threads",
+                "wall (ms)",
+                "jobs/s",
+            ],
+            &table,
+        )
+    );
+
+    let top = *tiers.last().expect("at least one tier");
+    let at = |backend: &str| {
+        rows.iter()
+            .find(|r| r.backend == backend && r.in_flight == top)
+            .expect("both backends ran the top tier")
+    };
+    let exec_row = at("executor");
+    let base_row = at("thread-per-job");
+    let speedup = exec_row.throughput_per_s / base_row.throughput_per_s;
+    println!(
+        "top tier ({top} in-flight): executor {:.0} jobs/s on {} threads vs \
+         thread-per-job {:.0} jobs/s on {} threads — {speedup:.1}x",
+        exec_row.throughput_per_s, exec_row.threads, base_row.throughput_per_s, base_row.threads,
+    );
+    if !quick {
+        assert!(
+            exec_row.peak_in_flight >= 5_000,
+            "executor must sustain >= 5000 concurrent in-flight invocations, \
+             saw {}",
+            exec_row.peak_in_flight
+        );
+        assert!(
+            speedup >= 2.0,
+            "executor must be >= 2x thread-per-job at the top tier, saw {speedup:.2}x"
+        );
+    }
+
+    // The committed JSON always holds the full sweep; the CI smoke must
+    // not clobber it with two tiers.
+    if quick {
+        return;
+    }
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        if let Ok(json) = serde_json::to_string_pretty(&rows) {
+            let _ = std::fs::write(dir.join("live_throughput.json"), json);
+            println!("\nwrote results/live_throughput.json");
+        }
+    }
+}

@@ -1,18 +1,39 @@
-//! Live (real-thread) execution backend.
+//! Live (real-clock) execution backend.
 //!
 //! The paper's prototype expands a batched function group inside one Docker
 //! container as Python threads. Here a *live container* is a process-local
-//! execution domain that runs a batch of real Rust closures on real OS
-//! threads — used by the motivation experiments (Fig. 1/4/5) and the live
+//! execution domain that runs a batch of real Rust closures — used by the
+//! motivation experiments (Fig. 1/4/5), the live platform, and the live
 //! examples, where wall-clock behaviour matters and simulated time does not.
+//!
+//! Two backends implement the expansion ([`LiveBackend`]):
+//!
+//! - [`LiveBackend::Executor`] (default): the batch becomes a task group on
+//!   the shared work-stealing executor (`faasbatch-exec`, DESIGN.md §14).
+//!   Jobs are tasks, a `max_parallelism` bound becomes a cpuset pin (the
+//!   executor-level `cpu_count`/`cpuset_cpus`), and the group-completion
+//!   barrier replaces the per-batch thread join — one process can keep
+//!   thousands of invocations in flight on a fixed worker pool.
+//! - [`LiveBackend::ThreadPerJob`]: the original backend — one OS thread
+//!   per job per batch, with a ticket semaphore for parallelism bounds.
+//!   Kept as the comparison baseline (`live_throughput` bench) and as a
+//!   reference implementation of the semantics.
+//!
+//! Both backends contain job panics: a panicking job fails only its own
+//! invocation, surfaced as a typed [`JobError`] in
+//! [`LiveContainer::run_batch_reports`], and the batch barrier still
+//! resolves.
 
 use crossbeam::channel;
+use faasbatch_exec::{global_executor, Executor, GroupJob, GroupReport, JobError, JobReport};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-job timing produced by a live batch run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobTiming {
-    /// Delay between batch start and the job starting on a thread.
+    /// Delay between batch start and the job starting.
     pub queued: Duration,
     /// Time the job body took.
     pub execution: Duration,
@@ -42,15 +63,25 @@ impl BatchTiming {
 /// Execution strategies for a batch of jobs, mirroring Fig. 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExpandMode {
-    /// *Sharing*: all jobs expand inside one container as concurrent threads
+    /// *Sharing*: all jobs expand inside one container as concurrent tasks
     /// (FaaSBatch's inline-parallel strategy).
     Sharing,
     /// *Monopoly*: one (warm) container per job — each job is an isolated
-    /// execution domain with its own thread.
+    /// execution domain.
     Monopoly,
 }
 
-/// A live, process-local container that executes batches on OS threads.
+/// Which runtime expands the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LiveBackend {
+    /// Task group on the shared work-stealing executor (the port).
+    #[default]
+    Executor,
+    /// One OS thread per job per batch (the original backend).
+    ThreadPerJob,
+}
+
+/// A live, process-local container that executes batches of closures.
 ///
 /// # Examples
 ///
@@ -66,22 +97,35 @@ pub enum ExpandMode {
 /// ```
 #[derive(Debug, Default)]
 pub struct LiveContainer {
-    /// Maximum jobs running at once (`None` = one thread per job, the
-    /// paper's full inline expansion).
+    /// Maximum jobs running at once (`None` = full inline expansion, the
+    /// paper's unbounded `cpu_count`).
     max_parallelism: Option<usize>,
+    backend: LiveBackend,
+    /// Executor override; `None` means the process-wide [`global_executor`].
+    executor: Option<Arc<Executor>>,
 }
 
 /// A unit of work for the live backend.
 pub type Job = Box<dyn FnOnce() + Send>;
 
 impl LiveContainer {
-    /// Creates a live container with unbounded expansion.
+    /// Creates a live container with unbounded expansion on the default
+    /// (executor) backend.
     pub fn new() -> Self {
         LiveContainer::default()
     }
 
+    /// Creates a live container on the original thread-per-job backend.
+    pub fn thread_per_job() -> Self {
+        LiveContainer {
+            backend: LiveBackend::ThreadPerJob,
+            ..LiveContainer::default()
+        }
+    }
+
     /// Creates a live container that runs at most `max` jobs concurrently —
-    /// the live analogue of a `cpu_count` restriction.
+    /// the live analogue of a `cpu_count` restriction. On the executor
+    /// backend the bound becomes a cpuset pin of `max` workers.
     ///
     /// # Panics
     ///
@@ -90,14 +134,76 @@ impl LiveContainer {
         assert!(max > 0, "parallelism must be positive");
         LiveContainer {
             max_parallelism: Some(max),
+            ..LiveContainer::default()
         }
     }
 
-    /// Expands `jobs` as parallel threads and blocks until all finish —
-    /// the inline-parallel semantics of the paper (the "HTTP request"
-    /// returns only when the whole group is done). With a parallelism bound,
-    /// excess jobs wait their turn (the wait shows up as `queued`).
+    /// Selects the expansion backend.
+    pub fn with_backend(mut self, backend: LiveBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Runs batches on `executor` instead of the process-wide global one
+    /// (tests use this for seeded, isolated instances).
+    pub fn on_executor(mut self, executor: Arc<Executor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// The backend this container expands on.
+    pub fn backend(&self) -> LiveBackend {
+        self.backend
+    }
+
+    /// The executor this container submits to (executor backend only).
+    pub fn executor(&self) -> Arc<Executor> {
+        self.executor.clone().unwrap_or_else(global_executor)
+    }
+
+    /// Expands `jobs` and blocks until all finish — the inline-parallel
+    /// semantics of the paper (the "HTTP request" returns only when the
+    /// whole group is done). With a parallelism bound, excess jobs wait
+    /// their turn (the wait shows up as `queued`).
     pub fn run_batch(&self, jobs: Vec<Job>) -> BatchTiming {
+        let report = self.run_batch_reports(jobs);
+        BatchTiming {
+            makespan: report.makespan,
+            jobs: report
+                .jobs
+                .iter()
+                .map(|j| JobTiming {
+                    queued: j.queued,
+                    execution: j.execution,
+                })
+                .collect(),
+        }
+    }
+
+    /// Like [`LiveContainer::run_batch`] but keeps per-job outcomes: a
+    /// panicking job fails only its own invocation — its slot carries a
+    /// typed [`JobError::Panicked`] while the batch barrier still resolves
+    /// and every other job completes normally.
+    pub fn run_batch_reports(&self, jobs: Vec<Job>) -> GroupReport {
+        match self.backend {
+            LiveBackend::Executor => self.run_on_executor(jobs),
+            LiveBackend::ThreadPerJob => self.run_thread_per_job(jobs),
+        }
+    }
+
+    fn run_on_executor(&self, jobs: Vec<Job>) -> GroupReport {
+        let executor = self.executor();
+        let cpuset = self
+            .max_parallelism
+            .and_then(|max| executor.pick_cpuset(max));
+        let group_jobs: Vec<GroupJob> = jobs.into_iter().map(GroupJob::Blocking).collect();
+        executor.submit_group(group_jobs, cpuset).wait()
+    }
+
+    /// The original backend: one scoped OS thread per job, parallelism
+    /// bounded by a ticket semaphore. Retained as the baseline the
+    /// `live_throughput` bench compares the executor against.
+    fn run_thread_per_job(&self, jobs: Vec<Job>) -> GroupReport {
         let n = jobs.len();
         let batch_start = Instant::now();
         let (tx, rx) = channel::unbounded();
@@ -115,14 +221,16 @@ impl LiveContainer {
                 scope.spawn(move || {
                     ticket_rx.recv().expect("ticket channel open");
                     let started = Instant::now();
-                    job();
+                    let outcome = catch_unwind(AssertUnwindSafe(job))
+                        .map_err(|payload| JobError::Panicked(panic_message(payload.as_ref())));
                     let finished = Instant::now();
                     ticket_tx.send(()).expect("ticket channel open");
                     tx.send((
                         i,
-                        JobTiming {
+                        JobReport {
                             queued: started.duration_since(batch_start),
                             execution: finished.duration_since(started),
+                            result: outcome,
                         },
                     ))
                     .expect("timing channel closed early");
@@ -130,60 +238,61 @@ impl LiveContainer {
             }
         });
         drop(tx);
-        let mut jobs_out = vec![
-            JobTiming {
+        let mut jobs_out: Vec<JobReport> = (0..n)
+            .map(|_| JobReport {
                 queued: Duration::ZERO,
-                execution: Duration::ZERO
-            };
-            n
-        ];
-        for (i, t) in rx.iter() {
-            jobs_out[i] = t;
+                execution: Duration::ZERO,
+                result: Ok(()),
+            })
+            .collect();
+        for (i, report) in rx.iter() {
+            jobs_out[i] = report;
         }
-        BatchTiming {
+        GroupReport {
             makespan: batch_start.elapsed(),
             jobs: jobs_out,
         }
     }
 }
 
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
 /// Runs `jobs` under the chosen [`ExpandMode`] and reports batch timing.
 ///
 /// Under [`ExpandMode::Sharing`] all jobs run in one [`LiveContainer`];
-/// under [`ExpandMode::Monopoly`] each job gets its own container. On a real
-/// host both degenerate to the same set of runnable threads — which is
-/// exactly the paper's Fig. 1 observation that the two perform comparably;
-/// the difference is the provisioned-container count (and hence memory),
-/// which the caller accounts separately.
+/// under [`ExpandMode::Monopoly`] each job gets its own container (its own
+/// task group on the executor). On a real host both degenerate to the same
+/// set of runnable tasks — which is exactly the paper's Fig. 1 observation
+/// that the two perform comparably; the difference is the
+/// provisioned-container count (and hence memory), which the caller
+/// accounts separately.
 pub fn run_expanded(mode: ExpandMode, jobs: Vec<Job>) -> BatchTiming {
     match mode {
         ExpandMode::Sharing => LiveContainer::new().run_batch(jobs),
         ExpandMode::Monopoly => {
             let n = jobs.len();
             let batch_start = Instant::now();
-            let (tx, rx) = channel::unbounded();
-            std::thread::scope(|scope| {
-                for (i, job) in jobs.into_iter().enumerate() {
-                    let tx = tx.clone();
-                    scope.spawn(move || {
-                        // One isolated "container" per job.
-                        let container = LiveContainer::new();
-                        let t = container.run_batch(vec![job]);
-                        tx.send((i, t.jobs[0]))
-                            .expect("timing channel closed early");
-                    });
-                }
-            });
-            drop(tx);
-            let mut jobs_out = vec![
-                JobTiming {
-                    queued: Duration::ZERO,
-                    execution: Duration::ZERO
-                };
-                n
-            ];
-            for (i, t) in rx.iter() {
-                jobs_out[i] = t;
+            let executor = global_executor();
+            // One isolated "container" (task group) per job.
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|job| executor.submit_group(vec![GroupJob::Blocking(job)], None))
+                .collect();
+            let mut jobs_out = Vec::with_capacity(n);
+            for handle in handles {
+                let report = handle.wait();
+                jobs_out.push(JobTiming {
+                    queued: report.jobs[0].queued,
+                    execution: report.jobs[0].execution,
+                });
             }
             BatchTiming {
                 makespan: batch_start.elapsed(),
@@ -279,6 +388,35 @@ mod tests {
     }
 
     #[test]
+    fn bounded_parallelism_holds_on_both_backends() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for backend in [LiveBackend::Executor, LiveBackend::ThreadPerJob] {
+            let in_flight = Arc::new(AtomicUsize::new(0));
+            let peak = Arc::new(AtomicUsize::new(0));
+            let jobs: Vec<Job> = (0..6)
+                .map(|_| {
+                    let in_flight = in_flight.clone();
+                    let peak = peak.clone();
+                    Box::new(move || {
+                        let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(5));
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                    }) as Job
+                })
+                .collect();
+            let container = LiveContainer::with_max_parallelism(2).with_backend(backend);
+            let timing = container.run_batch(jobs);
+            assert_eq!(timing.jobs.len(), 6, "{backend:?}");
+            assert!(
+                peak.load(Ordering::SeqCst) <= 2,
+                "{backend:?} violated the bound: {}",
+                peak.load(Ordering::SeqCst)
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "parallelism must be positive")]
     fn zero_parallelism_panics() {
         let _ = LiveContainer::with_max_parallelism(0);
@@ -299,6 +437,47 @@ mod tests {
             let timing = run_expanded(mode, jobs);
             assert_eq!(counter.load(Ordering::SeqCst), 8, "{mode:?}");
             assert_eq!(timing.jobs.len(), 8, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn thread_per_job_backend_still_works() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let jobs: Vec<Job> = (0..8)
+            .map(|_| {
+                let c = counter.clone();
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        let container = LiveContainer::thread_per_job();
+        assert_eq!(container.backend(), LiveBackend::ThreadPerJob);
+        let timing = container.run_batch(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert_eq!(timing.jobs.len(), 8);
+    }
+
+    #[test]
+    fn panicking_job_fails_only_its_invocation_on_both_backends() {
+        for backend in [LiveBackend::Executor, LiveBackend::ThreadPerJob] {
+            let jobs: Vec<Job> = vec![
+                Box::new(|| {}),
+                Box::new(|| panic!("handler exploded")),
+                Box::new(|| std::thread::sleep(Duration::from_millis(2))),
+            ];
+            let report = LiveContainer::new()
+                .with_backend(backend)
+                .run_batch_reports(jobs);
+            assert_eq!(report.jobs.len(), 3, "{backend:?}");
+            assert_eq!(report.failed(), 1, "{backend:?}");
+            assert_eq!(
+                report.jobs[1].result,
+                Err(JobError::Panicked("handler exploded".to_string())),
+                "{backend:?}"
+            );
+            assert!(report.jobs[0].result.is_ok(), "{backend:?}");
+            assert!(report.jobs[2].result.is_ok(), "{backend:?}");
         }
     }
 

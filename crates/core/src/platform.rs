@@ -1,23 +1,43 @@
-//! A live (real-thread) FaaSBatch platform.
+//! A live (real-clock) FaaSBatch platform.
 //!
 //! This is the runnable counterpart of the simulated policy: a front door
 //! that accepts invocations, a dispatcher that batches them per function
 //! across a wall-clock window (Invoke Mapper), warm container reuse, group
-//! expansion on real OS threads (Inline-Parallel Producer), and a
-//! per-container [`ResourceMultiplexer`] for storage clients. The examples
-//! and the motivation benchmarks (Fig. 1/4/5) run on this.
+//! expansion on the shared work-stealing executor (Inline-Parallel
+//! Producer), and a per-container [`ResourceMultiplexer`] for storage
+//! clients. The examples and the motivation benchmarks (Fig. 1/4/5) run on
+//! this.
+//!
+//! Each dispatched batch becomes one executor **task group**
+//! ([`faasbatch_exec::GroupJob`]s behind a completion barrier), so one
+//! process multiplexes every in-flight batch over a fixed worker pool
+//! instead of spawning a thread per invocation; cold-start delays and
+//! warm-pool keep-alive eviction ride the executor's timer wheel rather
+//! than sleeping threads. The original thread-per-job backend is retained
+//! ([`LiveBackend::ThreadPerJob`]) as a comparison baseline.
+//!
+//! With a [`LiveTraceRecorder`] attached ([`PlatformBuilder::trace`]), every
+//! run emits the same typed [`SimEvent`] stream as the simulator — arrivals,
+//! dispatch decisions, cold-start spans, container state changes, exec
+//! spans, completions — so the auditor and `faasbatch trace --analyze` work
+//! on live runs (DESIGN.md §14).
 
 use crate::multiplexer::{mux_trace_events, MultiplexerStats, ResourceMultiplexer};
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
-use faasbatch_container::ids::ContainerId;
-use faasbatch_metrics::events::SimEvent;
-use faasbatch_simcore::time::SimTime;
+use faasbatch_container::container::ContainerState;
+use faasbatch_container::ids::{ContainerId, FunctionId, InvocationId};
+use faasbatch_container::live::LiveBackend;
+use faasbatch_exec::{global_executor, Executor, GroupJob, GroupReport};
+use faasbatch_metrics::events::{EventKind, SimEvent, TaskKind};
+use faasbatch_metrics::live::LiveTraceRecorder;
+use faasbatch_simcore::time::{SimDuration, SimTime};
 use faasbatch_storage::client::{ClientConfig, StorageClient, StorageSdk};
 use faasbatch_storage::object_store::ObjectStore;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -184,6 +204,7 @@ pub struct InvocationEnv<'a> {
 pub type Handler = Arc<dyn Fn(&InvocationEnv<'_>) + Send + Sync>;
 
 struct Request {
+    invocation: InvocationId,
     function: usize,
     payload: Bytes,
     enqueued: Instant,
@@ -200,6 +221,8 @@ enum Message {
 pub struct PlatformStats {
     /// Containers created (cold starts).
     pub containers_created: AtomicU64,
+    /// Warm containers evicted by keep-alive expiry.
+    pub containers_evicted: AtomicU64,
     /// Batches dispatched.
     pub batches: AtomicU64,
     /// Invocations completed.
@@ -208,11 +231,64 @@ pub struct PlatformStats {
     pub clients_created: AtomicU64,
 }
 
+/// A warm container parked in the keep-alive pool. The generation stamp
+/// lets the eviction timer recognise whether "its" entry is still the one
+/// sitting in the pool (reuse pops the entry; a later return gets a fresh
+/// generation, so a stale timer never evicts a just-returned container).
+struct WarmEntry {
+    env: Arc<ContainerEnv>,
+    generation: u64,
+}
+
+type WarmPools = Arc<Mutex<HashMap<usize, Vec<WarmEntry>>>>;
+
+/// Counts in-flight batch groups so `drain`/shutdown can wait for work that
+/// no longer lives on joinable threads (executor groups, cold-start timers).
+#[derive(Default)]
+struct PendingGroups {
+    count: std::sync::Mutex<usize>,
+    cvar: std::sync::Condvar,
+}
+
+impl PendingGroups {
+    fn lock(&self) -> std::sync::MutexGuard<'_, usize> {
+        self.count
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn enter(&self) {
+        *self.lock() += 1;
+    }
+
+    fn exit(&self) {
+        let mut count = self.lock();
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            self.cvar.notify_all();
+        }
+    }
+
+    fn wait_idle(&self) {
+        let mut count = self.lock();
+        while *count > 0 {
+            count = self
+                .cvar
+                .wait(count)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
 /// Builder for [`FaasBatchPlatform`].
 pub struct PlatformBuilder {
     window: Duration,
     multiplex: bool,
     cold_start_delay: Duration,
+    backend: LiveBackend,
+    executor: Option<Arc<Executor>>,
+    recorder: Option<LiveTraceRecorder>,
+    keep_alive: Option<Duration>,
     store: ObjectStore,
     functions: Vec<(String, Handler)>,
 }
@@ -222,6 +298,7 @@ impl fmt::Debug for PlatformBuilder {
         f.debug_struct("PlatformBuilder")
             .field("window", &self.window)
             .field("multiplex", &self.multiplex)
+            .field("backend", &self.backend)
             .field("functions", &self.functions.len())
             .finish()
     }
@@ -235,12 +312,16 @@ impl Default for PlatformBuilder {
 
 impl PlatformBuilder {
     /// Starts a builder with the paper's defaults (200 ms window,
-    /// multiplexer on).
+    /// multiplexer on, executor backend).
     pub fn new() -> Self {
         PlatformBuilder {
             window: Duration::from_millis(200),
             multiplex: true,
             cold_start_delay: Duration::from_millis(25),
+            backend: LiveBackend::default(),
+            executor: None,
+            recorder: None,
+            keep_alive: None,
             store: ObjectStore::new(),
             functions: Vec::new(),
         }
@@ -265,6 +346,38 @@ impl PlatformBuilder {
         self
     }
 
+    /// Selects the batch-expansion backend (default: the work-stealing
+    /// executor; [`LiveBackend::ThreadPerJob`] is the original
+    /// thread-per-invocation baseline).
+    pub fn backend(mut self, backend: LiveBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Runs batches on a specific executor instance instead of the
+    /// process-wide [`global_executor`] — lets tests pick a seeded,
+    /// fixed-size pool.
+    pub fn executor(mut self, executor: Arc<Executor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Attaches a wall-clock trace recorder; the platform then emits the
+    /// full typed [`SimEvent`] stream (arrivals, dispatch decisions,
+    /// cold-start spans, container state changes, exec spans, completions).
+    pub fn trace(mut self, recorder: LiveTraceRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Enables warm-pool keep-alive: a container idle for `ttl` after a
+    /// batch is evicted by a timer-wheel callback (off by default, so pools
+    /// grow monotonically as before).
+    pub fn keep_alive(mut self, ttl: Duration) -> Self {
+        self.keep_alive = Some(ttl);
+        self
+    }
+
     /// Supplies the object store backing the containers' storage SDKs.
     pub fn store(mut self, store: ObjectStore) -> Self {
         self.store = store;
@@ -286,17 +399,24 @@ impl PlatformBuilder {
         let (tx, rx) = channel::unbounded();
         let stats = Arc::new(PlatformStats::default());
         let names: Vec<String> = self.functions.iter().map(|(n, _)| n.clone()).collect();
+        let recorder = self.recorder;
         let dispatcher = Dispatcher {
             rx,
             window: self.window,
             multiplex: self.multiplex,
             cold_start_delay: self.cold_start_delay,
+            backend: self.backend,
+            executor: self.executor.unwrap_or_else(global_executor),
+            recorder: recorder.clone(),
+            keep_alive: self.keep_alive,
             store: self.store,
             handlers: self.functions.into_iter().map(|(_, h)| h).collect(),
             warm: Arc::new(Mutex::new(HashMap::new())),
+            warm_gen: Arc::new(AtomicU64::new(0)),
             stats: stats.clone(),
             next_container: 0,
-            group_threads: Vec::new(),
+            next_batch: 0,
+            pending: Arc::new(PendingGroups::default()),
         };
         let handle = std::thread::Builder::new()
             .name("faasbatch-dispatcher".to_owned())
@@ -307,6 +427,8 @@ impl PlatformBuilder {
             dispatcher: Some(handle),
             names,
             stats,
+            recorder,
+            next_invocation: AtomicU64::new(0),
         }
     }
 }
@@ -316,12 +438,18 @@ struct Dispatcher {
     window: Duration,
     multiplex: bool,
     cold_start_delay: Duration,
+    backend: LiveBackend,
+    executor: Arc<Executor>,
+    recorder: Option<LiveTraceRecorder>,
+    keep_alive: Option<Duration>,
     store: ObjectStore,
     handlers: Vec<Handler>,
-    warm: Arc<Mutex<HashMap<usize, Vec<Arc<ContainerEnv>>>>>,
+    warm: WarmPools,
+    warm_gen: Arc<AtomicU64>,
     stats: Arc<PlatformStats>,
     next_container: u64,
-    group_threads: Vec<JoinHandle<()>>,
+    next_batch: u64,
+    pending: Arc<PendingGroups>,
 }
 
 impl Dispatcher {
@@ -347,34 +475,27 @@ impl Dispatcher {
                     }
                 }
             }
-            // Inline-Parallel-Producer phase: one container per group, all
-            // groups in parallel, threads inside each group.
+            // Inline-Parallel-Producer phase: one container per group, every
+            // group expanded concurrently on the backend.
             let mut order: Vec<usize> = groups.keys().copied().collect();
             order.sort_unstable();
             for function in order {
                 let batch = groups.remove(&function).expect("group exists");
                 self.spawn_group(function, batch);
             }
-            self.group_threads.retain(|h| !h.is_finished());
             if !flushes.is_empty() {
-                // A flush acknowledges only after every in-flight group ran.
-                for h in self.group_threads.drain(..) {
-                    let _ = h.join();
-                }
+                // A flush acknowledges only after every in-flight group —
+                // including cold ones parked on the timer wheel — resolved.
+                self.pending.wait_idle();
                 for done in flushes {
                     let _ = done.send(());
                 }
             }
         }
-        for h in self.group_threads.drain(..) {
-            let _ = h.join();
-        }
+        self.pending.wait_idle();
     }
 
     fn spawn_group(&mut self, function: usize, batch: Vec<Request>) {
-        let handler = self.handlers[function].clone();
-        let warm = self.warm.clone();
-        let stats = self.stats.clone();
         let (env, cold) = self.acquire_container(function);
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         if cold {
@@ -382,54 +503,89 @@ impl Dispatcher {
                 .containers_created
                 .fetch_add(1, Ordering::Relaxed);
         }
-        let cold_delay = self.cold_start_delay;
-        let batch_size = batch.len() as u64;
-        let handle = std::thread::Builder::new()
-            .name(format!("faasbatch-ctr-{}", env.id()))
-            .spawn(move || {
-                if cold {
-                    std::thread::sleep(cold_delay);
-                }
-                let sdk_creations_before = env.sdk.total_creations() as u64;
-                std::thread::scope(|scope| {
-                    for req in batch {
-                        let env = &env;
-                        let handler = handler.clone();
-                        scope.spawn(move || {
-                            let started = Instant::now();
-                            let ctx = InvocationEnv {
-                                payload: req.payload.clone(),
-                                container: env,
-                            };
-                            // A user function crashing must not take down the
-                            // container or starve its batch siblings.
-                            let result =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    handler(&ctx)
-                                }));
-                            let outcome = InvokeOutcome {
-                                queued: started.duration_since(req.enqueued),
-                                execution: started.elapsed(),
-                                cold,
-                                panicked: result.is_err(),
-                            };
-                            let _ = req.reply.send(outcome);
-                        });
-                    }
+        let batch_id = self.next_batch;
+        self.next_batch += 1;
+        let container = ContainerId::new(env.id());
+        if let Some(rec) = &self.recorder {
+            rec.record(EventKind::DispatchDecision {
+                batch: batch_id,
+                function: FunctionId::new(function as u32),
+                container,
+                cold,
+                barrier: false,
+                members: batch.iter().map(|r| r.invocation).collect(),
+            });
+            rec.record(EventKind::TaskStart {
+                task: TaskKind::Decision { batch: batch_id },
+            });
+            rec.record(EventKind::TaskFinish {
+                task: TaskKind::Decision { batch: batch_id },
+            });
+            if cold {
+                rec.record(EventKind::ContainerStateChange {
+                    container,
+                    from: None,
+                    to: ContainerState::Provisioning,
                 });
-                let created = env.sdk.total_creations() as u64 - sdk_creations_before;
-                stats.clients_created.fetch_add(created, Ordering::Relaxed);
-                stats.invocations.fetch_add(batch_size, Ordering::Relaxed);
-                // Return the container to the warm pool.
-                warm.lock().entry(function).or_default().push(env);
-            })
-            .expect("spawn group thread");
-        self.group_threads.push(handle);
+                rec.record(EventKind::ColdStartBegin {
+                    container,
+                    batch: Some(batch_id),
+                });
+            }
+        }
+        self.pending.enter();
+        let ctx = GroupCtx {
+            handler: self.handlers[function].clone(),
+            env,
+            requests: batch,
+            function,
+            batch: batch_id,
+            cold,
+            recorder: self.recorder.clone(),
+            warm: Arc::clone(&self.warm),
+            warm_gen: Arc::clone(&self.warm_gen),
+            keep_alive: self.keep_alive,
+            stats: Arc::clone(&self.stats),
+            executor: Arc::clone(&self.executor),
+            pending: Arc::clone(&self.pending),
+        };
+        match self.backend {
+            LiveBackend::Executor => {
+                if cold {
+                    // The cold-start delay rides the timer wheel: the ready
+                    // events are emitted in the callback *before* the group
+                    // is submitted, so `ColdStartEnd` strictly precedes
+                    // every `ExecBegin` of the batch.
+                    self.executor.schedule(self.cold_start_delay, move || {
+                        ctx.mark_ready_after_cold();
+                        ctx.submit();
+                    });
+                } else {
+                    ctx.mark_busy_from_warm();
+                    ctx.submit();
+                }
+            }
+            LiveBackend::ThreadPerJob => {
+                let cold_delay = self.cold_start_delay;
+                std::thread::Builder::new()
+                    .name(format!("faasbatch-ctr-{}", ctx.env.id()))
+                    .spawn(move || {
+                        if cold {
+                            std::thread::sleep(cold_delay);
+                            ctx.mark_ready_after_cold();
+                        } else {
+                            ctx.mark_busy_from_warm();
+                        }
+                        ctx.run_thread_per_job();
+                    })
+                    .expect("spawn group thread");
+            }
+        }
     }
 
     fn acquire_container(&mut self, function: usize) -> (Arc<ContainerEnv>, bool) {
-        if let Some(env) = self.warm.lock().get_mut(&function).and_then(Vec::pop) {
-            return (env, false);
+        if let Some(entry) = self.warm.lock().get_mut(&function).and_then(Vec::pop) {
+            return (entry.env, false);
         }
         let id = self.next_container;
         self.next_container += 1;
@@ -445,6 +601,274 @@ impl Dispatcher {
     }
 }
 
+/// Everything one dispatched batch needs to run to completion on either
+/// backend: the members, the container, and the shared platform state the
+/// finishing side updates.
+struct GroupCtx {
+    handler: Handler,
+    env: Arc<ContainerEnv>,
+    requests: Vec<Request>,
+    function: usize,
+    batch: u64,
+    cold: bool,
+    recorder: Option<LiveTraceRecorder>,
+    warm: WarmPools,
+    warm_gen: Arc<AtomicU64>,
+    keep_alive: Option<Duration>,
+    stats: Arc<PlatformStats>,
+    executor: Arc<Executor>,
+    pending: Arc<PendingGroups>,
+}
+
+impl GroupCtx {
+    fn emit(&self, kind: EventKind) {
+        if let Some(rec) = &self.recorder {
+            rec.record(kind);
+        }
+    }
+
+    fn container(&self) -> ContainerId {
+        ContainerId::new(self.env.id())
+    }
+
+    /// Cold path, after the delay elapsed: the container becomes usable and
+    /// immediately checks out to this batch.
+    fn mark_ready_after_cold(&self) {
+        let container = self.container();
+        self.emit(EventKind::ColdStartEnd {
+            container,
+            batch: Some(self.batch),
+        });
+        self.emit(EventKind::ContainerStateChange {
+            container,
+            from: Some(ContainerState::Provisioning),
+            to: ContainerState::Idle,
+        });
+        self.emit(EventKind::ContainerStateChange {
+            container,
+            from: Some(ContainerState::Idle),
+            to: ContainerState::Busy,
+        });
+    }
+
+    /// Warm path: the pooled container checks out to this batch.
+    fn mark_busy_from_warm(&self) {
+        self.emit(EventKind::ContainerStateChange {
+            container: self.container(),
+            from: Some(ContainerState::Idle),
+            to: ContainerState::Busy,
+        });
+    }
+
+    /// Splits the batch into per-member runs plus the finishing step both
+    /// backends share.
+    fn into_parts(self) -> (Vec<MemberRun>, GroupFinisher) {
+        let GroupCtx {
+            handler,
+            env,
+            requests,
+            function,
+            batch,
+            cold,
+            recorder,
+            warm,
+            warm_gen,
+            keep_alive,
+            stats,
+            executor,
+            pending,
+        } = self;
+        let batch_size = requests.len() as u64;
+        let sdk_creations_before = env.sdk.total_creations() as u64;
+        let members = requests
+            .into_iter()
+            .enumerate()
+            .map(|(index, req)| MemberRun {
+                handler: handler.clone(),
+                env: Arc::clone(&env),
+                req,
+                batch,
+                member: index as u32,
+                cold,
+                recorder: recorder.clone(),
+            })
+            .collect();
+        let finisher = GroupFinisher {
+            env,
+            function,
+            batch_size,
+            sdk_creations_before,
+            recorder,
+            warm,
+            warm_gen,
+            keep_alive,
+            stats,
+            executor,
+            pending,
+        };
+        (members, finisher)
+    }
+
+    /// Executor backend: the batch becomes one task group; the barrier's
+    /// `on_complete` — run by the last finishing member on its worker —
+    /// replaces the per-batch join thread.
+    fn submit(self) {
+        let executor = Arc::clone(&self.executor);
+        let (members, finisher) = self.into_parts();
+        let jobs: Vec<GroupJob> = members
+            .into_iter()
+            .map(|member| GroupJob::blocking(move || member.run()))
+            .collect();
+        executor.submit_group_with(
+            jobs,
+            None,
+            Some(Box::new(move |_report: &GroupReport| finisher.finish())),
+        );
+    }
+
+    /// Thread-per-job backend: the original scoped-thread expansion.
+    fn run_thread_per_job(self) {
+        let (members, finisher) = self.into_parts();
+        std::thread::scope(|scope| {
+            for member in members {
+                scope.spawn(move || member.run());
+            }
+        });
+        finisher.finish();
+    }
+}
+
+/// One batch member: runs the handler with the panic boundary, reports the
+/// outcome, and emits the member's exec/completion events.
+struct MemberRun {
+    handler: Handler,
+    env: Arc<ContainerEnv>,
+    req: Request,
+    batch: u64,
+    member: u32,
+    cold: bool,
+    recorder: Option<LiveTraceRecorder>,
+}
+
+impl MemberRun {
+    fn run(self) {
+        let started = Instant::now();
+        if let Some(rec) = &self.recorder {
+            rec.record(EventKind::ExecBegin {
+                batch: self.batch,
+                member: self.member,
+                // Live handlers have no declared intrinsic work; zero makes
+                // the attribution of the observed span exact.
+                work: SimDuration::ZERO,
+            });
+        }
+        let ctx = InvocationEnv {
+            payload: self.req.payload.clone(),
+            container: &self.env,
+        };
+        // A user function crashing must not take down the container or
+        // starve its batch siblings.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| (self.handler)(&ctx)));
+        if let Some(rec) = &self.recorder {
+            rec.record(EventKind::ExecEnd {
+                batch: self.batch,
+                member: self.member,
+            });
+        }
+        let outcome = InvokeOutcome {
+            queued: started.duration_since(self.req.enqueued),
+            execution: started.elapsed(),
+            cold: self.cold,
+            panicked: result.is_err(),
+        };
+        let _ = self.req.reply.send(outcome);
+        if let Some(rec) = &self.recorder {
+            rec.record(EventKind::InvocationComplete {
+                invocation: self.req.invocation,
+                batch: Some(self.batch),
+                member: Some(self.member),
+            });
+        }
+    }
+}
+
+/// The batch epilogue: fold client/invocation counters into the platform
+/// stats, release the container back to the warm pool, and (when keep-alive
+/// is on) arm the eviction timer.
+struct GroupFinisher {
+    env: Arc<ContainerEnv>,
+    function: usize,
+    batch_size: u64,
+    sdk_creations_before: u64,
+    recorder: Option<LiveTraceRecorder>,
+    warm: WarmPools,
+    warm_gen: Arc<AtomicU64>,
+    keep_alive: Option<Duration>,
+    stats: Arc<PlatformStats>,
+    executor: Arc<Executor>,
+    pending: Arc<PendingGroups>,
+}
+
+impl GroupFinisher {
+    fn finish(self) {
+        let created = self.env.sdk.total_creations() as u64 - self.sdk_creations_before;
+        self.stats
+            .clients_created
+            .fetch_add(created, Ordering::Relaxed);
+        self.stats
+            .invocations
+            .fetch_add(self.batch_size, Ordering::Relaxed);
+        let container = ContainerId::new(self.env.id());
+        if let Some(rec) = &self.recorder {
+            rec.record(EventKind::ContainerStateChange {
+                container,
+                from: Some(ContainerState::Busy),
+                to: ContainerState::Idle,
+            });
+        }
+        // Return the container to the warm pool.
+        let generation = self.warm_gen.fetch_add(1, Ordering::Relaxed);
+        self.warm
+            .lock()
+            .entry(self.function)
+            .or_default()
+            .push(WarmEntry {
+                env: self.env,
+                generation,
+            });
+        if let Some(ttl) = self.keep_alive {
+            let warm = self.warm;
+            let function = self.function;
+            let stats = self.stats;
+            let recorder = self.recorder;
+            self.executor.schedule(ttl, move || {
+                let evicted = {
+                    let mut pools = warm.lock();
+                    let Some(pool) = pools.get_mut(&function) else {
+                        return;
+                    };
+                    // Evict only if the exact entry we parked is still
+                    // idle; a reused-and-returned container carries a newer
+                    // generation and keeps its own timer.
+                    let Some(pos) = pool.iter().position(|e| e.generation == generation) else {
+                        return;
+                    };
+                    pool.remove(pos)
+                };
+                stats.containers_evicted.fetch_add(1, Ordering::Relaxed);
+                if let Some(rec) = &recorder {
+                    rec.record(EventKind::ContainerStateChange {
+                        container: ContainerId::new(evicted.env.id()),
+                        from: Some(ContainerState::Idle),
+                        to: ContainerState::Terminated,
+                    });
+                }
+            });
+        }
+        self.pending.exit();
+    }
+}
+
 /// The running live platform. Dropping it drains in-flight work and joins
 /// the dispatcher.
 #[derive(Debug)]
@@ -453,6 +877,8 @@ pub struct FaasBatchPlatform {
     dispatcher: Option<JoinHandle<()>>,
     names: Vec<String>,
     stats: Arc<PlatformStats>,
+    recorder: Option<LiveTraceRecorder>,
+    next_invocation: AtomicU64,
 }
 
 impl FaasBatchPlatform {
@@ -470,7 +896,15 @@ impl FaasBatchPlatform {
             .ok_or_else(|| PlatformError::UnknownFunction(function.to_owned()))?;
         let (reply, rx) = channel::bounded(1);
         let tx = self.tx.as_ref().ok_or(PlatformError::ShuttingDown)?;
+        let invocation = InvocationId::new(self.next_invocation.fetch_add(1, Ordering::Relaxed));
+        if let Some(rec) = &self.recorder {
+            rec.record(EventKind::Arrival {
+                invocation,
+                function: FunctionId::new(idx as u32),
+            });
+        }
         tx.send(Message::Invoke(Request {
+            invocation,
             function: idx,
             payload,
             enqueued: Instant::now(),
@@ -502,6 +936,11 @@ impl FaasBatchPlatform {
     pub fn functions(&self) -> &[String] {
         &self.names
     }
+
+    /// The attached trace recorder, if any ([`PlatformBuilder::trace`]).
+    pub fn trace_recorder(&self) -> Option<&LiveTraceRecorder> {
+        self.recorder.as_ref()
+    }
 }
 
 impl Drop for FaasBatchPlatform {
@@ -517,6 +956,8 @@ impl Drop for FaasBatchPlatform {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faasbatch_exec::ExecutorConfig;
+    use faasbatch_metrics::events::{AuditorSink, RecordReducer, TraceSink};
     use std::sync::atomic::AtomicUsize;
 
     fn fast_platform(multiplex: bool) -> (FaasBatchPlatform, Arc<AtomicUsize>) {
@@ -693,5 +1134,147 @@ mod tests {
         }
         drop(platform);
         assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn thread_per_job_backend_still_works() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        let platform = PlatformBuilder::new()
+            .window(Duration::from_millis(10))
+            .cold_start_delay(Duration::from_millis(1))
+            .backend(LiveBackend::ThreadPerJob)
+            .register("count", move |_env| {
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .start();
+        let tickets: Vec<_> = (0..10)
+            .map(|_| platform.invoke("count", Bytes::new()).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait();
+        }
+        platform.drain().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        assert_eq!(platform.stats().invocations.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn traced_run_is_auditor_clean_with_exact_attribution() {
+        for backend in [LiveBackend::Executor, LiveBackend::ThreadPerJob] {
+            let recorder = LiveTraceRecorder::new();
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c = counter.clone();
+            let platform = PlatformBuilder::new()
+                .window(Duration::from_millis(10))
+                .cold_start_delay(Duration::from_millis(2))
+                .backend(backend)
+                .trace(recorder.clone())
+                .register("count", move |_env| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(1));
+                })
+                .start();
+            let tickets: Vec<_> = (0..12)
+                .map(|_| platform.invoke("count", Bytes::new()).unwrap())
+                .collect();
+            for t in tickets {
+                t.wait();
+            }
+            platform.drain().unwrap();
+            // Second round to cover warm reuse transitions too.
+            platform.invoke("count", Bytes::new()).unwrap().wait();
+            platform.drain().unwrap();
+            drop(platform);
+
+            let trace = recorder.take_trace();
+            let mut auditor = AuditorSink::new();
+            for event in &trace {
+                auditor.record(event);
+            }
+            assert!(
+                auditor.finish().is_empty(),
+                "{backend:?} trace has violations: {:?}",
+                auditor.finish()
+            );
+            let mut reducer = RecordReducer::new();
+            for event in &trace {
+                reducer.on_event(event);
+            }
+            let reduced = reducer.finish();
+            assert_eq!(reduced.records.len(), 13, "{backend:?} record count");
+            for record in &reduced.records {
+                assert!(record.is_consistent(), "{backend:?}: {record:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn keep_alive_evicts_idle_containers() {
+        let recorder = LiveTraceRecorder::new();
+        let platform = PlatformBuilder::new()
+            .window(Duration::from_millis(5))
+            .cold_start_delay(Duration::from_millis(1))
+            .keep_alive(Duration::from_millis(20))
+            .trace(recorder.clone())
+            .register("noop", |_env| {})
+            .start();
+        platform.invoke("noop", Bytes::new()).unwrap().wait();
+        platform.drain().unwrap();
+        // Let the keep-alive timer fire well past the TTL.
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(
+            platform.stats().containers_evicted.load(Ordering::Relaxed),
+            1
+        );
+        // The next invocation must cold-start a fresh container.
+        let outcome = platform.invoke("noop", Bytes::new()).unwrap().wait();
+        assert!(outcome.cold, "evicted container must not be reused");
+        assert_eq!(
+            platform.stats().containers_created.load(Ordering::Relaxed),
+            2
+        );
+        platform.drain().unwrap();
+        drop(platform);
+        let trace = recorder.take_trace();
+        assert!(
+            trace.iter().any(|e| matches!(
+                e.kind,
+                EventKind::ContainerStateChange {
+                    to: ContainerState::Terminated,
+                    ..
+                }
+            )),
+            "eviction must emit Idle → Terminated"
+        );
+    }
+
+    #[test]
+    fn seeded_executor_platform_is_usable() {
+        let exec = Executor::new(ExecutorConfig {
+            workers: 4,
+            seed: 2024,
+            ..ExecutorConfig::default()
+        });
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        let platform = PlatformBuilder::new()
+            .window(Duration::from_millis(10))
+            .cold_start_delay(Duration::from_millis(1))
+            .executor(Arc::clone(&exec))
+            .register("count", move |_env| {
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .start();
+        let tickets: Vec<_> = (0..20)
+            .map(|_| platform.invoke("count", Bytes::new()).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait();
+        }
+        platform.drain().unwrap();
+        drop(platform);
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+        assert!(exec.metrics().spawned_total >= 20, "batch ran on this pool");
     }
 }

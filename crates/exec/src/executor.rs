@@ -1,0 +1,761 @@
+//! The executor: worker threads, scheduling policy, and the public API.
+//!
+//! Scheduling policy, in the order a worker looks for work:
+//!
+//! 1. **Own local queue** — LIFO slot first, then FIFO backlog.
+//! 2. **Injector refill** — grab a batch of globally submitted tasks.
+//! 3. **Steal** — visit the other workers in a seeded-random order
+//!    ([`crate::steal`]) and take half of one victim's eligible backlog.
+//! 4. **Park** — sleep on the per-worker `Parker` (`park`) until new
+//!    work is pushed (bounded by a timeout heartbeat).
+//!
+//! Pinned tasks (carrying a [`CpuSet`]) are dispatched round-robin to the
+//! set's workers and may only be stolen *within* the set, which is what
+//! enforces the paper's `cpu_count`-style parallelism cap structurally:
+//! each worker runs one task at a time, so a group pinned to `n` workers
+//! can never have more than `n` member jobs running at once.
+
+use crate::group::{GroupCore, GroupHandle, GroupJob, MemberFuture};
+use crate::park::{lock_unpoisoned, Parker};
+use crate::queue::{Injector, LocalQueue};
+use crate::steal;
+use crate::task::{BoxFuture, CpuSet, Schedule, TaskCore};
+use crate::timer::{Sleep, TimerHandle, TimerWheel};
+use std::cell::Cell;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::Duration;
+
+/// Environment variable overriding the default worker count (used by CI to
+/// stay friendly on 2-vCPU runners).
+pub const WORKERS_ENV: &str = "FAASBATCH_EXEC_WORKERS";
+
+/// Executor construction parameters.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Seed for the randomized steal order (forked per worker through
+    /// `simcore`'s `DetRng`, so steal behaviour is reproducible).
+    pub seed: u64,
+    /// Soft bound on each worker's local FIFO backlog; unpinned overflow is
+    /// shed to the global injector.
+    pub local_capacity: usize,
+    /// Number of timer-wheel slots.
+    pub timer_slots: usize,
+    /// Timer-wheel tick granularity.
+    pub timer_tick: Duration,
+    /// Idle-park heartbeat: the upper bound on how long a worker sleeps
+    /// before re-scanning for stealable work.
+    pub park_timeout: Duration,
+}
+
+fn default_workers() -> usize {
+    if let Ok(raw) = std::env::var(WORKERS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    // Blocking handler bodies park their worker, so oversubscribing small
+    // machines is deliberate: 8 workers on a 1-2 vCPU box keeps sleep-heavy
+    // batches overlapping, which is what the live tests exercise.
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(8)
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: default_workers(),
+            seed: 0xFAA5_BA7C,
+            local_capacity: 256,
+            timer_slots: 256,
+            timer_tick: Duration::from_millis(1),
+            park_timeout: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Point-in-time executor counters, for benches and the `live` CLI.
+#[derive(Debug, Clone)]
+pub struct ExecutorMetrics {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Tasks currently alive (spawned, not yet completed).
+    pub in_flight: usize,
+    /// High-water mark of `in_flight` since start (or the last reset).
+    pub peak_in_flight: usize,
+    /// Total tasks ever spawned.
+    pub spawned_total: u64,
+    /// Poll invocations per worker.
+    pub executed_per_worker: Vec<u64>,
+    /// Tasks stolen per (thief) worker.
+    pub stolen_per_worker: Vec<u64>,
+    /// Local-queue overflows shed to the injector.
+    pub shed_total: u64,
+}
+
+impl ExecutorMetrics {
+    /// Total successful steals across all workers.
+    pub fn total_steals(&self) -> u64 {
+        self.stolen_per_worker.iter().sum()
+    }
+
+    /// Number of workers that executed at least one task.
+    pub fn busy_workers(&self) -> usize {
+        self.executed_per_worker.iter().filter(|&&n| n > 0).count()
+    }
+}
+
+struct WorkerShared {
+    queue: LocalQueue,
+    parker: Parker,
+    executed: AtomicU64,
+    stolen: AtomicU64,
+}
+
+static EXEC_IDS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(executor id, worker index)` for threads owned by an executor.
+    static CURRENT: Cell<Option<(u64, usize)>> = const { Cell::new(None) };
+}
+
+pub(crate) struct Shared {
+    id: u64,
+    config: ExecutorConfig,
+    injector: Injector,
+    workers: Vec<WorkerShared>,
+    timer: Arc<TimerWheel>,
+    shutdown: AtomicBool,
+    in_flight: AtomicUsize,
+    peak_in_flight: AtomicUsize,
+    spawned_total: AtomicU64,
+    shed_total: AtomicU64,
+    unpark_hint: AtomicUsize,
+    cpuset_hint: AtomicUsize,
+}
+
+impl Shared {
+    /// Index of the calling worker, if it belongs to this executor.
+    fn current_worker(&self) -> Option<usize> {
+        CURRENT.with(|current| match current.get() {
+            Some((id, index)) if id == self.id => Some(index),
+            _ => None,
+        })
+    }
+
+    fn enqueue(&self, task: Arc<TaskCore>) {
+        match task.cpuset().cloned() {
+            Some(set) => {
+                // Pinned: prefer the current worker when it is in the set
+                // (cache locality), else round-robin through the set.
+                let target = match self.current_worker() {
+                    Some(here) if set.allows(here) => here,
+                    _ => set.next_target(),
+                };
+                self.workers[target].queue.push_remote(task);
+                self.workers[target].parker.unpark();
+            }
+            None => match self.current_worker() {
+                Some(here) => {
+                    if let Some(overflow) = self.workers[here].queue.push_owner(task) {
+                        self.shed_total.fetch_add(1, Ordering::Relaxed);
+                        self.injector.push(overflow);
+                        self.unpark_one();
+                    } else if self.workers[here].queue.len() > 1 {
+                        // Backlog behind the running task: give a sleeper a
+                        // chance to steal it.
+                        self.unpark_one();
+                    }
+                }
+                None => {
+                    self.injector.push(task);
+                    self.unpark_one();
+                }
+            },
+        }
+    }
+
+    fn unpark_one(&self) {
+        let n = self.workers.len();
+        let start = self.unpark_hint.fetch_add(1, Ordering::Relaxed);
+        for offset in 0..n {
+            if self.workers[(start + offset) % n].parker.unpark() {
+                return;
+            }
+        }
+    }
+
+    fn unpark_all(&self) {
+        for worker in &self.workers {
+            worker.parker.unpark();
+        }
+    }
+
+    fn next_task(
+        &self,
+        index: usize,
+        rng: &mut faasbatch_simcore::rng::DetRng,
+    ) -> Option<Arc<TaskCore>> {
+        if let Some(task) = self.workers[index].queue.pop() {
+            return Some(task);
+        }
+        // Refill from the injector in a batch (amortizes the global lock).
+        let mut batch = self
+            .injector
+            .pop_batch(self.config.local_capacity.max(2) / 2);
+        if !batch.is_empty() {
+            let first = batch.remove(0);
+            for task in batch {
+                self.workers[index].queue.push_remote(task);
+            }
+            if !self.injector.is_empty() {
+                self.unpark_one();
+            }
+            return Some(first);
+        }
+        // Steal: seeded-random victim order, half of one victim's backlog.
+        for victim in steal::next_victim_round(rng, index, self.workers.len()) {
+            let mut stolen = self.workers[victim].queue.steal_for(index);
+            if stolen.is_empty() {
+                continue;
+            }
+            self.workers[index]
+                .stolen
+                .fetch_add(stolen.len() as u64, Ordering::Relaxed);
+            let first = stolen.remove(0);
+            for task in stolen {
+                self.workers[index].queue.push_remote(task);
+            }
+            return Some(first);
+        }
+        None
+    }
+
+    fn worker_loop(self: &Arc<Self>, index: usize) {
+        CURRENT.with(|current| current.set(Some((self.id, index))));
+        let mut rng = steal::steal_rng(self.config.seed, index);
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if let Some(task) = self.next_task(index, &mut rng) {
+                self.workers[index].executed.fetch_add(1, Ordering::Relaxed);
+                // A panic here means a raw spawned future panicked (group
+                // jobs catch at the job boundary); contain it to this task.
+                if catch_unwind(AssertUnwindSafe(|| task.run())).is_err() {
+                    task.abandon();
+                }
+                continue;
+            }
+            self.workers[index]
+                .parker
+                .park_timeout(self.config.park_timeout, || {
+                    !self.injector.is_empty()
+                        || !self.workers[index].queue.is_empty()
+                        || self.shutdown.load(Ordering::Acquire)
+                });
+        }
+    }
+}
+
+impl Schedule for Shared {
+    fn reschedule(&self, task: Arc<TaskCore>) {
+        self.enqueue(task);
+    }
+
+    fn task_finished(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A work-stealing executor instance. Most callers share one process-wide
+/// instance via [`global_executor`]; tests build their own with a fixed
+/// seed and worker count.
+pub struct Executor {
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    timer_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    stopped: AtomicBool,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.shared.workers.len())
+            .field("seed", &self.shared.config.seed)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Builds an executor and starts its worker + timer-driver threads.
+    pub fn new(config: ExecutorConfig) -> Arc<Executor> {
+        let workers = config.workers.max(1);
+        let timer = Arc::new(TimerWheel::new(config.timer_slots, config.timer_tick));
+        let shared = Arc::new(Shared {
+            id: EXEC_IDS.fetch_add(1, Ordering::Relaxed),
+            workers: (0..workers)
+                .map(|_| WorkerShared {
+                    queue: LocalQueue::new(config.local_capacity),
+                    parker: Parker::default(),
+                    executed: AtomicU64::new(0),
+                    stolen: AtomicU64::new(0),
+                })
+                .collect(),
+            config,
+            injector: Injector::default(),
+            timer: Arc::clone(&timer),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            peak_in_flight: AtomicUsize::new(0),
+            spawned_total: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            unpark_hint: AtomicUsize::new(0),
+            cpuset_hint: AtomicUsize::new(0),
+        });
+        let threads = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("faasbatch-exec-{index}"))
+                    .spawn(move || shared.worker_loop(index))
+                    .expect("spawn executor worker thread")
+            })
+            .collect();
+        let timer_thread = std::thread::Builder::new()
+            .name("faasbatch-exec-timer".to_string())
+            .spawn(move || timer.driver_loop())
+            .expect("spawn executor timer thread");
+        Arc::new(Executor {
+            shared,
+            threads: Mutex::new(threads),
+            timer_thread: Mutex::new(Some(timer_thread)),
+            stopped: AtomicBool::new(false),
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.workers.len()
+    }
+
+    /// The steal-order seed this executor was built with.
+    pub fn seed(&self) -> u64 {
+        self.shared.config.seed
+    }
+
+    /// Index of the calling worker thread, if it belongs to this executor.
+    pub fn current_worker(&self) -> Option<usize> {
+        self.shared.current_worker()
+    }
+
+    fn spawn_task(&self, future: BoxFuture, cpuset: Option<CpuSet>) {
+        let weak: Weak<dyn Schedule> = Arc::downgrade(&self.shared) as Weak<dyn Schedule>;
+        let task = TaskCore::new(future, cpuset, weak);
+        self.shared.spawned_total.fetch_add(1, Ordering::Relaxed);
+        let now = self.shared.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        self.shared.peak_in_flight.fetch_max(now, Ordering::AcqRel);
+        task.transition_to_queued();
+        self.shared.enqueue(task);
+    }
+
+    /// Spawns a detached unpinned future.
+    pub fn spawn(&self, future: impl Future<Output = ()> + Send + 'static) {
+        self.spawn_task(Box::pin(future), None);
+    }
+
+    /// Spawns a detached future pinned to `cpuset`.
+    pub fn spawn_pinned(&self, future: impl Future<Output = ()> + Send + 'static, cpuset: CpuSet) {
+        self.spawn_task(Box::pin(future), Some(cpuset));
+    }
+
+    /// Submits a job group; the returned handle is the completion barrier.
+    pub fn submit_group(&self, jobs: Vec<GroupJob>, cpuset: Option<CpuSet>) -> GroupHandle {
+        self.submit_group_with(jobs, cpuset, None)
+    }
+
+    /// [`Executor::submit_group`] with an `on_complete` callback, run by
+    /// the last finishing job with the assembled report.
+    pub fn submit_group_with(
+        &self,
+        jobs: Vec<GroupJob>,
+        cpuset: Option<CpuSet>,
+        on_complete: Option<crate::group::OnComplete>,
+    ) -> GroupHandle {
+        let core = GroupCore::new(jobs.len(), on_complete);
+        let handle = GroupHandle::new(Arc::clone(&core));
+        for (index, job) in jobs.into_iter().enumerate() {
+            self.spawn_task(
+                Box::pin(MemberFuture::new(job, Arc::clone(&core), index)),
+                cpuset.clone(),
+            );
+        }
+        handle
+    }
+
+    /// Runs `callback` after `delay` on the timer-driver thread. Used for
+    /// cold-start delays and warm-container keep-alive eviction.
+    pub fn schedule(
+        &self,
+        delay: Duration,
+        callback: impl FnOnce() + Send + 'static,
+    ) -> TimerHandle {
+        self.shared.timer.schedule(delay, Box::new(callback))
+    }
+
+    /// A leaf future completing after `delay`, driven by the timer wheel.
+    pub fn sleep(&self, delay: Duration) -> Sleep {
+        Sleep::new(Arc::clone(&self.shared.timer), delay)
+    }
+
+    /// Picks a cpuset of `max` workers (rotating the starting offset so
+    /// successive groups spread across the pool), or `None` when `max`
+    /// covers every worker — the executor-level mirror of Docker's
+    /// `cpu_count`/`cpuset_cpus`.
+    pub fn pick_cpuset(&self, max: usize) -> Option<CpuSet> {
+        let workers = self.workers();
+        if max == 0 || max >= workers {
+            return None;
+        }
+        let start = self.shared.cpuset_hint.fetch_add(max, Ordering::Relaxed);
+        Some(CpuSet::new(
+            (0..max).map(|i| (start + i) % workers).collect(),
+        ))
+    }
+
+    /// Current counters.
+    pub fn metrics(&self) -> ExecutorMetrics {
+        ExecutorMetrics {
+            workers: self.workers(),
+            in_flight: self.shared.in_flight.load(Ordering::Acquire),
+            peak_in_flight: self.shared.peak_in_flight.load(Ordering::Acquire),
+            spawned_total: self.shared.spawned_total.load(Ordering::Acquire),
+            executed_per_worker: self
+                .shared
+                .workers
+                .iter()
+                .map(|w| w.executed.load(Ordering::Acquire))
+                .collect(),
+            stolen_per_worker: self
+                .shared
+                .workers
+                .iter()
+                .map(|w| w.stolen.load(Ordering::Acquire))
+                .collect(),
+            shed_total: self.shared.shed_total.load(Ordering::Acquire),
+        }
+    }
+
+    /// Resets the in-flight high-water mark to the current level (used
+    /// between bench tiers).
+    pub fn reset_peak_in_flight(&self) {
+        self.shared.peak_in_flight.store(
+            self.shared.in_flight.load(Ordering::Acquire),
+            Ordering::Release,
+        );
+    }
+
+    /// Stops worker and timer threads. Does not drain: callers are expected
+    /// to wait on their group barriers first. Idempotent.
+    pub fn shutdown(&self) {
+        if self.stopped.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.unpark_all();
+        self.shared.timer.shutdown();
+        for handle in lock_unpoisoned(&self.threads).drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = lock_unpoisoned(&self.timer_thread).take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Executor>> = OnceLock::new();
+
+/// The process-wide shared executor: one pool of workers multiplexing every
+/// live batch, sized from [`WORKERS_ENV`] or `available_parallelism()`.
+pub fn global_executor() -> Arc<Executor> {
+    Arc::clone(GLOBAL.get_or_init(|| Executor::new(ExecutorConfig::default())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{GroupReport, JobError};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::task::Waker;
+    use std::time::Instant;
+
+    fn test_executor(workers: usize) -> Arc<Executor> {
+        Executor::new(ExecutorConfig {
+            workers,
+            seed: 42,
+            ..ExecutorConfig::default()
+        })
+    }
+
+    #[test]
+    fn spawn_runs_detached_future() {
+        let exec = test_executor(2);
+        let (tx, rx) = mpsc::channel();
+        exec.spawn(async move {
+            tx.send(7u32).expect("send");
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).expect("recv"), 7);
+    }
+
+    #[test]
+    fn group_barrier_resolves_with_all_jobs() {
+        let exec = test_executor(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<GroupJob> = (0..16)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                GroupJob::blocking(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        let report = exec.submit_group(jobs, None).wait();
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        assert_eq!(report.jobs.len(), 16);
+        assert_eq!(report.failed(), 0);
+    }
+
+    #[test]
+    fn steal_balances_skewed_submission() {
+        // All 64 children are spawned from inside one worker's task, so they
+        // land on that worker's local queue; the other workers must steal.
+        let exec = test_executor(4);
+        let (tx, rx) = mpsc::channel();
+        let inner = Arc::clone(&exec);
+        exec.spawn(async move {
+            let jobs: Vec<GroupJob> = (0..64)
+                .map(|_| GroupJob::blocking(|| std::thread::sleep(Duration::from_millis(2))))
+                .collect();
+            tx.send(inner.submit_group(jobs, None))
+                .expect("send handle");
+        });
+        let handle = rx.recv_timeout(Duration::from_secs(5)).expect("handle");
+        let report = handle.wait();
+        assert_eq!(report.jobs.len(), 64);
+        assert_eq!(report.failed(), 0);
+        let metrics = exec.metrics();
+        assert!(
+            metrics.busy_workers() >= 2,
+            "skewed submission should spread via stealing: {:?}",
+            metrics.executed_per_worker
+        );
+        assert!(
+            metrics.total_steals() >= 1,
+            "expected at least one steal: {:?}",
+            metrics.stolen_per_worker
+        );
+    }
+
+    #[test]
+    fn waker_is_safe_after_task_completion() {
+        let exec = test_executor(2);
+        let stash: Arc<Mutex<Option<Waker>>> = Arc::new(Mutex::new(None));
+        let polls = Arc::new(AtomicUsize::new(0));
+        let (stash2, polls2) = (Arc::clone(&stash), Arc::clone(&polls));
+        let handle = exec.submit_group(
+            vec![GroupJob::future(std::future::poll_fn(move |cx| {
+                polls2.fetch_add(1, Ordering::SeqCst);
+                *stash2.lock().expect("stash") = Some(cx.waker().clone());
+                std::task::Poll::Ready(())
+            }))],
+            None,
+        );
+        handle.wait();
+        let waker = stash.lock().expect("stash").take().expect("waker stashed");
+        // The task is done and its future dropped: waking must be a no-op.
+        waker.wake_by_ref();
+        waker.wake();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(polls.load(Ordering::SeqCst), 1, "completed task re-polled");
+        assert_eq!(exec.metrics().in_flight, 0);
+    }
+
+    #[test]
+    fn panicking_job_fails_only_its_own_invocation() {
+        let exec = test_executor(2);
+        let jobs = vec![
+            GroupJob::blocking(|| {}),
+            GroupJob::blocking(|| panic!("boom")),
+            GroupJob::blocking(|| std::thread::sleep(Duration::from_millis(5))),
+            GroupJob::blocking(|| {}),
+        ];
+        let report = exec.submit_group(jobs, None).wait();
+        assert_eq!(report.failed(), 1);
+        assert_eq!(
+            report.jobs[1].result,
+            Err(JobError::Panicked("boom".to_string()))
+        );
+        for index in [0usize, 2, 3] {
+            assert!(report.jobs[index].result.is_ok(), "job {index} poisoned");
+        }
+        // The executor is still fully functional afterwards.
+        let again = exec.submit_group((0..4).map(|_| GroupJob::blocking(|| {})).collect(), None);
+        assert_eq!(again.wait().failed(), 0);
+    }
+
+    #[test]
+    fn cpuset_caps_group_parallelism() {
+        let exec = test_executor(4);
+        let cpuset = exec.pick_cpuset(2).expect("4 workers > cap 2");
+        assert_eq!(cpuset.len(), 2);
+        let allowed: Vec<usize> = cpuset.workers().to_vec();
+        let current = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let jobs: Vec<GroupJob> = (0..8)
+            .map(|_| {
+                let (current, peak, seen) =
+                    (Arc::clone(&current), Arc::clone(&peak), Arc::clone(&seen));
+                let exec = Arc::clone(&exec);
+                GroupJob::blocking(move || {
+                    let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    if let Some(worker) = exec.current_worker() {
+                        seen.lock().expect("seen").push(worker);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                    current.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        let report = exec.submit_group(jobs, Some(cpuset)).wait();
+        assert_eq!(report.failed(), 0);
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "cpuset of 2 must cap parallelism at 2, saw {}",
+            peak.load(Ordering::SeqCst)
+        );
+        for worker in seen.lock().expect("seen").iter() {
+            assert!(allowed.contains(worker), "job ran off-cpuset on {worker}");
+        }
+    }
+
+    #[test]
+    fn pick_cpuset_none_when_cap_covers_pool() {
+        let exec = test_executor(2);
+        assert!(exec.pick_cpuset(2).is_none());
+        assert!(exec.pick_cpuset(0).is_none());
+        assert!(exec.pick_cpuset(1).is_some());
+    }
+
+    #[test]
+    fn async_sleep_group_holds_hundreds_in_flight_on_two_workers() {
+        let exec = test_executor(2);
+        let jobs: Vec<GroupJob> = (0..500)
+            .map(|_| {
+                let exec = Arc::clone(&exec);
+                GroupJob::future(async move {
+                    exec.sleep(Duration::from_millis(40)).await;
+                })
+            })
+            .collect();
+        let started = Instant::now();
+        let report = exec.submit_group(jobs, None).wait();
+        assert_eq!(report.failed(), 0);
+        let metrics = exec.metrics();
+        assert!(
+            metrics.peak_in_flight >= 400,
+            "pending sleeps should pile up in flight, peak {}",
+            metrics.peak_in_flight
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "500 overlapping 40 ms sleeps took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn local_overflow_sheds_to_injector() {
+        let exec = Executor::new(ExecutorConfig {
+            workers: 2,
+            seed: 7,
+            local_capacity: 4,
+            ..ExecutorConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let inner = Arc::clone(&exec);
+        exec.spawn(async move {
+            let jobs: Vec<GroupJob> = (0..64).map(|_| GroupJob::blocking(|| {})).collect();
+            tx.send(inner.submit_group(jobs, None)).expect("send");
+        });
+        let report = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("handle")
+            .wait();
+        assert_eq!(report.jobs.len(), 64);
+        assert!(
+            exec.metrics().shed_total > 0,
+            "64 local pushes past capacity 4 must shed to the injector"
+        );
+    }
+
+    #[test]
+    fn empty_group_is_fine() {
+        let exec = test_executor(1);
+        let report = exec.submit_group(Vec::new(), None).wait();
+        assert!(report.jobs.is_empty());
+        assert!(report.makespan < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn timer_schedule_fires_callback() {
+        let exec = test_executor(1);
+        let (tx, rx) = mpsc::channel();
+        let handle = exec.schedule(Duration::from_millis(5), move || {
+            tx.send(()).expect("send");
+        });
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("timer fired");
+        assert!(handle.has_fired());
+    }
+
+    #[test]
+    fn on_complete_runs_with_report() {
+        let exec = test_executor(2);
+        let (tx, rx) = mpsc::channel();
+        let jobs: Vec<GroupJob> = (0..3).map(|_| GroupJob::blocking(|| {})).collect();
+        exec.submit_group_with(
+            jobs,
+            None,
+            Some(Box::new(move |report: &GroupReport| {
+                tx.send(report.jobs.len()).expect("send");
+            })),
+        );
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).expect("recv"), 3);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let exec = test_executor(2);
+        exec.submit_group(vec![GroupJob::blocking(|| {})], None)
+            .wait();
+        exec.shutdown();
+        exec.shutdown();
+    }
+}

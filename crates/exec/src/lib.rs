@@ -1,0 +1,69 @@
+//! Work-stealing async executor for the live platform.
+//!
+//! `live.rs` used to spawn one OS thread per job per batch, which caps a
+//! single process at a few hundred concurrent in-flight invocations. This
+//! crate is the replacement runtime layer: a hand-rolled, dependency-free
+//! work-stealing executor in the shape of an inference-server scheduler.
+//!
+//! Architecture (DESIGN.md §14):
+//!
+//! - **Per-worker local queues** (`queue`) — a LIFO slot for the freshest
+//!   task plus a soft-bounded FIFO deque; unpinned overflow sheds to the
+//!   global injector.
+//! - **Global injector** — unpinned tasks submitted from outside a worker
+//!   land here; idle workers refill from it in batches.
+//! - **Randomized stealing** ([`steal`]) — victim order is a Fisher–Yates
+//!   permutation drawn from the existing `simcore` [`DetRng`], forked
+//!   per-worker, so steal order is a pure function of `(seed, worker)` and
+//!   tests are reproducible.
+//! - **Hashed timer wheel** ([`timer`]) — O(1) insert, per-tick slot scan;
+//!   drives deadlines, cold-start delays, warm-container keep-alive, and
+//!   the [`Sleep`] leaf future.
+//! - **Parker/unparker** (`park`) — idle workers sleep on a condvar with
+//!   a lost-wakeup-free hand-off protocol.
+//! - **Task groups** ([`group`]) — a `LiveContainer` batch becomes a group
+//!   of tasks pinned to a [`CpuSet`]; a group-completion barrier replaces
+//!   the per-batch thread join, and a panicking job fails only its own
+//!   invocation (typed [`JobError`]).
+//!
+//! No tokio, no new external dependencies: the `Future`/`Waker` layer is
+//! built on [`std::task::Wake`] and the whole crate forbids `unsafe`.
+//!
+//! # Examples
+//!
+//! ```
+//! use faasbatch_exec::{Executor, ExecutorConfig, GroupJob};
+//!
+//! let exec = Executor::new(ExecutorConfig {
+//!     workers: 2,
+//!     ..ExecutorConfig::default()
+//! });
+//! let jobs: Vec<GroupJob> = (0..4)
+//!     .map(|_| GroupJob::blocking(|| { /* handler body */ }))
+//!     .collect();
+//! let report = exec.submit_group(jobs, None).wait();
+//! assert_eq!(report.jobs.len(), 4);
+//! assert!(report.jobs.iter().all(|j| j.result.is_ok()));
+//! ```
+//!
+//! [`DetRng`]: faasbatch_simcore::rng::DetRng
+//! [`Sleep`]: timer::Sleep
+//! [`JobError`]: group::JobError
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub(crate) mod park;
+pub(crate) mod queue;
+pub(crate) mod task;
+
+pub mod executor;
+pub mod group;
+pub mod steal;
+pub mod timer;
+
+pub use executor::{global_executor, Executor, ExecutorConfig, ExecutorMetrics};
+pub use group::{GroupHandle, GroupJob, GroupReport, JobError, JobReport, OnComplete};
+pub use task::CpuSet;
+pub use timer::{Sleep, TimerHandle};

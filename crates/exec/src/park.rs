@@ -1,0 +1,150 @@
+//! Worker idling: a condvar-based parker with a lost-wakeup-free hand-off.
+//!
+//! The protocol closes the classic race (work is pushed the instant a worker
+//! decides to sleep) with two ingredients:
+//!
+//! 1. The worker re-evaluates a caller-supplied `precheck` *after* marking
+//!    itself sleeping, under the parker lock. Pushers publish work *before*
+//!    scanning for sleepers, so a worker that parks after the scan is
+//!    guaranteed to observe the pushed work in its precheck and abort.
+//! 2. A bounded park timeout acts as a belt-and-braces heartbeat: even if a
+//!    future refactor reintroduces a race, a worker never sleeps longer than
+//!    the timeout while work is pending.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct ParkState {
+    /// True while the owning worker is inside `park_timeout`.
+    sleeping: bool,
+    /// A wakeup token; set by `unpark`, consumed by the next park attempt.
+    notified: bool,
+}
+
+/// One worker's sleep state.
+#[derive(Debug, Default)]
+pub(crate) struct Parker {
+    state: Mutex<ParkState>,
+    cvar: Condvar,
+}
+
+/// Locks a mutex, tolerating poisoning (a panicking job must not wedge the
+/// whole executor).
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Parker {
+    /// Parks the calling worker until [`Parker::unpark`] or `timeout`.
+    ///
+    /// `precheck` is evaluated under the parker lock after the worker is
+    /// marked sleeping; returning `true` aborts the park immediately. A
+    /// pending notification from a previous `unpark` is consumed without
+    /// sleeping.
+    pub(crate) fn park_timeout(&self, timeout: Duration, precheck: impl Fn() -> bool) {
+        let mut state = lock_unpoisoned(&self.state);
+        if state.notified {
+            state.notified = false;
+            return;
+        }
+        state.sleeping = true;
+        if precheck() {
+            state.sleeping = false;
+            return;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        while !state.notified {
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            let (next, wait) = self
+                .cvar
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = next;
+            if wait.timed_out() {
+                break;
+            }
+        }
+        state.sleeping = false;
+        state.notified = false;
+    }
+
+    /// Wakes the worker if it is parked; otherwise leaves a notification
+    /// token so its next park attempt returns immediately.
+    ///
+    /// Returns whether the worker was actually sleeping, so callers can stop
+    /// scanning once a real sleeper has been handed the work.
+    pub(crate) fn unpark(&self) -> bool {
+        let mut state = lock_unpoisoned(&self.state);
+        state.notified = true;
+        let was_sleeping = state.sleeping;
+        drop(state);
+        if was_sleeping {
+            self.cvar.notify_one();
+        }
+        was_sleeping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn pending_notification_skips_sleep() {
+        let parker = Parker::default();
+        assert!(!parker.unpark(), "nobody was sleeping yet");
+        let start = Instant::now();
+        parker.park_timeout(Duration::from_secs(5), || false);
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn precheck_aborts_park() {
+        let parker = Parker::default();
+        let start = Instant::now();
+        parker.park_timeout(Duration::from_secs(5), || true);
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn timeout_bounds_sleep() {
+        let parker = Parker::default();
+        let start = Instant::now();
+        parker.park_timeout(Duration::from_millis(20), || false);
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(10), "{elapsed:?}");
+        assert!(elapsed < Duration::from_secs(2), "{elapsed:?}");
+    }
+
+    #[test]
+    fn unpark_wakes_sleeper() {
+        let parker = Arc::new(Parker::default());
+        let woke = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let parker = Arc::clone(&parker);
+            let woke = Arc::clone(&woke);
+            std::thread::spawn(move || {
+                parker.park_timeout(Duration::from_secs(10), || false);
+                woke.store(true, Ordering::SeqCst);
+            })
+        };
+        // Keep poking until the sleeper is actually parked.
+        while !parker.unpark() && !woke.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        handle.join().expect("parker thread");
+        assert!(woke.load(Ordering::SeqCst));
+    }
+}

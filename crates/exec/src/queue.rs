@@ -1,0 +1,145 @@
+//! Task queues: per-worker bounded local deques with a LIFO slot, and the
+//! global injector.
+//!
+//! Layout follows the classic work-stealing shape (cf. tokio/go):
+//!
+//! - The **LIFO slot** holds the single freshest task pushed by the owning
+//!   worker; running it next keeps producer→consumer chains cache-hot.
+//! - The **FIFO deque** holds the backlog. The owner pops from the front,
+//!   and thieves also steal from the front — oldest-first stealing moves the
+//!   coldest work, which is the work least likely to hit the owner's cache.
+//! - The deque is **soft-bounded**: unpinned overflow is shed to the global
+//!   injector so one flooded worker cannot hoard the whole backlog, while
+//!   pinned tasks (cpuset-restricted) are always accepted because the
+//!   injector cannot express their affinity.
+//!
+//! Everything is a plain mutex-guarded `VecDeque`: this crate forbids
+//! `unsafe`, so the lock-free Chase–Lev array is out of reach — but at the
+//! batch sizes the live platform sees (tens of tasks per lock hold), the
+//! mutex is never the bottleneck and the *topology* (local-first, steal-half,
+//! injector refill) is what delivers the scaling.
+
+use crate::park::lock_unpoisoned;
+use crate::task::TaskCore;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+#[derive(Default)]
+struct LocalInner {
+    lifo: Option<Arc<TaskCore>>,
+    fifo: VecDeque<Arc<TaskCore>>,
+}
+
+/// One worker's local queue.
+pub(crate) struct LocalQueue {
+    inner: Mutex<LocalInner>,
+    /// Soft bound on the FIFO backlog; unpinned pushes past it are shed.
+    capacity: usize,
+}
+
+impl LocalQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        LocalQueue {
+            inner: Mutex::new(LocalInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Push from the owning worker: the task takes the LIFO slot, displacing
+    /// any previous occupant to the back of the FIFO deque.
+    ///
+    /// Returns an overflow task (the oldest unpinned entry) when the deque
+    /// exceeds its soft bound; the caller must route it to the injector.
+    pub(crate) fn push_owner(&self, task: Arc<TaskCore>) -> Option<Arc<TaskCore>> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        if let Some(displaced) = inner.lifo.replace(task) {
+            inner.fifo.push_back(displaced);
+        }
+        if inner.fifo.len() > self.capacity {
+            let unpinned_at = inner.fifo.iter().position(|t| t.cpuset().is_none());
+            if let Some(at) = unpinned_at {
+                return inner.fifo.remove(at);
+            }
+        }
+        None
+    }
+
+    /// Push from outside the owning worker (pinned dispatch or injector
+    /// refill). Goes to the back of the FIFO deque; never shed, because the
+    /// caller chose this worker deliberately.
+    pub(crate) fn push_remote(&self, task: Arc<TaskCore>) {
+        lock_unpoisoned(&self.inner).fifo.push_back(task);
+    }
+
+    /// Owner pop: LIFO slot first (freshest), then the front of the deque
+    /// (oldest backlog, FIFO fairness).
+    pub(crate) fn pop(&self) -> Option<Arc<TaskCore>> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        inner.lifo.take().or_else(|| inner.fifo.pop_front())
+    }
+
+    /// Steal up to half of the tasks runnable by `thief` (cpuset-eligible),
+    /// oldest first. The LIFO slot is never stolen — it is the owner's
+    /// cache-locality reserve.
+    pub(crate) fn steal_for(&self, thief: usize) -> Vec<Arc<TaskCore>> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let eligible = inner
+            .fifo
+            .iter()
+            .filter(|t| t.cpuset().is_none_or(|set| set.allows(thief)))
+            .count();
+        if eligible == 0 {
+            return Vec::new();
+        }
+        let take = eligible.div_ceil(2);
+        let mut stolen = Vec::with_capacity(take);
+        let mut index = 0;
+        while stolen.len() < take && index < inner.fifo.len() {
+            let ok = inner.fifo[index]
+                .cpuset()
+                .is_none_or(|set| set.allows(thief));
+            if ok {
+                if let Some(task) = inner.fifo.remove(index) {
+                    stolen.push(task);
+                    continue; // same index now holds the next task
+                }
+            }
+            index += 1;
+        }
+        stolen
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        let inner = lock_unpoisoned(&self.inner);
+        inner.lifo.is_none() && inner.fifo.is_empty()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        let inner = lock_unpoisoned(&self.inner);
+        usize::from(inner.lifo.is_some()) + inner.fifo.len()
+    }
+}
+
+/// The global injector: unpinned tasks submitted from outside a worker, and
+/// local-queue overflow.
+#[derive(Default)]
+pub(crate) struct Injector {
+    inner: Mutex<VecDeque<Arc<TaskCore>>>,
+}
+
+impl Injector {
+    pub(crate) fn push(&self, task: Arc<TaskCore>) {
+        lock_unpoisoned(&self.inner).push_back(task);
+    }
+
+    /// Pop up to `max` tasks for an idle worker to refill its local queue.
+    pub(crate) fn pop_batch(&self, max: usize) -> Vec<Arc<TaskCore>> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let take = max.max(1).min(inner.len());
+        inner.drain(..take).collect()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        lock_unpoisoned(&self.inner).is_empty()
+    }
+}

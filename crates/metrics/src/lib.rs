@@ -27,7 +27,10 @@
 //! * [`analysis`] — trace analysis over the event stream: per-invocation
 //!   latency attribution whose phases provably sum to end-to-end latency,
 //!   critical-path extraction, trace diffing (`faasbatch trace-diff`), and
-//!   typed-error JSONL loading (DESIGN.md §13).
+//!   typed-error JSONL loading (DESIGN.md §13);
+//! * [`live`] — the wall-clock [`live::LiveTraceRecorder`] adapter that lets
+//!   the live platform emit the same typed stream, so auditing and
+//!   attribution work on real runs (DESIGN.md §14).
 //!
 //! # Examples
 //!
@@ -46,6 +49,7 @@ pub mod analysis;
 pub mod autoscaler;
 pub mod events;
 pub mod latency;
+pub mod live;
 pub mod report;
 pub mod sampler;
 pub mod stats;
@@ -62,6 +66,7 @@ pub use events::{
     RecordReducer, ReducedRun, RingSink, SimEvent, TaskKind, TraceSink, VecSink,
 };
 pub use latency::{InvocationRecord, LatencyBreakdown};
+pub use live::LiveTraceRecorder;
 pub use report::{percent_reduction, text_table, RunReport};
 pub use sampler::{ResourceSample, ResourceSampler};
 pub use stats::{Cdf, Summary};

@@ -1,0 +1,194 @@
+//! Wall-clock adapter onto the event-sourced observability spine.
+//!
+//! Simulated runs emit [`SimEvent`]s at virtual timestamps; the live
+//! platform runs on the wall clock across many threads. The
+//! [`LiveTraceRecorder`] bridges the two: it fixes an `Instant` origin at
+//! construction, stamps every event with microseconds-since-origin as a
+//! [`SimTime`], and buffers them under one mutex.
+//! [`take_trace`](LiveTraceRecorder::take_trace) then yields a stream
+//! stable-sorted by timestamp, so the same consumers that audit and
+//! attribute simulated runs
+//! — [`AuditorSink`](crate::events::AuditorSink),
+//! [`RecordReducer`](crate::events::RecordReducer), the
+//! [`AttributionEngine`](crate::analysis::AttributionEngine), and
+//! `faasbatch trace --analyze` — work unchanged on live ones.
+//!
+//! Concurrent emitters interleave, but every *causal chain* (arrival →
+//! decision → ready → exec → completion for one invocation) is stamped in
+//! happens-before order on a monotonic clock, so the per-invocation
+//! orderings the reducer relies on survive the global sort.
+
+use crate::events::{EventKind, SimEvent, TraceSink};
+use faasbatch_simcore::time::SimTime;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct RecorderInner {
+    origin: Instant,
+    events: Mutex<Vec<SimEvent>>,
+}
+
+/// Thread-safe, cloneable wall-clock event recorder for live runs.
+///
+/// Cloning is cheap (an `Arc` bump); every clone feeds the same buffer and
+/// shares the same time origin.
+///
+/// # Examples
+///
+/// ```
+/// use faasbatch_container::ids::{FunctionId, InvocationId};
+/// use faasbatch_metrics::events::EventKind;
+/// use faasbatch_metrics::live::LiveTraceRecorder;
+///
+/// let recorder = LiveTraceRecorder::new();
+/// recorder.record(EventKind::Arrival {
+///     invocation: InvocationId::new(0),
+///     function: FunctionId::new(0),
+/// });
+/// let trace = recorder.take_trace();
+/// assert_eq!(trace.len(), 1);
+/// ```
+#[derive(Clone)]
+pub struct LiveTraceRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl std::fmt::Debug for LiveTraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveTraceRecorder")
+            .field("buffered", &self.len())
+            .finish()
+    }
+}
+
+impl Default for LiveTraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LiveTraceRecorder {
+    /// A recorder whose time origin is now.
+    pub fn new() -> Self {
+        LiveTraceRecorder {
+            inner: Arc::new(RecorderInner {
+                origin: Instant::now(),
+                events: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Wall-clock time since the origin, as a [`SimTime`] (µs resolution).
+    pub fn now(&self) -> SimTime {
+        let micros = self.inner.origin.elapsed().as_micros();
+        SimTime::from_micros(u64::try_from(micros).unwrap_or(u64::MAX))
+    }
+
+    /// Records `kind` stamped at [`now`](LiveTraceRecorder::now); returns
+    /// the timestamp used.
+    pub fn record(&self, kind: EventKind) -> SimTime {
+        let at = self.now();
+        self.record_at(at, kind);
+        at
+    }
+
+    /// Records `kind` at an explicit timestamp (e.g. to reuse one stamp
+    /// across a pair of adjacent events).
+    pub fn record_at(&self, at: SimTime, kind: EventKind) {
+        self.lock_events().push(SimEvent::new(at, kind));
+    }
+
+    /// Events buffered so far.
+    pub fn len(&self) -> usize {
+        self.lock_events().len()
+    }
+
+    /// Whether nothing has been recorded (or everything was taken).
+    pub fn is_empty(&self) -> bool {
+        self.lock_events().is_empty()
+    }
+
+    /// Drains the buffer, returning the events stable-sorted by timestamp —
+    /// a stream legal to feed any [`TraceSink`].
+    pub fn take_trace(&self) -> Vec<SimEvent> {
+        let mut events = std::mem::take(&mut *self.lock_events());
+        events.sort_by_key(|e| e.at);
+        events
+    }
+
+    /// Drains the buffer into `sink` in timestamp order; returns the number
+    /// of events delivered.
+    pub fn drain_into(&self, sink: &mut dyn TraceSink) -> usize {
+        let events = self.take_trace();
+        for event in &events {
+            sink.record(event);
+        }
+        events.len()
+    }
+
+    fn lock_events(&self) -> std::sync::MutexGuard<'_, Vec<SimEvent>> {
+        self.inner
+            .events
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::VecSink;
+    use faasbatch_container::ids::{FunctionId, InvocationId};
+
+    fn arrival(n: u64) -> EventKind {
+        EventKind::Arrival {
+            invocation: InvocationId::new(n),
+            function: FunctionId::new(0),
+        }
+    }
+
+    #[test]
+    fn records_are_stamped_monotonically_per_thread() {
+        let rec = LiveTraceRecorder::new();
+        let a = rec.record(arrival(0));
+        let b = rec.record(arrival(1));
+        assert!(b >= a);
+        assert_eq!(rec.len(), 2);
+    }
+
+    #[test]
+    fn take_trace_sorts_and_drains() {
+        let rec = LiveTraceRecorder::new();
+        rec.record_at(SimTime::from_micros(50), arrival(1));
+        rec.record_at(SimTime::from_micros(10), arrival(0));
+        let trace = rec.take_trace();
+        assert_eq!(trace.len(), 2);
+        assert!(trace[0].at <= trace[1].at);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_buffer_and_origin() {
+        let rec = LiveTraceRecorder::new();
+        let other = rec.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                other.record(arrival(0));
+            });
+            scope.spawn(|| {
+                rec.record(arrival(1));
+            });
+        });
+        assert_eq!(rec.take_trace().len(), 2);
+    }
+
+    #[test]
+    fn drain_into_feeds_a_sink_in_order() {
+        let rec = LiveTraceRecorder::new();
+        rec.record_at(SimTime::from_micros(9), arrival(1));
+        rec.record_at(SimTime::from_micros(3), arrival(0));
+        let mut sink = VecSink::new();
+        assert_eq!(rec.drain_into(&mut sink), 2);
+        assert_eq!(sink.events()[0].at, SimTime::from_micros(3));
+    }
+}

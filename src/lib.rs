@@ -21,6 +21,7 @@
 //! | [`fleet`] | multi-worker fleet simulation: pluggable routing, faults, aggregate reports |
 //! | [`schedulers`] | shared simulation harness + Vanilla / Kraken / SFS baselines |
 //! | [`container`] | container lifecycle, warm pool, cold-start model, live executor |
+//! | [`exec`] | dependency-free work-stealing executor: deques, task groups, timer wheel |
 //! | [`storage`] | in-memory object store + costly-client SDK (the multiplexed resource) |
 //! | [`trace`] | Azure-style workload generators and trace parsers |
 //! | [`metrics`] | latency decomposition, CDFs, resource sampling, run reports |
@@ -56,6 +57,7 @@
 
 pub use faasbatch_container as container;
 pub use faasbatch_core as core;
+pub use faasbatch_exec as exec;
 pub use faasbatch_fleet as fleet;
 pub use faasbatch_metrics as metrics;
 pub use faasbatch_schedulers as schedulers;

@@ -9,6 +9,8 @@
 //! faasbatch trace    [--scheduler NAME] [--workload cpu|io] [--seed N]
 //!                    [--out FILE] [--chrome FILE] [--analyze FILE]
 //! faasbatch trace-diff A.jsonl B.jsonl [--top K] [--json FILE]
+//! faasbatch live     [--jobs N] [--batch-size N] [--workers N]
+//!                    [--backend executor|thread-per-job] [--out FILE]
 //! faasbatch figures
 //! faasbatch help
 //! ```
@@ -58,6 +60,9 @@ USAGE:
                        [--window-ms N] [--keepalive-s N] [--prewarm-cap N]
                        [--keepalive-floor-s N] [--keepalive-ceiling-s N]
                        [--import FILE]
+    faasbatch live     [--jobs N] [--batch-size N] [--workers N] [--seed N]
+                       [--backend executor|thread-per-job] [--window-ms N]
+                       [--cold-ms N] [--work-us N] [--audit] [--out FILE]
     faasbatch figures
     faasbatch help
 
@@ -77,6 +82,12 @@ COMMANDS:
     autoscale  replay one workload under one scheduler twice — static config
                vs the trace-driven autoscaling controller — audit the
                controller's actions, and print the comparison
+    live       fire a synthetic burst at the real (wall-clock) platform on
+               the work-stealing executor (or the thread-per-job baseline)
+               and print throughput plus p50/p95/p99 latency; --audit replays
+               the emitted event stream through the invariant auditor and the
+               attribution engine, --out FILE exports it as JSONL (readable
+               by `faasbatch trace --analyze`)
     figures    list the per-figure regeneration binaries
 
 Workloads exported with `workload --export` replay bit-identically via
@@ -84,7 +95,7 @@ Workloads exported with `workload --export` replay bit-identically via
 paper-sized totals.";
 
 /// Options that take no value (presence alone means \"true\").
-const BOOLEAN_FLAGS: [&str; 1] = ["--no-multiplex"];
+const BOOLEAN_FLAGS: [&str; 2] = ["--no-multiplex", "--audit"];
 
 /// Splits an argument list into positional arguments and `--key [value]`
 /// option tokens, preserving order within each group. Subcommands that take
@@ -736,6 +747,161 @@ fn cmd_autoscale(opts: &Options) -> Result<(), String> {
     }
 }
 
+/// Nearest-rank quantile over an already-sorted latency vector.
+fn quantile_sorted(sorted: &[std::time::Duration], q: f64) -> std::time::Duration {
+    if sorted.is_empty() {
+        return std::time::Duration::ZERO;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// `faasbatch live`: a synthetic burst against the real platform.
+fn cmd_live(opts: &Options) -> Result<(), String> {
+    use faasbatch::container::live::LiveBackend;
+    use faasbatch::core::platform::PlatformBuilder;
+    use faasbatch::exec::{Executor, ExecutorConfig};
+    use faasbatch::metrics::live::LiveTraceRecorder;
+
+    let jobs: usize = opts.num("--jobs", 2000)?;
+    let batch_size: usize = opts.num("--batch-size", 100)?;
+    let workers: usize = opts.num("--workers", 0)?;
+    let seed: u64 = opts.num("--seed", 2023)?;
+    let window = std::time::Duration::from_millis(opts.num("--window-ms", 25)?);
+    let cold = std::time::Duration::from_millis(opts.num("--cold-ms", 2)?);
+    let work = std::time::Duration::from_micros(opts.num("--work-us", 250)?);
+    let backend = match opts.str("--backend", "executor").as_str() {
+        "executor" => LiveBackend::Executor,
+        "thread-per-job" => LiveBackend::ThreadPerJob,
+        other => {
+            return Err(format!(
+                "unknown backend: {other} (use executor|thread-per-job)"
+            ))
+        }
+    };
+    if jobs == 0 || batch_size == 0 {
+        return Err("--jobs and --batch-size must be at least 1".to_owned());
+    }
+    let functions = jobs.div_ceil(batch_size);
+    let trace = opts.flag("--audit") || opts.values.contains_key("--out");
+
+    let mut exec_config = ExecutorConfig {
+        seed,
+        ..ExecutorConfig::default()
+    };
+    if workers > 0 {
+        exec_config.workers = workers;
+    }
+    let executor = Executor::new(exec_config);
+    let recorder = trace.then(LiveTraceRecorder::new);
+    let mut builder = PlatformBuilder::new()
+        .window(window)
+        .cold_start_delay(cold)
+        .backend(backend)
+        .executor(std::sync::Arc::clone(&executor));
+    if let Some(rec) = &recorder {
+        builder = builder.trace(rec.clone());
+    }
+    for f in 0..functions {
+        builder = builder.register(&format!("burst-{f}"), move |_env| {
+            if !work.is_zero() {
+                std::thread::sleep(work);
+            }
+        });
+    }
+    let platform = builder.start();
+
+    println!(
+        "firing {jobs} invocations over {functions} function(s) (target batch \
+         {batch_size}) on the {backend:?} backend, {} worker(s)…",
+        executor.workers()
+    );
+    let started = std::time::Instant::now();
+    let tickets: Vec<_> = (0..jobs)
+        .map(|n| {
+            platform
+                .invoke(&format!("burst-{}", n % functions), bytes::Bytes::new())
+                .expect("registered")
+        })
+        .collect();
+    let mut latencies: Vec<std::time::Duration> = Vec::with_capacity(jobs);
+    let mut panicked = 0usize;
+    for t in tickets {
+        let outcome = t.wait();
+        if outcome.panicked {
+            panicked += 1;
+        }
+        latencies.push(outcome.total());
+    }
+    platform.drain().map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+
+    latencies.sort_unstable();
+    let stats = platform.stats();
+    println!(
+        "done in {elapsed:.2?}: {:.0} invocations/s | containers {} | batches {} | panicked {panicked}",
+        jobs as f64 / elapsed.as_secs_f64(),
+        stats.containers_created.load(std::sync::atomic::Ordering::Relaxed),
+        stats.batches.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    println!(
+        "latency: p50 {:.2?} | p95 {:.2?} | p99 {:.2?} | max {:.2?}",
+        quantile_sorted(&latencies, 0.50),
+        quantile_sorted(&latencies, 0.95),
+        quantile_sorted(&latencies, 0.99),
+        latencies.last().copied().unwrap_or_default(),
+    );
+    let metrics = executor.metrics();
+    if backend == LiveBackend::Executor {
+        println!(
+            "executor: {} worker(s) | peak in-flight {} | spawned {} | steals {}",
+            metrics.workers,
+            metrics.peak_in_flight,
+            metrics.spawned_total,
+            metrics.total_steals(),
+        );
+    }
+
+    drop(platform);
+    if let Some(recorder) = recorder {
+        let events = recorder.take_trace();
+        if let Some(out) = opts.values.get("--out") {
+            if let Some(dir) = std::path::Path::new(out).parent() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            }
+            let mut jsonl = String::new();
+            for event in &events {
+                jsonl.push_str(&serde_json::to_string(event).map_err(|e| e.to_string())?);
+                jsonl.push('\n');
+            }
+            std::fs::write(out, jsonl).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("wrote {} events to {out}", events.len());
+        }
+        let mut auditor = AuditorSink::new();
+        for event in &events {
+            auditor.record(event);
+        }
+        let violations = auditor.finish().to_vec();
+        let attribution = attribute_events(&events);
+        print!("{}", attribution.render());
+        if !attribution.all_exact() {
+            return Err("attribution phases do not sum to end-to-end latency".to_owned());
+        }
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("auditor violation: {v}");
+            }
+            return Err(format!(
+                "the event stream violated {} invariant(s)",
+                violations.len()
+            ));
+        }
+        println!("auditor: stream is clean (0 violations)");
+    }
+    Ok(())
+}
+
 fn cmd_figures() {
     println!(
         "Figure harnesses (run with `cargo run --release -p faasbatch-bench --bin <name>`):\n"
@@ -799,6 +965,7 @@ fn main() -> ExitCode {
             Options::parse(&options).and_then(|o| cmd_trace_diff(&positionals, &o))
         }
         "autoscale" => Options::parse(rest).and_then(|o| cmd_autoscale(&o)),
+        "live" => Options::parse(rest).and_then(|o| cmd_live(&o)),
         "figures" => {
             cmd_figures();
             Ok(())
@@ -872,6 +1039,19 @@ mod tests {
         assert_eq!(options, vec!["--top", "5", "--no-multiplex"]);
         let o = Options::parse(&options).unwrap();
         assert_eq!(o.num::<usize>("--top", 10).unwrap(), 5);
+    }
+
+    #[test]
+    fn quantile_sorted_uses_nearest_rank() {
+        use std::time::Duration;
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(quantile_sorted(&sorted, 0.50), Duration::from_millis(50));
+        assert_eq!(quantile_sorted(&sorted, 0.95), Duration::from_millis(95));
+        assert_eq!(quantile_sorted(&sorted, 0.99), Duration::from_millis(99));
+        assert_eq!(quantile_sorted(&[], 0.5), Duration::ZERO);
+        let one = [Duration::from_millis(7)];
+        assert_eq!(quantile_sorted(&one, 0.01), one[0]);
+        assert_eq!(quantile_sorted(&one, 1.0), one[0]);
     }
 
     #[test]

@@ -160,6 +160,68 @@ fn handlers_run_on_many_threads_within_a_batch() {
     );
 }
 
+#[test]
+fn large_burst_runs_on_executor_workers_without_thread_per_job() {
+    // A burst far wider than any sane thread-per-invocation pool: all of it
+    // must multiplex onto the fixed executor pool. Handler threads must be
+    // executor workers (named "faasbatch-exec-*"), never per-job threads.
+    use faasbatch::exec::{Executor, ExecutorConfig};
+
+    const JOBS: usize = 500;
+    let exec = Executor::new(ExecutorConfig {
+        workers: 8,
+        seed: 7,
+        ..ExecutorConfig::default()
+    });
+    let seen = Arc::new(parking_lot_thread_ids());
+    let seen2 = seen.clone();
+    let on_exec_worker = Arc::new(AtomicUsize::new(0));
+    let on_exec2 = on_exec_worker.clone();
+    let platform = PlatformBuilder::new()
+        .window(Duration::from_millis(20))
+        .cold_start_delay(Duration::from_millis(1))
+        .executor(Arc::clone(&exec))
+        .register("spy", move |_env| {
+            seen2.record();
+            if std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("faasbatch-exec-"))
+            {
+                on_exec2.fetch_add(1, Ordering::SeqCst);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        })
+        .start();
+    let tickets: Vec<_> = (0..JOBS)
+        .map(|_| platform.invoke("spy", Bytes::new()).unwrap())
+        .collect();
+    let mut panicked = 0;
+    for t in tickets {
+        if t.wait().panicked {
+            panicked += 1;
+        }
+    }
+    platform.drain().unwrap();
+    drop(platform);
+    assert_eq!(panicked, 0);
+    assert_eq!(seen.total(), JOBS);
+    assert_eq!(
+        on_exec_worker.load(Ordering::SeqCst),
+        JOBS,
+        "every handler must run on an executor worker thread"
+    );
+    assert!(
+        seen.distinct() <= 8,
+        "no thread-per-job: {} distinct handler threads for {JOBS} jobs",
+        seen.distinct()
+    );
+    assert!(seen.distinct() >= 2, "the pool must actually parallelize");
+    let metrics = exec.metrics();
+    assert!(metrics.spawned_total >= JOBS as u64);
+    assert_eq!(metrics.in_flight, 0, "all work drained");
+    exec.shutdown();
+}
+
 struct ThreadIds {
     ids: parking_lot::Mutex<std::collections::HashSet<std::thread::ThreadId>>,
     count: AtomicUsize,
@@ -179,5 +241,8 @@ impl ThreadIds {
     }
     fn distinct(&self) -> usize {
         self.ids.lock().len()
+    }
+    fn total(&self) -> usize {
+        self.count.load(Ordering::SeqCst)
     }
 }

@@ -3,11 +3,22 @@
 //! they must make equivalent *decisions* (container counts, client
 //! creations). Wall-clock timing is NOT compared — only decision outcomes,
 //! which are robust to scheduling jitter.
+//!
+//! The live side runs on both batch-expansion backends — the work-stealing
+//! executor and the original thread-per-job baseline — and, with a trace
+//! recorder attached, must emit a [`SimEvent`] stream that passes the
+//! auditor clean, attributes exactly, and round-trips through the same
+//! JSONL format `faasbatch trace --analyze` consumes.
 
 use bytes::Bytes;
 use faasbatch::container::ids::{FunctionId, InvocationId};
+use faasbatch::container::live::LiveBackend;
 use faasbatch::core::platform::PlatformBuilder;
 use faasbatch::core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch::exec::{Executor, ExecutorConfig};
+use faasbatch::metrics::analysis::{parse_events, AttributionEngine};
+use faasbatch::metrics::events::{AuditorSink, EventKind, RecordReducer, TraceSink};
+use faasbatch::metrics::live::LiveTraceRecorder;
 use faasbatch::schedulers::config::SimConfig;
 use faasbatch::simcore::time::{SimDuration, SimTime};
 use faasbatch::storage::client::ClientConfig;
@@ -15,6 +26,7 @@ use faasbatch::storage::object_store::ObjectStore;
 use faasbatch::trace::function::{FunctionKind, FunctionRegistry};
 use faasbatch::trace::workload::{Invocation, Workload};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
 const BURST: usize = 24;
@@ -53,8 +65,7 @@ fn simulated_counts() -> (u64, u64) {
     (report.provisioned_containers, report.clients_created)
 }
 
-/// Live version: the same burst through the real platform.
-fn live_counts() -> (u64, u64) {
+fn live_platform(backend: LiveBackend, recorder: Option<LiveTraceRecorder>) -> PlatformBuilder {
     let store = ObjectStore::new();
     for i in 0..FUNCTIONS {
         store.create_bucket(&format!("bucket-{i}")).unwrap();
@@ -62,7 +73,11 @@ fn live_counts() -> (u64, u64) {
     let mut builder = PlatformBuilder::new()
         .window(Duration::from_millis(60))
         .cold_start_delay(Duration::from_millis(1))
+        .backend(backend)
         .store(store);
+    if let Some(rec) = recorder {
+        builder = builder.trace(rec);
+    }
     for i in 0..FUNCTIONS {
         builder = builder.register(&format!("io-{i}"), move |env| {
             let client = env
@@ -71,7 +86,10 @@ fn live_counts() -> (u64, u64) {
             client.put("k", Bytes::from_static(b"v")).unwrap();
         });
     }
-    let platform = builder.start();
+    builder
+}
+
+fn run_burst(platform: &faasbatch::core::platform::FaasBatchPlatform) {
     let tickets: Vec<_> = (0..BURST)
         .map(|n| {
             platform
@@ -83,10 +101,30 @@ fn live_counts() -> (u64, u64) {
         t.wait();
     }
     platform.drain().unwrap();
+}
+
+/// Live version: the same burst through the real platform.
+fn live_counts(backend: LiveBackend) -> (u64, u64) {
+    let platform = live_platform(backend, None).start();
+    run_burst(&platform);
     (
         platform.stats().containers_created.load(Ordering::Relaxed),
         platform.stats().clients_created.load(Ordering::Relaxed),
     )
+}
+
+fn check_live_side(live_containers: u64, live_clients: u64, backend: LiveBackend) {
+    // The live run races real threads against the window; allow stragglers
+    // to have opened one extra batch per function, but the multiplexer must
+    // still cap clients at one per container.
+    assert!(
+        live_containers >= FUNCTIONS as u64 && live_containers <= 2 * FUNCTIONS as u64,
+        "{backend:?} live containers: {live_containers}"
+    );
+    assert!(
+        live_clients <= live_containers,
+        "{backend:?} live clients {live_clients} exceed containers {live_containers}"
+    );
 }
 
 #[test]
@@ -97,16 +135,98 @@ fn one_window_burst_makes_equivalent_decisions() {
     assert_eq!(sim_containers, FUNCTIONS as u64);
     assert_eq!(sim_clients, FUNCTIONS as u64);
 
-    let (live_containers, live_clients) = live_counts();
-    // The live run races real threads against the window; allow stragglers
-    // to have opened one extra batch per function, but the multiplexer must
-    // still cap clients at one per container.
-    assert!(
-        live_containers >= FUNCTIONS as u64 && live_containers <= 2 * FUNCTIONS as u64,
-        "live containers: {live_containers}"
-    );
-    assert!(
-        live_clients <= live_containers,
-        "live clients {live_clients} exceed containers {live_containers}"
-    );
+    for backend in [LiveBackend::Executor, LiveBackend::ThreadPerJob] {
+        let (live_containers, live_clients) = live_counts(backend);
+        check_live_side(live_containers, live_clients, backend);
+    }
+}
+
+#[test]
+fn traced_live_burst_audits_clean_and_attributes_exactly() {
+    for backend in [LiveBackend::Executor, LiveBackend::ThreadPerJob] {
+        let recorder = LiveTraceRecorder::new();
+        let platform = live_platform(backend, Some(recorder.clone())).start();
+        run_burst(&platform);
+        drop(platform);
+        let trace = recorder.take_trace();
+        assert!(
+            trace
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Arrival { .. }))
+                .count()
+                == BURST,
+            "{backend:?}: every invocation arrives in the trace"
+        );
+
+        // The stream must satisfy every simulator invariant.
+        let mut auditor = AuditorSink::new();
+        for event in &trace {
+            auditor.record(event);
+        }
+        assert!(
+            auditor.finish().is_empty(),
+            "{backend:?} auditor violations: {:?}",
+            auditor.finish()
+        );
+
+        // The reducer's latency tiling must hold on wall-clock stamps.
+        let mut reducer = RecordReducer::new();
+        for event in &trace {
+            reducer.on_event(event);
+        }
+        let reduced = reducer.finish();
+        assert_eq!(reduced.records.len(), BURST, "{backend:?} records");
+        for record in &reduced.records {
+            assert!(record.is_consistent(), "{backend:?}: {record:?}");
+        }
+
+        // Round-trip through the JSONL wire format `faasbatch trace
+        // --analyze` reads, then attribute: every phase sum must equal the
+        // end-to-end latency exactly.
+        let jsonl: String = trace
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("serializable") + "\n")
+            .collect();
+        let reloaded = parse_events(&jsonl).expect("round-trip parse");
+        assert_eq!(reloaded.len(), trace.len(), "{backend:?} JSONL round trip");
+        let mut engine = AttributionEngine::new();
+        engine.consume(&reloaded);
+        let report = engine.finish();
+        assert_eq!(report.invocations.len(), BURST, "{backend:?} attributions");
+        assert_eq!(report.unfinished, 0, "{backend:?} unfinished");
+        assert!(report.all_exact(), "{backend:?} attribution must be exact");
+    }
+}
+
+#[test]
+fn seeded_executor_runs_are_decision_deterministic() {
+    // Same seed, same fixed-size pool: the platform's decision outcomes
+    // must be reproducible run over run (the executor's steal order is
+    // derived from the seed, so no scheduling nondeterminism leaks into
+    // counts).
+    let run = |seed: u64| -> (u64, u64, u64) {
+        let exec = Executor::new(ExecutorConfig {
+            workers: 4,
+            seed,
+            ..ExecutorConfig::default()
+        });
+        assert_eq!(exec.seed(), seed);
+        let platform = live_platform(LiveBackend::Executor, None)
+            .executor(Arc::clone(&exec))
+            .start();
+        run_burst(&platform);
+        let invocations = platform.stats().invocations.load(Ordering::Relaxed);
+        let containers = platform.stats().containers_created.load(Ordering::Relaxed);
+        let clients = platform.stats().clients_created.load(Ordering::Relaxed);
+        drop(platform);
+        assert!(exec.metrics().spawned_total >= BURST as u64);
+        exec.shutdown();
+        (invocations, containers, clients)
+    };
+    let first = run(0xFAA5_BA7C);
+    let second = run(0xFAA5_BA7C);
+    assert_eq!(first.0, BURST as u64);
+    assert_eq!(second.0, BURST as u64);
+    check_live_side(first.1, first.2, LiveBackend::Executor);
+    check_live_side(second.1, second.2, LiveBackend::Executor);
 }
