@@ -1,6 +1,6 @@
 //! Fleet scaling sweep — beyond the paper's single worker: how FaaSBatch
-//! and Vanilla behave across worker counts {1, 2, 4, 8} under each routing
-//! policy, on a scaled-up Azure-style CPU workload.
+//! and Vanilla behave across worker counts {1, 2, 4, 8, 64, 128} under each
+//! routing policy, on a scaled-up Azure-style CPU workload.
 //!
 //! Reports fleet end-to-end latency, provisioned containers, warm-hit rate,
 //! and load imbalance (CoV of mean busy cores across workers); writes the
@@ -18,7 +18,7 @@ use faasbatch_trace::workload::{cpu_workload, WorkloadConfig};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
-const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WORKER_COUNTS: [usize; 6] = [1, 2, 4, 8, 64, 128];
 
 /// One sweep point, as exported to JSON.
 #[derive(Debug, Clone, Serialize, Deserialize)]

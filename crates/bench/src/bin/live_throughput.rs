@@ -10,11 +10,21 @@
 //! per invocation, which is exactly the cost the live platform used to pay
 //! per batch member.
 //!
-//! Writes the sweep to `results/live_throughput.json`. `--quick` runs the
-//! two small tiers only (CI smoke).
+//! The gateway mode (`--gateway`, also part of the default full run) pushes
+//! bursts through the sharded live gateway instead: 8 producer threads
+//! enqueue each tier within one gateway dispatch window, so the whole tier
+//! is concurrently in flight (queued, routed, or executing) before the
+//! first group completes — the top tier proves the gateway holds ≥100,000
+//! concurrent in-flight invocations across 8 live worker platforms, and the
+//! report breaks throughput down per shard.
+//!
+//! Writes the executor sweep and the gateway tiers to
+//! `results/live_throughput.json`. `--quick` runs the small tiers only
+//! (CI smoke) and never writes the JSON.
 
 use faasbatch_bench::SEED;
 use faasbatch_exec::{Executor, ExecutorConfig, GroupJob};
+use faasbatch_gateway::Gateway;
 use faasbatch_metrics::report::text_table;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -25,6 +35,16 @@ const TIERS: [usize; 4] = [100, 1_000, 5_000, 10_000];
 const QUICK_TIERS: [usize; 2] = [100, 1_000];
 const WORKERS: usize = 8;
 const JOB_DELAY: Duration = Duration::from_millis(2);
+
+const GATEWAY_TIERS: [usize; 3] = [10_000, 40_000, 120_000];
+const QUICK_GATEWAY_TIERS: [usize; 1] = [2_000];
+const GATEWAY_WORKERS: usize = 8;
+const GATEWAY_SHARDS: usize = 8;
+const GATEWAY_FUNCTIONS: usize = 64;
+const GATEWAY_PRODUCERS: usize = 8;
+/// Per-invocation handler cost: enough that the tier genuinely overlaps in
+/// execution, small enough that 120k invocations drain in seconds.
+const GATEWAY_WORK: Duration = Duration::from_micros(100);
 
 /// One sweep point, as exported to JSON.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -102,8 +122,169 @@ fn run_thread_per_job_tier(n: usize) -> Row {
     }
 }
 
+/// One gateway tier, as exported to JSON.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GatewayRow {
+    in_flight: usize,
+    policy: String,
+    workers: usize,
+    shards: usize,
+    /// Highest number of simultaneously in-flight (admitted, not yet
+    /// completed) invocations the gateway observed.
+    peak_in_flight: usize,
+    rejected: u64,
+    wall_ms: f64,
+    throughput_per_s: f64,
+    /// Admitted-invocation throughput of each shard (jobs/s).
+    shard_throughput_per_s: Vec<f64>,
+}
+
+/// Everything `results/live_throughput.json` holds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Results {
+    sweep: Vec<Row>,
+    gateway: Vec<GatewayRow>,
+}
+
+/// One burst through the sharded gateway: `n` invocations spread over
+/// [`GATEWAY_FUNCTIONS`] functions, enqueued by [`GATEWAY_PRODUCERS`]
+/// threads inside one dispatch window, drained to completion.
+fn run_gateway_tier(n: usize) -> GatewayRow {
+    let executor = Executor::new(ExecutorConfig {
+        workers: WORKERS,
+        seed: SEED,
+        ..ExecutorConfig::default()
+    });
+    let mut builder = Gateway::builder()
+        .workers(GATEWAY_WORKERS)
+        .shards(GATEWAY_SHARDS)
+        // The tier must never hit admission control: depth is the bound
+        // under test elsewhere, capacity is the story here.
+        .shard_depth(1 << 20)
+        // Long enough that the whole burst lands inside one window, so the
+        // full tier is in flight at once; drain() cuts it short after.
+        .window(Duration::from_millis(500))
+        .cold_start_delay(Duration::ZERO)
+        .executor(Arc::clone(&executor));
+    for f in 0..GATEWAY_FUNCTIONS {
+        builder = builder.register(&format!("burst-{f}"), |_env| {
+            std::thread::sleep(GATEWAY_WORK);
+        });
+    }
+    let gateway = Arc::new(builder.start());
+
+    let started = Instant::now();
+    let producers: Vec<_> = (0..GATEWAY_PRODUCERS)
+        .map(|p| {
+            let gateway = Arc::clone(&gateway);
+            std::thread::spawn(move || {
+                let mut rejected = 0u64;
+                for i in (p..n).step_by(GATEWAY_PRODUCERS) {
+                    let name = format!("burst-{}", i % GATEWAY_FUNCTIONS);
+                    // Tickets are dropped: drain() below waits for every
+                    // admitted invocation, which is all this tier needs.
+                    if gateway.invoke(&name, bytes::Bytes::new()).is_err() {
+                        rejected += 1;
+                    }
+                }
+                rejected
+            })
+        })
+        .collect();
+    let rejected: u64 = producers
+        .into_iter()
+        .map(|h| h.join().expect("producers do not panic"))
+        .sum();
+    let peak_mid_burst = gateway.peak_in_flight();
+    gateway.drain().expect("gateway drains");
+    let wall = started.elapsed();
+    let snapshot = gateway.stats();
+    assert_eq!(snapshot.in_flight, 0, "drain leaves nothing in flight");
+    let peak = snapshot.peak_in_flight.max(peak_mid_burst);
+    executor.shutdown();
+    GatewayRow {
+        in_flight: n,
+        policy: "least-loaded".to_owned(),
+        workers: GATEWAY_WORKERS,
+        shards: GATEWAY_SHARDS,
+        peak_in_flight: peak,
+        rejected,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput_per_s: (n as u64 - rejected) as f64 / wall.as_secs_f64(),
+        shard_throughput_per_s: snapshot
+            .shards
+            .iter()
+            .map(|s| s.admitted as f64 / wall.as_secs_f64())
+            .collect(),
+    }
+}
+
+fn run_gateway_mode(quick: bool) -> Vec<GatewayRow> {
+    let tiers: &[usize] = if quick {
+        &QUICK_GATEWAY_TIERS
+    } else {
+        &GATEWAY_TIERS
+    };
+    println!(
+        "gateway throughput — in-flight tiers {tiers:?}, {GATEWAY_WORKERS} live \
+         workers, {GATEWAY_SHARDS} shards, {GATEWAY_FUNCTIONS} functions, \
+         {GATEWAY_WORK:?} per job\n"
+    );
+    let rows: Vec<GatewayRow> = tiers.iter().map(|&n| run_gateway_tier(n)).collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.in_flight.to_string(),
+                r.peak_in_flight.to_string(),
+                r.rejected.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.0}", r.throughput_per_s),
+                r.shard_throughput_per_s
+                    .iter()
+                    .map(|t| format!("{t:.0}"))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &[
+                "in-flight",
+                "peak in-flight",
+                "rejected",
+                "wall (ms)",
+                "jobs/s",
+                "per-shard jobs/s",
+            ],
+            &table,
+        )
+    );
+    let top = rows.last().expect("at least one gateway tier");
+    println!(
+        "top tier ({} in-flight): peak {} concurrent across {} workers, {:.0} jobs/s",
+        top.in_flight, top.peak_in_flight, top.workers, top.throughput_per_s
+    );
+    if !quick {
+        assert!(
+            top.peak_in_flight >= 100_000,
+            "gateway must hold >= 100k concurrent in-flight invocations \
+             across {GATEWAY_WORKERS} live workers, saw {}",
+            top.peak_in_flight
+        );
+    }
+    rows
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let gateway_only = std::env::args().any(|a| a == "--gateway");
+    if gateway_only {
+        run_gateway_mode(quick);
+        return;
+    }
     let tiers: &[usize] = if quick { &QUICK_TIERS } else { &TIERS };
     println!(
         "live throughput sweep — in-flight tiers {tiers:?}, {WORKERS}-worker executor \
@@ -176,9 +357,14 @@ fn main() {
     if quick {
         return;
     }
+    println!();
+    let gateway = run_gateway_mode(false);
     let dir = Path::new("results");
     if std::fs::create_dir_all(dir).is_ok() {
-        if let Ok(json) = serde_json::to_string_pretty(&rows) {
+        if let Ok(json) = serde_json::to_string_pretty(&Results {
+            sweep: rows,
+            gateway,
+        }) {
             let _ = std::fs::write(dir.join("live_throughput.json"), json);
             println!("\nwrote results/live_throughput.json");
         }

@@ -51,8 +51,10 @@ pub mod mapper;
 pub mod multiplexer;
 pub mod platform;
 pub mod policy;
+pub mod routing;
 
 pub use mapper::{FunctionGroup, InvokeMapper};
 pub use multiplexer::{mux_trace_events, MultiplexerStats, MuxEvent, ResourceMultiplexer};
 pub use platform::{FaasBatchPlatform, InvokeOutcome, OutcomeSummary, PlatformBuilder};
 pub use policy::{run_faasbatch, run_faasbatch_traced, FaasBatchConfig, FaasBatchPolicy};
+pub use routing::{RoutingKind, RoutingPolicy, UnknownRoutingPolicy};

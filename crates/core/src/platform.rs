@@ -211,9 +211,105 @@ struct Request {
     reply: Sender<InvokeOutcome>,
 }
 
+/// Runs after a remotely submitted group fully completes, with the batch
+/// size (see [`FaasBatchPlatform::submit_group`]).
+pub type GroupDone = Box<dyn FnOnce(usize) + Send + 'static>;
+
+/// One member of a pre-formed batch handed to
+/// [`FaasBatchPlatform::submit_group`].
+///
+/// The caller (the gateway) mints the invocation id from a shared
+/// [`PlatformIds`] and keeps the [`InvokeTicket`]; the job carries the reply
+/// side. `queued` time in the eventual [`InvokeOutcome`] is measured from
+/// the moment this job was created.
+pub struct RemoteJob {
+    invocation: InvocationId,
+    payload: Bytes,
+    enqueued: Instant,
+    reply: Sender<InvokeOutcome>,
+}
+
+impl fmt::Debug for RemoteJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteJob")
+            .field("invocation", &self.invocation)
+            .finish()
+    }
+}
+
+impl RemoteJob {
+    /// Creates a job plus the ticket its caller waits on.
+    pub fn new(invocation: InvocationId, payload: Bytes) -> (RemoteJob, InvokeTicket) {
+        let (reply, rx) = channel::bounded(1);
+        (
+            RemoteJob {
+                invocation,
+                payload,
+                enqueued: Instant::now(),
+                reply,
+            },
+            InvokeTicket { rx },
+        )
+    }
+
+    /// The invocation this job carries.
+    pub fn invocation(&self) -> InvocationId {
+        self.invocation
+    }
+
+    fn into_request(self, function: usize) -> Request {
+        Request {
+            invocation: self.invocation,
+            function,
+            payload: self.payload,
+            enqueued: self.enqueued,
+            reply: self.reply,
+        }
+    }
+}
+
 enum Message {
     Invoke(Request),
+    Group {
+        function: usize,
+        members: Vec<RemoteJob>,
+        on_done: Option<GroupDone>,
+    },
     Flush(Sender<()>),
+}
+
+/// Shared id counters for invocations, batches, and containers.
+///
+/// A platform running alone owns a private set; a gateway running N worker
+/// platforms against one [`LiveTraceRecorder`] passes one `Arc<PlatformIds>`
+/// to every builder ([`PlatformBuilder::ids`]) so ids stay globally unique
+/// in the merged event stream.
+#[derive(Debug, Default)]
+pub struct PlatformIds {
+    invocation: AtomicU64,
+    batch: AtomicU64,
+    container: AtomicU64,
+}
+
+impl PlatformIds {
+    /// Fresh counters starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mints the next invocation id (used by the gateway front door, which
+    /// emits `Arrival` before the invocation reaches any worker platform).
+    pub fn next_invocation(&self) -> InvocationId {
+        InvocationId::new(self.invocation.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn next_batch(&self) -> u64 {
+        self.batch.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn next_container(&self) -> u64 {
+        self.container.fetch_add(1, Ordering::Relaxed)
+    }
 }
 
 /// Aggregate counters of a live platform.
@@ -290,6 +386,7 @@ pub struct PlatformBuilder {
     recorder: Option<LiveTraceRecorder>,
     keep_alive: Option<Duration>,
     store: ObjectStore,
+    ids: Option<Arc<PlatformIds>>,
     functions: Vec<(String, Handler)>,
 }
 
@@ -323,6 +420,7 @@ impl PlatformBuilder {
             recorder: None,
             keep_alive: None,
             store: ObjectStore::new(),
+            ids: None,
             functions: Vec::new(),
         }
     }
@@ -384,6 +482,16 @@ impl PlatformBuilder {
         self
     }
 
+    /// Shares id counters with other platforms (default: a private set).
+    ///
+    /// Required whenever several platforms feed one trace recorder —
+    /// otherwise their dense per-platform batch/container/invocation
+    /// counters collide in the merged stream.
+    pub fn ids(mut self, ids: Arc<PlatformIds>) -> Self {
+        self.ids = Some(ids);
+        self
+    }
+
     /// Registers a function body under `name`.
     pub fn register(
         mut self,
@@ -400,6 +508,7 @@ impl PlatformBuilder {
         let stats = Arc::new(PlatformStats::default());
         let names: Vec<String> = self.functions.iter().map(|(n, _)| n.clone()).collect();
         let recorder = self.recorder;
+        let ids = self.ids.unwrap_or_default();
         let dispatcher = Dispatcher {
             rx,
             window: self.window,
@@ -414,8 +523,7 @@ impl PlatformBuilder {
             warm: Arc::new(Mutex::new(HashMap::new())),
             warm_gen: Arc::new(AtomicU64::new(0)),
             stats: stats.clone(),
-            next_container: 0,
-            next_batch: 0,
+            ids: Arc::clone(&ids),
             pending: Arc::new(PendingGroups::default()),
         };
         let handle = std::thread::Builder::new()
@@ -428,7 +536,7 @@ impl PlatformBuilder {
             names,
             stats,
             recorder,
-            next_invocation: AtomicU64::new(0),
+            ids,
         }
     }
 }
@@ -447,8 +555,7 @@ struct Dispatcher {
     warm: WarmPools,
     warm_gen: Arc<AtomicU64>,
     stats: Arc<PlatformStats>,
-    next_container: u64,
-    next_batch: u64,
+    ids: Arc<PlatformIds>,
     pending: Arc<PendingGroups>,
 }
 
@@ -465,8 +572,23 @@ impl Dispatcher {
                 if now >= deadline {
                     break;
                 }
-                match self.rx.recv_timeout(deadline - now) {
+                let message = self.rx.recv_timeout(deadline - now);
+                match message {
                     Ok(Message::Invoke(req)) => groups.entry(req.function).or_default().push(req),
+                    // A remotely built group was already windowed and routed
+                    // by the gateway; dispatch it immediately as a unit —
+                    // re-windowing here could merge or split it.
+                    Ok(Message::Group {
+                        function,
+                        members,
+                        on_done,
+                    }) => {
+                        let batch = members
+                            .into_iter()
+                            .map(|job| job.into_request(function))
+                            .collect();
+                        self.spawn_group(function, batch, on_done);
+                    }
                     Ok(Message::Flush(done)) => flushes.push(done),
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => {
@@ -481,7 +603,7 @@ impl Dispatcher {
             order.sort_unstable();
             for function in order {
                 let batch = groups.remove(&function).expect("group exists");
-                self.spawn_group(function, batch);
+                self.spawn_group(function, batch, None);
             }
             if !flushes.is_empty() {
                 // A flush acknowledges only after every in-flight group —
@@ -495,7 +617,7 @@ impl Dispatcher {
         self.pending.wait_idle();
     }
 
-    fn spawn_group(&mut self, function: usize, batch: Vec<Request>) {
+    fn spawn_group(&mut self, function: usize, batch: Vec<Request>, on_done: Option<GroupDone>) {
         let (env, cold) = self.acquire_container(function);
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         if cold {
@@ -503,8 +625,7 @@ impl Dispatcher {
                 .containers_created
                 .fetch_add(1, Ordering::Relaxed);
         }
-        let batch_id = self.next_batch;
-        self.next_batch += 1;
+        let batch_id = self.ids.next_batch();
         let container = ContainerId::new(env.id());
         if let Some(rec) = &self.recorder {
             rec.record(EventKind::DispatchDecision {
@@ -548,6 +669,7 @@ impl Dispatcher {
             stats: Arc::clone(&self.stats),
             executor: Arc::clone(&self.executor),
             pending: Arc::clone(&self.pending),
+            on_done,
         };
         match self.backend {
             LiveBackend::Executor => {
@@ -587,8 +709,7 @@ impl Dispatcher {
         if let Some(entry) = self.warm.lock().get_mut(&function).and_then(Vec::pop) {
             return (entry.env, false);
         }
-        let id = self.next_container;
-        self.next_container += 1;
+        let id = self.ids.next_container();
         (
             Arc::new(ContainerEnv {
                 id,
@@ -618,6 +739,7 @@ struct GroupCtx {
     stats: Arc<PlatformStats>,
     executor: Arc<Executor>,
     pending: Arc<PendingGroups>,
+    on_done: Option<GroupDone>,
 }
 
 impl GroupCtx {
@@ -677,6 +799,7 @@ impl GroupCtx {
             stats,
             executor,
             pending,
+            on_done,
         } = self;
         let batch_size = requests.len() as u64;
         let sdk_creations_before = env.sdk.total_creations() as u64;
@@ -705,6 +828,7 @@ impl GroupCtx {
             stats,
             executor,
             pending,
+            on_done,
         };
         (members, finisher)
     }
@@ -807,6 +931,7 @@ struct GroupFinisher {
     stats: Arc<PlatformStats>,
     executor: Arc<Executor>,
     pending: Arc<PendingGroups>,
+    on_done: Option<GroupDone>,
 }
 
 impl GroupFinisher {
@@ -865,6 +990,9 @@ impl GroupFinisher {
                 }
             });
         }
+        if let Some(on_done) = self.on_done {
+            on_done(self.batch_size as usize);
+        }
         self.pending.exit();
     }
 }
@@ -878,7 +1006,7 @@ pub struct FaasBatchPlatform {
     names: Vec<String>,
     stats: Arc<PlatformStats>,
     recorder: Option<LiveTraceRecorder>,
-    next_invocation: AtomicU64,
+    ids: Arc<PlatformIds>,
 }
 
 impl FaasBatchPlatform {
@@ -896,7 +1024,7 @@ impl FaasBatchPlatform {
             .ok_or_else(|| PlatformError::UnknownFunction(function.to_owned()))?;
         let (reply, rx) = channel::bounded(1);
         let tx = self.tx.as_ref().ok_or(PlatformError::ShuttingDown)?;
-        let invocation = InvocationId::new(self.next_invocation.fetch_add(1, Ordering::Relaxed));
+        let invocation = self.ids.next_invocation();
         if let Some(rec) = &self.recorder {
             rec.record(EventKind::Arrival {
                 invocation,
@@ -912,6 +1040,51 @@ impl FaasBatchPlatform {
         }))
         .map_err(|_| PlatformError::ShuttingDown)?;
         Ok(InvokeTicket { rx })
+    }
+
+    /// Submits a pre-formed batch of `function` (a registry index) for
+    /// immediate dispatch as **one** batch, bypassing this platform's own
+    /// dispatch window.
+    ///
+    /// This is the gateway's entry point: the caller already collected a
+    /// dispatch window and routed the whole group here, so the platform
+    /// must not re-window (which could merge or split it). The caller is
+    /// responsible for emitting the members' `Arrival` events, minting
+    /// invocation ids from the shared [`PlatformIds`]; the platform emits
+    /// everything from the dispatch decision on. `on_done` runs once the
+    /// whole group finished, with the batch size.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownFunction`] if `function` is out of range;
+    /// [`PlatformError::ShuttingDown`] if the platform is stopping.
+    pub fn submit_group(
+        &self,
+        function: usize,
+        members: Vec<RemoteJob>,
+        on_done: Option<GroupDone>,
+    ) -> Result<(), PlatformError> {
+        if function >= self.names.len() {
+            return Err(PlatformError::UnknownFunction(format!("fn#{function}")));
+        }
+        if members.is_empty() {
+            if let Some(on_done) = on_done {
+                on_done(0);
+            }
+            return Ok(());
+        }
+        let tx = self.tx.as_ref().ok_or(PlatformError::ShuttingDown)?;
+        tx.send(Message::Group {
+            function,
+            members,
+            on_done,
+        })
+        .map_err(|_| PlatformError::ShuttingDown)
+    }
+
+    /// The id counters this platform mints from ([`PlatformBuilder::ids`]).
+    pub fn ids(&self) -> &Arc<PlatformIds> {
+        &self.ids
     }
 
     /// Blocks until every invocation submitted so far has completed.

@@ -1,0 +1,391 @@
+//! Pluggable routing policies, shared by the simulated fleet and the live
+//! gateway.
+//!
+//! The router places *function groups* (all invocations of one function
+//! arriving within one dispatch window), never individual invocations, so
+//! the Invoke Mapper's never-split invariant extends to the fleet: a group
+//! lands on exactly one worker and is batched there as usual. The same
+//! policies drive both `faasbatch-fleet` (simulated replay) and
+//! `faasbatch-gateway` (live sharded front door) — the trait only sees
+//! the [`RouterCtx`], so one implementation serves both clocks.
+//!
+//! Policies see only worker liveness plus router-side load *estimates* —
+//! mirroring a real front door that cannot inspect worker internals. All
+//! estimator state is deterministic, so routing (and hence the whole fleet
+//! replay) is bit-reproducible.
+
+use faasbatch_container::ids::FunctionId;
+use faasbatch_simcore::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Router-side load estimate for one worker.
+///
+/// The router charges each assignment to the estimate at routing time and
+/// lets it decay as estimated completions pass — it never reads the worker's
+/// actual simulation state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerLoad {
+    /// Estimated completion instants of assigned, not-yet-finished
+    /// invocations (pruned lazily against the routing clock).
+    pending: Vec<SimTime>,
+    /// When the worker is estimated to drain everything assigned so far,
+    /// treating its capacity as serial (a deliberate, deterministic proxy).
+    busy_until: SimTime,
+    /// Invocations ever assigned to this worker.
+    assigned: u64,
+}
+
+impl WorkerLoad {
+    /// Estimated invocations still runnable on the worker.
+    pub fn runnable(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Estimated instant the worker drains its queue.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Invocations ever assigned to this worker.
+    pub fn assigned(&self) -> u64 {
+        self.assigned
+    }
+
+    /// Drops estimates that have completed by `now`.
+    pub fn observe(&mut self, now: SimTime) {
+        self.pending.retain(|&done| done > now);
+    }
+
+    /// Charges one invocation of `work` assigned at `now`.
+    pub fn note(&mut self, now: SimTime, work: SimDuration) {
+        self.busy_until = self.busy_until.max(now) + work;
+        self.pending.push(now + work);
+        self.assigned += 1;
+    }
+}
+
+/// What a routing policy sees when placing one function group.
+#[derive(Debug)]
+pub struct RouterCtx<'a> {
+    /// First (effective) arrival of the group being placed.
+    pub now: SimTime,
+    /// The function whose group is being placed.
+    pub function: FunctionId,
+    /// Liveness per worker at `now`; dead or drained workers are not
+    /// eligible and policies must not pick them.
+    pub alive: &'a [bool],
+    /// Router-side load estimates, one per worker.
+    pub load: &'a [WorkerLoad],
+}
+
+impl RouterCtx<'_> {
+    /// Indices of workers that may receive the group.
+    pub fn eligible(&self) -> impl Iterator<Item = usize> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(w, _)| w)
+    }
+}
+
+/// A fleet routing policy: places one function group on one worker.
+pub trait RoutingPolicy {
+    /// Policy name as it appears in reports.
+    fn name(&self) -> String;
+
+    /// Picks a worker for the group described by `ctx`. Must return an index
+    /// with `ctx.alive[index]` true; at least one worker is always alive
+    /// when this is called.
+    fn route(&mut self, ctx: &RouterCtx<'_>) -> usize;
+}
+
+/// Cycles through live workers in index order.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates the policy starting at worker 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RoutingPolicy for RoundRobin {
+    fn name(&self) -> String {
+        "round-robin".to_owned()
+    }
+
+    fn route(&mut self, ctx: &RouterCtx<'_>) -> usize {
+        let n = ctx.alive.len();
+        for step in 0..n {
+            let w = (self.next + step) % n;
+            if ctx.alive[w] {
+                self.next = (w + 1) % n;
+                return w;
+            }
+        }
+        unreachable!("route called with no live workers")
+    }
+}
+
+/// Picks the worker with the least runnable-task pressure (fewest estimated
+/// in-flight invocations; ties broken by estimated drain time, then index).
+#[derive(Debug, Clone, Default)]
+pub struct LeastLoaded;
+
+impl LeastLoaded {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl RoutingPolicy for LeastLoaded {
+    fn name(&self) -> String {
+        "least-loaded".to_owned()
+    }
+
+    fn route(&mut self, ctx: &RouterCtx<'_>) -> usize {
+        ctx.eligible()
+            .min_by_key(|&w| (ctx.load[w].runnable(), ctx.load[w].busy_until(), w))
+            .expect("route called with no live workers")
+    }
+}
+
+/// Routes each function to a stable hash-derived worker, maximising warm
+/// container and multiplexer-cache reuse. When workers fail, the function
+/// re-hashes over the surviving set (rendezvous-free but deterministic).
+#[derive(Debug, Clone, Default)]
+pub struct WarmAffinity;
+
+impl WarmAffinity {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// splitmix64 finalizer — a stable, platform-independent hash.
+///
+/// Used by [`WarmAffinity`] for function→worker placement and by the live
+/// gateway for function→shard selection, so the mapping is identical across
+/// runs, builds, and machines.
+pub fn stable_hash(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RoutingPolicy for WarmAffinity {
+    fn name(&self) -> String {
+        "warm-affinity".to_owned()
+    }
+
+    fn route(&mut self, ctx: &RouterCtx<'_>) -> usize {
+        let live: Vec<usize> = ctx.eligible().collect();
+        assert!(!live.is_empty(), "route called with no live workers");
+        let h = stable_hash(u64::from(ctx.function.index()));
+        live[(h % live.len() as u64) as usize]
+    }
+}
+
+/// Hiku-style pull routing: the worker that has been idle longest (earliest
+/// estimated drain instant) pulls the next group from the shared queue.
+#[derive(Debug, Clone, Default)]
+pub struct PullBased;
+
+impl PullBased {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl RoutingPolicy for PullBased {
+    fn name(&self) -> String {
+        "pull-based".to_owned()
+    }
+
+    fn route(&mut self, ctx: &RouterCtx<'_>) -> usize {
+        ctx.eligible()
+            .min_by_key(|&w| (ctx.load[w].busy_until(), ctx.load[w].runnable(), w))
+            .expect("route called with no live workers")
+    }
+}
+
+/// Error returned by [`RoutingKind::parse`] for an unrecognised policy name.
+///
+/// Its [`Display`](fmt::Display) lists every valid name, so CLI users see
+/// the menu instead of a bare failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownRoutingPolicy {
+    /// The name that failed to parse.
+    pub input: String,
+}
+
+impl fmt::Display for UnknownRoutingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown routing policy `{}`; valid policies: ",
+            self.input
+        )?;
+        for (i, kind) in RoutingKind::ALL.into_iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", kind.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownRoutingPolicy {}
+
+/// Enumerates the built-in policies, for CLI / bench sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingKind {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastLoaded`].
+    LeastLoaded,
+    /// [`WarmAffinity`].
+    WarmAffinity,
+    /// [`PullBased`].
+    PullBased,
+}
+
+impl RoutingKind {
+    /// All built-in policies, in sweep order.
+    pub const ALL: [RoutingKind; 4] = [
+        RoutingKind::RoundRobin,
+        RoutingKind::LeastLoaded,
+        RoutingKind::WarmAffinity,
+        RoutingKind::PullBased,
+    ];
+
+    /// CLI name of the policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingKind::RoundRobin => "round-robin",
+            RoutingKind::LeastLoaded => "least-loaded",
+            RoutingKind::WarmAffinity => "warm-affinity",
+            RoutingKind::PullBased => "pull-based",
+        }
+    }
+
+    /// Parses a CLI name; the error lists the valid names.
+    pub fn parse(s: &str) -> Result<RoutingKind, UnknownRoutingPolicy> {
+        RoutingKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| UnknownRoutingPolicy {
+                input: s.to_owned(),
+            })
+    }
+
+    /// Builds a fresh policy instance.
+    pub fn build(self) -> Box<dyn RoutingPolicy> {
+        match self {
+            RoutingKind::RoundRobin => Box::new(RoundRobin::new()),
+            RoutingKind::LeastLoaded => Box::new(LeastLoaded::new()),
+            RoutingKind::WarmAffinity => Box::new(WarmAffinity::new()),
+            RoutingKind::PullBased => Box::new(PullBased::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(alive: &'a [bool], load: &'a [WorkerLoad], f: u32) -> RouterCtx<'a> {
+        RouterCtx {
+            now: SimTime::from_secs(1),
+            function: FunctionId::new(f),
+            alive,
+            load,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_dead() {
+        let mut p = RoundRobin::new();
+        let load = vec![WorkerLoad::default(); 3];
+        let alive = [true, false, true];
+        let picks: Vec<usize> = (0..4).map(|_| p.route(&ctx(&alive, &load, 0))).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_fewest_runnable() {
+        let mut p = LeastLoaded::new();
+        let mut load = vec![WorkerLoad::default(); 2];
+        load[0].note(SimTime::ZERO, SimDuration::from_secs(10));
+        let alive = [true, true];
+        assert_eq!(p.route(&ctx(&alive, &load, 0)), 1);
+    }
+
+    #[test]
+    fn warm_affinity_is_stable_per_function() {
+        let mut p = WarmAffinity::new();
+        let load = vec![WorkerLoad::default(); 4];
+        let alive = [true; 4];
+        let w1 = p.route(&ctx(&alive, &load, 7));
+        let w2 = p.route(&ctx(&alive, &load, 7));
+        assert_eq!(w1, w2);
+        // With workers down, the function still maps somewhere live.
+        let degraded = [false, true, true, false];
+        let w3 = p.route(&ctx(&degraded, &load, 7));
+        assert!(degraded[w3]);
+    }
+
+    #[test]
+    fn pull_based_prefers_earliest_idle() {
+        let mut p = PullBased::new();
+        let mut load = vec![WorkerLoad::default(); 2];
+        load[0].note(SimTime::ZERO, SimDuration::from_secs(5));
+        load[1].note(SimTime::ZERO, SimDuration::from_secs(1));
+        let alive = [true, true];
+        assert_eq!(p.route(&ctx(&alive, &load, 0)), 1);
+    }
+
+    #[test]
+    fn load_estimates_decay() {
+        let mut l = WorkerLoad::default();
+        l.note(SimTime::ZERO, SimDuration::from_secs(1));
+        l.note(SimTime::ZERO, SimDuration::from_secs(3));
+        assert_eq!(l.runnable(), 2);
+        l.observe(SimTime::from_secs(2));
+        assert_eq!(l.runnable(), 1);
+        assert_eq!(l.assigned(), 2);
+        assert_eq!(l.busy_until(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn kind_round_trips_names() {
+        for k in RoutingKind::ALL {
+            assert_eq!(RoutingKind::parse(k.name()), Ok(k));
+            assert_eq!(k.build().name(), k.name());
+        }
+        let err = RoutingKind::parse("nope").unwrap_err();
+        assert_eq!(err.input, "nope");
+        let msg = err.to_string();
+        for k in RoutingKind::ALL {
+            assert!(msg.contains(k.name()), "error should list {}", k.name());
+        }
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_spreads() {
+        for x in 0..64 {
+            assert_eq!(stable_hash(x), stable_hash(x));
+        }
+        let distinct: std::collections::HashSet<u64> = (0..64).map(stable_hash).collect();
+        assert_eq!(distinct.len(), 64);
+    }
+}

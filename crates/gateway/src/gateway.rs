@@ -1,0 +1,748 @@
+//! The sharded gateway: front door, shard dispatchers, and stats.
+
+use crate::shard::{PushError, ShardMsg, ShardQueue};
+use bytes::Bytes;
+use crossbeam::channel;
+use faasbatch_container::ids::FunctionId;
+use faasbatch_core::platform::{
+    FaasBatchPlatform, GroupDone, Handler, InvocationEnv, InvokeTicket, PlatformBuilder,
+    PlatformIds, PlatformStats, RemoteJob,
+};
+use faasbatch_core::routing::{stable_hash, RouterCtx, RoutingKind, WorkerLoad};
+use faasbatch_exec::Executor;
+use faasbatch_metrics::events::EventKind;
+use faasbatch_metrics::live::LiveTraceRecorder;
+use faasbatch_simcore::time::{SimDuration, SimTime};
+use faasbatch_storage::object_store::ObjectStore;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Worker platforms never window (the gateway already did); their dispatch
+/// loop only ticks to serve flushes, so a short idle period keeps
+/// [`Gateway::drain`] responsive.
+const WORKER_WINDOW: Duration = Duration::from_millis(10);
+
+/// Gateway submission failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayError {
+    /// The function name is not registered.
+    UnknownFunction(String),
+    /// Admission control refused the invocation: its shard's ingress queue
+    /// already holds `depth` jobs this window (back-pressure, not a panic).
+    Rejected {
+        /// The saturated shard.
+        shard: u64,
+        /// Queue depth observed at the refusal.
+        depth: usize,
+    },
+    /// The gateway is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::UnknownFunction(name) => write!(f, "unknown function: {name}"),
+            GatewayError::Rejected { shard, depth } => write!(
+                f,
+                "shard {shard} rejected the invocation: ingress queue saturated at depth {depth}"
+            ),
+            GatewayError::ShuttingDown => write!(f, "gateway is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+/// Monotonic per-shard counters.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    enqueued: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    routed_groups: AtomicU64,
+}
+
+/// Live counters shared by the front door, the shard dispatchers, and the
+/// group-completion callbacks.
+#[derive(Debug)]
+struct GatewayStats {
+    shards: Vec<ShardCounters>,
+    in_flight: AtomicUsize,
+    peak_in_flight: AtomicUsize,
+}
+
+impl GatewayStats {
+    fn new(shards: usize) -> GatewayStats {
+        GatewayStats {
+            shards: (0..shards).map(|_| ShardCounters::default()).collect(),
+            in_flight: AtomicUsize::new(0),
+            peak_in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// One invocation admitted to `shard`'s queue: it is now in flight
+    /// until its group completes on a worker.
+    fn enter(&self, shard: usize) {
+        self.shards[shard].enqueued.fetch_add(1, Ordering::Relaxed);
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut peak = self.peak_in_flight.load(Ordering::Relaxed);
+        while now > peak {
+            match self.peak_in_flight.compare_exchange_weak(
+                peak,
+                now,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => peak = observed,
+            }
+        }
+    }
+
+    fn reject(&self, shard: usize) {
+        self.shards[shard].rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn admit(&self, shard: usize) {
+        self.shards[shard].admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn routed(&self, shard: usize) {
+        self.shards[shard]
+            .routed_groups
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A routed group of `n` members completed on its worker.
+    fn finish(&self, n: usize) {
+        self.in_flight.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> GatewaySnapshot {
+        GatewaySnapshot {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardSnapshot {
+                    enqueued: s.enqueued.load(Ordering::Relaxed),
+                    admitted: s.admitted.load(Ordering::Relaxed),
+                    rejected: s.rejected.load(Ordering::Relaxed),
+                    routed_groups: s.routed_groups.load(Ordering::Relaxed),
+                })
+                .collect(),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            peak_in_flight: self.peak_in_flight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time counters of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ShardSnapshot {
+    /// Invocations admitted to the ingress queue.
+    pub enqueued: u64,
+    /// Invocations pulled by the shard dispatcher (≤ `enqueued`).
+    pub admitted: u64,
+    /// Invocations refused by admission control.
+    pub rejected: u64,
+    /// Window groups routed to workers.
+    pub routed_groups: u64,
+}
+
+/// Point-in-time view of the whole gateway ([`Gateway::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct GatewaySnapshot {
+    /// Per-shard counters, indexed by shard id.
+    pub shards: Vec<ShardSnapshot>,
+    /// Invocations admitted but not yet completed.
+    pub in_flight: usize,
+    /// High-water mark of `in_flight` over the gateway's lifetime.
+    pub peak_in_flight: usize,
+}
+
+/// Configures and starts a [`Gateway`].
+pub struct GatewayBuilder {
+    workers: usize,
+    shards: usize,
+    shard_depth: usize,
+    window: Duration,
+    policy: RoutingKind,
+    assumed_work: Duration,
+    cold_start_delay: Duration,
+    multiplex: bool,
+    keep_alive: Option<Duration>,
+    executor: Option<Arc<Executor>>,
+    recorder: Option<LiveTraceRecorder>,
+    store: ObjectStore,
+    functions: Vec<(String, Handler)>,
+}
+
+impl fmt::Debug for GatewayBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GatewayBuilder")
+            .field("workers", &self.workers)
+            .field("shards", &self.shards)
+            .field("shard_depth", &self.shard_depth)
+            .field("window", &self.window)
+            .field("policy", &self.policy)
+            .field("functions", &self.functions.len())
+            .finish()
+    }
+}
+
+impl Default for GatewayBuilder {
+    fn default() -> Self {
+        GatewayBuilder::new()
+    }
+}
+
+impl GatewayBuilder {
+    /// Starts a builder with the defaults: 8 workers, 4 shards, 65 536-deep
+    /// shards, the paper's 200 ms window, least-loaded routing.
+    pub fn new() -> GatewayBuilder {
+        GatewayBuilder {
+            workers: 8,
+            shards: 4,
+            shard_depth: 65_536,
+            window: Duration::from_millis(200),
+            policy: RoutingKind::LeastLoaded,
+            assumed_work: Duration::from_millis(1),
+            cold_start_delay: Duration::from_millis(25),
+            multiplex: true,
+            keep_alive: None,
+            executor: None,
+            recorder: None,
+            store: ObjectStore::new(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// Number of live worker platforms (min 1).
+    pub fn workers(mut self, workers: usize) -> GatewayBuilder {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Number of ingress shards (min 1).
+    pub fn shards(mut self, shards: usize) -> GatewayBuilder {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Admission bound: jobs one shard may hold per window before it
+    /// rejects ([`GatewayError::Rejected`]).
+    pub fn shard_depth(mut self, depth: usize) -> GatewayBuilder {
+        self.shard_depth = depth.max(1);
+        self
+    }
+
+    /// Dispatch window each shard accumulates before routing.
+    pub fn window(mut self, window: Duration) -> GatewayBuilder {
+        self.window = window;
+        self
+    }
+
+    /// Routing policy placing window groups on workers. Each shard runs
+    /// its own instance over shared load estimates.
+    pub fn policy(mut self, policy: RoutingKind) -> GatewayBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Per-invocation cost the router charges its load estimator (the
+    /// gateway cannot see real handler durations; default 1 ms).
+    pub fn assumed_work(mut self, work: Duration) -> GatewayBuilder {
+        self.assumed_work = work;
+        self
+    }
+
+    /// Cold-start delay of the worker platforms.
+    pub fn cold_start_delay(mut self, delay: Duration) -> GatewayBuilder {
+        self.cold_start_delay = delay;
+        self
+    }
+
+    /// Enables or disables the workers' Resource Multiplexer.
+    pub fn multiplex(mut self, on: bool) -> GatewayBuilder {
+        self.multiplex = on;
+        self
+    }
+
+    /// Warm-pool keep-alive TTL on the worker platforms.
+    pub fn keep_alive(mut self, ttl: Duration) -> GatewayBuilder {
+        self.keep_alive = Some(ttl);
+        self
+    }
+
+    /// Runs every worker on one specific executor (default: the shared
+    /// process-wide pool).
+    pub fn executor(mut self, executor: Arc<Executor>) -> GatewayBuilder {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Attaches a wall-clock trace recorder shared by the front door and
+    /// all workers; gateway runs then emit the full audited event stream
+    /// (arrival → enqueue → admit → route → dispatch → … → completion).
+    pub fn trace(mut self, recorder: LiveTraceRecorder) -> GatewayBuilder {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Object store shared by every worker's containers.
+    pub fn store(mut self, store: ObjectStore) -> GatewayBuilder {
+        self.store = store;
+        self
+    }
+
+    /// Registers a function body under `name` on every worker.
+    pub fn register(
+        mut self,
+        name: &str,
+        handler: impl Fn(&InvocationEnv<'_>) + Send + Sync + 'static,
+    ) -> GatewayBuilder {
+        self.functions.push((name.to_owned(), Arc::new(handler)));
+        self
+    }
+
+    /// Starts the worker platforms and shard dispatchers.
+    pub fn start(self) -> Gateway {
+        let ids = Arc::new(PlatformIds::new());
+        let names: Vec<String> = self.functions.iter().map(|(n, _)| n.clone()).collect();
+        let mut platforms = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let mut builder = PlatformBuilder::new()
+                .window(WORKER_WINDOW)
+                .multiplex(self.multiplex)
+                .cold_start_delay(self.cold_start_delay)
+                .store(self.store.clone())
+                .ids(Arc::clone(&ids));
+            if let Some(recorder) = &self.recorder {
+                builder = builder.trace(recorder.clone());
+            }
+            if let Some(ttl) = self.keep_alive {
+                builder = builder.keep_alive(ttl);
+            }
+            if let Some(executor) = &self.executor {
+                builder = builder.executor(Arc::clone(executor));
+            }
+            for (name, handler) in &self.functions {
+                let handler = Arc::clone(handler);
+                builder = builder.register(name, move |env| (*handler)(env));
+            }
+            platforms.push(builder.start());
+        }
+        let platforms = Arc::new(platforms);
+        let stats = Arc::new(GatewayStats::new(self.shards));
+        let loads = Arc::new(Mutex::new(vec![WorkerLoad::default(); self.workers]));
+        let origin = Instant::now();
+        let queues: Vec<Arc<ShardQueue>> = (0..self.shards)
+            .map(|_| Arc::new(ShardQueue::new(self.shard_depth)))
+            .collect();
+        let mut dispatchers = Vec::with_capacity(self.shards);
+        for (shard, queue) in queues.iter().enumerate() {
+            let dispatcher = ShardDispatcher {
+                shard: shard as u64,
+                queue: Arc::clone(queue),
+                window: self.window,
+                policy: self.policy,
+                assumed_work: SimDuration::from_micros(self.assumed_work.as_micros() as u64),
+                platforms: Arc::clone(&platforms),
+                loads: Arc::clone(&loads),
+                stats: Arc::clone(&stats),
+                recorder: self.recorder.clone(),
+                origin,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("faasbatch-gateway-shard-{shard}"))
+                .spawn(move || dispatcher.run())
+                .expect("spawn gateway shard dispatcher");
+            dispatchers.push(handle);
+        }
+        Gateway {
+            queues,
+            dispatchers,
+            platforms,
+            names,
+            ids,
+            recorder: self.recorder,
+            stats,
+        }
+    }
+}
+
+/// Per-shard routing loop (one thread per shard).
+struct ShardDispatcher {
+    shard: u64,
+    queue: Arc<ShardQueue>,
+    window: Duration,
+    policy: RoutingKind,
+    assumed_work: SimDuration,
+    platforms: Arc<Vec<FaasBatchPlatform>>,
+    loads: Arc<Mutex<Vec<WorkerLoad>>>,
+    stats: Arc<GatewayStats>,
+    recorder: Option<LiveTraceRecorder>,
+    origin: Instant,
+}
+
+impl ShardDispatcher {
+    fn now(&self) -> SimTime {
+        match &self.recorder {
+            Some(recorder) => recorder.now(),
+            None => SimTime::from_micros(self.origin.elapsed().as_micros() as u64),
+        }
+    }
+
+    fn run(self) {
+        let mut policy = self.policy.build();
+        let alive = vec![true; self.platforms.len()];
+        loop {
+            let deadline = Instant::now() + self.window;
+            let (msgs, closed) = self.queue.collect_window(deadline);
+            // BTreeMap keeps group routing order deterministic per window.
+            let mut groups: BTreeMap<usize, Vec<RemoteJob>> = BTreeMap::new();
+            let mut flushes = Vec::new();
+            for msg in msgs {
+                match msg {
+                    ShardMsg::Job { function, job } => {
+                        if let Some(recorder) = &self.recorder {
+                            recorder.record(EventKind::GatewayAdmit {
+                                invocation: job.invocation(),
+                                shard: self.shard,
+                            });
+                        }
+                        self.stats.admit(self.shard as usize);
+                        groups.entry(function).or_default().push(job);
+                    }
+                    ShardMsg::Flush(ack) => flushes.push(ack),
+                }
+            }
+            for (function, members) in groups {
+                let now = self.now();
+                let worker = {
+                    let mut loads = self.loads.lock().expect("gateway load lock poisoned");
+                    for load in loads.iter_mut() {
+                        load.observe(now);
+                    }
+                    let worker = {
+                        let ctx = RouterCtx {
+                            now,
+                            function: FunctionId::new(function as u32),
+                            alive: &alive,
+                            load: &loads,
+                        };
+                        policy.route(&ctx)
+                    };
+                    for _ in 0..members.len() {
+                        loads[worker].note(now, self.assumed_work);
+                    }
+                    worker
+                };
+                if let Some(recorder) = &self.recorder {
+                    recorder.record(EventKind::GatewayRoute {
+                        function: FunctionId::new(function as u32),
+                        shard: self.shard,
+                        worker: worker as u64,
+                        members: members.iter().map(RemoteJob::invocation).collect(),
+                    });
+                }
+                self.stats.routed(self.shard as usize);
+                let stats = Arc::clone(&self.stats);
+                let on_done: GroupDone = Box::new(move |n| stats.finish(n));
+                // Only fails while the platform tears down, which the
+                // gateway sequences after this thread exits.
+                let _ = self.platforms[worker].submit_group(function, members, Some(on_done));
+            }
+            for ack in flushes {
+                let _ = ack.send(());
+            }
+            if closed {
+                return;
+            }
+        }
+    }
+}
+
+/// A live sharded front door over N worker [`FaasBatchPlatform`]s.
+///
+/// Ingress is sharded by function-id hash; each shard accumulates one
+/// dispatch window, groups requests per function, and routes each group
+/// **as a unit** to one worker via a [`RoutingKind`] policy. See the crate
+/// docs for the full pipeline.
+pub struct Gateway {
+    queues: Vec<Arc<ShardQueue>>,
+    dispatchers: Vec<JoinHandle<()>>,
+    platforms: Arc<Vec<FaasBatchPlatform>>,
+    names: Vec<String>,
+    ids: Arc<PlatformIds>,
+    recorder: Option<LiveTraceRecorder>,
+    stats: Arc<GatewayStats>,
+}
+
+impl fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gateway")
+            .field("shards", &self.queues.len())
+            .field("workers", &self.platforms.len())
+            .field("functions", &self.names.len())
+            .finish()
+    }
+}
+
+impl Gateway {
+    /// Starts configuring a gateway.
+    pub fn builder() -> GatewayBuilder {
+        GatewayBuilder::new()
+    }
+
+    /// Submits an invocation of `function` with `payload`.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownFunction`] if the name is not registered;
+    /// [`GatewayError::Rejected`] when the function's shard is saturated
+    /// (back-pressure — retry after a window); [`GatewayError::ShuttingDown`]
+    /// during teardown.
+    pub fn invoke(&self, function: &str, payload: Bytes) -> Result<InvokeTicket, GatewayError> {
+        let idx = self
+            .names
+            .iter()
+            .position(|n| n == function)
+            .ok_or_else(|| GatewayError::UnknownFunction(function.to_owned()))?;
+        let shard = self.shard_of_index(idx);
+        let invocation = self.ids.next_invocation();
+        if let Some(recorder) = &self.recorder {
+            recorder.record(EventKind::Arrival {
+                invocation,
+                function: FunctionId::new(idx as u32),
+            });
+        }
+        let (job, ticket) = RemoteJob::new(invocation, payload);
+        let pushed = self.queues[shard as usize].try_push_job(idx, job, || {
+            if let Some(recorder) = &self.recorder {
+                recorder.record(EventKind::GatewayEnqueue { invocation, shard });
+            }
+        });
+        match pushed {
+            Ok(()) => {
+                self.stats.enter(shard as usize);
+                Ok(ticket)
+            }
+            Err(PushError::Full { depth }) => {
+                if let Some(recorder) = &self.recorder {
+                    recorder.record(EventKind::GatewayReject {
+                        invocation,
+                        shard,
+                        depth: depth as u64,
+                    });
+                }
+                self.stats.reject(shard as usize);
+                Err(GatewayError::Rejected { shard, depth })
+            }
+            Err(PushError::Closed) => Err(GatewayError::ShuttingDown),
+        }
+    }
+
+    /// The shard `function` hashes to, or `None` if unregistered.
+    /// Deterministic across runs, builds, and machines ([`stable_hash`]).
+    pub fn shard_of(&self, function: &str) -> Option<u64> {
+        self.names
+            .iter()
+            .position(|n| n == function)
+            .map(|idx| self.shard_of_index(idx))
+    }
+
+    fn shard_of_index(&self, idx: usize) -> u64 {
+        stable_hash(idx as u64) % self.queues.len() as u64
+    }
+
+    /// Number of ingress shards.
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Number of worker platforms.
+    pub fn workers(&self) -> usize {
+        self.platforms.len()
+    }
+
+    /// Registered function names, in registration order.
+    pub fn functions(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Point-in-time counters (per-shard admissions, in-flight, peak).
+    pub fn stats(&self) -> GatewaySnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Invocations admitted but not yet completed, right now.
+    pub fn in_flight(&self) -> usize {
+        self.stats.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`Gateway::in_flight`].
+    pub fn peak_in_flight(&self) -> usize {
+        self.stats.peak_in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate counters of each worker platform, indexed by worker.
+    pub fn worker_stats(&self) -> Vec<&PlatformStats> {
+        self.platforms
+            .iter()
+            .map(FaasBatchPlatform::stats)
+            .collect()
+    }
+
+    /// The attached trace recorder, if any ([`GatewayBuilder::trace`]).
+    pub fn trace_recorder(&self) -> Option<&LiveTraceRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Blocks until every invocation admitted so far has completed: flushes
+    /// each shard (everything queued is routed), then drains each worker.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::ShuttingDown`] if the gateway is tearing down.
+    pub fn drain(&self) -> Result<(), GatewayError> {
+        let mut acks = Vec::with_capacity(self.queues.len());
+        for queue in &self.queues {
+            let (ack, done) = channel::bounded(1);
+            queue.push_control(ack);
+            acks.push(done);
+        }
+        for done in acks {
+            done.recv().map_err(|_| GatewayError::ShuttingDown)?;
+        }
+        for platform in self.platforms.iter() {
+            platform.drain().map_err(|_| GatewayError::ShuttingDown)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        // Shard dispatchers exit after a final drain-and-route pass, so
+        // everything admitted still reaches a worker; the platforms then
+        // drain their own outstanding work as they drop.
+        for queue in &self.queues {
+            queue.close();
+        }
+        for handle in self.dispatchers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasbatch_metrics::events::{AuditorSink, TraceSink};
+
+    fn tiny_gateway(policy: RoutingKind) -> Gateway {
+        Gateway::builder()
+            .workers(2)
+            .shards(2)
+            .window(Duration::from_millis(5))
+            .cold_start_delay(Duration::ZERO)
+            .policy(policy)
+            .register("alpha", |_env| {})
+            .register("beta", |_env| {})
+            .start()
+    }
+
+    #[test]
+    fn invokes_complete_through_every_policy() {
+        for kind in RoutingKind::ALL {
+            let gateway = tiny_gateway(kind);
+            let tickets: Vec<_> = (0..16)
+                .map(|i| {
+                    let name = if i % 2 == 0 { "alpha" } else { "beta" };
+                    gateway.invoke(name, Bytes::from_static(b"x")).unwrap()
+                })
+                .collect();
+            gateway.drain().unwrap();
+            for ticket in tickets {
+                ticket.wait();
+            }
+            let snap = gateway.stats();
+            assert_eq!(snap.in_flight, 0, "{kind:?}");
+            assert!(snap.peak_in_flight >= 1, "{kind:?}");
+            let admitted: u64 = snap.shards.iter().map(|s| s.admitted).sum();
+            assert_eq!(admitted, 16, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_function_is_typed() {
+        let gateway = tiny_gateway(RoutingKind::RoundRobin);
+        let err = gateway.invoke("nope", Bytes::new()).unwrap_err();
+        assert_eq!(err, GatewayError::UnknownFunction("nope".to_owned()));
+    }
+
+    #[test]
+    fn saturation_rejects_with_depth_never_panics() {
+        let gateway = Gateway::builder()
+            .workers(1)
+            .shards(1)
+            .shard_depth(2)
+            // Long window: the burst lands inside one accumulation phase.
+            .window(Duration::from_secs(5))
+            .cold_start_delay(Duration::ZERO)
+            .register("f", |_env| {})
+            .start();
+        let t1 = gateway.invoke("f", Bytes::new()).unwrap();
+        let t2 = gateway.invoke("f", Bytes::new()).unwrap();
+        match gateway.invoke("f", Bytes::new()) {
+            Err(GatewayError::Rejected { shard: 0, depth: 2 }) => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // Flush cuts the window; the two admitted invocations finish.
+        gateway.drain().unwrap();
+        t1.wait();
+        t2.wait();
+        let snap = gateway.stats();
+        assert_eq!(snap.shards[0].rejected, 1);
+        assert_eq!(snap.in_flight, 0);
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_rejection_passes_audit() {
+        let recorder = LiveTraceRecorder::new();
+        let gateway = Gateway::builder()
+            .workers(1)
+            .shards(3)
+            .shard_depth(1)
+            .window(Duration::from_secs(5))
+            .cold_start_delay(Duration::ZERO)
+            .trace(recorder.clone())
+            .register("f", |_env| {})
+            .register("g", |_env| {})
+            .start();
+        assert_eq!(gateway.shard_of("f"), Some(stable_hash(0) % 3));
+        assert_eq!(gateway.shard_of("g"), Some(stable_hash(1) % 3));
+        assert_eq!(gateway.shard_of("h"), None);
+        let ok = gateway.invoke("f", Bytes::new()).unwrap();
+        assert!(matches!(
+            gateway.invoke("f", Bytes::new()),
+            Err(GatewayError::Rejected { depth: 1, .. })
+        ));
+        gateway.drain().unwrap();
+        ok.wait();
+        drop(gateway);
+        let mut auditor = AuditorSink::new();
+        for event in recorder.take_trace() {
+            auditor.record(&event);
+        }
+        let violations = auditor.finish().to_vec();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Bounded ingress queue for one gateway shard.
+//!
+//! A deliberately simple, `unsafe`-free swap-drain design: producers push
+//! under a mutex and the shard dispatcher drains the *whole* queue in one
+//! lock acquisition at the dispatch-window boundary. Job pushes never
+//! signal the condvar — the dispatcher wakes at the window deadline anyway,
+//! so the hot ingress path is one lock + one `VecDeque` push. Only control
+//! messages (flush) and shutdown wake the dispatcher early.
+//!
+//! Admission control lives here: [`ShardQueue::try_push_job`] refuses the
+//! push once a window has accumulated `depth` jobs, returning the observed
+//! depth so the gateway can surface a typed
+//! [`Rejected`](crate::GatewayError::Rejected) outcome — saturation is an
+//! error value, never a panic or an unbounded buffer.
+
+use crossbeam::channel::Sender;
+use faasbatch_core::platform::RemoteJob;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One queued shard message.
+pub(crate) enum ShardMsg {
+    /// An admitted invocation, tagged with its function registry index.
+    Job {
+        /// Registry index of the invocation's function.
+        function: usize,
+        /// The invocation payload plus reply channel.
+        job: RemoteJob,
+    },
+    /// A flush marker: the dispatcher acknowledges once everything queued
+    /// before it has been routed to a worker platform.
+    Flush(Sender<()>),
+}
+
+/// Why a push was refused.
+pub(crate) enum PushError {
+    /// The shard already holds `depth` undrained jobs this window.
+    Full {
+        /// Queue depth observed at the refusal.
+        depth: usize,
+    },
+    /// The gateway is shutting down.
+    Closed,
+}
+
+struct Inner {
+    queue: VecDeque<ShardMsg>,
+    /// Undrained `Job` entries (the admission-controlled population;
+    /// `Flush` markers are exempt so `drain` always makes progress).
+    jobs: usize,
+    /// Undrained `Flush` entries — their presence ends the window early.
+    controls: usize,
+    closed: bool,
+}
+
+/// The per-shard ingress queue (see module docs).
+pub(crate) struct ShardQueue {
+    inner: Mutex<Inner>,
+    wake: Condvar,
+    depth: usize,
+}
+
+impl ShardQueue {
+    /// An empty queue admitting at most `depth` jobs per window.
+    pub(crate) fn new(depth: usize) -> ShardQueue {
+        ShardQueue {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                jobs: 0,
+                controls: 0,
+                closed: false,
+            }),
+            wake: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Admits `job` unless the shard is saturated or closed.
+    ///
+    /// `before_visible` runs under the queue lock after the capacity check
+    /// passes and before the job can be drained — the gateway records the
+    /// `GatewayEnqueue` event there, so the dispatcher's `GatewayAdmit`
+    /// can never be observed first.
+    pub(crate) fn try_push_job(
+        &self,
+        function: usize,
+        job: RemoteJob,
+        before_visible: impl FnOnce(),
+    ) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("shard queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.jobs >= self.depth {
+            return Err(PushError::Full { depth: inner.jobs });
+        }
+        before_visible();
+        inner.queue.push_back(ShardMsg::Job { function, job });
+        inner.jobs += 1;
+        Ok(())
+    }
+
+    /// Queues a flush marker and wakes the dispatcher early.
+    pub(crate) fn push_control(&self, ack: Sender<()>) {
+        let mut inner = self.inner.lock().expect("shard queue poisoned");
+        inner.queue.push_back(ShardMsg::Flush(ack));
+        inner.controls += 1;
+        drop(inner);
+        self.wake.notify_all();
+    }
+
+    /// Marks the queue closed and wakes the dispatcher for its final drain.
+    pub(crate) fn close(&self) {
+        let mut inner = self.inner.lock().expect("shard queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.wake.notify_all();
+    }
+
+    /// Sleeps until `deadline` (or an early flush/close wake-up), then
+    /// drains the whole queue. Returns the drained messages in arrival
+    /// order and whether the queue has been closed.
+    pub(crate) fn collect_window(&self, deadline: Instant) -> (Vec<ShardMsg>, bool) {
+        let mut inner = self.inner.lock().expect("shard queue poisoned");
+        loop {
+            if inner.closed || inner.controls > 0 {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _timeout) = self
+                .wake
+                .wait_timeout(inner, deadline - now)
+                .expect("shard queue poisoned");
+            inner = guard;
+        }
+        inner.jobs = 0;
+        inner.controls = 0;
+        let msgs = inner.queue.drain(..).collect();
+        (msgs, inner.closed)
+    }
+}

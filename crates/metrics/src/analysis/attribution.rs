@@ -1,7 +1,7 @@
 //! Per-invocation latency attribution from the event stream.
 //!
 //! [`AttributionEngine`] folds a [`SimEvent`] stream into one
-//! [`InvocationAttribution`] per completed invocation: a nine-phase
+//! [`InvocationAttribution`] per completed invocation: a ten-phase
 //! [`PhaseBreakdown`] whose components *sum exactly* to the recorded
 //! end-to-end latency. Exactness is by construction — each phase is the gap
 //! between two consecutive timestamps on the invocation's event chain, so
@@ -40,8 +40,13 @@ use std::fmt::Write as _;
 pub enum Phase {
     /// Fleet re-dispatch delay after worker crashes (arrival → last retry).
     RetryDelay,
+    /// Arrival → the gateway routed the invocation's window group to a
+    /// worker (shard ingress-queue residence; zero for streams without a
+    /// gateway front door).
+    GatewayQueue,
     /// Arrival → the scheduler bound the invocation to a container
-    /// (batching-window residence; fleet streams: routing-group formation).
+    /// (batching-window residence; fleet streams: routing-group formation;
+    /// gateway streams: routing → dispatch decision).
     WindowWait,
     /// Daemon-side dispatch/launch processing for the batch.
     Dispatch,
@@ -64,8 +69,9 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::RetryDelay,
+        Phase::GatewayQueue,
         Phase::WindowWait,
         Phase::Dispatch,
         Phase::ColdStart,
@@ -80,6 +86,7 @@ impl Phase {
     pub fn name(self) -> &'static str {
         match self {
             Phase::RetryDelay => "retry-delay",
+            Phase::GatewayQueue => "gateway-queue",
             Phase::WindowWait => "window-wait",
             Phase::Dispatch => "dispatch",
             Phase::ColdStart => "cold-start",
@@ -96,6 +103,7 @@ impl Phase {
     pub fn resource(self) -> &'static str {
         match self {
             Phase::RetryDelay => "fleet",
+            Phase::GatewayQueue => "gateway",
             Phase::WindowWait => "scheduler",
             Phase::Dispatch => "daemon",
             Phase::ColdStart => "container",
@@ -118,6 +126,8 @@ impl std::fmt::Display for Phase {
 pub struct PhaseBreakdown {
     /// [`Phase::RetryDelay`].
     pub retry_delay: SimDuration,
+    /// [`Phase::GatewayQueue`].
+    pub gateway_queue: SimDuration,
     /// [`Phase::WindowWait`].
     pub window_wait: SimDuration,
     /// [`Phase::Dispatch`].
@@ -141,6 +151,7 @@ impl PhaseBreakdown {
     pub fn get(&self, phase: Phase) -> SimDuration {
         match phase {
             Phase::RetryDelay => self.retry_delay,
+            Phase::GatewayQueue => self.gateway_queue,
             Phase::WindowWait => self.window_wait,
             Phase::Dispatch => self.dispatch,
             Phase::ColdStart => self.cold_start,
@@ -156,6 +167,7 @@ impl PhaseBreakdown {
     pub fn get_mut(&mut self, phase: Phase) -> &mut SimDuration {
         match phase {
             Phase::RetryDelay => &mut self.retry_delay,
+            Phase::GatewayQueue => &mut self.gateway_queue,
             Phase::WindowWait => &mut self.window_wait,
             Phase::Dispatch => &mut self.dispatch,
             Phase::ColdStart => &mut self.cold_start,
@@ -432,6 +444,11 @@ pub struct AttributionEngine {
     group_at: HashMap<InvocationId, SimTime>,
     /// Fleet layer: latest re-dispatch instant and retry count per member.
     redispatch: HashMap<InvocationId, (SimTime, u32)>,
+    /// Gateway layer: instant the invocation's group was routed to a worker.
+    route_at: HashMap<InvocationId, SimTime>,
+    /// Gateway layer: invocations terminally rejected at admission. They
+    /// never complete, so `finish` must not count them as unfinished.
+    rejected: std::collections::HashSet<InvocationId>,
     attributions: Vec<InvocationAttribution>,
     skipped: u64,
 }
@@ -457,7 +474,7 @@ impl AttributionEngine {
         let unfinished = self
             .arrivals
             .keys()
-            .filter(|id| !completed.contains(id))
+            .filter(|id| !completed.contains(id) && !self.rejected.contains(id))
             .count() as u64;
         self.attributions.sort_by_key(|a| a.id);
         AttributionReport {
@@ -491,10 +508,20 @@ impl AttributionEngine {
         let own_finish = b.own_finish[idx]?;
         let work = b.work[idx].unwrap_or(SimDuration::ZERO);
 
-        // Consecutive timestamps on the chain: arrival ≤ dispatched ≤
-        // decided ≤ ready ≤ exec ≤ body ≤ own_finish ≤ completion. Each
-        // phase is one gap, so the sum telescopes exactly.
-        let window_wait = dispatched.saturating_duration_since(arrival);
+        // Consecutive timestamps on the chain: arrival ≤ routed ≤
+        // dispatched ≤ decided ≤ ready ≤ exec ≤ body ≤ own_finish ≤
+        // completion. Each phase is one gap, so the sum telescopes
+        // exactly. `routed` defaults to `arrival` (clamped into the
+        // chain), so gateway-queue is zero for non-gateway streams.
+        let routed = self
+            .route_at
+            .get(&invocation)
+            .copied()
+            .unwrap_or(arrival)
+            .max(arrival)
+            .min(dispatched);
+        let gateway_queue = routed.saturating_duration_since(arrival);
+        let window_wait = dispatched.saturating_duration_since(routed);
         let dispatch = decided.saturating_duration_since(dispatched);
         let cold_start = ready.saturating_duration_since(decided);
         let queue = exec.saturating_duration_since(ready);
@@ -521,6 +548,7 @@ impl AttributionEngine {
             completion,
             phases: PhaseBreakdown {
                 retry_delay: SimDuration::ZERO,
+                gateway_queue,
                 window_wait,
                 dispatch,
                 cold_start,
@@ -595,6 +623,15 @@ impl TraceSink for AttributionEngine {
                     let slot = self.group_at.entry(*m).or_insert(at);
                     *slot = (*slot).max(at);
                 }
+            }
+            EventKind::GatewayRoute { members, .. } => {
+                for m in members {
+                    let slot = self.route_at.entry(*m).or_insert(at);
+                    *slot = (*slot).max(at);
+                }
+            }
+            EventKind::GatewayReject { invocation, .. } => {
+                self.rejected.insert(*invocation);
             }
             EventKind::Redispatch {
                 invocation,

@@ -1,7 +1,7 @@
 //! Trace diffing: explain *why* run B is faster or slower than run A.
 //!
 //! [`diff_reports`] aligns two [`AttributionReport`]s by invocation id and
-//! attributes every matched invocation's latency delta to the nine phases.
+//! attributes every matched invocation's latency delta to the ten phases.
 //! Because each side's phases sum exactly to its end-to-end latency, the
 //! phase deltas sum exactly to the latency delta — the diff attributes
 //! 100 % of the movement to named mechanisms, never to an unexplained
@@ -23,6 +23,8 @@ use std::fmt::Write as _;
 pub struct PhaseDelta {
     /// [`Phase::RetryDelay`] movement.
     pub retry_delay: i64,
+    /// [`Phase::GatewayQueue`] movement.
+    pub gateway_queue: i64,
     /// [`Phase::WindowWait`] movement.
     pub window_wait: i64,
     /// [`Phase::Dispatch`] movement.
@@ -56,6 +58,7 @@ impl PhaseDelta {
     pub fn get(&self, phase: Phase) -> i64 {
         match phase {
             Phase::RetryDelay => self.retry_delay,
+            Phase::GatewayQueue => self.gateway_queue,
             Phase::WindowWait => self.window_wait,
             Phase::Dispatch => self.dispatch,
             Phase::ColdStart => self.cold_start,
@@ -71,6 +74,7 @@ impl PhaseDelta {
     pub fn get_mut(&mut self, phase: Phase) -> &mut i64 {
         match phase {
             Phase::RetryDelay => &mut self.retry_delay,
+            Phase::GatewayQueue => &mut self.gateway_queue,
             Phase::WindowWait => &mut self.window_wait,
             Phase::Dispatch => &mut self.dispatch,
             Phase::ColdStart => &mut self.cold_start,

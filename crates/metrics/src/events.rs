@@ -270,6 +270,44 @@ pub enum EventKind {
         /// The new keep-alive TTL.
         keep_alive: SimDuration,
     },
+    /// The gateway admitted an invocation into a shard's ingress queue.
+    GatewayEnqueue {
+        /// The invocation.
+        invocation: InvocationId,
+        /// Shard (by function-id hash) the invocation was queued on.
+        shard: u64,
+    },
+    /// A shard dispatcher pulled an invocation out of its ingress queue
+    /// into the open dispatch window.
+    GatewayAdmit {
+        /// The invocation.
+        invocation: InvocationId,
+        /// Shard that admitted it.
+        shard: u64,
+    },
+    /// The gateway refused an invocation because its shard queue was at its
+    /// depth bound (back-pressure). Terminal for the invocation: no
+    /// completion will follow.
+    GatewayReject {
+        /// The invocation.
+        invocation: InvocationId,
+        /// Shard that was saturated.
+        shard: u64,
+        /// Queue depth observed at rejection (the configured bound).
+        depth: u64,
+    },
+    /// A shard dispatcher routed one whole dispatch-window group to a live
+    /// worker platform (the live counterpart of `GroupFormed`).
+    GatewayRoute {
+        /// Function shared by every member.
+        function: FunctionId,
+        /// Shard that formed the group.
+        shard: u64,
+        /// Worker platform the group was routed to.
+        worker: u64,
+        /// The grouped invocations, in batch order.
+        members: Vec<InvocationId>,
+    },
 }
 
 impl EventKind {
@@ -299,6 +337,10 @@ impl EventKind {
             EventKind::InvocationComplete { .. } => "InvocationComplete",
             EventKind::ScalePrewarm { .. } => "ScalePrewarm",
             EventKind::ScaleKeepAlive { .. } => "ScaleKeepAlive",
+            EventKind::GatewayEnqueue { .. } => "GatewayEnqueue",
+            EventKind::GatewayAdmit { .. } => "GatewayAdmit",
+            EventKind::GatewayReject { .. } => "GatewayReject",
+            EventKind::GatewayRoute { .. } => "GatewayRoute",
         }
     }
 }
@@ -448,6 +490,25 @@ impl Deserialize for EventKind {
             "ScaleKeepAlive" => EventKind::ScaleKeepAlive {
                 function: field(inner, "function")?,
                 keep_alive: field(inner, "keep_alive")?,
+            },
+            "GatewayEnqueue" => EventKind::GatewayEnqueue {
+                invocation: field(inner, "invocation")?,
+                shard: field(inner, "shard")?,
+            },
+            "GatewayAdmit" => EventKind::GatewayAdmit {
+                invocation: field(inner, "invocation")?,
+                shard: field(inner, "shard")?,
+            },
+            "GatewayReject" => EventKind::GatewayReject {
+                invocation: field(inner, "invocation")?,
+                shard: field(inner, "shard")?,
+                depth: field(inner, "depth")?,
+            },
+            "GatewayRoute" => EventKind::GatewayRoute {
+                function: field(inner, "function")?,
+                shard: field(inner, "shard")?,
+                worker: field(inner, "worker")?,
+                members: field(inner, "members")?,
             },
             other => {
                 return Err(DeError::new(format!(
@@ -1027,6 +1088,8 @@ pub struct AuditorSink {
     open_cold_starts: HashMap<ContainerId, u32>,
     /// Scale-prewarm requests not yet matched by a `PrewarmLaunch` start.
     pending_scale_prewarms: u64,
+    /// Gateway enqueues not yet matched by an admit, per invocation.
+    gateway_open: HashMap<InvocationId, u32>,
     reducer: RecordReducer,
     finished: bool,
 }
@@ -1090,6 +1153,19 @@ impl AuditorSink {
                 self.violate(
                     SimTime::ZERO,
                     format!("{n} scale-prewarm request(s) never launched a container"),
+                );
+            }
+            let mut stuck: Vec<InvocationId> = self
+                .gateway_open
+                .iter()
+                .filter(|(_, n)| **n > 0)
+                .map(|(id, _)| *id)
+                .collect();
+            stuck.sort();
+            for id in stuck {
+                self.violate(
+                    SimTime::ZERO,
+                    format!("{id} enqueued on a gateway shard but never admitted"),
                 );
             }
             if self.truncated > 0 {
@@ -1249,6 +1325,60 @@ impl TraceSink for AuditorSink {
                     );
                 } else {
                     *open -= 1;
+                }
+            }
+            EventKind::GatewayEnqueue { invocation, shard } => {
+                if !self.seen.contains_key(invocation) {
+                    self.violate(
+                        at,
+                        format!("{invocation} enqueued on shard {shard} without arriving"),
+                    );
+                }
+                let open = self.gateway_open.entry(*invocation).or_insert(0);
+                *open += 1;
+                if *open > 1 {
+                    self.violate(at, format!("{invocation} enqueued twice"));
+                }
+            }
+            EventKind::GatewayAdmit { invocation, shard } => {
+                let open = self.gateway_open.entry(*invocation).or_insert(0);
+                if *open == 0 {
+                    self.violate(
+                        at,
+                        format!("{invocation} admitted by shard {shard} without an enqueue"),
+                    );
+                } else {
+                    *open -= 1;
+                }
+            }
+            EventKind::GatewayReject { invocation, .. } => {
+                // Rejection is terminal and must come straight from the
+                // front door — a queued (enqueued) invocation is committed.
+                if self.gateway_open.get(invocation).copied().unwrap_or(0) > 0 {
+                    self.violate(at, format!("{invocation} rejected after being enqueued"));
+                }
+                match self.seen.get_mut(invocation) {
+                    Some(n) => {
+                        *n += 1;
+                        if *n > 1 {
+                            let n = *n;
+                            self.violate(
+                                at,
+                                format!("{invocation} rejected but terminated {n} times"),
+                            );
+                        }
+                    }
+                    None => self.violate(at, format!("{invocation} rejected without arriving")),
+                }
+            }
+            EventKind::GatewayRoute { members, .. } => {
+                if members.is_empty() {
+                    self.violate(at, "gateway routed an empty group".to_owned());
+                }
+                for member in members {
+                    if !self.seen.contains_key(member) {
+                        self.violate(at, format!("{member} routed without arriving"));
+                    }
                 }
             }
             _ => {}
@@ -1551,6 +1681,38 @@ fn instant_args(kind: &EventKind, out: &mut String) {
                 "\"function\":{},\"keep_alive_us\":{}",
                 function.index(),
                 keep_alive.as_micros()
+            );
+        }
+        EventKind::GatewayEnqueue { invocation, shard }
+        | EventKind::GatewayAdmit { invocation, shard } => {
+            let _ = write!(
+                out,
+                "\"invocation\":{},\"shard\":{shard}",
+                invocation.value()
+            );
+        }
+        EventKind::GatewayReject {
+            invocation,
+            shard,
+            depth,
+        } => {
+            let _ = write!(
+                out,
+                "\"invocation\":{},\"shard\":{shard},\"depth\":{depth}",
+                invocation.value()
+            );
+        }
+        EventKind::GatewayRoute {
+            function,
+            shard,
+            worker,
+            members,
+        } => {
+            let _ = write!(
+                out,
+                "\"function\":{},\"shard\":{shard},\"worker\":{worker},\"size\":{}",
+                function.index(),
+                members.len()
             );
         }
         _ => {}
@@ -2072,6 +2234,25 @@ mod tests {
             EventKind::ScaleKeepAlive {
                 function: f,
                 keep_alive: SimDuration::from_secs(30),
+            },
+            EventKind::GatewayEnqueue {
+                invocation: i,
+                shard: 3,
+            },
+            EventKind::GatewayAdmit {
+                invocation: i,
+                shard: 3,
+            },
+            EventKind::GatewayReject {
+                invocation: InvocationId::new(43),
+                shard: 3,
+                depth: 1024,
+            },
+            EventKind::GatewayRoute {
+                function: f,
+                shard: 3,
+                worker: 1,
+                members: vec![i, InvocationId::new(42)],
             },
         ];
         kinds

@@ -19,6 +19,7 @@
 //! |---|---|
 //! | [`core`] | Invoke Mapper, Resource Multiplexer, FaaSBatch policy, live platform |
 //! | [`fleet`] | multi-worker fleet simulation: pluggable routing, faults, aggregate reports |
+//! | [`gateway`] | live sharded front door: admission control, window routing over N workers |
 //! | [`schedulers`] | shared simulation harness + Vanilla / Kraken / SFS baselines |
 //! | [`container`] | container lifecycle, warm pool, cold-start model, live executor |
 //! | [`exec`] | dependency-free work-stealing executor: deques, task groups, timer wheel |
@@ -59,6 +60,7 @@ pub use faasbatch_container as container;
 pub use faasbatch_core as core;
 pub use faasbatch_exec as exec;
 pub use faasbatch_fleet as fleet;
+pub use faasbatch_gateway as gateway;
 pub use faasbatch_metrics as metrics;
 pub use faasbatch_schedulers as schedulers;
 pub use faasbatch_simcore as simcore;

@@ -63,6 +63,9 @@ USAGE:
     faasbatch live     [--jobs N] [--batch-size N] [--workers N] [--seed N]
                        [--backend executor|thread-per-job] [--window-ms N]
                        [--cold-ms N] [--work-us N] [--audit] [--out FILE]
+                       [--gateway [--shards N] [--shard-depth N]
+                       [--policy round-robin|least-loaded|
+                       warm-affinity|pull-based]]
     faasbatch figures
     faasbatch help
 
@@ -87,7 +90,12 @@ COMMANDS:
                and print throughput plus p50/p95/p99 latency; --audit replays
                the emitted event stream through the invariant auditor and the
                attribution engine, --out FILE exports it as JSONL (readable
-               by `faasbatch trace --analyze`)
+               by `faasbatch trace --analyze`); with --gateway the burst
+               instead enters the sharded live gateway, which routes each
+               dispatch-window group as a unit across --workers N live
+               worker platforms (default 8) from --shards N ingress shards
+               under the chosen routing policy, with per-shard admission
+               control (saturated shards reject instead of buffering)
     figures    list the per-figure regeneration binaries
 
 Workloads exported with `workload --export` replay bit-identically via
@@ -95,7 +103,7 @@ Workloads exported with `workload --export` replay bit-identically via
 paper-sized totals.";
 
 /// Options that take no value (presence alone means \"true\").
-const BOOLEAN_FLAGS: [&str; 2] = ["--no-multiplex", "--audit"];
+const BOOLEAN_FLAGS: [&str; 3] = ["--no-multiplex", "--audit", "--gateway"];
 
 /// Splits an argument list into positional arguments and `--key [value]`
 /// option tokens, preserving order within each group. Subcommands that take
@@ -348,8 +356,7 @@ fn parse_faults(spec: &str, kind: FaultKind) -> Result<Vec<WorkerFault>, String>
 fn cmd_fleet(opts: &Options) -> Result<(), String> {
     let (label, w) = load_or_build(opts)?;
     let policy_name = opts.str("--policy", "least-loaded");
-    let kind = RoutingKind::parse(&policy_name)
-        .ok_or_else(|| format!("unknown routing policy: {policy_name}"))?;
+    let kind = RoutingKind::parse(&policy_name).map_err(|e| e.to_string())?;
     let window = SimDuration::from_millis(opts.num("--window-ms", 200)?);
     let scheduler = match opts.str("--scheduler", "faasbatch").as_str() {
         "faasbatch" => WorkerScheduler::FaasBatch(FaasBatchConfig::with_window(window)),
@@ -757,11 +764,155 @@ fn quantile_sorted(sorted: &[std::time::Duration], q: f64) -> std::time::Duratio
 }
 
 /// `faasbatch live`: a synthetic burst against the real platform.
+/// Exports (`--out`) and audits (`--audit`) a recorded live event stream —
+/// shared tail of `live` and `live --gateway`.
+fn audit_and_export(
+    recorder: faasbatch::metrics::live::LiveTraceRecorder,
+    opts: &Options,
+) -> Result<(), String> {
+    let events = recorder.take_trace();
+    if let Some(out) = opts.values.get("--out") {
+        if let Some(dir) = std::path::Path::new(out).parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        let mut jsonl = String::new();
+        for event in &events {
+            jsonl.push_str(&serde_json::to_string(event).map_err(|e| e.to_string())?);
+            jsonl.push('\n');
+        }
+        std::fs::write(out, jsonl).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {} events to {out}", events.len());
+    }
+    let mut auditor = AuditorSink::new();
+    for event in &events {
+        auditor.record(event);
+    }
+    let violations = auditor.finish().to_vec();
+    let attribution = attribute_events(&events);
+    print!("{}", attribution.render());
+    if !attribution.all_exact() {
+        return Err("attribution phases do not sum to end-to-end latency".to_owned());
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("auditor violation: {v}");
+        }
+        return Err(format!(
+            "the event stream violated {} invariant(s)",
+            violations.len()
+        ));
+    }
+    println!("auditor: stream is clean (0 violations)");
+    Ok(())
+}
+
+fn cmd_live_gateway(opts: &Options) -> Result<(), String> {
+    use faasbatch::gateway::{Gateway, GatewayError};
+    use faasbatch::metrics::live::LiveTraceRecorder;
+
+    let jobs: usize = opts.num("--jobs", 20_000)?;
+    let batch_size: usize = opts.num("--batch-size", 100)?;
+    let workers: usize = opts.num("--workers", 8)?;
+    let shards: usize = opts.num("--shards", 4)?;
+    let shard_depth: usize = opts.num("--shard-depth", 65_536)?;
+    let window = std::time::Duration::from_millis(opts.num("--window-ms", 25)?);
+    let cold = std::time::Duration::from_millis(opts.num("--cold-ms", 2)?);
+    let work = std::time::Duration::from_micros(opts.num("--work-us", 250)?);
+    let policy =
+        RoutingKind::parse(&opts.str("--policy", "least-loaded")).map_err(|e| e.to_string())?;
+    if jobs == 0 || batch_size == 0 {
+        return Err("--jobs and --batch-size must be at least 1".to_owned());
+    }
+    let functions = jobs.div_ceil(batch_size);
+    let trace = opts.flag("--audit") || opts.values.contains_key("--out");
+    let recorder = trace.then(LiveTraceRecorder::new);
+
+    let mut builder = Gateway::builder()
+        .workers(workers)
+        .shards(shards)
+        .shard_depth(shard_depth)
+        .window(window)
+        .cold_start_delay(cold)
+        .policy(policy);
+    if let Some(rec) = &recorder {
+        builder = builder.trace(rec.clone());
+    }
+    for f in 0..functions {
+        builder = builder.register(&format!("burst-{f}"), move |_env| {
+            if !work.is_zero() {
+                std::thread::sleep(work);
+            }
+        });
+    }
+    let gateway = builder.start();
+
+    println!(
+        "firing {jobs} invocations over {functions} function(s) through \
+         {shards} gateway shard(s) onto {workers} live worker platform(s), \
+         {} routing…",
+        policy.name()
+    );
+    let started = std::time::Instant::now();
+    let mut tickets = Vec::with_capacity(jobs);
+    let mut rejected = 0usize;
+    for n in 0..jobs {
+        match gateway.invoke(&format!("burst-{}", n % functions), bytes::Bytes::new()) {
+            Ok(t) => tickets.push(t),
+            Err(GatewayError::Rejected { .. }) => rejected += 1,
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    let mut latencies: Vec<std::time::Duration> = Vec::with_capacity(tickets.len());
+    let mut panicked = 0usize;
+    for t in tickets {
+        let outcome = t.wait();
+        if outcome.panicked {
+            panicked += 1;
+        }
+        latencies.push(outcome.total());
+    }
+    gateway.drain().map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+
+    latencies.sort_unstable();
+    let completed = latencies.len();
+    println!(
+        "done in {elapsed:.2?}: {:.0} invocations/s | completed {completed} | \
+         rejected {rejected} | panicked {panicked} | peak in-flight {}",
+        completed as f64 / elapsed.as_secs_f64(),
+        gateway.peak_in_flight(),
+    );
+    println!(
+        "latency: p50 {:.2?} | p95 {:.2?} | p99 {:.2?} | max {:.2?}",
+        quantile_sorted(&latencies, 0.50),
+        quantile_sorted(&latencies, 0.95),
+        quantile_sorted(&latencies, 0.99),
+        latencies.last().copied().unwrap_or_default(),
+    );
+    for (shard, s) in gateway.stats().shards.iter().enumerate() {
+        println!(
+            "shard {shard}: enqueued {} | admitted {} | rejected {} | groups {}",
+            s.enqueued, s.admitted, s.rejected, s.routed_groups
+        );
+    }
+
+    drop(gateway);
+    match recorder {
+        Some(recorder) => audit_and_export(recorder, opts),
+        None => Ok(()),
+    }
+}
+
 fn cmd_live(opts: &Options) -> Result<(), String> {
     use faasbatch::container::live::LiveBackend;
     use faasbatch::core::platform::PlatformBuilder;
     use faasbatch::exec::{Executor, ExecutorConfig};
     use faasbatch::metrics::live::LiveTraceRecorder;
+
+    if opts.flag("--gateway") {
+        return cmd_live_gateway(opts);
+    }
 
     let jobs: usize = opts.num("--jobs", 2000)?;
     let batch_size: usize = opts.num("--batch-size", 100)?;
@@ -863,43 +1014,10 @@ fn cmd_live(opts: &Options) -> Result<(), String> {
     }
 
     drop(platform);
-    if let Some(recorder) = recorder {
-        let events = recorder.take_trace();
-        if let Some(out) = opts.values.get("--out") {
-            if let Some(dir) = std::path::Path::new(out).parent() {
-                std::fs::create_dir_all(dir)
-                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-            }
-            let mut jsonl = String::new();
-            for event in &events {
-                jsonl.push_str(&serde_json::to_string(event).map_err(|e| e.to_string())?);
-                jsonl.push('\n');
-            }
-            std::fs::write(out, jsonl).map_err(|e| format!("cannot write {out}: {e}"))?;
-            println!("wrote {} events to {out}", events.len());
-        }
-        let mut auditor = AuditorSink::new();
-        for event in &events {
-            auditor.record(event);
-        }
-        let violations = auditor.finish().to_vec();
-        let attribution = attribute_events(&events);
-        print!("{}", attribution.render());
-        if !attribution.all_exact() {
-            return Err("attribution phases do not sum to end-to-end latency".to_owned());
-        }
-        if !violations.is_empty() {
-            for v in &violations {
-                eprintln!("auditor violation: {v}");
-            }
-            return Err(format!(
-                "the event stream violated {} invariant(s)",
-                violations.len()
-            ));
-        }
-        println!("auditor: stream is clean (0 violations)");
+    match recorder {
+        Some(recorder) => audit_and_export(recorder, opts),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 fn cmd_figures() {
