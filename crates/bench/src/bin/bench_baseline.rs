@@ -45,7 +45,30 @@ struct Row {
 struct Baseline {
     /// Wall clock of the calibration spin loop on the recording machine.
     calibration_ns: u64,
+    /// Peak RSS of the whole measurement run (`VmHWM`), in bytes. Zero when
+    /// `/proc/self/status` is unavailable; the memory gate skips then.
+    peak_rss_bytes: u64,
     rows: Vec<Row>,
+}
+
+/// Peak resident set size of this process, from `/proc/self/status`
+/// (`VmHWM`), in bytes. Zero when unavailable (non-Linux).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
 }
 
 fn workload() -> Workload {
@@ -125,6 +148,7 @@ fn measure_all() -> Baseline {
     ];
     Baseline {
         calibration_ns,
+        peak_rss_bytes: peak_rss_bytes(),
         rows: scenarios
             .into_iter()
             .map(|(name, ns)| Row {
@@ -160,7 +184,29 @@ fn main() -> ExitCode {
         );
     }
 
+    println!(
+        "  peak RSS: {:.1} MiB",
+        current.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+    );
+
     if !check {
+        // Show what the new recording replaces, so speedups are auditable.
+        if let Ok(old) = std::fs::read_to_string(BASELINE_PATH) {
+            if let Ok(old) = serde_json::from_str::<Baseline>(&old) {
+                println!("\nreplacing recorded baseline:");
+                for prev in &old.rows {
+                    if let Some(now) = current.rows.iter().find(|r| r.scheduler == prev.scheduler) {
+                        println!(
+                            "  {:<10} ratio {:.4} -> {:.4}  ({:+.1}%)",
+                            prev.scheduler,
+                            prev.ratio,
+                            now.ratio,
+                            (now.ratio / prev.ratio - 1.0) * 100.0
+                        );
+                    }
+                }
+            }
+        }
         let json = serde_json::to_string_pretty(&current).expect("baseline serializes");
         std::fs::create_dir_all("results").expect("results dir is writable");
         std::fs::write(BASELINE_PATH, json + "\n").expect("baseline file is writable");
@@ -186,6 +232,22 @@ fn main() -> ExitCode {
             want.scheduler, got.ratio, want.ratio, delta
         );
         failed |= delta > tolerance;
+    }
+    // Memory gate: peak RSS of the measurement run must not grow beyond the
+    // same tolerance. Skipped when either side lacks /proc visibility.
+    if recorded.peak_rss_bytes > 0 && current.peak_rss_bytes > 0 {
+        let delta = (current.peak_rss_bytes as f64 / recorded.peak_rss_bytes as f64 - 1.0) * 100.0;
+        let verdict = if delta > tolerance { "REGRESSED" } else { "ok" };
+        println!(
+            "  {:<10} peak RSS {:.1} MiB vs {:.1} MiB  ({:+.1}%)  {verdict}",
+            "memory",
+            current.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            recorded.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            delta
+        );
+        failed |= delta > tolerance;
+    } else {
+        println!("  memory gate skipped (peak RSS unavailable on one side)");
     }
     if failed {
         eprintln!("\nwall-clock regression beyond {tolerance}% — investigate before merging");

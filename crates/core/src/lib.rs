@@ -56,5 +56,8 @@ pub mod routing;
 pub use mapper::{FunctionGroup, InvokeMapper};
 pub use multiplexer::{mux_trace_events, MultiplexerStats, MuxEvent, ResourceMultiplexer};
 pub use platform::{FaasBatchPlatform, InvokeOutcome, OutcomeSummary, PlatformBuilder};
-pub use policy::{run_faasbatch, run_faasbatch_traced, FaasBatchConfig, FaasBatchPolicy};
+pub use policy::{
+    run_faasbatch, run_faasbatch_source, run_faasbatch_source_traced, run_faasbatch_traced,
+    FaasBatchConfig, FaasBatchPolicy,
+};
 pub use routing::{RoutingKind, RoutingPolicy, UnknownRoutingPolicy};

@@ -1,0 +1,131 @@
+//! Property test pinning the streaming workload path to the materialised
+//! one: for any seed/size/shape, `WorkloadStream` must yield bit-identical
+//! invocation sequences to the eager builders, and replaying either form
+//! through any of the four schedulers must produce bit-identical reports
+//! AND bit-identical traced event streams (DESIGN.md §16).
+
+use faasbatch_core::policy::{run_faasbatch_source_traced, run_faasbatch_traced, FaasBatchConfig};
+use faasbatch_metrics::events::{SimEvent, VecSink};
+use faasbatch_metrics::report::RunReport;
+use faasbatch_metrics::TraceSink;
+use faasbatch_schedulers::config::SimConfig;
+use faasbatch_schedulers::harness::{run_simulation_traced, run_source_traced};
+use faasbatch_schedulers::kraken::Kraken;
+use faasbatch_schedulers::policy::Policy;
+use faasbatch_schedulers::sfs::Sfs;
+use faasbatch_schedulers::vanilla::Vanilla;
+use faasbatch_simcore::rng::DetRng;
+use faasbatch_simcore::time::SimDuration;
+use faasbatch_trace::stream::WorkloadStream;
+use faasbatch_trace::workload::{cpu_workload, io_workload, Workload, WorkloadConfig};
+use proptest::{prop_assert_eq, proptest};
+
+const WINDOW: SimDuration = SimDuration::from_millis(200);
+
+fn events(sink: Box<dyn TraceSink>) -> Vec<SimEvent> {
+    sink.as_any()
+        .downcast_ref::<VecSink>()
+        .expect("vec sink comes back")
+        .events()
+        .to_vec()
+}
+
+fn policy(scheduler: usize) -> (Box<dyn Policy>, Option<SimDuration>) {
+    match scheduler {
+        0 => (Box::new(Vanilla::new()), None),
+        1 => (Box::new(Sfs::new()), None),
+        2 => (Box::new(Kraken::with_defaults(WINDOW)), Some(WINDOW)),
+        _ => unreachable!("faasbatch runs through its own entry point"),
+    }
+}
+
+/// Replays `workload` (materialised) and `stream` (on demand) under
+/// scheduler index `scheduler` (0=vanilla, 1=sfs, 2=kraken, 3=faasbatch)
+/// and returns both `(report, events)` pairs.
+fn replay_both(
+    workload: &Workload,
+    stream: WorkloadStream,
+    scheduler: usize,
+) -> ((RunReport, Vec<SimEvent>), (RunReport, Vec<SimEvent>)) {
+    if scheduler == 3 {
+        let (ra, sa) = run_faasbatch_traced(
+            workload,
+            SimConfig::default(),
+            FaasBatchConfig::default(),
+            "prop",
+            Box::new(VecSink::new()),
+        );
+        let (rb, sb) = run_faasbatch_source_traced(
+            stream,
+            SimConfig::default(),
+            FaasBatchConfig::default(),
+            "prop",
+            Box::new(VecSink::new()),
+        );
+        return ((ra, events(sa)), (rb, events(sb)));
+    }
+    let (pa, interval) = policy(scheduler);
+    let (ra, sa) = run_simulation_traced(
+        pa,
+        workload,
+        SimConfig::default(),
+        "prop",
+        interval,
+        Box::new(VecSink::new()),
+    );
+    let (pb, interval) = policy(scheduler);
+    let (rb, sb) = run_source_traced(
+        pb,
+        stream,
+        SimConfig::default(),
+        "prop",
+        interval,
+        Box::new(VecSink::new()),
+    );
+    ((ra, events(sa)), (rb, events(sb)))
+}
+
+proptest! {
+    #[test]
+    fn streamed_replay_is_bit_identical_to_materialised(
+        seed in 0u64..10_000,
+        total in 16usize..96,
+        functions in 1usize..6,
+        scheduler in 0usize..4,
+        io in 0usize..2,
+    ) {
+        let cfg = WorkloadConfig {
+            total,
+            span: SimDuration::from_secs(8),
+            functions,
+            bursts: 1 + total % 3,
+            ..WorkloadConfig::default()
+        };
+        let rng = DetRng::new(seed);
+        let (eager, stream) = if io == 0 {
+            (cpu_workload(&rng, &cfg), WorkloadStream::cpu(&rng, &cfg))
+        } else {
+            (io_workload(&rng, &cfg), WorkloadStream::io(&rng, &cfg))
+        };
+
+        // The invocation sequences themselves are bit-identical.
+        let materialised = if io == 0 {
+            WorkloadStream::cpu(&rng, &cfg).materialise()
+        } else {
+            WorkloadStream::io(&rng, &cfg).materialise()
+        };
+        prop_assert_eq!(&eager, &materialised, "invocation sequences diverge");
+
+        // So are full traced replays under every scheduler.
+        let ((report_a, events_a), (report_b, events_b)) =
+            replay_both(&eager, stream, scheduler);
+        prop_assert_eq!(report_a, report_b, "reports diverge (scheduler {})", scheduler);
+        prop_assert_eq!(
+            events_a.len(),
+            events_b.len(),
+            "event counts diverge (scheduler {})",
+            scheduler
+        );
+        prop_assert_eq!(events_a, events_b, "event streams diverge (scheduler {})", scheduler);
+    }
+}

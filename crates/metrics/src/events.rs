@@ -543,6 +543,20 @@ pub trait TraceSink {
     /// Observes one event. Events arrive in non-decreasing time order.
     fn record(&mut self, event: &SimEvent);
 
+    /// Observes a batch of events at once. The batch is a contiguous slice
+    /// of the stream: events within and across batches arrive in the same
+    /// non-decreasing time order [`record`](Self::record) guarantees, so a
+    /// sink may treat `record_batch(&[a, b])` exactly like `record(a);
+    /// record(b)` — which is the default. Emitters batch to amortise the
+    /// virtual call; sinks with a cheaper bulk path (e.g.
+    /// [`VecSink`]'s `extend_from_slice`, [`NoopSink`]'s nothing-at-all)
+    /// override it.
+    fn record_batch(&mut self, events: &[SimEvent]) {
+        for event in events {
+            self.record(event);
+        }
+    }
+
     /// Asks the sink for pending [`ScaleAction`]s. The simulation harness
     /// calls this at safe points between engine steps (the sampler tick) and
     /// applies whatever comes back; passive sinks return nothing (the
@@ -568,6 +582,8 @@ pub struct NoopSink;
 impl TraceSink for NoopSink {
     #[inline]
     fn record(&mut self, _event: &SimEvent) {}
+    #[inline]
+    fn record_batch(&mut self, _events: &[SimEvent]) {}
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -651,6 +667,9 @@ impl VecSink {
 impl TraceSink for VecSink {
     fn record(&mut self, event: &SimEvent) {
         self.events.push(event.clone());
+    }
+    fn record_batch(&mut self, events: &[SimEvent]) {
+        self.events.extend_from_slice(events);
     }
     fn as_any(&self) -> &dyn Any {
         self
@@ -795,6 +814,11 @@ impl TraceSink for MultiSink {
             sink.record(event);
         }
     }
+    fn record_batch(&mut self, events: &[SimEvent]) {
+        for sink in &mut self.sinks {
+            sink.record_batch(events);
+        }
+    }
     fn poll_actions(&mut self, now: SimTime) -> Vec<ScaleAction> {
         let mut actions = Vec::new();
         for sink in &mut self.sinks {
@@ -867,7 +891,14 @@ pub struct RecordReducer {
     client_requests: u64,
     clients_created: u64,
     client_bytes_allocated: u64,
+    /// Completed batch states recycled for later dispatches, so the
+    /// steady-state path reuses member/timestamp vec capacity instead of
+    /// allocating three vecs per batch.
+    batch_pool: Vec<BatchState>,
 }
+
+/// Recycled [`BatchState`]s kept at most; beyond this they drop normally.
+const BATCH_POOL_CAP: usize = 64;
 
 impl RecordReducer {
     /// A reducer with no state.
@@ -909,9 +940,22 @@ impl RecordReducer {
                 ..
             } => {
                 let n = members.len();
-                self.batches.insert(
-                    *batch,
-                    BatchState {
+                let state = match self.batch_pool.pop() {
+                    Some(mut s) => {
+                        s.container = *container;
+                        s.cold = *cold;
+                        s.members.clear();
+                        s.members.extend_from_slice(members);
+                        s.decision_done = None;
+                        s.ready = None;
+                        s.exec_start.clear();
+                        s.exec_start.resize(n, None);
+                        s.own_finish.clear();
+                        s.own_finish.resize(n, None);
+                        s.completed = 0;
+                        s
+                    }
+                    None => BatchState {
                         container: *container,
                         cold: *cold,
                         members: members.clone(),
@@ -921,7 +965,8 @@ impl RecordReducer {
                         own_finish: vec![None; n],
                         completed: 0,
                     },
-                );
+                };
+                self.batches.insert(*batch, state);
             }
             EventKind::TaskFinish {
                 task: TaskKind::Decision { batch },
@@ -1035,7 +1080,11 @@ impl RecordReducer {
         };
         b.completed += 1;
         if b.completed == b.members.len() {
-            self.batches.remove(&batch);
+            if let Some(state) = self.batches.remove(&batch) {
+                if self.batch_pool.len() < BATCH_POOL_CAP {
+                    self.batch_pool.push(state);
+                }
+            }
         }
         record
     }
@@ -1100,9 +1149,13 @@ impl AuditorSink {
         AuditorSink::default()
     }
 
-    fn violate(&mut self, at: SimTime, message: String) {
+    /// Records one violation. Takes the message *lazily*: on the hot path
+    /// every check calls this conditionally, but once the retention cap is
+    /// hit (or in the common all-clean case, never at all) the `format!`
+    /// must not run — clean runs pay a branch, not an allocation.
+    fn violate(&mut self, at: SimTime, message: impl FnOnce() -> String) {
         if self.violations.len() < MAX_VIOLATIONS {
-            self.violations.push(format!("[{at}] {message}"));
+            self.violations.push(format!("[{at}] {}", message()));
         } else {
             self.truncated += 1;
         }
@@ -1126,7 +1179,9 @@ impl AuditorSink {
                 .collect();
             unfinished.sort();
             for id in unfinished {
-                self.violate(SimTime::ZERO, format!("{id} arrived but never completed"));
+                self.violate(SimTime::ZERO, || {
+                    format!("{id} arrived but never completed")
+                });
             }
             let mut open: Vec<String> = self
                 .open_tasks
@@ -1136,7 +1191,7 @@ impl AuditorSink {
                 .collect();
             open.sort();
             for msg in open {
-                self.violate(SimTime::ZERO, msg);
+                self.violate(SimTime::ZERO, || msg);
             }
             let mut cold: Vec<ContainerId> = self
                 .open_cold_starts
@@ -1146,14 +1201,13 @@ impl AuditorSink {
                 .collect();
             cold.sort();
             for c in cold {
-                self.violate(SimTime::ZERO, format!("{c} cold start never ended"));
+                self.violate(SimTime::ZERO, || format!("{c} cold start never ended"));
             }
             if self.pending_scale_prewarms > 0 {
                 let n = self.pending_scale_prewarms;
-                self.violate(
-                    SimTime::ZERO,
-                    format!("{n} scale-prewarm request(s) never launched a container"),
-                );
+                self.violate(SimTime::ZERO, || {
+                    format!("{n} scale-prewarm request(s) never launched a container")
+                });
             }
             let mut stuck: Vec<InvocationId> = self
                 .gateway_open
@@ -1163,10 +1217,9 @@ impl AuditorSink {
                 .collect();
             stuck.sort();
             for id in stuck {
-                self.violate(
-                    SimTime::ZERO,
-                    format!("{id} enqueued on a gateway shard but never admitted"),
-                );
+                self.violate(SimTime::ZERO, || {
+                    format!("{id} enqueued on a gateway shard but never admitted")
+                });
             }
             if self.truncated > 0 {
                 let n = self.truncated;
@@ -1188,12 +1241,11 @@ impl AuditorSink {
         };
         let tracked = self.containers.get(container).copied();
         if tracked != *from {
-            self.violate(
-                at,
+            self.violate(at, || {
                 format!(
                     "{container} claims transition from {from:?} but tracked state is {tracked:?}"
-                ),
-            );
+                )
+            });
         }
         let legal = matches!(
             (tracked, to),
@@ -1204,10 +1256,9 @@ impl AuditorSink {
                 | (Some(ContainerState::Idle), ContainerState::Terminated)
         );
         if !legal {
-            self.violate(
-                at,
-                format!("{container} illegal transition {tracked:?} → {to:?}"),
-            );
+            self.violate(at, || {
+                format!("{container} illegal transition {tracked:?} → {to:?}")
+            });
         }
         self.containers.insert(*container, *to);
     }
@@ -1223,10 +1274,9 @@ impl AuditorSink {
                 self.mem_total += i128::from(*bytes);
                 if self.mem_total != i128::from(*total) {
                     let tracked = self.mem_total;
-                    self.violate(
-                        at,
-                        format!("ledger total {total} disagrees with audited sum {tracked}"),
-                    );
+                    self.violate(at, || {
+                        format!("ledger total {total} disagrees with audited sum {tracked}")
+                    });
                 }
             }
             EventKind::MemFree {
@@ -1238,19 +1288,18 @@ impl AuditorSink {
                 *cat -= i128::from(*bytes);
                 if *cat < 0 {
                     let v = *cat;
-                    self.violate(at, format!("category `{category}` went negative ({v})"));
+                    self.violate(at, || format!("category `{category}` went negative ({v})"));
                 }
                 self.mem_total -= i128::from(*bytes);
                 if self.mem_total < 0 {
                     let v = self.mem_total;
-                    self.violate(at, format!("ledger total went negative ({v})"));
+                    self.violate(at, || format!("ledger total went negative ({v})"));
                 }
                 if self.mem_total != i128::from(*total) {
                     let tracked = self.mem_total;
-                    self.violate(
-                        at,
-                        format!("ledger total {total} disagrees with audited sum {tracked}"),
-                    );
+                    self.violate(at, || {
+                        format!("ledger total {total} disagrees with audited sum {tracked}")
+                    });
                 }
             }
             _ => {}
@@ -1263,17 +1312,16 @@ impl TraceSink for AuditorSink {
         let at = event.at;
         if let Some(last) = self.last_at {
             if at < last {
-                self.violate(
-                    at,
-                    format!("time went backwards (previous event at {last})"),
-                );
+                self.violate(at, || {
+                    format!("time went backwards (previous event at {last})")
+                });
             }
         }
         self.last_at = Some(at);
 
         match &event.kind {
             EventKind::Arrival { invocation, .. } if self.seen.insert(*invocation, 0).is_some() => {
-                self.violate(at, format!("{invocation} arrived twice"));
+                self.violate(at, || format!("{invocation} arrived twice"));
             }
             EventKind::InvocationComplete { invocation, .. } => {
                 match self.seen.get_mut(invocation) {
@@ -1281,10 +1329,10 @@ impl TraceSink for AuditorSink {
                         *n += 1;
                         if *n > 1 {
                             let n = *n;
-                            self.violate(at, format!("{invocation} completed {n} times"));
+                            self.violate(at, || format!("{invocation} completed {n} times"));
                         }
                     }
-                    None => self.violate(at, format!("{invocation} completed without arriving")),
+                    None => self.violate(at, || format!("{invocation} completed without arriving")),
                 }
             }
             EventKind::TaskStart { task } => {
@@ -1298,17 +1346,17 @@ impl TraceSink for AuditorSink {
             }
             EventKind::ScalePrewarm { count, .. } => {
                 if *count == 0 {
-                    self.violate(at, "scale-prewarm requested zero containers".to_owned());
+                    self.violate(at, || "scale-prewarm requested zero containers".to_owned());
                 }
                 self.pending_scale_prewarms += count;
             }
             EventKind::ScaleKeepAlive { keep_alive, .. } if keep_alive.is_zero() => {
-                self.violate(at, "scale action set a zero keep-alive TTL".to_owned());
+                self.violate(at, || "scale action set a zero keep-alive TTL".to_owned());
             }
             EventKind::TaskPreempt { task } | EventKind::TaskFinish { task } => {
                 let open = self.open_tasks.entry(*task).or_insert(0);
                 if *open == 0 {
-                    self.violate(at, format!("task {task:?} finished without starting"));
+                    self.violate(at, || format!("task {task:?} finished without starting"));
                 } else {
                     *open -= 1;
                 }
@@ -1319,34 +1367,31 @@ impl TraceSink for AuditorSink {
             EventKind::ColdStartEnd { container, .. } => {
                 let open = self.open_cold_starts.entry(*container).or_insert(0);
                 if *open == 0 {
-                    self.violate(
-                        at,
-                        format!("{container} cold start ended without beginning"),
-                    );
+                    self.violate(at, || {
+                        format!("{container} cold start ended without beginning")
+                    });
                 } else {
                     *open -= 1;
                 }
             }
             EventKind::GatewayEnqueue { invocation, shard } => {
                 if !self.seen.contains_key(invocation) {
-                    self.violate(
-                        at,
-                        format!("{invocation} enqueued on shard {shard} without arriving"),
-                    );
+                    self.violate(at, || {
+                        format!("{invocation} enqueued on shard {shard} without arriving")
+                    });
                 }
                 let open = self.gateway_open.entry(*invocation).or_insert(0);
                 *open += 1;
                 if *open > 1 {
-                    self.violate(at, format!("{invocation} enqueued twice"));
+                    self.violate(at, || format!("{invocation} enqueued twice"));
                 }
             }
             EventKind::GatewayAdmit { invocation, shard } => {
                 let open = self.gateway_open.entry(*invocation).or_insert(0);
                 if *open == 0 {
-                    self.violate(
-                        at,
-                        format!("{invocation} admitted by shard {shard} without an enqueue"),
-                    );
+                    self.violate(at, || {
+                        format!("{invocation} admitted by shard {shard} without an enqueue")
+                    });
                 } else {
                     *open -= 1;
                 }
@@ -1355,29 +1400,28 @@ impl TraceSink for AuditorSink {
                 // Rejection is terminal and must come straight from the
                 // front door — a queued (enqueued) invocation is committed.
                 if self.gateway_open.get(invocation).copied().unwrap_or(0) > 0 {
-                    self.violate(at, format!("{invocation} rejected after being enqueued"));
+                    self.violate(at, || format!("{invocation} rejected after being enqueued"));
                 }
                 match self.seen.get_mut(invocation) {
                     Some(n) => {
                         *n += 1;
                         if *n > 1 {
                             let n = *n;
-                            self.violate(
-                                at,
-                                format!("{invocation} rejected but terminated {n} times"),
-                            );
+                            self.violate(at, || {
+                                format!("{invocation} rejected but terminated {n} times")
+                            });
                         }
                     }
-                    None => self.violate(at, format!("{invocation} rejected without arriving")),
+                    None => self.violate(at, || format!("{invocation} rejected without arriving")),
                 }
             }
             EventKind::GatewayRoute { members, .. } => {
                 if members.is_empty() {
-                    self.violate(at, "gateway routed an empty group".to_owned());
+                    self.violate(at, || "gateway routed an empty group".to_owned());
                 }
                 for member in members {
                     if !self.seen.contains_key(member) {
-                        self.violate(at, format!("{member} routed without arriving"));
+                        self.violate(at, || format!("{member} routed without arriving"));
                     }
                 }
             }
@@ -1389,11 +1433,13 @@ impl TraceSink for AuditorSink {
         if let Some(record) = self.reducer.on_event(event) {
             if !record.is_consistent() {
                 let id = record.id;
-                self.violate(at, format!("{id} latency components do not tile its span"));
+                self.violate(at, || {
+                    format!("{id} latency components do not tile its span")
+                });
             }
             if record.completion < record.arrival {
                 let id = record.id;
-                self.violate(at, format!("{id} completed before it arrived"));
+                self.violate(at, || format!("{id} completed before it arrived"));
             }
         }
     }
@@ -1418,7 +1464,27 @@ impl TraceSink for AuditorSink {
 /// to every member's invocation slice, so group expansion renders as arrows
 /// in `about:tracing`.
 pub fn chrome_trace(events: &[SimEvent]) -> String {
-    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut buf = Vec::new();
+    chrome_trace_to(events, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("chrome trace is valid UTF-8")
+}
+
+/// Streaming form of [`chrome_trace`]: renders straight into `out` line by
+/// line, so exporting a full-day log never builds (or doubles) the whole
+/// JSON document in memory.
+pub fn chrome_trace_to(events: &[SimEvent], out: &mut dyn Write) -> std::io::Result<()> {
+    fn push(
+        out: &mut dyn Write,
+        first: &mut bool,
+        line: std::fmt::Arguments<'_>,
+    ) -> std::io::Result<()> {
+        if !*first {
+            out.write_all(b",\n")?;
+        }
+        *first = false;
+        out.write_fmt(line)
+    }
+    out.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")?;
     let mut first = true;
     let mut open_tasks: HashMap<TaskKind, SimTime> = HashMap::new();
     let mut open_cold: HashMap<ContainerId, SimTime> = HashMap::new();
@@ -1426,13 +1492,6 @@ pub fn chrome_trace(events: &[SimEvent]) -> String {
     // member → every (flow id, formation time) of a group it was routed in.
     let mut member_groups: HashMap<InvocationId, Vec<(u64, SimTime)>> = HashMap::new();
     let mut group_seq = 0u64;
-    let mut push = |line: String, first: &mut bool| {
-        if !*first {
-            out.push_str(",\n");
-        }
-        *first = false;
-        out.push_str(&line);
-    };
     for event in events {
         let ts = event.at.as_micros();
         match &event.kind {
@@ -1440,12 +1499,9 @@ pub fn chrome_trace(events: &[SimEvent]) -> String {
                 arrivals.insert(*invocation, event.at);
                 let mut args = String::new();
                 instant_args(&event.kind, &mut args);
-                push(
-                    format!(
+                push(out, &mut first, format_args!(
                         "{{\"name\":\"Arrival\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{ts},\"pid\":0,\"tid\":0,\"args\":{{{args}}}}}"
-                    ),
-                    &mut first,
-                );
+                    ))?;
             }
             EventKind::GroupFormed {
                 function,
@@ -1460,19 +1516,13 @@ pub fn chrome_trace(events: &[SimEvent]) -> String {
                 }
                 // Marker slice on the router lane (pid 1, tid 0) anchoring
                 // the outgoing flow arrow.
-                push(
-                    format!(
+                push(out, &mut first, format_args!(
                         "{{\"name\":\"GroupFormed\",\"cat\":\"fleet\",\"ph\":\"X\",\"ts\":{ts},\"dur\":1,\"pid\":1,\"tid\":0,\"args\":{{\"function\":{},\"size\":{size},\"worker\":{worker}}}}}",
                         function.index()
-                    ),
-                    &mut first,
-                );
-                push(
-                    format!(
+                    ))?;
+                push(out, &mut first, format_args!(
                         "{{\"name\":\"group\",\"cat\":\"fleet\",\"ph\":\"s\",\"id\":{id},\"ts\":{ts},\"pid\":1,\"tid\":0}}"
-                    ),
-                    &mut first,
-                );
+                    ))?;
             }
             EventKind::InvocationComplete { invocation, .. } => {
                 if let Some(arrival) = arrivals.get(invocation) {
@@ -1480,35 +1530,26 @@ pub fn chrome_trace(events: &[SimEvent]) -> String {
                     // so invocation lanes start at 1.
                     let tid = invocation.value() + 1;
                     let begin = arrival.as_micros();
-                    push(
-                        format!(
+                    push(out, &mut first, format_args!(
                             "{{\"name\":\"Invocation\",\"cat\":\"invocation\",\"ph\":\"X\",\"ts\":{begin},\"dur\":{},\"pid\":1,\"tid\":{tid},\"args\":{{\"invocation\":{}}}}}",
                             ts - begin,
                             invocation.value(),
-                        ),
-                        &mut first,
-                    );
+                        ))?;
                     for (id, formed) in member_groups.remove(invocation).unwrap_or_default() {
                         // Bind the arrow inside the invocation slice: the
                         // group formed at or before this completion, so the
                         // clamp keeps the flow terminus enclosed.
                         let bind = formed.max(*arrival).as_micros().min(ts);
-                        push(
-                            format!(
+                        push(out, &mut first, format_args!(
                                 "{{\"name\":\"group\",\"cat\":\"fleet\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"ts\":{bind},\"pid\":1,\"tid\":{tid}}}"
-                            ),
-                            &mut first,
-                        );
+                            ))?;
                     }
                 }
                 let mut args = String::new();
                 instant_args(&event.kind, &mut args);
-                push(
-                    format!(
+                push(out, &mut first, format_args!(
                         "{{\"name\":\"InvocationComplete\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{ts},\"pid\":0,\"tid\":0,\"args\":{{{args}}}}}"
-                    ),
-                    &mut first,
-                );
+                    ))?;
             }
             EventKind::TaskStart { task } => {
                 open_tasks.insert(*task, event.at);
@@ -1517,14 +1558,11 @@ pub fn chrome_trace(events: &[SimEvent]) -> String {
                 if let Some(begin) = open_tasks.remove(task) {
                     let dur = ts - begin.as_micros();
                     let (name, args) = task_name_args(task);
-                    push(
-                        format!(
+                    push(out, &mut first, format_args!(
                             "{{\"name\":\"{name}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{},\"dur\":{dur},\"pid\":0,\"tid\":{},\"args\":{{{args}}}}}",
                             begin.as_micros(),
                             task_tid(task),
-                        ),
-                        &mut first,
-                    );
+                        ))?;
                 }
             }
             EventKind::ColdStartBegin { container, .. } => {
@@ -1533,15 +1571,12 @@ pub fn chrome_trace(events: &[SimEvent]) -> String {
             EventKind::ColdStartEnd { container, .. } => {
                 if let Some(begin) = open_cold.remove(container) {
                     let dur = ts - begin.as_micros();
-                    push(
-                        format!(
+                    push(out, &mut first, format_args!(
                             "{{\"name\":\"ColdStart\",\"cat\":\"container\",\"ph\":\"X\",\"ts\":{},\"dur\":{dur},\"pid\":0,\"tid\":{},\"args\":{{\"container\":{}}}}}",
                             begin.as_micros(),
                             container.value(),
                             container.value(),
-                        ),
-                        &mut first,
-                    );
+                        ))?;
                 }
             }
             EventKind::HostSample {
@@ -1549,28 +1584,22 @@ pub fn chrome_trace(events: &[SimEvent]) -> String {
                 busy_cores,
                 live_containers,
             } => {
-                push(
-                    format!(
+                push(out, &mut first, format_args!(
                         "{{\"name\":\"host\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\"args\":{{\"memory_bytes\":{memory_bytes},\"busy_cores\":{busy_cores},\"live_containers\":{live_containers}}}}}"
-                    ),
-                    &mut first,
-                );
+                    ))?;
             }
             other => {
                 let name = other.name();
                 let mut args = String::new();
                 instant_args(other, &mut args);
-                push(
-                    format!(
+                push(out, &mut first, format_args!(
                         "{{\"name\":\"{name}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{ts},\"pid\":0,\"tid\":0,\"args\":{{{args}}}}}"
-                    ),
-                    &mut first,
-                );
+                    ))?;
             }
         }
     }
-    out.push_str("\n]}\n");
-    out
+    out.write_all(b"\n]}\n")?;
+    Ok(())
 }
 
 /// Chrome trace thread id for a task: containers get their own lane,

@@ -44,6 +44,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The metrics pipeline sits on every event's path: reject avoidable
+// allocations outright.
+#![deny(
+    clippy::unnecessary_to_owned,
+    clippy::assigning_clones,
+    clippy::inefficient_to_string,
+    clippy::format_collect
+)]
 
 pub mod analysis;
 pub mod autoscaler;
@@ -62,8 +70,8 @@ pub use analysis::{
 };
 pub use autoscaler::{AutoscalerConfig, AutoscalerSink, AutoscalerStats, ScaleAction};
 pub use events::{
-    chrome_trace, AuditorSink, CounterSink, EventKind, JsonlSink, MultiSink, NoopSink,
-    RecordReducer, ReducedRun, RingSink, SimEvent, TaskKind, TraceSink, VecSink,
+    chrome_trace, chrome_trace_to, AuditorSink, CounterSink, EventKind, JsonlSink, MultiSink,
+    NoopSink, RecordReducer, ReducedRun, RingSink, SimEvent, TaskKind, TraceSink, VecSink,
 };
 pub use latency::{InvocationRecord, LatencyBreakdown};
 pub use live::LiveTraceRecorder;

@@ -37,10 +37,11 @@ use faasbatch_metrics::events::{
 use faasbatch_metrics::latency::InvocationRecord;
 use faasbatch_metrics::report::RunReport;
 use faasbatch_simcore::cpu::{CpuGroupId, CpuTaskId};
-use faasbatch_simcore::engine::{Engine, EventId};
+use faasbatch_simcore::engine::{Engine, EventArg, EventId};
 use faasbatch_simcore::memory::{AllocationId, MemOpKind};
 use faasbatch_simcore::time::{SimDuration, SimTime};
 use faasbatch_trace::function::{FunctionKind, FunctionRegistry};
+use faasbatch_trace::stream::InvocationSource;
 use faasbatch_trace::workload::{Invocation, Workload};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
@@ -142,7 +143,22 @@ pub struct SimWorld {
     reducer: RecordReducer,
     /// Observer for the same stream the reducer folds.
     trace: Box<dyn TraceSink>,
+    /// Events folded by the reducer but not yet handed to the sink; flushed
+    /// in contiguous batches (the reducer always sees each event first, so
+    /// report derivation is unaffected by the buffering).
+    pending_events: Vec<SimEvent>,
     total: usize,
+}
+
+/// Flush threshold for the buffered event stream.
+const EVENT_BATCH: usize = 256;
+
+/// Hands the buffered event run to the sink as one `record_batch` call.
+fn flush_events(world: &mut SimWorld) {
+    if !world.pending_events.is_empty() {
+        world.trace.record_batch(&world.pending_events);
+        world.pending_events.clear();
+    }
 }
 
 impl std::fmt::Debug for SimWorld {
@@ -156,12 +172,17 @@ impl std::fmt::Debug for SimWorld {
 }
 
 impl SimWorld {
-    fn new(cfg: SimConfig, workload: &Workload, trace: Box<dyn TraceSink>) -> Self {
+    fn new(
+        cfg: SimConfig,
+        registry: FunctionRegistry,
+        total: usize,
+        trace: Box<dyn TraceSink>,
+    ) -> Self {
         let mut cluster = Cluster::new(cfg.cores, cfg.cold_start.clone(), cfg.keep_alive);
         let daemon_group = cluster.cpu_mut().create_group(Some(cfg.daemon_cores));
         SimWorld {
             cluster,
-            registry: workload.registry().clone(),
+            registry,
             daemon_group,
             batches: HashMap::new(),
             next_batch: 0,
@@ -172,7 +193,8 @@ impl SimWorld {
             transient_clients: HashMap::new(),
             reducer: RecordReducer::new(),
             trace,
-            total: workload.len(),
+            pending_events: Vec::with_capacity(EVENT_BATCH),
+            total,
             cfg,
         }
     }
@@ -267,7 +289,10 @@ fn drain_journals(world: &mut SimWorld) {
             )
         };
         world.reducer.on_event(&event);
-        world.trace.record(&event);
+        world.pending_events.push(event);
+    }
+    if world.pending_events.len() >= EVENT_BATCH {
+        flush_events(world);
     }
 }
 
@@ -278,19 +303,24 @@ fn emit(world: &mut SimWorld, at: SimTime, kind: EventKind) -> Option<Invocation
     drain_journals(world);
     let event = SimEvent::new(at, kind);
     let record = world.reducer.on_event(&event);
-    world.trace.record(&event);
+    world.pending_events.push(event);
+    if world.pending_events.len() >= EVENT_BATCH {
+        flush_events(world);
+    }
     record
 }
 
 /// Schedules `policy.on_timer(token)` after `delay`.
 pub(crate) fn schedule_policy_timer(engine: &mut Engine<Sim>, delay: SimDuration, token: u64) {
-    engine.schedule_in(delay, move |sim: &mut Sim, engine| {
-        {
-            let Sim { world, policy } = sim;
-            policy.on_timer(&mut Ctx { world, engine }, token);
-        }
-        pump_cpu(&mut sim.world, engine);
-    });
+    engine.schedule_arg_in(delay, policy_timer_tick, EventArg::one(token));
+}
+
+fn policy_timer_tick(sim: &mut Sim, engine: &mut Engine<Sim>, arg: EventArg) {
+    {
+        let Sim { world, policy } = sim;
+        policy.on_timer(&mut Ctx { world, engine }, arg.a);
+    }
+    pump_cpu(&mut sim.world, engine);
 }
 
 /// Adjusts one live container's CPU fair-share weight.
@@ -442,7 +472,7 @@ fn pump_cpu(world: &mut SimWorld, engine: &mut Engine<Sim>) {
         engine.cancel(ev);
     }
     if let Some((when, _)) = world.cluster.cpu().next_completion(engine.now()) {
-        let ev = engine.schedule_at(when, cpu_tick);
+        let ev = engine.schedule_fn_at(when, cpu_tick);
         world.cpu_event = Some(ev);
     }
 }
@@ -480,20 +510,7 @@ fn cpu_tick(sim: &mut Sim, engine: &mut Engine<Sim>) {
                     },
                 );
                 let image = sim.world.cfg.cold_start.image_latency();
-                engine.schedule_in(image, move |sim: &mut Sim, engine| {
-                    let now = engine.now();
-                    let world = &mut sim.world;
-                    let boot = world.cluster.start_cold_cpu_work(now, cid);
-                    world.running.insert(boot, WorkKind::PrewarmBoot(cid));
-                    emit(
-                        world,
-                        now,
-                        EventKind::TaskStart {
-                            task: TaskKind::PrewarmBoot { container: cid },
-                        },
-                    );
-                    pump_cpu(world, engine);
-                });
+                engine.schedule_arg_in(image, prewarm_image_done, EventArg::one(cid.value()));
             }
             WorkKind::PrewarmBoot(cid) => {
                 sim.world.open_prewarms -= 1;
@@ -513,6 +530,43 @@ fn cpu_tick(sim: &mut Sim, engine: &mut Engine<Sim>) {
     pump_cpu(&mut sim.world, engine);
 }
 
+/// Image pull finished for a pre-warm pipeline (`arg.a` = container id):
+/// start the runtime-boot CPU phase inside the container's group.
+fn prewarm_image_done(sim: &mut Sim, engine: &mut Engine<Sim>, arg: EventArg) {
+    let cid = ContainerId::new(arg.a);
+    let now = engine.now();
+    let world = &mut sim.world;
+    let boot = world.cluster.start_cold_cpu_work(now, cid);
+    world.running.insert(boot, WorkKind::PrewarmBoot(cid));
+    emit(
+        world,
+        now,
+        EventKind::TaskStart {
+            task: TaskKind::PrewarmBoot { container: cid },
+        },
+    );
+    pump_cpu(world, engine);
+}
+
+/// Image pull finished for a dispatched cold start (`arg.a` = batch id,
+/// `arg.b` = container id): start the runtime-boot CPU phase.
+fn cold_image_done(sim: &mut Sim, engine: &mut Engine<Sim>, arg: EventArg) {
+    let id = BatchId(arg.a);
+    let cid = ContainerId::new(arg.b);
+    let now = engine.now();
+    let world = &mut sim.world;
+    let task = world.cluster.start_cold_cpu_work(now, cid);
+    world.running.insert(task, WorkKind::ColdBoot(id));
+    emit(
+        world,
+        now,
+        EventKind::TaskStart {
+            task: TaskKind::ColdBoot { batch: id.0 },
+        },
+    );
+    pump_cpu(world, engine);
+}
+
 fn on_decision_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId) {
     let now = engine.now();
     let world = &mut sim.world;
@@ -530,20 +584,7 @@ fn on_decision_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId) {
             },
         );
         let image = world.cfg.cold_start.image_latency();
-        engine.schedule_in(image, move |sim: &mut Sim, engine| {
-            let now = engine.now();
-            let world = &mut sim.world;
-            let task = world.cluster.start_cold_cpu_work(now, cid);
-            world.running.insert(task, WorkKind::ColdBoot(id));
-            emit(
-                world,
-                now,
-                EventKind::TaskStart {
-                    task: TaskKind::ColdBoot { batch: id.0 },
-                },
-            );
-            pump_cpu(world, engine);
-        });
+        engine.schedule_arg_in(image, cold_image_done, EventArg::new(id.0, cid.value()));
     } else {
         let function = batch.invocations[0].function;
         let weight = batch.group_weight;
@@ -818,14 +859,18 @@ fn on_body_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: usize
             if delay.is_zero() {
                 finish_invocation(sim, engine, id, idx);
             } else {
-                engine.schedule_in(delay, move |sim: &mut Sim, engine| {
-                    finish_invocation(sim, engine, id, idx);
-                    pump_cpu(&mut sim.world, engine);
-                });
+                engine.schedule_arg_in(delay, io_ops_done, EventArg::new(id.0, idx as u64));
             }
         }
         FunctionKind::Cpu { .. } => finish_invocation(sim, engine, id, idx),
     }
+}
+
+/// Object-store round-trips finished (`arg.a` = batch id, `arg.b` = member
+/// index): the invocation is done.
+fn io_ops_done(sim: &mut Sim, engine: &mut Engine<Sim>, arg: EventArg) {
+    finish_invocation(sim, engine, BatchId(arg.a), arg.b as usize);
+    pump_cpu(&mut sim.world, engine);
 }
 
 /// Completes member `idx`'s own chain and, depending on the batch's
@@ -928,18 +973,16 @@ fn finish_invocation(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId, idx: 
     }
 }
 
-fn schedule_sampler(engine: &mut Engine<Sim>, period: SimDuration) {
-    engine.schedule_in(period, move |sim: &mut Sim, engine| {
-        let world = &mut sim.world;
-        if world.done() {
-            // The workload is complete; this tick only fires while the
-            // harness drains in-flight pre-warm boots. Don't sample or act.
-            return;
-        }
-        record_sample(world, engine.now());
-        apply_scale_actions(world, engine);
-        schedule_sampler(engine, period);
-    });
+fn sampler_tick(sim: &mut Sim, engine: &mut Engine<Sim>) {
+    if sim.world.done() {
+        // The workload is complete; this tick only fires while the
+        // harness drains in-flight pre-warm boots. Don't sample or act.
+        return;
+    }
+    record_sample(&mut sim.world, engine.now());
+    apply_scale_actions(&mut sim.world, engine);
+    let period = sim.world.cfg.sample_period;
+    engine.schedule_fn_in(period, sampler_tick);
 }
 
 /// Polls the trace sink for autoscaler actions and applies them. The sampler
@@ -951,6 +994,8 @@ fn schedule_sampler(engine: &mut Engine<Sim>, period: SimDuration) {
 /// the run.
 fn apply_scale_actions(world: &mut SimWorld, engine: &mut Engine<Sim>) {
     let now = engine.now();
+    // The controller must see every event up to now before deciding.
+    flush_events(world);
     let actions = world.trace.poll_actions(now);
     if actions.is_empty() {
         return;
@@ -1039,33 +1084,61 @@ pub fn run_simulation_traced(
     dispatch_interval: Option<SimDuration>,
     sink: Box<dyn TraceSink>,
 ) -> (RunReport, Box<dyn TraceSink>) {
-    let mut engine: Engine<Sim> = Engine::new();
-    let world = SimWorld::new(cfg, workload, sink);
-    let mut sim = Sim { world, policy };
+    run_source_traced(
+        policy,
+        workload.cursor(),
+        cfg,
+        workload_label,
+        dispatch_interval,
+        sink,
+    )
+}
 
-    // Inject arrivals.
-    for inv in workload.invocations() {
-        let inv = inv.clone();
-        engine.schedule_at(inv.arrival, move |sim: &mut Sim, engine| {
-            emit(
-                &mut sim.world,
-                engine.now(),
-                EventKind::Arrival {
-                    invocation: inv.id,
-                    function: inv.function,
-                },
-            );
-            {
-                let Sim { world, policy } = sim;
-                policy.on_arrival(&mut Ctx { world, engine }, &inv);
-            }
-            pump_cpu(&mut sim.world, engine);
-        });
-    }
+/// [`run_simulation`] over any [`InvocationSource`] — a materialised
+/// [`Workload`] cursor or an on-demand
+/// [`WorkloadStream`](faasbatch_trace::stream::WorkloadStream). Arrivals are
+/// pulled one at a time, so memory stays bounded by in-flight state rather
+/// than trace length.
+pub fn run_source(
+    policy: Box<dyn Policy>,
+    source: impl InvocationSource,
+    cfg: SimConfig,
+    workload_label: &str,
+    dispatch_interval: Option<SimDuration>,
+) -> RunReport {
+    run_source_traced(
+        policy,
+        source,
+        cfg,
+        workload_label,
+        dispatch_interval,
+        Box::new(NoopSink),
+    )
+    .0
+}
+
+/// [`run_source`] with an observable event stream (see
+/// [`run_simulation_traced`]). Replaying a workload through its
+/// [`cursor`](Workload::cursor) produces a stream bit-identical to the
+/// materialised path: an arrival due at or before the next queued event is
+/// injected first, reproducing the tie order of pre-scheduled arrivals
+/// (which always held the lowest sequence numbers at their timestamp).
+pub fn run_source_traced(
+    policy: Box<dyn Policy>,
+    mut source: impl InvocationSource,
+    cfg: SimConfig,
+    workload_label: &str,
+    dispatch_interval: Option<SimDuration>,
+    sink: Box<dyn TraceSink>,
+) -> (RunReport, Box<dyn TraceSink>) {
+    let mut engine: Engine<Sim> = Engine::new();
+    let world = SimWorld::new(cfg, source.registry().clone(), source.total(), sink);
+    let mut sim = Sim { world, policy };
 
     // First host sample at t = 0, then every period.
     record_sample(&mut sim.world, SimTime::ZERO);
-    schedule_sampler(&mut engine, sim.world.cfg.sample_period);
+    let period = sim.world.cfg.sample_period;
+    engine.schedule_fn_in(period, sampler_tick);
 
     // Policy start hook.
     {
@@ -1077,10 +1150,52 @@ pub fn run_simulation_traced(
     }
     pump_cpu(&mut sim.world, &mut engine);
 
-    // Safety horizon: a healthy run finishes long before this.
-    let horizon = workload.last_arrival() + SimDuration::from_secs(24 * 3600);
-    engine.set_horizon(horizon);
-    while !sim.world.done() && engine.step(&mut sim) {}
+    let mut next_arrival = source.next_invocation();
+    let mut last_arrival = SimTime::ZERO;
+    let mut horizon_armed = false;
+    loop {
+        // Inject every arrival due at or before the next queued event.
+        while let Some(peek) = &next_arrival {
+            if engine.next_event_time().is_some_and(|t| t < peek.arrival) {
+                break;
+            }
+            let inv = next_arrival.take().expect("peeked");
+            next_arrival = source.next_invocation();
+            last_arrival = inv.arrival;
+            engine.advance_to(inv.arrival);
+            emit(
+                &mut sim.world,
+                inv.arrival,
+                EventKind::Arrival {
+                    invocation: inv.id,
+                    function: inv.function,
+                },
+            );
+            {
+                let Sim { world, policy } = &mut sim;
+                policy.on_arrival(
+                    &mut Ctx {
+                        world,
+                        engine: &mut engine,
+                    },
+                    &inv,
+                );
+            }
+            pump_cpu(&mut sim.world, &mut engine);
+        }
+        if next_arrival.is_none() && !horizon_armed {
+            horizon_armed = true;
+            // Safety horizon: a healthy run finishes long before this.
+            engine.set_horizon(last_arrival + SimDuration::from_secs(24 * 3600));
+        }
+        if sim.world.done() {
+            break;
+        }
+        if !engine.step(&mut sim) && next_arrival.is_none() {
+            // Queue drained (or horizon hit) with nothing left to inject.
+            break;
+        }
+    }
     assert!(
         sim.world.done(),
         "simulation stalled: {}/{} invocations completed",
@@ -1095,6 +1210,7 @@ pub fn run_simulation_traced(
     while sim.world.open_prewarms > 0 && engine.step(&mut sim) {}
     // Flush trailing journalled operations (e.g. the final release).
     drain_journals(&mut sim.world);
+    flush_events(&mut sim.world);
 
     let world = sim.world;
     let stats = world.cluster.stats();

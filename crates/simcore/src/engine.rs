@@ -1,10 +1,31 @@
 //! Deterministic discrete-event engine.
 //!
 //! The engine owns a priority queue of scheduled events. Each event is a
-//! boxed closure that receives mutable access to the experiment's *world*
-//! state `W` and to the engine itself (so handlers can schedule follow-up
+//! handler that receives mutable access to the experiment's *world* state
+//! `W` and to the engine itself (so handlers can schedule follow-up
 //! events). Ties at equal timestamps are broken by insertion order, which
 //! makes runs bit-reproducible.
+//!
+//! # Hot-path design
+//!
+//! The heap holds only small `Copy` keys (`time`, `seq`, `slot`); handlers
+//! live in a slab of pooled slots with a free list, so steady-state
+//! scheduling reuses freed entries instead of heap-allocating per event.
+//! Two handler shapes avoid boxing entirely:
+//!
+//! * [`Engine::schedule_fn_at`] — a plain `fn` pointer, for handlers that
+//!   need no captured state;
+//! * [`Engine::schedule_arg_at`] — a `fn` pointer plus a fixed two-word
+//!   [`EventArg`] payload, which covers every hot event in the scheduler
+//!   harness (batch ids, container ids, member indices, timer tokens).
+//!
+//! Closures are still accepted by [`Engine::schedule_at`] for cold paths
+//! and tests; only that variant allocates.
+//!
+//! Cancellation is O(1) and allocation-free: each slot is tagged with the
+//! owning event's sequence number, so a cancelled or already-executed
+//! [`EventId`] simply fails the tag check and its stale heap key is
+//! discarded when it reaches the top.
 //!
 //! # Examples
 //!
@@ -23,45 +44,88 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Identifies a scheduled event so it can be cancelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
+pub struct EventId {
+    seq: u64,
+    slot: u32,
+}
 
-type Handler<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+/// Fixed two-word payload for [`Engine::schedule_arg_at`] handlers.
+///
+/// Carrying identities (batch ids, container ids, indices, tokens) by value
+/// keeps hot-path events free of boxed captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventArg {
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
 
-struct Scheduled<W> {
+impl EventArg {
+    /// Payload with both words set.
+    pub const fn new(a: u64, b: u64) -> Self {
+        EventArg { a, b }
+    }
+
+    /// Payload with only the first word set.
+    pub const fn one(a: u64) -> Self {
+        EventArg { a, b: 0 }
+    }
+}
+
+/// Small copyable heap key; the handler lives in the slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapKey {
     time: SimTime,
     seq: u64,
-    handler: Handler<W>,
+    slot: u32,
 }
 
 // Ordering for the max-heap (wrapped in `Reverse` for min-heap behaviour):
-// earliest time first, then lowest sequence number.
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
+// earliest time first, then lowest sequence number. The slot index carries
+// no ordering information.
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Scheduled<W> {
+impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
 }
 
+/// A boxed one-shot handler (the cold-path form).
+type BoxedHandler<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+/// The pooled handler forms. `Fn`/`FnArg` are allocation-free; `Boxed`
+/// supports arbitrary captures for cold paths and tests.
+enum HandlerKind<W> {
+    Fn(fn(&mut W, &mut Engine<W>)),
+    FnArg(fn(&mut W, &mut Engine<W>, EventArg), EventArg),
+    Boxed(BoxedHandler<W>),
+}
+
+/// One slab entry: either a live handler tagged with its owning sequence
+/// number, or a link in the free list.
+enum SlotEntry<W> {
+    Free { next_free: u32 },
+    Live { seq: u64, handler: HandlerKind<W> },
+}
+
+const NO_FREE_SLOT: u32 = u32::MAX;
+
 /// A deterministic discrete-event simulation engine over world state `W`.
 pub struct Engine<W> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled<W>>>,
-    cancelled: HashSet<u64>,
+    queue: BinaryHeap<Reverse<HeapKey>>,
+    slots: Vec<SlotEntry<W>>,
+    free_head: u32,
     executed: u64,
     horizon: Option<SimTime>,
 }
@@ -89,7 +153,8 @@ impl<W> Engine<W> {
             now: SimTime::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free_head: NO_FREE_SLOT,
             executed: 0,
             horizon: None,
         }
@@ -116,7 +181,55 @@ impl<W> Engine<W> {
         self.horizon = Some(t);
     }
 
-    /// Schedules `handler` to run at absolute time `at`.
+    /// Claims a slab slot (reusing the free list) and stores `handler` in it.
+    fn claim_slot(&mut self, seq: u64, handler: HandlerKind<W>) -> u32 {
+        if self.free_head != NO_FREE_SLOT {
+            let slot = self.free_head;
+            let entry = &mut self.slots[slot as usize];
+            let SlotEntry::Free { next_free } = *entry else {
+                unreachable!("free-list head points at a live slot");
+            };
+            self.free_head = next_free;
+            *entry = SlotEntry::Live { seq, handler };
+            slot
+        } else {
+            let slot = self.slots.len() as u32;
+            assert!(slot != NO_FREE_SLOT, "event slab exhausted");
+            self.slots.push(SlotEntry::Live { seq, handler });
+            slot
+        }
+    }
+
+    /// Returns `slot` to the free list.
+    fn release_slot(&mut self, slot: u32) {
+        self.slots[slot as usize] = SlotEntry::Free {
+            next_free: self.free_head,
+        };
+        self.free_head = slot;
+    }
+
+    fn push(&mut self, at: SimTime, handler: HandlerKind<W>) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: {at} < {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        let slot = self.claim_slot(seq, handler);
+        self.queue.push(Reverse(HeapKey {
+            time: at,
+            seq,
+            slot,
+        }));
+        EventId { seq, slot }
+    }
+
+    /// Schedules a boxed `handler` to run at absolute time `at`.
+    ///
+    /// This variant allocates for the closure; prefer
+    /// [`schedule_fn_at`](Self::schedule_fn_at) or
+    /// [`schedule_arg_at`](Self::schedule_arg_at) on hot paths.
     ///
     /// # Panics
     ///
@@ -127,19 +240,7 @@ impl<W> Engine<W> {
         at: SimTime,
         handler: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
     ) -> EventId {
-        assert!(
-            at >= self.now,
-            "cannot schedule event in the past: {at} < {}",
-            self.now
-        );
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Scheduled {
-            time: at,
-            seq,
-            handler: Box::new(handler),
-        }));
-        EventId(seq)
+        self.push(at, HandlerKind::Boxed(Box::new(handler)))
     }
 
     /// Schedules `handler` to run after `delay`.
@@ -151,16 +252,111 @@ impl<W> Engine<W> {
         self.schedule_at(self.now + delay, handler)
     }
 
+    /// Schedules a plain `fn` handler at absolute time `at` —
+    /// allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_fn_at(&mut self, at: SimTime, handler: fn(&mut W, &mut Engine<W>)) -> EventId {
+        self.push(at, HandlerKind::Fn(handler))
+    }
+
+    /// Schedules a plain `fn` handler after `delay` — allocation-free.
+    pub fn schedule_fn_in(
+        &mut self,
+        delay: SimDuration,
+        handler: fn(&mut W, &mut Engine<W>),
+    ) -> EventId {
+        self.schedule_fn_at(self.now + delay, handler)
+    }
+
+    /// Schedules a `fn` handler carrying a fixed [`EventArg`] payload at
+    /// absolute time `at` — allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_arg_at(
+        &mut self,
+        at: SimTime,
+        handler: fn(&mut W, &mut Engine<W>, EventArg),
+        arg: EventArg,
+    ) -> EventId {
+        self.push(at, HandlerKind::FnArg(handler, arg))
+    }
+
+    /// Schedules a `fn` handler carrying a fixed [`EventArg`] payload after
+    /// `delay` — allocation-free.
+    pub fn schedule_arg_in(
+        &mut self,
+        delay: SimDuration,
+        handler: fn(&mut W, &mut Engine<W>, EventArg),
+        arg: EventArg,
+    ) -> EventId {
+        self.schedule_arg_at(self.now + delay, handler, arg)
+    }
+
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event had not yet run (cancellation succeeded).
     /// Cancelling an already-executed or already-cancelled event returns
-    /// `false` and is otherwise harmless.
+    /// `false` and is otherwise harmless. O(1): the slot is freed now and
+    /// the stale heap key is discarded when it surfaces.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.seq {
-            return false;
+        match self.slots.get(id.slot as usize) {
+            Some(SlotEntry::Live { seq, .. }) if *seq == id.seq => {
+                self.release_slot(id.slot);
+                true
+            }
+            _ => false,
         }
-        self.cancelled.insert(id.0)
+    }
+
+    /// True when `key` still owns its slot (not cancelled, not executed).
+    fn key_is_live(&self, key: &HeapKey) -> bool {
+        matches!(
+            self.slots.get(key.slot as usize),
+            Some(SlotEntry::Live { seq, .. }) if *seq == key.seq
+        )
+    }
+
+    /// Time of the next live event, discarding stale (cancelled) heap keys
+    /// from the top. Ignores the horizon. `None` when nothing is pending.
+    ///
+    /// This is the peek a caller driving external arrivals needs: skipping
+    /// cancelled keys matters, because a stale key can carry an *earlier*
+    /// time than the next real event and would otherwise make the caller
+    /// miss its injection window.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(key)) = self.queue.peek() {
+            if self.key_is_live(key) {
+                return Some(key.time);
+            }
+            self.queue.pop();
+        }
+        None
+    }
+
+    /// Advances the clock to `t` without executing anything — the hook for
+    /// callers that interleave externally sourced work (e.g. streamed
+    /// workload arrivals) with queued events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past, or (debug builds) if a queued live
+    /// event would be skipped over.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(
+            t >= self.now,
+            "cannot advance clock backwards: {t} < {}",
+            self.now
+        );
+        debug_assert!(
+            self.next_event_time().is_none_or(|next| next >= t),
+            "advance_to({t}) would skip a queued event"
+        );
+        self.now = t;
     }
 
     /// Runs events until the queue is empty or the horizon is reached.
@@ -178,22 +374,37 @@ impl<W> Engine<W> {
     /// horizon reached).
     pub fn step(&mut self, world: &mut W) -> bool {
         loop {
-            let Some(Reverse(next)) = self.queue.peek() else {
+            let Some(Reverse(key)) = self.queue.peek().copied() else {
                 return false;
             };
+            if !self.key_is_live(&key) {
+                self.queue.pop();
+                continue;
+            }
             if let Some(h) = self.horizon {
-                if next.time > h {
+                if key.time > h {
                     return false;
                 }
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked event vanished");
-            if self.cancelled.remove(&ev.seq) {
-                continue;
-            }
-            debug_assert!(ev.time >= self.now, "event queue went backwards");
-            self.now = ev.time;
+            self.queue.pop();
+            let entry = std::mem::replace(
+                &mut self.slots[key.slot as usize],
+                SlotEntry::Free {
+                    next_free: self.free_head,
+                },
+            );
+            self.free_head = key.slot;
+            let SlotEntry::Live { handler, .. } = entry else {
+                unreachable!("live key lost its slot");
+            };
+            debug_assert!(key.time >= self.now, "event queue went backwards");
+            self.now = key.time;
             self.executed += 1;
-            (ev.handler)(world, self);
+            match handler {
+                HandlerKind::Fn(f) => f(world, self),
+                HandlerKind::FnArg(f, arg) => f(world, self, arg),
+                HandlerKind::Boxed(f) => f(world, self),
+            }
             return true;
         }
     }
@@ -230,18 +441,47 @@ mod tests {
     }
 
     #[test]
+    fn ties_break_by_insertion_order_across_handler_kinds() {
+        fn push_arg(w: &mut Vec<u32>, _: &mut Engine<Vec<u32>>, arg: EventArg) {
+            w.push(arg.a as u32);
+        }
+        let mut e: Engine<Vec<u32>> = Engine::new();
+        let mut w = Vec::new();
+        let t = SimTime::from_millis(5);
+        e.schedule_arg_at(t, push_arg, EventArg::one(0));
+        e.schedule_at(t, |w: &mut Vec<u32>, _| w.push(1));
+        e.schedule_fn_at(t, |w, _| w.push(2));
+        e.schedule_arg_at(t, push_arg, EventArg::one(3));
+        e.run(&mut w);
+        assert_eq!(w, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
     fn handlers_can_schedule_followups() {
         let mut e: Engine<Vec<u64>> = Engine::new();
         let mut w = Vec::new();
         fn tick(w: &mut Vec<u64>, e: &mut Engine<Vec<u64>>) {
             w.push(e.now().as_micros());
             if w.len() < 4 {
-                e.schedule_in(SimDuration::from_millis(1), tick);
+                e.schedule_fn_in(SimDuration::from_millis(1), tick);
             }
         }
-        e.schedule_at(SimTime::ZERO, tick);
+        e.schedule_fn_at(SimTime::ZERO, tick);
         e.run(&mut w);
         assert_eq!(w, vec![0, 1_000, 2_000, 3_000]);
+    }
+
+    #[test]
+    fn arg_payload_round_trips() {
+        fn record(w: &mut Vec<(u64, u64)>, _: &mut Engine<Vec<(u64, u64)>>, arg: EventArg) {
+            w.push((arg.a, arg.b));
+        }
+        let mut e: Engine<Vec<(u64, u64)>> = Engine::new();
+        let mut w = Vec::new();
+        e.schedule_arg_at(SimTime::from_millis(1), record, EventArg::new(7, 9));
+        e.schedule_arg_in(SimDuration::from_millis(2), record, EventArg::one(42));
+        e.run(&mut w);
+        assert_eq!(w, vec![(7, 9), (42, 0)]);
     }
 
     #[test]
@@ -257,9 +497,79 @@ mod tests {
     }
 
     #[test]
-    fn cancel_unknown_id_is_harmless() {
+    fn cancel_executed_id_is_harmless() {
+        let mut e: Engine<u32> = Engine::new();
+        let mut w = 0;
+        let id = e.schedule_at(SimTime::from_millis(1), |w: &mut u32, _| *w += 1);
+        e.run(&mut w);
+        assert_eq!(w, 1);
+        assert!(!e.cancel(id), "executed events cannot be cancelled");
+    }
+
+    #[test]
+    fn cancelled_slot_reuse_does_not_resurrect_the_old_event() {
+        // Cancel an event, schedule a new one (reusing the slab slot), and
+        // make sure only the new one runs — the stale heap key must fail
+        // its sequence check even though the slot is live again.
+        let mut e: Engine<Vec<u32>> = Engine::new();
+        let mut w = Vec::new();
+        let id = e.schedule_at(SimTime::from_millis(1), |w: &mut Vec<u32>, _| w.push(1));
+        assert!(e.cancel(id));
+        e.schedule_at(SimTime::from_millis(2), |w: &mut Vec<u32>, _| w.push(2));
+        assert!(!e.cancel(id), "stale id must not cancel the reused slot");
+        e.run(&mut w);
+        assert_eq!(w, vec![2]);
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let mut e: Engine<u64> = Engine::new();
+        let mut w = 0u64;
+        // Steady-state cycle: one event pending at a time. The slab must
+        // stay at one slot no matter how many events run.
+        fn tick(w: &mut u64, e: &mut Engine<u64>) {
+            *w += 1;
+            if *w < 1000 {
+                e.schedule_fn_in(SimDuration::from_millis(1), tick);
+            }
+        }
+        e.schedule_fn_at(SimTime::ZERO, tick);
+        e.run(&mut w);
+        assert_eq!(w, 1000);
+        assert_eq!(e.slots.len(), 1, "steady-state scheduling must pool slots");
+    }
+
+    #[test]
+    fn next_event_time_skips_cancelled_keys() {
         let mut e: Engine<()> = Engine::new();
-        assert!(!e.cancel(EventId(42)));
+        let early = e.schedule_at(SimTime::from_millis(1), |_, _| {});
+        e.schedule_at(SimTime::from_millis(5), |_, _| {});
+        assert_eq!(e.next_event_time(), Some(SimTime::from_millis(1)));
+        e.cancel(early);
+        // The stale key at 1 ms must not mask the real next event at 5 ms.
+        assert_eq!(e.next_event_time(), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn advance_to_moves_the_clock_between_events() {
+        let mut e: Engine<Vec<u64>> = Engine::new();
+        let mut w = Vec::new();
+        e.schedule_at(SimTime::from_millis(10), |w: &mut Vec<u64>, e| {
+            w.push(e.now().as_micros())
+        });
+        e.advance_to(SimTime::from_millis(4));
+        assert_eq!(e.now(), SimTime::from_millis(4));
+        e.run(&mut w);
+        assert_eq!(w, vec![10_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance clock backwards")]
+    fn advance_to_rejects_the_past() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule_at(SimTime::from_secs(1), |_, _| {});
+        e.run(&mut ());
+        e.advance_to(SimTime::ZERO);
     }
 
     #[test]

@@ -33,6 +33,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Hot-path crates reject avoidable allocations outright.
+#![deny(
+    clippy::unnecessary_to_owned,
+    clippy::assigning_clones,
+    clippy::inefficient_to_string,
+    clippy::format_collect
+)]
 
 pub mod cpu;
 pub mod engine;

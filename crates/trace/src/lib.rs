@@ -39,9 +39,11 @@ pub mod blob;
 pub mod duration;
 pub mod fib;
 pub mod function;
+pub mod stream;
 pub mod workload;
 
 pub use blob::BlobIatModel;
 pub use duration::DurationDistribution;
 pub use function::{FunctionKind, FunctionProfile, FunctionRegistry};
+pub use stream::{AzureDayConfig, InvocationSource, WorkloadCursor, WorkloadStream};
 pub use workload::{cpu_workload, io_workload, Invocation, Workload, WorkloadConfig};

@@ -36,6 +36,22 @@ pub struct Workload {
     invocations: Vec<Invocation>,
 }
 
+/// Debug-build guard for the struct invariant: arrivals sorted, ids dense
+/// in arrival order.
+fn debug_assert_stream_invariant(invocations: &[Invocation]) {
+    debug_assert!(
+        invocations.windows(2).all(|p| p[0].arrival <= p[1].arrival),
+        "invocations must be sorted by arrival"
+    );
+    debug_assert!(
+        invocations
+            .iter()
+            .enumerate()
+            .all(|(n, inv)| inv.id.value() == n as u64),
+        "invocation ids must be dense in arrival order"
+    );
+}
+
 impl Workload {
     /// Bundles a registry and invocations (sorting by arrival, re-numbering
     /// ids in arrival order).
@@ -50,6 +66,19 @@ impl Workload {
         }
     }
 
+    /// Bundles a registry with invocations that are *already* sorted by
+    /// arrival and densely numbered — skips the sort that
+    /// [`Workload::new`] pays. Used by streaming generators and the linear
+    /// [`merge`](Self::merge), whose outputs carry the invariant by
+    /// construction; debug builds still verify it.
+    pub fn from_sorted(registry: FunctionRegistry, invocations: Vec<Invocation>) -> Self {
+        debug_assert_stream_invariant(&invocations);
+        Workload {
+            registry,
+            invocations,
+        }
+    }
+
     /// The function registry.
     pub fn registry(&self) -> &FunctionRegistry {
         &self.registry
@@ -58,6 +87,12 @@ impl Workload {
     /// The invocations, sorted by arrival.
     pub fn invocations(&self) -> &[Invocation] {
         &self.invocations
+    }
+
+    /// A borrowing [`InvocationSource`](crate::stream::InvocationSource)
+    /// over this workload.
+    pub fn cursor(&self) -> crate::stream::WorkloadCursor<'_> {
+        crate::stream::WorkloadCursor::new(self)
     }
 
     /// Number of invocations.
@@ -76,9 +111,12 @@ impl Workload {
     }
 
     /// Restricts the workload to its first `n` invocations (the paper uses
-    /// the first 400 of the minute for I/O functions).
+    /// the first 400 of the minute for I/O functions). O(1) beyond the
+    /// drop: a prefix of a sorted, densely numbered stream keeps both
+    /// invariants, so nothing is re-sorted or re-numbered.
     pub fn truncate(mut self, n: usize) -> Self {
         self.invocations.truncate(n);
+        debug_assert_stream_invariant(&self.invocations);
         self
     }
 
@@ -91,6 +129,11 @@ impl Workload {
     /// `other` workload's function ids are shifted past `self`'s) and the
     /// invocation streams are interleaved by arrival time. Useful for mixed
     /// CPU + I/O experiments beyond the paper's separate replays.
+    ///
+    /// Both sides are already sorted (struct invariant), so this is a
+    /// linear two-pointer merge — no re-sort. Ties keep `self`'s
+    /// invocations first, matching what the old concat-then-stable-sort
+    /// implementation produced.
     pub fn merge(self, other: Workload) -> Workload {
         let mut registry = self.registry;
         let offset = registry.len() as u32;
@@ -98,16 +141,34 @@ impl Workload {
         for (_, profile) in other.registry.iter() {
             remap.push(registry.register(&profile.name, profile.kind.clone()));
         }
-        let mut invocations = self.invocations;
-        invocations.extend(other.invocations.into_iter().map(|mut inv| {
-            inv.function = remap[inv.function.index() as usize];
-            inv
-        }));
         debug_assert!(remap
             .iter()
             .enumerate()
             .all(|(i, id)| id.index() == offset + i as u32));
-        Workload::new(registry, invocations)
+
+        debug_assert_stream_invariant(&self.invocations);
+        debug_assert_stream_invariant(&other.invocations);
+        let mut merged = Vec::with_capacity(self.invocations.len() + other.invocations.len());
+        let mut a = self.invocations.into_iter().peekable();
+        let mut b = other.invocations.into_iter().peekable();
+        loop {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => x.arrival <= y.arrival,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let mut inv = if take_a {
+                a.next().expect("peeked")
+            } else {
+                let mut inv = b.next().expect("peeked");
+                inv.function = remap[inv.function.index() as usize];
+                inv
+            };
+            inv.id = InvocationId::new(merged.len() as u64);
+            merged.push(inv);
+        }
+        Workload::from_sorted(registry, merged)
     }
 }
 
@@ -145,26 +206,27 @@ impl Default for WorkloadConfig {
     }
 }
 
-/// Per-function duration scale factors for `cfg.heterogeneity`.
-fn function_scales(rng: &DetRng, cfg: &WorkloadConfig) -> Vec<f64> {
+/// Per-function duration scale factors for `heterogeneity` (forks the
+/// `function-scales` stream only when the knob is non-zero, preserving the
+/// legacy RNG layout).
+pub(crate) fn function_scales(rng: &DetRng, functions: usize, heterogeneity: f64) -> Vec<f64> {
     assert!(
-        cfg.heterogeneity >= 0.0 && cfg.heterogeneity.is_finite(),
-        "invalid heterogeneity: {}",
-        cfg.heterogeneity
+        heterogeneity >= 0.0 && heterogeneity.is_finite(),
+        "invalid heterogeneity: {heterogeneity}"
     );
-    if cfg.heterogeneity == 0.0 {
-        return vec![1.0; cfg.functions];
+    if heterogeneity == 0.0 {
+        return vec![1.0; functions];
     }
     let mut srng = rng.fork("function-scales");
-    let hi = 1.0 + cfg.heterogeneity;
-    (0..cfg.functions)
+    let hi = 1.0 + heterogeneity;
+    (0..functions)
         .map(|_| srng.uniform_range((1.0 / hi).ln(), hi.ln()).exp())
         .collect()
 }
 
 /// Derives the bursty arrival configuration, clamping the burst width so
 /// short test spans stay valid.
-fn bursty_config(cfg: &WorkloadConfig) -> BurstyConfig {
+pub(crate) fn bursty_config(cfg: &WorkloadConfig) -> BurstyConfig {
     let default = BurstyConfig::default();
     BurstyConfig {
         total: cfg.total,
@@ -176,8 +238,46 @@ fn bursty_config(cfg: &WorkloadConfig) -> BurstyConfig {
 }
 
 /// Zipf-like popularity weights for `n` functions (s = 1.5).
-fn popularity(n: usize) -> Vec<f64> {
+pub(crate) fn popularity(n: usize) -> Vec<f64> {
     (1..=n).map(|k| 1.0 / (k as f64).powf(1.5)).collect()
+}
+
+/// Registers the CPU function set: each function gets a representative
+/// fib-N name (from its scaled median duration); individual invocations
+/// still sample their own duration (inputs vary per request).
+pub(crate) fn cpu_registry(scales: &[f64]) -> (FunctionRegistry, Vec<FunctionId>) {
+    let mut registry = FunctionRegistry::new();
+    let ids = scales
+        .iter()
+        .enumerate()
+        .map(|(i, &scale)| {
+            let median = SimDuration::from_millis_f64(45.0 * scale);
+            registry.register(
+                &format!("fib-{i}"),
+                FunctionKind::Cpu {
+                    fib_n: fib::fib_n_for_duration(median),
+                },
+            )
+        })
+        .collect();
+    (registry, ids)
+}
+
+/// Registers the I/O function set (one bucket per function, two ops each).
+pub(crate) fn io_registry(functions: usize) -> (FunctionRegistry, Vec<FunctionId>) {
+    let mut registry = FunctionRegistry::new();
+    let ids = (0..functions)
+        .map(|i| {
+            registry.register(
+                &format!("io-{i}"),
+                FunctionKind::Io {
+                    bucket: format!("bucket-{i}"),
+                    ops: 2,
+                },
+            )
+        })
+        .collect();
+    (registry, ids)
 }
 
 /// Builds the CPU-intensive workload of §IV: `fib(N)` invocations whose
@@ -201,25 +301,9 @@ pub fn cpu_workload(rng: &DetRng, cfg: &WorkloadConfig) -> Workload {
     let arrivals = bursty(&mut arrivals_rng, &bursty_config(cfg));
     let dist = DurationDistribution::azure_fig9();
     let weights = popularity(cfg.functions);
-    let scales = function_scales(rng, cfg);
+    let scales = function_scales(rng, cfg.functions, cfg.heterogeneity);
 
-    // Each function gets a representative fib-N name (from its scaled median
-    // duration); individual invocations still sample their own duration
-    // (inputs vary per request).
-    let mut registry = FunctionRegistry::new();
-    let ids: Vec<FunctionId> = scales
-        .iter()
-        .enumerate()
-        .map(|(i, &scale)| {
-            let median = SimDuration::from_millis_f64(45.0 * scale);
-            registry.register(
-                &format!("fib-{i}"),
-                FunctionKind::Cpu {
-                    fib_n: fib::fib_n_for_duration(median),
-                },
-            )
-        })
-        .collect();
+    let (registry, ids) = cpu_registry(&scales);
 
     let invocations = arrivals
         .into_iter()
@@ -254,18 +338,7 @@ pub fn io_workload(rng: &DetRng, cfg: &WorkloadConfig) -> Workload {
 
     let arrivals = bursty(&mut arrivals_rng, &bursty_config(cfg));
     let weights = popularity(cfg.functions);
-    let mut registry = FunctionRegistry::new();
-    let ids: Vec<FunctionId> = (0..cfg.functions)
-        .map(|i| {
-            registry.register(
-                &format!("io-{i}"),
-                FunctionKind::Io {
-                    bucket: format!("bucket-{i}"),
-                    ops: 2,
-                },
-            )
-        })
-        .collect();
+    let (registry, ids) = io_registry(cfg.functions);
 
     let invocations = arrivals
         .into_iter()

@@ -23,7 +23,7 @@ use faasbatch::metrics::analysis::{
     diff_reports, load_events, AttributionEngine, AttributionReport,
 };
 use faasbatch::metrics::autoscaler::{AutoscalerConfig, AutoscalerSink};
-use faasbatch::metrics::events::{chrome_trace, AuditorSink, MultiSink, TraceSink, VecSink};
+use faasbatch::metrics::events::{chrome_trace_to, AuditorSink, MultiSink, TraceSink, VecSink};
 use faasbatch::metrics::report::{text_table, RunReport};
 use faasbatch::schedulers::config::SimConfig;
 use faasbatch::schedulers::harness::{run_simulation, run_simulation_traced};
@@ -521,8 +521,15 @@ fn cmd_trace(opts: &Options) -> Result<(), String> {
         report.records.len()
     );
     if let Some(chrome_path) = opts.values.get("--chrome") {
-        std::fs::write(chrome_path, chrome_trace(events))
-            .map_err(|e| format!("cannot write {chrome_path}: {e}"))?;
+        // Stream straight to the file: a full-day timeline never holds a
+        // second in-memory copy of the JSON.
+        let write_chrome = || -> std::io::Result<()> {
+            let file = std::fs::File::create(chrome_path)?;
+            let mut buffered = std::io::BufWriter::new(file);
+            chrome_trace_to(events, &mut buffered)?;
+            std::io::Write::flush(&mut buffered)
+        };
+        write_chrome().map_err(|e| format!("cannot write {chrome_path}: {e}"))?;
         println!("wrote Chrome about:tracing timeline to {chrome_path}");
     }
 
