@@ -1,6 +1,6 @@
 //! Ablation — trace-driven autoscaling vs static configuration.
 //!
-//! Runs all four schedulers twice over each paper workload: once with the
+//! Runs all six schedulers twice over each paper workload: once with the
 //! static prewarm/keep-alive config only, once with the per-function
 //! controller (`AutoscalerSink`, DESIGN.md §12) attached. The static
 //! keep-alive is deliberately short (2 s) so the trade the controller

@@ -1,14 +1,15 @@
 //! Headline comparison *with phase breakdowns*: where the time goes under
 //! each scheduler, and which phases FaaSBatch's win comes from.
 //!
-//! Regenerates the paper's headline Vanilla/SFS/Kraken/FaaSBatch comparison
-//! on both canonical workloads, attributes every invocation's latency to
-//! the nine phases of DESIGN.md §13, prints per-scheduler breakdowns plus
-//! the Vanilla-vs-FaaSBatch trace diff, and commits the text report to
+//! Regenerates the headline comparison across all six schedulers
+//! (Vanilla/SFS/Kraken/Hiku/core-late-bind/FaaSBatch) on both canonical
+//! workloads, attributes every invocation's latency to the ten phases of
+//! DESIGN.md §13, prints per-scheduler breakdowns plus the
+//! Vanilla-vs-FaaSBatch trace diff, and commits the text report to
 //! `results/headline_attribution.txt` and a compact per-scheduler
 //! mean-phase JSON to `results/headline_attribution.json`.
 
-use faasbatch_bench::{paper_cpu_workload, paper_io_workload, run_four_traced, DEFAULT_WINDOW};
+use faasbatch_bench::{paper_cpu_workload, paper_io_workload, run_six_traced, DEFAULT_WINDOW};
 use faasbatch_metrics::analysis::{diff_reports, AttributionEngine, AttributionReport, Phase};
 use faasbatch_metrics::events::SimEvent;
 use serde::Value;
@@ -41,7 +42,7 @@ fn main() {
     let mut json: Vec<(String, Value)> = Vec::new();
 
     for (label, workload) in [("cpu", paper_cpu_workload()), ("io", paper_io_workload())] {
-        let (reports, streams) = run_four_traced(&workload, label, DEFAULT_WINDOW);
+        let (reports, streams) = run_six_traced(&workload, label, DEFAULT_WINDOW);
         let attributed: Vec<AttributionReport> = streams.iter().map(|s| attribute(s)).collect();
 
         let _ = writeln!(
@@ -58,7 +59,7 @@ fn main() {
         }
 
         // The headline claim, attributed: vanilla (A) vs faasbatch (B).
-        let diff = diff_reports(&attributed[0], &attributed[3]);
+        let diff = diff_reports(&attributed[0], &attributed[5]);
         let _ = write!(
             text,
             "{}",

@@ -6,12 +6,13 @@
 //! `src/bin/` that rebuilds its workload, runs the relevant schedulers, and
 //! prints the same rows/series the paper plots (see `DESIGN.md` §5 for the
 //! index). This library holds the shared plumbing: canonical workloads, the
-//! four-scheduler runner, CDF/table rendering, and JSON export.
+//! four- and six-scheduler runners, CDF/table rendering, and JSON export.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use faasbatch_core::policy::{run_faasbatch, run_faasbatch_traced, FaasBatchConfig};
+use faasbatch_core::scheduler_kind::{SchedulerKind, SchedulerSetup};
 use faasbatch_metrics::autoscaler::{AutoscalerConfig, AutoscalerSink, AutoscalerStats};
 use faasbatch_metrics::events::{TraceSink, VecSink};
 use faasbatch_metrics::report::{text_table, RunReport};
@@ -86,6 +87,129 @@ pub fn run_four_cfg(
         label,
     );
     [vanilla, sfs, kraken, faasbatch]
+}
+
+/// Builds the six-scheduler [`SchedulerSetup`]: runs Vanilla once on
+/// `workload` (its report doubles as the first comparison entry) and
+/// calibrates Kraken from it, exactly as `run_four*` does.
+fn six_setup(
+    workload: &Workload,
+    label: &str,
+    window: SimDuration,
+    cfg: &SimConfig,
+) -> (RunReport, SchedulerSetup) {
+    let vanilla = run_simulation(Box::new(Vanilla::new()), workload, cfg.clone(), label, None);
+    let setup = SchedulerSetup::new(window)
+        .with_kraken_calibration(KrakenCalibration::from_vanilla(&vanilla));
+    (vanilla, setup)
+}
+
+/// Runs all six schedulers on `workload` with the given dispatch window and
+/// returns reports in [`SchedulerKind::ALL`] order: `[vanilla, sfs, kraken,
+/// hiku, core-late-bind, faasbatch]`.
+pub fn run_six(workload: &Workload, label: &str, window: SimDuration) -> [RunReport; 6] {
+    run_six_cfg(workload, label, window, &SimConfig::default())
+}
+
+/// [`run_six`] with an explicit simulation config.
+pub fn run_six_cfg(
+    workload: &Workload,
+    label: &str,
+    window: SimDuration,
+    cfg: &SimConfig,
+) -> [RunReport; 6] {
+    let (vanilla, setup) = six_setup(workload, label, window, cfg);
+    let mut reports = vec![vanilla];
+    for kind in &SchedulerKind::ALL[1..] {
+        let (policy, interval) = kind.build(&setup);
+        reports.push(run_simulation(
+            policy,
+            workload,
+            cfg.clone(),
+            label,
+            interval,
+        ));
+    }
+    reports.try_into().expect("one report per scheduler")
+}
+
+/// Runs all six schedulers with a [`VecSink`] attached and returns each
+/// run's report plus its full event stream, in [`SchedulerKind::ALL`]
+/// order — the input to the attribution engine.
+pub fn run_six_traced(
+    workload: &Workload,
+    label: &str,
+    window: SimDuration,
+) -> (
+    [RunReport; 6],
+    [Vec<faasbatch_metrics::events::SimEvent>; 6],
+) {
+    let cfg = SimConfig::default();
+    let (vanilla, s0) = run_simulation_traced(
+        Box::new(Vanilla::new()),
+        workload,
+        cfg.clone(),
+        label,
+        None,
+        Box::new(VecSink::new()),
+    );
+    let setup = SchedulerSetup::new(window)
+        .with_kraken_calibration(KrakenCalibration::from_vanilla(&vanilla));
+    let mut reports = vec![vanilla];
+    let mut streams = vec![collected_events(s0)];
+    for kind in &SchedulerKind::ALL[1..] {
+        let (policy, interval) = kind.build(&setup);
+        let (report, sink) = run_simulation_traced(
+            policy,
+            workload,
+            cfg.clone(),
+            label,
+            interval,
+            Box::new(VecSink::new()),
+        );
+        reports.push(report);
+        streams.push(collected_events(sink));
+    }
+    (
+        reports.try_into().expect("one report per scheduler"),
+        streams.try_into().expect("one stream per scheduler"),
+    )
+}
+
+/// Runs all six schedulers with a trace-driven autoscaling controller
+/// attached (one fresh [`AutoscalerSink`] per run) and returns the reports
+/// plus each controller's action counters, in [`SchedulerKind::ALL`] order.
+pub fn run_six_autoscaled(
+    workload: &Workload,
+    label: &str,
+    window: SimDuration,
+    cfg: &SimConfig,
+    ac: &AutoscalerConfig,
+) -> ([RunReport; 6], [AutoscalerStats; 6]) {
+    let sink = || -> Box<dyn TraceSink> { Box::new(AutoscalerSink::new(ac.clone())) };
+    let (vanilla, s0) = run_simulation_traced(
+        Box::new(Vanilla::new()),
+        workload,
+        cfg.clone(),
+        label,
+        None,
+        sink(),
+    );
+    let setup = SchedulerSetup::new(window)
+        .with_kraken_calibration(KrakenCalibration::from_vanilla(&vanilla));
+    let mut reports = vec![vanilla];
+    let mut stats = vec![autoscaler_stats(s0)];
+    for kind in &SchedulerKind::ALL[1..] {
+        let (policy, interval) = kind.build(&setup);
+        let (report, s) =
+            run_simulation_traced(policy, workload, cfg.clone(), label, interval, sink());
+        reports.push(report);
+        stats.push(autoscaler_stats(s));
+    }
+    (
+        reports.try_into().expect("one report per scheduler"),
+        stats.try_into().expect("one stat set per scheduler"),
+    )
 }
 
 /// Recovers a [`VecSink`]'s collected events from a returned boxed sink.
@@ -289,7 +413,7 @@ fn ablation_row(static_run: &RunReport, auto_run: &RunReport, stats: &Autoscaler
     ])
 }
 
-/// The controller-on vs static-config ablation over all four schedulers.
+/// The controller-on vs static-config ablation over all six schedulers.
 ///
 /// Returns the JSON summary the `ablation_autoscaler` bin commits to
 /// `results/ablation_autoscaler.json`: per scheduler, cold-start rate and
@@ -303,10 +427,10 @@ pub fn autoscaler_ablation(
     cfg: &SimConfig,
     ac: &AutoscalerConfig,
 ) -> Value {
-    let static_runs = run_four_cfg(workload, label, window, cfg);
-    let (auto_runs, stats) = run_four_autoscaled(workload, label, window, cfg, ac);
+    let static_runs = run_six_cfg(workload, label, window, cfg);
+    let (auto_runs, stats) = run_six_autoscaled(workload, label, window, cfg, ac);
     let schedulers = Value::Map(
-        (0..4)
+        (0..6)
             .map(|i| {
                 (
                     static_runs[i].scheduler.clone(),
@@ -436,6 +560,31 @@ mod tests {
         let names: Vec<&str> = reports.iter().map(|r| r.scheduler.as_str()).collect();
         assert_eq!(names, vec!["vanilla", "sfs", "kraken", "faasbatch"]);
         assert!(reports.iter().all(|r| r.records.len() == 30));
+    }
+
+    #[test]
+    fn run_six_produces_six_named_reports() {
+        let w = cpu_workload(
+            &DetRng::new(1),
+            &WorkloadConfig {
+                total: 30,
+                span: SimDuration::from_secs(5),
+                functions: 2,
+                bursts: 2,
+                ..WorkloadConfig::default()
+            },
+        );
+        let reports = run_six(&w, "cpu", DEFAULT_WINDOW);
+        let names: Vec<&str> = reports.iter().map(|r| r.scheduler.as_str()).collect();
+        let expected: Vec<&str> = SchedulerKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, expected);
+        assert!(reports.iter().all(|r| r.records.len() == 30));
+        // The shared runs agree with the four-scheduler family exactly.
+        let four = run_four(&w, "cpu", DEFAULT_WINDOW);
+        assert_eq!(four[0], reports[0]);
+        assert_eq!(four[1], reports[1]);
+        assert_eq!(four[2], reports[2]);
+        assert_eq!(four[3], reports[5]);
     }
 
     #[test]

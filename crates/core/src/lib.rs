@@ -52,6 +52,7 @@ pub mod multiplexer;
 pub mod platform;
 pub mod policy;
 pub mod routing;
+pub mod scheduler_kind;
 
 pub use mapper::{FunctionGroup, InvokeMapper};
 pub use multiplexer::{mux_trace_events, MultiplexerStats, MuxEvent, ResourceMultiplexer};
@@ -61,3 +62,4 @@ pub use policy::{
     FaasBatchConfig, FaasBatchPolicy,
 };
 pub use routing::{RoutingKind, RoutingPolicy, UnknownRoutingPolicy};
+pub use scheduler_kind::{SchedulerKind, SchedulerSetup, UnknownScheduler};

@@ -1,0 +1,199 @@
+//! The typed scheduler registry: every comparison scheduler by name.
+//!
+//! [`SchedulerKind`] enumerates the six schedulers of the comparison —
+//! Vanilla, SFS, Kraken, Hiku, core-late-bind, and FaaSBatch — in
+//! canonical sweep order, and [`SchedulerKind::parse`] turns a CLI /
+//! bench name into a typed value with an error that lists every valid
+//! name (mirroring [`crate::routing::RoutingKind::parse`]). A parsed
+//! kind builds a ready-to-run [`Policy`] plus the dispatch interval its
+//! harness run needs, so the CLI, bench bins, and test matrices all
+//! share one spelling of each name and one construction path.
+
+use crate::policy::{FaasBatchConfig, FaasBatchPolicy};
+use faasbatch_schedulers::hiku::Hiku;
+use faasbatch_schedulers::kraken::{Kraken, KrakenCalibration};
+use faasbatch_schedulers::late_bind::CoreLateBind;
+use faasbatch_schedulers::policy::Policy;
+use faasbatch_schedulers::sfs::Sfs;
+use faasbatch_schedulers::vanilla::Vanilla;
+use faasbatch_simcore::time::SimDuration;
+use std::fmt;
+
+/// Error returned by [`SchedulerKind::parse`] for an unrecognised
+/// scheduler name.
+///
+/// Its [`Display`](fmt::Display) lists every valid name, so CLI users see
+/// the menu instead of a bare failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownScheduler {
+    /// The name that failed to parse.
+    pub input: String,
+}
+
+impl fmt::Display for UnknownScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown scheduler `{}`; valid schedulers: ", self.input)?;
+        for (i, kind) in SchedulerKind::ALL.into_iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", kind.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownScheduler {}
+
+/// Enumerates the comparison schedulers, for CLI / bench sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// One container per invocation (`faasbatch_schedulers::vanilla`).
+    Vanilla,
+    /// Per-invocation containers + aging CPU weights
+    /// (`faasbatch_schedulers::sfs`).
+    Sfs,
+    /// SLO-slack serial batching (`faasbatch_schedulers::kraken`).
+    Kraken,
+    /// Pull-based worker-initiated scheduling
+    /// (`faasbatch_schedulers::hiku`).
+    Hiku,
+    /// Core-granular late binding (`faasbatch_schedulers::late_bind`).
+    CoreLateBind,
+    /// The paper's batching + expansion scheduler
+    /// ([`crate::policy::FaasBatchPolicy`]).
+    FaasBatch,
+}
+
+/// Everything needed to instantiate any scheduler of the comparison.
+///
+/// Kraken needs a calibration (normally derived from a Vanilla run of the
+/// same workload) and FaaSBatch a full [`FaasBatchConfig`]; the rest are
+/// parameter-free. Bundling them lets one setup build all six.
+#[derive(Debug, Clone)]
+pub struct SchedulerSetup {
+    /// Dispatch window for the windowed schedulers (Kraken, FaaSBatch).
+    pub window: SimDuration,
+    /// Kraken's execution-time calibration.
+    pub kraken: KrakenCalibration,
+    /// FaaSBatch's full configuration (its `window` field should agree
+    /// with `window`; [`SchedulerSetup::new`] keeps them in sync).
+    pub faasbatch: FaasBatchConfig,
+}
+
+impl SchedulerSetup {
+    /// A setup with default Kraken calibration and default FaaSBatch
+    /// knobs over the given dispatch window.
+    pub fn new(window: SimDuration) -> Self {
+        SchedulerSetup {
+            window,
+            kraken: KrakenCalibration::default(),
+            faasbatch: FaasBatchConfig::with_window(window),
+        }
+    }
+
+    /// Replaces the Kraken calibration (e.g. with
+    /// [`KrakenCalibration::from_vanilla`]).
+    pub fn with_kraken_calibration(mut self, calibration: KrakenCalibration) -> Self {
+        self.kraken = calibration;
+        self
+    }
+
+    /// Replaces the FaaSBatch configuration wholesale.
+    pub fn with_faasbatch_config(mut self, cfg: FaasBatchConfig) -> Self {
+        self.faasbatch = cfg;
+        self
+    }
+}
+
+impl SchedulerKind {
+    /// All comparison schedulers, in sweep order.
+    pub const ALL: [SchedulerKind; 6] = [
+        SchedulerKind::Vanilla,
+        SchedulerKind::Sfs,
+        SchedulerKind::Kraken,
+        SchedulerKind::Hiku,
+        SchedulerKind::CoreLateBind,
+        SchedulerKind::FaasBatch,
+    ];
+
+    /// CLI name of the scheduler.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Vanilla => "vanilla",
+            SchedulerKind::Sfs => "sfs",
+            SchedulerKind::Kraken => "kraken",
+            SchedulerKind::Hiku => "hiku",
+            SchedulerKind::CoreLateBind => "core-late-bind",
+            SchedulerKind::FaasBatch => "faasbatch",
+        }
+    }
+
+    /// Parses a CLI name; the error lists the valid names.
+    pub fn parse(s: &str) -> Result<SchedulerKind, UnknownScheduler> {
+        SchedulerKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| UnknownScheduler {
+                input: s.to_owned(),
+            })
+    }
+
+    /// Builds a fresh policy instance plus the dispatch interval to pass
+    /// to the harness (`Some(window)` for the windowed schedulers, `None`
+    /// for the arrival-driven ones).
+    pub fn build(self, setup: &SchedulerSetup) -> (Box<dyn Policy>, Option<SimDuration>) {
+        match self {
+            SchedulerKind::Vanilla => (Box::new(Vanilla::new()), None),
+            SchedulerKind::Sfs => (Box::new(Sfs::new()), None),
+            SchedulerKind::Kraken => (
+                Box::new(Kraken::new(setup.kraken.clone(), setup.window)),
+                Some(setup.window),
+            ),
+            SchedulerKind::Hiku => (Box::new(Hiku::new()), None),
+            SchedulerKind::CoreLateBind => (Box::new(CoreLateBind::new()), None),
+            SchedulerKind::FaasBatch => (
+                Box::new(FaasBatchPolicy::new(setup.faasbatch.clone())),
+                Some(setup.faasbatch.window),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_names() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(SchedulerKind::parse(kind.name()), Ok(kind));
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_valid_schedulers() {
+        let err = SchedulerKind::parse("shortest-job-first").unwrap_err();
+        assert_eq!(err.input, "shortest-job-first");
+        let msg = err.to_string();
+        for kind in SchedulerKind::ALL {
+            assert!(
+                msg.contains(kind.name()),
+                "error message should list `{}`: {msg}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn build_names_match_parse_names() {
+        let setup = SchedulerSetup::new(SimDuration::from_millis(200));
+        for kind in SchedulerKind::ALL {
+            let (policy, interval) = kind.build(&setup);
+            assert_eq!(policy.name(), kind.name());
+            // Windowed schedulers get a dispatch interval; the rest don't.
+            let windowed = matches!(kind, SchedulerKind::Kraken | SchedulerKind::FaasBatch);
+            assert_eq!(interval.is_some(), windowed, "{}", kind.name());
+        }
+    }
+}

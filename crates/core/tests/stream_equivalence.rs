@@ -1,19 +1,17 @@
 //! Property test pinning the streaming workload path to the materialised
 //! one: for any seed/size/shape, `WorkloadStream` must yield bit-identical
 //! invocation sequences to the eager builders, and replaying either form
-//! through any of the four schedulers must produce bit-identical reports
+//! through any of the six schedulers must produce bit-identical reports
 //! AND bit-identical traced event streams (DESIGN.md §16).
 
 use faasbatch_core::policy::{run_faasbatch_source_traced, run_faasbatch_traced, FaasBatchConfig};
+use faasbatch_core::scheduler_kind::{SchedulerKind, SchedulerSetup};
 use faasbatch_metrics::events::{SimEvent, VecSink};
 use faasbatch_metrics::report::RunReport;
 use faasbatch_metrics::TraceSink;
 use faasbatch_schedulers::config::SimConfig;
 use faasbatch_schedulers::harness::{run_simulation_traced, run_source_traced};
-use faasbatch_schedulers::kraken::Kraken;
 use faasbatch_schedulers::policy::Policy;
-use faasbatch_schedulers::sfs::Sfs;
-use faasbatch_schedulers::vanilla::Vanilla;
 use faasbatch_simcore::rng::DetRng;
 use faasbatch_simcore::time::SimDuration;
 use faasbatch_trace::stream::WorkloadStream;
@@ -31,23 +29,24 @@ fn events(sink: Box<dyn TraceSink>) -> Vec<SimEvent> {
 }
 
 fn policy(scheduler: usize) -> (Box<dyn Policy>, Option<SimDuration>) {
-    match scheduler {
-        0 => (Box::new(Vanilla::new()), None),
-        1 => (Box::new(Sfs::new()), None),
-        2 => (Box::new(Kraken::with_defaults(WINDOW)), Some(WINDOW)),
-        _ => unreachable!("faasbatch runs through its own entry point"),
-    }
+    assert_ne!(
+        SchedulerKind::ALL[scheduler],
+        SchedulerKind::FaasBatch,
+        "faasbatch runs through its own entry point"
+    );
+    SchedulerKind::ALL[scheduler].build(&SchedulerSetup::new(WINDOW))
 }
 
 /// Replays `workload` (materialised) and `stream` (on demand) under
-/// scheduler index `scheduler` (0=vanilla, 1=sfs, 2=kraken, 3=faasbatch)
-/// and returns both `(report, events)` pairs.
+/// scheduler index `scheduler` ([`SchedulerKind::ALL`] order: 0=vanilla,
+/// 1=sfs, 2=kraken, 3=hiku, 4=core-late-bind, 5=faasbatch) and returns
+/// both `(report, events)` pairs.
 fn replay_both(
     workload: &Workload,
     stream: WorkloadStream,
     scheduler: usize,
 ) -> ((RunReport, Vec<SimEvent>), (RunReport, Vec<SimEvent>)) {
-    if scheduler == 3 {
+    if SchedulerKind::ALL[scheduler] == SchedulerKind::FaasBatch {
         let (ra, sa) = run_faasbatch_traced(
             workload,
             SimConfig::default(),
@@ -91,7 +90,7 @@ proptest! {
         seed in 0u64..10_000,
         total in 16usize..96,
         functions in 1usize..6,
-        scheduler in 0usize..4,
+        scheduler in 0usize..6,
         io in 0usize..2,
     ) {
         let cfg = WorkloadConfig {

@@ -1,0 +1,235 @@
+//! Hiku: pull-based, worker-initiated scheduling.
+//!
+//! Hiku (Akbari & Hauswirth, arXiv:2502.15534) inverts the usual
+//! push model: the platform never assigns work to a busy worker.
+//! Instead, invocations wait in one shared queue and an idle worker
+//! *pulls* the next invocation the moment it frees up. The pull step
+//! prefers invocations whose function already has a warm container
+//! available (warm-affinity), falling back to strict FIFO when nothing
+//! queued is warm — late binding plus locality in one rule.
+//!
+//! In this harness a "worker" is a pull slot: a unit of concurrent
+//! dispatch capacity. Each pulled invocation runs as a batch of one,
+//! and the slot is returned when the batch completes
+//! ([`Policy::on_batch_done`]). Queue time spent waiting for a slot is
+//! charged to the window-wait attribution phase (arrival →
+//! dispatch decision), so `trace-diff` can show exactly where pulling
+//! wins or loses against push-based batching.
+
+use crate::policy::{Ctx, DispatchRequest, ExecMode, Policy};
+use faasbatch_container::ids::ContainerId;
+use faasbatch_trace::workload::Invocation;
+use std::collections::VecDeque;
+
+/// Pull-based scheduling with warm-affinity pull preference.
+///
+/// # Examples
+///
+/// ```
+/// use faasbatch_schedulers::hiku::Hiku;
+/// use faasbatch_schedulers::policy::Policy;
+///
+/// assert_eq!(Hiku::new().name(), "hiku");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Hiku {
+    /// Configured pull-slot capacity; 0 means derive from the machine's
+    /// core count at [`Policy::on_start`].
+    slots: usize,
+    /// Pull slots currently idle (free workers).
+    idle: usize,
+    /// Shared queue of invocations not yet pulled, in arrival order.
+    queue: VecDeque<Invocation>,
+}
+
+impl Hiku {
+    /// Creates the policy with one pull slot per machine core (resolved
+    /// from [`crate::config::SimConfig::cores`] when the run starts).
+    pub fn new() -> Self {
+        Hiku::default()
+    }
+
+    /// Creates the policy with exactly `slots` pull slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn with_capacity(slots: usize) -> Self {
+        assert!(slots > 0, "Hiku needs at least one pull slot");
+        Hiku {
+            slots,
+            idle: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// An idle worker pulls work: prefer the oldest queued invocation
+    /// whose function has a warm container free, else the queue head.
+    fn pull(&mut self, ctx: &mut Ctx<'_>) {
+        while self.idle > 0 && !self.queue.is_empty() {
+            let pos = self
+                .queue
+                .iter()
+                .position(|inv| ctx.warm_count(inv.function) > 0)
+                .unwrap_or(0);
+            let invocation = self
+                .queue
+                .remove(pos)
+                .expect("position came from this queue");
+            self.idle -= 1;
+            ctx.dispatch(DispatchRequest::new(vec![invocation], ExecMode::Serial));
+        }
+    }
+}
+
+impl Policy for Hiku {
+    fn name(&self) -> String {
+        "hiku".to_owned()
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.slots == 0 {
+            self.slots = (ctx.config().cores.floor() as usize).max(1);
+        }
+        self.idle = self.slots;
+    }
+
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>, invocation: &Invocation) {
+        self.queue.push_back(invocation.clone());
+        self.pull(ctx);
+    }
+
+    fn on_batch_done(&mut self, ctx: &mut Ctx<'_>, _container: ContainerId) {
+        // The worker that ran this batch is free again and pulls.
+        self.idle += 1;
+        self.pull(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::harness::run_simulation;
+    use faasbatch_container::ids::InvocationId;
+    use faasbatch_simcore::rng::DetRng;
+    use faasbatch_simcore::time::{SimDuration, SimTime};
+    use faasbatch_trace::function::{FunctionKind, FunctionRegistry};
+    use faasbatch_trace::workload::{cpu_workload, Workload, WorkloadConfig};
+
+    #[test]
+    fn completes_small_cpu_workload() {
+        let w = cpu_workload(
+            &DetRng::new(1),
+            &WorkloadConfig {
+                total: 40,
+                span: SimDuration::from_secs(10),
+                functions: 3,
+                bursts: 2,
+                ..WorkloadConfig::default()
+            },
+        );
+        let report = run_simulation(Box::new(Hiku::new()), &w, SimConfig::default(), "cpu", None);
+        assert_eq!(report.records.len(), 40);
+        assert!(report.inconsistencies().is_empty());
+        assert_eq!(report.scheduler, "hiku");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let w = cpu_workload(
+            &DetRng::new(4),
+            &WorkloadConfig {
+                total: 25,
+                span: SimDuration::from_secs(5),
+                functions: 2,
+                bursts: 2,
+                ..WorkloadConfig::default()
+            },
+        );
+        let a = run_simulation(Box::new(Hiku::new()), &w, SimConfig::default(), "cpu", None);
+        let b = run_simulation(Box::new(Hiku::new()), &w, SimConfig::default(), "cpu", None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn capacity_bounds_concurrent_containers() {
+        // Everything arrives at once; with 4 pull slots at most 4 batches
+        // are ever in flight, so at most 4 containers exist.
+        let w = cpu_workload(
+            &DetRng::new(2),
+            &WorkloadConfig {
+                total: 30,
+                span: SimDuration::from_millis(10),
+                functions: 1,
+                bursts: 1,
+                ..WorkloadConfig::default()
+            },
+        );
+        let report = run_simulation(
+            Box::new(Hiku::with_capacity(4)),
+            &w,
+            SimConfig::default(),
+            "cpu",
+            None,
+        );
+        assert_eq!(report.records.len(), 30);
+        assert!(
+            report.provisioned_containers <= 4,
+            "4 pull slots provisioned {} containers",
+            report.provisioned_containers
+        );
+    }
+
+    #[test]
+    fn pull_prefers_warm_function() {
+        // One pull slot. A long invocation of function A runs first; while
+        // it runs, B1 then A2 queue up (in that arrival order). When A's
+        // container frees, the pull prefers A2 (warm) over the older B1.
+        let mut registry = FunctionRegistry::new();
+        let fa = registry.register("fa", FunctionKind::Cpu { fib_n: 30 });
+        let fb = registry.register("fb", FunctionKind::Cpu { fib_n: 30 });
+        let invocations = vec![
+            Invocation {
+                id: InvocationId::new(0),
+                function: fa,
+                arrival: SimTime::ZERO,
+                work: SimDuration::from_millis(500),
+            },
+            Invocation {
+                id: InvocationId::new(1),
+                function: fb,
+                arrival: SimTime::from_millis(10),
+                work: SimDuration::from_millis(50),
+            },
+            Invocation {
+                id: InvocationId::new(2),
+                function: fa,
+                arrival: SimTime::from_millis(20),
+                work: SimDuration::from_millis(50),
+            },
+        ];
+        let w = Workload::new(registry, invocations);
+        let report = run_simulation(
+            Box::new(Hiku::with_capacity(1)),
+            &w,
+            SimConfig::default(),
+            "affinity",
+            None,
+        );
+        assert_eq!(report.records.len(), 3);
+        let rec = |id: u64| {
+            report
+                .records
+                .iter()
+                .find(|r| r.id == InvocationId::new(id))
+                .expect("record exists")
+        };
+        // A2 jumped the queue ahead of B1 and was served warm.
+        assert!(
+            rec(2).completion < rec(1).completion,
+            "warm-affinity pull should finish A2 before B1"
+        );
+        assert!(!rec(2).cold, "A2 should reuse A1's warm container");
+    }
+}

@@ -1,6 +1,6 @@
 //! # faasbatch-schedulers
 //!
-//! The shared simulation harness and the paper's three baseline schedulers.
+//! The shared simulation harness and five comparison schedulers.
 //!
 //! The FaaSBatch paper compares against **Vanilla** (one container per
 //! invocation), **Kraken** (SLO/slack-driven serial batching with oracle
@@ -9,8 +9,12 @@
 //! reimplemented here as [`policy::Policy`] implementations over one shared
 //! [`harness`] — so identical decisions cost identical simulated resources,
 //! and the comparison isolates scheduling policy exactly as the paper's
-//! single-worker testbed does. FaaSBatch itself lives in `faasbatch-core`
-//! and plugs into the same harness.
+//! single-worker testbed does. Two further published designs probe the
+//! space from opposite ends: **Hiku** (pull-based worker-initiated
+//! scheduling with warm-affinity, arXiv:2502.15534) and
+//! **core-late-bind** (per-core run queues with last-moment binding,
+//! Kaffes et al., arXiv:2111.07226). FaaSBatch itself lives in
+//! `faasbatch-core` and plugs into the same harness.
 //!
 //! # Examples
 //!
@@ -42,7 +46,9 @@
 
 pub mod config;
 pub mod harness;
+pub mod hiku;
 pub mod kraken;
+pub mod late_bind;
 pub mod policy;
 pub mod sfs;
 pub mod testkit;
@@ -50,7 +56,9 @@ pub mod vanilla;
 
 pub use config::SimConfig;
 pub use harness::{run_simulation, Sim, SimWorld};
+pub use hiku::Hiku;
 pub use kraken::{Kraken, KrakenCalibration, KrakenPrediction, OraclePattern};
+pub use late_bind::CoreLateBind;
 pub use policy::{Completion, Ctx, DispatchRequest, ExecMode, Policy};
 pub use sfs::Sfs;
 pub use vanilla::Vanilla;

@@ -9,9 +9,11 @@
 //! container, *expands* the group inside it as parallel threads, and caches
 //! the redundant resources (cloud-storage clients) those threads would
 //! otherwise re-create. Against Vanilla (container-per-invocation), Kraken
-//! (slack-driven batching), and SFS (short-function CPU priority), this cuts
-//! invocation latency and resource cost dramatically on bursty Azure-style
-//! workloads.
+//! (slack-driven batching), SFS (short-function CPU priority), and two
+//! pull-based baselines beyond the paper — Hiku (warm-preferring pull from a
+//! shared queue) and core-late-bind (bind to a core only when it is free) —
+//! this cuts invocation latency and resource cost dramatically on bursty
+//! Azure-style workloads.
 //!
 //! This umbrella crate re-exports the whole workspace:
 //!
@@ -20,7 +22,7 @@
 //! | [`core`] | Invoke Mapper, Resource Multiplexer, FaaSBatch policy, live platform |
 //! | [`fleet`] | multi-worker fleet simulation: pluggable routing, faults, aggregate reports |
 //! | [`gateway`] | live sharded front door: admission control, window routing over N workers |
-//! | [`schedulers`] | shared simulation harness + Vanilla / Kraken / SFS baselines |
+//! | [`schedulers`] | shared simulation harness + Vanilla / Kraken / SFS / Hiku / core-late-bind |
 //! | [`container`] | container lifecycle, warm pool, cold-start model, live executor |
 //! | [`exec`] | dependency-free work-stealing executor: deques, task groups, timer wheel |
 //! | [`storage`] | in-memory object store + costly-client SDK (the multiplexed resource) |
@@ -30,7 +32,9 @@
 //!
 //! # Quick start
 //!
-//! Run the simulated four-scheduler comparison:
+//! Run FaaSBatch against a baseline on the same workload (the six-way
+//! comparison — all of [`core::scheduler_kind::SchedulerKind::ALL`] — is
+//! `faasbatch_bench::run_six` or the `six_schedulers` binary):
 //!
 //! ```
 //! use faasbatch::core::policy::{run_faasbatch, FaasBatchConfig};

@@ -15,7 +15,8 @@
 //! faasbatch help
 //! ```
 
-use faasbatch::core::policy::{run_faasbatch, run_faasbatch_traced, FaasBatchConfig};
+use faasbatch::core::policy::FaasBatchConfig;
+use faasbatch::core::scheduler_kind::{SchedulerKind, SchedulerSetup};
 use faasbatch::fleet::config::{FaultKind, FleetConfig, WorkerFault, WorkerScheduler};
 use faasbatch::fleet::routing::RoutingKind;
 use faasbatch::fleet::sim::run_fleet;
@@ -27,8 +28,7 @@ use faasbatch::metrics::events::{chrome_trace_to, AuditorSink, MultiSink, TraceS
 use faasbatch::metrics::report::{text_table, RunReport};
 use faasbatch::schedulers::config::SimConfig;
 use faasbatch::schedulers::harness::{run_simulation, run_simulation_traced};
-use faasbatch::schedulers::kraken::{Kraken, KrakenCalibration};
-use faasbatch::schedulers::sfs::Sfs;
+use faasbatch::schedulers::kraken::KrakenCalibration;
 use faasbatch::schedulers::vanilla::Vanilla;
 use faasbatch::simcore::rng::DetRng;
 use faasbatch::simcore::time::SimDuration;
@@ -50,12 +50,14 @@ USAGE:
                        [--workload cpu|io] [--seed N] [--total N] [--span-s N]
                        [--window-ms N] [--max-retries N] [--redispatch-ms N]
                        [--crash W@MS[,W@MS…]] [--drain W@MS[,W@MS…]]
-    faasbatch trace    [--scheduler vanilla|sfs|kraken|faasbatch]
+    faasbatch trace    [--scheduler vanilla|sfs|kraken|hiku|
+                       core-late-bind|faasbatch]
                        [--workload cpu|io] [--seed N] [--total N] [--span-s N]
                        [--window-ms N] [--no-multiplex] [--import FILE]
                        [--out FILE] [--chrome FILE] [--analyze FILE]
     faasbatch trace-diff A.jsonl B.jsonl [--top K] [--json FILE]
-    faasbatch autoscale [--scheduler vanilla|sfs|kraken|faasbatch]
+    faasbatch autoscale [--scheduler vanilla|sfs|kraken|hiku|
+                       core-late-bind|faasbatch]
                        [--workload cpu|io] [--seed N] [--total N] [--span-s N]
                        [--window-ms N] [--keepalive-s N] [--prewarm-cap N]
                        [--keepalive-floor-s N] [--keepalive-ceiling-s N]
@@ -70,7 +72,8 @@ USAGE:
     faasbatch help
 
 COMMANDS:
-    compare    replay one workload under Vanilla, SFS, Kraken, and FaaSBatch
+    compare    replay one workload under all six schedulers (Vanilla, SFS,
+               Kraken, Hiku, core-late-bind, FaaSBatch)
     workload   generate a workload and print its statistics
     fleet      replay one workload across a multi-worker fleet with a
                pluggable routing policy and optional worker faults
@@ -228,27 +231,18 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
         w.len()
     );
     let vanilla = run_simulation(Box::new(Vanilla::new()), &w, cfg.clone(), &label, None);
-    let sfs = run_simulation(Box::new(Sfs::new()), &w, cfg.clone(), &label, None);
-    let kraken = run_simulation(
-        Box::new(Kraken::new(
-            KrakenCalibration::from_vanilla(&vanilla),
-            window,
-        )),
-        &w,
-        cfg.clone(),
-        &label,
-        Some(window),
-    );
-    let fb_cfg = FaasBatchConfig {
-        window,
-        multiplex: !opts.flag("--no-multiplex"),
-        ..FaasBatchConfig::default()
-    };
-    let faasbatch = run_faasbatch(&w, cfg, fb_cfg, &label);
+    let mut setup = SchedulerSetup::new(window)
+        .with_kraken_calibration(KrakenCalibration::from_vanilla(&vanilla));
+    setup.faasbatch.multiplex = !opts.flag("--no-multiplex");
+    let mut reports = vec![vanilla];
+    for kind in &SchedulerKind::ALL[1..] {
+        let (policy, interval) = kind.build(&setup);
+        reports.push(run_simulation(policy, &w, cfg.clone(), &label, interval));
+    }
 
-    let rows: Vec<Vec<String>> = [&vanilla, &sfs, &kraken, &faasbatch]
+    let rows: Vec<Vec<String>> = reports
         .iter()
-        .map(|r: &&RunReport| {
+        .map(|r: &RunReport| {
             vec![
                 r.scheduler.clone(),
                 format!("{}", r.end_to_end_cdf().mean()),
@@ -598,60 +592,21 @@ fn run_one_scheduler(
     multiplex: bool,
     sink: Option<Box<dyn TraceSink>>,
 ) -> Result<(RunReport, Option<Box<dyn TraceSink>>), String> {
-    let kraken = |cfg: SimConfig| {
+    // An unknown name is a typed error listing every valid scheduler.
+    let kind = SchedulerKind::parse(scheduler).map_err(|e| e.to_string())?;
+    let mut setup = SchedulerSetup::new(window);
+    setup.faasbatch.multiplex = multiplex;
+    if kind == SchedulerKind::Kraken {
+        // Kraken calibrates its SLOs from a Vanilla run of the same workload.
         let vanilla = run_simulation(Box::new(Vanilla::new()), w, cfg.clone(), label, None);
-        Kraken::new(KrakenCalibration::from_vanilla(&vanilla), window)
-    };
-    Ok(match (scheduler, sink) {
-        ("vanilla", None) => (
-            run_simulation(Box::new(Vanilla::new()), w, cfg, label, None),
-            None,
-        ),
-        ("vanilla", Some(s)) => {
-            let (r, s) = run_simulation_traced(Box::new(Vanilla::new()), w, cfg, label, None, s);
+        setup = setup.with_kraken_calibration(KrakenCalibration::from_vanilla(&vanilla));
+    }
+    let (policy, interval) = kind.build(&setup);
+    Ok(match sink {
+        None => (run_simulation(policy, w, cfg, label, interval), None),
+        Some(s) => {
+            let (r, s) = run_simulation_traced(policy, w, cfg, label, interval, s);
             (r, Some(s))
-        }
-        ("sfs", None) => (
-            run_simulation(Box::new(Sfs::new()), w, cfg, label, None),
-            None,
-        ),
-        ("sfs", Some(s)) => {
-            let (r, s) = run_simulation_traced(Box::new(Sfs::new()), w, cfg, label, None, s);
-            (r, Some(s))
-        }
-        ("kraken", None) => {
-            let k = kraken(cfg.clone());
-            (
-                run_simulation(Box::new(k), w, cfg, label, Some(window)),
-                None,
-            )
-        }
-        ("kraken", Some(s)) => {
-            let k = kraken(cfg.clone());
-            let (r, s) = run_simulation_traced(Box::new(k), w, cfg, label, Some(window), s);
-            (r, Some(s))
-        }
-        ("faasbatch", None) => {
-            let fb = FaasBatchConfig {
-                window,
-                multiplex,
-                ..FaasBatchConfig::default()
-            };
-            (run_faasbatch(w, cfg, fb, label), None)
-        }
-        ("faasbatch", Some(s)) => {
-            let fb = FaasBatchConfig {
-                window,
-                multiplex,
-                ..FaasBatchConfig::default()
-            };
-            let (r, s) = run_faasbatch_traced(w, cfg, fb, label, s);
-            (r, Some(s))
-        }
-        (other, _) => {
-            return Err(format!(
-                "unknown scheduler: {other} (use vanilla|sfs|kraken|faasbatch)"
-            ))
         }
     })
 }
@@ -1033,6 +988,14 @@ fn cmd_figures() {
     );
     for (name, what) in [
         ("headline_summary", "abstract/§V reduction table"),
+        (
+            "six_schedulers",
+            "six-way comparison: +Hiku, +core-late-bind",
+        ),
+        (
+            "headline_attribution",
+            "six-way phase attribution + trace diff",
+        ),
         ("fig01_sharing_vs_monopoly", "Fig. 1 — sharing vs monopoly"),
         (
             "fig02_invocation_patterns",

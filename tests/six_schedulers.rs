@@ -1,16 +1,17 @@
-//! End-to-end comparison of the four schedulers on Azure-style workloads —
-//! the integration-level reproduction of the paper's §V qualitative claims.
+//! End-to-end comparison of the six schedulers on Azure-style workloads —
+//! the integration-level reproduction of the paper's §V qualitative claims,
+//! extended with the pull-based (Hiku) and core-granular late-binding
+//! schedulers, plus the cross-scheduler conservation differential: every
+//! scheduler completes exactly the same invocation set with identical total
+//! executed work.
 
-use faasbatch::core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch::core::scheduler_kind::SchedulerKind;
 use faasbatch::metrics::report::RunReport;
-use faasbatch::schedulers::config::SimConfig;
-use faasbatch::schedulers::harness::run_simulation;
-use faasbatch::schedulers::kraken::{Kraken, KrakenCalibration};
-use faasbatch::schedulers::sfs::Sfs;
-use faasbatch::schedulers::vanilla::Vanilla;
 use faasbatch::simcore::rng::DetRng;
 use faasbatch::simcore::time::SimDuration;
 use faasbatch::trace::workload::{cpu_workload, io_workload, Workload, WorkloadConfig};
+use faasbatch_bench::run_six;
+use std::collections::BTreeSet;
 
 const WINDOW: SimDuration = SimDuration::from_millis(200);
 
@@ -38,26 +39,32 @@ struct AllRuns {
     vanilla: RunReport,
     sfs: RunReport,
     kraken: RunReport,
+    hiku: RunReport,
+    late_bind: RunReport,
     faasbatch: RunReport,
 }
 
+impl AllRuns {
+    fn all(&self) -> [&RunReport; 6] {
+        [
+            &self.vanilla,
+            &self.sfs,
+            &self.kraken,
+            &self.hiku,
+            &self.late_bind,
+            &self.faasbatch,
+        ]
+    }
+}
+
 fn run_all(w: &Workload, label: &str) -> AllRuns {
-    let cfg = SimConfig::default();
-    let vanilla = run_simulation(Box::new(Vanilla::new()), w, cfg.clone(), label, None);
-    let sfs = run_simulation(Box::new(Sfs::new()), w, cfg.clone(), label, None);
-    let cal = KrakenCalibration::from_vanilla(&vanilla);
-    let kraken = run_simulation(
-        Box::new(Kraken::new(cal, WINDOW)),
-        w,
-        cfg.clone(),
-        label,
-        Some(WINDOW),
-    );
-    let faasbatch = run_faasbatch(w, cfg, FaasBatchConfig::default(), label);
+    let [vanilla, sfs, kraken, hiku, late_bind, faasbatch] = run_six(w, label, WINDOW);
     AllRuns {
         vanilla,
         sfs,
         kraken,
+        hiku,
+        late_bind,
         faasbatch,
     }
 }
@@ -81,10 +88,79 @@ fn assert_complete(r: &RunReport, n: usize) {
 fn every_scheduler_completes_the_cpu_workload_exactly_once() {
     let w = cpu_wl();
     let runs = run_all(&w, "cpu");
-    for r in [&runs.vanilla, &runs.sfs, &runs.kraken, &runs.faasbatch] {
+    for r in runs.all() {
         assert_complete(r, w.len());
         // The public invariant kit must agree.
         faasbatch::schedulers::testkit::assert_invariants(&w, r);
+    }
+}
+
+/// The cross-scheduler conservation differential: on one fixed workload and
+/// seed, all six schedulers complete exactly the same invocation set, each
+/// completion carries the workload's own function for that id, and the total
+/// intrinsic work executed is identical — only timing may differ. A mismatch
+/// fails naming the diverging scheduler and the ids on each side.
+#[test]
+fn all_schedulers_conserve_the_invocation_set_and_work() {
+    let w = cpu_wl();
+    let runs = run_all(&w, "cpu");
+
+    // The reference signature comes from the workload itself.
+    let want_ids: BTreeSet<u64> = w.invocations().iter().map(|i| i.id.value()).collect();
+    let want_work: SimDuration = w.total_work();
+
+    for r in runs.all() {
+        let got_ids: BTreeSet<u64> = r.records.iter().map(|rec| rec.id.value()).collect();
+        if got_ids != want_ids {
+            let missing: Vec<u64> = want_ids.difference(&got_ids).copied().collect();
+            let extra: Vec<u64> = got_ids.difference(&want_ids).copied().collect();
+            panic!(
+                "{}: completed invocation set diverges from the workload \
+                 (missing {missing:?}, extra {extra:?})",
+                r.scheduler
+            );
+        }
+        // Each record executed the workload's function for that id...
+        for inv in w.invocations() {
+            let rec = r
+                .records
+                .iter()
+                .find(|rec| rec.id == inv.id)
+                .expect("id set already matched");
+            assert_eq!(
+                rec.function, inv.function,
+                "{}: {} ran the wrong function",
+                r.scheduler, inv.id
+            );
+        }
+        // ... so total executed (intrinsic) work is conserved exactly.
+        let executed: SimDuration = w
+            .invocations()
+            .iter()
+            .filter(|i| got_ids.contains(&i.id.value()))
+            .map(|i| i.work)
+            .sum();
+        assert_eq!(
+            executed, want_work,
+            "{}: total executed work diverges from the workload's",
+            r.scheduler
+        );
+    }
+
+    // And pairwise: every scheduler's completion signature equals vanilla's.
+    let reference: BTreeSet<u64> = runs
+        .vanilla
+        .records
+        .iter()
+        .map(|rec| rec.id.value())
+        .collect();
+    for r in runs.all() {
+        let got: BTreeSet<u64> = r.records.iter().map(|rec| rec.id.value()).collect();
+        assert_eq!(
+            got, reference,
+            "{} and vanilla completed different invocation sets",
+            r.scheduler
+        );
     }
 }
 
@@ -112,6 +188,20 @@ fn container_counts_order_matches_fig13b() {
         runs.kraken.provisioned_containers,
         runs.sfs.provisioned_containers
     );
+    // The capacity-bounded pull/bind schedulers sit between the batching
+    // and container-per-invocation families: they never exceed Vanilla.
+    assert!(
+        runs.hiku.provisioned_containers <= runs.vanilla.provisioned_containers,
+        "hiku {} !<= vanilla {}",
+        runs.hiku.provisioned_containers,
+        runs.vanilla.provisioned_containers
+    );
+    assert!(
+        runs.late_bind.provisioned_containers <= runs.vanilla.provisioned_containers,
+        "core-late-bind {} !<= vanilla {}",
+        runs.late_bind.provisioned_containers,
+        runs.vanilla.provisioned_containers
+    );
     // FaaSBatch serves many invocations per container (paper: ≈24 on I/O).
     assert!(
         runs.faasbatch.invocations_per_container() > 4.0,
@@ -121,7 +211,7 @@ fn container_counts_order_matches_fig13b() {
 }
 
 #[test]
-fn queuing_latency_is_kraken_specific() {
+fn queuing_latency_is_batching_specific() {
     let w = cpu_wl();
     let runs = run_all(&w, "cpu");
     let queued = |r: &RunReport| {
@@ -133,6 +223,15 @@ fn queuing_latency_is_kraken_specific() {
     assert_eq!(queued(&runs.vanilla), 0, "vanilla must not queue");
     assert_eq!(queued(&runs.sfs), 0, "sfs must not queue");
     assert_eq!(queued(&runs.faasbatch), 0, "faasbatch expands in parallel");
+    // Hiku and core-late-bind hold work centrally *before* dispatch, so the
+    // wait shows up as scheduling (pre-dispatch) latency, never as
+    // in-container queuing — every dispatched batch is a batch of one.
+    assert_eq!(queued(&runs.hiku), 0, "hiku dispatches batches of one");
+    assert_eq!(
+        queued(&runs.late_bind),
+        0,
+        "core-late-bind dispatches batches of one"
+    );
     assert!(
         queued(&runs.kraken) > 0,
         "kraken batching must queue someone"
@@ -165,13 +264,21 @@ fn faasbatch_dominates_scheduling_and_cold_start_tails() {
         runs.faasbatch.cold_fraction(),
         runs.vanilla.cold_fraction()
     );
+    // Warm-affinity pulling reuses containers at least as well as blind
+    // container-per-invocation placement.
+    assert!(
+        runs.hiku.cold_fraction() <= runs.vanilla.cold_fraction(),
+        "cold fractions: hiku {:.2} !<= vanilla {:.2}",
+        runs.hiku.cold_fraction(),
+        runs.vanilla.cold_fraction()
+    );
 }
 
 #[test]
 fn io_results_match_fig12_and_fig14() {
     let w = io_wl();
     let runs = run_all(&w, "io");
-    for r in [&runs.vanilla, &runs.sfs, &runs.kraken, &runs.faasbatch] {
+    for r in runs.all() {
         assert_complete(r, w.len());
     }
     // Fig. 12(c): FaaSBatch execution latency is confined (multiplexer kills
@@ -190,14 +297,22 @@ fn io_results_match_fig12_and_fig14() {
     assert!((per_req_mb(&runs.vanilla) - 15.0).abs() < 0.5);
     assert!((per_req_mb(&runs.sfs) - 15.0).abs() < 0.5);
     assert!((per_req_mb(&runs.kraken) - 15.0).abs() < 0.5);
+    assert!((per_req_mb(&runs.hiku) - 15.0).abs() < 0.5);
+    assert!((per_req_mb(&runs.late_bind) - 15.0).abs() < 0.5);
     assert!(
         per_req_mb(&runs.faasbatch) < 3.0,
         "faasbatch per-request client memory {} MB",
         per_req_mb(&runs.faasbatch)
     );
-    // Every baseline creates one client per request; FaaSBatch only on cache
-    // misses.
-    for r in [&runs.vanilla, &runs.sfs, &runs.kraken] {
+    // Every non-multiplexing scheduler creates one client per request;
+    // FaaSBatch only on cache misses.
+    for r in [
+        &runs.vanilla,
+        &runs.sfs,
+        &runs.kraken,
+        &runs.hiku,
+        &runs.late_bind,
+    ] {
         assert_eq!(r.clients_created, w.len() as u64, "{}", r.scheduler);
     }
     assert!(runs.faasbatch.clients_created < w.len() as u64 / 4);
@@ -215,6 +330,8 @@ fn resource_costs_order_matches_fig13_fig14() {
         runs.vanilla.mean_memory_bytes()
     );
     assert!(runs.faasbatch.mean_memory_bytes() < runs.sfs.mean_memory_bytes());
+    assert!(runs.faasbatch.mean_memory_bytes() < runs.hiku.mean_memory_bytes());
+    assert!(runs.faasbatch.mean_memory_bytes() < runs.late_bind.mean_memory_bytes());
     // The paper itself calls Kraken's memory optimization "comparable to
     // FaaSBatch" (§V-B1); with our looser calibrated SLOs Kraken batches
     // even more aggressively, so assert comparability rather than strict
@@ -230,6 +347,8 @@ fn resource_costs_order_matches_fig13_fig14() {
     assert!(runs.faasbatch.core_seconds < runs.vanilla.core_seconds);
     assert!(runs.faasbatch.core_seconds < runs.sfs.core_seconds);
     assert!(runs.faasbatch.core_seconds < runs.kraken.core_seconds);
+    assert!(runs.faasbatch.core_seconds < runs.hiku.core_seconds);
+    assert!(runs.faasbatch.core_seconds < runs.late_bind.core_seconds);
 }
 
 #[test]
@@ -240,4 +359,25 @@ fn faasbatch_end_to_end_latency_beats_baselines_on_io() {
     assert!(mean(&runs.faasbatch) < mean(&runs.vanilla));
     assert!(mean(&runs.faasbatch) < mean(&runs.sfs));
     assert!(mean(&runs.faasbatch) < mean(&runs.kraken));
+    assert!(mean(&runs.faasbatch) < mean(&runs.hiku));
+    assert!(mean(&runs.faasbatch) < mean(&runs.late_bind));
+}
+
+/// The report order of [`run_six`] agrees with the typed registry.
+#[test]
+fn run_six_order_matches_scheduler_kind_all() {
+    let w = cpu_workload(
+        &DetRng::new(5),
+        &WorkloadConfig {
+            total: 30,
+            span: SimDuration::from_secs(5),
+            functions: 2,
+            bursts: 2,
+            ..WorkloadConfig::default()
+        },
+    );
+    let reports = run_six(&w, "cpu", WINDOW);
+    for (report, kind) in reports.iter().zip(SchedulerKind::ALL) {
+        assert_eq!(report.scheduler, kind.name());
+    }
 }

@@ -4,7 +4,7 @@
 //! fleet retry chains are attributed; and malformed JSONL input surfaces as
 //! a typed error, never a panic.
 
-use faasbatch::core::policy::{run_faasbatch_traced, FaasBatchConfig};
+use faasbatch::core::scheduler_kind::{SchedulerKind, SchedulerSetup};
 use faasbatch::fleet::config::{FaultKind, FleetConfig, WorkerFault};
 use faasbatch::fleet::routing::RoutingKind;
 use faasbatch::fleet::sim::run_fleet_traced;
@@ -15,15 +15,19 @@ use faasbatch::metrics::events::{chrome_trace, SimEvent, TraceSink, VecSink};
 use faasbatch::metrics::report::RunReport;
 use faasbatch::schedulers::config::SimConfig;
 use faasbatch::schedulers::harness::run_simulation_traced;
-use faasbatch::schedulers::kraken::Kraken;
-use faasbatch::schedulers::sfs::Sfs;
-use faasbatch::schedulers::vanilla::Vanilla;
 use faasbatch::simcore::rng::DetRng;
 use faasbatch::simcore::time::{SimDuration, SimTime};
 use faasbatch::trace::workload::{cpu_workload, io_workload, Workload, WorkloadConfig};
 use proptest::prelude::*;
 
-const SCHEDULERS: [&str; 4] = ["vanilla", "sfs", "kraken", "faasbatch"];
+const SCHEDULERS: [&str; 6] = [
+    "vanilla",
+    "sfs",
+    "kraken",
+    "hiku",
+    "core-late-bind",
+    "faasbatch",
+];
 
 fn wl(seed: u64, io: bool) -> Workload {
     let cfg = WorkloadConfig {
@@ -42,25 +46,11 @@ fn wl(seed: u64, io: bool) -> Workload {
 }
 
 fn traced(scheduler: &str, w: &Workload) -> (RunReport, Vec<SimEvent>) {
-    let window = SimDuration::from_millis(200);
-    let cfg = SimConfig::default();
+    let kind = SchedulerKind::parse(scheduler).unwrap_or_else(|e| panic!("{e}"));
+    let (policy, interval) = kind.build(&SchedulerSetup::new(SimDuration::from_millis(200)));
     let sink: Box<dyn TraceSink> = Box::new(VecSink::new());
-    let (report, sink) = match scheduler {
-        "vanilla" => {
-            run_simulation_traced(Box::new(Vanilla::new()), w, cfg.clone(), "t", None, sink)
-        }
-        "sfs" => run_simulation_traced(Box::new(Sfs::new()), w, cfg.clone(), "t", None, sink),
-        "kraken" => run_simulation_traced(
-            Box::new(Kraken::with_defaults(window)),
-            w,
-            cfg,
-            "t",
-            Some(window),
-            sink,
-        ),
-        "faasbatch" => run_faasbatch_traced(w, cfg, FaasBatchConfig::default(), "t", sink),
-        other => panic!("unknown scheduler {other}"),
-    };
+    let (report, sink) =
+        run_simulation_traced(policy, w, SimConfig::default(), "t", interval, sink);
     let events = sink
         .as_any()
         .downcast_ref::<VecSink>()
@@ -94,7 +84,7 @@ proptest! {
     fn phases_sum_exactly_for_every_scheduler(
         seed in 0u64..500,
         io in 0usize..2,
-        scheduler in 0usize..4,
+        scheduler in 0usize..6,
     ) {
         let w = wl(seed, io == 1);
         let (report, events) = traced(SCHEDULERS[scheduler], &w);
@@ -126,7 +116,7 @@ proptest! {
     #[test]
     fn self_diff_is_zero(
         seed in 0u64..500,
-        scheduler in 0usize..4,
+        scheduler in 0usize..6,
     ) {
         let w = wl(seed, false);
         let (_, events) = traced(SCHEDULERS[scheduler], &w);
@@ -258,7 +248,7 @@ fn corrupted_logs_yield_typed_errors() {
     assert!(matches!(parse_events(""), Err(TraceLoadError::Empty)));
 }
 
-/// The nine phases cover every resource the critical path can point at.
+/// The ten phases cover every resource the critical path can point at.
 #[test]
 fn phase_vocabulary_is_closed() {
     for phase in Phase::ALL {

@@ -3,7 +3,7 @@
 //! perturbs the simulation itself, and the serialized event log is
 //! bit-identical run to run.
 
-use faasbatch::core::policy::{run_faasbatch_traced, FaasBatchConfig};
+use faasbatch::core::scheduler_kind::{SchedulerKind, SchedulerSetup};
 use faasbatch::fleet::config::{FaultKind, FleetConfig, WorkerFault};
 use faasbatch::fleet::routing::RoutingKind;
 use faasbatch::fleet::sim::run_fleet_traced;
@@ -12,15 +12,20 @@ use faasbatch::metrics::events::{AuditorSink, MultiSink, SimEvent, TraceSink, Ve
 use faasbatch::metrics::report::RunReport;
 use faasbatch::schedulers::config::SimConfig;
 use faasbatch::schedulers::harness::run_simulation_traced;
-use faasbatch::schedulers::kraken::Kraken;
-use faasbatch::schedulers::sfs::Sfs;
-use faasbatch::schedulers::vanilla::Vanilla;
+use faasbatch::schedulers::policy::Policy;
 use faasbatch::simcore::rng::DetRng;
 use faasbatch::simcore::time::{SimDuration, SimTime};
 use faasbatch::trace::workload::{cpu_workload, io_workload, Workload, WorkloadConfig};
 use proptest::prelude::*;
 
-const SCHEDULERS: [&str; 4] = ["vanilla", "sfs", "kraken", "faasbatch"];
+const SCHEDULERS: [&str; 6] = [
+    "vanilla",
+    "sfs",
+    "kraken",
+    "hiku",
+    "core-late-bind",
+    "faasbatch",
+];
 
 fn wl(seed: u64, io: bool) -> Workload {
     let cfg = WorkloadConfig {
@@ -38,28 +43,25 @@ fn wl(seed: u64, io: bool) -> Workload {
     }
 }
 
+/// Builds `scheduler` by name through the typed registry — an unknown name
+/// fails with the `UnknownScheduler` error listing the valid names.
+fn build(scheduler: &str) -> (Box<dyn Policy>, Option<SimDuration>) {
+    let kind = SchedulerKind::parse(scheduler).unwrap_or_else(|e| panic!("{e}"));
+    kind.build(&SchedulerSetup::new(SimDuration::from_millis(200)))
+}
+
 /// Runs `scheduler` over `w` with both an auditor and a vec capture, and
 /// returns (report, captured events, violations).
 fn traced(scheduler: &str, w: &Workload) -> (RunReport, Vec<SimEvent>, Vec<String>) {
-    let window = SimDuration::from_millis(200);
-    let cfg = SimConfig::default();
-    let run = |sink: Box<dyn TraceSink>| match scheduler {
-        "vanilla" => {
-            run_simulation_traced(Box::new(Vanilla::new()), w, cfg.clone(), "t", None, sink)
-        }
-        "sfs" => run_simulation_traced(Box::new(Sfs::new()), w, cfg.clone(), "t", None, sink),
-        "kraken" => run_simulation_traced(
-            Box::new(Kraken::with_defaults(window)),
-            w,
-            cfg.clone(),
-            "t",
-            Some(window),
-            sink,
-        ),
-        "faasbatch" => run_faasbatch_traced(w, cfg.clone(), FaasBatchConfig::default(), "t", sink),
-        other => panic!("unknown scheduler {other}"),
-    };
-    let (report, sink) = run(Box::new(VecSink::new()));
+    let (policy, interval) = build(scheduler);
+    let (report, sink) = run_simulation_traced(
+        policy,
+        w,
+        SimConfig::default(),
+        "t",
+        interval,
+        Box::new(VecSink::new()),
+    );
     let events = sink
         .as_any()
         .downcast_ref::<VecSink>()
@@ -80,7 +82,6 @@ fn traced(scheduler: &str, w: &Workload) -> (RunReport, Vec<SimEvent>, Vec<Strin
 /// captured stream — now containing `ScalePrewarm` / `ScaleKeepAlive`
 /// events — through the auditor.
 fn traced_autoscaled(scheduler: &str, w: &Workload) -> (RunReport, Vec<SimEvent>, Vec<String>) {
-    let window = SimDuration::from_millis(200);
     let cfg = SimConfig {
         keep_alive: SimDuration::from_secs(2),
         ..SimConfig::default()
@@ -96,22 +97,8 @@ fn traced_autoscaled(scheduler: &str, w: &Workload) -> (RunReport, Vec<SimEvent>
         Box::new(AutoscalerSink::new(ac)),
         Box::new(VecSink::new()),
     ]));
-    let (report, sink) = match scheduler {
-        "vanilla" => {
-            run_simulation_traced(Box::new(Vanilla::new()), w, cfg.clone(), "t", None, sink)
-        }
-        "sfs" => run_simulation_traced(Box::new(Sfs::new()), w, cfg.clone(), "t", None, sink),
-        "kraken" => run_simulation_traced(
-            Box::new(Kraken::with_defaults(window)),
-            w,
-            cfg.clone(),
-            "t",
-            Some(window),
-            sink,
-        ),
-        "faasbatch" => run_faasbatch_traced(w, cfg, FaasBatchConfig::default(), "t", sink),
-        other => panic!("unknown scheduler {other}"),
-    };
+    let (policy, interval) = build(scheduler);
+    let (report, sink) = run_simulation_traced(policy, w, cfg, "t", interval, sink);
     let events = sink
         .as_any()
         .downcast_ref::<MultiSink>()
@@ -145,7 +132,7 @@ proptest! {
     fn auditor_is_clean_for_every_scheduler(
         seed in 0u64..500,
         io in 0usize..2,
-        scheduler in 0usize..4,
+        scheduler in 0usize..6,
     ) {
         let w = wl(seed, io == 1);
         let (report, events, violations) = traced(SCHEDULERS[scheduler], &w);
@@ -163,7 +150,7 @@ proptest! {
     #[test]
     fn serialized_event_log_is_deterministic(
         seed in 0u64..500,
-        scheduler in 0usize..4,
+        scheduler in 0usize..6,
     ) {
         let w = wl(seed, false);
         let (report_a, events_a, _) = traced(SCHEDULERS[scheduler], &w);
@@ -180,7 +167,7 @@ proptest! {
     fn auditor_is_clean_with_controller_enabled(
         seed in 0u64..300,
         io in 0usize..2,
-        scheduler in 0usize..4,
+        scheduler in 0usize..6,
     ) {
         let w = wl(seed, io == 1);
         let (report, events, violations) = traced_autoscaled(SCHEDULERS[scheduler], &w);
@@ -239,7 +226,7 @@ proptest! {
     }
 }
 
-/// The acceptance sweep: across all four schedulers × three seeds, the
+/// The acceptance sweep: across all six schedulers × three seeds, the
 /// controller genuinely acts (the stream carries scale events) and the
 /// auditor — which pairs every `ScalePrewarm` with container launches —
 /// reports zero violations.
@@ -271,31 +258,25 @@ fn controller_sweep_acts_and_audits_clean() {
 /// (Exhaustive over schedulers at one seed; the proptest above covers seeds.)
 #[test]
 fn tracing_never_perturbs_the_report() {
-    use faasbatch::core::policy::run_faasbatch;
     use faasbatch::schedulers::harness::run_simulation;
     let w = wl(7, false);
-    let window = SimDuration::from_millis(200);
     for scheduler in SCHEDULERS {
         let (traced_report, _, _) = traced(scheduler, &w);
-        let plain = match scheduler {
-            "vanilla" => run_simulation(
-                Box::new(Vanilla::new()),
-                &w,
-                SimConfig::default(),
-                "t",
-                None,
-            ),
-            "sfs" => run_simulation(Box::new(Sfs::new()), &w, SimConfig::default(), "t", None),
-            "kraken" => run_simulation(
-                Box::new(Kraken::with_defaults(window)),
-                &w,
-                SimConfig::default(),
-                "t",
-                Some(window),
-            ),
-            "faasbatch" => run_faasbatch(&w, SimConfig::default(), FaasBatchConfig::default(), "t"),
-            other => panic!("unknown scheduler {other}"),
-        };
+        let (policy, interval) = build(scheduler);
+        let plain = run_simulation(policy, &w, SimConfig::default(), "t", interval);
         assert_eq!(traced_report, plain, "{scheduler} diverged under tracing");
+    }
+}
+
+/// The test matrix's name list and the typed registry agree exactly, and an
+/// unknown name is a typed error listing every valid scheduler.
+#[test]
+fn scheduler_names_match_the_typed_registry() {
+    let registry: Vec<&str> = SchedulerKind::ALL.iter().map(|k| k.name()).collect();
+    assert_eq!(SCHEDULERS.to_vec(), registry);
+    let err = SchedulerKind::parse("bogus").expect_err("bogus is not a scheduler");
+    let msg = err.to_string();
+    for name in SCHEDULERS {
+        assert!(msg.contains(name), "error should list `{name}`: {msg}");
     }
 }
