@@ -14,6 +14,8 @@
 //! ```
 
 use faasbatch_core::policy::{run_faasbatch, FaasBatchConfig};
+use faasbatch_exec::{Executor, ExecutorConfig};
+use faasbatch_metrics::telemetry::MetricRegistry;
 use faasbatch_schedulers::config::SimConfig;
 use faasbatch_schedulers::harness::run_simulation;
 use faasbatch_schedulers::kraken::Kraken;
@@ -25,10 +27,17 @@ use faasbatch_trace::workload::{cpu_workload, Workload, WorkloadConfig};
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 const BASELINE_PATH: &str = "results/baseline_quick.json";
 const REPS: u32 = 7;
+
+/// Hard cap on live-telemetry hot-path overhead: a run with the registry
+/// enabled (recording, never scraped) may cost at most 2% more wall clock
+/// than the identical run with recording compiled out of the task body.
+const MAX_METRICS_OVERHEAD: f64 = 1.02;
 
 /// One measured scenario.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -40,6 +49,18 @@ struct Row {
     ratio: f64,
 }
 
+/// The telemetry hot-path cost measurement (see [`metrics_overhead`]).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct MetricsOverhead {
+    /// Best-of-[`REPS`] burst wall clock with no recording, nanoseconds.
+    disabled_ns: u64,
+    /// Best-of-[`REPS`] burst wall clock with per-task histogram + counter
+    /// recording into an enabled-but-unscraped registry, nanoseconds.
+    enabled_ns: u64,
+    /// `enabled_ns / disabled_ns` — gated at [`MAX_METRICS_OVERHEAD`].
+    ratio: f64,
+}
+
 /// The committed baseline file.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Baseline {
@@ -48,6 +69,11 @@ struct Baseline {
     /// Peak RSS of the whole measurement run (`VmHWM`), in bytes. Zero when
     /// `/proc/self/status` is unavailable; the memory gate skips then.
     peak_rss_bytes: u64,
+    /// Telemetry recording cost on the recording machine, context only —
+    /// the overhead gate is absolute ([`MAX_METRICS_OVERHEAD`] against the
+    /// current run), never a comparison with this recorded value.
+    #[serde(default)]
+    metrics_overhead: MetricsOverhead,
     rows: Vec<Row>,
 }
 
@@ -108,6 +134,73 @@ fn calibration_loop() -> u64 {
     acc
 }
 
+/// Prices the live-telemetry hot path: identical spin-task bursts on a
+/// real executor, with and without per-task recording into an enabled but
+/// never-scraped [`MetricRegistry`] (one histogram record + one counter
+/// increment per task — what `core::platform` does per finished member).
+/// Bursts interleave enabled/disabled within each rep so thermal drift and
+/// scheduler noise hit both sides equally; best-of-[`REPS`] each.
+fn metrics_overhead() -> MetricsOverhead {
+    // ~100µs of spin per task: a realistic (short) handler body, long
+    // enough that the ~50ns record cost sits far below the 2% gate and the
+    // gate verdict is dominated by the instrumentation, not spawn noise.
+    const TASKS: usize = 1_000;
+    const SPIN: u64 = 100_000;
+    let executor = Executor::new(ExecutorConfig {
+        workers: 4,
+        ..ExecutorConfig::default()
+    });
+    let registry = MetricRegistry::new();
+    let latency = registry.histogram(
+        "bench_task_latency_us",
+        "Per-task latency during the overhead burst.",
+    );
+    let completed = registry.counter("bench_tasks_total", "Tasks finished during the burst.");
+    let burst = |record: bool| -> u64 {
+        let pending = Arc::new(AtomicUsize::new(TASKS));
+        let start = Instant::now();
+        for i in 0..TASKS {
+            let pending = Arc::clone(&pending);
+            let latency = latency.clone();
+            let completed = completed.clone();
+            executor.spawn(async move {
+                let began = record.then(Instant::now);
+                let mut x = 0x9e37_79b9_7f4a_7c15u64 ^ i as u64;
+                let mut acc = 0u64;
+                for _ in 0..SPIN {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    acc = acc.wrapping_add(x);
+                }
+                black_box(acc);
+                if let Some(began) = began {
+                    latency.record(began.elapsed().as_micros() as u64);
+                    completed.inc();
+                }
+                pending.fetch_sub(1, Ordering::Release);
+            });
+        }
+        while pending.load(Ordering::Acquire) > 0 {
+            std::thread::yield_now();
+        }
+        start.elapsed().as_nanos() as u64
+    };
+    burst(false); // warm up worker threads and allocator state
+    let mut disabled_ns = u64::MAX;
+    let mut enabled_ns = u64::MAX;
+    for _ in 0..REPS {
+        disabled_ns = disabled_ns.min(burst(false));
+        enabled_ns = enabled_ns.min(burst(true));
+    }
+    executor.shutdown();
+    MetricsOverhead {
+        disabled_ns,
+        enabled_ns,
+        ratio: enabled_ns as f64 / disabled_ns as f64,
+    }
+}
+
 fn measure_all() -> Baseline {
     let w = workload();
     let calibration_ns = measure(calibration_loop);
@@ -149,6 +242,7 @@ fn measure_all() -> Baseline {
     Baseline {
         calibration_ns,
         peak_rss_bytes: peak_rss_bytes(),
+        metrics_overhead: metrics_overhead(),
         rows: scenarios
             .into_iter()
             .map(|(name, ns)| Row {
@@ -187,6 +281,13 @@ fn main() -> ExitCode {
     println!(
         "  peak RSS: {:.1} MiB",
         current.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+    );
+    let overhead = &current.metrics_overhead;
+    println!(
+        "  metrics overhead: {:.3} ms recording vs {:.3} ms off  (x{:.4})",
+        overhead.enabled_ns as f64 / 1e6,
+        overhead.disabled_ns as f64 / 1e6,
+        overhead.ratio
     );
 
     if !check {
@@ -232,6 +333,23 @@ fn main() -> ExitCode {
             want.scheduler, got.ratio, want.ratio, delta
         );
         failed |= delta > tolerance;
+    }
+    // Telemetry gate: recording into an enabled-but-unscraped registry may
+    // cost at most MAX_METRICS_OVERHEAD of the recording-free wall clock.
+    // Absolute (not relative to the recorded baseline): the bound is part
+    // of the telemetry plane's contract, not a drift check.
+    {
+        let overhead = &current.metrics_overhead;
+        let verdict = if overhead.ratio > MAX_METRICS_OVERHEAD {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<10} recording x{:.4} vs cap x{MAX_METRICS_OVERHEAD}  {verdict}",
+            "telemetry", overhead.ratio
+        );
+        failed |= overhead.ratio > MAX_METRICS_OVERHEAD;
     }
     // Memory gate: peak RSS of the measurement run must not grow beyond the
     // same tolerance. Skipped when either side lacks /proc visibility.

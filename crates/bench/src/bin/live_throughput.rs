@@ -26,8 +26,10 @@ use faasbatch_bench::SEED;
 use faasbatch_exec::{Executor, ExecutorConfig, GroupJob};
 use faasbatch_gateway::Gateway;
 use faasbatch_metrics::report::text_table;
+use faasbatch_metrics::telemetry::{http_get, MetricRegistry, TelemetryServer};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -139,17 +141,37 @@ struct GatewayRow {
     shard_throughput_per_s: Vec<f64>,
 }
 
+/// Scrape-under-load measurement: the top gateway tier re-run with the
+/// full telemetry plane attached and a scraper hammering `/metrics` the
+/// whole time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TelemetrySection {
+    /// Tier size the scrape ran against.
+    in_flight: usize,
+    /// Successful `/metrics` scrapes completed during the burst.
+    scrapes: usize,
+    scrape_p50_ms: f64,
+    scrape_max_ms: f64,
+    /// Distinct metric families in the final exposition body.
+    families: usize,
+    /// Wall clock and throughput of the instrumented burst — comparable
+    /// to the matching uninstrumented `gateway` tier above.
+    wall_ms: f64,
+    throughput_per_s: f64,
+}
+
 /// Everything `results/live_throughput.json` holds.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Results {
     sweep: Vec<Row>,
     gateway: Vec<GatewayRow>,
+    telemetry: TelemetrySection,
 }
 
 /// One burst through the sharded gateway: `n` invocations spread over
 /// [`GATEWAY_FUNCTIONS`] functions, enqueued by [`GATEWAY_PRODUCERS`]
 /// threads inside one dispatch window, drained to completion.
-fn run_gateway_tier(n: usize) -> GatewayRow {
+fn run_gateway_tier(n: usize, registry: Option<&MetricRegistry>) -> GatewayRow {
     let executor = Executor::new(ExecutorConfig {
         workers: WORKERS,
         seed: SEED,
@@ -166,6 +188,9 @@ fn run_gateway_tier(n: usize) -> GatewayRow {
         .window(Duration::from_millis(500))
         .cold_start_delay(Duration::ZERO)
         .executor(Arc::clone(&executor));
+    if let Some(registry) = registry {
+        builder = builder.telemetry(registry);
+    }
     for f in 0..GATEWAY_FUNCTIONS {
         builder = builder.register(&format!("burst-{f}"), |_env| {
             std::thread::sleep(GATEWAY_WORK);
@@ -219,6 +244,57 @@ fn run_gateway_tier(n: usize) -> GatewayRow {
     }
 }
 
+/// Re-runs the top gateway tier with the telemetry plane attached — the
+/// registry collecting gateway, platform, and per-function families, the
+/// HTTP endpoint live — while a scraper thread pulls `/metrics` in a tight
+/// 5 ms loop. Reports scrape latency under load and the instrumented
+/// burst's throughput, directly comparable to the uninstrumented tier.
+fn run_telemetry_tier(n: usize) -> TelemetrySection {
+    let registry = MetricRegistry::new();
+    let server =
+        TelemetryServer::bind("127.0.0.1:0", registry.clone()).expect("bind telemetry server");
+    let addr = server.local_addr().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut durations: Vec<Duration> = Vec::new();
+            let mut last_body = String::new();
+            while !stop.load(Ordering::Acquire) {
+                let started = Instant::now();
+                if let Ok(body) = http_get(addr.as_str(), "/metrics") {
+                    durations.push(started.elapsed());
+                    last_body = body;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            (durations, last_body)
+        })
+    };
+    let row = run_gateway_tier(n, Some(&registry));
+    stop.store(true, Ordering::Release);
+    let (mut durations, last_body) = scraper.join().expect("scraper does not panic");
+    durations.sort_unstable();
+    let families = last_body
+        .lines()
+        .filter(|l| l.starts_with("# TYPE "))
+        .count();
+    assert!(
+        !durations.is_empty(),
+        "scraper must complete at least one scrape during the burst"
+    );
+    assert!(families > 0, "exposition body must carry metric families");
+    TelemetrySection {
+        in_flight: n,
+        scrapes: durations.len(),
+        scrape_p50_ms: durations[durations.len() / 2].as_secs_f64() * 1e3,
+        scrape_max_ms: durations[durations.len() - 1].as_secs_f64() * 1e3,
+        families,
+        wall_ms: row.wall_ms,
+        throughput_per_s: row.throughput_per_s,
+    }
+}
+
 fn run_gateway_mode(quick: bool) -> Vec<GatewayRow> {
     let tiers: &[usize] = if quick {
         &QUICK_GATEWAY_TIERS
@@ -230,7 +306,7 @@ fn run_gateway_mode(quick: bool) -> Vec<GatewayRow> {
          workers, {GATEWAY_SHARDS} shards, {GATEWAY_FUNCTIONS} functions, \
          {GATEWAY_WORK:?} per job\n"
     );
-    let rows: Vec<GatewayRow> = tiers.iter().map(|&n| run_gateway_tier(n)).collect();
+    let rows: Vec<GatewayRow> = tiers.iter().map(|&n| run_gateway_tier(n, None)).collect();
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -359,11 +435,27 @@ fn main() {
     }
     println!();
     let gateway = run_gateway_mode(false);
+    println!();
+    let top_tier = *GATEWAY_TIERS.last().expect("gateway tiers are non-empty");
+    println!(
+        "scrape under load — re-running the {top_tier} in-flight tier with telemetry attached"
+    );
+    let telemetry = run_telemetry_tier(top_tier);
+    println!(
+        "  {} scrapes during the burst: p50 {:.2} ms, max {:.2} ms, {} families; \
+         instrumented burst {:.0} jobs/s",
+        telemetry.scrapes,
+        telemetry.scrape_p50_ms,
+        telemetry.scrape_max_ms,
+        telemetry.families,
+        telemetry.throughput_per_s
+    );
     let dir = Path::new("results");
     if std::fs::create_dir_all(dir).is_ok() {
         if let Ok(json) = serde_json::to_string_pretty(&Results {
             sweep: rows,
             gateway,
+            telemetry,
         }) {
             let _ = std::fs::write(dir.join("live_throughput.json"), json);
             println!("\nwrote results/live_throughput.json");

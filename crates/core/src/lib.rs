@@ -53,6 +53,7 @@ pub mod platform;
 pub mod policy;
 pub mod routing;
 pub mod scheduler_kind;
+pub mod telemetry;
 
 pub use mapper::{FunctionGroup, InvokeMapper};
 pub use multiplexer::{mux_trace_events, MultiplexerStats, MuxEvent, ResourceMultiplexer};
@@ -63,3 +64,4 @@ pub use policy::{
 };
 pub use routing::{RoutingKind, RoutingPolicy, UnknownRoutingPolicy};
 pub use scheduler_kind::{SchedulerKind, SchedulerSetup, UnknownScheduler};
+pub use telemetry::{register_executor, PlatformTelemetry};

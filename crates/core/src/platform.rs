@@ -23,6 +23,7 @@
 //! on live runs (DESIGN.md §14).
 
 use crate::multiplexer::{mux_trace_events, MultiplexerStats, ResourceMultiplexer};
+use crate::telemetry::PlatformTelemetry;
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use faasbatch_container::container::ContainerState;
@@ -384,6 +385,7 @@ pub struct PlatformBuilder {
     backend: LiveBackend,
     executor: Option<Arc<Executor>>,
     recorder: Option<LiveTraceRecorder>,
+    telemetry: Option<Arc<PlatformTelemetry>>,
     keep_alive: Option<Duration>,
     store: ObjectStore,
     ids: Option<Arc<PlatformIds>>,
@@ -418,6 +420,7 @@ impl PlatformBuilder {
             backend: LiveBackend::default(),
             executor: None,
             recorder: None,
+            telemetry: None,
             keep_alive: None,
             store: ObjectStore::new(),
             ids: None,
@@ -468,6 +471,15 @@ impl PlatformBuilder {
         self
     }
 
+    /// Attaches live metrics (DESIGN.md §18): warm/cold dispatch counters,
+    /// batch-size and per-function end-to-end latency histograms, and the
+    /// in-flight gauge, all recorded straight into the handle's
+    /// [`MetricRegistry`](faasbatch_metrics::MetricRegistry).
+    pub fn telemetry(mut self, telemetry: Arc<PlatformTelemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Enables warm-pool keep-alive: a container idle for `ttl` after a
     /// batch is evicted by a timer-wheel callback (off by default, so pools
     /// grow monotonically as before).
@@ -508,6 +520,14 @@ impl PlatformBuilder {
         let stats = Arc::new(PlatformStats::default());
         let names: Vec<String> = self.functions.iter().map(|(n, _)| n.clone()).collect();
         let recorder = self.recorder;
+        let telemetry = self.telemetry;
+        if let Some(tel) = &telemetry {
+            // Pre-register every function's latency family so exposition
+            // order is registration order, not first-completion order.
+            for function in 0..names.len() {
+                tel.ensure_function(function);
+            }
+        }
         let ids = self.ids.unwrap_or_default();
         let dispatcher = Dispatcher {
             rx,
@@ -517,6 +537,7 @@ impl PlatformBuilder {
             backend: self.backend,
             executor: self.executor.unwrap_or_else(global_executor),
             recorder: recorder.clone(),
+            telemetry: telemetry.clone(),
             keep_alive: self.keep_alive,
             store: self.store,
             handlers: self.functions.into_iter().map(|(_, h)| h).collect(),
@@ -536,6 +557,7 @@ impl PlatformBuilder {
             names,
             stats,
             recorder,
+            telemetry,
             ids,
         }
     }
@@ -549,6 +571,7 @@ struct Dispatcher {
     backend: LiveBackend,
     executor: Arc<Executor>,
     recorder: Option<LiveTraceRecorder>,
+    telemetry: Option<Arc<PlatformTelemetry>>,
     keep_alive: Option<Duration>,
     store: ObjectStore,
     handlers: Vec<Handler>,
@@ -625,6 +648,9 @@ impl Dispatcher {
                 .containers_created
                 .fetch_add(1, Ordering::Relaxed);
         }
+        if let Some(tel) = &self.telemetry {
+            tel.on_batch(batch.len(), cold);
+        }
         let batch_id = self.ids.next_batch();
         let container = ContainerId::new(env.id());
         if let Some(rec) = &self.recorder {
@@ -663,6 +689,7 @@ impl Dispatcher {
             batch: batch_id,
             cold,
             recorder: self.recorder.clone(),
+            telemetry: self.telemetry.clone(),
             warm: Arc::clone(&self.warm),
             warm_gen: Arc::clone(&self.warm_gen),
             keep_alive: self.keep_alive,
@@ -733,6 +760,7 @@ struct GroupCtx {
     batch: u64,
     cold: bool,
     recorder: Option<LiveTraceRecorder>,
+    telemetry: Option<Arc<PlatformTelemetry>>,
     warm: WarmPools,
     warm_gen: Arc<AtomicU64>,
     keep_alive: Option<Duration>,
@@ -793,6 +821,7 @@ impl GroupCtx {
             batch,
             cold,
             recorder,
+            telemetry,
             warm,
             warm_gen,
             keep_alive,
@@ -814,6 +843,7 @@ impl GroupCtx {
                 member: index as u32,
                 cold,
                 recorder: recorder.clone(),
+                telemetry: telemetry.clone(),
             })
             .collect();
         let finisher = GroupFinisher {
@@ -872,6 +902,7 @@ struct MemberRun {
     member: u32,
     cold: bool,
     recorder: Option<LiveTraceRecorder>,
+    telemetry: Option<Arc<PlatformTelemetry>>,
 }
 
 impl MemberRun {
@@ -905,6 +936,12 @@ impl MemberRun {
             cold: self.cold,
             panicked: result.is_err(),
         };
+        if let Some(tel) = &self.telemetry {
+            tel.on_member_done(
+                self.req.function,
+                u64::try_from(outcome.total().as_micros()).unwrap_or(u64::MAX),
+            );
+        }
         let _ = self.req.reply.send(outcome);
         if let Some(rec) = &self.recorder {
             rec.record(EventKind::InvocationComplete {
@@ -1006,6 +1043,7 @@ pub struct FaasBatchPlatform {
     names: Vec<String>,
     stats: Arc<PlatformStats>,
     recorder: Option<LiveTraceRecorder>,
+    telemetry: Option<Arc<PlatformTelemetry>>,
     ids: Arc<PlatformIds>,
 }
 
@@ -1031,14 +1069,22 @@ impl FaasBatchPlatform {
                 function: FunctionId::new(idx as u32),
             });
         }
-        tx.send(Message::Invoke(Request {
+        if let Some(tel) = &self.telemetry {
+            tel.in_flight.add(1);
+        }
+        let sent = tx.send(Message::Invoke(Request {
             invocation,
             function: idx,
             payload,
             enqueued: Instant::now(),
             reply,
-        }))
-        .map_err(|_| PlatformError::ShuttingDown)?;
+        }));
+        if sent.is_err() {
+            if let Some(tel) = &self.telemetry {
+                tel.in_flight.sub(1);
+            }
+            return Err(PlatformError::ShuttingDown);
+        }
         Ok(InvokeTicket { rx })
     }
 
@@ -1074,12 +1120,22 @@ impl FaasBatchPlatform {
             return Ok(());
         }
         let tx = self.tx.as_ref().ok_or(PlatformError::ShuttingDown)?;
-        tx.send(Message::Group {
+        let size = members.len() as i64;
+        if let Some(tel) = &self.telemetry {
+            tel.in_flight.add(size);
+        }
+        let sent = tx.send(Message::Group {
             function,
             members,
             on_done,
-        })
-        .map_err(|_| PlatformError::ShuttingDown)
+        });
+        if sent.is_err() {
+            if let Some(tel) = &self.telemetry {
+                tel.in_flight.sub(size);
+            }
+            return Err(PlatformError::ShuttingDown);
+        }
+        Ok(())
     }
 
     /// The id counters this platform mints from ([`PlatformBuilder::ids`]).

@@ -1,0 +1,283 @@
+//! Live-platform instrumentation onto the telemetry plane (DESIGN.md §18).
+//!
+//! Two pieces:
+//!
+//! * [`PlatformTelemetry`] — the platform's recording handles (warm hits,
+//!   cold boots, batch sizes, in-flight gauge, per-function end-to-end
+//!   latency histograms), registered once on a
+//!   [`MetricRegistry`] and attached via
+//!   [`PlatformBuilder::telemetry`](crate::platform::PlatformBuilder::telemetry).
+//!   Hot-path recording is a relaxed `fetch_add` on sharded atomics.
+//! * [`register_executor`] — polled gauges/counters over
+//!   [`ExecutorMetrics`](faasbatch_exec::ExecutorMetrics). `faasbatch-exec`
+//!   is dependency-free by design, so instead of recording into the
+//!   registry it keeps its own atomics and this helper exposes them as
+//!   closure-backed metrics read at scrape time.
+
+use faasbatch_exec::Executor;
+use faasbatch_metrics::telemetry::{Counter, Gauge, Histogram, MetricRegistry};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Recording handles for one live platform. Build with
+/// [`PlatformTelemetry::new`], attach with
+/// [`PlatformBuilder::telemetry`](crate::platform::PlatformBuilder::telemetry);
+/// clones share the same cells.
+pub struct PlatformTelemetry {
+    registry: MetricRegistry,
+    pub(crate) warm_hits: Counter,
+    pub(crate) cold_boots: Counter,
+    pub(crate) batches: Counter,
+    pub(crate) invocations: Counter,
+    pub(crate) in_flight: Gauge,
+    pub(crate) batch_size: Histogram,
+    e2e: Mutex<HashMap<usize, Histogram>>,
+}
+
+impl std::fmt::Debug for PlatformTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlatformTelemetry")
+            .field("batches", &self.batches.value())
+            .field("in_flight", &self.in_flight.value())
+            .finish()
+    }
+}
+
+impl PlatformTelemetry {
+    /// Registers the platform metric families on `registry`.
+    pub fn new(registry: &MetricRegistry) -> Arc<Self> {
+        Arc::new(PlatformTelemetry {
+            registry: registry.clone(),
+            warm_hits: registry.counter(
+                "faasbatch_platform_warm_hits_total",
+                "Batches dispatched onto a pooled warm container.",
+            ),
+            cold_boots: registry.counter(
+                "faasbatch_platform_cold_boots_total",
+                "Batches that had to create a fresh container.",
+            ),
+            batches: registry.counter(
+                "faasbatch_platform_batches_total",
+                "Dispatch decisions (batches) made.",
+            ),
+            invocations: registry.counter(
+                "faasbatch_platform_invocations_total",
+                "Invocations completed end to end.",
+            ),
+            in_flight: registry.gauge(
+                "faasbatch_platform_in_flight",
+                "Invocations accepted but not yet completed.",
+            ),
+            batch_size: registry.histogram(
+                "faasbatch_platform_batch_size",
+                "Members per dispatched batch (count, not microseconds).",
+            ),
+            e2e: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Pre-registers the per-function latency family for `function`, so
+    /// exposition order follows registration order rather than first
+    /// completion. Called by the builder for every registered function.
+    pub(crate) fn ensure_function(&self, function: usize) {
+        let mut map = self.e2e.lock();
+        map.entry(function).or_insert_with(|| {
+            let label = function.to_string();
+            self.registry.histogram_with(
+                "faasbatch_platform_e2e_latency_us",
+                "End-to-end invocation latency (queued + execution), microseconds.",
+                &[("function", &label)],
+            )
+        });
+    }
+
+    /// One dispatch decision: batch size plus the warm/cold split.
+    pub(crate) fn on_batch(&self, size: usize, cold: bool) {
+        self.batches.inc();
+        self.batch_size.record(size as u64);
+        if cold {
+            self.cold_boots.inc();
+        } else {
+            self.warm_hits.inc();
+        }
+    }
+
+    /// One member completed: end-to-end latency in microseconds.
+    pub(crate) fn on_member_done(&self, function: usize, e2e_us: u64) {
+        self.invocations.inc();
+        self.in_flight.sub(1);
+        // Functions are pre-registered by the builder; the lock here is
+        // uncontended in steady state and only guards the map lookup.
+        let hist = {
+            let map = self.e2e.lock();
+            map.get(&function).cloned()
+        };
+        match hist {
+            Some(hist) => hist.record(e2e_us),
+            None => {
+                self.ensure_function(function);
+                if let Some(hist) = self.e2e.lock().get(&function) {
+                    hist.record(e2e_us);
+                }
+            }
+        }
+    }
+}
+
+/// Exposes a live [`Executor`]'s internal counters on `registry` as polled
+/// metrics: per-worker run/steal/park counts and queue depths, the
+/// injector depth, in-flight levels, and timer-wheel occupancy. Call once
+/// per executor; every closure reads a fresh
+/// [`metrics()`](Executor::metrics) snapshot at scrape time.
+pub fn register_executor(registry: &MetricRegistry, executor: &Arc<Executor>) {
+    let workers = executor.workers();
+    let exec = Arc::clone(executor);
+    registry.gauge_fn(
+        "faasbatch_exec_workers",
+        "Worker threads in the live executor pool.",
+        move || exec.workers() as i64,
+    );
+    let exec = Arc::clone(executor);
+    registry.gauge_fn(
+        "faasbatch_exec_in_flight",
+        "Tasks spawned and not yet completed.",
+        move || exec.metrics().in_flight as i64,
+    );
+    let exec = Arc::clone(executor);
+    registry.gauge_fn(
+        "faasbatch_exec_peak_in_flight",
+        "High-water mark of in-flight tasks since start (or last reset).",
+        move || exec.metrics().peak_in_flight as i64,
+    );
+    let exec = Arc::clone(executor);
+    registry.counter_fn(
+        "faasbatch_exec_spawned_total",
+        "Tasks ever spawned.",
+        move || exec.metrics().spawned_total,
+    );
+    let exec = Arc::clone(executor);
+    registry.counter_fn(
+        "faasbatch_exec_shed_total",
+        "Local-queue overflows shed to the global injector.",
+        move || exec.metrics().shed_total,
+    );
+    let exec = Arc::clone(executor);
+    registry.gauge_fn(
+        "faasbatch_exec_injector_depth",
+        "Tasks waiting in the global injector.",
+        move || exec.metrics().injector_depth as i64,
+    );
+    let exec = Arc::clone(executor);
+    registry.gauge_fn(
+        "faasbatch_exec_timer_occupancy",
+        "Entries currently occupying the timer wheel.",
+        move || exec.metrics().timer_occupancy as i64,
+    );
+    let exec = Arc::clone(executor);
+    registry.counter_fn(
+        "faasbatch_exec_timer_scheduled_total",
+        "Timers ever scheduled on the wheel.",
+        move || exec.metrics().timer_scheduled_total,
+    );
+    for worker in 0..workers {
+        let label = worker.to_string();
+        let exec = Arc::clone(executor);
+        registry.counter_fn_with(
+            "faasbatch_exec_executed_total",
+            "Task polls per worker.",
+            &[("worker", &label)],
+            move || {
+                exec.metrics()
+                    .executed_per_worker
+                    .get(worker)
+                    .copied()
+                    .unwrap_or(0)
+            },
+        );
+        let exec = Arc::clone(executor);
+        registry.counter_fn_with(
+            "faasbatch_exec_stolen_total",
+            "Tasks stolen per (thief) worker.",
+            &[("worker", &label)],
+            move || {
+                exec.metrics()
+                    .stolen_per_worker
+                    .get(worker)
+                    .copied()
+                    .unwrap_or(0)
+            },
+        );
+        let exec = Arc::clone(executor);
+        registry.counter_fn_with(
+            "faasbatch_exec_parked_total",
+            "Times each worker parked (went idle).",
+            &[("worker", &label)],
+            move || {
+                exec.metrics()
+                    .parked_per_worker
+                    .get(worker)
+                    .copied()
+                    .unwrap_or(0)
+            },
+        );
+        let exec = Arc::clone(executor);
+        registry.gauge_fn_with(
+            "faasbatch_exec_queue_depth",
+            "Current local-queue depth per worker.",
+            &[("worker", &label)],
+            move || {
+                exec.metrics()
+                    .queue_depths
+                    .get(worker)
+                    .copied()
+                    .unwrap_or(0) as i64
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faasbatch_exec::ExecutorConfig;
+
+    #[test]
+    fn platform_telemetry_registers_and_records() {
+        let registry = MetricRegistry::new();
+        let telemetry = PlatformTelemetry::new(&registry);
+        telemetry.ensure_function(0);
+        telemetry.on_batch(4, true);
+        telemetry.on_batch(2, false);
+        telemetry.in_flight.add(6);
+        for _ in 0..6 {
+            telemetry.on_member_done(0, 1_500);
+        }
+        let text = registry.render_prometheus();
+        assert!(text.contains("faasbatch_platform_cold_boots_total 1"));
+        assert!(text.contains("faasbatch_platform_warm_hits_total 1"));
+        assert!(text.contains("faasbatch_platform_batches_total 2"));
+        assert!(text.contains("faasbatch_platform_invocations_total 6"));
+        assert!(text.contains("faasbatch_platform_in_flight 0"));
+        assert!(text.contains("faasbatch_platform_e2e_latency_us_count{function=\"0\"} 6"));
+    }
+
+    #[test]
+    fn executor_registration_exposes_worker_families() {
+        let exec = Executor::new(ExecutorConfig {
+            workers: 2,
+            seed: 9,
+            ..ExecutorConfig::default()
+        });
+        let registry = MetricRegistry::new();
+        register_executor(&registry, &exec);
+        exec.spawn(async {});
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let text = registry.render_prometheus();
+        assert!(text.contains("faasbatch_exec_workers 2"));
+        assert!(text.contains("faasbatch_exec_spawned_total 1"));
+        assert!(text.contains("faasbatch_exec_executed_total{worker=\"0\"}"));
+        assert!(text.contains("faasbatch_exec_queue_depth{worker=\"1\"}"));
+        exec.shutdown();
+    }
+}

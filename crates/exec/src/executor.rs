@@ -97,6 +97,17 @@ pub struct ExecutorMetrics {
     pub executed_per_worker: Vec<u64>,
     /// Tasks stolen per (thief) worker.
     pub stolen_per_worker: Vec<u64>,
+    /// Times each worker parked (went idle) since start.
+    pub parked_per_worker: Vec<u64>,
+    /// Current local-queue depth per worker (LIFO slot + FIFO backlog).
+    pub queue_depths: Vec<usize>,
+    /// Tasks currently waiting in the global injector.
+    pub injector_depth: usize,
+    /// Entries currently occupying the timer wheel (pending sleeps,
+    /// cold-start delays, keep-alive evictions).
+    pub timer_occupancy: usize,
+    /// Total timers ever scheduled on the wheel.
+    pub timer_scheduled_total: u64,
     /// Local-queue overflows shed to the injector.
     pub shed_total: u64,
 }
@@ -118,6 +129,7 @@ struct WorkerShared {
     parker: Parker,
     executed: AtomicU64,
     stolen: AtomicU64,
+    parked: AtomicU64,
 }
 
 static EXEC_IDS: AtomicU64 = AtomicU64::new(1);
@@ -255,6 +267,7 @@ impl Shared {
                 }
                 continue;
             }
+            self.workers[index].parked.fetch_add(1, Ordering::Relaxed);
             self.workers[index]
                 .parker
                 .park_timeout(self.config.park_timeout, || {
@@ -308,6 +321,7 @@ impl Executor {
                     parker: Parker::default(),
                     executed: AtomicU64::new(0),
                     stolen: AtomicU64::new(0),
+                    parked: AtomicU64::new(0),
                 })
                 .collect(),
             config,
@@ -450,6 +464,16 @@ impl Executor {
                 .iter()
                 .map(|w| w.stolen.load(Ordering::Acquire))
                 .collect(),
+            parked_per_worker: self
+                .shared
+                .workers
+                .iter()
+                .map(|w| w.parked.load(Ordering::Acquire))
+                .collect(),
+            queue_depths: self.shared.workers.iter().map(|w| w.queue.len()).collect(),
+            injector_depth: self.shared.injector.len(),
+            timer_occupancy: self.shared.timer.occupancy(),
+            timer_scheduled_total: self.shared.timer.scheduled_total(),
             shed_total: self.shared.shed_total.load(Ordering::Acquire),
         }
     }
@@ -748,6 +772,34 @@ mod tests {
             })),
         );
         assert_eq!(rx.recv_timeout(Duration::from_secs(5)).expect("recv"), 3);
+    }
+
+    #[test]
+    fn metrics_report_parks_depths_and_timer_occupancy() {
+        let exec = test_executor(2);
+        // A pending sleep occupies the timer wheel while we look.
+        let inner = Arc::clone(&exec);
+        let handle = exec.submit_group(
+            vec![GroupJob::future(async move {
+                inner.sleep(Duration::from_millis(50)).await;
+            })],
+            None,
+        );
+        std::thread::sleep(Duration::from_millis(15));
+        let metrics = exec.metrics();
+        assert_eq!(metrics.queue_depths.len(), 2);
+        assert_eq!(metrics.parked_per_worker.len(), 2);
+        assert!(metrics.timer_scheduled_total >= 1);
+        assert!(metrics.timer_occupancy >= 1, "pending sleep should occupy");
+        assert!(
+            metrics.parked_per_worker.iter().sum::<u64>() >= 1,
+            "idle workers park while the sleep is pending"
+        );
+        handle.wait();
+        let after = exec.metrics();
+        assert_eq!(after.in_flight, 0);
+        assert!(after.queue_depths.iter().all(|&d| d == 0));
+        assert_eq!(after.injector_depth, 0);
     }
 
     #[test]

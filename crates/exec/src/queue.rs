@@ -142,4 +142,8 @@ impl Injector {
     pub(crate) fn is_empty(&self) -> bool {
         lock_unpoisoned(&self.inner).is_empty()
     }
+
+    pub(crate) fn len(&self) -> usize {
+        lock_unpoisoned(&self.inner).len()
+    }
 }

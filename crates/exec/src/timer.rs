@@ -89,6 +89,23 @@ pub(crate) struct TimerWheel {
 }
 
 impl TimerWheel {
+    /// Total timers ever scheduled (the `seq` mint doubles as the count).
+    pub(crate) fn scheduled_total(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently occupying the wheel, cancelled ones included
+    /// (they hold slot memory until their deadline's drain). Walks every
+    /// slot lock — snapshot/scrape cost, not hot-path cost.
+    pub(crate) fn occupancy(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|slot| lock_unpoisoned(slot).len())
+            .sum()
+    }
+}
+
+impl TimerWheel {
     pub(crate) fn new(slots: usize, tick: Duration) -> Self {
         assert!(!tick.is_zero(), "timer tick must be positive");
         TimerWheel {

@@ -9,9 +9,11 @@ use faasbatch_core::platform::{
     PlatformIds, PlatformStats, RemoteJob,
 };
 use faasbatch_core::routing::{stable_hash, RouterCtx, RoutingKind, WorkerLoad};
+use faasbatch_core::telemetry::PlatformTelemetry;
 use faasbatch_exec::Executor;
 use faasbatch_metrics::events::EventKind;
 use faasbatch_metrics::live::LiveTraceRecorder;
+use faasbatch_metrics::telemetry::{Histogram, MetricRegistry};
 use faasbatch_simcore::time::{SimDuration, SimTime};
 use faasbatch_storage::object_store::ObjectStore;
 use serde::Serialize;
@@ -179,6 +181,7 @@ pub struct GatewayBuilder {
     keep_alive: Option<Duration>,
     executor: Option<Arc<Executor>>,
     recorder: Option<LiveTraceRecorder>,
+    registry: Option<MetricRegistry>,
     store: ObjectStore,
     functions: Vec<(String, Handler)>,
 }
@@ -218,6 +221,7 @@ impl GatewayBuilder {
             keep_alive: None,
             executor: None,
             recorder: None,
+            registry: None,
             store: ObjectStore::new(),
             functions: Vec::new(),
         }
@@ -295,6 +299,15 @@ impl GatewayBuilder {
         self
     }
 
+    /// Attaches live metrics (DESIGN.md §18): per-shard admission counters
+    /// and ingress-depth gauges, the in-flight gauge, a route-latency
+    /// histogram, and a [`PlatformTelemetry`] shared by every worker — all
+    /// registered on `registry`.
+    pub fn telemetry(mut self, registry: &MetricRegistry) -> GatewayBuilder {
+        self.registry = Some(registry.clone());
+        self
+    }
+
     /// Object store shared by every worker's containers.
     pub fn store(mut self, store: ObjectStore) -> GatewayBuilder {
         self.store = store;
@@ -315,6 +328,9 @@ impl GatewayBuilder {
     pub fn start(self) -> Gateway {
         let ids = Arc::new(PlatformIds::new());
         let names: Vec<String> = self.functions.iter().map(|(n, _)| n.clone()).collect();
+        // One telemetry handle shared by every worker platform: the fleet
+        // aggregates into a single faasbatch_platform_* family set.
+        let platform_telemetry = self.registry.as_ref().map(PlatformTelemetry::new);
         let mut platforms = Vec::with_capacity(self.workers);
         for _ in 0..self.workers {
             let mut builder = PlatformBuilder::new()
@@ -325,6 +341,9 @@ impl GatewayBuilder {
                 .ids(Arc::clone(&ids));
             if let Some(recorder) = &self.recorder {
                 builder = builder.trace(recorder.clone());
+            }
+            if let Some(tel) = &platform_telemetry {
+                builder = builder.telemetry(Arc::clone(tel));
             }
             if let Some(ttl) = self.keep_alive {
                 builder = builder.keep_alive(ttl);
@@ -345,6 +364,10 @@ impl GatewayBuilder {
         let queues: Vec<Arc<ShardQueue>> = (0..self.shards)
             .map(|_| Arc::new(ShardQueue::new(self.shard_depth)))
             .collect();
+        let route_latency = self
+            .registry
+            .as_ref()
+            .map(|registry| register_gateway(registry, &stats, &queues));
         let mut dispatchers = Vec::with_capacity(self.shards);
         for (shard, queue) in queues.iter().enumerate() {
             let dispatcher = ShardDispatcher {
@@ -357,6 +380,7 @@ impl GatewayBuilder {
                 loads: Arc::clone(&loads),
                 stats: Arc::clone(&stats),
                 recorder: self.recorder.clone(),
+                route_latency: route_latency.clone(),
                 origin,
             };
             let handle = std::thread::Builder::new()
@@ -377,6 +401,71 @@ impl GatewayBuilder {
     }
 }
 
+/// Registers the gateway's metric families on `registry` (polled from the
+/// existing [`GatewayStats`] atomics and [`ShardQueue`] depths, so the
+/// ingress hot path records nothing extra) and returns the route-latency
+/// histogram the shard dispatchers feed.
+fn register_gateway(
+    registry: &MetricRegistry,
+    stats: &Arc<GatewayStats>,
+    queues: &[Arc<ShardQueue>],
+) -> Histogram {
+    let s = Arc::clone(stats);
+    registry.gauge_fn(
+        "faasbatch_gateway_in_flight",
+        "Invocations admitted and not yet completed on a worker.",
+        move || s.in_flight.load(Ordering::Relaxed) as i64,
+    );
+    let s = Arc::clone(stats);
+    registry.gauge_fn(
+        "faasbatch_gateway_peak_in_flight",
+        "High-water mark of admitted-but-incomplete invocations.",
+        move || s.peak_in_flight.load(Ordering::Relaxed) as i64,
+    );
+    for (shard, queue) in queues.iter().enumerate() {
+        let label = shard.to_string();
+        let s = Arc::clone(stats);
+        registry.counter_fn_with(
+            "faasbatch_gateway_enqueued_total",
+            "Invocations admitted to each shard's ingress queue.",
+            &[("shard", &label)],
+            move || s.shards[shard].enqueued.load(Ordering::Relaxed),
+        );
+        let s = Arc::clone(stats);
+        registry.counter_fn_with(
+            "faasbatch_gateway_admitted_total",
+            "Invocations pulled by each shard's dispatcher.",
+            &[("shard", &label)],
+            move || s.shards[shard].admitted.load(Ordering::Relaxed),
+        );
+        let s = Arc::clone(stats);
+        registry.counter_fn_with(
+            "faasbatch_gateway_rejects_total",
+            "Invocations refused by each shard's admission control.",
+            &[("shard", &label)],
+            move || s.shards[shard].rejected.load(Ordering::Relaxed),
+        );
+        let s = Arc::clone(stats);
+        registry.counter_fn_with(
+            "faasbatch_gateway_routed_groups_total",
+            "Window groups routed to workers by each shard.",
+            &[("shard", &label)],
+            move || s.shards[shard].routed_groups.load(Ordering::Relaxed),
+        );
+        let queue = Arc::clone(queue);
+        registry.gauge_fn_with(
+            "faasbatch_gateway_shard_depth",
+            "Jobs waiting in each shard's ingress queue this window.",
+            &[("shard", &label)],
+            move || queue.len() as i64,
+        );
+    }
+    registry.histogram(
+        "faasbatch_gateway_route_latency_us",
+        "Per window-group latency from queue drain to worker submission, microseconds.",
+    )
+}
+
 /// Per-shard routing loop (one thread per shard).
 struct ShardDispatcher {
     shard: u64,
@@ -388,6 +477,7 @@ struct ShardDispatcher {
     loads: Arc<Mutex<Vec<WorkerLoad>>>,
     stats: Arc<GatewayStats>,
     recorder: Option<LiveTraceRecorder>,
+    route_latency: Option<Histogram>,
     origin: Instant,
 }
 
@@ -424,6 +514,7 @@ impl ShardDispatcher {
                 }
             }
             for (function, members) in groups {
+                let route_started = Instant::now();
                 let now = self.now();
                 let worker = {
                     let mut loads = self.loads.lock().expect("gateway load lock poisoned");
@@ -458,6 +549,9 @@ impl ShardDispatcher {
                 // Only fails while the platform tears down, which the
                 // gateway sequences after this thread exits.
                 let _ = self.platforms[worker].submit_group(function, members, Some(on_done));
+                if let Some(hist) = &self.route_latency {
+                    hist.record(route_started.elapsed().as_micros() as u64);
+                }
             }
             for ack in flushes {
                 let _ = ack.send(());
@@ -592,6 +686,15 @@ impl Gateway {
         self.stats.peak_in_flight.load(Ordering::Relaxed)
     }
 
+    /// Total invocations refused by admission control, across every shard.
+    pub fn rejected_total(&self) -> u64 {
+        self.stats
+            .shards
+            .iter()
+            .map(|s| s.rejected.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Aggregate counters of each worker platform, indexed by worker.
     pub fn worker_stats(&self) -> Vec<&PlatformStats> {
         self.platforms
@@ -712,6 +815,40 @@ mod tests {
         let snap = gateway.stats();
         assert_eq!(snap.shards[0].rejected, 1);
         assert_eq!(snap.in_flight, 0);
+    }
+
+    #[test]
+    fn telemetry_exposes_shard_counters_and_route_latency() {
+        let registry = MetricRegistry::default();
+        let gateway = Gateway::builder()
+            .workers(1)
+            .shards(2)
+            .shard_depth(1)
+            .window(Duration::from_millis(5))
+            .cold_start_delay(Duration::ZERO)
+            .telemetry(&registry)
+            .register("f", |_env| {})
+            .start();
+        let ok = gateway.invoke("f", Bytes::new()).unwrap();
+        // Saturate the 1-deep shard so a reject lands before the window
+        // drains; depth 1 is observed either way.
+        let rejected = gateway.invoke("f", Bytes::new()).is_err();
+        gateway.drain().unwrap();
+        ok.wait();
+        let text = registry.render_prometheus();
+        assert!(text.contains("faasbatch_gateway_in_flight 0"));
+        assert!(text.contains("faasbatch_gateway_enqueued_total{shard=\"0\"}"));
+        assert!(text.contains("faasbatch_gateway_shard_depth{shard=\"1\"} 0"));
+        // The pair of invokes usually lands in one window (one routed
+        // group), but a window boundary between them may split it in two.
+        assert!(text.contains("faasbatch_gateway_route_latency_us_count"));
+        assert!(!text.contains("faasbatch_gateway_route_latency_us_count 0"));
+        assert!(text.contains("faasbatch_platform_batches_total"));
+        assert!(text.contains("faasbatch_platform_e2e_latency_us_count{function=\"0\"}"));
+        if rejected {
+            assert_eq!(gateway.rejected_total(), 1);
+            assert!(text.contains("faasbatch_gateway_rejects_total"));
+        }
     }
 
     #[test]

@@ -118,6 +118,12 @@ impl ShardQueue {
         self.wake.notify_all();
     }
 
+    /// Jobs admitted this window and not yet drained — the population the
+    /// admission bound counts. Scrape-path only.
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("shard queue poisoned").jobs
+    }
+
     /// Sleeps until `deadline` (or an early flush/close wake-up), then
     /// drains the whole queue. Returns the drained messages in arrival
     /// order and whether the queue has been closed.

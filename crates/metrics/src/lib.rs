@@ -30,7 +30,11 @@
 //!   typed-error JSONL loading (DESIGN.md §13);
 //! * [`live`] — the wall-clock [`live::LiveTraceRecorder`] adapter that lets
 //!   the live platform emit the same typed stream, so auditing and
-//!   attribution work on real runs (DESIGN.md §14).
+//!   attribution work on real runs (DESIGN.md §14);
+//! * [`telemetry`] — the live metrics plane: the lock-free
+//!   [`telemetry::MetricRegistry`] of sharded counters/gauges/HDR-style
+//!   histograms, the Prometheus/JSON [`telemetry::TelemetryServer`], and
+//!   the post-mortem [`telemetry::FlightRecorder`] (DESIGN.md §18).
 //!
 //! # Examples
 //!
@@ -61,6 +65,7 @@ pub mod live;
 pub mod report;
 pub mod sampler;
 pub mod stats;
+pub mod telemetry;
 pub mod timeline;
 
 pub use analysis::{
@@ -78,4 +83,7 @@ pub use live::LiveTraceRecorder;
 pub use report::{percent_reduction, text_table, RunReport};
 pub use sampler::{ResourceSample, ResourceSampler};
 pub use stats::{Cdf, Summary};
+pub use telemetry::{
+    Counter, FlightRecorder, Gauge, Histogram, MetricRegistry, TelemetryServer, TelemetrySink,
+};
 pub use timeline::{Series, Timeline};

@@ -19,13 +19,21 @@
 //! orderings the reducer relies on survive the global sort.
 
 use crate::events::{EventKind, SimEvent, TraceSink};
+use crate::telemetry::FlightRecorder;
 use faasbatch_simcore::time::SimTime;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 struct RecorderInner {
     origin: Instant,
     events: Mutex<Vec<SimEvent>>,
+    /// Lock-free mirror of the buffer length, so gauges and the flight
+    /// recorder can read occupancy without taking the event mutex.
+    pending: AtomicUsize,
+    /// Optional post-mortem mirror: every recorded event is also pushed
+    /// into this bounded ring, so a crash dump needs no drain.
+    flight: Option<FlightRecorder>,
 }
 
 /// Thread-safe, cloneable wall-clock event recorder for live runs.
@@ -70,12 +78,29 @@ impl Default for LiveTraceRecorder {
 impl LiveTraceRecorder {
     /// A recorder whose time origin is now.
     pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// A recorder that additionally mirrors every event into `flight`,
+    /// so a bounded post-mortem window survives even after drains.
+    pub fn with_flight(flight: FlightRecorder) -> Self {
+        Self::build(Some(flight))
+    }
+
+    fn build(flight: Option<FlightRecorder>) -> Self {
         LiveTraceRecorder {
             inner: Arc::new(RecorderInner {
                 origin: Instant::now(),
                 events: Mutex::new(Vec::new()),
+                pending: AtomicUsize::new(0),
+                flight,
             }),
         }
+    }
+
+    /// The flight-recorder mirror, when one was attached.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.inner.flight.as_ref()
     }
 
     /// Wall-clock time since the origin, as a [`SimTime`] (µs resolution).
@@ -95,12 +120,26 @@ impl LiveTraceRecorder {
     /// Records `kind` at an explicit timestamp (e.g. to reuse one stamp
     /// across a pair of adjacent events).
     pub fn record_at(&self, at: SimTime, kind: EventKind) {
-        self.lock_events().push(SimEvent::new(at, kind));
+        let event = SimEvent::new(at, kind);
+        if let Some(flight) = &self.inner.flight {
+            flight.record(event.clone());
+        }
+        self.lock_events().push(event);
+        self.inner.pending.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Events buffered so far.
+    /// Events buffered so far (exact; takes the buffer lock).
     pub fn len(&self) -> usize {
         self.lock_events().len()
+    }
+
+    /// Events buffered since the last drain, without locking: a relaxed
+    /// atomic mirror of [`len`](Self::len), momentarily stale while a
+    /// record or drain is mid-flight. The in-flight gauge and flight
+    /// recorder read this instead of guessing (or contending on) the
+    /// buffer mutex.
+    pub fn approx_pending(&self) -> usize {
+        self.inner.pending.load(Ordering::Relaxed)
     }
 
     /// Whether nothing has been recorded (or everything was taken).
@@ -111,7 +150,12 @@ impl LiveTraceRecorder {
     /// Drains the buffer, returning the events stable-sorted by timestamp —
     /// a stream legal to feed any [`TraceSink`].
     pub fn take_trace(&self) -> Vec<SimEvent> {
-        let mut events = std::mem::take(&mut *self.lock_events());
+        let mut events = {
+            let mut guard = self.lock_events();
+            let events = std::mem::take(&mut *guard);
+            self.inner.pending.store(0, Ordering::Relaxed);
+            events
+        };
         events.sort_by_key(|e| e.at);
         events
     }
@@ -180,6 +224,30 @@ mod tests {
             });
         });
         assert_eq!(rec.take_trace().len(), 2);
+    }
+
+    #[test]
+    fn approx_pending_tracks_records_and_drains() {
+        let rec = LiveTraceRecorder::new();
+        assert_eq!(rec.approx_pending(), 0);
+        rec.record(arrival(0));
+        rec.record(arrival(1));
+        assert_eq!(rec.approx_pending(), 2);
+        assert_eq!(rec.approx_pending(), rec.len());
+        rec.take_trace();
+        assert_eq!(rec.approx_pending(), 0);
+    }
+
+    #[test]
+    fn flight_mirror_survives_a_drain() {
+        let flight = crate::telemetry::FlightRecorder::new(64);
+        let rec = LiveTraceRecorder::with_flight(flight.clone());
+        rec.record(arrival(0));
+        rec.record(arrival(1));
+        assert_eq!(rec.take_trace().len(), 2);
+        assert!(rec.is_empty());
+        assert_eq!(rec.flight().unwrap().len(), 2);
+        assert_eq!(flight.dump().len(), 2);
     }
 
     #[test]

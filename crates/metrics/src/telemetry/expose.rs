@@ -1,0 +1,387 @@
+//! Exposition: deterministic Prometheus-text and JSON rendering, a
+//! hand-rolled HTTP endpoint, and the matching one-shot GET client.
+//!
+//! Rendering walks registry entries in registration order and formats
+//! every value with integer arithmetic, so two registries fed identical
+//! inputs render byte-identical output — the property the determinism
+//! tests pin. The server is a single `std::net` accept-loop thread (no
+//! async runtime, no dependencies): enough for a scrape target, which is
+//! one short-lived GET every few seconds.
+
+use super::registry::{Instrument, MetricRegistry};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn fmt_labels(out: &mut String, labels: &[(String, String)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Labels with one extra `le` pair appended, for histogram bucket lines.
+fn fmt_bucket_labels(out: &mut String, labels: &[(String, String)], le: &str) {
+    out.push('{');
+    for (k, v) in labels {
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push_str("\",");
+    }
+    out.push_str("le=\"");
+    out.push_str(le);
+    out.push_str("\"}");
+}
+
+impl MetricRegistry {
+    /// Renders every registered metric in the Prometheus text format
+    /// (version 0.0.4). `# HELP`/`# TYPE` headers are emitted at a
+    /// family's first appearance in registration order; histogram
+    /// buckets are sparse (non-empty `le`s only, plus `+Inf`).
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut seen: Vec<String> = Vec::new();
+        for entry in self.entries().iter() {
+            let (type_name, base) = match &entry.instrument {
+                Instrument::Counter(_) | Instrument::CounterFn(_) => ("counter", &entry.name),
+                Instrument::Gauge(_) | Instrument::GaugeFn(_) => ("gauge", &entry.name),
+                Instrument::Histogram(_) => ("histogram", &entry.name),
+            };
+            if !seen.iter().any(|s| s == base) {
+                let _ = writeln!(out, "# HELP {} {}", base, entry.help);
+                let _ = writeln!(out, "# TYPE {base} {type_name}");
+                seen.push(base.clone());
+            }
+            match &entry.instrument {
+                Instrument::Counter(c) => {
+                    out.push_str(&entry.name);
+                    fmt_labels(&mut out, &entry.labels);
+                    let _ = writeln!(out, " {}", c.value());
+                }
+                Instrument::CounterFn(f) => {
+                    out.push_str(&entry.name);
+                    fmt_labels(&mut out, &entry.labels);
+                    let _ = writeln!(out, " {}", f());
+                }
+                Instrument::Gauge(g) => {
+                    out.push_str(&entry.name);
+                    fmt_labels(&mut out, &entry.labels);
+                    let _ = writeln!(out, " {}", g.value());
+                }
+                Instrument::GaugeFn(f) => {
+                    out.push_str(&entry.name);
+                    fmt_labels(&mut out, &entry.labels);
+                    let _ = writeln!(out, " {}", f());
+                }
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut le_buf = String::new();
+                    for (le, cum) in snap.cumulative() {
+                        out.push_str(&entry.name);
+                        out.push_str("_bucket");
+                        le_buf.clear();
+                        let _ = write!(le_buf, "{le}");
+                        fmt_bucket_labels(&mut out, &entry.labels, &le_buf);
+                        let _ = writeln!(out, " {cum}");
+                    }
+                    out.push_str(&entry.name);
+                    out.push_str("_bucket");
+                    fmt_bucket_labels(&mut out, &entry.labels, "+Inf");
+                    let _ = writeln!(out, " {}", snap.count);
+                    out.push_str(&entry.name);
+                    out.push_str("_sum");
+                    fmt_labels(&mut out, &entry.labels);
+                    let _ = writeln!(out, " {}", snap.sum);
+                    out.push_str(&entry.name);
+                    out.push_str("_count");
+                    fmt_labels(&mut out, &entry.labels);
+                    let _ = writeln!(out, " {}", snap.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a machine-readable snapshot: one JSON object with a
+    /// `metrics` array in registration order. Hand-formatted (not via
+    /// `serde_json`) so key order and number formatting are fixed and
+    /// the output is byte-deterministic for deterministic inputs.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"metrics\":[");
+        for (i, entry) in self.entries().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",", entry.name);
+            out.push_str("\"labels\":{");
+            for (j, (k, v)) in entry.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{k}\":\"{v}\"");
+            }
+            out.push_str("},");
+            match &entry.instrument {
+                Instrument::Counter(c) => {
+                    let _ = write!(out, "\"type\":\"counter\",\"value\":{}", c.value());
+                }
+                Instrument::CounterFn(f) => {
+                    let _ = write!(out, "\"type\":\"counter\",\"value\":{}", f());
+                }
+                Instrument::Gauge(g) => {
+                    let _ = write!(out, "\"type\":\"gauge\",\"value\":{}", g.value());
+                }
+                Instrument::GaugeFn(f) => {
+                    let _ = write!(out, "\"type\":\"gauge\",\"value\":{}", f());
+                }
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let _ = write!(
+                        out,
+                        "\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
+                        snap.count, snap.sum
+                    );
+                    for (j, (le, cum)) in snap.cumulative().into_iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{le},{cum}]");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// The live scrape endpoint: `GET /metrics` (Prometheus text) and
+/// `GET /json` (snapshot), served from one background thread.
+///
+/// Dropping the server (or calling [`shutdown`](TelemetryServer::shutdown))
+/// stops the thread and releases the port.
+///
+/// # Examples
+///
+/// ```
+/// use faasbatch_metrics::telemetry::{http_get, MetricRegistry, TelemetryServer};
+///
+/// let registry = MetricRegistry::new();
+/// registry.counter("faasbatch_demo_total", "demo").inc();
+/// let server = TelemetryServer::bind("127.0.0.1:0", registry).unwrap();
+/// let body = http_get(server.local_addr(), "/metrics").unwrap();
+/// assert!(body.contains("faasbatch_demo_total 1"));
+/// server.shutdown();
+/// ```
+pub struct TelemetryServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TelemetryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryServer")
+            .field("addr", &self.local)
+            .finish()
+    }
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9100`, or port 0 for an ephemeral
+    /// port) and starts serving `registry` in a background thread.
+    pub fn bind(addr: &str, registry: MetricRegistry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("faasbatch-telemetry".to_owned())
+            .spawn(move || serve_loop(&listener, &registry, &stop_flag))?;
+        Ok(TelemetryServer {
+            local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.local);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_loop(listener: &TcpListener, registry: &MetricRegistry, stop: &AtomicBool) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Serve inline: scrapes are rare and tiny, a thread pool would
+        // be ceremony. A slow client can stall the next scrape by at
+        // most the read timeout.
+        let _ = serve_one(stream, registry);
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, registry: &MetricRegistry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 2048];
+    let mut len = 0;
+    // Read until the header terminator; requests we serve are one line
+    // plus a few headers, far under the buffer.
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..len]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" | "/" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            registry.render_prometheus(),
+        ),
+        "/json" => ("200 OK", "application/json", registry.render_json()),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// One-shot HTTP GET against a telemetry endpoint; returns the body.
+/// The client half of [`TelemetryServer`] — used by `faasbatch top`, the
+/// scrape-under-load bench, and tests, so none of them need `curl`.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<String> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or(response);
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricRegistry {
+        let registry = MetricRegistry::new();
+        let c = registry.counter_with("faasbatch_reqs_total", "Requests.", &[("shard", "0")]);
+        c.add(5);
+        let g = registry.gauge("faasbatch_in_flight", "In flight.");
+        g.add(3);
+        registry.gauge_fn("faasbatch_depth", "Depth.", || 9);
+        let h = registry.histogram("faasbatch_lat_us", "Latency.");
+        h.record(10);
+        h.record(700);
+        registry
+    }
+
+    #[test]
+    fn prometheus_rendering_has_headers_and_values() {
+        let text = sample_registry().render_prometheus();
+        assert!(text.contains("# HELP faasbatch_reqs_total Requests."));
+        assert!(text.contains("# TYPE faasbatch_reqs_total counter"));
+        assert!(text.contains("faasbatch_reqs_total{shard=\"0\"} 5"));
+        assert!(text.contains("faasbatch_in_flight 3"));
+        assert!(text.contains("faasbatch_depth 9"));
+        assert!(text.contains("faasbatch_lat_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("faasbatch_lat_us_count 2"));
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic() {
+        let a = sample_registry().render_json();
+        let b = sample_registry().render_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"name\":\"faasbatch_lat_us\""));
+        assert!(a.contains("\"type\":\"histogram\""));
+    }
+
+    #[test]
+    fn server_serves_both_endpoints_and_404s() {
+        let server = TelemetryServer::bind("127.0.0.1:0", sample_registry()).unwrap();
+        let addr = server.local_addr();
+        let metrics = http_get(addr, "/metrics").unwrap();
+        assert!(metrics.contains("faasbatch_reqs_total"));
+        let json = http_get(addr, "/json").unwrap();
+        assert!(json.starts_with("{\"metrics\":["));
+        let missing = http_get(addr, "/nope").unwrap();
+        assert!(missing.contains("not found"));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,268 @@
+//! Log-bucketed HDR-style latency histogram over fixed-size atomic arrays.
+//!
+//! Values (microseconds, by convention) land in one of [`BUCKETS`] buckets:
+//! an exact linear range `0..16`, then 16 equal-width sub-buckets per
+//! power-of-two octave, bounding relative error at `1/16` (6.25%) — the
+//! "bucket resolution" every quantile is exact within. Each recording
+//! thread owns a shard of `AtomicU64` bucket counts (selected once per
+//! thread), so the hot path is one index computation plus two relaxed
+//! `fetch_add`s and shards merge losslessly at snapshot time.
+
+use super::registry::thread_slot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sub-bucket precision bits: each octave splits into `2^SUB_BITS` equal
+/// sub-buckets, so any recorded value is at most `1/2^SUB_BITS` (6.25%)
+/// below its bucket's upper bound.
+pub const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+/// Octaves past the exact linear range. Values at or above `16 << 32`
+/// (~19 hours in microseconds) clamp into the top bucket.
+const OCTAVES: u32 = 32;
+/// Total bucket count: 16 exact buckets plus 16 per octave.
+pub const BUCKETS: usize = (SUB as usize) * (1 + OCTAVES as usize);
+
+/// Shards per histogram. Fewer than the counter shards because each shard
+/// carries a full bucket array; contention is already near zero when
+/// worker threads outnumber shards only slightly.
+const HIST_SHARDS: usize = 8;
+
+/// The bucket index `value` lands in.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value < SUB {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let octave = msb - SUB_BITS;
+    if octave >= OCTAVES {
+        return BUCKETS - 1;
+    }
+    let sub = ((value >> octave) & (SUB - 1)) as usize;
+    SUB as usize + octave as usize * SUB as usize + sub
+}
+
+/// Inclusive upper bound of bucket `index` — the Prometheus `le` value.
+#[inline]
+pub fn bucket_max(index: usize) -> u64 {
+    if index < SUB as usize {
+        return index as u64;
+    }
+    let rel = index - SUB as usize;
+    let octave = (rel / SUB as usize) as u32;
+    let sub = (rel % SUB as usize) as u64;
+    ((SUB + sub + 1) << octave) - 1
+}
+
+struct HistShard {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl HistShard {
+    fn new() -> Self {
+        HistShard {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A mergeable multi-threaded latency histogram handle.
+///
+/// Cloning is cheap (an `Arc` bump); clones feed the same buckets.
+/// Recording never locks, never allocates, and never contends across
+/// threads mapped to different shards.
+///
+/// # Examples
+///
+/// ```
+/// use faasbatch_metrics::telemetry::Histogram;
+///
+/// let h = Histogram::new();
+/// h.record(250);
+/// h.record(90_000);
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 2);
+/// assert!(snap.quantile(0.5) >= 250);
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    shards: Arc<[HistShard]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("sum", &snap.sum)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            shards: (0..HIST_SHARDS).map(|_| HistShard::new()).collect(),
+        }
+    }
+
+    /// Records one value (conventionally microseconds). Lock-free.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let shard = &self.shards[thread_slot() % HIST_SHARDS];
+        shard.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Merges every shard into one immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; BUCKETS];
+        let mut sum = 0u64;
+        for shard in self.shards.iter() {
+            for (merged, cell) in counts.iter_mut().zip(shard.buckets.iter()) {
+                *merged += cell.load(Ordering::Relaxed);
+            }
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+        }
+        let count = counts.iter().sum();
+        HistogramSnapshot { counts, count, sum }
+    }
+}
+
+/// A merged, point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, indexed like [`bucket_of`] / [`bucket_max`].
+    pub counts: Vec<u64>,
+    /// Total recordings.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank quantile, reported as the containing bucket's upper
+    /// bound — exact within bucket resolution. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_max(i);
+            }
+        }
+        bucket_max(BUCKETS - 1)
+    }
+
+    /// Mean of recorded values; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Cumulative `(le, count)` pairs at every non-empty bucket, in
+    /// ascending `le` order — the sparse exposition form.
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                out.push((bucket_max(i), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_range_is_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_max(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotonic() {
+        let mut prev_max = None;
+        for i in 0..BUCKETS {
+            let max = bucket_max(i);
+            if let Some(p) = prev_max {
+                assert!(max > p, "bucket {i} max {max} <= previous {p}");
+                // The first value of this bucket is one past the previous max.
+                assert_eq!(bucket_of(p + 1), i);
+            }
+            assert_eq!(bucket_of(max), i, "max of bucket {i} maps back");
+            prev_max = Some(max);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [17u64, 100, 999, 12_345, 1 << 20, (1 << 30) + 7] {
+            let max = bucket_max(bucket_of(v));
+            assert!(max >= v);
+            assert!((max - v) as f64 / v as f64 <= 1.0 / SUB as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn huge_values_clamp_to_top_bucket() {
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_of(bucket_max(BUCKETS - 1)), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_match_oracle_within_a_bucket() {
+        let h = Histogram::new();
+        let values: Vec<u64> = (0..1000).map(|i| i * 37 % 50_000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        for q in [0.5, 0.95, 0.999] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let oracle = sorted[rank - 1];
+            let got = snap.quantile(q);
+            let diff = bucket_of(got).abs_diff(bucket_of(oracle));
+            assert!(diff <= 1, "q{q}: got {got} oracle {oracle}");
+        }
+    }
+
+    #[test]
+    fn cumulative_is_sparse_and_sums() {
+        let h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(1_000_000);
+        let cum = h.snapshot().cumulative();
+        assert_eq!(cum.len(), 2);
+        assert_eq!(cum[0], (3, 2));
+        assert_eq!(cum[1].1, 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! The live telemetry plane (DESIGN.md §18).
+//!
+//! The trace spine (§11–§13) explains a run *after* it ends; this module
+//! watches the live stack *while* it runs, without slowing it down:
+//!
+//! * [`MetricRegistry`] — build-time registration of [`Counter`]s,
+//!   [`Gauge`]s, polled closures, and [`Histogram`]s whose hot path is an
+//!   index plus a relaxed `fetch_add` on per-thread-sharded,
+//!   cache-line-padded atomics;
+//! * [`Histogram`] — log-bucketed HDR-style latency histograms over fixed
+//!   `AtomicU64` arrays, mergeable across threads, quantiles exact within
+//!   6.25% bucket resolution;
+//! * [`TelemetryServer`] / [`http_get`] — a dependency-free HTTP endpoint
+//!   serving Prometheus text (`/metrics`) and a byte-deterministic JSON
+//!   snapshot (`/json`), plus the matching one-shot client behind
+//!   `faasbatch top`;
+//! * [`FlightRecorder`] — a bounded sharded ring of recent
+//!   [`SimEvent`](crate::events::SimEvent)s that dumps a causally-ordered
+//!   JSONL post-mortem (readable by `faasbatch trace --analyze`) on
+//!   panic, auditor violation, or shutdown;
+//! * [`TelemetrySink`] — a [`TraceSink`](crate::events::TraceSink) that
+//!   folds any event stream into a registry, giving simulated runs the
+//!   same metric families the live layers record directly.
+
+mod expose;
+mod flight;
+mod histogram;
+mod registry;
+mod sink;
+
+pub use expose::{http_get, TelemetryServer};
+pub use flight::FlightRecorder;
+pub use histogram::{bucket_max, bucket_of, Histogram, HistogramSnapshot, BUCKETS, SUB_BITS};
+pub use registry::{Counter, Gauge, MetricRegistry};
+pub use sink::TelemetrySink;

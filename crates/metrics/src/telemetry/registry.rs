@@ -1,0 +1,364 @@
+//! The lock-free live metric registry.
+//!
+//! Instruments are registered once at build time (under a mutex nobody
+//! holds afterwards); the returned handles embed `Arc`s straight to the
+//! sharded atomic cells, so hot-path recording is an index plus a relaxed
+//! `fetch_add` — no name lookup, no lock, no allocation. Snapshots merge
+//! the shards and iterate entries in registration order, which is what
+//! makes rendered exposition byte-deterministic for deterministic inputs.
+
+use super::histogram::Histogram;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Shards per counter/gauge. Each shard is one cache-line-padded atomic;
+/// threads are assigned shards round-robin on first use.
+const SHARDS: usize = 16;
+
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static THREAD_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// This thread's stable shard-selection slot, assigned round-robin on
+/// first use. Shared by every sharded instrument so one thread always
+/// touches the same cells.
+#[inline]
+pub(crate) fn thread_slot() -> usize {
+    THREAD_SLOT.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            s.set(v);
+            v
+        }
+    })
+}
+
+/// One cache line per atomic, so shards never false-share.
+#[repr(align(64))]
+struct PadU64(AtomicU64);
+
+#[repr(align(64))]
+struct PadI64(AtomicI64);
+
+/// A monotonically increasing event count.
+///
+/// Cloning is cheap; clones feed the same cells. `inc`/`add` are
+/// lock-free and allocation-free.
+#[derive(Clone)]
+pub struct Counter {
+    cells: Arc<[PadU64]>,
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.value()).finish()
+    }
+}
+
+impl Counter {
+    /// A fresh, unregistered counter (usually obtained via
+    /// [`MetricRegistry::counter`] instead).
+    pub fn new() -> Self {
+        Counter {
+            cells: (0..SHARDS).map(|_| PadU64(AtomicU64::new(0))).collect(),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cells[thread_slot() % SHARDS]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Merged total across shards.
+    pub fn value(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A signed up/down level (e.g. jobs currently in flight).
+///
+/// Sharded like [`Counter`]; `add` and `sub` from different threads may
+/// land on different shards, but the merged sum is always exact.
+#[derive(Clone)]
+pub struct Gauge {
+    cells: Arc<[PadI64]>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.value()).finish()
+    }
+}
+
+impl Gauge {
+    /// A fresh, unregistered gauge.
+    pub fn new() -> Self {
+        Gauge {
+            cells: (0..SHARDS).map(|_| PadI64(AtomicI64::new(0))).collect(),
+        }
+    }
+
+    /// Raises the level by `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.cells[thread_slot() % SHARDS]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Merged level across shards.
+    pub fn value(&self) -> i64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// What an [`Entry`] measures and how it renders.
+pub(crate) enum Instrument {
+    /// Sharded monotonic count.
+    Counter(Counter),
+    /// Sharded signed level.
+    Gauge(Gauge),
+    /// Counter whose value is polled from a closure at snapshot time —
+    /// how layers that cannot depend on this crate (e.g. `faasbatch-exec`)
+    /// expose their internal counters.
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    /// Gauge polled from a closure at snapshot time.
+    GaugeFn(Box<dyn Fn() -> i64 + Send + Sync>),
+    /// Sharded HDR-style histogram.
+    Histogram(Histogram),
+}
+
+/// One registered metric: family name, help text, label set, instrument.
+pub(crate) struct Entry {
+    pub(crate) name: String,
+    pub(crate) help: String,
+    pub(crate) labels: Vec<(String, String)>,
+    pub(crate) instrument: Instrument,
+}
+
+/// The build-time registry every live layer hangs its instruments on.
+///
+/// Cloning is cheap (an `Arc` bump); clones see the same entries.
+/// Registration locks briefly; recording through the returned handles
+/// never does.
+///
+/// # Examples
+///
+/// ```
+/// use faasbatch_metrics::telemetry::MetricRegistry;
+///
+/// let registry = MetricRegistry::new();
+/// let hits = registry.counter("faasbatch_warm_hits_total", "Warm container hits.");
+/// hits.inc();
+/// assert_eq!(hits.value(), 1);
+/// assert!(registry.render_prometheus().contains("faasbatch_warm_hits_total 1"));
+/// ```
+#[derive(Clone, Default)]
+pub struct MetricRegistry {
+    inner: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl std::fmt::Debug for MetricRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricRegistry")
+            .field("entries", &self.entries().len())
+            .finish()
+    }
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect()
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn entries(&self) -> MutexGuard<'_, Vec<Entry>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn push(&self, name: &str, help: &str, labels: &[(&str, &str)], instrument: Instrument) {
+        self.entries().push(Entry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            labels: owned_labels(labels),
+            instrument,
+        });
+    }
+
+    /// Registers an unlabelled counter and returns its recording handle.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers a labelled counter child (same family name may repeat
+    /// with different label sets).
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let c = Counter::new();
+        self.push(name, help, labels, Instrument::Counter(c.clone()));
+        c
+    }
+
+    /// Registers an unlabelled gauge and returns its recording handle.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers a labelled gauge child.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let g = Gauge::new();
+        self.push(name, help, labels, Instrument::Gauge(g.clone()));
+        g
+    }
+
+    /// Registers a counter whose value is polled from `f` at snapshot
+    /// time. For layers that own their own atomics (the executor's
+    /// per-worker counts) rather than recording through a handle.
+    pub fn counter_fn(&self, name: &str, help: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.counter_fn_with(name, help, &[], f);
+    }
+
+    /// Labelled [`counter_fn`](Self::counter_fn).
+    pub fn counter_fn_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.push(name, help, labels, Instrument::CounterFn(Box::new(f)));
+    }
+
+    /// Registers a gauge polled from `f` at snapshot time (queue depths,
+    /// occupancy — anything already tracked elsewhere).
+    pub fn gauge_fn(&self, name: &str, help: &str, f: impl Fn() -> i64 + Send + Sync + 'static) {
+        self.gauge_fn_with(name, help, &[], f);
+    }
+
+    /// Labelled [`gauge_fn`](Self::gauge_fn).
+    pub fn gauge_fn_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> i64 + Send + Sync + 'static,
+    ) {
+        self.push(name, help, labels, Instrument::GaugeFn(Box::new(f)));
+    }
+
+    /// Registers an unlabelled histogram and returns its recording handle.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers a labelled histogram child.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        let h = Histogram::new();
+        self.push(name, help, labels, Instrument::Histogram(h.clone()));
+        h
+    }
+
+    /// Number of registered metric children.
+    pub fn len(&self) -> usize {
+        self.entries().len()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 80_000);
+    }
+
+    #[test]
+    fn gauges_balance_across_threads() {
+        let g = Gauge::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let g = g.clone();
+                scope.spawn(move || {
+                    for _ in 0..5_000 {
+                        g.add(3);
+                        g.sub(2);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.value(), 4 * 5_000);
+    }
+
+    #[test]
+    fn registration_hands_back_live_handles() {
+        let registry = MetricRegistry::new();
+        let c = registry.counter("faasbatch_test_total", "help");
+        let g = registry.gauge_with("faasbatch_depth", "help", &[("shard", "0")]);
+        registry.gauge_fn("faasbatch_polled", "help", || 42);
+        let h = registry.histogram("faasbatch_lat_us", "help");
+        c.add(7);
+        g.add(-3);
+        h.record(100);
+        assert_eq!(registry.len(), 4);
+        assert_eq!(c.value(), 7);
+        assert_eq!(g.value(), -3);
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! A [`TraceSink`] that folds the typed event stream into a
+//! [`MetricRegistry`].
+//!
+//! Live layers record into registry handles directly; simulated runs
+//! (and replayed JSONL streams) get the same metric families by routing
+//! their stream through this sink. Because registration order and every
+//! folded value are functions of the event stream alone, two identical
+//! runs produce byte-identical [`render_json`](MetricRegistry::render_json)
+//! snapshots — the determinism property pinned in tests.
+
+use super::registry::{Counter, Gauge, MetricRegistry};
+use super::Histogram;
+use crate::events::{EventKind, SimEvent, TraceSink};
+use faasbatch_container::ids::{FunctionId, InvocationId};
+use faasbatch_simcore::time::SimTime;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Folds events into registry counters, gauges, and per-function
+/// end-to-end latency histograms.
+///
+/// # Examples
+///
+/// ```
+/// use faasbatch_container::ids::{FunctionId, InvocationId};
+/// use faasbatch_metrics::events::{EventKind, SimEvent, TraceSink};
+/// use faasbatch_metrics::telemetry::{MetricRegistry, TelemetrySink};
+/// use faasbatch_simcore::time::SimTime;
+///
+/// let registry = MetricRegistry::new();
+/// let mut sink = TelemetrySink::new(registry.clone());
+/// sink.record(&SimEvent::new(
+///     SimTime::from_micros(0),
+///     EventKind::Arrival { invocation: InvocationId::new(0), function: FunctionId::new(0) },
+/// ));
+/// assert!(registry.render_prometheus().contains("faasbatch_arrivals_total 1"));
+/// ```
+pub struct TelemetrySink {
+    registry: MetricRegistry,
+    arrivals: Counter,
+    completions: Counter,
+    cold_starts: Counter,
+    warm_hits: Counter,
+    batches: Counter,
+    rejects: Counter,
+    in_flight: Gauge,
+    batch_size: Histogram,
+    e2e: HashMap<FunctionId, Histogram>,
+    arrived: HashMap<InvocationId, (SimTime, FunctionId)>,
+}
+
+impl std::fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetrySink")
+            .field("arrivals", &self.arrivals.value())
+            .field("completions", &self.completions.value())
+            .finish()
+    }
+}
+
+impl TelemetrySink {
+    /// Registers the stream-derived metric families on `registry` and
+    /// returns the folding sink.
+    pub fn new(registry: MetricRegistry) -> Self {
+        let arrivals = registry.counter("faasbatch_arrivals_total", "Invocations that arrived.");
+        let completions = registry.counter(
+            "faasbatch_completions_total",
+            "Invocations that completed end to end.",
+        );
+        let cold_starts = registry.counter(
+            "faasbatch_cold_starts_total",
+            "Batches dispatched onto a cold container.",
+        );
+        let warm_hits = registry.counter(
+            "faasbatch_warm_hits_total",
+            "Batches dispatched onto a warm container.",
+        );
+        let batches = registry.counter("faasbatch_batches_total", "Dispatch decisions made.");
+        let rejects = registry.counter(
+            "faasbatch_gateway_rejects_total",
+            "Invocations refused by gateway back-pressure.",
+        );
+        let in_flight = registry.gauge(
+            "faasbatch_in_flight",
+            "Invocations arrived but not yet completed or rejected.",
+        );
+        let batch_size = registry.histogram(
+            "faasbatch_batch_size",
+            "Members per dispatch decision (count, not microseconds).",
+        );
+        TelemetrySink {
+            registry,
+            arrivals,
+            completions,
+            cold_starts,
+            warm_hits,
+            batches,
+            rejects,
+            in_flight,
+            batch_size,
+            e2e: HashMap::new(),
+            arrived: HashMap::new(),
+        }
+    }
+
+    /// The registry this sink folds into.
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.registry
+    }
+
+    fn e2e_for(&mut self, function: FunctionId) -> &Histogram {
+        let registry = &self.registry;
+        self.e2e.entry(function).or_insert_with(|| {
+            let mut label = String::new();
+            use std::fmt::Write as _;
+            let _ = write!(label, "{}", function.index());
+            registry.histogram_with(
+                "faasbatch_e2e_latency_us",
+                "End-to-end invocation latency, microseconds.",
+                &[("function", &label)],
+            )
+        })
+    }
+}
+
+impl TraceSink for TelemetrySink {
+    fn record(&mut self, event: &SimEvent) {
+        match &event.kind {
+            EventKind::Arrival {
+                invocation,
+                function,
+            } => {
+                self.arrivals.inc();
+                self.in_flight.add(1);
+                self.arrived.insert(*invocation, (event.at, *function));
+            }
+            EventKind::DispatchDecision { cold, members, .. } => {
+                self.batches.inc();
+                self.batch_size.record(members.len() as u64);
+                if *cold {
+                    self.cold_starts.inc();
+                } else {
+                    self.warm_hits.inc();
+                }
+            }
+            EventKind::GatewayReject { invocation, .. } => {
+                self.rejects.inc();
+                if self.arrived.remove(invocation).is_some() {
+                    self.in_flight.sub(1);
+                }
+            }
+            EventKind::InvocationComplete { invocation, .. } => {
+                self.completions.inc();
+                if let Some((at, function)) = self.arrived.remove(invocation) {
+                    self.in_flight.sub(1);
+                    let e2e = event.at.saturating_duration_since(at).as_micros();
+                    self.e2e_for(function).record(e2e);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, kind: EventKind) -> SimEvent {
+        SimEvent::new(SimTime::from_micros(at), kind)
+    }
+
+    #[test]
+    fn folds_arrivals_completions_and_latency() {
+        let registry = MetricRegistry::new();
+        let mut sink = TelemetrySink::new(registry.clone());
+        let inv = InvocationId::new(0);
+        let f = FunctionId::new(2);
+        sink.record(&ev(
+            100,
+            EventKind::Arrival {
+                invocation: inv,
+                function: f,
+            },
+        ));
+        sink.record(&ev(
+            900,
+            EventKind::InvocationComplete {
+                invocation: inv,
+                batch: Some(0),
+                member: Some(0),
+            },
+        ));
+        let text = registry.render_prometheus();
+        assert!(text.contains("faasbatch_arrivals_total 1"));
+        assert!(text.contains("faasbatch_completions_total 1"));
+        assert!(text.contains("faasbatch_in_flight 0"));
+        assert!(text.contains("faasbatch_e2e_latency_us_count{function=\"2\"} 1"));
+    }
+
+    #[test]
+    fn rejects_release_in_flight() {
+        let registry = MetricRegistry::new();
+        let mut sink = TelemetrySink::new(registry.clone());
+        let inv = InvocationId::new(7);
+        sink.record(&ev(
+            0,
+            EventKind::Arrival {
+                invocation: inv,
+                function: FunctionId::new(0),
+            },
+        ));
+        sink.record(&ev(
+            5,
+            EventKind::GatewayReject {
+                invocation: inv,
+                shard: 0,
+                depth: 8,
+            },
+        ));
+        let text = registry.render_prometheus();
+        assert!(text.contains("faasbatch_gateway_rejects_total 1"));
+        assert!(text.contains("faasbatch_in_flight 0"));
+    }
+}

@@ -11,6 +11,8 @@
 //! faasbatch trace-diff A.jsonl B.jsonl [--top K] [--json FILE]
 //! faasbatch live     [--jobs N] [--batch-size N] [--workers N]
 //!                    [--backend executor|thread-per-job] [--out FILE]
+//!                    [--metrics-addr HOST:PORT] [--flight-record FILE]
+//! faasbatch top      [--addr HOST:PORT]
 //! faasbatch figures
 //! faasbatch help
 //! ```
@@ -65,9 +67,12 @@ USAGE:
     faasbatch live     [--jobs N] [--batch-size N] [--workers N] [--seed N]
                        [--backend executor|thread-per-job] [--window-ms N]
                        [--cold-ms N] [--work-us N] [--audit] [--out FILE]
+                       [--metrics-addr HOST:PORT] [--serve-ms N]
+                       [--flight-record FILE] [--flight-capacity N]
                        [--gateway [--shards N] [--shard-depth N]
                        [--policy round-robin|least-loaded|
                        warm-affinity|pull-based]]
+    faasbatch top      [--addr HOST:PORT]
     faasbatch figures
     faasbatch help
 
@@ -98,7 +103,14 @@ COMMANDS:
                dispatch-window group as a unit across --workers N live
                worker platforms (default 8) from --shards N ingress shards
                under the chosen routing policy, with per-shard admission
-               control (saturated shards reject instead of buffering)
+               control (saturated shards reject instead of buffering);
+               --metrics-addr serves live Prometheus text on /metrics and a
+               JSON snapshot on /json (--serve-ms holds the endpoint open
+               after the burst), --flight-record FILE keeps a bounded ring
+               of recent events and dumps it as JSONL on panic or shutdown
+               (readable by `faasbatch trace --analyze`)
+    top        one-shot renderer over a running live endpoint's /json
+               snapshot: counters, gauges, and histogram quantiles
     figures    list the per-figure regeneration binaries
 
 Workloads exported with `workload --export` replay bit-identically via
@@ -716,6 +728,226 @@ fn cmd_autoscale(opts: &Options) -> Result<(), String> {
     }
 }
 
+/// Live-telemetry wiring shared by `live` and `live --gateway`:
+/// `--metrics-addr` binds the exposition endpoint, `--serve-ms` holds it
+/// open after the burst, `--flight-record` keeps a bounded event ring that
+/// dumps JSONL on panic (hook) or clean shutdown ([`LiveTelemetry::finish`]).
+struct LiveTelemetry {
+    registry: Option<faasbatch::metrics::MetricRegistry>,
+    server: Option<faasbatch::metrics::TelemetryServer>,
+    flight: Option<(faasbatch::metrics::FlightRecorder, String)>,
+    serve_ms: u64,
+}
+
+impl LiveTelemetry {
+    fn from_opts(opts: &Options) -> Result<LiveTelemetry, String> {
+        let serve_ms: u64 = opts.num("--serve-ms", 0)?;
+        let capacity: usize = opts.num("--flight-capacity", 262_144)?;
+        let flight = opts.values.get("--flight-record").map(|path| {
+            let recorder = faasbatch::metrics::FlightRecorder::new(capacity);
+            recorder.install_panic_hook(std::path::PathBuf::from(path));
+            (recorder, path.clone())
+        });
+        let registry = opts
+            .values
+            .contains_key("--metrics-addr")
+            .then(faasbatch::metrics::MetricRegistry::default);
+        let server = match (opts.values.get("--metrics-addr"), &registry) {
+            (Some(addr), Some(registry)) => {
+                let server = faasbatch::metrics::TelemetryServer::bind(addr, registry.clone())
+                    .map_err(|e| format!("cannot bind metrics endpoint {addr}: {e}"))?;
+                println!(
+                    "serving metrics on http://{}/metrics (JSON snapshot on /json)",
+                    server.local_addr()
+                );
+                Some(server)
+            }
+            _ => None,
+        };
+        Ok(LiveTelemetry {
+            registry,
+            server,
+            flight,
+            serve_ms,
+        })
+    }
+
+    /// Flight recording needs the typed event stream, so it forces tracing
+    /// on even without `--audit`/`--out`.
+    fn wants_trace(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    /// The run's trace recorder, mirroring into the flight ring when one
+    /// was requested.
+    fn recorder(&self) -> faasbatch::metrics::live::LiveTraceRecorder {
+        match &self.flight {
+            Some((flight, _)) => {
+                faasbatch::metrics::live::LiveTraceRecorder::with_flight(flight.clone())
+            }
+            None => faasbatch::metrics::live::LiveTraceRecorder::new(),
+        }
+    }
+
+    /// Post-run epilogue: hold the endpoint open for `--serve-ms`, then
+    /// write the flight ring's post-mortem and shut the server down.
+    fn finish(self) -> Result<(), String> {
+        if self.serve_ms > 0 && self.server.is_some() {
+            println!(
+                "holding the metrics endpoint open for {} ms…",
+                self.serve_ms
+            );
+            std::thread::sleep(std::time::Duration::from_millis(self.serve_ms));
+        }
+        if let Some((flight, path)) = &self.flight {
+            let n = flight
+                .dump_to_path(std::path::Path::new(path))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!(
+                "flight recorder: wrote {n} events to {path} ({} dropped from the ring)",
+                flight.dropped()
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Smallest bucket bound `le` whose cumulative count reaches the
+/// nearest-rank target for `q` — mirrors the histogram's own quantile.
+fn cumulative_quantile(buckets: &[(u64, u64)], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    for &(le, cum) in buckets {
+        if cum >= target {
+            return le;
+        }
+    }
+    buckets.last().map_or(0, |&(le, _)| le)
+}
+
+/// `faasbatch top`: one-shot snapshot of a running live endpoint.
+fn cmd_top(opts: &Options) -> Result<(), String> {
+    let addr = opts.str("--addr", "127.0.0.1:9100");
+    let body = faasbatch::metrics::telemetry::http_get(addr.as_str(), "/json")
+        .map_err(|e| format!("cannot scrape {addr}: {e}"))?;
+    print!("{}", render_top(&body)?);
+    Ok(())
+}
+
+/// Object-field lookup on the shim [`serde::Value`] tree.
+fn json_field<'a>(value: &'a serde::Value, name: &str) -> Option<&'a serde::Value> {
+    match value {
+        serde::Value::Map(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn json_u64(value: &serde::Value) -> Option<u64> {
+    match value {
+        serde::Value::U64(n) => Some(*n),
+        serde::Value::I64(n) => u64::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+fn json_number_display(value: &serde::Value) -> Option<String> {
+    match value {
+        serde::Value::U64(n) => Some(n.to_string()),
+        serde::Value::I64(n) => Some(n.to_string()),
+        serde::Value::F64(n) => Some(n.to_string()),
+        _ => None,
+    }
+}
+
+/// Renders a `/json` snapshot as a table: counters and gauges with their
+/// value, histograms with count, mean, and quantiles (bucket upper bounds,
+/// so values carry the histogram's ≤6.25% resolution).
+fn render_top(json: &str) -> Result<String, String> {
+    let value: serde::Value =
+        serde_json::from_str(json).map_err(|e| format!("invalid /json payload: {e}"))?;
+    let Some(serde::Value::Seq(metrics)) = json_field(&value, "metrics") else {
+        return Err("malformed /json payload: no `metrics` array".to_owned());
+    };
+    let mut rows = Vec::with_capacity(metrics.len());
+    for metric in metrics {
+        let mut name = match json_field(metric, "name") {
+            Some(serde::Value::Str(s)) => s.clone(),
+            _ => "?".to_owned(),
+        };
+        if let Some(serde::Value::Map(labels)) = json_field(metric, "labels") {
+            if !labels.is_empty() {
+                let rendered: Vec<String> = labels
+                    .iter()
+                    .map(|(k, v)| match v {
+                        serde::Value::Str(s) => format!("{k}={s}"),
+                        _ => format!("{k}=?"),
+                    })
+                    .collect();
+                name = format!("{name}{{{}}}", rendered.join(","));
+            }
+        }
+        let kind = match json_field(metric, "type") {
+            Some(serde::Value::Str(s)) => s.clone(),
+            _ => "?".to_owned(),
+        };
+        if kind == "histogram" {
+            let count = json_field(metric, "count").and_then(json_u64).unwrap_or(0);
+            let sum = json_field(metric, "sum").and_then(json_u64).unwrap_or(0);
+            let mut buckets: Vec<(u64, u64)> = Vec::new();
+            if let Some(serde::Value::Seq(pairs)) = json_field(metric, "buckets") {
+                for pair in pairs {
+                    if let serde::Value::Seq(pair) = pair {
+                        if let (Some(le), Some(cum)) = (
+                            pair.first().and_then(json_u64),
+                            pair.get(1).and_then(json_u64),
+                        ) {
+                            buckets.push((le, cum));
+                        }
+                    }
+                }
+            }
+            let mean = sum.checked_div(count).unwrap_or(0);
+            rows.push(vec![
+                name,
+                kind,
+                count.to_string(),
+                mean.to_string(),
+                cumulative_quantile(&buckets, count, 0.50).to_string(),
+                cumulative_quantile(&buckets, count, 0.95).to_string(),
+                cumulative_quantile(&buckets, count, 0.999).to_string(),
+            ]);
+        } else {
+            let shown = json_field(metric, "value")
+                .and_then(json_number_display)
+                .unwrap_or_else(|| "?".to_owned());
+            let dash = "-".to_owned();
+            rows.push(vec![
+                name,
+                kind,
+                shown,
+                dash.clone(),
+                dash.clone(),
+                dash.clone(),
+                dash,
+            ]);
+        }
+    }
+    Ok(text_table(
+        &[
+            "metric",
+            "type",
+            "value/count",
+            "mean",
+            "p50",
+            "p95",
+            "p99.9",
+        ],
+        &rows,
+    ))
+}
+
 /// Nearest-rank quantile over an already-sorted latency vector.
 fn quantile_sorted(sorted: &[std::time::Duration], q: f64) -> std::time::Duration {
     if sorted.is_empty() {
@@ -771,7 +1003,6 @@ fn audit_and_export(
 
 fn cmd_live_gateway(opts: &Options) -> Result<(), String> {
     use faasbatch::gateway::{Gateway, GatewayError};
-    use faasbatch::metrics::live::LiveTraceRecorder;
 
     let jobs: usize = opts.num("--jobs", 20_000)?;
     let batch_size: usize = opts.num("--batch-size", 100)?;
@@ -787,8 +1018,10 @@ fn cmd_live_gateway(opts: &Options) -> Result<(), String> {
         return Err("--jobs and --batch-size must be at least 1".to_owned());
     }
     let functions = jobs.div_ceil(batch_size);
-    let trace = opts.flag("--audit") || opts.values.contains_key("--out");
-    let recorder = trace.then(LiveTraceRecorder::new);
+    let telemetry = LiveTelemetry::from_opts(opts)?;
+    let trace =
+        opts.flag("--audit") || opts.values.contains_key("--out") || telemetry.wants_trace();
+    let recorder = trace.then(|| telemetry.recorder());
 
     let mut builder = Gateway::builder()
         .workers(workers)
@@ -799,6 +1032,9 @@ fn cmd_live_gateway(opts: &Options) -> Result<(), String> {
         .policy(policy);
     if let Some(rec) = &recorder {
         builder = builder.trace(rec.clone());
+    }
+    if let Some(registry) = &telemetry.registry {
+        builder = builder.telemetry(registry);
     }
     for f in 0..functions {
         builder = builder.register(&format!("burst-{f}"), move |_env| {
@@ -860,6 +1096,7 @@ fn cmd_live_gateway(opts: &Options) -> Result<(), String> {
     }
 
     drop(gateway);
+    telemetry.finish()?;
     match recorder {
         Some(recorder) => audit_and_export(recorder, opts),
         None => Ok(()),
@@ -870,7 +1107,6 @@ fn cmd_live(opts: &Options) -> Result<(), String> {
     use faasbatch::container::live::LiveBackend;
     use faasbatch::core::platform::PlatformBuilder;
     use faasbatch::exec::{Executor, ExecutorConfig};
-    use faasbatch::metrics::live::LiveTraceRecorder;
 
     if opts.flag("--gateway") {
         return cmd_live_gateway(opts);
@@ -896,7 +1132,9 @@ fn cmd_live(opts: &Options) -> Result<(), String> {
         return Err("--jobs and --batch-size must be at least 1".to_owned());
     }
     let functions = jobs.div_ceil(batch_size);
-    let trace = opts.flag("--audit") || opts.values.contains_key("--out");
+    let telemetry = LiveTelemetry::from_opts(opts)?;
+    let trace =
+        opts.flag("--audit") || opts.values.contains_key("--out") || telemetry.wants_trace();
 
     let mut exec_config = ExecutorConfig {
         seed,
@@ -906,7 +1144,7 @@ fn cmd_live(opts: &Options) -> Result<(), String> {
         exec_config.workers = workers;
     }
     let executor = Executor::new(exec_config);
-    let recorder = trace.then(LiveTraceRecorder::new);
+    let recorder = trace.then(|| telemetry.recorder());
     let mut builder = PlatformBuilder::new()
         .window(window)
         .cold_start_delay(cold)
@@ -914,6 +1152,10 @@ fn cmd_live(opts: &Options) -> Result<(), String> {
         .executor(std::sync::Arc::clone(&executor));
     if let Some(rec) = &recorder {
         builder = builder.trace(rec.clone());
+    }
+    if let Some(registry) = &telemetry.registry {
+        builder = builder.telemetry(faasbatch::core::telemetry::PlatformTelemetry::new(registry));
+        faasbatch::core::telemetry::register_executor(registry, &executor);
     }
     for f in 0..functions {
         builder = builder.register(&format!("burst-{f}"), move |_env| {
@@ -976,6 +1218,7 @@ fn cmd_live(opts: &Options) -> Result<(), String> {
     }
 
     drop(platform);
+    telemetry.finish()?;
     match recorder {
         Some(recorder) => audit_and_export(recorder, opts),
         None => Ok(()),
@@ -1054,6 +1297,7 @@ fn main() -> ExitCode {
         }
         "autoscale" => Options::parse(rest).and_then(|o| cmd_autoscale(&o)),
         "live" => Options::parse(rest).and_then(|o| cmd_live(&o)),
+        "top" => Options::parse(rest).and_then(|o| cmd_top(&o)),
         "figures" => {
             cmd_figures();
             Ok(())
@@ -1140,6 +1384,34 @@ mod tests {
         let one = [Duration::from_millis(7)];
         assert_eq!(quantile_sorted(&one, 0.01), one[0]);
         assert_eq!(quantile_sorted(&one, 1.0), one[0]);
+    }
+
+    #[test]
+    fn cumulative_quantile_walks_the_sparse_buckets() {
+        let buckets = [(10, 50), (100, 90), (1000, 100)];
+        assert_eq!(cumulative_quantile(&buckets, 100, 0.50), 10);
+        assert_eq!(cumulative_quantile(&buckets, 100, 0.90), 100);
+        assert_eq!(cumulative_quantile(&buckets, 100, 0.999), 1000);
+        assert_eq!(cumulative_quantile(&buckets, 0, 0.5), 0);
+        assert_eq!(cumulative_quantile(&[], 5, 0.5), 0);
+    }
+
+    #[test]
+    fn render_top_formats_counters_and_histograms() {
+        let registry = faasbatch::metrics::MetricRegistry::default();
+        registry
+            .counter("faasbatch_demo_total", "demo counter")
+            .add(7);
+        let hist = registry.histogram("faasbatch_demo_latency_us", "demo latency");
+        for v in [10u64, 20, 30, 4000] {
+            hist.record(v);
+        }
+        let table = render_top(&registry.render_json()).unwrap();
+        assert!(table.contains("faasbatch_demo_total"));
+        assert!(table.contains("counter"));
+        assert!(table.contains("histogram"));
+        assert!(render_top("not json").is_err());
+        assert!(render_top("{\"nope\":1}").is_err());
     }
 
     #[test]
