@@ -1,0 +1,197 @@
+//! Ablation — snapshot cache size × restore cost across six schedulers.
+//!
+//! Sweeps the snapshot-restore tier of DESIGN.md §19 over the paper's CPU
+//! workload: cache capacity (0 = tier disabled, the pre-0.9 baseline),
+//! restore pricing (fast/default/slow [`RestoreModel`] bands), and the two
+//! eviction policies. Every sweep point runs all six schedulers under the
+//! same short static keep-alive (2 s, from
+//! [`snapshot_ablation_setup`]), so the warm pool churns and the cache has
+//! cold starts to absorb — exactly the regime the snapshot tier targets.
+//!
+//! `--quick` runs a trimmed workload over a three-point sweep and prints
+//! the table without touching `results/` (the CI smoke mode); the full run
+//! also writes `results/ablation_snapshot.json`.
+
+use faasbatch_bench::{
+    paper_cpu_workload, snapshot_ablation, snapshot_ablation_setup, DEFAULT_WINDOW,
+};
+use faasbatch_container::snapshot::{EvictionPolicy, SnapshotConfig};
+use faasbatch_container::spec::RestoreModel;
+use faasbatch_metrics::report::text_table;
+use faasbatch_simcore::rng::DetRng;
+use faasbatch_simcore::time::SimDuration;
+use faasbatch_trace::workload::{cpu_workload, Workload, WorkloadConfig};
+use serde::Value;
+
+/// One sweep point: a display label plus the cache config it installs.
+struct SweepPoint {
+    label: String,
+    snapshot: SnapshotConfig,
+}
+
+/// A named restore-pricing band.
+fn model(name: &str) -> (String, RestoreModel) {
+    let m = match name {
+        "fast" => RestoreModel::from_millis_f64(5.0, 20.0, 0.01),
+        "default" => Ok(RestoreModel::default()),
+        "slow" => RestoreModel::from_millis_f64(50.0, 200.0, 0.10),
+        other => panic!("unknown restore band: {other}"),
+    }
+    .expect("sweep bands are valid by construction");
+    (name.to_owned(), m)
+}
+
+fn point(capacity: usize, eviction: EvictionPolicy, band: &str) -> SweepPoint {
+    let (band_name, model) = model(band);
+    let label = if capacity == 0 {
+        "off".to_owned()
+    } else {
+        format!("cap{capacity}/{}/{band_name}", eviction.name())
+    };
+    SweepPoint {
+        label,
+        snapshot: SnapshotConfig {
+            capacity,
+            eviction,
+            model,
+        },
+    }
+}
+
+/// The full grid: the disabled baseline once, capacity × restore band under
+/// LRU, and the eviction-policy comparison on the default band.
+fn full_sweep() -> Vec<SweepPoint> {
+    let mut points = vec![point(0, EvictionPolicy::Lru, "default")];
+    for band in ["fast", "default", "slow"] {
+        for capacity in [2, 4, 8] {
+            points.push(point(capacity, EvictionPolicy::Lru, band));
+        }
+    }
+    for capacity in [2, 4, 8] {
+        points.push(point(capacity, EvictionPolicy::CostAware, "default"));
+    }
+    points
+}
+
+/// The CI smoke grid: baseline, one LRU point, one cost-aware point.
+fn quick_sweep() -> Vec<SweepPoint> {
+    vec![
+        point(0, EvictionPolicy::Lru, "default"),
+        point(4, EvictionPolicy::Lru, "default"),
+        point(4, EvictionPolicy::CostAware, "default"),
+    ]
+}
+
+/// Table rows for one sweep point — vanilla and faasbatch only (the JSON
+/// keeps all six schedulers; two rows keep the printed table readable).
+fn rows_for(point: &SweepPoint, summary: &Value) -> Vec<Vec<String>> {
+    let Value::Map(schedulers) = summary
+        .get_field("schedulers")
+        .expect("summary has schedulers")
+    else {
+        panic!("schedulers is an object");
+    };
+    let fetch = |row: &Value, key: &str| -> String {
+        match row.get_field(key).expect("row field") {
+            Value::U64(n) => n.to_string(),
+            Value::F64(f) => format!("{f:.1}"),
+            other => format!("{other:?}"),
+        }
+    };
+    let us = |row: &Value, key: &str| -> String {
+        match row.get_field(key).expect("latency field") {
+            Value::U64(n) => format!("{}", SimDuration::from_micros(*n)),
+            other => format!("{other:?}"),
+        }
+    };
+    schedulers
+        .iter()
+        .filter(|(name, _)| name == "vanilla" || name == "faasbatch")
+        .map(|(name, row)| {
+            let cache = row.get_field("cache").expect("cache counters");
+            vec![
+                point.label.clone(),
+                name.clone(),
+                format!("{}%", fetch(row, "cold_pct")),
+                format!("{}%", fetch(row, "restored_pct")),
+                us(row, "e2e_p50_us"),
+                us(row, "e2e_p99_us"),
+                fetch(cache, "hits"),
+                fetch(cache, "evictions"),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let base = snapshot_ablation_setup();
+    println!("Ablation — snapshot cache capacity x restore cost, six schedulers\n");
+
+    let workload: Workload = if quick {
+        cpu_workload(
+            &DetRng::new(7),
+            &WorkloadConfig {
+                total: 80,
+                span: SimDuration::from_secs(10),
+                functions: 4,
+                bursts: 3,
+                ..WorkloadConfig::default()
+            },
+        )
+    } else {
+        paper_cpu_workload()
+    };
+    let points = if quick { quick_sweep() } else { full_sweep() };
+
+    let mut rows = Vec::new();
+    let mut combined: Vec<Value> = Vec::new();
+    for point in &points {
+        let summary = snapshot_ablation(&workload, "cpu", DEFAULT_WINDOW, &base, &point.snapshot);
+        rows.extend(rows_for(point, &summary));
+        combined.push(summary);
+    }
+
+    println!(
+        "{}",
+        text_table(
+            &[
+                "cache",
+                "scheduler",
+                "cold%",
+                "restored%",
+                "e2e p50",
+                "e2e p99",
+                "hits",
+                "evictions",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "Static keep-alive is {}, so warm containers churn between bursts;",
+        base.keep_alive
+    );
+    println!("with the cache off every churned start pays the full boot, while each");
+    println!("enabled point converts re-boots into snapshot restores. Larger caches");
+    println!("and cheaper restore bands shift more cold mass into the restore tier;");
+    println!("cost-aware eviction protects the heaviest boots when slots run out.");
+
+    if quick {
+        println!("\n--quick: results/ left untouched.");
+        return;
+    }
+    let value = Value::Seq(combined);
+    if std::fs::create_dir_all("results").is_ok() {
+        match serde_json::to_string_pretty(&value) {
+            Ok(json) => {
+                let path = "results/ablation_snapshot.json";
+                match std::fs::write(path, json + "\n") {
+                    Ok(()) => println!("\nwrote {path}"),
+                    Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+                }
+            }
+            Err(e) => eprintln!("\nfailed to serialize summary: {e}"),
+        }
+    }
+}

@@ -3,15 +3,25 @@
 //!
 //! Regenerates the headline comparison across all six schedulers
 //! (Vanilla/SFS/Kraken/Hiku/core-late-bind/FaaSBatch) on both canonical
-//! workloads, attributes every invocation's latency to the ten phases of
-//! DESIGN.md §13, prints per-scheduler breakdowns plus the
+//! workloads, attributes every invocation's latency to the eleven phases of
+//! DESIGN.md §13/§19, prints per-scheduler breakdowns plus the
 //! Vanilla-vs-FaaSBatch trace diff, and commits the text report to
 //! `results/headline_attribution.txt` and a compact per-scheduler
 //! mean-phase JSON to `results/headline_attribution.json`.
+//!
+//! A final section re-runs the CPU workload with the snapshot tier enabled
+//! (short keep-alive so the pool churns, then a capacity-8 cache): the
+//! cold-start phase mass visibly moves into the restore phase, which is the
+//! headline claim of the snapshot tier.
 
-use faasbatch_bench::{paper_cpu_workload, paper_io_workload, run_six_traced, DEFAULT_WINDOW};
+use faasbatch_bench::{
+    paper_cpu_workload, paper_io_workload, run_six_traced, run_six_traced_cfg,
+    snapshot_ablation_setup, DEFAULT_WINDOW,
+};
+use faasbatch_container::snapshot::SnapshotConfig;
 use faasbatch_metrics::analysis::{diff_reports, AttributionEngine, AttributionReport, Phase};
 use faasbatch_metrics::events::SimEvent;
+use faasbatch_schedulers::config::SimConfig;
 use serde::Value;
 use std::fmt::Write as _;
 
@@ -93,6 +103,74 @@ fn main() {
             ]),
         ));
     }
+
+    // DESIGN.md §19: the snapshot tier moves cold-start mass into the
+    // restore phase. Re-run the CPU workload under a churn-inducing 2 s
+    // keep-alive, with the tier off and with a capacity-8 cache, and show
+    // the per-scheduler mean cold-start/restore phases side by side.
+    let base = snapshot_ablation_setup();
+    let snap = SimConfig {
+        snapshot: SnapshotConfig::with_capacity(8),
+        ..base.clone()
+    };
+    let cpu = paper_cpu_workload();
+    let (off_reports, off_streams) = run_six_traced_cfg(&cpu, "cpu-churn", DEFAULT_WINDOW, &base);
+    let (on_reports, on_streams) = run_six_traced_cfg(&cpu, "cpu-snap", DEFAULT_WINDOW, &snap);
+    let _ = writeln!(
+        text,
+        "=== snapshot tier (cpu workload, 2s keep-alive, cache off vs capacity 8) ===\n"
+    );
+    let mut snap_json: Vec<(String, Value)> = Vec::new();
+    for i in 0..6 {
+        let off = attribute(&off_streams[i]).mean_phases();
+        let on = attribute(&on_streams[i]).mean_phases();
+        let (cold_off, cold_on) = (off.get(Phase::ColdStart), on.get(Phase::ColdStart));
+        let (restore_off, restore_on) = (off.get(Phase::Restore), on.get(Phase::Restore));
+        assert!(
+            restore_off.is_zero(),
+            "restore phase must be empty with the tier disabled"
+        );
+        assert!(
+            on_reports[i].restored_starts > 0 && !restore_on.is_zero(),
+            "the capacity-8 cache must serve restores under a churning pool"
+        );
+        assert!(
+            cold_on < cold_off,
+            "restores must drain mean cold-start mass"
+        );
+        let _ = writeln!(
+            text,
+            "{:>16}: mean cold-start {} -> {}, mean restore {} -> {} ({} restored starts)",
+            off_reports[i].scheduler,
+            cold_off,
+            cold_on,
+            restore_off,
+            restore_on,
+            on_reports[i].restored_starts,
+        );
+        snap_json.push((
+            off_reports[i].scheduler.clone(),
+            Value::Map(vec![
+                ("cold_us_off".to_owned(), Value::U64(cold_off.as_micros())),
+                ("cold_us_on".to_owned(), Value::U64(cold_on.as_micros())),
+                (
+                    "restore_us_on".to_owned(),
+                    Value::U64(restore_on.as_micros()),
+                ),
+                (
+                    "restored_starts".to_owned(),
+                    Value::U64(on_reports[i].restored_starts),
+                ),
+            ]),
+        ));
+    }
+    let _ = writeln!(
+        text,
+        "\nWith the cache on, every scheduler trades full re-boots for restores:\n\
+         the cold-start phase shrinks and the (much smaller) restore phase\n\
+         absorbs the difference, invocation by invocation, summing exactly."
+    );
+    json.push(("snapshot_tier_cpu".to_owned(), Value::Map(snap_json)));
 
     print!("{text}");
     if std::fs::create_dir_all("results").is_ok() {

@@ -144,7 +144,20 @@ pub fn run_six_traced(
     [RunReport; 6],
     [Vec<faasbatch_metrics::events::SimEvent>; 6],
 ) {
-    let cfg = SimConfig::default();
+    run_six_traced_cfg(workload, label, window, &SimConfig::default())
+}
+
+/// [`run_six_traced`] with an explicit simulation config (the snapshot
+/// harnesses enable the restore tier, so they cannot use the default).
+pub fn run_six_traced_cfg(
+    workload: &Workload,
+    label: &str,
+    window: SimDuration,
+    cfg: &SimConfig,
+) -> (
+    [RunReport; 6],
+    [Vec<faasbatch_metrics::events::SimEvent>; 6],
+) {
     let (vanilla, s0) = run_simulation_traced(
         Box::new(Vanilla::new()),
         workload,
@@ -452,6 +465,95 @@ pub fn autoscaler_ablation(
     ])
 }
 
+/// The static simulation config used by the `ablation_snapshot` harness and
+/// the snapshot integration tests: the default worker with the autoscaler
+/// ablation's short 2 s keep-alive, so warm containers churn out of the pool
+/// between bursts and the restore tier has cold starts to absorb. The
+/// snapshot cache itself is left disabled — each sweep point installs its
+/// own [`SnapshotConfig`].
+pub fn snapshot_ablation_setup() -> SimConfig {
+    SimConfig {
+        keep_alive: SimDuration::from_secs(2),
+        ..SimConfig::default()
+    }
+}
+
+/// One scheduler's row of the snapshot ablation: the warm/restore/cold
+/// split, end-to-end latency, and the cache's lifetime counters.
+fn snapshot_row(r: &RunReport) -> Value {
+    let total = r.records.len().max(1) as f64;
+    let pct = |n: f64| Value::F64((n * 1000.0).round() / 10.0);
+    obj(vec![
+        ("cold_pct", pct(r.cold_fraction())),
+        ("restored_pct", pct(r.restored_starts as f64 / total)),
+        ("restored_starts", Value::U64(r.restored_starts)),
+        ("containers", Value::U64(r.provisioned_containers)),
+        (
+            "e2e_p50_us",
+            Value::U64(r.end_to_end_cdf().quantile(0.5).as_micros()),
+        ),
+        (
+            "e2e_p99_us",
+            Value::U64(r.end_to_end_cdf().quantile(0.99).as_micros()),
+        ),
+        (
+            "cache",
+            obj(vec![
+                ("hits", Value::U64(r.snapshot_stats.hits)),
+                ("misses", Value::U64(r.snapshot_stats.misses)),
+                ("evictions", Value::U64(r.snapshot_stats.evictions)),
+                ("captures", Value::U64(r.snapshot_stats.captures)),
+            ]),
+        ),
+    ])
+}
+
+/// One snapshot-tier sweep point: all six schedulers on `workload` under
+/// `base` with the given cache configuration installed.
+///
+/// Returns the JSON object the `ablation_snapshot` bin collects into
+/// `results/ablation_snapshot.json`: the sweep coordinates (capacity,
+/// eviction policy, restore band) plus a per-scheduler row with the
+/// warm/restore/cold split and cache counters. Deterministic for fixed
+/// inputs — every map is built in a fixed key order.
+pub fn snapshot_ablation(
+    workload: &Workload,
+    label: &str,
+    window: SimDuration,
+    base: &SimConfig,
+    snapshot: &faasbatch_container::snapshot::SnapshotConfig,
+) -> Value {
+    let cfg = SimConfig {
+        snapshot: snapshot.clone(),
+        ..base.clone()
+    };
+    let reports = run_six_cfg(workload, label, window, &cfg);
+    let schedulers = Value::Map(
+        reports
+            .iter()
+            .map(|r| (r.scheduler.clone(), snapshot_row(r)))
+            .collect(),
+    );
+    obj(vec![
+        ("workload", Value::Str(label.to_owned())),
+        ("invocations", Value::U64(workload.len() as u64)),
+        ("window_us", Value::U64(window.as_micros())),
+        ("keep_alive_us", Value::U64(cfg.keep_alive.as_micros())),
+        ("capacity", Value::U64(snapshot.capacity as u64)),
+        ("eviction", Value::Str(snapshot.eviction.name().to_owned())),
+        (
+            "restore_min_us",
+            Value::U64(snapshot.model.min_latency().as_micros()),
+        ),
+        (
+            "restore_max_us",
+            Value::U64(snapshot.model.max_latency().as_micros()),
+        ),
+        ("boot_fraction", Value::F64(snapshot.model.boot_fraction())),
+        ("schedulers", schedulers),
+    ])
+}
+
 /// Renders the standard per-scheduler resource/latency summary table.
 pub fn summary_table(reports: &[RunReport]) -> String {
     let headers = [
@@ -585,6 +687,41 @@ mod tests {
         assert_eq!(four[1], reports[1]);
         assert_eq!(four[2], reports[2]);
         assert_eq!(four[3], reports[5]);
+    }
+
+    #[test]
+    fn snapshot_ablation_reports_restores_for_every_scheduler_row() {
+        let w = cpu_workload(
+            &DetRng::new(5),
+            &WorkloadConfig {
+                total: 60,
+                span: SimDuration::from_secs(10),
+                functions: 3,
+                bursts: 3,
+                ..WorkloadConfig::default()
+            },
+        );
+        let base = snapshot_ablation_setup();
+        let snapshot = faasbatch_container::snapshot::SnapshotConfig::with_capacity(4);
+        let point = snapshot_ablation(&w, "cpu", DEFAULT_WINDOW, &base, &snapshot);
+        assert_eq!(point.get_field("capacity").unwrap(), &Value::U64(4));
+        let Value::Map(schedulers) = point.get_field("schedulers").unwrap() else {
+            panic!("schedulers is an object");
+        };
+        assert_eq!(schedulers.len(), 6);
+        for (name, row) in schedulers {
+            let Value::U64(restored) = row.get_field("restored_starts").unwrap() else {
+                panic!("restored_starts is a count");
+            };
+            let cache = row.get_field("cache").unwrap();
+            let Value::U64(hits) = cache.get_field("hits").unwrap() else {
+                panic!("hits is a count");
+            };
+            assert_eq!(restored, hits, "{name}: one cache hit per restored start");
+            if name == "vanilla" {
+                assert!(*restored > 0, "vanilla churns enough to restore");
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::container::{Container, ContainerState};
 use crate::ids::{ContainerId, FunctionId};
 use crate::pool::WarmPool;
+use crate::snapshot::{SnapshotCache, SnapshotConfig, SnapshotStats};
 use crate::spec::{ColdStartModel, ContainerSpec};
 use faasbatch_simcore::cpu::{CpuGroupId, CpuModel, CpuTaskId};
 use faasbatch_simcore::memory::MemoryLedger;
@@ -18,7 +19,8 @@ use faasbatch_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// Outcome of asking the cluster for a container.
+/// Outcome of asking the cluster for a container — the three-tier start
+/// model: warm hit / snapshot restore / full cold boot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Acquired {
     /// A warm container was checked out of the pool; it is already Busy and
@@ -27,26 +29,41 @@ pub enum Acquired {
     /// A cold start began; the caller must run the two phases (image latency,
     /// then CPU work) and call [`Cluster::finish_cold_start`].
     Cold(ContainerId),
+    /// A snapshot restore began: the container exists in Provisioning but
+    /// skips the two-phase boot — the caller waits `latency` (pure delay,
+    /// no host CPU: the snapshot is mapped back in, not re-executed) and
+    /// then calls [`Cluster::finish_restore`].
+    Restored {
+        /// The restoring container.
+        id: ContainerId,
+        /// Priced restore latency for this snapshot.
+        latency: SimDuration,
+    },
 }
 
 impl Acquired {
     /// The container id regardless of temperature.
     pub fn container(self) -> ContainerId {
         match self {
-            Acquired::Warm(id) | Acquired::Cold(id) => id,
+            Acquired::Warm(id) | Acquired::Cold(id) | Acquired::Restored { id, .. } => id,
         }
     }
 
-    /// True for a cold start.
+    /// True for a full cold boot (a snapshot restore is *not* cold).
     pub fn is_cold(self) -> bool {
         matches!(self, Acquired::Cold(_))
+    }
+
+    /// True for a snapshot restore.
+    pub fn is_restored(self) -> bool {
+        matches!(self, Acquired::Restored { .. })
     }
 }
 
 /// Aggregate counters for resource-cost reporting (Fig. 13/14).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ClusterStats {
-    /// Containers ever provisioned (== cold starts).
+    /// Containers ever provisioned (full cold boots + snapshot restores).
     pub provisioned: u64,
     /// Peak simultaneously live (non-terminated) containers.
     pub peak_live: u64,
@@ -54,6 +71,9 @@ pub struct ClusterStats {
     pub warm_hits: u64,
     /// Containers reaped by keep-alive expiry.
     pub expired: u64,
+    /// Containers started by restoring a snapshot instead of a full boot.
+    #[serde(default)]
+    pub restored_starts: u64,
 }
 
 /// One journalled container state transition, for trace emission.
@@ -81,6 +101,7 @@ pub struct Cluster {
     mem: MemoryLedger,
     containers: BTreeMap<ContainerId, Container>,
     pool: WarmPool,
+    snapshots: SnapshotCache,
     cold_model: ColdStartModel,
     platform_group: CpuGroupId,
     next_container: u64,
@@ -104,6 +125,7 @@ impl Cluster {
             mem: MemoryLedger::new(),
             containers: BTreeMap::new(),
             pool: WarmPool::new(keep_alive),
+            snapshots: SnapshotCache::new(SnapshotConfig::default()),
             cold_model,
             platform_group,
             next_container: 0,
@@ -164,6 +186,22 @@ impl Cluster {
         &self.cold_model
     }
 
+    /// Replaces the snapshot-tier configuration. Existing snapshots are
+    /// dropped; call before the run starts.
+    pub fn configure_snapshots(&mut self, cfg: SnapshotConfig) {
+        self.snapshots = SnapshotCache::new(cfg);
+    }
+
+    /// The snapshot cache (read-only; counters, occupancy, config).
+    pub fn snapshots(&self) -> &SnapshotCache {
+        &self.snapshots
+    }
+
+    /// Snapshot-cache lifetime counters.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.snapshots.stats()
+    }
+
     /// Aggregate counters.
     pub fn stats(&self) -> ClusterStats {
         self.stats
@@ -214,13 +252,16 @@ impl Cluster {
         self.pool.set_ttl(function, ttl);
     }
 
-    /// Acquires a container for `spec`, preferring a warm one.
+    /// Acquires a container for `spec`, walking the three start tiers:
+    /// warm hit, then snapshot restore, then full cold boot.
     ///
     /// A warm acquisition transitions the container to Busy immediately. A
-    /// cold acquisition creates the container in Provisioning and counts a
-    /// cold start; the caller runs the cold-start phases
-    /// ([`ColdStartModel::image_latency`] as an event delay, then
-    /// [`Cluster::start_cold_cpu_work`]) and finally
+    /// restored acquisition creates the container in Provisioning and returns
+    /// the priced restore latency; the caller waits it out as pure delay and
+    /// calls [`Cluster::finish_restore`]. A cold acquisition creates the
+    /// container in Provisioning and counts a cold start; the caller runs the
+    /// cold-start phases ([`ColdStartModel::image_latency`] as an event
+    /// delay, then [`Cluster::start_cold_cpu_work`]) and finally
     /// [`Cluster::finish_cold_start`].
     pub fn acquire(&mut self, now: SimTime, spec: &ContainerSpec) -> Acquired {
         if let Some(id) = self.pool.check_out(now, spec.function()) {
@@ -235,6 +276,19 @@ impl Cluster {
             self.log_transition(now, id, Some(ContainerState::Idle), ContainerState::Busy);
             return Acquired::Warm(id);
         }
+        let restore = self.snapshots.lookup(now, spec.function());
+        let id = self.provision_new(now, spec);
+        match restore {
+            Some(latency) => {
+                self.stats.restored_starts += 1;
+                Acquired::Restored { id, latency }
+            }
+            None => Acquired::Cold(id),
+        }
+    }
+
+    /// Creates a container in Provisioning, charging memory and a CPU group.
+    fn provision_new(&mut self, now: SimTime, spec: &ContainerSpec) -> ContainerId {
         let id = ContainerId::new(self.next_container);
         self.next_container += 1;
         let group = self.cpu.create_group(spec.cpu_limit());
@@ -246,7 +300,7 @@ impl Cluster {
         self.stats.provisioned += 1;
         self.stats.peak_live = self.stats.peak_live.max(self.live_containers());
         self.log_transition(now, id, None, ContainerState::Provisioning);
-        Acquired::Cold(id)
+        id
     }
 
     /// Starts the CPU phase of a cold start (daemon bookkeeping + runtime
@@ -266,13 +320,43 @@ impl Cluster {
         self.cpu.add_task(now, group, self.cold_model.cpu_work())
     }
 
+    /// Captures (or refreshes) a snapshot of `id`'s function, priced by the
+    /// observed wall-clock boot that just completed at `now`.
+    fn capture_snapshot(&mut self, now: SimTime, id: ContainerId) {
+        let c = self.container(id);
+        let function = c.function();
+        let boot = now.saturating_duration_since(c.created_at());
+        self.snapshots.capture(now, function, boot);
+    }
+
     /// Completes a cold start, leaving the container Busy (it was acquired
-    /// for a pending batch).
+    /// for a pending batch). With the snapshot tier enabled, the freshly
+    /// initialized state is also captured as the function's snapshot.
     ///
     /// # Panics
     ///
     /// Panics if the container is not provisioning.
     pub fn finish_cold_start(&mut self, now: SimTime, id: ContainerId) {
+        let c = self.containers.get_mut(&id).expect("unknown container id");
+        c.mark_ready(now);
+        c.mark_busy();
+        self.capture_snapshot(now, id);
+        self.log_transition(
+            now,
+            id,
+            Some(ContainerState::Provisioning),
+            ContainerState::Idle,
+        );
+        self.log_transition(now, id, Some(ContainerState::Idle), ContainerState::Busy);
+    }
+
+    /// Completes a snapshot restore begun by an [`Acquired::Restored`]
+    /// acquisition, leaving the container Busy for its pending batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is not provisioning.
+    pub fn finish_restore(&mut self, now: SimTime, id: ContainerId) {
         let c = self.containers.get_mut(&id).expect("unknown container id");
         c.mark_ready(now);
         c.mark_busy();
@@ -289,22 +373,12 @@ impl Cluster {
     /// [`acquire`](Self::acquire) it never consults the warm pool, so the
     /// caller controls exactly how many containers exist.
     pub fn provision_cold(&mut self, now: SimTime, spec: &ContainerSpec) -> ContainerId {
-        let id = ContainerId::new(self.next_container);
-        self.next_container += 1;
-        let group = self.cpu.create_group(spec.cpu_limit());
-        let memory = self.mem.alloc(now, MEM_CONTAINER, spec.base_memory_bytes());
-        self.containers.insert(
-            id,
-            Container::provisioning(id, spec.clone(), group, memory, now),
-        );
-        self.stats.provisioned += 1;
-        self.stats.peak_live = self.stats.peak_live.max(self.live_containers());
-        self.log_transition(now, id, None, ContainerState::Provisioning);
-        id
+        self.provision_new(now, spec)
     }
 
     /// Completes a pre-warming cold start: the container goes straight into
-    /// the warm pool instead of serving a batch.
+    /// the warm pool instead of serving a batch, and (with the snapshot tier
+    /// enabled) its initialized state is captured as the function's snapshot.
     ///
     /// # Panics
     ///
@@ -314,12 +388,35 @@ impl Cluster {
         c.mark_ready(now);
         let function = c.function();
         self.pool.check_in(now, function, id);
+        self.capture_snapshot(now, id);
         self.log_transition(
             now,
             id,
             Some(ContainerState::Provisioning),
             ContainerState::Idle,
         );
+    }
+
+    /// Completes a snapshot-tier prewarm: the boot's initialized state is
+    /// captured as the function's snapshot and the container is torn down
+    /// immediately — the snapshot outlives it at zero memory cost, which is
+    /// the whole point of prewarming to the snapshot tier instead of the
+    /// warm tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is not provisioning.
+    pub fn finish_cold_start_snapshot(&mut self, now: SimTime, id: ContainerId) {
+        let c = self.containers.get_mut(&id).expect("unknown container id");
+        c.mark_ready(now);
+        self.capture_snapshot(now, id);
+        self.log_transition(
+            now,
+            id,
+            Some(ContainerState::Provisioning),
+            ContainerState::Idle,
+        );
+        self.terminate(now, id);
     }
 
     /// Adds `work` core-seconds of invocation execution to a Busy container.
@@ -452,7 +549,7 @@ mod tests {
         // Second acquisition within TTL is warm and reuses the container.
         match c.acquire(t1, &spec()) {
             Acquired::Warm(w) => assert_eq!(w, id),
-            Acquired::Cold(_) => panic!("expected warm"),
+            other => panic!("expected warm, got {other:?}"),
         }
         assert_eq!(c.stats().warm_hits, 1);
         assert_eq!(c.stats().provisioned, 1);
@@ -576,7 +673,7 @@ mod tests {
         // A subsequent acquire is warm (LIFO: most recent first).
         match c.acquire(t, &spec()) {
             Acquired::Warm(w) => assert_eq!(w, id2),
-            Acquired::Cold(_) => panic!("expected warm"),
+            other => panic!("expected warm, got {other:?}"),
         }
         assert_eq!(c.stats().provisioned, 2, "no extra cold start");
     }
@@ -631,6 +728,61 @@ mod tests {
         let id = c.provision_cold(SimTime::ZERO, &spec());
         c.finish_cold_start_idle(SimTime::ZERO, id);
         c.finish_cold_start_idle(SimTime::ZERO, id);
+    }
+
+    #[test]
+    fn snapshot_restore_tier_between_warm_and_cold() {
+        let mut c = cluster();
+        c.configure_snapshots(SnapshotConfig::with_capacity(4));
+        // First boot captures a snapshot as a side effect.
+        let first = cold_start(&mut c, SimTime::ZERO);
+        assert!(c.snapshots().contains(FunctionId::new(0)));
+        // `first` is still Busy, so the pool is empty — but the snapshot
+        // serves the second acquire as a restore, not a cold boot.
+        let t2 = SimTime::from_secs(2);
+        let acq = c.acquire(t2, &spec());
+        let Acquired::Restored { id, latency } = acq else {
+            panic!("expected restored, got {acq:?}")
+        };
+        assert_ne!(id, first);
+        assert!(!acq.is_cold());
+        assert!(acq.is_restored());
+        // 3% of the observed 1.3 s boot = 39 ms, inside the default band.
+        assert_eq!(latency, SimDuration::from_millis(39));
+        c.finish_restore(t2 + latency, id);
+        assert_eq!(c.stats().restored_starts, 1);
+        assert_eq!(c.snapshot_stats().hits, 1);
+        // A released restored container is a normal warm container: the
+        // warm tier still outranks the snapshot tier.
+        let t3 = t2 + SimDuration::from_secs(1);
+        c.release(t3, id, 1);
+        assert!(matches!(c.acquire(t3, &spec()), Acquired::Warm(w) if w == id));
+    }
+
+    #[test]
+    fn snapshot_prewarm_captures_then_frees_resources() {
+        let mut c = cluster();
+        c.configure_snapshots(SnapshotConfig::with_capacity(2));
+        let id = c.provision_cold(SimTime::ZERO, &spec());
+        let t = SimTime::from_millis(1300);
+        c.finish_cold_start_snapshot(t, id);
+        assert_eq!(c.live_containers(), 0, "container torn down after capture");
+        assert_eq!(c.mem().current_bytes(), 0, "base memory freed");
+        assert_eq!(c.idle_containers(), 0, "nothing parked in the warm pool");
+        assert!(c.snapshots().contains(FunctionId::new(0)));
+        assert_eq!(c.snapshot_stats().captures, 1);
+        // The snapshot outlives the container: the next acquire restores.
+        assert!(c.acquire(t, &spec()).is_restored());
+    }
+
+    #[test]
+    fn snapshots_disabled_by_default() {
+        let mut c = cluster();
+        let id = cold_start(&mut c, SimTime::ZERO);
+        let _ = id;
+        assert!(c.snapshots().is_empty());
+        assert!(c.acquire(SimTime::from_secs(2), &spec()).is_cold());
+        assert_eq!(c.stats().restored_starts, 0);
     }
 
     #[test]

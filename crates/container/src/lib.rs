@@ -11,6 +11,8 @@
 //! * [`container`] — the per-container state machine
 //!   (Provisioning → Idle ⇄ Busy → Terminated).
 //! * [`pool`] — keep-alive [`pool::WarmPool`] with TTL expiry.
+//! * [`snapshot`] — capacity-bounded [`snapshot::SnapshotCache`] backing the
+//!   snapshot-restore start tier (boot once, restore in tens of ms).
 //! * [`cluster`] — [`cluster::Cluster`], the worker-node facade bundling the
 //!   CPU model, memory ledger, container table and warm pool; all schedulers
 //!   pay identical costs for identical decisions.
@@ -41,10 +43,12 @@ pub mod container;
 pub mod ids;
 pub mod live;
 pub mod pool;
+pub mod snapshot;
 pub mod spec;
 
 pub use cluster::{Acquired, Cluster, ClusterStats, ContainerTransition};
 pub use container::{Container, ContainerState};
 pub use ids::{ContainerId, FunctionId, InvocationId};
 pub use pool::WarmPool;
-pub use spec::{ColdStartModel, ContainerSpec};
+pub use snapshot::{EvictionPolicy, SnapshotCache, SnapshotConfig, SnapshotStats};
+pub use spec::{ColdStartModel, ContainerSpec, ModelError, RestoreModel};

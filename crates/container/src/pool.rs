@@ -250,6 +250,68 @@ mod tests {
     }
 
     #[test]
+    fn mid_run_ttl_override_rebinds_already_pooled_containers() {
+        // Containers parked under the base TTL, then the controller changes
+        // the TTL mid-run: the override is evaluated lazily, so it governs
+        // containers that were already idle when it landed — in both
+        // directions.
+        let mut p = WarmPool::new(SimDuration::from_secs(10));
+        p.check_in(SimTime::ZERO, f(0), c(1));
+        p.check_in(SimTime::ZERO, f(1), c(2));
+        assert_eq!(p.next_expiry(), Some(SimTime::from_secs(10)));
+
+        // Shrink f(0): its parked container now dies at 3 s, not 10 s.
+        p.set_ttl(f(0), SimDuration::from_secs(3));
+        assert_eq!(p.next_expiry(), Some(SimTime::from_secs(3)));
+        assert_eq!(p.expire(SimTime::from_secs(4)), vec![c(1)]);
+        assert_eq!(p.check_out(SimTime::from_secs(4), f(0)), None);
+
+        // Extend f(1): its parked container survives past the base TTL.
+        p.set_ttl(f(1), SimDuration::from_secs(60));
+        assert_eq!(p.next_expiry(), Some(SimTime::from_secs(60)));
+        assert!(p.expire(SimTime::from_secs(20)).is_empty());
+        assert_eq!(p.check_out(SimTime::from_secs(50), f(1)), Some(c(2)));
+
+        // Clearing the override mid-run re-binds parked containers to the
+        // base TTL just as lazily.
+        p.check_in(SimTime::from_secs(50), f(1), c(3));
+        p.set_ttl(f(1), SimDuration::from_secs(10));
+        assert_eq!(p.next_expiry(), Some(SimTime::from_secs(60)));
+        assert_eq!(p.expire(SimTime::from_secs(61)), vec![c(3)]);
+    }
+
+    #[test]
+    fn expiry_at_the_exact_boundary_is_deterministic() {
+        // `now == parked_at + ttl` keeps the container warm everywhere the
+        // TTL is consulted (expiry is strict `>`); one microsecond later it
+        // is gone everywhere. The three views — expire(), check_out(), and
+        // next_expiry() — must agree on the boundary exactly.
+        let ttl = SimDuration::from_secs(5);
+        let boundary = SimTime::ZERO + ttl;
+        let after = boundary + SimDuration::from_micros(1);
+
+        let mut p = WarmPool::new(ttl);
+        p.check_in(SimTime::ZERO, f(0), c(1));
+        assert_eq!(p.next_expiry(), Some(boundary));
+        assert!(p.expire(boundary).is_empty(), "still warm at the boundary");
+        assert_eq!(p.idle_count(f(0)), 1);
+        let mut q = p.clone();
+        assert_eq!(q.check_out(boundary, f(0)), Some(c(1)));
+        assert_eq!(p.expire(after), vec![c(1)]);
+        assert_eq!(p.total_idle(), 0);
+
+        // The same strict boundary holds under a per-function override.
+        let mut p = WarmPool::new(SimDuration::from_secs(100));
+        p.set_ttl(f(0), ttl);
+        p.check_in(SimTime::ZERO, f(0), c(2));
+        assert_eq!(p.next_expiry(), Some(boundary));
+        assert!(p.expire(boundary).is_empty());
+        assert_eq!(p.check_out(boundary, f(0)), Some(c(2)));
+        p.check_in(SimTime::ZERO, f(0), c(3));
+        assert_eq!(p.check_out(after, f(0)), None, "one µs past: reaped");
+    }
+
+    #[test]
     fn resetting_ttl_to_base_clears_the_override() {
         let mut p = WarmPool::new(SimDuration::from_secs(10));
         p.set_ttl(f(0), SimDuration::from_secs(2));

@@ -1,0 +1,344 @@
+//! Capacity-bounded snapshot cache backing the restore start tier.
+//!
+//! Real platforms collapse cold starts by resuming containers/microVMs from
+//! captured snapshots (Firecracker `snapshot-restore`, CRIU): the first boot
+//! of a function pays the full two-phase cost, a snapshot of the initialized
+//! state is captured, and later starts *restore* that snapshot in tens of
+//! milliseconds instead of re-booting for over a second.
+//!
+//! [`SnapshotCache`] models the capture side: at most one snapshot slot per
+//! function, at most `capacity` slots total, with pluggable eviction —
+//! plain LRU, or cost-aware (weigh restore latency × recency, so the cache
+//! prefers to keep snapshots that replace the heaviest boots). Hit / miss /
+//! eviction / capture counters are kept for telemetry and reports. A cache
+//! with `capacity == 0` (the default) is inert, which keeps the snapshot
+//! tier strictly opt-in.
+
+use crate::ids::FunctionId;
+use crate::spec::RestoreModel;
+use faasbatch_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which snapshot to sacrifice when the cache is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used snapshot.
+    #[default]
+    Lru,
+    /// Evict the snapshot with the lowest retention value, weighing the
+    /// restore latency it stands in for (a proxy for the boot it avoids)
+    /// against how recently it was used.
+    CostAware,
+}
+
+impl EvictionPolicy {
+    /// Every policy, in sweep order.
+    pub const ALL: [EvictionPolicy; 2] = [EvictionPolicy::Lru, EvictionPolicy::CostAware];
+
+    /// Stable CLI/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::CostAware => "cost-aware",
+        }
+    }
+
+    /// Parses a CLI name produced by [`EvictionPolicy::name`].
+    pub fn parse(s: &str) -> Option<EvictionPolicy> {
+        EvictionPolicy::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// Configuration for the snapshot tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotConfig {
+    /// Total snapshot slots. `0` disables the tier entirely (the default),
+    /// so existing configurations are byte-identical with snapshots off.
+    #[serde(default)]
+    pub capacity: usize,
+    /// Eviction policy when the cache is full.
+    #[serde(default)]
+    pub eviction: EvictionPolicy,
+    /// Restore pricing model.
+    #[serde(default)]
+    pub model: RestoreModel,
+}
+
+impl Default for SnapshotConfig {
+    fn default() -> Self {
+        SnapshotConfig {
+            capacity: 0,
+            eviction: EvictionPolicy::Lru,
+            model: RestoreModel::default(),
+        }
+    }
+}
+
+impl SnapshotConfig {
+    /// A default-model config with `capacity` slots.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SnapshotConfig {
+            capacity,
+            ..SnapshotConfig::default()
+        }
+    }
+
+    /// True when the snapshot tier can serve restores at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+}
+
+/// Counters describing the cache's life so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SnapshotStats {
+    /// Lookups that found a snapshot (a restore was served).
+    pub hits: u64,
+    /// Lookups on an enabled cache that found nothing (full cold boot).
+    pub misses: u64,
+    /// Snapshots sacrificed to the capacity bound.
+    pub evictions: u64,
+    /// Snapshots captured (including refreshes of an existing slot).
+    pub captures: u64,
+}
+
+/// One captured snapshot: what a restore of it costs, and when it last paid.
+#[derive(Debug, Clone, Copy)]
+struct Snapshot {
+    restore_latency: SimDuration,
+    last_used: SimTime,
+}
+
+/// Capacity-bounded, per-function snapshot store.
+///
+/// # Examples
+///
+/// ```
+/// use faasbatch_container::ids::FunctionId;
+/// use faasbatch_container::snapshot::{SnapshotCache, SnapshotConfig};
+/// use faasbatch_simcore::time::{SimDuration, SimTime};
+///
+/// let mut cache = SnapshotCache::new(SnapshotConfig::with_capacity(4));
+/// let f = FunctionId::new(0);
+/// assert!(cache.lookup(SimTime::ZERO, f).is_none(), "nothing captured yet");
+/// cache.capture(SimTime::from_millis(1300), f, SimDuration::from_millis(1300));
+/// let restore = cache.lookup(SimTime::from_secs(2), f).expect("snapshot hit");
+/// assert!(restore < SimDuration::from_millis(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SnapshotCache {
+    cfg: SnapshotConfig,
+    entries: BTreeMap<FunctionId, Snapshot>,
+    stats: SnapshotStats,
+}
+
+impl SnapshotCache {
+    /// Creates an empty cache under `cfg`.
+    pub fn new(cfg: SnapshotConfig) -> Self {
+        SnapshotCache {
+            cfg,
+            entries: BTreeMap::new(),
+            stats: SnapshotStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SnapshotConfig {
+        &self.cfg
+    }
+
+    /// True when the tier is enabled (`capacity > 0`).
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled()
+    }
+
+    /// Snapshots currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no snapshot is held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when a snapshot of `function` is held.
+    pub fn contains(&self, function: FunctionId) -> bool {
+        self.entries.contains_key(&function)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> SnapshotStats {
+        self.stats
+    }
+
+    /// Looks a function's snapshot up for a restore. On a hit, refreshes the
+    /// recency stamp and returns the priced restore latency; on a miss (or a
+    /// disabled cache) returns `None`. A disabled cache counts nothing.
+    pub fn lookup(&mut self, now: SimTime, function: FunctionId) -> Option<SimDuration> {
+        if !self.cfg.enabled() {
+            return None;
+        }
+        match self.entries.get_mut(&function) {
+            Some(snap) => {
+                snap.last_used = now;
+                self.stats.hits += 1;
+                Some(snap.restore_latency)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Captures (or refreshes) a snapshot of `function` after a full boot
+    /// that cost `boot`, evicting per policy if the capacity bound is hit.
+    /// No-op on a disabled cache.
+    pub fn capture(&mut self, now: SimTime, function: FunctionId, boot: SimDuration) {
+        if !self.cfg.enabled() {
+            return;
+        }
+        let snap = Snapshot {
+            restore_latency: self.cfg.model.restore_cost(boot),
+            last_used: now,
+        };
+        self.stats.captures += 1;
+        self.entries.insert(function, snap);
+        while self.entries.len() > self.cfg.capacity {
+            self.evict_one(now);
+        }
+    }
+
+    /// Evicts the policy's victim. Ties break toward the lowest function id
+    /// (BTreeMap iteration order), keeping eviction fully deterministic.
+    fn evict_one(&mut self, now: SimTime) {
+        let victim = match self.cfg.eviction {
+            EvictionPolicy::Lru => self
+                .entries
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(f, _)| *f),
+            EvictionPolicy::CostAware => self
+                .entries
+                .iter()
+                .map(|(f, s)| {
+                    let age_us = now.saturating_duration_since(s.last_used).as_micros();
+                    // Retention value: restore latency (a proxy for the boot
+                    // the snapshot avoids) discounted by staleness.
+                    let value = s.restore_latency.as_micros() as f64 / (1.0 + age_us as f64);
+                    (*f, value)
+                })
+                .reduce(|best, cand| if cand.1 < best.1 { cand } else { best })
+                .map(|(f, _)| f),
+        };
+        if let Some(f) = victim {
+            self.entries.remove(&f);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let mut cache = SnapshotCache::new(SnapshotConfig::default());
+        assert!(!cache.enabled());
+        cache.capture(t(0), FunctionId::new(0), d(1300));
+        assert!(cache.lookup(t(1), FunctionId::new(0)).is_none());
+        assert_eq!(cache.stats(), SnapshotStats::default());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capture_then_hit_counts() {
+        let mut cache = SnapshotCache::new(SnapshotConfig::with_capacity(2));
+        let f = FunctionId::new(3);
+        assert!(cache.lookup(t(0), f).is_none());
+        cache.capture(t(10), f, d(1300));
+        assert!(cache.contains(f));
+        let restore = cache.lookup(t(20), f).expect("hit");
+        assert_eq!(restore, d(39), "3% of 1300 ms, inside the 10–50 ms band");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.captures, s.evictions), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn one_slot_per_function_refreshes_in_place() {
+        let mut cache = SnapshotCache::new(SnapshotConfig::with_capacity(1));
+        let f = FunctionId::new(0);
+        cache.capture(t(0), f, d(1300));
+        cache.capture(t(5), f, d(2000));
+        assert_eq!(cache.len(), 1, "refresh, not a second slot");
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.lookup(t(6), f), Some(d(50)), "re-priced by new boot");
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest() {
+        let mut cfg = SnapshotConfig::with_capacity(2);
+        cfg.eviction = EvictionPolicy::Lru;
+        let mut cache = SnapshotCache::new(cfg);
+        let (a, b, c) = (FunctionId::new(0), FunctionId::new(1), FunctionId::new(2));
+        cache.capture(t(0), a, d(1300));
+        cache.capture(t(1), b, d(1300));
+        cache.lookup(t(2), a); // a is now the most recent
+        cache.capture(t(3), c, d(1300));
+        assert!(cache.contains(a) && cache.contains(c) && !cache.contains(b));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn cost_aware_keeps_the_expensive_boot() {
+        let mut cfg = SnapshotConfig::with_capacity(2);
+        cfg.eviction = EvictionPolicy::CostAware;
+        let mut cache = SnapshotCache::new(cfg);
+        let (light, heavy, c) = (FunctionId::new(0), FunctionId::new(1), FunctionId::new(2));
+        // `light` is more recent but stands in for a much cheaper boot;
+        // LRU would evict `heavy`, cost-aware sacrifices `light` instead.
+        cache.capture(t(0), heavy, d(1500)); // 45 ms restore
+        cache.capture(t(1), light, d(400)); // 12 ms restore
+        cache.capture(t(2), c, d(1300));
+        assert!(cache.contains(heavy) && cache.contains(c) && !cache.contains(light));
+
+        let mut lru = SnapshotCache::new(SnapshotConfig::with_capacity(2));
+        lru.capture(t(0), heavy, d(1500));
+        lru.capture(t(1), light, d(400));
+        lru.capture(t(2), c, d(1300));
+        assert!(
+            !lru.contains(heavy),
+            "LRU diverges: it evicts the stalest regardless of boot cost"
+        );
+    }
+
+    #[test]
+    fn eviction_tie_breaks_toward_lowest_id() {
+        let mut cache = SnapshotCache::new(SnapshotConfig::with_capacity(2));
+        let (a, b, c) = (FunctionId::new(7), FunctionId::new(2), FunctionId::new(9));
+        cache.capture(t(0), a, d(1300));
+        cache.capture(t(0), b, d(1300));
+        cache.capture(t(1), c, d(1300));
+        assert!(!cache.contains(b), "equal recency: lowest id goes first");
+        assert!(cache.contains(a) && cache.contains(c));
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in EvictionPolicy::ALL {
+            assert_eq!(EvictionPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(EvictionPolicy::parse("nope"), None);
+    }
+}

@@ -80,6 +80,65 @@ impl ContainerSpec {
     }
 }
 
+/// Typed rejection for invalid cost-model parameters.
+///
+/// The f64-based constructors of [`ColdStartModel`] and [`RestoreModel`]
+/// return this instead of silently folding NaN/negative latencies into sim
+/// time (where they would poison every downstream timestamp).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A latency or fraction parameter was NaN or infinite.
+    NonFinite {
+        /// Which constructor parameter was rejected.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A latency or fraction parameter was negative.
+    Negative {
+        /// Which constructor parameter was rejected.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A `[min, max]` latency range with `min > max`.
+    InvertedRange {
+        /// The lower bound supplied.
+        min: SimDuration,
+        /// The upper bound supplied.
+        max: SimDuration,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::NonFinite { field, value } => {
+                write!(f, "model parameter `{field}` is not finite: {value}")
+            }
+            ModelError::Negative { field, value } => {
+                write!(f, "model parameter `{field}` is negative: {value}")
+            }
+            ModelError::InvertedRange { min, max } => {
+                write!(f, "model latency range is inverted: min {min} > max {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Validates one f64 latency/fraction parameter.
+fn check_param(field: &'static str, value: f64) -> Result<f64, ModelError> {
+    if !value.is_finite() {
+        return Err(ModelError::NonFinite { field, value });
+    }
+    if value < 0.0 {
+        return Err(ModelError::Negative { field, value });
+    }
+    Ok(value)
+}
+
 /// Cold-start cost model.
 ///
 /// A cold start has two phases, mirroring §II and §V-A2 of the paper:
@@ -118,6 +177,18 @@ impl ColdStartModel {
         }
     }
 
+    /// Creates a model from fractional milliseconds, rejecting non-finite or
+    /// negative parameters with a typed [`ModelError`] instead of panicking
+    /// or producing NaN sim times.
+    pub fn from_millis_f64(image_ms: f64, cpu_ms: f64) -> Result<Self, ModelError> {
+        let image_ms = check_param("image_latency_ms", image_ms)?;
+        let cpu_ms = check_param("cpu_work_ms", cpu_ms)?;
+        Ok(ColdStartModel {
+            image_latency: SimDuration::from_millis_f64(image_ms),
+            cpu_work: SimDuration::from_millis_f64(cpu_ms),
+        })
+    }
+
     /// The fixed image/runtime phase latency.
     pub fn image_latency(&self) -> SimDuration {
         self.image_latency
@@ -126,6 +197,107 @@ impl ColdStartModel {
     /// Host CPU work (core-time) burned by one container start.
     pub fn cpu_work(&self) -> SimDuration {
         self.cpu_work
+    }
+
+    /// The full boot cost on an idle host (image phase + CPU phase) — the
+    /// reference against which a snapshot restore is priced.
+    pub fn total(&self) -> SimDuration {
+        self.image_latency + self.cpu_work
+    }
+}
+
+/// Snapshot-restore cost model.
+///
+/// Restoring a captured container snapshot replaces the whole two-phase boot
+/// with a single short latency, the way Firecracker resumes a microVM from a
+/// memory file: no interpreter boot, no imports, just mapping pre-initialized
+/// state back in. The cost is priced per snapshot as a small fraction of the
+/// boot it replaces, clamped to a calibrated `[min, max]` band (~10–50 ms by
+/// default), so heavier functions keep proportionally heavier — but still
+/// dramatically cheaper — restores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RestoreModel {
+    min_latency: SimDuration,
+    max_latency: SimDuration,
+    /// Restore cost as a fraction of the observed boot cost, before clamping.
+    boot_fraction: f64,
+}
+
+impl Default for RestoreModel {
+    /// Defaults calibrated to published snapshot-restore numbers
+    /// (Firecracker-class resume in the tens of milliseconds): a 10–50 ms
+    /// band at 3% of the boot being replaced.
+    fn default() -> Self {
+        RestoreModel {
+            min_latency: SimDuration::from_millis(10),
+            max_latency: SimDuration::from_millis(50),
+            boot_fraction: 0.03,
+        }
+    }
+}
+
+impl RestoreModel {
+    /// Creates a model with an explicit latency band and boot fraction.
+    ///
+    /// Rejects non-finite or negative `boot_fraction` and inverted bands
+    /// with a typed [`ModelError`].
+    pub fn new(
+        min_latency: SimDuration,
+        max_latency: SimDuration,
+        boot_fraction: f64,
+    ) -> Result<Self, ModelError> {
+        let boot_fraction = check_param("boot_fraction", boot_fraction)?;
+        if min_latency > max_latency {
+            return Err(ModelError::InvertedRange {
+                min: min_latency,
+                max: max_latency,
+            });
+        }
+        Ok(RestoreModel {
+            min_latency,
+            max_latency,
+            boot_fraction,
+        })
+    }
+
+    /// Creates a model from fractional milliseconds, with the same typed
+    /// validation as [`RestoreModel::new`].
+    pub fn from_millis_f64(
+        min_ms: f64,
+        max_ms: f64,
+        boot_fraction: f64,
+    ) -> Result<Self, ModelError> {
+        let min_ms = check_param("min_latency_ms", min_ms)?;
+        let max_ms = check_param("max_latency_ms", max_ms)?;
+        Self::new(
+            SimDuration::from_millis_f64(min_ms),
+            SimDuration::from_millis_f64(max_ms),
+            boot_fraction,
+        )
+    }
+
+    /// The floor of the restore-latency band.
+    pub fn min_latency(&self) -> SimDuration {
+        self.min_latency
+    }
+
+    /// The ceiling of the restore-latency band.
+    pub fn max_latency(&self) -> SimDuration {
+        self.max_latency
+    }
+
+    /// Restore cost as a fraction of the boot cost being replaced.
+    pub fn boot_fraction(&self) -> f64 {
+        self.boot_fraction
+    }
+
+    /// Prices a restore of a snapshot whose full boot cost `boot` — the cost
+    /// the restore avoids: `clamp(boot × boot_fraction, min, max)`.
+    pub fn restore_cost(&self, boot: SimDuration) -> SimDuration {
+        let scaled = (boot.as_micros() as f64 * self.boot_fraction).round() as u64;
+        SimDuration::from_micros(scaled)
+            .max(self.min_latency)
+            .min(self.max_latency)
     }
 }
 
@@ -163,5 +335,88 @@ mod tests {
         let total = m.image_latency() + m.cpu_work();
         assert!(total >= SimDuration::from_secs(1));
         assert!(total < SimDuration::from_secs(2));
+        assert_eq!(m.total(), total);
+    }
+
+    #[test]
+    fn cold_start_model_rejects_nan_and_negative() {
+        // NaN != NaN, so match the variant and field rather than comparing.
+        assert!(matches!(
+            ColdStartModel::from_millis_f64(f64::NAN, 800.0),
+            Err(ModelError::NonFinite {
+                field: "image_latency_ms",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ColdStartModel::from_millis_f64(500.0, -800.0),
+            Err(ModelError::Negative {
+                field: "cpu_work_ms",
+                ..
+            })
+        ));
+        let ok = ColdStartModel::from_millis_f64(500.0, 800.0).unwrap();
+        assert_eq!(ok, ColdStartModel::default());
+    }
+
+    #[test]
+    fn restore_cost_clamps_to_band() {
+        let m = RestoreModel::default();
+        // 3% of a 1.3 s boot = 39 ms: inside the band, passes through.
+        let boot = SimDuration::from_millis(1300);
+        assert_eq!(m.restore_cost(boot), SimDuration::from_millis(39));
+        // Tiny boot clamps up to the 10 ms floor.
+        assert_eq!(
+            m.restore_cost(SimDuration::from_millis(10)),
+            SimDuration::from_millis(10)
+        );
+        // Huge boot clamps down to the 50 ms ceiling.
+        assert_eq!(
+            m.restore_cost(SimDuration::from_secs(60)),
+            SimDuration::from_millis(50)
+        );
+    }
+
+    #[test]
+    fn restore_model_rejects_inverted_band() {
+        let err = RestoreModel::new(
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(10),
+            0.03,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::InvertedRange {
+                min: SimDuration::from_millis(50),
+                max: SimDuration::from_millis(10),
+            }
+        );
+        assert!(err.to_string().contains("inverted"));
+    }
+
+    #[test]
+    fn restore_model_rejects_bad_fraction() {
+        assert!(matches!(
+            RestoreModel::from_millis_f64(10.0, 50.0, f64::INFINITY),
+            Err(ModelError::NonFinite {
+                field: "boot_fraction",
+                ..
+            })
+        ));
+        assert!(matches!(
+            RestoreModel::from_millis_f64(10.0, 50.0, -0.5),
+            Err(ModelError::Negative {
+                field: "boot_fraction",
+                ..
+            })
+        ));
+        assert!(matches!(
+            RestoreModel::from_millis_f64(-1.0, 50.0, 0.03),
+            Err(ModelError::Negative {
+                field: "min_latency_ms",
+                ..
+            })
+        ));
     }
 }

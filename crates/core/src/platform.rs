@@ -71,8 +71,13 @@ pub struct InvokeOutcome {
     pub queued: Duration,
     /// Time the handler body ran.
     pub execution: Duration,
-    /// Whether this batch had to create a fresh container.
+    /// Whether this batch had to create a fresh container via a full cold
+    /// boot.
     pub cold: bool,
+    /// Whether this batch's container was restored from a captured
+    /// snapshot template instead of booting cold (mutually exclusive with
+    /// `cold`; see [`PlatformBuilder::snapshots`]).
+    pub restored: bool,
     /// Whether the handler panicked (the platform contains the panic; the
     /// rest of the batch and the container survive).
     pub panicked: bool,
@@ -93,6 +98,8 @@ pub struct OutcomeSummary {
     pub count: usize,
     /// Cold invocations.
     pub cold: usize,
+    /// Snapshot-restored invocations.
+    pub restored: usize,
     /// Panicked invocations.
     pub panicked: usize,
     /// Mean queued time.
@@ -113,6 +120,7 @@ impl OutcomeSummary {
         OutcomeSummary {
             count: outcomes.len(),
             cold: outcomes.iter().filter(|o| o.cold).count(),
+            restored: outcomes.iter().filter(|o| o.restored).count(),
             panicked: outcomes.iter().filter(|o| o.panicked).count(),
             mean_queued: outcomes.iter().map(|o| o.queued).sum::<Duration>() / n,
             mean_execution: outcomes.iter().map(|o| o.execution).sum::<Duration>() / n,
@@ -318,6 +326,9 @@ impl PlatformIds {
 pub struct PlatformStats {
     /// Containers created (cold starts).
     pub containers_created: AtomicU64,
+    /// Containers started by restoring a snapshot template instead of a
+    /// full cold boot ([`PlatformBuilder::snapshots`]).
+    pub containers_restored: AtomicU64,
     /// Warm containers evicted by keep-alive expiry.
     pub containers_evicted: AtomicU64,
     /// Batches dispatched.
@@ -382,6 +393,8 @@ pub struct PlatformBuilder {
     window: Duration,
     multiplex: bool,
     cold_start_delay: Duration,
+    snapshots: usize,
+    restore_delay: Duration,
     backend: LiveBackend,
     executor: Option<Arc<Executor>>,
     recorder: Option<LiveTraceRecorder>,
@@ -417,6 +430,8 @@ impl PlatformBuilder {
             window: Duration::from_millis(200),
             multiplex: true,
             cold_start_delay: Duration::from_millis(25),
+            snapshots: 0,
+            restore_delay: Duration::from_millis(2),
             backend: LiveBackend::default(),
             executor: None,
             recorder: None,
@@ -444,6 +459,27 @@ impl PlatformBuilder {
     /// be created.
     pub fn cold_start_delay(mut self, delay: Duration) -> Self {
         self.cold_start_delay = delay;
+        self
+    }
+
+    /// Enables the snapshot-restore start tier with at most `capacity`
+    /// templates (0 = disabled, the default).
+    ///
+    /// The live approximation of snapshot restore: the first cold boot of a
+    /// function captures a pre-initialized template; when the warm pool
+    /// later misses but a template exists, a fresh container is cloned from
+    /// it and becomes ready after the (short) restore delay instead of the
+    /// full cold-start delay. Templates are bounded at `capacity` across
+    /// all functions, evicting least-recently-used.
+    pub fn snapshots(mut self, capacity: usize) -> Self {
+        self.snapshots = capacity;
+        self
+    }
+
+    /// Sets the synthetic restore delay paid when a container starts from a
+    /// snapshot template (default 2 ms; compare the 25 ms cold default).
+    pub fn restore_delay(mut self, delay: Duration) -> Self {
+        self.restore_delay = delay;
         self
     }
 
@@ -534,6 +570,10 @@ impl PlatformBuilder {
             window: self.window,
             multiplex: self.multiplex,
             cold_start_delay: self.cold_start_delay,
+            snapshots: self.snapshots,
+            restore_delay: self.restore_delay,
+            templates: HashMap::new(),
+            template_clock: 0,
             backend: self.backend,
             executor: self.executor.unwrap_or_else(global_executor),
             recorder: recorder.clone(),
@@ -563,11 +603,30 @@ impl PlatformBuilder {
     }
 }
 
+/// How a dispatched batch obtained its container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StartTier {
+    /// Pooled warm container, ready immediately.
+    Warm,
+    /// Fresh container cloned from a captured snapshot template; ready
+    /// after the restore delay.
+    Restored,
+    /// Fresh container via a full cold boot; ready after the cold-start
+    /// delay.
+    Cold,
+}
+
 struct Dispatcher {
     rx: Receiver<Message>,
     window: Duration,
     multiplex: bool,
     cold_start_delay: Duration,
+    snapshots: usize,
+    restore_delay: Duration,
+    /// Snapshot templates: function → last-use stamp (LRU), bounded at
+    /// `snapshots` entries. Only touched by the dispatcher thread.
+    templates: HashMap<usize, u64>,
+    template_clock: u64,
     backend: LiveBackend,
     executor: Arc<Executor>,
     recorder: Option<LiveTraceRecorder>,
@@ -641,15 +700,22 @@ impl Dispatcher {
     }
 
     fn spawn_group(&mut self, function: usize, batch: Vec<Request>, on_done: Option<GroupDone>) {
-        let (env, cold) = self.acquire_container(function);
+        let (env, tier) = self.acquire_container(function);
+        let cold = tier == StartTier::Cold;
+        let restored = tier == StartTier::Restored;
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         if cold {
             self.stats
                 .containers_created
                 .fetch_add(1, Ordering::Relaxed);
         }
+        if restored {
+            self.stats
+                .containers_restored
+                .fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(tel) = &self.telemetry {
-            tel.on_batch(batch.len(), cold);
+            tel.on_batch(batch.len(), cold, restored);
         }
         let batch_id = self.ids.next_batch();
         let container = ContainerId::new(env.id());
@@ -659,6 +725,7 @@ impl Dispatcher {
                 function: FunctionId::new(function as u32),
                 container,
                 cold,
+                restored,
                 barrier: false,
                 members: batch.iter().map(|r| r.invocation).collect(),
             });
@@ -678,6 +745,16 @@ impl Dispatcher {
                     container,
                     batch: Some(batch_id),
                 });
+            } else if restored {
+                rec.record(EventKind::ContainerStateChange {
+                    container,
+                    from: None,
+                    to: ContainerState::Provisioning,
+                });
+                rec.record(EventKind::RestoreBegin {
+                    container,
+                    batch: Some(batch_id),
+                });
             }
         }
         self.pending.enter();
@@ -688,6 +765,7 @@ impl Dispatcher {
             function,
             batch: batch_id,
             cold,
+            restored,
             recorder: self.recorder.clone(),
             telemetry: self.telemetry.clone(),
             warm: Arc::clone(&self.warm),
@@ -700,30 +778,47 @@ impl Dispatcher {
         };
         match self.backend {
             LiveBackend::Executor => {
-                if cold {
-                    // The cold-start delay rides the timer wheel: the ready
-                    // events are emitted in the callback *before* the group
-                    // is submitted, so `ColdStartEnd` strictly precedes
-                    // every `ExecBegin` of the batch.
-                    self.executor.schedule(self.cold_start_delay, move || {
-                        ctx.mark_ready_after_cold();
+                match tier {
+                    StartTier::Cold => {
+                        // The cold-start delay rides the timer wheel: the
+                        // ready events are emitted in the callback *before*
+                        // the group is submitted, so `ColdStartEnd` strictly
+                        // precedes every `ExecBegin` of the batch.
+                        self.executor.schedule(self.cold_start_delay, move || {
+                            ctx.mark_ready_after_cold();
+                            ctx.submit();
+                        });
+                    }
+                    StartTier::Restored => {
+                        // Same shape, shorter delay: `RestoreDone` strictly
+                        // precedes every `ExecBegin`.
+                        self.executor.schedule(self.restore_delay, move || {
+                            ctx.mark_ready_after_restore();
+                            ctx.submit();
+                        });
+                    }
+                    StartTier::Warm => {
+                        ctx.mark_busy_from_warm();
                         ctx.submit();
-                    });
-                } else {
-                    ctx.mark_busy_from_warm();
-                    ctx.submit();
+                    }
                 }
             }
             LiveBackend::ThreadPerJob => {
                 let cold_delay = self.cold_start_delay;
+                let restore_delay = self.restore_delay;
                 std::thread::Builder::new()
                     .name(format!("faasbatch-ctr-{}", ctx.env.id()))
                     .spawn(move || {
-                        if cold {
-                            std::thread::sleep(cold_delay);
-                            ctx.mark_ready_after_cold();
-                        } else {
-                            ctx.mark_busy_from_warm();
+                        match tier {
+                            StartTier::Cold => {
+                                std::thread::sleep(cold_delay);
+                                ctx.mark_ready_after_cold();
+                            }
+                            StartTier::Restored => {
+                                std::thread::sleep(restore_delay);
+                                ctx.mark_ready_after_restore();
+                            }
+                            StartTier::Warm => ctx.mark_busy_from_warm(),
                         }
                         ctx.run_thread_per_job();
                     })
@@ -732,10 +827,42 @@ impl Dispatcher {
         }
     }
 
-    fn acquire_container(&mut self, function: usize) -> (Arc<ContainerEnv>, bool) {
+    /// Three start tiers, mirroring the simulator's
+    /// [`Cluster::acquire`](faasbatch_container::cluster::Cluster::acquire):
+    /// warm-pool hit, then snapshot-template restore, then full cold boot
+    /// (which captures a template for later restores when the tier is on).
+    fn acquire_container(&mut self, function: usize) -> (Arc<ContainerEnv>, StartTier) {
         if let Some(entry) = self.warm.lock().get_mut(&function).and_then(Vec::pop) {
-            return (entry.env, false);
+            return (entry.env, StartTier::Warm);
         }
+        let tier = if self.snapshots > 0 {
+            self.template_clock += 1;
+            let stamp = self.template_clock;
+            if let Some(last_used) = self.templates.get_mut(&function) {
+                *last_used = stamp;
+                StartTier::Restored
+            } else {
+                // Live approximation of snapshot capture: remember the
+                // function at provision time (the simulator captures at
+                // boot completion; the dispatcher thread has no ready
+                // callback, so capture here and keep the cache
+                // single-threaded).
+                self.templates.insert(function, stamp);
+                while self.templates.len() > self.snapshots {
+                    if let Some(victim) = self
+                        .templates
+                        .iter()
+                        .min_by_key(|(_, &t)| t)
+                        .map(|(f, _)| *f)
+                    {
+                        self.templates.remove(&victim);
+                    }
+                }
+                StartTier::Cold
+            }
+        } else {
+            StartTier::Cold
+        };
         let id = self.ids.next_container();
         (
             Arc::new(ContainerEnv {
@@ -744,7 +871,7 @@ impl Dispatcher {
                 sdk: StorageSdk::new(self.store.clone()),
                 multiplex: self.multiplex,
             }),
-            true,
+            tier,
         )
     }
 }
@@ -759,6 +886,7 @@ struct GroupCtx {
     function: usize,
     batch: u64,
     cold: bool,
+    restored: bool,
     recorder: Option<LiveTraceRecorder>,
     telemetry: Option<Arc<PlatformTelemetry>>,
     warm: WarmPools,
@@ -801,6 +929,26 @@ impl GroupCtx {
         });
     }
 
+    /// Restore path, after the (short) delay elapsed: the cloned template
+    /// becomes usable and immediately checks out to this batch.
+    fn mark_ready_after_restore(&self) {
+        let container = self.container();
+        self.emit(EventKind::RestoreDone {
+            container,
+            batch: Some(self.batch),
+        });
+        self.emit(EventKind::ContainerStateChange {
+            container,
+            from: Some(ContainerState::Provisioning),
+            to: ContainerState::Idle,
+        });
+        self.emit(EventKind::ContainerStateChange {
+            container,
+            from: Some(ContainerState::Idle),
+            to: ContainerState::Busy,
+        });
+    }
+
     /// Warm path: the pooled container checks out to this batch.
     fn mark_busy_from_warm(&self) {
         self.emit(EventKind::ContainerStateChange {
@@ -820,6 +968,7 @@ impl GroupCtx {
             function,
             batch,
             cold,
+            restored,
             recorder,
             telemetry,
             warm,
@@ -842,6 +991,7 @@ impl GroupCtx {
                 batch,
                 member: index as u32,
                 cold,
+                restored,
                 recorder: recorder.clone(),
                 telemetry: telemetry.clone(),
             })
@@ -901,6 +1051,7 @@ struct MemberRun {
     batch: u64,
     member: u32,
     cold: bool,
+    restored: bool,
     recorder: Option<LiveTraceRecorder>,
     telemetry: Option<Arc<PlatformTelemetry>>,
 }
@@ -934,6 +1085,7 @@ impl MemberRun {
             queued: started.duration_since(self.req.enqueued),
             execution: started.elapsed(),
             cold: self.cold,
+            restored: self.restored,
             panicked: result.is_err(),
         };
         if let Some(tel) = &self.telemetry {
@@ -1314,11 +1466,13 @@ mod tests {
             queued: Duration::from_millis(q),
             execution: Duration::from_millis(e),
             cold,
+            restored: !cold,
             panicked,
         };
         let s = OutcomeSummary::from_outcomes(&[mk(10, 20, true, false), mk(30, 40, false, true)]);
         assert_eq!(s.count, 2);
         assert_eq!(s.cold, 1);
+        assert_eq!(s.restored, 1);
         assert_eq!(s.panicked, 1);
         assert_eq!(s.mean_queued, Duration::from_millis(20));
         assert_eq!(s.mean_execution, Duration::from_millis(30));
@@ -1476,6 +1630,97 @@ mod tests {
             )),
             "eviction must emit Idle → Terminated"
         );
+    }
+
+    #[test]
+    fn snapshot_tier_restores_after_eviction() {
+        let recorder = LiveTraceRecorder::new();
+        let platform = PlatformBuilder::new()
+            .window(Duration::from_millis(5))
+            .cold_start_delay(Duration::from_millis(10))
+            .restore_delay(Duration::from_millis(1))
+            .snapshots(4)
+            .keep_alive(Duration::from_millis(20))
+            .trace(recorder.clone())
+            .register("noop", |_env| {})
+            .start();
+        // First start is a full cold boot; it captures a template.
+        let first = platform.invoke("noop", Bytes::new()).unwrap().wait();
+        assert!(first.cold && !first.restored);
+        platform.drain().unwrap();
+        // Let keep-alive evict the warm container, forcing a pool miss.
+        std::thread::sleep(Duration::from_millis(120));
+        // The next start misses the pool but hits the template: a restore.
+        let second = platform.invoke("noop", Bytes::new()).unwrap().wait();
+        assert!(second.restored, "pool miss with a template must restore");
+        assert!(!second.cold, "a restore is not a full cold boot");
+        platform.drain().unwrap();
+        assert_eq!(
+            platform.stats().containers_restored.load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(
+            platform.stats().containers_created.load(Ordering::Relaxed),
+            1,
+            "the restore must not count as a cold creation"
+        );
+        drop(platform);
+
+        let trace = recorder.take_trace();
+        let mut auditor = AuditorSink::new();
+        for event in &trace {
+            auditor.record(event);
+        }
+        assert!(
+            auditor.finish().is_empty(),
+            "restored trace has violations: {:?}",
+            auditor.finish()
+        );
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RestoreBegin { .. })));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RestoreDone { .. })));
+        let mut reducer = RecordReducer::new();
+        for event in &trace {
+            reducer.on_event(event);
+        }
+        let reduced = reducer.finish();
+        let restored: Vec<_> = reduced.records.iter().filter(|r| r.restored).collect();
+        assert_eq!(restored.len(), 1, "one invocation rode the restore tier");
+        assert!(!restored[0].cold);
+        assert!(
+            !restored[0].latency.cold_start.is_zero(),
+            "the restore span lands in the cold_start component"
+        );
+        assert!(restored[0].is_consistent());
+    }
+
+    #[test]
+    fn snapshot_templates_are_capacity_bounded() {
+        // Capacity 1, two functions: the second function's first boot must
+        // evict the first function's template, so re-starting function A
+        // after eviction cold-boots again instead of restoring.
+        let platform = PlatformBuilder::new()
+            .window(Duration::from_millis(5))
+            .cold_start_delay(Duration::from_millis(1))
+            .restore_delay(Duration::from_millis(1))
+            .snapshots(1)
+            .keep_alive(Duration::from_millis(15))
+            .register("a", |_env| {})
+            .register("b", |_env| {})
+            .start();
+        platform.invoke("a", Bytes::new()).unwrap().wait(); // captures a
+        platform.invoke("b", Bytes::new()).unwrap().wait(); // evicts a
+        platform.drain().unwrap();
+        std::thread::sleep(Duration::from_millis(100)); // both evicted from warm pool
+        let again = platform.invoke("a", Bytes::new()).unwrap().wait();
+        assert!(
+            again.cold && !again.restored,
+            "template for 'a' was evicted by the capacity bound"
+        );
+        platform.drain().unwrap();
     }
 
     #[test]

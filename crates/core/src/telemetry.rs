@@ -28,6 +28,7 @@ pub struct PlatformTelemetry {
     registry: MetricRegistry,
     pub(crate) warm_hits: Counter,
     pub(crate) cold_boots: Counter,
+    pub(crate) restores: Counter,
     pub(crate) batches: Counter,
     pub(crate) invocations: Counter,
     pub(crate) in_flight: Gauge,
@@ -55,7 +56,11 @@ impl PlatformTelemetry {
             ),
             cold_boots: registry.counter(
                 "faasbatch_platform_cold_boots_total",
-                "Batches that had to create a fresh container.",
+                "Batches that had to create a fresh container via a full cold boot.",
+            ),
+            restores: registry.counter(
+                "faasbatch_platform_restores_total",
+                "Batches served by restoring a snapshot template instead of booting cold.",
             ),
             batches: registry.counter(
                 "faasbatch_platform_batches_total",
@@ -92,12 +97,15 @@ impl PlatformTelemetry {
         });
     }
 
-    /// One dispatch decision: batch size plus the warm/cold split.
-    pub(crate) fn on_batch(&self, size: usize, cold: bool) {
+    /// One dispatch decision: batch size plus the warm/restore/cold split
+    /// (`cold` and `restored` are mutually exclusive; neither = warm hit).
+    pub(crate) fn on_batch(&self, size: usize, cold: bool, restored: bool) {
         self.batches.inc();
         self.batch_size.record(size as u64);
         if cold {
             self.cold_boots.inc();
+        } else if restored {
+            self.restores.inc();
         } else {
             self.warm_hits.inc();
         }
@@ -247,19 +255,21 @@ mod tests {
         let registry = MetricRegistry::new();
         let telemetry = PlatformTelemetry::new(&registry);
         telemetry.ensure_function(0);
-        telemetry.on_batch(4, true);
-        telemetry.on_batch(2, false);
-        telemetry.in_flight.add(6);
-        for _ in 0..6 {
+        telemetry.on_batch(4, true, false);
+        telemetry.on_batch(2, false, false);
+        telemetry.on_batch(1, false, true);
+        telemetry.in_flight.add(7);
+        for _ in 0..7 {
             telemetry.on_member_done(0, 1_500);
         }
         let text = registry.render_prometheus();
         assert!(text.contains("faasbatch_platform_cold_boots_total 1"));
         assert!(text.contains("faasbatch_platform_warm_hits_total 1"));
-        assert!(text.contains("faasbatch_platform_batches_total 2"));
-        assert!(text.contains("faasbatch_platform_invocations_total 6"));
+        assert!(text.contains("faasbatch_platform_restores_total 1"));
+        assert!(text.contains("faasbatch_platform_batches_total 3"));
+        assert!(text.contains("faasbatch_platform_invocations_total 7"));
         assert!(text.contains("faasbatch_platform_in_flight 0"));
-        assert!(text.contains("faasbatch_platform_e2e_latency_us_count{function=\"0\"} 6"));
+        assert!(text.contains("faasbatch_platform_e2e_latency_us_count{function=\"0\"} 7"));
     }
 
     #[test]

@@ -469,6 +469,8 @@ fn empty_report(cfg: &FleetConfig, label: &str) -> RunReport {
         sampler: ResourceSampler::new(),
         provisioned_containers: 0,
         warm_hits: 0,
+        restored_starts: 0,
+        snapshot_stats: Default::default(),
         peak_live_containers: 0,
         core_seconds: 0.0,
         core_seconds_daemon: 0.0,

@@ -1,7 +1,7 @@
 //! Per-invocation latency attribution from the event stream.
 //!
 //! [`AttributionEngine`] folds a [`SimEvent`] stream into one
-//! [`InvocationAttribution`] per completed invocation: a ten-phase
+//! [`InvocationAttribution`] per completed invocation: an eleven-phase
 //! [`PhaseBreakdown`] whose components *sum exactly* to the recorded
 //! end-to-end latency. Exactness is by construction — each phase is the gap
 //! between two consecutive timestamps on the invocation's event chain, so
@@ -50,8 +50,13 @@ pub enum Phase {
     WindowWait,
     /// Daemon-side dispatch/launch processing for the batch.
     Dispatch,
-    /// Container cold start the batch waited on (zero when served warm).
+    /// Container cold start the batch waited on (zero when served warm or
+    /// restored from a snapshot).
     ColdStart,
+    /// Snapshot restore the batch waited on (zero when booted cold or
+    /// served warm) — the same decided → ready gap as [`Phase::ColdStart`],
+    /// attributed here when the start came from the snapshot tier.
+    Restore,
     /// Container ready → this member's chain started (in-container queue;
     /// serial batch members accrue it while predecessors run).
     Queue,
@@ -69,12 +74,13 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 11] = [
         Phase::RetryDelay,
         Phase::GatewayQueue,
         Phase::WindowWait,
         Phase::Dispatch,
         Phase::ColdStart,
+        Phase::Restore,
         Phase::Queue,
         Phase::MuxWait,
         Phase::Execution,
@@ -90,6 +96,7 @@ impl Phase {
             Phase::WindowWait => "window-wait",
             Phase::Dispatch => "dispatch",
             Phase::ColdStart => "cold-start",
+            Phase::Restore => "restore",
             Phase::Queue => "queue",
             Phase::MuxWait => "mux-wait",
             Phase::Execution => "execution",
@@ -106,7 +113,7 @@ impl Phase {
             Phase::GatewayQueue => "gateway",
             Phase::WindowWait => "scheduler",
             Phase::Dispatch => "daemon",
-            Phase::ColdStart => "container",
+            Phase::ColdStart | Phase::Restore => "container",
             Phase::Queue | Phase::CpuContention => "cpu",
             Phase::MuxWait => "multiplexer",
             Phase::Execution => "function",
@@ -134,6 +141,9 @@ pub struct PhaseBreakdown {
     pub dispatch: SimDuration,
     /// [`Phase::ColdStart`].
     pub cold_start: SimDuration,
+    /// [`Phase::Restore`].
+    #[serde(default)]
+    pub restore: SimDuration,
     /// [`Phase::Queue`].
     pub queue: SimDuration,
     /// [`Phase::MuxWait`].
@@ -155,6 +165,7 @@ impl PhaseBreakdown {
             Phase::WindowWait => self.window_wait,
             Phase::Dispatch => self.dispatch,
             Phase::ColdStart => self.cold_start,
+            Phase::Restore => self.restore,
             Phase::Queue => self.queue,
             Phase::MuxWait => self.mux_wait,
             Phase::Execution => self.execution,
@@ -171,6 +182,7 @@ impl PhaseBreakdown {
             Phase::WindowWait => &mut self.window_wait,
             Phase::Dispatch => &mut self.dispatch,
             Phase::ColdStart => &mut self.cold_start,
+            Phase::Restore => &mut self.restore,
             Phase::Queue => &mut self.queue,
             Phase::MuxWait => &mut self.mux_wait,
             Phase::Execution => &mut self.execution,
@@ -208,8 +220,13 @@ pub struct InvocationAttribution {
     pub container: Option<ContainerId>,
     /// Batch it ran in (`None` in fleet-level streams).
     pub batch: Option<u64>,
-    /// Whether it waited on a cold start (always `false` in fleet streams).
+    /// Whether it waited on a full cold boot (always `false` in fleet
+    /// streams).
     pub cold: bool,
+    /// Whether it waited on a snapshot restore (mutually exclusive with
+    /// `cold`; always `false` in fleet streams).
+    #[serde(default)]
+    pub restored: bool,
     /// Crash-driven re-dispatches it survived.
     pub retries: u32,
     /// Arrival at the platform.
@@ -246,8 +263,10 @@ pub struct FunctionPhaseSummary {
     pub function: FunctionId,
     /// Invocations attributed.
     pub count: usize,
-    /// How many waited on a cold start.
+    /// How many waited on a full cold boot.
     pub cold: usize,
+    /// How many waited on a snapshot restore.
+    pub restored: usize,
     /// Mean end-to-end latency.
     pub mean_end_to_end: SimDuration,
     /// Per-phase mean durations.
@@ -345,6 +364,7 @@ impl AttributionReport {
                     function,
                     count: attrs.len(),
                     cold: attrs.iter().filter(|a| a.cold).count(),
+                    restored: attrs.iter().filter(|a| a.restored).count(),
                     mean_end_to_end: e2e / n,
                     mean,
                     critical,
@@ -420,6 +440,7 @@ impl AttributionReport {
 struct BatchChain {
     container: ContainerId,
     cold: bool,
+    restored: bool,
     members: Vec<InvocationId>,
     dispatched_at: SimTime,
     decision_done: Option<SimTime>,
@@ -523,7 +544,15 @@ impl AttributionEngine {
         let gateway_queue = routed.saturating_duration_since(arrival);
         let window_wait = dispatched.saturating_duration_since(routed);
         let dispatch = decided.saturating_duration_since(dispatched);
-        let cold_start = ready.saturating_duration_since(decided);
+        // The decided → ready gap is the start overhead; which phase owns
+        // it depends on the tier (full boot vs snapshot restore). Warm
+        // starts have a zero gap, so both phases stay zero.
+        let start_gap = ready.saturating_duration_since(decided);
+        let (cold_start, restore) = if b.restored {
+            (SimDuration::ZERO, start_gap)
+        } else {
+            (start_gap, SimDuration::ZERO)
+        };
         let queue = exec.saturating_duration_since(ready);
         let mux_wait = body.saturating_duration_since(exec);
         // The body span stretches beyond the intrinsic work under
@@ -543,6 +572,7 @@ impl AttributionEngine {
             container: Some(b.container),
             batch: Some(batch),
             cold: b.cold,
+            restored: b.restored,
             retries: 0,
             arrival,
             completion,
@@ -552,6 +582,7 @@ impl AttributionEngine {
                 window_wait,
                 dispatch,
                 cold_start,
+                restore,
                 queue,
                 mux_wait,
                 execution,
@@ -595,6 +626,7 @@ impl AttributionEngine {
             container: None,
             batch: None,
             cold: false,
+            restored: false,
             retries,
             arrival,
             completion,
@@ -646,6 +678,7 @@ impl TraceSink for AttributionEngine {
                 batch,
                 container,
                 cold,
+                restored,
                 members,
                 ..
             } => {
@@ -655,6 +688,7 @@ impl TraceSink for AttributionEngine {
                     BatchChain {
                         container: *container,
                         cold: *cold,
+                        restored: *restored,
                         members: members.clone(),
                         dispatched_at: at,
                         decision_done: None,
@@ -673,12 +707,15 @@ impl TraceSink for AttributionEngine {
             } => {
                 if let Some(b) = self.batches.get_mut(batch) {
                     b.decision_done = Some(at);
-                    if !b.cold {
+                    if !b.cold && !b.restored {
                         b.ready = Some(at);
                     }
                 }
             }
             EventKind::ColdStartEnd {
+                batch: Some(batch), ..
+            }
+            | EventKind::RestoreDone {
                 batch: Some(batch), ..
             } => {
                 if let Some(b) = self.batches.get_mut(batch) {
@@ -775,6 +812,7 @@ mod tests {
                     function: FunctionId::new(2),
                     container: ContainerId::new(1),
                     cold: false,
+                    restored: false,
                     barrier: true,
                     members: vec![InvocationId::new(7)],
                 },
@@ -854,6 +892,87 @@ mod tests {
         assert_eq!(a.phases.cpu_contention, SimDuration::from_micros(250));
         assert_eq!(a.phases.barrier, SimDuration::from_micros(100));
         assert_eq!(a.end_to_end(), SimDuration::from_micros(1060));
+    }
+
+    #[test]
+    fn restored_start_lands_in_the_restore_phase() {
+        let inv = InvocationId::new(9);
+        let stream = vec![
+            ev(
+                0,
+                EventKind::Arrival {
+                    invocation: inv,
+                    function: FunctionId::new(1),
+                },
+            ),
+            ev(
+                20,
+                EventKind::DispatchDecision {
+                    batch: 3,
+                    function: FunctionId::new(1),
+                    container: ContainerId::new(8),
+                    cold: false,
+                    restored: true,
+                    barrier: false,
+                    members: vec![inv],
+                },
+            ),
+            ev(
+                70,
+                EventKind::TaskFinish {
+                    task: TaskKind::Decision { batch: 3 },
+                },
+            ),
+            ev(
+                70,
+                EventKind::RestoreBegin {
+                    container: ContainerId::new(8),
+                    batch: Some(3),
+                },
+            ),
+            ev(
+                109,
+                EventKind::RestoreDone {
+                    container: ContainerId::new(8),
+                    batch: Some(3),
+                },
+            ),
+            ev(
+                109,
+                EventKind::ExecBegin {
+                    batch: 3,
+                    member: 0,
+                    work: SimDuration::from_micros(300),
+                },
+            ),
+            ev(
+                409,
+                EventKind::ExecEnd {
+                    batch: 3,
+                    member: 0,
+                },
+            ),
+            ev(
+                409,
+                EventKind::InvocationComplete {
+                    invocation: inv,
+                    batch: Some(3),
+                    member: Some(0),
+                },
+            ),
+        ];
+        let mut engine = AttributionEngine::new();
+        engine.consume(&stream);
+        let report = engine.finish();
+        assert!(report.all_exact());
+        let a = &report.invocations[0];
+        assert!(a.restored && !a.cold);
+        assert_eq!(a.phases.restore, SimDuration::from_micros(39));
+        assert_eq!(a.phases.cold_start, SimDuration::ZERO);
+        assert_eq!(a.critical_path(), (Phase::Execution, "function"));
+        let summary = &report.function_summaries()[0];
+        assert_eq!(summary.restored, 1);
+        assert_eq!(summary.cold, 0);
     }
 
     #[test]

@@ -112,6 +112,7 @@ mod tests {
             arrival: SimTime::ZERO,
             completion: SimTime::ZERO + SimDuration::from_millis(exec_ms),
             cold,
+            restored: false,
             latency: LatencyBreakdown {
                 execution: SimDuration::from_millis(exec_ms),
                 ..LatencyBreakdown::default()
@@ -125,6 +126,8 @@ mod tests {
             sampler,
             provisioned_containers: containers,
             warm_hits: 0,
+            restored_starts: 0,
+            snapshot_stats: Default::default(),
             peak_live_containers: containers,
             core_seconds: 1.0,
             core_seconds_daemon: 0.1,

@@ -1,7 +1,8 @@
 //! Trace diffing: explain *why* run B is faster or slower than run A.
 //!
 //! [`diff_reports`] aligns two [`AttributionReport`]s by invocation id and
-//! attributes every matched invocation's latency delta to the ten phases.
+//! attributes every matched invocation's latency delta to the eleven
+//! phases.
 //! Because each side's phases sum exactly to its end-to-end latency, the
 //! phase deltas sum exactly to the latency delta — the diff attributes
 //! 100 % of the movement to named mechanisms, never to an unexplained
@@ -31,6 +32,8 @@ pub struct PhaseDelta {
     pub dispatch: i64,
     /// [`Phase::ColdStart`] movement.
     pub cold_start: i64,
+    /// [`Phase::Restore`] movement.
+    pub restore: i64,
     /// [`Phase::Queue`] movement.
     pub queue: i64,
     /// [`Phase::MuxWait`] movement.
@@ -62,6 +65,7 @@ impl PhaseDelta {
             Phase::WindowWait => self.window_wait,
             Phase::Dispatch => self.dispatch,
             Phase::ColdStart => self.cold_start,
+            Phase::Restore => self.restore,
             Phase::Queue => self.queue,
             Phase::MuxWait => self.mux_wait,
             Phase::Execution => self.execution,
@@ -78,6 +82,7 @@ impl PhaseDelta {
             Phase::WindowWait => &mut self.window_wait,
             Phase::Dispatch => &mut self.dispatch,
             Phase::ColdStart => &mut self.cold_start,
+            Phase::Restore => &mut self.restore,
             Phase::Queue => &mut self.queue,
             Phase::MuxWait => &mut self.mux_wait,
             Phase::Execution => &mut self.execution,
@@ -418,6 +423,7 @@ mod tests {
             container: None,
             batch: None,
             cold: cold_us > 0,
+            restored: false,
             retries: 0,
             arrival: SimTime::ZERO,
             completion: SimTime::ZERO + SimDuration::from_micros(cold_us + exec_us),

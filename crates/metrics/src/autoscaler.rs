@@ -34,6 +34,21 @@ pub enum ScaleAction {
         /// How many containers to launch (> 0).
         count: usize,
     },
+    /// Launch `count` pre-warms for `function` into a specific start tier.
+    ///
+    /// Emitted instead of [`ScaleAction::Prewarm`] when the controller is
+    /// tier-aware ([`AutoscalerConfig::snapshot_prewarm`]): the warm tier
+    /// parks a booted container (fast next hit, holds memory); the snapshot
+    /// tier boots, captures, and terminates (slower next hit, zero memory
+    /// held while idle).
+    PrewarmTier {
+        /// Function to warm up.
+        function: FunctionId,
+        /// How many pre-warms to launch (> 0).
+        count: usize,
+        /// Which start tier to park the warmth in.
+        tier: PrewarmTier,
+    },
     /// Set `function`'s keep-alive TTL to `keep_alive` from now on.
     SetKeepAlive {
         /// Function whose warm pool is retargeted.
@@ -41,6 +56,19 @@ pub enum ScaleAction {
         /// New idle TTL (> 0).
         keep_alive: SimDuration,
     },
+}
+
+/// Which start tier a [`ScaleAction::PrewarmTier`] parks warmth in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrewarmTier {
+    /// Boot → capture a snapshot → terminate: the next start restores in
+    /// tens of milliseconds and no memory is held while idle. Chosen when
+    /// the predicted re-use horizon outlives the keep-alive (a parked warm
+    /// container would expire before its next hit).
+    Snapshot,
+    /// Boot → park idle in the warm pool (the classic pre-warm). Chosen
+    /// when re-use is expected within the keep-alive window.
+    Warm,
 }
 
 /// Tuning knobs for [`AutoscalerSink`].
@@ -68,6 +96,13 @@ pub struct AutoscalerConfig {
     /// EWMA smoothing factor in `(0, 1]` for the cold-rate and occupancy
     /// estimates; higher reacts faster.
     pub alpha: f64,
+    /// Emit tier-aware [`ScaleAction::PrewarmTier`] actions instead of
+    /// plain [`ScaleAction::Prewarm`]: functions whose predicted re-use
+    /// horizon (EWMA inter-arrival gap) outlives the keep-alive are parked
+    /// in the snapshot tier, the rest in the warm tier. Default off, which
+    /// keeps every pre-0.9 configuration byte-identical.
+    #[serde(default)]
+    pub snapshot_prewarm: bool,
 }
 
 impl Default for AutoscalerConfig {
@@ -79,6 +114,7 @@ impl Default for AutoscalerConfig {
             base_keep_alive: SimDuration::from_secs(600),
             cold_rate_high: 0.2,
             alpha: 0.3,
+            snapshot_prewarm: false,
         }
     }
 }
@@ -133,6 +169,11 @@ struct FnState {
     outstanding_prewarm: usize,
     /// The keep-alive value last set (starts at `base_keep_alive`).
     keep_alive_set: SimDuration,
+    /// Instant of the most recent arrival (for the inter-arrival EWMA).
+    last_arrival: Option<SimTime>,
+    /// EWMA of the inter-arrival gap in µs — the predicted re-use horizon
+    /// used by tier-aware pre-warming. `None` until two arrivals are seen.
+    gap_ewma_us: Option<f64>,
 }
 
 impl FnState {
@@ -145,6 +186,8 @@ impl FnState {
             occupancy: 0.0,
             outstanding_prewarm: 0,
             keep_alive_set: base_keep_alive,
+            last_arrival: None,
+            gap_ewma_us: None,
         }
     }
 
@@ -164,6 +207,10 @@ pub struct AutoscalerStats {
     pub keepalive_actions: u64,
     /// High-water mark of outstanding pre-warm requests on any function.
     pub max_outstanding_prewarm: usize,
+    /// Pre-warms the tier-aware controller routed to the snapshot tier.
+    pub snapshot_tier_prewarms: u64,
+    /// Pre-warms the tier-aware controller routed to the warm tier.
+    pub warm_tier_prewarms: u64,
 }
 
 /// The trace-driven autoscaling controller (see module docs).
@@ -249,9 +296,18 @@ impl TraceSink for AutoscalerSink {
         let alpha = self.config.alpha;
         match &event.kind {
             EventKind::Arrival { function, .. } => {
+                let at = event.at;
                 let st = self.state(*function);
                 st.arrived += 1;
                 st.arrivals_since_poll += 1;
+                if let Some(prev) = st.last_arrival {
+                    let gap = at.saturating_duration_since(prev).as_micros() as f64;
+                    st.gap_ewma_us = Some(match st.gap_ewma_us {
+                        Some(e) => alpha * gap + (1.0 - alpha) * e,
+                        None => gap,
+                    });
+                }
+                st.last_arrival = Some(at);
             }
             EventKind::DispatchDecision {
                 function,
@@ -300,9 +356,29 @@ impl TraceSink for AutoscalerSink {
                         .max(st.outstanding_prewarm);
                     self.stats.prewarm_actions += 1;
                     self.stats.prewarmed_containers += deficit as u64;
-                    let action = ScaleAction::Prewarm {
-                        function,
-                        count: deficit,
+                    let action = if cfg.snapshot_prewarm {
+                        // Predicted re-use horizon vs the keep-alive in
+                        // force: if the next hit is expected after the warm
+                        // container would have idled out, park a snapshot
+                        // (no memory held) instead of a warm container.
+                        let horizon_us = st.gap_ewma_us.unwrap_or(0.0);
+                        let tier = if horizon_us > st.keep_alive_set.as_micros() as f64 {
+                            self.stats.snapshot_tier_prewarms += deficit as u64;
+                            PrewarmTier::Snapshot
+                        } else {
+                            self.stats.warm_tier_prewarms += deficit as u64;
+                            PrewarmTier::Warm
+                        };
+                        ScaleAction::PrewarmTier {
+                            function,
+                            count: deficit,
+                            tier,
+                        }
+                    } else {
+                        ScaleAction::Prewarm {
+                            function,
+                            count: deficit,
+                        }
                     };
                     self.actions.push((now, action));
                     out.push(action);
@@ -369,6 +445,7 @@ mod tests {
                 function: f(func),
                 container: ContainerId::new(1),
                 cold,
+                restored: false,
                 barrier: false,
                 members: members.iter().copied().map(InvocationId::new).collect(),
             },
@@ -427,6 +504,60 @@ mod tests {
             }]
         );
         assert_eq!(s.stats().max_outstanding_prewarm, 3);
+    }
+
+    #[test]
+    fn tier_aware_prewarm_picks_tier_by_reuse_horizon() {
+        let cfg = AutoscalerConfig {
+            prewarm_cap: 2,
+            base_keep_alive: SimDuration::from_secs(10),
+            keepalive_ceiling: SimDuration::from_secs(10),
+            keepalive_floor: SimDuration::from_secs(10),
+            snapshot_prewarm: true,
+            ..AutoscalerConfig::default()
+        };
+
+        // Function 0: arrivals every 60 s — far past the 10 s keep-alive,
+        // so a parked warm container would expire before its next hit.
+        let mut s = AutoscalerSink::new(cfg.clone());
+        for i in 0..5u64 {
+            s.record(&arrival(i * 60_000, 0, i));
+            s.record(&dispatch(i * 60_000, 0, true, &[i]));
+        }
+        let actions = s.poll_actions(SimTime::from_secs(301));
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                ScaleAction::PrewarmTier {
+                    tier: PrewarmTier::Snapshot,
+                    ..
+                }
+            )),
+            "{actions:?}"
+        );
+        assert!(s.stats().snapshot_tier_prewarms > 0);
+        assert_eq!(s.stats().warm_tier_prewarms, 0);
+
+        // Function 1: arrivals every 100 ms — well inside the keep-alive,
+        // so classic warm parking wins.
+        let mut s = AutoscalerSink::new(cfg);
+        for i in 0..5u64 {
+            s.record(&arrival(i * 100, 1, i));
+            s.record(&dispatch(i * 100, 1, true, &[i]));
+        }
+        let actions = s.poll_actions(SimTime::from_secs(1));
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                ScaleAction::PrewarmTier {
+                    tier: PrewarmTier::Warm,
+                    ..
+                }
+            )),
+            "{actions:?}"
+        );
+        assert!(s.stats().warm_tier_prewarms > 0);
+        assert_eq!(s.stats().snapshot_tier_prewarms, 0);
     }
 
     #[test]

@@ -103,6 +103,9 @@ pub enum EventKind {
         container: ContainerId,
         /// Whether the container must cold-start first.
         cold: bool,
+        /// Whether the container starts by restoring a snapshot instead of
+        /// a full cold boot (mutually exclusive with `cold`).
+        restored: bool,
         /// Whether responses are held to a per-batch barrier.
         barrier: bool,
         /// Members in batch order (member index = position here).
@@ -117,6 +120,21 @@ pub enum EventKind {
     },
     /// A container finished cold-starting and is usable.
     ColdStartEnd {
+        /// Container now ready.
+        container: ContainerId,
+        /// Batch that was waiting, if any.
+        batch: Option<u64>,
+    },
+    /// A container began restoring from a captured snapshot — the middle
+    /// start tier, replacing the two-phase boot with a short pure delay.
+    RestoreBegin {
+        /// Container restoring.
+        container: ContainerId,
+        /// Batch waiting on it, if any.
+        batch: Option<u64>,
+    },
+    /// A container finished its snapshot restore and is usable.
+    RestoreDone {
         /// Container now ready.
         container: ContainerId,
         /// Batch that was waiting, if any.
@@ -319,6 +337,8 @@ impl EventKind {
             EventKind::DispatchDecision { .. } => "DispatchDecision",
             EventKind::ColdStartBegin { .. } => "ColdStartBegin",
             EventKind::ColdStartEnd { .. } => "ColdStartEnd",
+            EventKind::RestoreBegin { .. } => "RestoreBegin",
+            EventKind::RestoreDone { .. } => "RestoreDone",
             EventKind::ContainerStateChange { .. } => "ContainerStateChange",
             EventKind::TaskStart { .. } => "TaskStart",
             EventKind::TaskPreempt { .. } => "TaskPreempt",
@@ -402,6 +422,12 @@ impl Deserialize for EventKind {
                 function: field(inner, "function")?,
                 container: field(inner, "container")?,
                 cold: field(inner, "cold")?,
+                // Absent from logs written before the snapshot tier existed;
+                // those runs could only boot or warm-hit, so default false.
+                restored: match inner.get_field("restored") {
+                    Ok(v) => bool::from_value(v)?,
+                    Err(_) => false,
+                },
                 barrier: field(inner, "barrier")?,
                 members: field(inner, "members")?,
             },
@@ -410,6 +436,14 @@ impl Deserialize for EventKind {
                 batch: field(inner, "batch")?,
             },
             "ColdStartEnd" => EventKind::ColdStartEnd {
+                container: field(inner, "container")?,
+                batch: field(inner, "batch")?,
+            },
+            "RestoreBegin" => EventKind::RestoreBegin {
+                container: field(inner, "container")?,
+                batch: field(inner, "batch")?,
+            },
+            "RestoreDone" => EventKind::RestoreDone {
                 container: field(inner, "container")?,
                 batch: field(inner, "batch")?,
             },
@@ -861,6 +895,7 @@ pub struct ReducedRun {
 struct BatchState {
     container: ContainerId,
     cold: bool,
+    restored: bool,
     members: Vec<InvocationId>,
     decision_done: Option<SimTime>,
     ready: Option<SimTime>,
@@ -936,6 +971,7 @@ impl RecordReducer {
                 batch,
                 container,
                 cold,
+                restored,
                 members,
                 ..
             } => {
@@ -944,6 +980,7 @@ impl RecordReducer {
                     Some(mut s) => {
                         s.container = *container;
                         s.cold = *cold;
+                        s.restored = *restored;
                         s.members.clear();
                         s.members.extend_from_slice(members);
                         s.decision_done = None;
@@ -958,6 +995,7 @@ impl RecordReducer {
                     None => BatchState {
                         container: *container,
                         cold: *cold,
+                        restored: *restored,
                         members: members.clone(),
                         decision_done: None,
                         ready: None,
@@ -973,12 +1011,18 @@ impl RecordReducer {
             } => {
                 if let Some(b) = self.batches.get_mut(batch) {
                     b.decision_done = Some(at);
-                    if !b.cold {
+                    // Warm batches are ready the instant the decision
+                    // retires; cold and restored ones wait for their
+                    // ColdStartEnd / RestoreDone.
+                    if !b.cold && !b.restored {
                         b.ready = Some(at);
                     }
                 }
             }
             EventKind::ColdStartEnd {
+                batch: Some(batch), ..
+            }
+            | EventKind::RestoreDone {
                 batch: Some(batch), ..
             } => {
                 if let Some(b) = self.batches.get_mut(batch) {
@@ -1056,7 +1100,11 @@ impl RecordReducer {
         let exec_start = b.exec_start[idx].expect("completion before exec start");
         let own_finish = b.own_finish[idx].expect("completion before own finish");
         let scheduling = decision_done.saturating_duration_since(arrival);
-        let cold_start = if b.cold {
+        // The paper's four-component vocabulary keeps `cold_start` as the
+        // decision→ready gap for any non-warm start; a snapshot restore just
+        // fills it with a far shorter span (the `restored` flag tells the
+        // two apart, and eleven-phase attribution splits them exactly).
+        let cold_start = if b.cold || b.restored {
             ready.saturating_duration_since(decision_done)
         } else {
             SimDuration::ZERO
@@ -1071,6 +1119,7 @@ impl RecordReducer {
             arrival,
             completion,
             cold: b.cold,
+            restored: b.restored,
             latency: LatencyBreakdown {
                 scheduling,
                 cold_start,
@@ -1121,8 +1170,8 @@ const MAX_VIOLATIONS: usize = 64;
 ///   running sum;
 /// * **latency tiling** — every derived record's components tile its
 ///   end-to-end span ([`InvocationRecord::is_consistent`]);
-/// * **task pairing** — `TaskFinish`/`ColdStartEnd` match an open
-///   `TaskStart`/`ColdStartBegin`.
+/// * **task pairing** — `TaskFinish`/`ColdStartEnd`/`RestoreDone` match an
+///   open `TaskStart`/`ColdStartBegin`/`RestoreBegin`.
 #[derive(Debug, Default)]
 pub struct AuditorSink {
     violations: Vec<String>,
@@ -1135,6 +1184,7 @@ pub struct AuditorSink {
     mem_total: i128,
     open_tasks: HashMap<TaskKind, u32>,
     open_cold_starts: HashMap<ContainerId, u32>,
+    open_restores: HashMap<ContainerId, u32>,
     /// Scale-prewarm requests not yet matched by a `PrewarmLaunch` start.
     pending_scale_prewarms: u64,
     /// Gateway enqueues not yet matched by an admit, per invocation.
@@ -1202,6 +1252,16 @@ impl AuditorSink {
             cold.sort();
             for c in cold {
                 self.violate(SimTime::ZERO, || format!("{c} cold start never ended"));
+            }
+            let mut restores: Vec<ContainerId> = self
+                .open_restores
+                .iter()
+                .filter(|(_, n)| **n > 0)
+                .map(|(c, _)| *c)
+                .collect();
+            restores.sort();
+            for c in restores {
+                self.violate(SimTime::ZERO, || format!("{c} restore never ended"));
             }
             if self.pending_scale_prewarms > 0 {
                 let n = self.pending_scale_prewarms;
@@ -1374,6 +1434,19 @@ impl TraceSink for AuditorSink {
                     *open -= 1;
                 }
             }
+            EventKind::RestoreBegin { container, .. } => {
+                *self.open_restores.entry(*container).or_insert(0) += 1;
+            }
+            EventKind::RestoreDone { container, .. } => {
+                let open = self.open_restores.entry(*container).or_insert(0);
+                if *open == 0 {
+                    self.violate(at, || {
+                        format!("{container} restore ended without beginning")
+                    });
+                } else {
+                    *open -= 1;
+                }
+            }
             EventKind::GatewayEnqueue { invocation, shard } => {
                 if !self.seen.contains_key(invocation) {
                     self.violate(at, || {
@@ -1453,8 +1526,8 @@ impl TraceSink for AuditorSink {
 
 /// Renders an event stream in Chrome `about:tracing` / Perfetto JSON.
 ///
-/// CPU tasks and cold starts become complete (`"X"`) duration slices by
-/// pairing their begin/end events; everything else becomes an instant
+/// CPU tasks, cold starts, and snapshot restores become complete (`"X"`)
+/// duration slices by pairing their begin/end events; everything else becomes an instant
 /// (`"i"`) event. Timestamps are microseconds, which is exactly
 /// [`SimTime::as_micros`], so the trace plays back at simulated time.
 ///
@@ -1488,6 +1561,7 @@ pub fn chrome_trace_to(events: &[SimEvent], out: &mut dyn Write) -> std::io::Res
     let mut first = true;
     let mut open_tasks: HashMap<TaskKind, SimTime> = HashMap::new();
     let mut open_cold: HashMap<ContainerId, SimTime> = HashMap::new();
+    let mut open_restores: HashMap<ContainerId, SimTime> = HashMap::new();
     let mut arrivals: HashMap<InvocationId, SimTime> = HashMap::new();
     // member → every (flow id, formation time) of a group it was routed in.
     let mut member_groups: HashMap<InvocationId, Vec<(u64, SimTime)>> = HashMap::new();
@@ -1579,6 +1653,20 @@ pub fn chrome_trace_to(events: &[SimEvent], out: &mut dyn Write) -> std::io::Res
                         ))?;
                 }
             }
+            EventKind::RestoreBegin { container, .. } => {
+                open_restores.insert(*container, event.at);
+            }
+            EventKind::RestoreDone { container, .. } => {
+                if let Some(begin) = open_restores.remove(container) {
+                    let dur = ts - begin.as_micros();
+                    push(out, &mut first, format_args!(
+                            "{{\"name\":\"Restore\",\"cat\":\"container\",\"ph\":\"X\",\"ts\":{},\"dur\":{dur},\"pid\":0,\"tid\":{},\"args\":{{\"container\":{}}}}}",
+                            begin.as_micros(),
+                            container.value(),
+                            container.value(),
+                        ))?;
+                }
+            }
             EventKind::HostSample {
                 memory_bytes,
                 busy_cores,
@@ -1655,11 +1743,12 @@ fn instant_args(kind: &EventKind, out: &mut String) {
             batch,
             container,
             cold,
+            restored,
             ..
         } => {
             let _ = write!(
                 out,
-                "\"batch\":{batch},\"container\":{},\"cold\":{cold}",
+                "\"batch\":{batch},\"container\":{},\"cold\":{cold},\"restored\":{restored}",
                 container.value()
             );
         }
@@ -1778,6 +1867,7 @@ mod tests {
                     function: FunctionId::new(0),
                     container: ContainerId::new(1),
                     cold: false,
+                    restored: false,
                     barrier: false,
                     members: vec![InvocationId::new(7)],
                 },
@@ -1854,6 +1944,7 @@ mod tests {
                     function: FunctionId::new(0),
                     container: ContainerId::new(1),
                     cold: true,
+                    restored: false,
                     barrier: false,
                     members: vec![InvocationId::new(1)],
                 },
@@ -1905,6 +1996,162 @@ mod tests {
         assert!(r.cold);
         assert_eq!(r.latency.cold_start, SimDuration::from_micros(400));
         assert_eq!(r.latency.queuing, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn restore_fills_the_cold_start_component_with_a_short_span() {
+        let mut reducer = RecordReducer::new();
+        let stream = vec![
+            arrival(0, 1),
+            ev(
+                0,
+                EventKind::DispatchDecision {
+                    batch: 0,
+                    function: FunctionId::new(0),
+                    container: ContainerId::new(1),
+                    cold: false,
+                    restored: true,
+                    barrier: false,
+                    members: vec![InvocationId::new(1)],
+                },
+            ),
+            ev(
+                0,
+                EventKind::TaskStart {
+                    task: TaskKind::Decision { batch: 0 },
+                },
+            ),
+            ev(
+                50,
+                EventKind::TaskFinish {
+                    task: TaskKind::Decision { batch: 0 },
+                },
+            ),
+            ev(
+                50,
+                EventKind::RestoreBegin {
+                    container: ContainerId::new(1),
+                    batch: Some(0),
+                },
+            ),
+            ev(
+                89,
+                EventKind::RestoreDone {
+                    container: ContainerId::new(1),
+                    batch: Some(0),
+                },
+            ),
+            ev(
+                89,
+                EventKind::ExecBegin {
+                    batch: 0,
+                    member: 0,
+                    work: SimDuration::from_micros(200),
+                },
+            ),
+            ev(
+                289,
+                EventKind::ExecEnd {
+                    batch: 0,
+                    member: 0,
+                },
+            ),
+            ev(
+                289,
+                EventKind::InvocationComplete {
+                    invocation: InvocationId::new(1),
+                    batch: Some(0),
+                    member: Some(0),
+                },
+            ),
+        ];
+        let mut record = None;
+        for event in &stream {
+            if let Some(r) = reducer.on_event(event) {
+                record = Some(r);
+            }
+        }
+        let r = record.unwrap();
+        assert!(!r.cold, "a restore is not a full cold boot");
+        assert!(r.restored);
+        assert_eq!(r.latency.cold_start, SimDuration::from_micros(39));
+        assert_eq!(r.latency.queuing, SimDuration::ZERO);
+        assert!(r.is_consistent());
+
+        let mut auditor = AuditorSink::new();
+        for event in &stream {
+            auditor.record(event);
+        }
+        assert_eq!(auditor.finish(), &[] as &[String]);
+    }
+
+    #[test]
+    fn auditor_flags_unbalanced_restores() {
+        let mut auditor = AuditorSink::new();
+        auditor.record(&ev(
+            0,
+            EventKind::RestoreBegin {
+                container: ContainerId::new(4),
+                batch: Some(0),
+            },
+        ));
+        let violations = auditor.finish();
+        assert!(
+            violations.iter().any(|v| v.contains("restore never ended")),
+            "{violations:?}"
+        );
+
+        let mut auditor = AuditorSink::new();
+        auditor.record(&ev(
+            0,
+            EventKind::RestoreDone {
+                container: ContainerId::new(4),
+                batch: Some(0),
+            },
+        ));
+        assert!(auditor
+            .violations()
+            .iter()
+            .any(|v| v.contains("restore ended without beginning")));
+    }
+
+    #[test]
+    fn pre_snapshot_logs_deserialize_with_restored_false() {
+        // A DispatchDecision line written before the `restored` field
+        // existed must still parse (defaulting to a non-restored start).
+        let old = r#"{"at":0,"kind":{"DispatchDecision":{"batch":0,"function":0,"container":1,"cold":true,"barrier":false,"members":[7]}}}"#;
+        let event: SimEvent = serde_json::from_str(old).expect("old log line parses");
+        assert!(matches!(
+            event.kind,
+            EventKind::DispatchDecision {
+                cold: true,
+                restored: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_restore_slices() {
+        let stream = vec![
+            ev(
+                10,
+                EventKind::RestoreBegin {
+                    container: ContainerId::new(2),
+                    batch: Some(0),
+                },
+            ),
+            ev(
+                49,
+                EventKind::RestoreDone {
+                    container: ContainerId::new(2),
+                    batch: Some(0),
+                },
+            ),
+        ];
+        let json = chrome_trace(&stream);
+        assert!(json.contains("\"name\":\"Restore\""));
+        assert!(json.contains("\"dur\":39"));
     }
 
     #[test]
@@ -2159,6 +2406,7 @@ mod tests {
                 function: f,
                 container: c,
                 cold: true,
+                restored: true,
                 barrier: true,
                 members: vec![i],
             },
@@ -2167,6 +2415,14 @@ mod tests {
                 batch: Some(5),
             },
             EventKind::ColdStartEnd {
+                container: c,
+                batch: None,
+            },
+            EventKind::RestoreBegin {
+                container: c,
+                batch: Some(5),
+            },
+            EventKind::RestoreDone {
                 container: c,
                 batch: None,
             },

@@ -56,8 +56,14 @@ pub struct InvocationRecord {
     pub arrival: SimTime,
     /// Completion (result returned).
     pub completion: SimTime,
-    /// Whether this invocation triggered/waited on a cold start.
+    /// Whether this invocation triggered/waited on a *full* cold boot
+    /// (image pull + process init). Mutually exclusive with `restored`.
     pub cold: bool,
+    /// Whether this invocation waited on a snapshot restore instead of a
+    /// full boot. The restore span is carried in
+    /// [`LatencyBreakdown::cold_start`]; this flag distinguishes the tier.
+    #[serde(default)]
+    pub restored: bool,
     /// Latency decomposition.
     pub latency: LatencyBreakdown,
 }
@@ -85,6 +91,7 @@ mod tests {
             arrival: SimTime::from_millis(100),
             completion: SimTime::from_millis(100 + 5 + 700 + 20 + 45),
             cold: true,
+            restored: false,
             latency: LatencyBreakdown {
                 scheduling: SimDuration::from_millis(5),
                 cold_start: SimDuration::from_millis(700),

@@ -73,7 +73,7 @@ pub use analysis::{
     Comparison, FunctionPhaseSummary, InvocationAttribution, InvocationDelta, Phase,
     PhaseBreakdown, PhaseDelta, QuantileShift, TraceDiff, TraceLoadError,
 };
-pub use autoscaler::{AutoscalerConfig, AutoscalerSink, AutoscalerStats, ScaleAction};
+pub use autoscaler::{AutoscalerConfig, AutoscalerSink, AutoscalerStats, PrewarmTier, ScaleAction};
 pub use events::{
     chrome_trace, chrome_trace_to, AuditorSink, CounterSink, EventKind, JsonlSink, MultiSink,
     NoopSink, RecordReducer, ReducedRun, RingSink, SimEvent, TaskKind, TraceSink, VecSink,

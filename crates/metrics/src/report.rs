@@ -4,6 +4,7 @@
 use crate::latency::InvocationRecord;
 use crate::sampler::ResourceSampler;
 use crate::stats::{Cdf, Summary};
+use faasbatch_container::snapshot::SnapshotStats;
 use faasbatch_simcore::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -24,6 +25,12 @@ pub struct RunReport {
     pub provisioned_containers: u64,
     /// Warm-pool hits.
     pub warm_hits: u64,
+    /// Starts served from the snapshot tier (restore instead of full boot).
+    #[serde(default)]
+    pub restored_starts: u64,
+    /// Snapshot-cache counters (all zero when the tier is disabled).
+    #[serde(default)]
+    pub snapshot_stats: SnapshotStats,
     /// Peak simultaneously live containers.
     pub peak_live_containers: u64,
     /// Total CPU core-seconds burned.
@@ -124,6 +131,14 @@ impl RunReport {
         self.records.iter().filter(|r| r.cold).count() as f64 / self.records.len() as f64
     }
 
+    /// Fraction of invocations served from the snapshot-restore tier.
+    pub fn restored_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.restored).count() as f64 / self.records.len() as f64
+    }
+
     /// Average bytes of client memory allocated per client-creation
     /// *request* — the Fig. 14(d) metric (≈15 MB for the baselines, ≪1 MB
     /// under FaaSBatch's multiplexer because most requests are cache hits).
@@ -205,6 +220,7 @@ mod tests {
             arrival: SimTime::from_secs(n),
             completion: SimTime::from_secs(n) + SimDuration::from_millis(exec_ms),
             cold,
+            restored: false,
             latency: LatencyBreakdown {
                 execution: SimDuration::from_millis(exec_ms),
                 ..LatencyBreakdown::default()
@@ -223,6 +239,8 @@ mod tests {
             sampler: ResourceSampler::new(),
             provisioned_containers: 2,
             warm_hits: 2,
+            restored_starts: 0,
+            snapshot_stats: SnapshotStats::default(),
             peak_live_containers: 2,
             core_seconds: 0.1,
             core_seconds_daemon: 0.01,

@@ -116,6 +116,7 @@ fn synthetic_stream(invocations: u64) -> Vec<SimEvent> {
                 function,
                 container: ContainerId::new(i % 3),
                 cold: i % 3 == 0,
+                restored: false,
                 barrier: false,
                 members: vec![inv],
             },

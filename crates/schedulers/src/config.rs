@@ -5,6 +5,7 @@
 //! policies — the comparison isolates scheduling decisions, exactly as the
 //! paper's single-worker testbed does.
 
+use faasbatch_container::snapshot::SnapshotConfig;
 use faasbatch_container::spec::ColdStartModel;
 use faasbatch_simcore::time::SimDuration;
 use faasbatch_storage::cost::ClientCostModel;
@@ -33,6 +34,10 @@ pub struct SimConfig {
     pub container_base_memory: u64,
     /// Host resource sampling period (paper: 1 s).
     pub sample_period: SimDuration,
+    /// Snapshot-restore tier configuration. Defaults to disabled
+    /// (capacity 0), which leaves every pre-0.9 run byte-identical.
+    #[serde(default)]
+    pub snapshot: SnapshotConfig,
 }
 
 impl Default for SimConfig {
@@ -47,6 +52,7 @@ impl Default for SimConfig {
             client_cost: ClientCostModel::default(),
             container_base_memory: 50 << 20,
             sample_period: SimDuration::from_secs(1),
+            snapshot: SnapshotConfig::default(),
         }
     }
 }

@@ -30,7 +30,7 @@ use crate::policy::{Completion, Ctx, DispatchRequest, ExecMode, Policy};
 use faasbatch_container::cluster::Cluster;
 use faasbatch_container::ids::{ContainerId, FunctionId};
 use faasbatch_container::spec::ContainerSpec;
-use faasbatch_metrics::autoscaler::ScaleAction;
+use faasbatch_metrics::autoscaler::{PrewarmTier, ScaleAction};
 use faasbatch_metrics::events::{
     EventKind, NoopSink, RecordReducer, SimEvent, TaskKind, TraceSink,
 };
@@ -44,7 +44,7 @@ use faasbatch_trace::function::{FunctionKind, FunctionRegistry};
 use faasbatch_trace::stream::InvocationSource;
 use faasbatch_trace::workload::{Invocation, Workload};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 
 /// Memory-ledger category for storage clients.
@@ -104,6 +104,10 @@ struct Batch {
     invocations: Vec<Invocation>,
     container: Option<ContainerId>,
     cold: bool,
+    /// Served from the snapshot tier: the container becomes ready after
+    /// `restore_latency` of pure delay instead of a full boot.
+    restored: bool,
+    restore_latency: SimDuration,
     serial_next: usize,
     remaining: usize,
 }
@@ -137,6 +141,10 @@ pub struct SimWorld {
     /// Non-zero keeps the run stepping after the last invocation completes
     /// so every speculative cold start closes before the stream ends.
     open_prewarms: usize,
+    /// Pre-warm pipelines bound for the snapshot tier: on boot completion
+    /// the container's state is captured and the container terminated
+    /// instead of parking in the warm pool.
+    snapshot_prewarms: HashSet<ContainerId>,
     ext: HashMap<ContainerId, ContainerExt>,
     transient_clients: HashMap<(BatchId, usize), AllocationId>,
     /// Folds the event stream into records, samples, and counters.
@@ -179,6 +187,7 @@ impl SimWorld {
         trace: Box<dyn TraceSink>,
     ) -> Self {
         let mut cluster = Cluster::new(cfg.cores, cfg.cold_start.clone(), cfg.keep_alive);
+        cluster.configure_snapshots(cfg.snapshot.clone());
         let daemon_group = cluster.cpu_mut().create_group(Some(cfg.daemon_cores));
         SimWorld {
             cluster,
@@ -189,6 +198,7 @@ impl SimWorld {
             running: HashMap::new(),
             cpu_event: None,
             open_prewarms: 0,
+            snapshot_prewarms: HashSet::new(),
             ext: HashMap::new(),
             transient_clients: HashMap::new(),
             reducer: RecordReducer::new(),
@@ -375,7 +385,14 @@ pub(crate) fn dispatch(world: &mut SimWorld, engine: &mut Engine<Sim>, req: Disp
     let acq = world.cluster.acquire(now, &spec);
     let cid = acq.container();
     world.ext.entry(cid).or_default();
-    let decision_work = if acq.is_cold() {
+    let restore_latency = match &acq {
+        faasbatch_container::cluster::Acquired::Restored { latency, .. } => *latency,
+        _ => SimDuration::ZERO,
+    };
+    // Warm hits are routed for pennies; both a full boot and a snapshot
+    // restore launch a fresh container, so the daemon pays the launch cost
+    // either way — the tiers differ in what happens after the decision.
+    let decision_work = if acq.is_cold() || acq.is_restored() {
         world.cfg.container_launch_work
     } else {
         world.cfg.warm_dispatch_work
@@ -388,6 +405,7 @@ pub(crate) fn dispatch(world: &mut SimWorld, engine: &mut Engine<Sim>, req: Disp
             function,
             container: cid,
             cold: acq.is_cold(),
+            restored: acq.is_restored(),
             barrier: req.completion == Completion::PerBatch,
             members: req.invocations.iter().map(|i| i.id).collect(),
         },
@@ -416,6 +434,8 @@ pub(crate) fn dispatch(world: &mut SimWorld, engine: &mut Engine<Sim>, req: Disp
             invocations: req.invocations,
             container: Some(cid),
             cold: acq.is_cold(),
+            restored: acq.is_restored(),
+            restore_latency,
             serial_next: 0,
             remaining: n,
         },
@@ -449,6 +469,38 @@ pub(crate) fn prewarm(
         let spec = ContainerSpec::new(function).with_base_memory(world.cfg.container_base_memory);
         let cid = world.cluster.provision_cold(now, &spec);
         world.ext.entry(cid).or_default();
+        let task = world.cluster.cpu_mut().add_task(
+            now,
+            world.daemon_group,
+            world.cfg.container_launch_work,
+        );
+        world.running.insert(task, WorkKind::PrewarmLaunch(cid));
+        world.open_prewarms += 1;
+        emit(
+            world,
+            now,
+            EventKind::TaskStart {
+                task: TaskKind::PrewarmLaunch { container: cid },
+            },
+        );
+    }
+}
+
+/// Like [`prewarm`], but bound for the snapshot tier: each container pays
+/// the full launch + boot pipeline, then captures a snapshot and terminates
+/// instead of parking warm — warmth persists with no memory held.
+pub(crate) fn prewarm_snapshot(
+    world: &mut SimWorld,
+    engine: &mut Engine<Sim>,
+    function: FunctionId,
+    count: usize,
+) {
+    let now = engine.now();
+    for _ in 0..count {
+        let spec = ContainerSpec::new(function).with_base_memory(world.cfg.container_base_memory);
+        let cid = world.cluster.provision_cold(now, &spec);
+        world.ext.entry(cid).or_default();
+        world.snapshot_prewarms.insert(cid);
         let task = world.cluster.cpu_mut().add_task(
             now,
             world.daemon_group,
@@ -514,7 +566,14 @@ fn cpu_tick(sim: &mut Sim, engine: &mut Engine<Sim>) {
             }
             WorkKind::PrewarmBoot(cid) => {
                 sim.world.open_prewarms -= 1;
-                sim.world.cluster.finish_cold_start_idle(now, cid);
+                if sim.world.snapshot_prewarms.remove(&cid) {
+                    // Snapshot-tier pre-warm: capture the booted state and
+                    // terminate — the snapshot outlives the container at
+                    // zero memory cost.
+                    sim.world.cluster.finish_cold_start_snapshot(now, cid);
+                } else {
+                    sim.world.cluster.finish_cold_start_idle(now, cid);
+                }
                 emit(
                     &mut sim.world,
                     now,
@@ -585,6 +644,19 @@ fn on_decision_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId) {
         );
         let image = world.cfg.cold_start.image_latency();
         engine.schedule_arg_in(image, cold_image_done, EventArg::new(id.0, cid.value()));
+    } else if batch.restored {
+        // Snapshot restore: the pre-initialized state is mapped back in —
+        // pure latency, no host CPU burned re-running initialization.
+        let latency = batch.restore_latency;
+        emit(
+            world,
+            now,
+            EventKind::RestoreBegin {
+                container: cid,
+                batch: Some(id.0),
+            },
+        );
+        engine.schedule_arg_in(latency, restore_finished, EventArg::new(id.0, cid.value()));
     } else {
         let function = batch.invocations[0].function;
         let weight = batch.group_weight;
@@ -593,6 +665,34 @@ fn on_decision_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId) {
         let Sim { world, policy } = sim;
         policy.on_batch_ready(&mut Ctx { world, engine }, cid, function);
     }
+}
+
+/// Snapshot restore landed (`arg.a` = batch id, `arg.b` = container id):
+/// the container is ready and the batch executes, exactly as after a cold
+/// boot but tens of milliseconds later instead of seconds.
+fn restore_finished(sim: &mut Sim, engine: &mut Engine<Sim>, arg: EventArg) {
+    let id = BatchId(arg.a);
+    let cid = ContainerId::new(arg.b);
+    let now = engine.now();
+    let world = &mut sim.world;
+    world.cluster.finish_restore(now, cid);
+    emit(
+        world,
+        now,
+        EventKind::RestoreDone {
+            container: cid,
+            batch: Some(id.0),
+        },
+    );
+    let function = world.batches[&id].invocations[0].function;
+    let weight = world.batches[&id].group_weight;
+    set_container_weight(world, now, cid, weight);
+    start_batch_execution(world, now, id);
+    {
+        let Sim { world, policy } = sim;
+        policy.on_batch_ready(&mut Ctx { world, engine }, cid, function);
+    }
+    pump_cpu(&mut sim.world, engine);
 }
 
 fn on_cold_boot_done(sim: &mut Sim, engine: &mut Engine<Sim>, id: BatchId) {
@@ -1014,6 +1114,25 @@ fn apply_scale_actions(world: &mut SimWorld, engine: &mut Engine<Sim>) {
                 prewarm(world, engine, function, count);
             }
             ScaleAction::Prewarm { .. } => {}
+            ScaleAction::PrewarmTier {
+                function,
+                count,
+                tier,
+            } if count > 0 => {
+                emit(
+                    world,
+                    now,
+                    EventKind::ScalePrewarm {
+                        function,
+                        count: count as u64,
+                    },
+                );
+                match tier {
+                    PrewarmTier::Warm => prewarm(world, engine, function, count),
+                    PrewarmTier::Snapshot => prewarm_snapshot(world, engine, function, count),
+                }
+            }
+            ScaleAction::PrewarmTier { .. } => {}
             ScaleAction::SetKeepAlive {
                 function,
                 keep_alive,
@@ -1228,6 +1347,8 @@ pub fn run_source_traced(
         sampler: reduced.sampler,
         provisioned_containers: stats.provisioned,
         warm_hits: stats.warm_hits,
+        restored_starts: stats.restored_starts,
+        snapshot_stats: world.cluster.snapshot_stats(),
         peak_live_containers: stats.peak_live,
         core_seconds: world.cluster.cpu().core_seconds(),
         core_seconds_daemon: world.cluster.cpu().group_core_seconds(world.daemon_group),

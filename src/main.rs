@@ -17,6 +17,7 @@
 //! faasbatch help
 //! ```
 
+use faasbatch::container::snapshot::{EvictionPolicy, SnapshotConfig};
 use faasbatch::core::policy::FaasBatchConfig;
 use faasbatch::core::scheduler_kind::{SchedulerKind, SchedulerSetup};
 use faasbatch::fleet::config::{FaultKind, FleetConfig, WorkerFault, WorkerScheduler};
@@ -39,12 +40,21 @@ use faasbatch::trace::workload::{cpu_workload, io_workload, Workload, WorkloadCo
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-const USAGE: &str = "faasbatch — FaaSBatch (ICDCS'23) reproduction CLI
+/// Builds the usage text. The scheduler and eviction-policy lists come
+/// straight from [`SchedulerKind::ALL`] / [`EvictionPolicy::ALL`], so a new
+/// registry entry shows up here without touching this string.
+fn usage() -> String {
+    let schedulers = SchedulerKind::ALL.map(SchedulerKind::name).join("|");
+    let evictions = EvictionPolicy::ALL.map(EvictionPolicy::name).join("|");
+    let scheduler_count = SchedulerKind::ALL.len();
+    format!(
+        "faasbatch — FaaSBatch (ICDCS'23) reproduction CLI
 
 USAGE:
     faasbatch compare  [--workload cpu|io] [--seed N] [--window-ms N]
                        [--total N] [--span-s N] [--functions N]
                        [--no-multiplex] [--import FILE]
+                       [--snapshot-cap N] [--snapshot-eviction {evictions}]
     faasbatch workload [--workload cpu|io] [--seed N] [--total N] [--span-s N]
                        [--heterogeneity H] [--export FILE]
     faasbatch fleet    [--workers N] [--policy round-robin|least-loaded|
@@ -52,21 +62,22 @@ USAGE:
                        [--workload cpu|io] [--seed N] [--total N] [--span-s N]
                        [--window-ms N] [--max-retries N] [--redispatch-ms N]
                        [--crash W@MS[,W@MS…]] [--drain W@MS[,W@MS…]]
-    faasbatch trace    [--scheduler vanilla|sfs|kraken|hiku|
-                       core-late-bind|faasbatch]
+    faasbatch trace    [--scheduler {schedulers}]
                        [--workload cpu|io] [--seed N] [--total N] [--span-s N]
                        [--window-ms N] [--no-multiplex] [--import FILE]
+                       [--snapshot-cap N] [--snapshot-eviction {evictions}]
                        [--out FILE] [--chrome FILE] [--analyze FILE]
     faasbatch trace-diff A.jsonl B.jsonl [--top K] [--json FILE]
-    faasbatch autoscale [--scheduler vanilla|sfs|kraken|hiku|
-                       core-late-bind|faasbatch]
+    faasbatch autoscale [--scheduler {schedulers}]
                        [--workload cpu|io] [--seed N] [--total N] [--span-s N]
                        [--window-ms N] [--keepalive-s N] [--prewarm-cap N]
                        [--keepalive-floor-s N] [--keepalive-ceiling-s N]
-                       [--import FILE]
+                       [--snapshot-cap N] [--snapshot-eviction {evictions}]
+                       [--snapshot-prewarm] [--import FILE]
     faasbatch live     [--jobs N] [--batch-size N] [--workers N] [--seed N]
                        [--backend executor|thread-per-job] [--window-ms N]
                        [--cold-ms N] [--work-us N] [--audit] [--out FILE]
+                       [--snapshots N] [--restore-ms N]
                        [--metrics-addr HOST:PORT] [--serve-ms N]
                        [--flight-record FILE] [--flight-capacity N]
                        [--gateway [--shards N] [--shard-depth N]
@@ -77,8 +88,8 @@ USAGE:
     faasbatch help
 
 COMMANDS:
-    compare    replay one workload under all six schedulers (Vanilla, SFS,
-               Kraken, Hiku, core-late-bind, FaaSBatch)
+    compare    replay one workload under all {scheduler_count} schedulers
+               ({schedulers})
     workload   generate a workload and print its statistics
     fleet      replay one workload across a multi-worker fleet with a
                pluggable routing policy and optional worker faults
@@ -115,10 +126,19 @@ COMMANDS:
 
 Workloads exported with `workload --export` replay bit-identically via
 `compare --import`. Defaults: cpu workload, seed 2023, 200 ms window,
-paper-sized totals.";
+paper-sized totals. `--snapshot-cap N` enables the snapshot-restore start
+tier with N cache slots (0 = off); `--snapshot-prewarm` lets the autoscale
+controller pick the prewarm tier by predicted re-use horizon."
+    )
+}
 
 /// Options that take no value (presence alone means \"true\").
-const BOOLEAN_FLAGS: [&str; 3] = ["--no-multiplex", "--audit", "--gateway"];
+const BOOLEAN_FLAGS: [&str; 4] = [
+    "--no-multiplex",
+    "--audit",
+    "--gateway",
+    "--snapshot-prewarm",
+];
 
 /// Splits an argument list into positional arguments and `--key [value]`
 /// option tokens, preserving order within each group. Subcommands that take
@@ -234,10 +254,31 @@ fn load_or_build(opts: &Options) -> Result<(String, Workload), String> {
     }
 }
 
+/// Parses the `--snapshot-cap` / `--snapshot-eviction` pair shared by the
+/// simulation subcommands. Capacity 0 (the default) leaves the tier off.
+fn snapshot_config(opts: &Options) -> Result<SnapshotConfig, String> {
+    let capacity: usize = opts.num("--snapshot-cap", 0)?;
+    let name = opts.str("--snapshot-eviction", EvictionPolicy::default().name());
+    let eviction = EvictionPolicy::parse(&name).ok_or_else(|| {
+        format!(
+            "unknown eviction policy: {name} (use {})",
+            EvictionPolicy::ALL.map(EvictionPolicy::name).join("|")
+        )
+    })?;
+    Ok(SnapshotConfig {
+        capacity,
+        eviction,
+        ..SnapshotConfig::default()
+    })
+}
+
 fn cmd_compare(opts: &Options) -> Result<(), String> {
     let (label, w) = load_or_build(opts)?;
     let window = SimDuration::from_millis(opts.num("--window-ms", 200)?);
-    let cfg = SimConfig::default();
+    let cfg = SimConfig {
+        snapshot: snapshot_config(opts)?,
+        ..SimConfig::default()
+    };
     println!(
         "replaying {} invocations ({label}) with a {window} window…\n",
         w.len()
@@ -260,6 +301,7 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
                 format!("{}", r.end_to_end_cdf().mean()),
                 format!("{}", r.end_to_end_cdf().quantile(0.99)),
                 r.provisioned_containers.to_string(),
+                r.restored_starts.to_string(),
                 format!("{:.0} MB", r.mean_memory_bytes() / (1 << 20) as f64),
                 format!("{:.1}%", r.mean_cpu_utilization() * 100.0),
                 format!("{:.1}", r.core_seconds_daemon),
@@ -274,6 +316,7 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
                 "e2e mean",
                 "e2e p99",
                 "containers",
+                "restored",
                 "mem mean",
                 "cpu util",
                 "daemon cpu-s"
@@ -281,6 +324,15 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
             &rows,
         )
     );
+    if reports.iter().any(|r| r.restored_starts > 0) {
+        for r in &reports {
+            let s = r.snapshot_stats;
+            println!(
+                "{}: snapshot cache hits {} | misses {} | evictions {} | captures {}",
+                r.scheduler, s.hits, s.misses, s.evictions, s.captures
+            );
+        }
+    }
     Ok(())
 }
 
@@ -485,7 +537,10 @@ fn cmd_trace(opts: &Options) -> Result<(), String> {
     let (label, w) = load_or_build(opts)?;
     let scheduler = opts.str("--scheduler", "faasbatch");
     let window = SimDuration::from_millis(opts.num("--window-ms", 200)?);
-    let cfg = SimConfig::default();
+    let cfg = SimConfig {
+        snapshot: snapshot_config(opts)?,
+        ..SimConfig::default()
+    };
     let sink: Box<dyn TraceSink> = Box::new(VecSink::new());
     println!(
         "tracing {} invocations ({label}) under {scheduler}…",
@@ -630,6 +685,7 @@ fn cmd_autoscale(opts: &Options) -> Result<(), String> {
     let keep_alive = SimDuration::from_secs(opts.num("--keepalive-s", 2)?);
     let cfg = SimConfig {
         keep_alive,
+        snapshot: snapshot_config(opts)?,
         ..SimConfig::default()
     };
     let ac = AutoscalerConfig {
@@ -637,6 +693,7 @@ fn cmd_autoscale(opts: &Options) -> Result<(), String> {
         keepalive_floor: SimDuration::from_secs(opts.num("--keepalive-floor-s", 2)?),
         keepalive_ceiling: SimDuration::from_secs(opts.num("--keepalive-ceiling-s", 60)?),
         base_keep_alive: keep_alive,
+        snapshot_prewarm: opts.flag("--snapshot-prewarm"),
         ..AutoscalerConfig::default()
     };
     ac.validate()
@@ -708,6 +765,13 @@ fn cmd_autoscale(opts: &Options) -> Result<(), String> {
         stats.keepalive_actions,
         stats.max_outstanding_prewarm
     );
+    if opts.flag("--snapshot-prewarm") {
+        println!(
+            "controller tiers: {} snapshot-tier prewarm(s), {} warm-tier prewarm(s); \
+             autoscaled run restored {} start(s)",
+            stats.snapshot_tier_prewarms, stats.warm_tier_prewarms, auto_report.restored_starts
+        );
+    }
 
     let mut auditor = AuditorSink::new();
     for event in events {
@@ -1119,6 +1183,8 @@ fn cmd_live(opts: &Options) -> Result<(), String> {
     let window = std::time::Duration::from_millis(opts.num("--window-ms", 25)?);
     let cold = std::time::Duration::from_millis(opts.num("--cold-ms", 2)?);
     let work = std::time::Duration::from_micros(opts.num("--work-us", 250)?);
+    let snapshots: usize = opts.num("--snapshots", 0)?;
+    let restore = std::time::Duration::from_millis(opts.num("--restore-ms", 1)?);
     let backend = match opts.str("--backend", "executor").as_str() {
         "executor" => LiveBackend::Executor,
         "thread-per-job" => LiveBackend::ThreadPerJob,
@@ -1148,6 +1214,8 @@ fn cmd_live(opts: &Options) -> Result<(), String> {
     let mut builder = PlatformBuilder::new()
         .window(window)
         .cold_start_delay(cold)
+        .snapshots(snapshots)
+        .restore_delay(restore)
         .backend(backend)
         .executor(std::sync::Arc::clone(&executor));
     if let Some(rec) = &recorder {
@@ -1194,9 +1262,10 @@ fn cmd_live(opts: &Options) -> Result<(), String> {
     latencies.sort_unstable();
     let stats = platform.stats();
     println!(
-        "done in {elapsed:.2?}: {:.0} invocations/s | containers {} | batches {} | panicked {panicked}",
+        "done in {elapsed:.2?}: {:.0} invocations/s | containers {} | restored {} | batches {} | panicked {panicked}",
         jobs as f64 / elapsed.as_secs_f64(),
         stats.containers_created.load(std::sync::atomic::Ordering::Relaxed),
+        stats.containers_restored.load(std::sync::atomic::Ordering::Relaxed),
         stats.batches.load(std::sync::atomic::Ordering::Relaxed),
     );
     println!(
@@ -1282,7 +1351,7 @@ fn main() -> ExitCode {
     let (command, rest) = match args.split_first() {
         Some((c, rest)) => (c.as_str(), rest),
         None => {
-            println!("{USAGE}");
+            println!("{}", usage());
             return ExitCode::SUCCESS;
         }
     };
@@ -1303,7 +1372,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         "help" | "--help" | "-h" => {
-            println!("{USAGE}");
+            println!("{}", usage());
             Ok(())
         }
         other => Err(format!("unknown command: {other}")),
@@ -1311,7 +1380,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("error: {msg}\n\n{USAGE}");
+            eprintln!("error: {msg}\n\n{}", usage());
             ExitCode::FAILURE
         }
     }
@@ -1412,6 +1481,37 @@ mod tests {
         assert!(table.contains("histogram"));
         assert!(render_top("not json").is_err());
         assert!(render_top("{\"nope\":1}").is_err());
+    }
+
+    #[test]
+    fn usage_lists_every_registered_scheduler_and_eviction_policy() {
+        let text = usage();
+        for kind in SchedulerKind::ALL {
+            assert!(
+                text.contains(kind.name()),
+                "usage must list scheduler `{}`",
+                kind.name()
+            );
+        }
+        for policy in EvictionPolicy::ALL {
+            assert!(
+                text.contains(policy.name()),
+                "usage must list eviction policy `{}`",
+                policy.name()
+            );
+        }
+        assert!(text.contains(&SchedulerKind::ALL.len().to_string()));
+    }
+
+    #[test]
+    fn snapshot_config_parses_and_rejects() {
+        let o = opts(&["--snapshot-cap", "8", "--snapshot-eviction", "cost-aware"]).unwrap();
+        let cfg = snapshot_config(&o).unwrap();
+        assert_eq!(cfg.capacity, 8);
+        assert_eq!(cfg.eviction, EvictionPolicy::CostAware);
+        assert!(snapshot_config(&Options::default()).unwrap().capacity == 0);
+        let bad = opts(&["--snapshot-eviction", "fifo"]).unwrap();
+        assert!(snapshot_config(&bad).is_err());
     }
 
     #[test]
